@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks for the LSAP solvers (the inner loop of
+//! HTA-APP/HTA-GRE) across dense random, degenerate, and HTA-shaped
+//! (column-class) profit matrices.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hta_matching::lsap::{auction, greedy, jv, structured};
+use hta_matching::{ClassedCosts, DenseMatrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_dense(n: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(n, |_, _| rng.random::<f64>())
+}
+
+/// HTA-shaped: n columns over (w+1) classes, zero class wide.
+fn hta_shaped(n: usize, workers: usize, xmax: usize, seed: u64) -> ClassedCosts {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nc = workers + 1;
+    let classes: Vec<u32> = (0..n)
+        .map(|l| {
+            let q = l / xmax;
+            if q < workers {
+                q as u32
+            } else {
+                workers as u32
+            }
+        })
+        .collect();
+    let profits: Vec<f64> = (0..n * nc).map(|_| rng.random::<f64>()).collect();
+    ClassedCosts::new(n, nc, classes, |r, c| {
+        if c == workers {
+            0.0
+        } else {
+            profits[r * nc + c]
+        }
+    })
+}
+
+fn bench_lsap_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsap/dense-random");
+    group.sample_size(10);
+    for &n in &[100usize, 300, 600] {
+        let m = random_dense(n, 42);
+        group.bench_with_input(BenchmarkId::new("jv", n), &m, |b, m| {
+            b.iter(|| black_box(jv::solve(m).value))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &m, |b, m| {
+            b.iter(|| black_box(greedy::solve(m).value))
+        });
+        group.bench_with_input(BenchmarkId::new("auction", n), &m, |b, m| {
+            b.iter(|| black_box(auction::solve(m).value))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lsap_degenerate(c: &mut Criterion) {
+    // All-equal profits: the regime where JV terminates in its reduction
+    // phases (the paper's Fig. 3 analysis at few task groups).
+    let mut group = c.benchmark_group("lsap/degenerate");
+    group.sample_size(10);
+    for &n in &[300usize, 600] {
+        let m = DenseMatrix::from_fn(n, |_, _| 0.5);
+        group.bench_with_input(BenchmarkId::new("jv", n), &m, |b, m| {
+            b.iter(|| black_box(jv::solve(m).value))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy", n), &m, |b, m| {
+            b.iter(|| black_box(greedy::solve(m).value))
+        });
+    }
+    group.finish();
+}
+
+fn bench_lsap_structured(c: &mut Criterion) {
+    // Ablation 1 (DESIGN.md): structured vs dense on HTA-shaped costs.
+    let mut group = c.benchmark_group("lsap/hta-shaped");
+    group.sample_size(10);
+    for &n in &[300usize, 600] {
+        let cc = hta_shaped(n, 10, 10, 7);
+        let dense = DenseMatrix::from_fn(n, |r, col| {
+            use hta_matching::CostMatrix;
+            cc.cost(r, col)
+        });
+        group.bench_with_input(BenchmarkId::new("jv-dense", n), &dense, |b, m| {
+            b.iter(|| black_box(jv::solve(m).value))
+        });
+        group.bench_with_input(BenchmarkId::new("structured-exact", n), &cc, |b, m| {
+            b.iter(|| black_box(structured::solve(m).value))
+        });
+        group.bench_with_input(BenchmarkId::new("greedy-classed", n), &cc, |b, m| {
+            b.iter(|| black_box(greedy::solve(m).value))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lsap_dense,
+    bench_lsap_degenerate,
+    bench_lsap_structured
+);
+criterion_main!(benches);

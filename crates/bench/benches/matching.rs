@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the greedy diversity matching `M_B`
+//! (Algorithm 1, line 2) — ablation 2 of DESIGN.md: greedy matching cost as
+//! a function of task count and group degeneracy.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hta_bench::build_instance;
+use hta_matching::{greedy_matching, WeightedEdge};
+
+fn edges_of(inst: &hta_core::Instance) -> Vec<WeightedEdge> {
+    let n = inst.n_tasks();
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let w = inst.diversity(u, v);
+            if w > 0.0 {
+                edges.push(WeightedEdge::new(u as u32, v as u32, w));
+            }
+        }
+    }
+    edges
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matching/greedy");
+    group.sample_size(10);
+    for &n in &[500usize, 1000, 2000] {
+        let inst = build_instance(n, 100, 20, 10, 0xBE);
+        let edges = edges_of(&inst);
+        group.bench_with_input(
+            BenchmarkId::new("sorted-greedy", n),
+            &edges,
+            |b, edges| b.iter(|| black_box(greedy_matching(n, edges).total_weight())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_edge_materialization(c: &mut Criterion) {
+    // The O(n²) diversity evaluation that feeds the matching.
+    let mut group = c.benchmark_group("matching/edge-build");
+    group.sample_size(10);
+    for &groups in &[10usize, 1000] {
+        let inst = build_instance(1000, groups, 20, 10, 0xBE);
+        group.bench_with_input(
+            BenchmarkId::new("jaccard-pairs", groups),
+            &inst,
+            |b, inst| b.iter(|| black_box(edges_of(inst).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching, bench_edge_materialization);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks for the motivation model primitives: TD/TR
+//! evaluation (Eqs. 1–3), Jaccard over packed keyword vectors, and the
+//! adaptive weight estimator update.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hta_bench::build_instance;
+use hta_core::adaptive::WeightEstimator;
+use hta_core::metric::{Distance, Jaccard};
+use hta_core::motivation::{motivation, normalized_gains};
+use hta_core::{KeywordVec, Weights};
+
+fn bench_jaccard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motivation/jaccard");
+    for &bits in &[64usize, 512, 4096] {
+        let a = KeywordVec::from_indices(bits, &[0, bits / 3, bits / 2, bits - 1]);
+        let b = KeywordVec::from_indices(bits, &[1, bits / 3, bits - 1]);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |bch, _| {
+            bch.iter(|| black_box(Jaccard.dist(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_motivation_eval(c: &mut Criterion) {
+    let inst = build_instance(500, 50, 10, 20, 0x40);
+    let sets: Vec<Vec<usize>> = vec![
+        (0..5).collect(),
+        (0..20).collect(),
+        (0..100).collect(),
+    ];
+    let mut group = c.benchmark_group("motivation/eq3");
+    for set in &sets {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(set.len()),
+            set,
+            |b, set| b.iter(|| black_box(motivation(&inst, 0, set))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_adaptive_update(c: &mut Criterion) {
+    let inst = build_instance(200, 20, 4, 20, 0x41);
+    let completed: Vec<usize> = (0..10).collect();
+    let remaining: Vec<usize> = (10..30).collect();
+    c.bench_function("motivation/normalized-gains", |b| {
+        b.iter(|| black_box(normalized_gains(&inst, 0, &completed, &remaining, 15)))
+    });
+    c.bench_function("motivation/estimator-update", |b| {
+        b.iter(|| {
+            let mut e = WeightEstimator::new(Weights::balanced());
+            for i in 0..50 {
+                e.observe_gains(Some((i % 10) as f64 / 10.0), Some(0.5));
+            }
+            black_box(e.estimate().alpha())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_jaccard,
+    bench_motivation_eval,
+    bench_adaptive_update
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmark of the online platform: one full cohort of
+//! concurrent 30-minute sessions per strategy — the unit of work behind
+//! Figure 5, useful for tracking simulator-throughput regressions.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hta_crowd::{LiveWorker, Platform, PlatformConfig, PopulationConfig, Strategy};
+use hta_datagen::crowdflower::{CrowdflowerCatalog, CrowdflowerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cohort(c: &mut Criterion) {
+    let catalog = CrowdflowerCatalog::generate(&CrowdflowerConfig {
+        n_tasks: 3000,
+        ..Default::default()
+    });
+    let population = hta_crowd::population::generate(
+        &catalog.space,
+        &PopulationConfig {
+            n_workers: 5,
+            ..Default::default()
+        },
+    );
+    let refs: Vec<&LiveWorker> = population.iter().collect();
+
+    let mut group = c.benchmark_group("platform/cohort");
+    group.sample_size(10);
+    for strategy in [Strategy::HtaGre, Strategy::HtaGreRel, Strategy::Random] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.name()),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    let mut platform = Platform::new(&catalog, PlatformConfig::default());
+                    let mut rng = StdRng::seed_from_u64(1);
+                    black_box(platform.run_cohort(strategy, &refs, &mut rng).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cohort);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks of the end-to-end solvers (Fig. 2a at
+//! regression-tracking sizes): HTA-APP vs HTA-GRE vs baselines.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hta_bench::build_instance;
+use hta_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers/end-to-end");
+    group.sample_size(10);
+    for &n in &[300usize, 600, 1200] {
+        let inst = build_instance(n, 60, 20, 10, 0x50);
+        let cases: Vec<(&str, Box<dyn Solver>)> = vec![
+            ("hta-app", Box::new(HtaApp::new())),
+            ("hta-app-structured", Box::new(HtaApp::structured())),
+            ("hta-gre", Box::new(HtaGre::new())),
+            ("hta-gre-structured", Box::new(HtaGre::structured())),
+            ("greedy-relevance", Box::new(GreedyRelevance)),
+            ("random", Box::new(RandomAssign)),
+        ];
+        for (name, solver) in &cases {
+            group.bench_with_input(BenchmarkId::new(*name, n), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    black_box(solver.solve(inst, &mut rng).assignment.assigned_count())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

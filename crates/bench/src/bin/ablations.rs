@@ -1,0 +1,88 @@
+//! **Ablations** — the design-choice studies listed in DESIGN.md §3:
+//!
+//! 1. structured (column-class) vs dense LSAP cost representation;
+//! 2. exact-JV vs greedy vs auction vs structured-exact LSAP solvers;
+//! 3. the random ½-flip of matched pairs (Alg. 1 lines 12–16) on/off;
+//! 4. HTA-APP/HTA-GRE vs the baselines (random, greedy-relevance,
+//!    greedy-motivation) on objective value.
+
+use hta_bench::{build_instance, write_csv, Row, Scale, Table};
+use hta_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mean_objective(inst: &Instance, solver: &dyn Solver, runs: usize) -> (f64, f64) {
+    let mut obj = 0.0;
+    let mut secs = 0.0;
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(run as u64);
+        let out = solver.solve(inst, &mut rng);
+        obj += out.assignment.objective(inst);
+        secs += out.timings.total.as_secs_f64();
+    }
+    (obj / runs as f64, secs / runs as f64)
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let (n_tasks, n_groups, n_workers, xmax) = match scale {
+        Scale::Tiny => (300, 30, 8, 5),
+        Scale::Laptop => (2000, 200, 100, 10),
+        Scale::Paper => (8000, 200, 200, 20),
+    };
+    let runs = scale.runs();
+    let inst = build_instance(n_tasks, n_groups, n_workers, xmax, 0xAB);
+    println!(
+        "Ablations (scale={scale}): |T|={n_tasks}, |W|={n_workers}, Xmax={xmax}, {n_groups} groups"
+    );
+
+    // ---- 1 & 2: representation and LSAP solver ---------------------------
+    let mut t1 = Table::new("Ablation — LSAP solver / cost representation", "variant");
+    let variants: Vec<(&str, Box<dyn Solver>)> = vec![
+        ("app dense+jv (paper)", Box::new(HtaApp::new())),
+        ("app classed+structured", Box::new(HtaApp::structured())),
+        ("app dense+auction", Box::new(HtaApp::new().with_auction_lsap())),
+        ("gre dense (paper)", Box::new(HtaGre::new())),
+        ("gre classed", Box::new(HtaGre::structured())),
+    ];
+    for (name, solver) in &variants {
+        let (obj, secs) = mean_objective(&inst, solver.as_ref(), runs);
+        t1.push(Row::new(*name, vec![("objective", obj), ("seconds", secs)]));
+        println!("  {name} done");
+    }
+    print!("{}", t1.render());
+    let _ = write_csv("ablation_lsap", &t1);
+
+    // ---- 3: random flip on/off -------------------------------------------
+    let mut t2 = Table::new("Ablation — random flip of matched pairs", "variant");
+    let flips: Vec<(&str, Box<dyn Solver>)> = vec![
+        ("app flip on", Box::new(HtaApp::new())),
+        ("app flip off", Box::new(HtaApp::new().without_flip())),
+        ("gre flip on", Box::new(HtaGre::new())),
+        ("gre flip off", Box::new(HtaGre::new().without_flip())),
+    ];
+    for (name, solver) in &flips {
+        let (obj, _) = mean_objective(&inst, solver.as_ref(), runs);
+        t2.push(Row::new(*name, vec![("objective", obj)]));
+    }
+    print!("{}", t2.render());
+    let _ = write_csv("ablation_flip", &t2);
+
+    // ---- 4: versus baselines -----------------------------------------------
+    let mut t3 = Table::new("Ablation — versus baselines (objective)", "solver");
+    let baselines: Vec<(&str, Box<dyn Solver>)> = vec![
+        ("hta-app", Box::new(HtaApp::new())),
+        ("hta-gre", Box::new(HtaGre::new())),
+        ("hta-gre+local-search", Box::new(LocalSearch::new(HtaGre::new(), 3))),
+        ("greedy-motivation", Box::new(GreedyMotivation)),
+        ("greedy-relevance", Box::new(GreedyRelevance)),
+        ("random", Box::new(RandomAssign)),
+    ];
+    for (name, solver) in &baselines {
+        let (obj, secs) = mean_objective(&inst, solver.as_ref(), runs);
+        t3.push(Row::new(*name, vec![("objective", obj), ("seconds", secs)]));
+        println!("  {name} done");
+    }
+    print!("{}", t3.render());
+    let _ = write_csv("ablation_baselines", &t3);
+}

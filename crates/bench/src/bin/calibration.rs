@@ -1,0 +1,66 @@
+//! Calibration probe for the online behaviour model: per-strategy means of
+//! the instrumented quantities (boredom at completion, display diversity,
+//! per-question accuracy, inter-completion pacing), next to the three KPIs.
+//! Use this when re-tuning `BehaviorConfig` (see EXPERIMENTS.md).
+
+use hta_bench::Scale;
+use hta_crowd::{experiment, OnlineConfig, PopulationConfig};
+use hta_datagen::crowdflower::CrowdflowerConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let sessions = std::env::var("HTA_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| scale.fig5_sessions());
+    let cfg = OnlineConfig {
+        sessions_per_strategy: sessions,
+        catalog: CrowdflowerConfig {
+            n_tasks: scale.fig5_catalog(),
+            ..Default::default()
+        },
+        population: PopulationConfig::default(),
+        ..Default::default()
+    };
+    let results = experiment::run(&cfg);
+
+    println!(
+        "{:<13} {:>8} {:>8} {:>7} {:>9} {:>10} {:>9} {:>9} {:>10}",
+        "strategy", "boredom", "dispdiv", "match", "%correct", "tasks/sess", "mean-min", "min/task", "%>18.2min"
+    );
+    for r in &results.per_strategy {
+        let mut boredom = 0.0;
+        let mut dd = 0.0;
+        let mut pm = 0.0;
+        let mut n = 0usize;
+        let mut gaps = Vec::new();
+        for rec in &r.records {
+            let mut prev = 0.0;
+            for c in &rec.completions {
+                boredom += c.boredom;
+                dd += c.display_diversity;
+                pm += c.pref_match;
+                n += 1;
+                gaps.push(c.minute - prev);
+                prev = c.minute;
+            }
+        }
+        let nf = n.max(1) as f64;
+        let mean_gap = gaps.iter().sum::<f64>() / gaps.len().max(1) as f64;
+        println!(
+            "{:<13} {:>8.3} {:>8.3} {:>7.3} {:>9.1} {:>10.1} {:>9.1} {:>9.2} {:>10.0}",
+            r.strategy.name(),
+            boredom / nf,
+            dd / nf,
+            pm / nf,
+            r.summary.percent_correct,
+            r.summary.completed_per_session,
+            r.summary.mean_session_minutes,
+            mean_gap,
+            r.summary.retention_at_probe,
+        );
+    }
+    println!("\nPaper targets: Div 81.9% / Gre 75.5% / Rel 65.0% quality;");
+    println!("Gre 734 > Rel 666 > Div 636 completed; Gre 36.7 tasks/session over 22.3 min;");
+    println!("Gre retention best (85% of sessions > 18.2 min).");
+}

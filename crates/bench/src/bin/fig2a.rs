@@ -1,0 +1,57 @@
+//! **Figure 2a** — response time vs. number of tasks, with the
+//! Matching/LSAP phase split.
+//!
+//! Paper setting: `|T| ∈ {4k, …, 10k}`, `|W| = 200`, `X_max = 20`, 200 task
+//! groups, synthetic workers; HTA-APP's cubic LSAP dominates while HTA-GRE
+//! grows as `n² log n`. Scaled sweeps via `HTA_SCALE` (see DESIGN.md §3).
+
+use hta_bench::{build_instance, time_it, write_csv, Row, Scale, Table};
+use hta_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let spec = scale.fig2_tasks();
+    let runs = scale.runs();
+    println!(
+        "Figure 2a (scale={scale}): response time vs |T|; |W|={}, Xmax={}, {} groups, {} run(s)/point",
+        spec.n_workers, spec.xmax, spec.n_groups, runs
+    );
+
+    let mut table = Table::new("Fig 2a — response time (s) vs number of tasks", "|T|");
+    for &n_tasks in &spec.sweep {
+        let inst = build_instance(n_tasks, spec.n_groups, spec.n_workers, spec.xmax, 0xF26A);
+        let mut cells: Vec<(&str, f64)> = Vec::new();
+        for (name, solver) in [
+            ("hta-app", Box::new(HtaApp::new()) as Box<dyn Solver>),
+            ("hta-app-hungarian", Box::new(HtaApp::new().with_classic_hungarian())),
+            ("hta-gre", Box::new(HtaGre::new())),
+        ] {
+            let (mut matching, mut lsap, mut total) = (0.0, 0.0, 0.0);
+            for run in 0..runs {
+                let mut rng = StdRng::seed_from_u64(run as u64);
+                let (out, _) = time_it(|| solver.solve(&inst, &mut rng));
+                matching += out.timings.matching.as_secs_f64();
+                lsap += out.timings.lsap.as_secs_f64();
+                total += out.timings.total.as_secs_f64();
+            }
+            let r = runs as f64;
+            let (m_col, l_col, t_col) = match name {
+                "hta-app" => ("app-matching", "app-lsap", "app-total"),
+                "hta-app-hungarian" => ("appH-matching", "appH-lsap", "appH-total"),
+                _ => ("gre-matching", "gre-lsap", "gre-total"),
+            };
+            cells.push((m_col, matching / r));
+            cells.push((l_col, lsap / r));
+            cells.push((t_col, total / r));
+        }
+        table.push(Row::new(n_tasks.to_string(), cells));
+        println!("  |T|={n_tasks} done");
+    }
+    print!("{}", table.render());
+    match write_csv("fig2a", &table) {
+        Ok(p) => println!("CSV written to {}", p.display()),
+        Err(e) => eprintln!("CSV write failed: {e}"),
+    }
+}

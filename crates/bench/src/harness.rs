@@ -1,0 +1,256 @@
+//! Shared harness plumbing: instance construction, timing, CSV emission,
+//! and paper-style table printing.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use hta_core::{Instance, Task, TaskId, TaskPool, Worker, WorkerId, WorkerPool};
+use hta_datagen::amt::{generate_exact, AmtConfig};
+use hta_datagen::workers::{synthetic_workers, SyntheticWorkerConfig};
+
+/// Build the offline-simulation instance of Section V-B: `n_tasks` real
+/// AMT-like tasks over `n_groups` groups, `n_workers` synthetic workers
+/// with five uniform keywords and random `(α, β)`.
+pub fn build_instance(
+    n_tasks: usize,
+    n_groups: usize,
+    n_workers: usize,
+    xmax: usize,
+    seed: u64,
+) -> Instance {
+    let amt = generate_exact(
+        &AmtConfig {
+            seed,
+            ..AmtConfig::with_totals(n_tasks, n_groups)
+        },
+        n_tasks,
+    );
+    let workers = synthetic_workers(
+        amt.space.len(),
+        &SyntheticWorkerConfig {
+            n_workers,
+            seed: seed ^ 0x77,
+            ..Default::default()
+        },
+    );
+    instance_from_pools(&amt.tasks, &workers, xmax)
+}
+
+/// Freeze a [`TaskPool`] + [`WorkerPool`] into an [`Instance`].
+pub fn instance_from_pools(tasks: &TaskPool, workers: &WorkerPool, xmax: usize) -> Instance {
+    let ts: Vec<Task> = tasks
+        .tasks()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Task::new(TaskId(i as u32), t.group, t.keywords.clone()))
+        .collect();
+    let ws: Vec<Worker> = workers
+        .workers()
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Worker::new(WorkerId(i as u32), w.keywords.clone()).with_weights(w.weights))
+        .collect();
+    Instance::new(ts, ws, xmax).expect("generated instances are well-formed")
+}
+
+/// Run `f` and return its result with the wall-clock duration.
+pub fn time_it<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
+/// One output row: a label plus named numeric cells.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Row label (the swept parameter value).
+    pub label: String,
+    /// Named numeric cells, in column order.
+    pub cells: Vec<(String, f64)>,
+}
+
+impl Row {
+    /// Build a row from a label and `(column, value)` pairs.
+    pub fn new(label: impl Into<String>, cells: Vec<(&str, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            cells: cells
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        }
+    }
+}
+
+/// A printable/serializable results table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (printed above the header).
+    pub title: String,
+    /// Header of the label column.
+    pub label_header: String,
+    /// Data rows; all rows must share the same cell columns.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// Start an empty table.
+    pub fn new(title: impl Into<String>, label_header: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            label_header: label_header.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, row: Row) {
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table (paper-style).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        if self.rows.is_empty() {
+            out.push_str("(no rows)\n");
+            return out;
+        }
+        let headers: Vec<&str> = self.rows[0]
+            .cells
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        let mut widths: Vec<usize> = headers.iter().map(|h| h.len().max(10)).collect();
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(0)
+            .max(self.label_header.len());
+        for row in &self.rows {
+            for (i, (_, v)) in row.cells.iter().enumerate() {
+                widths[i] = widths[i].max(format!("{v:.3}").len());
+            }
+        }
+        out.push_str(&format!("{:<label_w$}", self.label_header));
+        for (h, w) in headers.iter().zip(&widths) {
+            out.push_str(&format!("  {h:>w$}"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format!("{:<label_w$}", row.label));
+            for ((_, v), w) in row.cells.iter().zip(&widths) {
+                out.push_str(&format!("  {:>w$.3}", v));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        if self.rows.is_empty() {
+            return out;
+        }
+        out.push_str(&self.label_header.replace(',', ";"));
+        for (k, _) in &self.rows[0].cells {
+            out.push(',');
+            out.push_str(&k.replace(',', ";"));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.label.replace(',', ";"));
+            for (_, v) in &row.cells {
+                out.push_str(&format!(",{v}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Where figure CSVs land: `target/figures/<name>.csv`.
+pub fn csv_path(name: &str) -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop(); // crates/
+    p.pop(); // repo root
+    p.push("target");
+    p.push("figures");
+    p.push(format!("{name}.csv"));
+    p
+}
+
+/// Write a table to `target/figures/<name>.csv`, creating directories.
+pub fn write_csv(name: &str, table: &Table) -> std::io::Result<PathBuf> {
+    let path = csv_path(name);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(&path, table.to_csv())?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_instance_has_requested_shape() {
+        let inst = build_instance(60, 6, 3, 5, 42);
+        assert_eq!(inst.n_tasks(), 60);
+        assert_eq!(inst.n_workers(), 3);
+        assert_eq!(inst.xmax(), 5);
+        // Relevance precomputed and in range.
+        for q in 0..3 {
+            for t in 0..60 {
+                let r = inst.rel(q, t);
+                assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn time_it_measures_something() {
+        let (v, d) = time_it(|| {
+            let mut s = 0u64;
+            for i in 0..100_000u64 {
+                s = s.wrapping_add(i * i);
+            }
+            s
+        });
+        assert!(v > 0);
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn table_render_and_csv() {
+        let mut t = Table::new("Demo", "|T|");
+        t.push(Row::new("1000", vec![("hta-app", 1.5), ("hta-gre", 0.5)]));
+        t.push(Row::new("2000", vec![("hta-app", 6.0), ("hta-gre", 2.0)]));
+        let text = t.render();
+        assert!(text.contains("Demo"));
+        assert!(text.contains("hta-app"));
+        assert!(text.contains("1000"));
+        let csv = t.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("|T|,hta-app,hta-gre"));
+        assert_eq!(lines.next(), Some("1000,1.5,0.5"));
+    }
+
+    #[test]
+    fn empty_table_is_harmless() {
+        let t = Table::new("Empty", "x");
+        assert!(t.render().contains("no rows"));
+        assert_eq!(t.to_csv(), "");
+    }
+
+    #[test]
+    fn csv_path_is_under_target_figures() {
+        let p = csv_path("fig2a");
+        let s = p.to_string_lossy();
+        assert!(s.ends_with("target/figures/fig2a.csv"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # hta-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3 for the
+//! experiment index), plus Criterion micro-benchmarks. This library holds
+//! the shared harness plumbing: scale selection, instance construction from
+//! generated workloads, timing, and CSV/table output.
+//!
+//! ## Scales
+//!
+//! The paper ran on 2×10-core Xeons with 128 GB RAM; the default `laptop`
+//! scale shrinks the sweeps so every figure regenerates in minutes on one
+//! core while preserving the curve *shapes*. Select with the `HTA_SCALE`
+//! environment variable: `tiny` (CI smoke), `laptop` (default), `paper`
+//! (the exact parameters of the paper).
+
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod scale;
+
+pub use harness::{build_instance, csv_path, instance_from_pools, time_it, write_csv, Row, Table};
+pub use scale::{Scale, SweepSpec};

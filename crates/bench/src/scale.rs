@@ -1,0 +1,210 @@
+//! Experiment scale selection (`HTA_SCALE` = `tiny` | `laptop` | `paper`).
+
+use std::fmt;
+
+/// The scale at which figure harnesses run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// CI smoke: seconds per figure.
+    Tiny,
+    /// Single-core laptop: minutes per figure, same curve shapes (default).
+    #[default]
+    Laptop,
+    /// The paper's exact sweep parameters (hours; needs ≥ 8 GB free RAM).
+    Paper,
+}
+
+impl Scale {
+    /// Read the scale from `HTA_SCALE` (defaults to `laptop`).
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value, listing the accepted ones.
+    pub fn from_env() -> Self {
+        match std::env::var("HTA_SCALE").as_deref() {
+            Err(_) => Self::Laptop,
+            Ok("tiny") => Self::Tiny,
+            Ok("laptop") => Self::Laptop,
+            Ok("paper") => Self::Paper,
+            Ok(other) => panic!("HTA_SCALE must be tiny|laptop|paper, got '{other}'"),
+        }
+    }
+
+    /// Number of repetitions averaged per data point (the paper averages
+    /// ten runs).
+    pub fn runs(&self) -> usize {
+        match self {
+            Self::Tiny => 1,
+            Self::Laptop => 3,
+            Self::Paper => 10,
+        }
+    }
+
+    /// Fig. 2a/2b task-count sweep. Paper: 4,000–10,000 step 1,000 with
+    /// `|W| = 200`, `X_max = 20`, 200 task groups.
+    pub fn fig2_tasks(&self) -> SweepSpec {
+        match self {
+            Self::Tiny => SweepSpec {
+                sweep: vec![200, 400],
+                n_workers: 8,
+                xmax: 5,
+                n_groups: 20,
+            },
+            Self::Laptop => SweepSpec {
+                sweep: vec![1000, 1500, 2000, 2500, 3000],
+                n_workers: 100,
+                xmax: 10,
+                n_groups: 200,
+            },
+            Self::Paper => SweepSpec {
+                sweep: vec![4000, 5000, 6000, 7000, 8000, 9000, 10000],
+                n_workers: 200,
+                xmax: 20,
+                n_groups: 200,
+            },
+        }
+    }
+
+    /// Fig. 2c worker-count sweep. Paper: 30–350 with `|T| = 8,000`.
+    pub fn fig2c_workers(&self) -> SweepSpec {
+        match self {
+            Self::Tiny => SweepSpec {
+                sweep: vec![4, 8],
+                n_workers: 0, // swept
+                xmax: 5,
+                n_groups: 20,
+            },
+            Self::Laptop => SweepSpec {
+                sweep: vec![30, 70, 110, 150, 190],
+                n_workers: 0,
+                xmax: 10,
+                n_groups: 200,
+            },
+            Self::Paper => SweepSpec {
+                sweep: vec![30, 70, 110, 150, 200, 250, 300, 350],
+                n_workers: 0,
+                xmax: 20,
+                n_groups: 200,
+            },
+        }
+    }
+
+    /// Fixed task count for Fig. 2c. Paper: 8,000.
+    pub fn fig2c_tasks(&self) -> usize {
+        match self {
+            Self::Tiny => 300,
+            Self::Laptop => 2000,
+            Self::Paper => 8000,
+        }
+    }
+
+    /// Fig. 3 group-count sweep. Paper: 10–10,000 groups at `|T| = 10,000`,
+    /// `|W| = 300`, `X_max = 20` (the caption prints |T| = 10³; we follow
+    /// the body text — see DESIGN.md).
+    pub fn fig3_groups(&self) -> Vec<usize> {
+        match self {
+            Self::Tiny => vec![2, 30, 300],
+            Self::Laptop => vec![10, 100, 1000, 2000],
+            Self::Paper => vec![10, 100, 1000, 10000],
+        }
+    }
+
+    /// Fixed task count for Fig. 3.
+    pub fn fig3_tasks(&self) -> usize {
+        match self {
+            Self::Tiny => 300,
+            Self::Laptop => 2000,
+            Self::Paper => 10000,
+        }
+    }
+
+    /// Fixed worker count for Fig. 3. Paper: 300.
+    pub fn fig3_workers(&self) -> usize {
+        match self {
+            Self::Tiny => 8,
+            Self::Laptop => 100,
+            Self::Paper => 300,
+        }
+    }
+
+    /// Fig. 5 sessions per strategy. Paper: 20.
+    pub fn fig5_sessions(&self) -> usize {
+        match self {
+            Self::Tiny => 4,
+            Self::Laptop | Self::Paper => 20,
+        }
+    }
+
+    /// Fig. 5 catalog size (the paper's pool has 158k tasks; sessions only
+    /// ever touch a few thousand).
+    pub fn fig5_catalog(&self) -> usize {
+        match self {
+            Self::Tiny => 800,
+            Self::Laptop => 6000,
+            Self::Paper => 20000,
+        }
+    }
+}
+
+impl fmt::Display for Scale {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Tiny => "tiny",
+            Self::Laptop => "laptop",
+            Self::Paper => "paper",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A sweep: the varying values plus the fixed instance shape.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// The swept parameter values (tasks for 2a/2b, workers for 2c).
+    pub sweep: Vec<usize>,
+    /// Fixed worker count (0 when workers are the swept parameter).
+    pub n_workers: usize,
+    /// Per-worker capacity `X_max`.
+    pub xmax: usize,
+    /// Number of AMT-like task groups.
+    pub n_groups: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_laptop() {
+        // The test environment does not set HTA_SCALE.
+        if std::env::var("HTA_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Laptop);
+        }
+    }
+
+    #[test]
+    fn paper_scale_matches_paper_parameters() {
+        let p = Scale::Paper.fig2_tasks();
+        assert_eq!(p.sweep.first(), Some(&4000));
+        assert_eq!(p.sweep.last(), Some(&10000));
+        assert_eq!(p.n_workers, 200);
+        assert_eq!(p.xmax, 20);
+        assert_eq!(p.n_groups, 200);
+        assert_eq!(Scale::Paper.fig2c_tasks(), 8000);
+        assert_eq!(Scale::Paper.fig3_workers(), 300);
+        assert_eq!(Scale::Paper.runs(), 10);
+        assert_eq!(Scale::Paper.fig5_sessions(), 20);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Tiny.fig2c_tasks() < Scale::Laptop.fig2c_tasks());
+        assert!(Scale::Laptop.fig2c_tasks() < Scale::Paper.fig2c_tasks());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scale::Tiny.to_string(), "tiny");
+        assert_eq!(Scale::Laptop.to_string(), "laptop");
+        assert_eq!(Scale::Paper.to_string(), "paper");
+    }
+}

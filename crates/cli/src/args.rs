@@ -1,0 +1,141 @@
+//! Minimal `--flag value` argument parsing (no external dependencies —
+//! the offline dependency set is restricted, and the needs are small).
+
+use std::collections::HashMap;
+
+/// Parsed arguments: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pub command: Option<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse from an iterator of raw arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                args.command = iter.next();
+            }
+        }
+        while let Some(flag) = iter.next() {
+            let Some(key) = flag.strip_prefix("--") else {
+                return Err(ArgError(format!(
+                    "unexpected positional argument '{flag}' (flags are --key value)"
+                )));
+            };
+            let value = iter
+                .next()
+                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            if args.flags.insert(key.to_owned(), value).is_some() {
+                return Err(ArgError(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(args)
+    }
+
+    /// A string flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required flag --{key}")))
+    }
+
+    /// A typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("flag --{key}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// All flag keys (for unknown-flag checks).
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.flags.keys().map(String::as_str)
+    }
+
+    /// Error if any provided flag is not in `allowed`.
+    pub fn reject_unknown(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.keys() {
+            if !allowed.contains(&k) {
+                return Err(ArgError(format!(
+                    "unknown flag --{k} (expected one of: {})",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, ArgError> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse(&["solve", "--tasks", "t.csv", "--xmax", "5"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("solve"));
+        assert_eq!(a.get("tasks"), Some("t.csv"));
+        assert_eq!(a.get_or("xmax", 0usize).unwrap(), 5);
+        assert_eq!(a.get_or("seed", 42u64).unwrap(), 42);
+    }
+
+    #[test]
+    fn no_command_is_allowed() {
+        let a = parse(&["--help", "x"]).unwrap();
+        assert!(a.command.is_none());
+        assert_eq!(a.get("help"), Some("x"));
+    }
+
+    #[test]
+    fn rejects_missing_value_and_duplicates() {
+        assert!(parse(&["gen", "--seed"]).is_err());
+        assert!(parse(&["gen", "--a", "1", "--a", "2"]).is_err());
+        assert!(parse(&["gen", "positional"]).is_err());
+    }
+
+    #[test]
+    fn require_and_unknown_checks() {
+        let a = parse(&["x", "--good", "1"]).unwrap();
+        assert!(a.require("good").is_ok());
+        assert!(a.require("bad").is_err());
+        assert!(a.reject_unknown(&["good"]).is_ok());
+        assert!(a.reject_unknown(&["other"]).is_err());
+    }
+
+    #[test]
+    fn typed_parse_errors_are_reported() {
+        let a = parse(&["x", "--n", "abc"]).unwrap();
+        let err = a.get_or("n", 0usize).unwrap_err();
+        assert!(err.to_string().contains("cannot parse"));
+    }
+}

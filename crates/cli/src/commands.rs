@@ -1,0 +1,308 @@
+//! CLI subcommand implementations.
+
+use std::error::Error;
+
+use hta_core::prelude::*;
+use hta_datagen::amt::{generate_exact, AmtConfig};
+use hta_datagen::export;
+use hta_datagen::workers::{synthetic_workers, SyntheticWorkerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::args::Args;
+
+type CmdResult = Result<(), Box<dyn Error>>;
+
+/// `hta generate` — AMT-like corpus to CSV.
+pub fn generate(args: &Args) -> CmdResult {
+    args.reject_unknown(&["tasks", "groups", "vocab", "seed", "out"])?;
+    let n_tasks: usize = args.get_or("tasks", 1000)?;
+    let n_groups: usize = args.get_or("groups", 100)?;
+    let vocab: usize = args.get_or("vocab", 500)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let out = args.require("out")?;
+
+    let cfg = AmtConfig {
+        vocab_size: vocab,
+        seed,
+        ..AmtConfig::with_totals(n_tasks, n_groups)
+    };
+    let workload = generate_exact(&cfg, n_tasks);
+    let csv = export::tasks_to_csv(&workload.space, &workload.tasks);
+    std::fs::write(out, csv)?;
+    println!(
+        "wrote {} tasks in {} groups (vocabulary {}) to {out}",
+        workload.tasks.len(),
+        workload.tasks.group_count(),
+        workload.space.len()
+    );
+    Ok(())
+}
+
+/// `hta workers` — synthetic workers over a corpus' keyword universe.
+pub fn workers(args: &Args) -> CmdResult {
+    args.reject_unknown(&["count", "keywords", "tasks", "seed", "out"])?;
+    let count: usize = args.get_or("count", 50)?;
+    let keywords: usize = args.get_or("keywords", 5)?;
+    let seed: u64 = args.get_or("seed", 0)?;
+    let tasks_file = args.require("tasks")?;
+    let out = args.require("out")?;
+
+    let (space, _) = export::tasks_from_csv(&std::fs::read_to_string(tasks_file)?)?;
+    let pool = synthetic_workers(
+        space.len(),
+        &SyntheticWorkerConfig {
+            n_workers: count,
+            keywords_per_worker: keywords,
+            seed,
+            ..Default::default()
+        },
+    );
+    std::fs::write(out, export::workers_to_csv(&space, &pool))?;
+    println!("wrote {count} workers ({keywords} keywords each) to {out}");
+    Ok(())
+}
+
+/// `hta solve` — one HTA iteration over CSV inputs.
+pub fn solve(args: &Args) -> CmdResult {
+    args.reject_unknown(&["tasks", "workers", "xmax", "algorithm", "seed", "out"])?;
+    let tasks_file = args.require("tasks")?;
+    let workers_file = args.require("workers")?;
+    let xmax: usize = args.get_or("xmax", 10)?;
+    let algorithm = args.get("algorithm").unwrap_or("gre");
+    let seed: u64 = args.get_or("seed", 0)?;
+
+    let (mut space, task_pool) = export::tasks_from_csv(&std::fs::read_to_string(tasks_file)?)?;
+    let width_before = space.len();
+    let worker_pool = export::workers_from_csv(&mut space, &std::fs::read_to_string(workers_file)?)?;
+
+    // Worker keywords may have widened the universe; re-home task vectors.
+    let tasks: Vec<Task> = task_pool
+        .tasks()
+        .iter()
+        .map(|t| {
+            let kw = if width_before == space.len() {
+                t.keywords.clone()
+            } else {
+                space.widen(&t.keywords)
+            };
+            Task::new(t.id, t.group, kw).with_reward_cents(t.reward_cents)
+        })
+        .collect();
+    let workers: Vec<Worker> = worker_pool.workers().to_vec();
+
+    let solver: Box<dyn Solver> = match algorithm {
+        "app" => Box::new(HtaApp::new()),
+        "app-hungarian" => Box::new(HtaApp::new().with_classic_hungarian()),
+        "gre" => Box::new(HtaGre::new()),
+        "greedy" => Box::new(GreedyMotivation),
+        "random" => Box::new(RandomAssign),
+        other => return Err(format!("unknown algorithm '{other}'").into()),
+    };
+
+    let inst = Instance::new(tasks, workers, xmax)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let started = std::time::Instant::now();
+    let out = solver.solve(&inst, &mut rng);
+    let elapsed = started.elapsed();
+    out.assignment.validate(&inst)?;
+
+    println!(
+        "{}: |T|={} |W|={} X_max={} -> objective {:.4} ({} tasks assigned) in {:.3}s",
+        solver.name(),
+        inst.n_tasks(),
+        inst.n_workers(),
+        xmax,
+        out.assignment.objective(&inst),
+        out.assignment.assigned_count(),
+        elapsed.as_secs_f64()
+    );
+    for q in 0..inst.n_workers() {
+        let mut ids: Vec<usize> = out.assignment.tasks_of(q).to_vec();
+        ids.sort_unstable();
+        println!("  worker {q}: {ids:?}");
+    }
+
+    if let Some(path) = args.get("out") {
+        let mut csv = String::from("worker_id,task_id\n");
+        for q in 0..inst.n_workers() {
+            for &t in out.assignment.tasks_of(q) {
+                csv.push_str(&format!("{q},{t}\n"));
+            }
+        }
+        std::fs::write(path, csv)?;
+        println!("assignment CSV written to {path}");
+    }
+    Ok(())
+}
+
+/// `hta analyze` — structural analysis of an instance.
+pub fn analyze(args: &Args) -> CmdResult {
+    args.reject_unknown(&["tasks", "workers", "xmax"])?;
+    let tasks_file = args.require("tasks")?;
+    let workers_file = args.require("workers")?;
+    let xmax: usize = args.get_or("xmax", 10)?;
+
+    let (mut space, task_pool) = export::tasks_from_csv(&std::fs::read_to_string(tasks_file)?)?;
+    let width_before = space.len();
+    let worker_pool =
+        export::workers_from_csv(&mut space, &std::fs::read_to_string(workers_file)?)?;
+    let tasks: Vec<Task> = task_pool
+        .tasks()
+        .iter()
+        .map(|t| {
+            let kw = if width_before == space.len() {
+                t.keywords.clone()
+            } else {
+                space.widen(&t.keywords)
+            };
+            Task::new(t.id, t.group, kw)
+        })
+        .collect();
+    let inst = Instance::new(tasks, worker_pool.workers().to_vec(), xmax)?;
+    let a = hta_core::analysis::analyze(&inst);
+
+    println!("instance: |T| = {}, |W| = {}, X_max = {}", a.n_tasks, a.n_workers, a.xmax);
+    let stat = |name: &str, s: &hta_core::analysis::ValueStats| {
+        println!(
+            "  {name:<14} n={:<8} min={:.3} mean={:.3} max={:.3} distinct={} degeneracy={:.3}",
+            s.count, s.min, s.mean, s.max, s.distinct, s.degeneracy()
+        );
+    };
+    stat("diversity", &a.diversity);
+    stat("relevance", &a.relevance);
+    stat("lsap-profits", &a.lsap_profits);
+    println!("  zero-diversity pairs: {:.1}%", 100.0 * a.zero_diversity_pairs);
+    println!(
+        "recommended exact-LSAP configuration: {}",
+        hta_core::analysis::recommend_lsap(&a)
+    );
+    Ok(())
+}
+
+/// `hta simulate` — the Figure 5 online experiment at custom scale.
+pub fn simulate(args: &Args) -> CmdResult {
+    args.reject_unknown(&["sessions", "catalog", "seed"])?;
+    let sessions: usize = args.get_or("sessions", 8)?;
+    let catalog: usize = args.get_or("catalog", 2000)?;
+    let seed: u64 = args.get_or("seed", 0x5E55)?;
+
+    let cfg = hta_crowd::OnlineConfig {
+        sessions_per_strategy: sessions,
+        catalog: hta_datagen::crowdflower::CrowdflowerConfig {
+            n_tasks: catalog,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    };
+    let results = hta_crowd::experiment::run(&cfg);
+    println!(
+        "{:<13} {:>9} {:>10} {:>14} {:>10} {:>11}",
+        "strategy", "%correct", "completed", "tasks/session", "mean min", "%>18.2min"
+    );
+    for r in &results.per_strategy {
+        println!(
+            "{:<13} {:>9.1} {:>10} {:>14.1} {:>10.1} {:>11.0}",
+            r.strategy.name(),
+            r.summary.percent_correct,
+            r.summary.total_completed,
+            r.summary.completed_per_session,
+            r.summary.mean_session_minutes,
+            r.summary.retention_at_probe,
+        );
+    }
+    Ok(())
+}
+
+/// `hta example` — the paper's worked example.
+pub fn example(args: &Args) -> CmdResult {
+    args.reject_unknown(&[])?;
+    let inst = hta_core::qap::paper_example();
+    println!("Paper example: |T| = 8, |W| = 2, X_max = 3 (Table I / Figure 1)");
+    for (name, solver) in [
+        ("HTA-APP", Box::new(HtaApp::new()) as Box<dyn Solver>),
+        ("HTA-GRE", Box::new(HtaGre::new())),
+    ] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let out = solver.solve(&inst, &mut rng);
+        println!("{name}: objective {:.4}", out.assignment.objective(&inst));
+        for q in 0..2 {
+            let mut ids: Vec<String> = out
+                .assignment
+                .tasks_of(q)
+                .iter()
+                .map(|t| format!("t{}", t + 1))
+                .collect();
+            ids.sort();
+            println!("  w{} <- {{{}}}", q + 1, ids.join(", "));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        Args::parse(v.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn generate_solve_pipeline_end_to_end() {
+        let dir = std::env::temp_dir().join("hta-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tasks = dir.join("tasks.csv");
+        let workers_f = dir.join("workers.csv");
+        let assignment = dir.join("assignment.csv");
+        let t = tasks.to_str().unwrap();
+        let w = workers_f.to_str().unwrap();
+        let a = assignment.to_str().unwrap();
+
+        generate(&args(&[
+            "generate", "--tasks", "60", "--groups", "12", "--vocab", "80", "--out", t,
+        ]))
+        .unwrap();
+        workers(&args(&["workers", "--count", "4", "--tasks", t, "--out", w])).unwrap();
+        solve(&args(&[
+            "solve", "--tasks", t, "--workers", w, "--xmax", "5", "--algorithm", "gre",
+            "--out", a,
+        ]))
+        .unwrap();
+
+        let csv = std::fs::read_to_string(&assignment).unwrap();
+        // header + 4 workers × 5 tasks
+        assert_eq!(csv.lines().count(), 1 + 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_rejects_unknown_algorithm() {
+        let dir = std::env::temp_dir().join("hta-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tasks = dir.join("tasks.csv");
+        let workers_f = dir.join("workers.csv");
+        let t = tasks.to_str().unwrap();
+        let w = workers_f.to_str().unwrap();
+        generate(&args(&["generate", "--tasks", "10", "--groups", "2", "--out", t])).unwrap();
+        workers(&args(&["workers", "--count", "2", "--tasks", t, "--out", w])).unwrap();
+        let err = solve(&args(&[
+            "solve", "--tasks", t, "--workers", w, "--algorithm", "nope",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown algorithm"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn example_runs() {
+        example(&args(&["example"])).unwrap();
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        assert!(generate(&args(&["generate", "--nope", "1"])).is_err());
+        assert!(simulate(&args(&["simulate", "--nope", "1"])).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! `hta` — command-line interface to the HTA motivation-aware task
+//! assignment library (Pilourdault et al., ICDE 2018).
+//!
+//! ```text
+//! hta generate --tasks 1000 --groups 100 --out tasks.csv
+//! hta workers  --count 50 --out workers.csv --tasks tasks.csv
+//! hta solve    --tasks tasks.csv --workers workers.csv --xmax 10 --algorithm gre
+//! hta simulate --sessions 8 --catalog 2000
+//! hta example
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const USAGE: &str = "\
+hta — motivation-aware task assignment (ICDE 2018 reproduction)
+
+USAGE:
+  hta <command> [--flag value]...
+
+COMMANDS:
+  generate   Generate an AMT-like task corpus CSV
+             --tasks N (1000)  --groups G (100)  --vocab V (500)
+             --seed S (0)      --out FILE (required)
+  workers    Generate a synthetic worker CSV over a task corpus' keywords
+             --count N (50)    --keywords K (5)  --tasks FILE (required)
+             --seed S (0)      --out FILE (required)
+  solve      Solve one HTA iteration over task + worker CSVs
+             --tasks FILE      --workers FILE    --xmax X (10)
+             --algorithm app|app-hungarian|gre|greedy|random (gre)
+             --seed S (0)      --out FILE (optional assignment CSV)
+  analyze    Structural analysis of a task+worker instance (degeneracy,
+             diversity/relevance distributions, solver recommendation)
+             --tasks FILE      --workers FILE    --xmax X (10)
+  simulate   Run the online crowdsourcing simulation (Figure 5 style)
+             --sessions N (8)  --catalog M (2000)  --seed S (0x5E55)
+  example    Print the paper's worked example (Table I / Figure 1)
+  help       Show this message
+";
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("generate") => commands::generate(&args),
+        Some("workers") => commands::workers(&args),
+        Some("solve") => commands::solve(&args),
+        Some("analyze") => commands::analyze(&args),
+        Some("simulate") => commands::simulate(&args),
+        Some("example") => commands::example(&args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("error: unknown command '{other}'\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Adaptive estimation of `(α_w, β_w)` from observed task completions
+//! (Section III).
+//!
+//! As a worker completes tasks, the platform records the *normalized
+//! marginal gains* of each completion: how much diversity (resp. relevance)
+//! the chosen task added, divided by the maximum gain available among the
+//! remaining assigned tasks. The per-iteration weights are the averages of
+//! the collected gains, renormalized onto the simplex (`α + β = 1`).
+
+use crate::instance::Instance;
+use crate::motivation::normalized_gains;
+use crate::worker::Weights;
+
+/// Accumulates normalized marginal gains for one worker and produces the
+/// next iteration's `(α, β)`.
+#[derive(Debug, Clone)]
+pub struct WeightEstimator {
+    prior: Weights,
+    div_gains: Vec<f64>,
+    rel_gains: Vec<f64>,
+}
+
+impl WeightEstimator {
+    /// A fresh estimator; `prior` is returned until any gain is observed
+    /// (the cold-start weights).
+    pub fn new(prior: Weights) -> Self {
+        Self {
+            prior,
+            div_gains: Vec::new(),
+            rel_gains: Vec::new(),
+        }
+    }
+
+    /// Record raw normalized gains (each already in `[0, 1]`, `None` when
+    /// the corresponding maximum gain was zero — no signal).
+    ///
+    /// # Panics
+    /// Panics (debug builds) if a provided gain is outside `[0, 1]`.
+    pub fn observe_gains(&mut self, div: Option<f64>, rel: Option<f64>) {
+        if let Some(g) = div {
+            debug_assert!((0.0..=1.0 + 1e-9).contains(&g), "gain {g} out of [0,1]");
+            self.div_gains.push(g.clamp(0.0, 1.0));
+        }
+        if let Some(g) = rel {
+            debug_assert!((0.0..=1.0 + 1e-9).contains(&g), "gain {g} out of [0,1]");
+            self.rel_gains.push(g.clamp(0.0, 1.0));
+        }
+    }
+
+    /// Observe worker `q` completing task `t` on `inst`, having already
+    /// completed `completed` (in order) out of the assigned candidate set
+    /// `remaining` (`t ∈ remaining`). Computes and records the normalized
+    /// gains of Section III.
+    pub fn observe_completion(
+        &mut self,
+        inst: &Instance,
+        q: usize,
+        completed: &[usize],
+        remaining: &[usize],
+        t: usize,
+    ) {
+        let (d, r) = normalized_gains(inst, q, completed, remaining, t);
+        self.observe_gains(d, r);
+    }
+
+    /// Number of recorded gain samples `(diversity, relevance)`.
+    pub fn sample_counts(&self) -> (usize, usize) {
+        (self.div_gains.len(), self.rel_gains.len())
+    }
+
+    /// The current estimate: averages of the collected gains, renormalized
+    /// so `α + β = 1`. Falls back to the prior with no samples at all; a
+    /// single missing component falls back to that component of the prior
+    /// before renormalizing.
+    pub fn estimate(&self) -> Weights {
+        let mean = |v: &[f64]| -> Option<f64> {
+            if v.is_empty() {
+                None
+            } else {
+                Some(v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
+        match (mean(&self.div_gains), mean(&self.rel_gains)) {
+            (None, None) => self.prior,
+            (d, r) => Weights::normalized(
+                d.unwrap_or(self.prior.alpha()),
+                r.unwrap_or(self.prior.beta()),
+            ),
+        }
+    }
+
+    /// Drop all samples, keeping the prior (e.g. at a session boundary).
+    pub fn reset(&mut self) {
+        self.div_gains.clear();
+        self.rel_gains.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn returns_prior_without_observations() {
+        let e = WeightEstimator::new(Weights::from_alpha(0.7));
+        assert_eq!(e.estimate().alpha(), 0.7);
+    }
+
+    #[test]
+    fn averages_and_renormalizes() {
+        let mut e = WeightEstimator::new(Weights::balanced());
+        e.observe_gains(Some(0.8), Some(0.2));
+        e.observe_gains(Some(0.4), Some(0.2));
+        // means: div 0.6, rel 0.2 → α = 0.6/0.8 = 0.75.
+        let w = e.estimate();
+        assert!((w.alpha() - 0.75).abs() < 1e-12);
+        assert!((w.alpha() + w.beta() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_component_uses_prior_side() {
+        let mut e = WeightEstimator::new(Weights::from_alpha(0.5));
+        e.observe_gains(None, Some(1.0));
+        // div falls back to prior α=0.5 → (0.5, 1.0) → α = 1/3.
+        let w = e.estimate();
+        assert!((w.alpha() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_gains_yield_balanced() {
+        let mut e = WeightEstimator::new(Weights::from_alpha(0.9));
+        e.observe_gains(Some(0.0), Some(0.0));
+        let w = e.estimate();
+        assert_eq!(w.alpha(), 0.5);
+    }
+
+    #[test]
+    fn reset_restores_prior() {
+        let mut e = WeightEstimator::new(Weights::from_alpha(0.25));
+        e.observe_gains(Some(1.0), Some(0.0));
+        assert_eq!(e.estimate().alpha(), 1.0);
+        e.reset();
+        assert_eq!(e.estimate().alpha(), 0.25);
+        assert_eq!(e.sample_counts(), (0, 0));
+    }
+
+    #[test]
+    fn observe_completion_integrates_with_instance() {
+        use crate::worker::Weights as W;
+        let rel = vec![0.9, 0.5, 0.1];
+        #[rustfmt::skip]
+        let div = vec![
+            0.0, 0.4, 1.0,
+            0.4, 0.0, 0.6,
+            1.0, 0.6, 0.0,
+        ];
+        let inst = Instance::from_matrices(3, &[W::balanced()], rel, div, 3).unwrap();
+        let mut e = WeightEstimator::new(W::balanced());
+        // First completion (t0): no diversity signal, rel gain 0.9/0.9 = 1.
+        e.observe_completion(&inst, 0, &[], &[0, 1, 2], 0);
+        assert_eq!(e.sample_counts(), (0, 1));
+        // Second completion (t1 out of {1,2}): div gain 0.4/1.0, rel 0.5/0.5.
+        e.observe_completion(&inst, 0, &[0], &[1, 2], 1);
+        assert_eq!(e.sample_counts(), (1, 2));
+        let w = e.estimate();
+        // means: div 0.4, rel 1.0 → α = 0.4/1.4.
+        assert!((w.alpha() - 0.4 / 1.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,299 @@
+//! Instance analysis: the structural statistics that drive HTA solver
+//! behaviour.
+//!
+//! The paper's Figures 2c and 3 are explained by *profit degeneracy* — how
+//! many distinct values the auxiliary LSAP profit matrix contains. This
+//! module computes that, plus diversity/relevance distributions, so a
+//! deployment can predict which solver configuration will be fast on its
+//! workload (`hta analyze` exposes it on the command line).
+
+use std::collections::HashSet;
+
+use crate::instance::Instance;
+use crate::qap::{c_entry, deg_a};
+
+/// Summary statistics of a value sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueStats {
+    /// Number of values sampled.
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of *distinct* values (after rounding to 12 significant
+    /// digits) — the degeneracy signal.
+    pub distinct: usize,
+}
+
+impl ValueStats {
+    /// Compute over a sample. Returns a zeroed record for empty input.
+    pub fn from_values(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self {
+                count: 0,
+                min: 0.0,
+                max: 0.0,
+                mean: 0.0,
+                distinct: 0,
+            };
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut distinct: HashSet<u64> = HashSet::new();
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            // Round to ~12 significant digits for the distinct count.
+            let rounded = if v == 0.0 {
+                0.0
+            } else {
+                let scale = 10f64.powi(12 - v.abs().log10().floor() as i32);
+                (v * scale).round() / scale
+            };
+            distinct.insert(rounded.to_bits());
+        }
+        Self {
+            count: values.len(),
+            min,
+            max,
+            mean: sum / values.len() as f64,
+            distinct: distinct.len(),
+        }
+    }
+
+    /// Degeneracy in `[0, 1]`: 1 means every value identical, 0 means all
+    /// distinct.
+    pub fn degeneracy(&self) -> f64 {
+        if self.count <= 1 {
+            return 0.0;
+        }
+        1.0 - (self.distinct.saturating_sub(1)) as f64 / (self.count - 1) as f64
+    }
+}
+
+/// A full structural analysis of an HTA instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceAnalysis {
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Per-worker capacity.
+    pub xmax: usize,
+    /// Pairwise diversity sample statistics (matrix B).
+    pub diversity: ValueStats,
+    /// Relevance statistics over all (worker, task) pairs.
+    pub relevance: ValueStats,
+    /// Statistics of the auxiliary LSAP profits `f_{k,class}` (the quantity
+    /// whose degeneracy controls Hungarian-family early termination).
+    pub lsap_profits: ValueStats,
+    /// Fraction of task pairs with zero diversity (e.g. same-group tasks).
+    pub zero_diversity_pairs: f64,
+}
+
+/// Maximum pairs sampled for the diversity statistics (the full quadratic
+/// set is sampled deterministically beyond this).
+pub const MAX_DIVERSITY_SAMPLES: usize = 200_000;
+
+/// Analyze an instance. `O(min(|T|², MAX_DIVERSITY_SAMPLES) + |T|·|W|)`.
+pub fn analyze(inst: &Instance) -> InstanceAnalysis {
+    let n = inst.n_tasks();
+    let nw = inst.n_workers();
+
+    // Diversity: all pairs if small, deterministic stride sample otherwise.
+    let total_pairs = n.saturating_sub(1) * n / 2;
+    let stride = (total_pairs / MAX_DIVERSITY_SAMPLES).max(1);
+    let mut div_values = Vec::with_capacity(total_pairs.min(MAX_DIVERSITY_SAMPLES) + 1);
+    let mut zero_pairs = 0usize;
+    let mut seen_pairs = 0usize;
+    let mut idx = 0usize;
+    for k in 0..n {
+        for l in (k + 1)..n {
+            if idx % stride == 0 {
+                let d = inst.diversity(k, l);
+                if d == 0.0 {
+                    zero_pairs += 1;
+                }
+                div_values.push(d);
+                seen_pairs += 1;
+            }
+            idx += 1;
+        }
+    }
+
+    let mut rel_values = Vec::with_capacity(nw * n);
+    for q in 0..nw {
+        for t in 0..n {
+            rel_values.push(inst.rel(q, t));
+        }
+    }
+
+    // Auxiliary profits per (task, worker-class), using b_M ≈ max incident
+    // diversity as a cheap stand-in for the matching weight (the exact b_M
+    // requires the matching; the degeneracy signal is the same).
+    let xm1 = inst.xmax() as f64 - 1.0;
+    let mut profit_values = Vec::with_capacity(n * nw);
+    for t in 0..n {
+        for q in 0..nw {
+            profit_values
+                .push(deg_a_proxy(inst, t) * xm1 * inst.alpha(q) + c_proxy(inst, t, q) * xm1);
+        }
+    }
+
+    InstanceAnalysis {
+        n_tasks: n,
+        n_workers: nw,
+        xmax: inst.xmax(),
+        diversity: ValueStats::from_values(&div_values),
+        relevance: ValueStats::from_values(&rel_values),
+        lsap_profits: ValueStats::from_values(&profit_values),
+        zero_diversity_pairs: if seen_pairs == 0 {
+            0.0
+        } else {
+            zero_pairs as f64 / seen_pairs as f64
+        },
+    }
+}
+
+fn deg_a_proxy(inst: &Instance, t: usize) -> f64 {
+    // Max diversity to a handful of probe tasks approximates b_M(t).
+    let n = inst.n_tasks();
+    let probes = [0usize, n / 3, 2 * n / 3, n - 1];
+    probes
+        .iter()
+        .filter(|&&p| p != t && p < n)
+        .map(|&p| inst.diversity(t, p))
+        .fold(0.0f64, f64::max)
+}
+
+fn c_proxy(inst: &Instance, t: usize, q: usize) -> f64 {
+    inst.beta(q) * inst.rel(q, t)
+}
+
+/// Predict which exact-LSAP configuration will be fastest for this
+/// instance, based on profit degeneracy (the Fig. 3 analysis in reverse).
+pub fn recommend_lsap(analysis: &InstanceAnalysis) -> &'static str {
+    if analysis.lsap_profits.degeneracy() > 0.9 {
+        // Highly degenerate: JV reductions resolve nearly everything.
+        "jv-dense"
+    } else if analysis.n_workers * 8 < analysis.n_tasks {
+        // Few column classes relative to tasks: the structured
+        // transportation solver dominates.
+        "structured"
+    } else {
+        "jv-dense"
+    }
+}
+
+/// Use [`deg_a`] and [`c_entry`] to validate the proxy construction in
+/// tests (kept public for the analysis tests; not part of the stable API).
+#[doc(hidden)]
+pub fn exact_profit_for_tests(inst: &Instance, bm: f64, t: usize, l: usize) -> f64 {
+    bm * deg_a(inst, l) + c_entry(inst, t, l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::Weights;
+
+    fn instance(n: usize, distinct_div: bool) -> Instance {
+        let rel: Vec<f64> = (0..n).map(|t| (t % 7) as f64 / 7.0).collect();
+        let mut div = vec![0.0; n * n];
+        for k in 0..n {
+            for l in (k + 1)..n {
+                let d = if distinct_div {
+                    0.5 + (k * n + l) as f64 / (2 * n * n) as f64
+                } else {
+                    0.75
+                };
+                div[k * n + l] = d;
+                div[l * n + k] = d;
+            }
+        }
+        Instance::from_matrices(n, &[Weights::balanced()], rel, div, 3).unwrap()
+    }
+
+    #[test]
+    fn value_stats_basics() {
+        let s = ValueStats::from_values(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.distinct, 3);
+        assert!((s.degeneracy() - (1.0 - 2.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn value_stats_empty_and_constant() {
+        let e = ValueStats::from_values(&[]);
+        assert_eq!(e.count, 0);
+        assert_eq!(e.degeneracy(), 0.0);
+        let c = ValueStats::from_values(&[0.5; 10]);
+        assert_eq!(c.distinct, 1);
+        assert_eq!(c.degeneracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_instance_reports_high_degeneracy() {
+        let constant = analyze(&instance(20, false));
+        let diverse = analyze(&instance(20, true));
+        assert!(constant.diversity.degeneracy() > 0.95);
+        assert!(diverse.diversity.degeneracy() < 0.2);
+        assert_eq!(constant.n_tasks, 20);
+        assert_eq!(constant.zero_diversity_pairs, 0.0);
+    }
+
+    #[test]
+    fn zero_diversity_fraction_detects_groups() {
+        // Two "groups" of identical tasks: half the pairs are zero.
+        let n = 8;
+        let mut div = vec![0.0; n * n];
+        for k in 0..n {
+            for l in (k + 1)..n {
+                let d = if (k < 4) == (l < 4) { 0.0 } else { 1.0 };
+                div[k * n + l] = d;
+                div[l * n + k] = d;
+            }
+        }
+        let rel = vec![0.5; n];
+        let inst = Instance::from_matrices(n, &[Weights::balanced()], rel, div, 3).unwrap();
+        let a = analyze(&inst);
+        // 2 * C(4,2) = 12 zero pairs of C(8,2) = 28.
+        assert!((a.zero_diversity_pairs - 12.0 / 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recommendation_prefers_structured_for_many_tasks_few_workers() {
+        let mut a = analyze(&instance(30, true));
+        a.n_tasks = 10_000;
+        a.n_workers = 100;
+        assert_eq!(recommend_lsap(&a), "structured");
+        // A fully degenerate instance (constant diversity *and* relevance)
+        // is best served by JV's reduction phases.
+        let n = 30;
+        let rel = vec![0.5; n];
+        let mut div = vec![0.75; n * n];
+        for k in 0..n {
+            div[k * n + k] = 0.0;
+        }
+        let inst =
+            Instance::from_matrices(n, &[Weights::balanced()], rel, div, 3).unwrap();
+        let constant = analyze(&inst);
+        assert!(constant.lsap_profits.degeneracy() > 0.9);
+        assert_eq!(recommend_lsap(&constant), "jv-dense");
+    }
+
+    #[test]
+    fn relevance_stats_cover_all_pairs() {
+        let a = analyze(&instance(14, true));
+        assert_eq!(a.relevance.count, 14);
+        assert!(a.relevance.max <= 1.0 && a.relevance.min >= 0.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Assignments: the output of an HTA solve, with constraint validation
+//! (C1, C2) and the Eq. 3 objective.
+
+use crate::error::HtaError;
+use crate::instance::Instance;
+use crate::motivation::motivation;
+
+/// An assignment of tasks to workers for one iteration: `sets[q]` holds the
+/// instance-local indices of the tasks given to worker `q`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    sets: Vec<Vec<usize>>,
+}
+
+impl Assignment {
+    /// An empty assignment over `n_workers` workers.
+    pub fn empty(n_workers: usize) -> Self {
+        Self {
+            sets: vec![Vec::new(); n_workers],
+        }
+    }
+
+    /// Build from per-worker task index sets.
+    pub fn from_sets(sets: Vec<Vec<usize>>) -> Self {
+        Self { sets }
+    }
+
+    /// The task set of worker `q`.
+    pub fn tasks_of(&self, q: usize) -> &[usize] {
+        &self.sets[q]
+    }
+
+    /// All per-worker sets.
+    pub fn sets(&self) -> &[Vec<usize>] {
+        &self.sets
+    }
+
+    /// Number of workers covered.
+    pub fn n_workers(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Total number of assigned tasks.
+    pub fn assigned_count(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Add task `t` to worker `q`'s set.
+    pub fn push(&mut self, q: usize, t: usize) {
+        self.sets[q].push(t);
+    }
+
+    /// Instance-local indices of tasks assigned to *no* worker.
+    pub fn unassigned(&self, inst: &Instance) -> Vec<usize> {
+        let mut taken = vec![false; inst.n_tasks()];
+        for set in &self.sets {
+            for &t in set {
+                taken[t] = true;
+            }
+        }
+        (0..inst.n_tasks()).filter(|&t| !taken[t]).collect()
+    }
+
+    /// Validate the HTA constraints against `inst`:
+    /// * every index in range,
+    /// * C1: `|T_w| ≤ X_max` for every worker,
+    /// * C2: the sets are pairwise disjoint.
+    pub fn validate(&self, inst: &Instance) -> Result<(), HtaError> {
+        if self.sets.len() != inst.n_workers() {
+            return Err(HtaError::WrongWorkerCount {
+                expected: inst.n_workers(),
+                found: self.sets.len(),
+            });
+        }
+        let mut taken = vec![false; inst.n_tasks()];
+        for (q, set) in self.sets.iter().enumerate() {
+            if set.len() > inst.xmax() {
+                return Err(HtaError::TooManyTasksForWorker {
+                    worker: q,
+                    assigned: set.len(),
+                    xmax: inst.xmax(),
+                });
+            }
+            for &t in set {
+                if t >= inst.n_tasks() {
+                    return Err(HtaError::TaskIndexOutOfRange {
+                        index: t,
+                        n_tasks: inst.n_tasks(),
+                    });
+                }
+                if taken[t] {
+                    return Err(HtaError::TaskAssignedTwice { task: t });
+                }
+                taken[t] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// The HTA objective (Problem 1): `Σ_w motiv(T_w, w)` under Eq. 3.
+    pub fn objective(&self, inst: &Instance) -> f64 {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(q, set)| motivation(inst, q, set))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::Weights;
+
+    fn inst(n_tasks: usize, n_workers: usize, xmax: usize) -> Instance {
+        let weights = vec![Weights::balanced(); n_workers];
+        let rel = vec![0.5; n_workers * n_tasks];
+        let mut div = vec![0.5; n_tasks * n_tasks];
+        for k in 0..n_tasks {
+            div[k * n_tasks + k] = 0.0;
+        }
+        Instance::from_matrices(n_tasks, &weights, rel, div, xmax).unwrap()
+    }
+
+    #[test]
+    fn valid_assignment_passes() {
+        let i = inst(6, 2, 2);
+        let a = Assignment::from_sets(vec![vec![0, 1], vec![2, 3]]);
+        assert!(a.validate(&i).is_ok());
+        assert_eq!(a.assigned_count(), 4);
+        assert_eq!(a.unassigned(&i), vec![4, 5]);
+    }
+
+    #[test]
+    fn c1_violation_detected() {
+        let i = inst(6, 2, 2);
+        let a = Assignment::from_sets(vec![vec![0, 1, 2], vec![]]);
+        assert!(matches!(
+            a.validate(&i),
+            Err(HtaError::TooManyTasksForWorker { worker: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn c2_violation_detected() {
+        let i = inst(6, 2, 2);
+        let a = Assignment::from_sets(vec![vec![0, 1], vec![1]]);
+        assert_eq!(a.validate(&i), Err(HtaError::TaskAssignedTwice { task: 1 }));
+    }
+
+    #[test]
+    fn out_of_range_detected() {
+        let i = inst(3, 1, 2);
+        let a = Assignment::from_sets(vec![vec![7]]);
+        assert!(matches!(
+            a.validate(&i),
+            Err(HtaError::TaskIndexOutOfRange { index: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_worker_count_detected() {
+        let i = inst(3, 2, 1);
+        let a = Assignment::from_sets(vec![vec![0]]);
+        assert!(matches!(
+            a.validate(&i),
+            Err(HtaError::WrongWorkerCount { expected: 2, found: 1 })
+        ));
+    }
+
+    #[test]
+    fn objective_sums_per_worker_motivation() {
+        // Uniform rel 0.5, div 0.5, balanced weights, 2 tasks per worker:
+        // per worker motiv = 2*0.5*0.5 + 0.5*1*(1.0) = 0.5 + 0.5 = 1.0.
+        let i = inst(4, 2, 2);
+        let a = Assignment::from_sets(vec![vec![0, 1], vec![2, 3]]);
+        assert!((a.objective(&i) - 2.0).abs() < 1e-12);
+        // Empty assignment scores zero.
+        assert_eq!(Assignment::empty(2).objective(&i), 0.0);
+    }
+
+    #[test]
+    fn push_accumulates() {
+        let mut a = Assignment::empty(2);
+        a.push(0, 3);
+        a.push(1, 4);
+        a.push(0, 5);
+        assert_eq!(a.tasks_of(0), &[3, 5]);
+        assert_eq!(a.tasks_of(1), &[4]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Error type for instance construction and assignment validation.
+
+use std::fmt;
+
+/// Errors raised by `hta-core`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HtaError {
+    /// `X_max` must be at least 1.
+    InvalidXmax,
+    /// The instance has no workers.
+    NoWorkers,
+    /// A task/worker keyword vector has a different universe width.
+    MismatchedUniverse {
+        /// Expected universe width (keywords).
+        expected: usize,
+        /// The offending vector's width.
+        found: usize,
+    },
+    /// The configured distance is not a metric; the HTA approximation
+    /// guarantees (Theorems 3 and 4) require one.
+    NonMetricDistance(&'static str),
+    /// An assignment referenced a task index out of range.
+    TaskIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of tasks in the instance.
+        n_tasks: usize,
+    },
+    /// Constraint C1 violated: a worker received more than `X_max` tasks.
+    TooManyTasksForWorker {
+        /// The overloaded worker.
+        worker: usize,
+        /// Tasks assigned to that worker.
+        assigned: usize,
+        /// The capacity limit.
+        xmax: usize,
+    },
+    /// Constraint C2 violated: a task was assigned to two workers.
+    TaskAssignedTwice {
+        /// The doubly-assigned task.
+        task: usize,
+    },
+    /// Assignment shape does not match the instance's worker count.
+    WrongWorkerCount {
+        /// Workers in the instance.
+        expected: usize,
+        /// Worker sets in the assignment.
+        found: usize,
+    },
+    /// A provided matrix had the wrong number of entries.
+    BadMatrixShape {
+        /// Expected entry count.
+        expected: usize,
+        /// Provided entry count.
+        found: usize,
+    },
+}
+
+impl fmt::Display for HtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidXmax => write!(f, "X_max must be >= 1"),
+            Self::NoWorkers => write!(f, "instance must have at least one worker"),
+            Self::MismatchedUniverse { expected, found } => write!(
+                f,
+                "keyword vector over universe of {found} keywords, expected {expected}"
+            ),
+            Self::NonMetricDistance(name) => write!(
+                f,
+                "distance '{name}' is not a metric; HTA guarantees require one \
+                 (construct the instance with allow_non_metric to override)"
+            ),
+            Self::TaskIndexOutOfRange { index, n_tasks } => {
+                write!(f, "task index {index} out of range (instance has {n_tasks})")
+            }
+            Self::TooManyTasksForWorker {
+                worker,
+                assigned,
+                xmax,
+            } => write!(
+                f,
+                "constraint C1 violated: worker {worker} got {assigned} tasks (X_max = {xmax})"
+            ),
+            Self::TaskAssignedTwice { task } => {
+                write!(f, "constraint C2 violated: task {task} assigned to two workers")
+            }
+            Self::WrongWorkerCount { expected, found } => {
+                write!(f, "assignment covers {found} workers, instance has {expected}")
+            }
+            Self::BadMatrixShape { expected, found } => {
+                write!(f, "matrix with {found} entries, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HtaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = HtaError::TooManyTasksForWorker {
+            worker: 3,
+            assigned: 7,
+            xmax: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("C1"));
+        assert!(msg.contains("worker 3"));
+        assert!(msg.contains("7"));
+
+        assert!(HtaError::NonMetricDistance("dice").to_string().contains("dice"));
+    }
+}

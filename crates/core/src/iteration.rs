@@ -1,0 +1,335 @@
+//! The adaptive iteration engine (Section III).
+//!
+//! Task assignment runs in iterations: at iteration `i` the engine freezes
+//! the available tasks `T^i` and workers `W^i` (with their current weight
+//! estimates) into an [`Instance`], solves HTA with the configured solver,
+//! and *drops assigned tasks from subsequent iterations* ("Once assigned, a
+//! task is dropped from subsequent iterations"). Worker weights may be
+//! updated between iterations from completion observations
+//! ([`crate::adaptive::WeightEstimator`]).
+
+use std::sync::Arc;
+
+use rand::Rng;
+
+use crate::error::HtaError;
+use crate::instance::Instance;
+use crate::metric::{Distance, Jaccard};
+use crate::solver::Solver;
+use crate::task::{Task, TaskId, TaskPool};
+use crate::worker::{Weights, Worker, WorkerId, WorkerPool};
+
+/// One iteration's outcome, in *global* ids.
+#[derive(Debug, Clone)]
+pub struct IterationResult {
+    /// 0-based iteration index.
+    pub iteration: usize,
+    /// `(worker, tasks assigned to that worker)`, workers in pool order.
+    pub assignments: Vec<(WorkerId, Vec<TaskId>)>,
+    /// The Eq. 3 objective achieved on this iteration's instance.
+    pub objective: f64,
+    /// Number of tasks still unassigned after this iteration.
+    pub remaining_tasks: usize,
+}
+
+/// Drives HTA across iterations over a shared task pool.
+pub struct IterationEngine {
+    tasks: TaskPool,
+    workers: WorkerPool,
+    xmax: usize,
+    distance: Arc<dyn Distance + Send + Sync>,
+    available: Vec<bool>,
+    iteration: usize,
+}
+
+impl IterationEngine {
+    /// Build an engine over `tasks` and `workers` with capacity `xmax`,
+    /// using Jaccard distance.
+    pub fn new(tasks: TaskPool, workers: WorkerPool, xmax: usize) -> Result<Self, HtaError> {
+        Self::with_distance(tasks, workers, xmax, Arc::new(Jaccard))
+    }
+
+    /// Build with a custom (metric) distance.
+    pub fn with_distance(
+        tasks: TaskPool,
+        workers: WorkerPool,
+        xmax: usize,
+        distance: Arc<dyn Distance + Send + Sync>,
+    ) -> Result<Self, HtaError> {
+        if xmax == 0 {
+            return Err(HtaError::InvalidXmax);
+        }
+        if workers.is_empty() {
+            return Err(HtaError::NoWorkers);
+        }
+        if !distance.is_metric() {
+            return Err(HtaError::NonMetricDistance(distance.name()));
+        }
+        let available = vec![true; tasks.len()];
+        Ok(Self {
+            tasks,
+            workers,
+            xmax,
+            distance,
+            available,
+            iteration: 0,
+        })
+    }
+
+    /// Tasks still available for assignment.
+    pub fn remaining_tasks(&self) -> usize {
+        self.available.iter().filter(|&&a| a).count()
+    }
+
+    /// The iteration counter (number of completed iterations).
+    pub fn iterations_run(&self) -> usize {
+        self.iteration
+    }
+
+    /// Update a worker's motivation weights (between iterations).
+    pub fn set_weights(&mut self, w: WorkerId, weights: Weights) {
+        self.workers.get_mut(w).weights = weights;
+    }
+
+    /// Current weights of a worker.
+    pub fn weights(&self, w: WorkerId) -> Weights {
+        self.workers.get(w).weights
+    }
+
+    /// Return a task to the pool (e.g. the worker abandoned it).
+    pub fn release_task(&mut self, t: TaskId) {
+        self.available[t.0 as usize] = true;
+    }
+
+    /// Run one iteration with every worker available.
+    pub fn run_iteration(
+        &mut self,
+        solver: &dyn Solver,
+        rng: &mut dyn Rng,
+    ) -> Result<IterationResult, HtaError> {
+        let all: Vec<WorkerId> = self.workers.workers().iter().map(|w| w.id).collect();
+        self.run_iteration_for(solver, rng, &all)
+    }
+
+    /// Run iterations until the task pool is exhausted or `max_iterations`
+    /// is hit, returning every iteration's result. Convenience driver for
+    /// batch experiments (the online platform drives iterations itself).
+    pub fn run_until_exhausted(
+        &mut self,
+        solver: &dyn Solver,
+        rng: &mut dyn Rng,
+        max_iterations: usize,
+    ) -> Result<Vec<IterationResult>, HtaError> {
+        let mut results = Vec::new();
+        for _ in 0..max_iterations {
+            if self.remaining_tasks() == 0 {
+                break;
+            }
+            let r = self.run_iteration(solver, rng)?;
+            let assigned: usize = r.assignments.iter().map(|(_, t)| t.len()).sum();
+            results.push(r);
+            if assigned == 0 {
+                break; // solver cannot place the remainder
+            }
+        }
+        Ok(results)
+    }
+
+    /// Run one iteration for the subset `W^i` of available workers.
+    pub fn run_iteration_for(
+        &mut self,
+        solver: &dyn Solver,
+        rng: &mut dyn Rng,
+        available_workers: &[WorkerId],
+    ) -> Result<IterationResult, HtaError> {
+        if available_workers.is_empty() {
+            return Err(HtaError::NoWorkers);
+        }
+        // Freeze T^i: the available tasks, with a local->global index map.
+        let mut local_to_global: Vec<TaskId> = Vec::new();
+        let mut local_tasks: Vec<Task> = Vec::new();
+        for task in self.tasks.tasks() {
+            if self.available[task.id.0 as usize] {
+                local_to_global.push(task.id);
+                let mut t = task.clone();
+                t.id = TaskId(local_tasks.len() as u32);
+                local_tasks.push(t);
+            }
+        }
+        // Freeze W^i.
+        let local_workers: Vec<Worker> = available_workers
+            .iter()
+            .enumerate()
+            .map(|(i, &wid)| {
+                let w = self.workers.get(wid);
+                Worker::new(WorkerId(i as u32), w.keywords.clone()).with_weights(w.weights)
+            })
+            .collect();
+
+        let inst = Instance::with_distance(
+            local_tasks,
+            local_workers,
+            self.xmax,
+            Arc::clone(&self.distance),
+            false,
+        )?;
+        let out = solver.solve(&inst, rng);
+        out.assignment.validate(&inst)?;
+        let objective = out.assignment.objective(&inst);
+
+        // Commit: drop assigned tasks from the pool.
+        let mut assignments = Vec::with_capacity(available_workers.len());
+        for (qi, &wid) in available_workers.iter().enumerate() {
+            let globals: Vec<TaskId> = out
+                .assignment
+                .tasks_of(qi)
+                .iter()
+                .map(|&local| local_to_global[local])
+                .collect();
+            for &g in &globals {
+                self.available[g.0 as usize] = false;
+            }
+            assignments.push((wid, globals));
+        }
+
+        let result = IterationResult {
+            iteration: self.iteration,
+            assignments,
+            objective,
+            remaining_tasks: self.remaining_tasks(),
+        };
+        self.iteration += 1;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::KeywordVec;
+    use crate::solver::{HtaGre, RandomAssign};
+    use crate::task::GroupId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n_tasks: usize, n_workers: usize, xmax: usize) -> IterationEngine {
+        let nbits = 32;
+        let mut tasks = TaskPool::new();
+        for i in 0..n_tasks {
+            let kw = KeywordVec::from_indices(nbits, &[i % nbits, (i * 7 + 3) % nbits]);
+            tasks.push(GroupId((i / 4) as u32), kw);
+        }
+        let mut workers = WorkerPool::new();
+        for i in 0..n_workers {
+            let kw = KeywordVec::from_indices(nbits, &[i % nbits, (i * 5 + 1) % nbits]);
+            workers.push(kw, Weights::balanced());
+        }
+        IterationEngine::new(tasks, workers, xmax).unwrap()
+    }
+
+    #[test]
+    fn tasks_are_dropped_across_iterations() {
+        let mut engine = setup(20, 2, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r1 = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        assert_eq!(r1.iteration, 0);
+        assert_eq!(r1.remaining_tasks, 20 - 6);
+        let assigned_1: Vec<TaskId> = r1
+            .assignments
+            .iter()
+            .flat_map(|(_, ts)| ts.iter().copied())
+            .collect();
+        assert_eq!(assigned_1.len(), 6);
+
+        let r2 = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        let assigned_2: Vec<TaskId> = r2
+            .assignments
+            .iter()
+            .flat_map(|(_, ts)| ts.iter().copied())
+            .collect();
+        // No task assigned twice across iterations.
+        for t in &assigned_2 {
+            assert!(!assigned_1.contains(t), "task {t:?} reassigned");
+        }
+        assert_eq!(engine.remaining_tasks(), 20 - 12);
+        assert_eq!(engine.iterations_run(), 2);
+    }
+
+    #[test]
+    fn pool_exhaustion_is_graceful() {
+        let mut engine = setup(7, 2, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        engine.run_iteration(&RandomAssign, &mut rng).unwrap();
+        let r2 = engine.run_iteration(&RandomAssign, &mut rng).unwrap();
+        // Only 1 task was left.
+        let assigned_2: usize = r2.assignments.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(assigned_2, 1);
+        assert_eq!(engine.remaining_tasks(), 0);
+        // Further iterations assign nothing but do not fail.
+        let r3 = engine.run_iteration(&RandomAssign, &mut rng).unwrap();
+        let assigned_3: usize = r3.assignments.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(assigned_3, 0);
+    }
+
+    #[test]
+    fn worker_subset_and_weight_updates() {
+        let mut engine = setup(12, 3, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        engine.set_weights(WorkerId(1), Weights::diversity_only());
+        assert_eq!(engine.weights(WorkerId(1)).alpha(), 1.0);
+        let r = engine
+            .run_iteration_for(&HtaGre::new(), &mut rng, &[WorkerId(1)])
+            .unwrap();
+        assert_eq!(r.assignments.len(), 1);
+        assert_eq!(r.assignments[0].0, WorkerId(1));
+        assert_eq!(r.assignments[0].1.len(), 2);
+    }
+
+    #[test]
+    fn run_until_exhausted_drains_the_pool() {
+        let mut engine = setup(25, 2, 3);
+        let mut rng = StdRng::seed_from_u64(8);
+        let results = engine
+            .run_until_exhausted(&HtaGre::new(), &mut rng, 100)
+            .unwrap();
+        assert_eq!(engine.remaining_tasks(), 0);
+        // 25 tasks / 6 per iteration -> 5 iterations (last one partial).
+        assert_eq!(results.len(), 5);
+        let total: usize = results
+            .iter()
+            .flat_map(|r| r.assignments.iter().map(|(_, t)| t.len()))
+            .sum();
+        assert_eq!(total, 25);
+    }
+
+    #[test]
+    fn run_until_exhausted_respects_iteration_cap() {
+        let mut engine = setup(100, 2, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        let results = engine
+            .run_until_exhausted(&HtaGre::new(), &mut rng, 3)
+            .unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(engine.remaining_tasks(), 100 - 18);
+    }
+
+    #[test]
+    fn release_task_returns_it_to_pool() {
+        let mut engine = setup(6, 1, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = engine.run_iteration(&RandomAssign, &mut rng).unwrap();
+        let t = r.assignments[0].1[0];
+        assert_eq!(engine.remaining_tasks(), 3);
+        engine.release_task(t);
+        assert_eq!(engine.remaining_tasks(), 4);
+    }
+
+    #[test]
+    fn empty_worker_subset_is_an_error() {
+        let mut engine = setup(6, 1, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(engine
+            .run_iteration_for(&RandomAssign, &mut rng, &[])
+            .is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Distance functions over keyword vectors.
+//!
+//! The paper's diversity `d(t_k, t_l)` and relevance distance `d_rel(t, w)`
+//! may be any function, but the approximation guarantees of HTA-APP and
+//! HTA-GRE **require a metric** (Section IV: "They both rely on the
+//! assumption that the distance function used to model diversity is a
+//! metric"). Jaccard distance is a metric (Besicovitch 1926); Dice distance
+//! is provided as a deliberately *non-metric* example for the checker.
+
+use crate::bitvec::KeywordVec;
+
+/// A distance over keyword vectors in `[0, 1]`.
+pub trait Distance {
+    /// The distance between two keyword vectors.
+    fn dist(&self, a: &KeywordVec, b: &KeywordVec) -> f64;
+
+    /// Human-readable name (used in logs and experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Whether this distance is known to satisfy the metric axioms. The HTA
+    /// solvers assert this; use [`check_triangle_inequality`] to validate a
+    /// custom implementation empirically.
+    fn is_metric(&self) -> bool;
+}
+
+/// Jaccard distance `1 − |a ∩ b| / |a ∪ b|`; two empty sets have distance 0.
+///
+/// This is the paper's default for both task diversity and relevance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Jaccard;
+
+impl Distance for Jaccard {
+    #[inline]
+    fn dist(&self, a: &KeywordVec, b: &KeywordVec) -> f64 {
+        let union = a.union_count(b);
+        if union == 0 {
+            return 0.0;
+        }
+        let inter = a.intersection_count(b);
+        1.0 - inter as f64 / union as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "jaccard"
+    }
+
+    fn is_metric(&self) -> bool {
+        true
+    }
+}
+
+/// Normalized Hamming distance `|a Δ b| / R` (R = universe size).
+/// A metric; useful when absence of a keyword is as informative as presence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Hamming;
+
+impl Distance for Hamming {
+    #[inline]
+    fn dist(&self, a: &KeywordVec, b: &KeywordVec) -> f64 {
+        if a.nbits() == 0 {
+            return 0.0;
+        }
+        a.symmetric_difference_count(b) as f64 / a.nbits() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "hamming"
+    }
+
+    fn is_metric(&self) -> bool {
+        true
+    }
+}
+
+/// Dice (Sørensen) distance `1 − 2|a ∩ b| / (|a| + |b|)`.
+///
+/// **Not a metric** — it violates the triangle inequality — so the HTA
+/// solvers refuse it by default. Provided to exercise the metric checker and
+/// for diversity reporting outside the optimization loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dice;
+
+impl Distance for Dice {
+    #[inline]
+    fn dist(&self, a: &KeywordVec, b: &KeywordVec) -> f64 {
+        let denom = a.count_ones() + b.count_ones();
+        if denom == 0 {
+            return 0.0;
+        }
+        1.0 - 2.0 * a.intersection_count(b) as f64 / denom as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "dice"
+    }
+
+    fn is_metric(&self) -> bool {
+        false
+    }
+}
+
+/// Weighted Jaccard distance: each keyword carries a non-negative weight;
+/// `1 − Σ_{i∈a∩b} w_i / Σ_{i∈a∪b} w_i`. A metric for non-negative weights
+/// (it is a Jaccard distance on the weighted multiset embedding).
+#[derive(Debug, Clone)]
+pub struct WeightedJaccard {
+    weights: Vec<f64>,
+}
+
+impl WeightedJaccard {
+    /// Build from per-keyword weights (indexed by keyword id).
+    ///
+    /// # Panics
+    /// Panics if any weight is negative or NaN.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        Self { weights }
+    }
+
+    fn weight(&self, i: usize) -> f64 {
+        self.weights.get(i).copied().unwrap_or(1.0)
+    }
+}
+
+impl Distance for WeightedJaccard {
+    fn dist(&self, a: &KeywordVec, b: &KeywordVec) -> f64 {
+        let mut inter = 0.0;
+        let mut union = 0.0;
+        for i in a.iter_ones() {
+            let w = self.weight(i);
+            union += w;
+            if b.get(i) {
+                inter += w;
+            }
+        }
+        for i in b.iter_ones() {
+            if !a.get(i) {
+                union += self.weight(i);
+            }
+        }
+        if union == 0.0 {
+            0.0
+        } else {
+            1.0 - inter / union
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "weighted-jaccard"
+    }
+
+    fn is_metric(&self) -> bool {
+        true
+    }
+}
+
+/// Empirically check the triangle inequality of `d` on all triples of
+/// `sample`, within tolerance `eps`. Returns the first violating triple.
+pub fn check_triangle_inequality(
+    d: &impl Distance,
+    sample: &[KeywordVec],
+    eps: f64,
+) -> Option<(usize, usize, usize)> {
+    let n = sample.len();
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                let direct = d.dist(&sample[i], &sample[k]);
+                let via = d.dist(&sample[i], &sample[j]) + d.dist(&sample[j], &sample[k]);
+                if direct > via + eps {
+                    return Some((i, j, k));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(idx: &[usize]) -> KeywordVec {
+        KeywordVec::from_indices(16, idx)
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        let j = Jaccard;
+        assert_eq!(j.dist(&v(&[0, 1]), &v(&[0, 1])), 0.0);
+        assert_eq!(j.dist(&v(&[0, 1]), &v(&[2, 3])), 1.0);
+        assert!((j.dist(&v(&[0, 1, 2]), &v(&[1, 2, 3])) - 0.5).abs() < 1e-12);
+        // Both empty: distance 0 by convention.
+        assert_eq!(j.dist(&v(&[]), &v(&[])), 0.0);
+        // One empty: maximally distant.
+        assert_eq!(j.dist(&v(&[1]), &v(&[])), 1.0);
+    }
+
+    #[test]
+    fn jaccard_is_symmetric_and_bounded() {
+        let j = Jaccard;
+        let a = v(&[0, 2, 4]);
+        let b = v(&[1, 2, 5, 7]);
+        assert_eq!(j.dist(&a, &b), j.dist(&b, &a));
+        let d = j.dist(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn hamming_basic() {
+        let h = Hamming;
+        assert_eq!(h.dist(&v(&[0]), &v(&[1])), 2.0 / 16.0);
+        assert_eq!(h.dist(&v(&[0]), &v(&[0])), 0.0);
+    }
+
+    #[test]
+    fn dice_violates_triangle_inequality() {
+        // Classic counterexample: a={0}, b={1}, c={0,1}.
+        let d = Dice;
+        let a = v(&[0]);
+        let b = v(&[1]);
+        let c = v(&[0, 1]);
+        let direct = d.dist(&a, &b); // 1.0
+        let via = d.dist(&a, &c) + d.dist(&c, &b); // 1/3 + 1/3
+        assert!(direct > via);
+        let violation = check_triangle_inequality(&d, &[a, b, c], 1e-12);
+        assert!(violation.is_some());
+        assert!(!d.is_metric());
+    }
+
+    #[test]
+    fn jaccard_passes_triangle_check_on_sample() {
+        let sample: Vec<KeywordVec> = vec![
+            v(&[]),
+            v(&[0]),
+            v(&[1]),
+            v(&[0, 1]),
+            v(&[0, 1, 2]),
+            v(&[3, 4]),
+            v(&[0, 3]),
+            v(&[5, 6, 7, 8]),
+        ];
+        assert!(check_triangle_inequality(&Jaccard, &sample, 1e-12).is_none());
+    }
+
+    #[test]
+    fn weighted_jaccard_reduces_to_jaccard_with_unit_weights() {
+        let wj = WeightedJaccard::new(vec![1.0; 16]);
+        let j = Jaccard;
+        let a = v(&[0, 2, 4]);
+        let b = v(&[2, 4, 6]);
+        assert!((wj.dist(&a, &b) - j.dist(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_respects_weights() {
+        let mut w = vec![1.0; 16];
+        w[0] = 10.0;
+        let wj = WeightedJaccard::new(w);
+        let a = v(&[0, 1]);
+        let b = v(&[0, 2]);
+        // inter = 10, union = 12 -> d = 1 - 10/12.
+        assert!((wj.dist(&a, &b) - (1.0 - 10.0 / 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_jaccard_rejects_negative_weights() {
+        let _ = WeightedJaccard::new(vec![-1.0]);
+    }
+}

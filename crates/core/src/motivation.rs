@@ -1,0 +1,164 @@
+//! The motivation model of Section II: task diversity `TD`, task relevance
+//! `TR`, and their combination `motiv` (Eq. 3), plus the marginal gains that
+//! drive the adaptive weight estimator (Section III).
+
+use crate::instance::Instance;
+
+/// Task diversity of a set of tasks (Eq. 1):
+/// `TD(T') = Σ_{k > l} d(t_k, t_l)`.
+pub fn task_diversity(inst: &Instance, tasks: &[usize]) -> f64 {
+    let mut td = 0.0;
+    for (i, &k) in tasks.iter().enumerate() {
+        for &l in &tasks[i + 1..] {
+            td += inst.diversity(k, l);
+        }
+    }
+    td
+}
+
+/// Task relevance of a set for worker `q` (Eq. 2):
+/// `TR(T', w) = Σ_t rel(t, w)`.
+pub fn task_relevance(inst: &Instance, q: usize, tasks: &[usize]) -> f64 {
+    tasks.iter().map(|&t| inst.rel(q, t)).sum()
+}
+
+/// Expected motivation of worker `q` for a set of tasks (Eq. 3):
+/// `motiv(T', w) = 2·α_w·TD(T') + β_w·(|T'|−1)·TR(T', w)`.
+///
+/// The factors `2` and `(|T'|−1)` normalize the quadratic diversity term and
+/// the linear relevance term onto the same scale (after Gollapudi & Sharma).
+/// An empty or singleton set has zero diversity; a singleton also has zero
+/// motivation under the `(|T'|−1)` factor.
+pub fn motivation(inst: &Instance, q: usize, tasks: &[usize]) -> f64 {
+    if tasks.is_empty() {
+        return 0.0;
+    }
+    let td = task_diversity(inst, tasks);
+    let tr = task_relevance(inst, q, tasks);
+    2.0 * inst.alpha(q) * td + inst.beta(q) * (tasks.len() as f64 - 1.0) * tr
+}
+
+/// Marginal diversity gain of completing task `t` after `completed`
+/// (Section III): `Σ_{t_k ∈ completed} d(t, t_k)`.
+pub fn marginal_diversity(inst: &Instance, completed: &[usize], t: usize) -> f64 {
+    completed.iter().map(|&k| inst.diversity(t, k)).sum()
+}
+
+/// Marginal relevance gain of task `t` for worker `q`: `rel(t, w)`.
+pub fn marginal_relevance(inst: &Instance, q: usize, t: usize) -> f64 {
+    inst.rel(q, t)
+}
+
+/// The normalized marginal gains observed when worker `q`, having already
+/// completed `completed` (in order), completes `t` out of the candidate set
+/// `remaining` (which must contain `t`): each gain is divided by the maximum
+/// gain achievable over `remaining`. Returns `(g_div, g_rel)`, each in
+/// `[0, 1]`; a component whose maximum possible gain is 0 is reported as
+/// `None` (no signal).
+pub fn normalized_gains(
+    inst: &Instance,
+    q: usize,
+    completed: &[usize],
+    remaining: &[usize],
+    t: usize,
+) -> (Option<f64>, Option<f64>) {
+    debug_assert!(remaining.contains(&t), "t must be among the candidates");
+    let gd = marginal_diversity(inst, completed, t);
+    let gr = marginal_relevance(inst, q, t);
+    let max_gd = remaining
+        .iter()
+        .map(|&c| marginal_diversity(inst, completed, c))
+        .fold(0.0f64, f64::max);
+    let max_gr = remaining
+        .iter()
+        .map(|&c| marginal_relevance(inst, q, c))
+        .fold(0.0f64, f64::max);
+    let nd = if max_gd > 0.0 { Some(gd / max_gd) } else { None };
+    let nr = if max_gr > 0.0 { Some(gr / max_gr) } else { None };
+    (nd, nr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::Weights;
+
+    /// 3 tasks, 1 worker; explicit matrices for easy arithmetic.
+    fn fixture(alpha: f64) -> Instance {
+        let rel = vec![0.9, 0.5, 0.1];
+        #[rustfmt::skip]
+        let div = vec![
+            0.0, 0.4, 1.0,
+            0.4, 0.0, 0.6,
+            1.0, 0.6, 0.0,
+        ];
+        Instance::from_matrices(3, &[Weights::from_alpha(alpha)], rel, div, 3).unwrap()
+    }
+
+    #[test]
+    fn diversity_sums_unordered_pairs() {
+        let inst = fixture(0.5);
+        assert!((task_diversity(&inst, &[0, 1, 2]) - 2.0).abs() < 1e-12);
+        assert!((task_diversity(&inst, &[0, 2]) - 1.0).abs() < 1e-12);
+        assert_eq!(task_diversity(&inst, &[1]), 0.0);
+        assert_eq!(task_diversity(&inst, &[]), 0.0);
+    }
+
+    #[test]
+    fn relevance_sums_members() {
+        let inst = fixture(0.5);
+        assert!((task_relevance(&inst, 0, &[0, 2]) - 1.0).abs() < 1e-12);
+        assert_eq!(task_relevance(&inst, 0, &[]), 0.0);
+    }
+
+    #[test]
+    fn motivation_matches_eq3_by_hand() {
+        let inst = fixture(0.3);
+        // T' = {0, 1}: TD = 0.4, TR = 1.4, |T'|-1 = 1.
+        // motiv = 2*0.3*0.4 + 0.7*1*1.4 = 0.24 + 0.98 = 1.22.
+        assert!((motivation(&inst, 0, &[0, 1]) - 1.22).abs() < 1e-12);
+    }
+
+    #[test]
+    fn motivation_of_singleton_and_empty() {
+        let inst = fixture(0.3);
+        assert_eq!(motivation(&inst, 0, &[]), 0.0);
+        // Singleton: TD = 0, (|T'|-1) = 0 → 0.
+        assert_eq!(motivation(&inst, 0, &[0]), 0.0);
+    }
+
+    #[test]
+    fn pure_diversity_ignores_relevance() {
+        let inst = fixture(1.0);
+        let m = motivation(&inst, 0, &[0, 2]);
+        assert!((m - 2.0 * 1.0).abs() < 1e-12); // 2*α*d(0,2) = 2*1*1.0
+    }
+
+    #[test]
+    fn marginal_gains() {
+        let inst = fixture(0.5);
+        assert!((marginal_diversity(&inst, &[0, 1], 2) - 1.6).abs() < 1e-12);
+        assert_eq!(marginal_diversity(&inst, &[], 2), 0.0);
+        assert_eq!(marginal_relevance(&inst, 0, 0), 0.9);
+    }
+
+    #[test]
+    fn normalized_gains_divide_by_best_candidate() {
+        let inst = fixture(0.5);
+        // Completed {0}; candidates {1, 2}; completing 1:
+        // gd(1) = d(1,0) = 0.4; max over {1,2} = d(2,0) = 1.0 → 0.4.
+        // gr(1) = 0.5; max = 0.5 (t1) vs 0.1 (t2) → 1.0.
+        let (nd, nr) = normalized_gains(&inst, 0, &[0], &[1, 2], 1);
+        assert!((nd.unwrap() - 0.4).abs() < 1e-12);
+        assert!((nr.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_gains_report_none_without_signal() {
+        // First completion: no prior tasks → max diversity gain is 0.
+        let inst = fixture(0.5);
+        let (nd, nr) = normalized_gains(&inst, 0, &[], &[0, 1, 2], 0);
+        assert!(nd.is_none());
+        assert!(nr.is_some());
+    }
+}

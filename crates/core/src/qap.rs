@@ -1,0 +1,329 @@
+//! The HTA → MaxQAP mapping of Section IV-A (Equations 4–8).
+//!
+//! HTA is mapped onto a Maximum Quadratic Assignment instance over three
+//! `|T| × |T|` matrices:
+//!
+//! * **A** (Eq. 4) — adjacency matrix of `|W|` disjoint cliques of `X_max`
+//!   vertices (one clique per worker, edges weighted `α_w`) plus
+//!   `|T| − |W|·X_max` isolated vertices;
+//! * **B** (Eq. 5) — `b_{k,l} = d(t_k, t_l)`, the pairwise task diversity;
+//! * **C** (Eq. 6) — `c_{k,l} = β_w·rel(w, t_k)·(X_max − 1)` when column `l`
+//!   belongs to worker `w`'s clique, else 0.
+//!
+//! A permutation `π` of the vertices then induces the assignment
+//! `T_{w_q} = { t_k | ⌈π(k)/X_max⌉ = q }` (Eq. 7), and its QAP value equals
+//! the HTA objective (Eq. 8) whenever every clique is fully used.
+//!
+//! **Paper typo, resolved** (see DESIGN.md §1): Eq. 6 as printed gates the
+//! non-zero columns on `l ≤ |T| − |W|·X_max`, contradicting Example 1 /
+//! Figure 1 where the *first* `|W|·X_max` columns carry the relevance
+//! profits (`c_{1,1} = (X_max−1)·β_{w1}·rel(w1, t_1)`). We follow the worked
+//! example: column `l` (1-indexed) is worker `⌈l/X_max⌉`'s when
+//! `⌈l/X_max⌉ ≤ |W|`.
+
+use crate::assignment::Assignment;
+use crate::instance::Instance;
+use crate::worker::Weights;
+use hta_matching::DenseMatrix;
+
+/// The worker owning QAP vertex `v` (0-indexed), if any: vertex `v` belongs
+/// to worker `v / X_max` when that quotient is a valid worker index;
+/// otherwise the vertex is isolated.
+#[inline]
+pub fn worker_of_vertex(v: usize, xmax: usize, n_workers: usize) -> Option<usize> {
+    let q = v / xmax;
+    (q < n_workers).then_some(q)
+}
+
+/// Row/column sum of A at vertex `v`: `degA_v = (X_max − 1)·α_w` for clique
+/// vertices, 0 for isolated ones. Used in the auxiliary LSAP profit
+/// `f_{k,l} = b_M(t_k)·degA_l + c_{k,l}` (Algorithm 1, lines 3–4 and 10).
+#[inline]
+pub fn deg_a(inst: &Instance, v: usize) -> f64 {
+    match worker_of_vertex(v, inst.xmax(), inst.n_workers()) {
+        Some(q) => (inst.xmax() as f64 - 1.0) * inst.alpha(q),
+        None => 0.0,
+    }
+}
+
+/// Entry `c_{k,l}` of matrix C (Eq. 6, with the typo fix above): the
+/// relevance profit of placing task `k` on vertex `l`.
+#[inline]
+pub fn c_entry(inst: &Instance, k: usize, l: usize) -> f64 {
+    match worker_of_vertex(l, inst.xmax(), inst.n_workers()) {
+        Some(q) => inst.beta(q) * inst.rel(q, k) * (inst.xmax() as f64 - 1.0),
+        None => 0.0,
+    }
+}
+
+fn assert_mappable(inst: &Instance) {
+    assert!(
+        inst.n_tasks() >= inst.n_workers() * inst.xmax(),
+        "QAP mapping requires |T| >= |W| * X_max ({} < {} * {}); \
+         the solvers pad scarce instances before mapping",
+        inst.n_tasks(),
+        inst.n_workers(),
+        inst.xmax()
+    );
+}
+
+/// Materialize matrix A (Eq. 4). Intended for tests and small instances —
+/// solvers use [`deg_a`] and the clique structure implicitly.
+pub fn build_dense_a(inst: &Instance) -> DenseMatrix {
+    assert_mappable(inst);
+    let n = inst.n_tasks();
+    let xmax = inst.xmax();
+    let nw = inst.n_workers();
+    DenseMatrix::from_fn(n, |k, l| {
+        if k == l {
+            return 0.0;
+        }
+        match (worker_of_vertex(k, xmax, nw), worker_of_vertex(l, xmax, nw)) {
+            (Some(qk), Some(ql)) if qk == ql => inst.alpha(qk),
+            _ => 0.0,
+        }
+    })
+}
+
+/// Materialize matrix B (Eq. 5): pairwise task diversities.
+pub fn build_dense_b(inst: &Instance) -> DenseMatrix {
+    let n = inst.n_tasks();
+    DenseMatrix::from_fn(n, |k, l| inst.diversity(k, l))
+}
+
+/// Materialize matrix C (Eq. 6, typo-fixed).
+pub fn build_dense_c(inst: &Instance) -> DenseMatrix {
+    assert_mappable(inst);
+    let n = inst.n_tasks();
+    DenseMatrix::from_fn(n, |k, l| c_entry(inst, k, l))
+}
+
+/// The MaxQAP objective of permutation `π` (Eq. 8, left as the paper writes
+/// it): `Σ_{k≠l} a_{π(k),π(l)}·b_{k,l} + Σ_k c_{k,π(k)}`.
+///
+/// `O(n²)`; exact equality with [`Assignment::objective`] holds when every
+/// worker's clique is completely filled (Lemmas 1–2).
+pub fn qap_objective(inst: &Instance, pi: &[usize]) -> f64 {
+    assert_mappable(inst);
+    let n = inst.n_tasks();
+    assert_eq!(pi.len(), n, "permutation length must equal |T|");
+    let xmax = inst.xmax();
+    let nw = inst.n_workers();
+    let mut total = 0.0;
+    for k in 0..n {
+        total += c_entry(inst, k, pi[k]);
+        for l in 0..n {
+            if k == l {
+                continue;
+            }
+            if let (Some(qk), Some(ql)) = (
+                worker_of_vertex(pi[k], xmax, nw),
+                worker_of_vertex(pi[l], xmax, nw),
+            ) {
+                if qk == ql {
+                    total += inst.alpha(qk) * inst.diversity(k, l);
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Convert a QAP permutation into an HTA assignment (Eq. 7):
+/// `T_{w_q} = { t_k | ⌈π(k)/X_max⌉ = q }`. Rows `k ≥ n_real` (virtual
+/// padding tasks added by the solvers) are skipped.
+pub fn assignment_from_permutation(
+    pi: &[usize],
+    n_real: usize,
+    xmax: usize,
+    n_workers: usize,
+) -> Assignment {
+    let mut a = Assignment::empty(n_workers);
+    for (k, &v) in pi.iter().enumerate().take(n_real) {
+        if let Some(q) = worker_of_vertex(v, xmax, n_workers) {
+            a.push(q, k);
+        }
+    }
+    a
+}
+
+/// The paper's running example (Table I, Examples 1–3): 2 workers, 8 tasks,
+/// `X_max = 3`, `α_{w1} = 0.2, β_{w1} = 0.8, α_{w2} = 0.6, β_{w2} = 0.3`.
+///
+/// Note the paper's own example weights do not satisfy `α + β = 1` for `w2`
+/// (0.6 + 0.3 = 0.9); we reproduce them verbatim via [`Weights::raw`].
+///
+/// The paper gives only the diversities that matter to Example 3's matching
+/// (`d(t4,t8) = d(t1,t6) = 1`, `d(t3,t2) = 0.86`, `d(t7,t5) = 0.8`); every
+/// other pair is set to 0.5, which keeps `d` a metric (all values in
+/// `[0.5, 1]` trivially satisfy the triangle inequality) and makes the
+/// greedy matching reproduce exactly the `M_B` of Example 3.
+pub fn paper_example() -> Instance {
+    let n = 8;
+    // Table I, worker-major.
+    #[rustfmt::skip]
+    let rel = vec![
+        // w1
+        0.28, 0.25, 0.20, 0.43, 0.67, 0.40, 0.00, 0.40,
+        // w2
+        0.30, 0.00, 0.20, 0.25, 0.25, 0.00, 0.00, 0.40,
+    ];
+    let mut div = vec![0.5; n * n];
+    for k in 0..n {
+        div[k * n + k] = 0.0;
+    }
+    let mut set = |a: usize, b: usize, v: f64| {
+        div[(a - 1) * n + (b - 1)] = v;
+        div[(b - 1) * n + (a - 1)] = v;
+    };
+    set(4, 8, 1.0);
+    set(1, 6, 1.0);
+    set(3, 2, 0.86);
+    set(7, 5, 0.8);
+
+    let weights = [Weights::raw(0.2, 0.8), Weights::raw(0.6, 0.3)];
+    Instance::from_matrices(n, &weights, rel, div, 3).expect("fixture is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motivation::motivation;
+
+    #[test]
+    fn vertex_to_worker_mapping() {
+        // X_max = 3, 2 workers: vertices 0-2 -> w0, 3-5 -> w1, 6+ isolated.
+        assert_eq!(worker_of_vertex(0, 3, 2), Some(0));
+        assert_eq!(worker_of_vertex(2, 3, 2), Some(0));
+        assert_eq!(worker_of_vertex(3, 3, 2), Some(1));
+        assert_eq!(worker_of_vertex(5, 3, 2), Some(1));
+        assert_eq!(worker_of_vertex(6, 3, 2), None);
+        assert_eq!(worker_of_vertex(7, 3, 2), None);
+    }
+
+    #[test]
+    fn paper_example_matrix_a() {
+        // Figure 1: first 3×3 block weighted 0.2, second 0.6, rest zero.
+        let inst = paper_example();
+        let a = build_dense_a(&inst);
+        assert_eq!(a.get(0, 1), 0.2);
+        assert_eq!(a.get(1, 2), 0.2);
+        assert_eq!(a.get(0, 0), 0.0); // zero diagonal
+        assert_eq!(a.get(3, 4), 0.6);
+        assert_eq!(a.get(5, 3), 0.6);
+        assert_eq!(a.get(2, 3), 0.0); // across cliques
+        assert_eq!(a.get(6, 7), 0.0); // isolated vertices
+        assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn paper_example_matrix_c() {
+        // Figure 1: c_{1,1} = 2 × 0.8 × 0.28 = 0.448 (0-indexed c[0][0]).
+        let inst = paper_example();
+        let c = build_dense_c(&inst);
+        assert!((c.get(0, 0) - 2.0 * 0.8 * 0.28).abs() < 1e-12);
+        assert!((c.get(1, 0) - 2.0 * 0.8 * 0.25).abs() < 1e-12);
+        assert!((c.get(5, 2) - 2.0 * 0.8 * 0.40).abs() < 1e-12);
+        // Worker 2 block: 2 × 0.3 × rel(w2, ·).
+        assert!((c.get(0, 3) - 2.0 * 0.3 * 0.30).abs() < 1e-12);
+        assert!((c.get(7, 5) - 2.0 * 0.3 * 0.40).abs() < 1e-12);
+        // Columns 7-8 (isolated vertices): all zero.
+        for k in 0..8 {
+            assert_eq!(c.get(k, 6), 0.0);
+            assert_eq!(c.get(k, 7), 0.0);
+        }
+        // Columns within one worker's block are identical.
+        for k in 0..8 {
+            assert_eq!(c.get(k, 0), c.get(k, 1));
+            assert_eq!(c.get(k, 3), c.get(k, 5));
+        }
+    }
+
+    #[test]
+    fn paper_example_matrix_b_symmetric_metric_values() {
+        let inst = paper_example();
+        let b = build_dense_b(&inst);
+        assert!(b.is_symmetric(1e-12));
+        assert_eq!(b.get(3, 7), 1.0); // d(t4, t8)
+        assert_eq!(b.get(0, 5), 1.0); // d(t1, t6)
+        assert_eq!(b.get(2, 1), 0.86);
+        assert_eq!(b.get(6, 4), 0.8);
+        assert_eq!(b.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn deg_a_matches_row_sums() {
+        let inst = paper_example();
+        let a = build_dense_a(&inst);
+        for v in 0..8 {
+            assert!((deg_a(&inst, v) - a.row_sum(v)).abs() < 1e-12, "vertex {v}");
+        }
+        // Clique vertices: (X_max − 1)·α.
+        assert!((deg_a(&inst, 0) - 0.4).abs() < 1e-12);
+        assert!((deg_a(&inst, 4) - 1.2).abs() < 1e-12);
+        assert_eq!(deg_a(&inst, 7), 0.0);
+    }
+
+    #[test]
+    fn example_2_permutation_yields_papers_assignment() {
+        // Example 2: π(1) = 4, π(4) = 1, identity elsewhere (1-indexed)
+        // → T_w1 = {t4, t2, t3}, T_w2 = {t1, t5, t6}, t7 and t8 unassigned.
+        let pi0: Vec<usize> = vec![3, 1, 2, 0, 4, 5, 6, 7]; // 0-indexed
+        let a = assignment_from_permutation(&pi0, 8, 3, 2);
+        let mut w1: Vec<usize> = a.tasks_of(0).to_vec();
+        w1.sort_unstable();
+        assert_eq!(w1, vec![1, 2, 3]); // t2, t3, t4
+        let mut w2: Vec<usize> = a.tasks_of(1).to_vec();
+        w2.sort_unstable();
+        assert_eq!(w2, vec![0, 4, 5]); // t1, t5, t6
+        assert_eq!(a.assigned_count(), 6);
+    }
+
+    #[test]
+    fn eq8_objective_identity_on_full_cliques() {
+        // For any permutation filling both cliques, the QAP objective equals
+        // Σ_w motiv(T_w, w) (Lemmas 1–2 / Eq. 8).
+        let inst = paper_example();
+        let perms: Vec<Vec<usize>> = vec![
+            (0..8).collect(),
+            vec![3, 1, 2, 0, 4, 5, 6, 7],
+            vec![7, 6, 5, 4, 3, 2, 1, 0],
+            vec![2, 0, 1, 5, 3, 4, 7, 6],
+        ];
+        for pi in perms {
+            let qap = qap_objective(&inst, &pi);
+            let assign = assignment_from_permutation(&pi, 8, 3, 2);
+            let mut direct = 0.0;
+            for q in 0..2 {
+                direct += motivation(&inst, q, assign.tasks_of(q));
+            }
+            assert!(
+                (qap - direct).abs() < 1e-9,
+                "pi={pi:?}: qap={qap} direct={direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_rows_are_skipped() {
+        let pi0: Vec<usize> = vec![0, 1, 2, 3, 4, 5, 6, 7];
+        // Pretend rows 6, 7 are padding: they must not appear.
+        let a = assignment_from_permutation(&pi0, 6, 3, 2);
+        assert_eq!(a.assigned_count(), 6);
+        assert!(a.tasks_of(1).iter().all(|&t| t < 6));
+    }
+
+    #[test]
+    #[should_panic(expected = "QAP mapping requires")]
+    fn dense_builders_reject_scarce_instances() {
+        let inst = Instance::from_matrices(
+            2,
+            &[Weights::balanced()],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0, 0.0, 0.0],
+            3, // 1 worker × X_max 3 > 2 tasks
+        )
+        .unwrap();
+        let _ = build_dense_a(&inst);
+    }
+}

@@ -1,0 +1,231 @@
+//! Exact HTA solver by exhaustive search with pruning.
+//!
+//! HTA is NP-hard (Theorem 1), so this solver is exponential; it exists to
+//! back the approximation-ratio tests (HTA-APP ≥ ¼·OPT, HTA-GRE ≥ ⅛·OPT
+//! in expectation; far better in practice) and tiny-instance debugging.
+//!
+//! Enumeration assigns tasks one at a time to a worker or to "unassigned",
+//! pruning branches whose optimistic bound cannot beat the incumbent.
+
+use rand::Rng;
+
+use crate::assignment::Assignment;
+use crate::instance::Instance;
+use crate::motivation::motivation;
+use crate::solver::{PhaseTimings, SolveOutcome, Solver};
+
+/// Exhaustive exact solver for small instances.
+///
+/// # Panics
+/// `solve` panics if the instance has more than [`ExactSolver::MAX_TASKS`]
+/// tasks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactSolver;
+
+impl ExactSolver {
+    /// Hard ceiling on instance size to keep the search tractable.
+    pub const MAX_TASKS: usize = 12;
+}
+
+struct Search<'a> {
+    inst: &'a Instance,
+    /// Per-task optimistic contribution: an upper bound on how much adding
+    /// this task anywhere can add to the objective.
+    task_bound: Vec<f64>,
+    sets: Vec<Vec<usize>>,
+    best_sets: Vec<Vec<usize>>,
+    best: f64,
+}
+
+impl Search<'_> {
+    fn current_objective(&self) -> f64 {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(q, s)| motivation(self.inst, q, s))
+            .sum()
+    }
+
+    /// Upper bound on the objective of any completion of the current partial
+    /// assignment, restricted to the already-placed tasks' contributions:
+    /// relevance is counted at its maximal weight `(X_max − 1)` because the
+    /// true weight `(|T_w| − 1)` can only grow as future tasks join a set.
+    fn upper_partial(&self) -> f64 {
+        let xm1 = self.inst.xmax() as f64 - 1.0;
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(q, s)| {
+                2.0 * self.inst.alpha(q) * crate::motivation::task_diversity(self.inst, s)
+                    + self.inst.beta(q)
+                        * xm1
+                        * crate::motivation::task_relevance(self.inst, q, s)
+            })
+            .sum()
+    }
+
+    fn dfs(&mut self, t: usize) {
+        let n = self.inst.n_tasks();
+        if t == n {
+            let obj = self.current_objective();
+            if obj > self.best {
+                self.best = obj;
+                self.best_sets = self.sets.clone();
+            }
+            return;
+        }
+        // Optimistic bound: any completion's objective is at most the
+        // upper-counted partial value plus the best-case contribution of
+        // every remaining task.
+        let remaining_bound: f64 = self.task_bound[t..].iter().sum();
+        if self.upper_partial() + remaining_bound <= self.best {
+            return;
+        }
+        // Try assigning task t to each worker with spare capacity.
+        for q in 0..self.inst.n_workers() {
+            if self.sets[q].len() < self.inst.xmax() {
+                self.sets[q].push(t);
+                self.dfs(t + 1);
+                self.sets[q].pop();
+            }
+        }
+        // Or leave it unassigned.
+        self.dfs(t + 1);
+    }
+}
+
+impl Solver for ExactSolver {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn solve(&self, inst: &Instance, _rng: &mut dyn Rng) -> SolveOutcome {
+        let n = inst.n_tasks();
+        assert!(
+            n <= Self::MAX_TASKS,
+            "ExactSolver is exponential; limited to {} tasks, got {n}",
+            Self::MAX_TASKS
+        );
+        let start = std::time::Instant::now();
+
+        // Optimistic per-task bound: placing task t with X_max−1 other tasks
+        // at maximal pairwise diversity plus its own relevance term.
+        let xm1 = inst.xmax() as f64 - 1.0;
+        let task_bound: Vec<f64> = (0..n)
+            .map(|t| {
+                let dmax = (0..n)
+                    .filter(|&u| u != t)
+                    .map(|u| inst.diversity(t, u))
+                    .fold(0.0f64, f64::max);
+                (0..inst.n_workers())
+                    .map(|q| {
+                        2.0 * inst.alpha(q) * dmax * xm1
+                            + inst.beta(q) * xm1 * inst.rel(q, t)
+                    })
+                    .fold(0.0f64, f64::max)
+            })
+            .collect();
+
+        let mut search = Search {
+            inst,
+            task_bound,
+            sets: vec![Vec::new(); inst.n_workers()],
+            best_sets: vec![Vec::new(); inst.n_workers()],
+            best: 0.0,
+        };
+        search.dfs(0);
+
+        let assignment = Assignment::from_sets(search.best_sets);
+        debug_assert!(assignment.validate(inst).is_ok());
+        SolveOutcome {
+            assignment,
+            timings: PhaseTimings {
+                matching: std::time::Duration::ZERO,
+                lsap: std::time::Duration::ZERO,
+                total: start.elapsed(),
+            },
+            lsap_value: 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::Weights;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn finds_the_obvious_optimum() {
+        // 1 worker, X_max = 2, pure relevance: must take the two most
+        // relevant tasks.
+        let rel = vec![0.1, 0.9, 0.8, 0.2];
+        let mut div = vec![0.0; 16];
+        for k in 0..4 {
+            for l in 0..4 {
+                if k != l {
+                    div[k * 4 + l] = 0.5;
+                }
+            }
+        }
+        let inst =
+            Instance::from_matrices(4, &[Weights::relevance_only()], rel, div, 2).unwrap();
+        let out = ExactSolver.solve(&inst, &mut rng());
+        let mut set = out.assignment.tasks_of(0).to_vec();
+        set.sort_unstable();
+        assert_eq!(set, vec![1, 2]);
+        // motiv = 2*0*TD + 1*(2-1)*(0.9+0.8) = 1.7.
+        assert!((out.assignment.objective(&inst) - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_diversity_picks_most_diverse_pair() {
+        // 1 worker, X_max = 2, pure diversity.
+        #[rustfmt::skip]
+        let div = vec![
+            0.0, 0.2, 0.9,
+            0.2, 0.0, 0.3,
+            0.9, 0.3, 0.0,
+        ];
+        let rel = vec![0.0; 3];
+        let inst =
+            Instance::from_matrices(3, &[Weights::diversity_only()], rel, div, 2).unwrap();
+        let out = ExactSolver.solve(&inst, &mut rng());
+        let mut set = out.assignment.tasks_of(0).to_vec();
+        set.sort_unstable();
+        assert_eq!(set, vec![0, 2]);
+        assert!((out.assignment.objective(&inst) - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_capacity_and_disjointness() {
+        let n = 6;
+        let rel = vec![0.5; 2 * n];
+        let mut div = vec![0.6; n * n];
+        for k in 0..n {
+            div[k * n + k] = 0.0;
+        }
+        let inst =
+            Instance::from_matrices(n, &[Weights::balanced(); 2], rel, div, 2).unwrap();
+        let out = ExactSolver.solve(&inst, &mut rng());
+        out.assignment.validate(&inst).unwrap();
+        assert!(out.assignment.tasks_of(0).len() <= 2);
+        assert!(out.assignment.tasks_of(1).len() <= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponential")]
+    fn refuses_large_instances() {
+        let n = 13;
+        let rel = vec![0.5; n];
+        let div = vec![0.0; n * n];
+        let inst =
+            Instance::from_matrices(n, &[Weights::balanced()], rel, div, 2).unwrap();
+        let _ = ExactSolver.solve(&inst, &mut rng());
+    }
+}

@@ -1,0 +1,274 @@
+//! Local-search post-optimization of assignments (extension).
+//!
+//! HTA-APP/HTA-GRE optimize an auxiliary *linear* proxy of the quadratic
+//! objective, so their output usually leaves easy gains on the table. This
+//! hill climber repeatedly applies the best of three move types until no
+//! move improves Eq. 3:
+//!
+//! * **swap** — exchange two tasks between two workers;
+//! * **replace** — swap an assigned task with an unassigned one;
+//! * **move** — shift a task to a worker with spare capacity.
+//!
+//! The search is anytime (bounded by `max_passes`) and preserves C1/C2 by
+//! construction. Used standalone ([`LocalSearch`] wraps any inner solver)
+//! and in the `ablations` bench to quantify how far the approximations sit
+//! from a local optimum.
+
+use rand::Rng;
+
+use crate::assignment::Assignment;
+use crate::instance::Instance;
+use crate::solver::{SolveOutcome, Solver};
+
+/// Wraps an inner solver and improves its assignment to a local optimum of
+/// the true objective.
+pub struct LocalSearch<S> {
+    inner: S,
+    max_passes: usize,
+}
+
+impl<S: Solver> LocalSearch<S> {
+    /// Improve `inner`'s output; `max_passes` bounds full improvement
+    /// sweeps (each pass is `O(|T|·|W|·X_max)` move evaluations).
+    pub fn new(inner: S, max_passes: usize) -> Self {
+        Self { inner, max_passes }
+    }
+}
+
+impl<S: Solver> Solver for LocalSearch<S> {
+    fn name(&self) -> &'static str {
+        "local-search"
+    }
+
+    fn solve(&self, inst: &Instance, rng: &mut dyn Rng) -> SolveOutcome {
+        let mut out = self.inner.solve(inst, rng);
+        let improved = improve(inst, &out.assignment, self.max_passes);
+        out.assignment = improved;
+        debug_assert!(out.assignment.validate(inst).is_ok());
+        out
+    }
+}
+
+/// The marginal value task `t` contributes to worker `q`'s set `set`
+/// (which must not contain `t`).
+fn contribution(inst: &Instance, q: usize, set: &[usize], t: usize) -> f64 {
+    // Δ = motiv(S) − motiv(S\{t})
+    //   = 2α·Σ_{k∈S\t} d(t,k) + β·(TR(S\t) + (|S|−1)·rel(t))
+    // `set` may be given either as S (containing t) or as S\{t}; `others`
+    // is |S|−1 in both conventions.
+    let others: Vec<usize> = set.iter().copied().filter(|&k| k != t).collect();
+    let sum_div: f64 = others.iter().map(|&k| inst.diversity(t, k)).sum();
+    let tr_others: f64 = others.iter().map(|&k| inst.rel(q, k)).sum();
+    2.0 * inst.alpha(q) * sum_div
+        + inst.beta(q) * (tr_others + others.len() as f64 * inst.rel(q, t))
+}
+
+/// Run improvement passes until a local optimum or the pass budget.
+pub fn improve(inst: &Instance, start: &Assignment, max_passes: usize) -> Assignment {
+    let mut sets: Vec<Vec<usize>> = start.sets().to_vec();
+    let n = inst.n_tasks();
+    let nw = inst.n_workers();
+
+    let mut assigned_to = vec![usize::MAX; n];
+    for (q, set) in sets.iter().enumerate() {
+        for &t in set {
+            assigned_to[t] = q;
+        }
+    }
+
+    for _ in 0..max_passes {
+        let mut any_improvement = false;
+
+        // -- move / replace: every task × every worker ----------------------
+        for t in 0..n {
+            let from = assigned_to[t];
+            for q in 0..nw {
+                if from == q {
+                    continue;
+                }
+                if from == usize::MAX {
+                    // t unassigned: try replacing each member of q, or
+                    // filling spare capacity.
+                    if sets[q].len() < inst.xmax() {
+                        let gain = {
+                            let set = &sets[q];
+                            let mut with_t = set.clone();
+                            with_t.push(t);
+                            contribution(inst, q, &with_t, t)
+                        };
+                        if gain > 1e-12 {
+                            sets[q].push(t);
+                            assigned_to[t] = q;
+                            any_improvement = true;
+                            break;
+                        }
+                    } else {
+                        // replace the weakest member if t is stronger.
+                        let mut best: Option<(f64, usize)> = None;
+                        for (i, &u) in sets[q].iter().enumerate() {
+                            let loss = contribution(inst, q, &sets[q], u);
+                            let mut candidate = sets[q].clone();
+                            candidate[i] = t;
+                            let gain = contribution(inst, q, &candidate, t);
+                            let delta = gain - loss;
+                            if delta > 1e-9 && best.is_none_or(|(b, _)| delta > b) {
+                                best = Some((delta, i));
+                            }
+                        }
+                        if let Some((_, i)) = best {
+                            let u = sets[q][i];
+                            sets[q][i] = t;
+                            assigned_to[t] = q;
+                            assigned_to[u] = usize::MAX;
+                            any_improvement = true;
+                            break;
+                        }
+                    }
+                } else if sets[q].len() < inst.xmax() {
+                    // move t from `from` to q.
+                    let loss = contribution(inst, from, &sets[from], t);
+                    let gain = {
+                        let mut with_t = sets[q].clone();
+                        with_t.push(t);
+                        contribution(inst, q, &with_t, t)
+                    };
+                    if gain - loss > 1e-9 {
+                        sets[from].retain(|&u| u != t);
+                        sets[q].push(t);
+                        assigned_to[t] = q;
+                        any_improvement = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // -- swap: pairs of assigned tasks across workers ------------------
+        for qa in 0..nw {
+            for qb in (qa + 1)..nw {
+                let mut best: Option<(f64, usize, usize)> = None;
+                for (i, &ta) in sets[qa].iter().enumerate() {
+                    for (j, &tb) in sets[qb].iter().enumerate() {
+                        let before = contribution(inst, qa, &sets[qa], ta)
+                            + contribution(inst, qb, &sets[qb], tb);
+                        let mut ca = sets[qa].clone();
+                        ca[i] = tb;
+                        let mut cb = sets[qb].clone();
+                        cb[j] = ta;
+                        let after = contribution(inst, qa, &ca, tb)
+                            + contribution(inst, qb, &cb, ta);
+                        let delta = after - before;
+                        if delta > 1e-9 && best.is_none_or(|(b, _, _)| delta > b) {
+                            best = Some((delta, i, j));
+                        }
+                    }
+                }
+                if let Some((_, i, j)) = best {
+                    let (ta, tb) = (sets[qa][i], sets[qb][j]);
+                    sets[qa][i] = tb;
+                    sets[qb][j] = ta;
+                    assigned_to[ta] = qb;
+                    assigned_to[tb] = qa;
+                    any_improvement = true;
+                }
+            }
+        }
+
+        if !any_improvement {
+            break;
+        }
+    }
+    Assignment::from_sets(sets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{ExactSolver, HtaGre, RandomAssign};
+    use crate::worker::Weights;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_instance(seed: u64, n: usize, nw: usize, xmax: usize) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<Weights> = (0..nw).map(|_| Weights::from_alpha(rng.random())).collect();
+        let rel: Vec<f64> = (0..nw * n).map(|_| rng.random()).collect();
+        let mut div = vec![0.0; n * n];
+        for k in 0..n {
+            for l in (k + 1)..n {
+                let d = 0.5 + 0.5 * rng.random::<f64>();
+                div[k * n + l] = d;
+                div[l * n + k] = d;
+            }
+        }
+        Instance::from_matrices(n, &weights, rel, div, xmax).unwrap()
+    }
+
+    #[test]
+    fn never_decreases_the_objective() {
+        for seed in 0..10 {
+            let inst = random_instance(seed, 12, 3, 3);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let base = RandomAssign.solve(&inst, &mut rng).assignment;
+            let improved = improve(&inst, &base, 50);
+            improved.validate(&inst).unwrap();
+            assert!(
+                improved.objective(&inst) >= base.objective(&inst) - 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn reaches_the_optimum_on_tiny_instances() {
+        // On small instances, local search from random usually reaches the
+        // exact optimum; we require it at least to close most of the gap.
+        let mut reached = 0;
+        for seed in 0..8 {
+            let inst = random_instance(seed + 100, 7, 2, 2);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let opt = ExactSolver
+                .solve(&inst, &mut StdRng::seed_from_u64(0))
+                .assignment
+                .objective(&inst);
+            let base = RandomAssign.solve(&inst, &mut rng).assignment;
+            let improved = improve(&inst, &base, 100).objective(&inst);
+            assert!(improved <= opt + 1e-9);
+            if improved >= opt - 1e-6 {
+                reached += 1;
+            }
+        }
+        assert!(reached >= 4, "local search reached the optimum only {reached}/8 times");
+    }
+
+    #[test]
+    fn improves_hta_gre_output() {
+        let inst = random_instance(7, 14, 3, 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = HtaGre::new().solve(&inst, &mut rng).assignment;
+        let improved = improve(&inst, &base, 50);
+        assert!(improved.objective(&inst) >= base.objective(&inst) - 1e-9);
+    }
+
+    #[test]
+    fn wrapper_solver_is_feasible_and_at_least_as_good() {
+        let inst = random_instance(9, 10, 2, 3);
+        let base = HtaGre::new()
+            .solve(&inst, &mut StdRng::seed_from_u64(1))
+            .assignment
+            .objective(&inst);
+        let wrapped = LocalSearch::new(HtaGre::new(), 20)
+            .solve(&inst, &mut StdRng::seed_from_u64(1));
+        wrapped.assignment.validate(&inst).unwrap();
+        assert!(wrapped.assignment.objective(&inst) >= base - 1e-9);
+    }
+
+    #[test]
+    fn zero_passes_is_identity() {
+        let inst = random_instance(3, 8, 2, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let base = RandomAssign.solve(&inst, &mut rng).assignment;
+        let same = improve(&inst, &base, 0);
+        assert_eq!(same.objective(&inst), base.objective(&inst));
+    }
+}

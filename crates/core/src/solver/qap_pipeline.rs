@@ -1,0 +1,303 @@
+//! The shared QAP pipeline behind HTA-APP and HTA-GRE (Algorithms 1 and 2).
+//!
+//! Both algorithms are identical except for how the auxiliary LSAP is
+//! solved (Algorithm 1 line 11 vs Algorithm 2 line 11):
+//!
+//! 1. map the instance to MaxQAP matrices A, B, C (implicitly — only the
+//!    clique structure, `b_M`, and `degA` are needed);
+//! 2. compute a greedy maximum-weight matching `M_B` on the diversity graph;
+//! 3. build the LSAP profits `f_{k,l} = b_M(t_k)·degA_l + c_{k,l}`;
+//! 4. solve the LSAP (exactly, greedily, or with an alternative solver);
+//! 5. randomly flip the images of each matched pair with probability ½
+//!    (lines 12–16 — required by the expectation argument in Theorem 4);
+//! 6. read the assignment off the permutation (Eq. 7).
+//!
+//! Instances with fewer than `|W|·X_max` tasks are padded with *virtual*
+//! tasks (zero diversity, zero relevance) so the clique mapping stays
+//! well-formed; virtual rows are dropped when building the assignment.
+
+use std::time::Instant;
+
+use rand::{Rng, RngExt};
+
+use hta_matching::lsap::{auction, greedy as lsap_greedy, hungarian, jv, structured};
+use hta_matching::{greedy_matching, ClassedCosts, CostMatrix, DenseMatrix, WeightedEdge};
+
+use crate::instance::Instance;
+use crate::qap::{assignment_from_permutation, worker_of_vertex};
+use crate::solver::{PhaseTimings, SolveOutcome};
+
+/// Which LSAP solver to run in step 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LsapStrategy {
+    /// Exact Jonker–Volgenant (the Hungarian-family solver of HTA-APP).
+    ExactJv,
+    /// Exact classic Hungarian (Kuhn–Munkres) without JV's reduction
+    /// phases — closest to the Carpaneto-era code the paper timed.
+    ExactClassicHungarian,
+    /// ½-approximate greedy matching (HTA-GRE).
+    Greedy,
+    /// Bertsekas auction with ε-scaling (ablation).
+    Auction,
+    /// Exact transportation solver over column classes (ablation).
+    StructuredExact,
+}
+
+/// How the LSAP profit matrix is materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostRepresentation {
+    /// Dense `n × n` (`O(n²)` memory) — faithful to the paper's setup.
+    Dense,
+    /// Column-class form (`O(n·|W|)` memory) — our structured extension.
+    Classed,
+}
+
+/// Tuning knobs shared by HTA-APP and HTA-GRE.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineOptions {
+    pub lsap: LsapStrategy,
+    pub representation: CostRepresentation,
+    /// Apply the random ½-flip of matched pairs (disable only for the
+    /// ablation study; the approximation proof needs it).
+    pub random_flip: bool,
+}
+
+pub(crate) fn solve_via_qap(
+    inst: &Instance,
+    opts: PipelineOptions,
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
+    let t_start = Instant::now();
+    let n_real = inst.n_tasks();
+    let nw = inst.n_workers();
+    let xmax = inst.xmax();
+    // Pad so every clique has X_max vertices.
+    let n = n_real.max(nw * xmax);
+
+    // ---- Step 2: greedy max-weight matching M_B on diversity -------------
+    let t_matching = Instant::now();
+    let mut edges = Vec::with_capacity(n_real.saturating_sub(1) * n_real / 2);
+    for u in 0..n_real {
+        for v in (u + 1)..n_real {
+            let w = inst.diversity(u, v);
+            if w > 0.0 {
+                edges.push(WeightedEdge::new(u as u32, v as u32, w));
+            }
+        }
+    }
+    let mb = greedy_matching(n, &edges);
+    let matching_time = t_matching.elapsed();
+
+    // b_M(t_k): weight of the matched edge incident to task k (0 otherwise,
+    // and 0 for virtual rows).
+    let mut bm = vec![0.0f64; n];
+    for e in mb.edges() {
+        bm[e.u as usize] = e.weight;
+        bm[e.v as usize] = e.weight;
+    }
+
+    // ---- Steps 3-4: auxiliary LSAP ---------------------------------------
+    // Column classes: class q < |W| is worker q's X_max-wide block; class
+    // |W| collects the isolated (zero-profit) columns.
+    // f(k, class q) = b_M(t_k)·(X_max−1)·α_q + β_q·rel(q, t_k)·(X_max−1).
+    let xm1 = xmax as f64 - 1.0;
+    let profit = |k: usize, class: usize| -> f64 {
+        if class >= nw || k >= n_real {
+            return 0.0;
+        }
+        bm[k] * xm1 * inst.alpha(class) + inst.beta(class) * inst.rel(class, k) * xm1
+    };
+
+    let t_lsap = Instant::now();
+    let lsap_solution = match opts.representation {
+        CostRepresentation::Dense => {
+            let dense = DenseMatrix::from_fn(n, |k, l| {
+                profit(k, worker_of_vertex(l, xmax, nw).unwrap_or(nw))
+            });
+            run_lsap(&dense, opts.lsap)
+        }
+        CostRepresentation::Classed => {
+            let classes: Vec<u32> = (0..n)
+                .map(|l| worker_of_vertex(l, xmax, nw).unwrap_or(nw) as u32)
+                .collect();
+            let classed = ClassedCosts::new(n, nw + 1, classes, profit);
+            run_lsap(&classed, opts.lsap)
+        }
+    };
+    let lsap_time = t_lsap.elapsed();
+
+    // ---- Step 5: random flip of matched pairs (Alg. 1 lines 12-16) -------
+    let mut pi = lsap_solution.assignment;
+    if opts.random_flip {
+        for e in mb.edges() {
+            if rng.random_bool(0.5) {
+                pi.swap(e.u as usize, e.v as usize);
+            }
+        }
+    }
+
+    // ---- Step 6: Eq. 7 ----------------------------------------------------
+    let assignment = assignment_from_permutation(&pi, n_real, xmax, nw);
+    debug_assert!(assignment.validate(inst).is_ok());
+
+    SolveOutcome {
+        assignment,
+        timings: PhaseTimings {
+            matching: matching_time,
+            lsap: lsap_time,
+            total: t_start.elapsed(),
+        },
+        lsap_value: lsap_solution.value,
+    }
+}
+
+fn run_lsap(costs: &impl CostMatrix, strategy: LsapStrategy) -> hta_matching::LsapSolution {
+    match strategy {
+        LsapStrategy::ExactJv => jv::solve(costs),
+        LsapStrategy::ExactClassicHungarian => hungarian::solve(costs),
+        LsapStrategy::Greedy => lsap_greedy::solve(costs),
+        LsapStrategy::Auction => auction::solve(costs),
+        LsapStrategy::StructuredExact => structured::solve(costs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qap::paper_example;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(opts: PipelineOptions, seed: u64) -> SolveOutcome {
+        let inst = paper_example();
+        let mut rng = StdRng::seed_from_u64(seed);
+        solve_via_qap(&inst, opts, &mut rng)
+    }
+
+    #[test]
+    fn all_strategies_produce_feasible_assignments() {
+        let inst = paper_example();
+        for lsap in [
+            LsapStrategy::ExactJv,
+            LsapStrategy::Greedy,
+            LsapStrategy::Auction,
+            LsapStrategy::StructuredExact,
+        ] {
+            for repr in [CostRepresentation::Dense, CostRepresentation::Classed] {
+                let out = run(
+                    PipelineOptions {
+                        lsap,
+                        representation: repr,
+                        random_flip: true,
+                    },
+                    7,
+                );
+                out.assignment.validate(&inst).unwrap();
+                // 2 workers × X_max 3 = 6 of the 8 tasks assigned.
+                assert_eq!(out.assignment.assigned_count(), 6);
+                assert!(out.assignment.objective(&inst) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_lsap_value_independent_of_representation() {
+        let a = run(
+            PipelineOptions {
+                lsap: LsapStrategy::ExactJv,
+                representation: CostRepresentation::Dense,
+                random_flip: false,
+            },
+            1,
+        );
+        let b = run(
+            PipelineOptions {
+                lsap: LsapStrategy::ExactJv,
+                representation: CostRepresentation::Classed,
+                random_flip: false,
+            },
+            1,
+        );
+        assert!((a.lsap_value - b.lsap_value).abs() < 1e-9);
+        let c = run(
+            PipelineOptions {
+                lsap: LsapStrategy::StructuredExact,
+                representation: CostRepresentation::Classed,
+                random_flip: false,
+            },
+            1,
+        );
+        assert!((a.lsap_value - c.lsap_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn greedy_lsap_within_half_of_exact() {
+        let exact = run(
+            PipelineOptions {
+                lsap: LsapStrategy::ExactJv,
+                representation: CostRepresentation::Dense,
+                random_flip: false,
+            },
+            1,
+        );
+        let greedy = run(
+            PipelineOptions {
+                lsap: LsapStrategy::Greedy,
+                representation: CostRepresentation::Dense,
+                random_flip: false,
+            },
+            1,
+        );
+        assert!(greedy.lsap_value >= 0.5 * exact.lsap_value - 1e-9);
+        assert!(greedy.lsap_value <= exact.lsap_value + 1e-9);
+    }
+
+    #[test]
+    fn scarce_instance_is_padded() {
+        // 4 tasks, 2 workers, X_max = 3: only 4 assignments possible.
+        use crate::instance::Instance;
+        use crate::worker::Weights;
+        let rel = vec![0.5; 8];
+        let mut div = vec![0.7; 16];
+        for k in 0..4 {
+            div[k * 4 + k] = 0.0;
+        }
+        let inst =
+            Instance::from_matrices(4, &[Weights::balanced(); 2], rel, div, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = solve_via_qap(
+            &inst,
+            PipelineOptions {
+                lsap: LsapStrategy::ExactJv,
+                representation: CostRepresentation::Dense,
+                random_flip: true,
+            },
+            &mut rng,
+        );
+        out.assignment.validate(&inst).unwrap();
+        assert!(out.assignment.assigned_count() <= 4);
+        // With positive profits everywhere, all 4 real tasks get assigned.
+        assert_eq!(out.assignment.assigned_count(), 4);
+    }
+
+    #[test]
+    fn flip_changes_nothing_when_disabled() {
+        let a = run(
+            PipelineOptions {
+                lsap: LsapStrategy::ExactJv,
+                representation: CostRepresentation::Dense,
+                random_flip: false,
+            },
+            11,
+        );
+        let b = run(
+            PipelineOptions {
+                lsap: LsapStrategy::ExactJv,
+                representation: CostRepresentation::Dense,
+                random_flip: false,
+            },
+            99,
+        );
+        assert_eq!(a.assignment.sets(), b.assignment.sets());
+    }
+}

@@ -1,0 +1,145 @@
+//! Tasks and task groups.
+
+use crate::bitvec::KeywordVec;
+
+/// Opaque, stable task identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+/// Identifier of the task *group* a task was crawled from (AMT groups tasks
+/// with shared metadata; the paper's Fig. 3 sweeps the number of groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroupId(pub u32);
+
+/// A micro-task: keyword vector plus light metadata.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Dense id within its pool.
+    pub id: TaskId,
+    /// Task group (AMT groups tasks sharing metadata).
+    pub group: GroupId,
+    /// Boolean keyword vector over the shared universe.
+    pub keywords: KeywordVec,
+    /// Reward in cents (AMT micro-tasks in the paper pay < $0.15).
+    pub reward_cents: u32,
+}
+
+impl Task {
+    /// Build a task with the given id/group/keywords and a zero reward.
+    pub fn new(id: TaskId, group: GroupId, keywords: KeywordVec) -> Self {
+        Self {
+            id,
+            group,
+            keywords,
+            reward_cents: 0,
+        }
+    }
+
+    /// Set the reward in cents (builder style).
+    pub fn with_reward_cents(mut self, cents: u32) -> Self {
+        self.reward_cents = cents;
+        self
+    }
+}
+
+/// An owned collection of tasks with dense ids `0..len`.
+#[derive(Debug, Clone, Default)]
+pub struct TaskPool {
+    tasks: Vec<Task>,
+}
+
+impl TaskPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a task built from `group` and `keywords`; the pool assigns the
+    /// next dense [`TaskId`].
+    pub fn push(&mut self, group: GroupId, keywords: KeywordVec) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        self.tasks.push(Task::new(id, group, keywords));
+        id
+    }
+
+    /// Append a fully-built task, reassigning its id to keep ids dense.
+    pub fn push_task(&mut self, mut task: Task) -> TaskId {
+        let id = TaskId(self.tasks.len() as u32);
+        task.id = id;
+        self.tasks.push(task);
+        id
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when the pool holds no task.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Access a task by id.
+    ///
+    /// # Panics
+    /// Panics if the id was not issued by this pool.
+    pub fn get(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0 as usize]
+    }
+
+    /// All tasks, in id order.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of distinct groups present.
+    pub fn group_count(&self) -> usize {
+        let mut groups: Vec<u32> = self.tasks.iter().map(|t| t.group.0).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_assigns_dense_ids() {
+        let mut pool = TaskPool::new();
+        let a = pool.push(GroupId(0), KeywordVec::new(4));
+        let b = pool.push(GroupId(1), KeywordVec::new(4));
+        assert_eq!(a, TaskId(0));
+        assert_eq!(b, TaskId(1));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(b).group, GroupId(1));
+    }
+
+    #[test]
+    fn push_task_reassigns_id() {
+        let mut pool = TaskPool::new();
+        let t = Task::new(TaskId(99), GroupId(7), KeywordVec::new(2)).with_reward_cents(12);
+        let id = pool.push_task(t);
+        assert_eq!(id, TaskId(0));
+        assert_eq!(pool.get(id).reward_cents, 12);
+        assert_eq!(pool.get(id).id, TaskId(0));
+    }
+
+    #[test]
+    fn group_count_dedupes() {
+        let mut pool = TaskPool::new();
+        for g in [0u32, 1, 1, 2, 2, 2] {
+            pool.push(GroupId(g), KeywordVec::new(1));
+        }
+        assert_eq!(pool.group_count(), 3);
+    }
+
+    #[test]
+    fn empty_pool() {
+        let pool = TaskPool::new();
+        assert!(pool.is_empty());
+        assert_eq!(pool.group_count(), 0);
+    }
+}

@@ -1,0 +1,484 @@
+//! Collaborative team formation — the paper's stated future work.
+//!
+//! Section VII: *"Our immediate plan is to extend this work to collaborative
+//! tasks where motivation factors such as social signaling matter. Task
+//! assignment would have to account for the presence of other workers in
+//! forming the most motivated team to complete a task."*
+//!
+//! This module implements that extension. A [`TeamTask`] needs a team of
+//! exactly `team_size` workers; a team's motivation for it blends each
+//! member's *relevance* to the task with a pairwise *social* term between
+//! members (Eq. T below), mirroring how Eq. 3 blends per-task relevance
+//! with pairwise diversity:
+//!
+//! ```text
+//! team_motiv(t, S) = Σ_{w∈S} rel(t, w)  +  γ·(|S|−1)⁻¹·Σ_{w<w'∈S} social(w, w')
+//! ```
+//!
+//! where `social` is either *complementarity* (keyword distance between
+//! members — teams covering more skills) or *similarity* (keyword overlap —
+//! teams that "speak the same language"), selected by [`SocialModel`]. The
+//! assignment problem — partition workers into disjoint teams, one per
+//! task, maximizing total team motivation — generalizes HTA (teams of size
+//! 1 with `γ = 0` reduce to relevance-only HTA with `X_max = 1` roles
+//! reversed) and is NP-hard; we provide a greedy builder with local-swap
+//! improvement and an exact solver for small instances.
+
+use crate::bitvec::KeywordVec;
+use crate::metric::{Distance, Jaccard};
+
+/// A task requiring a team.
+#[derive(Debug, Clone)]
+pub struct TeamTask {
+    /// Keyword requirements of the task.
+    pub keywords: KeywordVec,
+    /// Exact number of workers the task needs.
+    pub team_size: usize,
+}
+
+/// How the pairwise social term is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SocialModel {
+    /// Complementarity: `social = d(w, w')` — reward teams whose members
+    /// bring different skills.
+    #[default]
+    Complementary,
+    /// Similarity: `social = 1 − d(w, w')` — reward cohesive teams.
+    Similar,
+}
+
+/// Problem configuration.
+#[derive(Debug, Clone)]
+pub struct TeamConfig {
+    /// Weight `γ` of the social term against summed relevance.
+    pub social_weight: f64,
+    /// The social model.
+    pub model: SocialModel,
+}
+
+impl Default for TeamConfig {
+    fn default() -> Self {
+        Self {
+            social_weight: 0.5,
+            model: SocialModel::Complementary,
+        }
+    }
+}
+
+/// A team-formation instance: tasks needing teams, workers with keyword
+/// profiles. Relevance and social terms use Jaccard, like the core model.
+#[derive(Debug)]
+pub struct TeamInstance {
+    tasks: Vec<TeamTask>,
+    workers: Vec<KeywordVec>,
+    cfg: TeamConfig,
+}
+
+/// The produced assignment: `teams[i]` is the worker set for task `i`
+/// (empty when the task could not be staffed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TeamAssignment {
+    /// Worker indices per task, same order as the instance's tasks.
+    pub teams: Vec<Vec<usize>>,
+}
+
+impl TeamInstance {
+    /// Build an instance.
+    ///
+    /// # Panics
+    /// Panics if any task has `team_size == 0` or keyword universes differ.
+    pub fn new(tasks: Vec<TeamTask>, workers: Vec<KeywordVec>, cfg: TeamConfig) -> Self {
+        assert!(
+            tasks.iter().all(|t| t.team_size >= 1),
+            "team_size must be at least 1"
+        );
+        let width = tasks
+            .first()
+            .map(|t| t.keywords.nbits())
+            .or_else(|| workers.first().map(KeywordVec::nbits))
+            .unwrap_or(0);
+        assert!(
+            tasks.iter().all(|t| t.keywords.nbits() == width)
+                && workers.iter().all(|w| w.nbits() == width),
+            "keyword universes must match"
+        );
+        Self {
+            tasks,
+            workers,
+            cfg,
+        }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of workers.
+    pub fn n_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    fn rel(&self, task: usize, worker: usize) -> f64 {
+        1.0 - Jaccard.dist(&self.tasks[task].keywords, &self.workers[worker])
+    }
+
+    fn social(&self, a: usize, b: usize) -> f64 {
+        let d = Jaccard.dist(&self.workers[a], &self.workers[b]);
+        match self.cfg.model {
+            SocialModel::Complementary => d,
+            SocialModel::Similar => 1.0 - d,
+        }
+    }
+
+    /// Eq. T: the motivation of team `members` for task `task`. Empty teams
+    /// score 0; under-staffed teams are scored like full teams (the solvers
+    /// never produce them).
+    pub fn team_motivation(&self, task: usize, members: &[usize]) -> f64 {
+        if members.is_empty() {
+            return 0.0;
+        }
+        let rel_sum: f64 = members.iter().map(|&w| self.rel(task, w)).sum();
+        if members.len() == 1 {
+            return rel_sum;
+        }
+        let mut social = 0.0;
+        for (i, &a) in members.iter().enumerate() {
+            for &b in &members[i + 1..] {
+                social += self.social(a, b);
+            }
+        }
+        // Normalize the quadratic term like Eq. 3 normalizes diversity, so
+        // relevance and social stay on comparable scales.
+        rel_sum + self.cfg.social_weight * social / (members.len() as f64 - 1.0)
+    }
+
+    /// Total objective of an assignment.
+    pub fn objective(&self, assignment: &TeamAssignment) -> f64 {
+        assignment
+            .teams
+            .iter()
+            .enumerate()
+            .map(|(t, members)| self.team_motivation(t, members))
+            .sum()
+    }
+
+    /// Validate: correct team sizes (or empty), disjoint workers, indices
+    /// in range.
+    pub fn validate(&self, assignment: &TeamAssignment) -> Result<(), String> {
+        if assignment.teams.len() != self.tasks.len() {
+            return Err(format!(
+                "assignment covers {} tasks, instance has {}",
+                assignment.teams.len(),
+                self.tasks.len()
+            ));
+        }
+        let mut used = vec![false; self.workers.len()];
+        for (t, members) in assignment.teams.iter().enumerate() {
+            if !members.is_empty() && members.len() != self.tasks[t].team_size {
+                return Err(format!(
+                    "task {t} staffed with {} members, needs {}",
+                    members.len(),
+                    self.tasks[t].team_size
+                ));
+            }
+            for &w in members {
+                if w >= self.workers.len() {
+                    return Err(format!("worker index {w} out of range"));
+                }
+                if used[w] {
+                    return Err(format!("worker {w} on two teams"));
+                }
+                used[w] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Greedy team formation with local-swap improvement.
+    ///
+    /// Tasks are staffed in order of decreasing demanded size (large teams
+    /// are hardest to staff late); each team is built by repeatedly adding
+    /// the worker with the best marginal gain. A swap pass then exchanges
+    /// members across teams while it improves the objective (bounded by
+    /// `swap_passes`).
+    pub fn solve_greedy(&self, swap_passes: usize) -> TeamAssignment {
+        let mut order: Vec<usize> = (0..self.tasks.len()).collect();
+        order.sort_by_key(|&t| std::cmp::Reverse(self.tasks[t].team_size));
+
+        let mut teams: Vec<Vec<usize>> = vec![Vec::new(); self.tasks.len()];
+        let mut free: Vec<bool> = vec![true; self.workers.len()];
+        for &t in &order {
+            let size = self.tasks[t].team_size;
+            if free.iter().filter(|&&f| f).count() < size {
+                continue; // cannot staff fully; leave unstaffed
+            }
+            let mut members: Vec<usize> = Vec::with_capacity(size);
+            for _ in 0..size {
+                let mut best: Option<(f64, usize)> = None;
+                for w in 0..self.workers.len() {
+                    if !free[w] || members.contains(&w) {
+                        continue;
+                    }
+                    let mut with_w = members.clone();
+                    with_w.push(w);
+                    let gain = self.team_motivation(t, &with_w)
+                        - self.team_motivation(t, &members);
+                    if best.is_none_or(|(g, _)| gain > g) {
+                        best = Some((gain, w));
+                    }
+                }
+                let (_, w) = best.expect("enough free workers checked above");
+                members.push(w);
+                free[w] = false;
+            }
+            teams[t] = members;
+        }
+
+        // Local swap improvement across teams.
+        let mut assignment = TeamAssignment { teams };
+        for _ in 0..swap_passes {
+            if !self.swap_pass(&mut assignment) {
+                break;
+            }
+        }
+        debug_assert!(self.validate(&assignment).is_ok());
+        assignment
+    }
+
+    fn swap_pass(&self, assignment: &mut TeamAssignment) -> bool {
+        let mut improved = false;
+        let n_tasks = self.tasks.len();
+        for ta in 0..n_tasks {
+            for tb in (ta + 1)..n_tasks {
+                if assignment.teams[ta].is_empty() || assignment.teams[tb].is_empty() {
+                    continue;
+                }
+                let before = self.team_motivation(ta, &assignment.teams[ta])
+                    + self.team_motivation(tb, &assignment.teams[tb]);
+                let mut best: Option<(f64, usize, usize)> = None;
+                for i in 0..assignment.teams[ta].len() {
+                    for j in 0..assignment.teams[tb].len() {
+                        let mut a2 = assignment.teams[ta].clone();
+                        let mut b2 = assignment.teams[tb].clone();
+                        std::mem::swap(&mut a2[i], &mut b2[j]);
+                        let after =
+                            self.team_motivation(ta, &a2) + self.team_motivation(tb, &b2);
+                        let delta = after - before;
+                        if delta > 1e-9 && best.is_none_or(|(g, _, _)| delta > g) {
+                            best = Some((delta, i, j));
+                        }
+                    }
+                }
+                if let Some((_, i, j)) = best {
+                    let wa = assignment.teams[ta][i];
+                    let wb = assignment.teams[tb][j];
+                    assignment.teams[ta][i] = wb;
+                    assignment.teams[tb][j] = wa;
+                    improved = true;
+                }
+            }
+        }
+        improved
+    }
+
+    /// Exact solver by exhaustive assignment of workers to tasks.
+    /// Exponential — intended for validating the greedy solver on tiny
+    /// instances.
+    ///
+    /// # Panics
+    /// Panics when `n_workers > 10`.
+    pub fn solve_exact(&self) -> TeamAssignment {
+        assert!(
+            self.workers.len() <= 10,
+            "exact team formation limited to 10 workers"
+        );
+        let mut best = TeamAssignment {
+            teams: vec![Vec::new(); self.tasks.len()],
+        };
+        let mut best_value = 0.0;
+        let mut current = vec![Vec::new(); self.tasks.len()];
+        self.exact_rec(0, &mut current, &mut best, &mut best_value);
+        best
+    }
+
+    fn exact_rec(
+        &self,
+        w: usize,
+        current: &mut Vec<Vec<usize>>,
+        best: &mut TeamAssignment,
+        best_value: &mut f64,
+    ) {
+        if w == self.workers.len() {
+            // Only fully-staffed teams count.
+            let candidate = TeamAssignment {
+                teams: current
+                    .iter()
+                    .enumerate()
+                    .map(|(t, m)| {
+                        if m.len() == self.tasks[t].team_size {
+                            m.clone()
+                        } else {
+                            Vec::new()
+                        }
+                    })
+                    .collect(),
+            };
+            let value = self.objective(&candidate);
+            if value > *best_value {
+                *best_value = value;
+                *best = candidate;
+            }
+            return;
+        }
+        for t in 0..self.tasks.len() {
+            if current[t].len() < self.tasks[t].team_size {
+                current[t].push(w);
+                self.exact_rec(w + 1, current, best, best_value);
+                current[t].pop();
+            }
+        }
+        // Worker w stays unassigned.
+        self.exact_rec(w + 1, current, best, best_value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv(nbits: usize, idx: &[usize]) -> KeywordVec {
+        KeywordVec::from_indices(nbits, idx)
+    }
+
+    fn small_instance(model: SocialModel) -> TeamInstance {
+        let nbits = 12;
+        let tasks = vec![
+            TeamTask {
+                keywords: kv(nbits, &[0, 1, 2]),
+                team_size: 2,
+            },
+            TeamTask {
+                keywords: kv(nbits, &[6, 7, 8]),
+                team_size: 2,
+            },
+        ];
+        let workers = vec![
+            kv(nbits, &[0, 1]),    // strong on task 0
+            kv(nbits, &[2, 3]),    // partial on task 0, different skills
+            kv(nbits, &[6, 7]),    // strong on task 1
+            kv(nbits, &[8, 9]),    // partial on task 1, different skills
+            kv(nbits, &[10, 11]), // irrelevant
+        ];
+        TeamInstance::new(
+            tasks,
+            workers,
+            TeamConfig {
+                social_weight: 0.5,
+                model,
+            },
+        )
+    }
+
+    #[test]
+    fn team_motivation_arithmetic() {
+        let inst = small_instance(SocialModel::Complementary);
+        // Team {0} for task 0: rel only = 1 - J({0,1},{0,1,2}) = 1 - 1/3... |∩|=2, |∪|=3 → rel = 2/3.
+        let solo = inst.team_motivation(0, &[0]);
+        assert!((solo - 2.0 / 3.0).abs() < 1e-12);
+        // Team {0, 1}: rel(0) + rel(1) + 0.5·d(w0,w1)/1. w1 rel: ∩={2} ∪={0,1,2,3} → 0.25.
+        // d(w0,w1) = 1 (disjoint).
+        let duo = inst.team_motivation(0, &[0, 1]);
+        assert!((duo - (2.0 / 3.0 + 0.25 + 0.5)).abs() < 1e-12);
+        assert_eq!(inst.team_motivation(0, &[]), 0.0);
+    }
+
+    #[test]
+    fn greedy_staffs_teams_sensibly() {
+        let inst = small_instance(SocialModel::Complementary);
+        let a = inst.solve_greedy(5);
+        inst.validate(&a).unwrap();
+        // Task 0 should get the task-0 specialists, task 1 the task-1 ones.
+        let mut t0 = a.teams[0].clone();
+        t0.sort_unstable();
+        let mut t1 = a.teams[1].clone();
+        t1.sort_unstable();
+        assert_eq!(t0, vec![0, 1]);
+        assert_eq!(t1, vec![2, 3]);
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_small_instances() {
+        for model in [SocialModel::Complementary, SocialModel::Similar] {
+            let inst = small_instance(model);
+            let greedy = inst.solve_greedy(10);
+            let exact = inst.solve_exact();
+            inst.validate(&exact).unwrap();
+            let (g, e) = (inst.objective(&greedy), inst.objective(&exact));
+            assert!(g <= e + 1e-9, "{model:?}: greedy {g} beat exact {e}");
+            assert!(
+                g >= 0.75 * e,
+                "{model:?}: greedy {g} too far below exact {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn social_model_changes_team_composition_value() {
+        let inst_c = small_instance(SocialModel::Complementary);
+        let inst_s = small_instance(SocialModel::Similar);
+        // Workers 0 and 1 are keyword-disjoint: complementary scores their
+        // pairing higher than similar does.
+        let c = inst_c.team_motivation(0, &[0, 1]);
+        let s = inst_s.team_motivation(0, &[0, 1]);
+        assert!(c > s);
+    }
+
+    #[test]
+    fn unstaffable_tasks_left_empty() {
+        let nbits = 4;
+        let tasks = vec![TeamTask {
+            keywords: kv(nbits, &[0]),
+            team_size: 3,
+        }];
+        let workers = vec![kv(nbits, &[0]), kv(nbits, &[1])];
+        let inst = TeamInstance::new(tasks, workers, TeamConfig::default());
+        let a = inst.solve_greedy(2);
+        inst.validate(&a).unwrap();
+        assert!(a.teams[0].is_empty());
+        assert_eq!(inst.objective(&a), 0.0);
+    }
+
+    #[test]
+    fn validation_catches_violations() {
+        let inst = small_instance(SocialModel::Complementary);
+        // Wrong size.
+        let bad = TeamAssignment {
+            teams: vec![vec![0], vec![2, 3]],
+        };
+        assert!(inst.validate(&bad).unwrap_err().contains("needs 2"));
+        // Overlapping workers.
+        let bad = TeamAssignment {
+            teams: vec![vec![0, 1], vec![1, 2]],
+        };
+        assert!(inst.validate(&bad).unwrap_err().contains("two teams"));
+        // Out of range.
+        let bad = TeamAssignment {
+            teams: vec![vec![0, 9], vec![]],
+        };
+        assert!(inst.validate(&bad).unwrap_err().contains("out of range"));
+    }
+
+    #[test]
+    #[should_panic(expected = "team_size must be at least 1")]
+    fn zero_team_size_rejected() {
+        let _ = TeamInstance::new(
+            vec![TeamTask {
+                keywords: kv(2, &[0]),
+                team_size: 0,
+            }],
+            vec![kv(2, &[1])],
+            TeamConfig::default(),
+        );
+    }
+}

@@ -1,0 +1,224 @@
+//! Workers and their motivation weights.
+
+use crate::bitvec::KeywordVec;
+
+/// Opaque, stable worker identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WorkerId(pub u32);
+
+/// The motivation weights `(α_w, β_w)` of a worker, with `α + β = 1`
+/// (Eq. 3). `α` weights task diversity, `β` task relevance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weights {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Weights {
+    /// Build from `(α, β)`.
+    ///
+    /// # Panics
+    /// Panics unless both are in `[0, 1]` and `α + β ≈ 1`.
+    pub fn new(alpha: f64, beta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha) && (0.0..=1.0).contains(&beta),
+            "weights must lie in [0, 1], got ({alpha}, {beta})"
+        );
+        assert!(
+            (alpha + beta - 1.0).abs() < 1e-9,
+            "weights must sum to 1, got ({alpha}, {beta})"
+        );
+        Self { alpha, beta }
+    }
+
+    /// Build from `α` alone (`β = 1 − α`).
+    pub fn from_alpha(alpha: f64) -> Self {
+        Self::new(alpha, 1.0 - alpha)
+    }
+
+    /// Build without enforcing `α + β = 1` (each still in `[0, 1]`).
+    ///
+    /// Exists to reproduce the paper's running example verbatim, whose
+    /// second worker has `(α, β) = (0.6, 0.3)` — the objective (Eq. 3) and
+    /// all algorithms are well-defined for any non-negative weights.
+    pub fn raw(alpha: f64, beta: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha) && (0.0..=1.0).contains(&beta),
+            "weights must lie in [0, 1], got ({alpha}, {beta})"
+        );
+        Self { alpha, beta }
+    }
+
+    /// Normalize arbitrary non-negative raw scores into weights. Both zero
+    /// yields the balanced `(0.5, 0.5)`.
+    pub fn normalized(raw_alpha: f64, raw_beta: f64) -> Self {
+        assert!(
+            raw_alpha >= 0.0 && raw_beta >= 0.0,
+            "raw weights must be non-negative"
+        );
+        let sum = raw_alpha + raw_beta;
+        if sum == 0.0 {
+            Self::new(0.5, 0.5)
+        } else {
+            Self::new(raw_alpha / sum, raw_beta / sum)
+        }
+    }
+
+    /// Pure diversity seeking: `(1, 0)` — the HTA-GRE-DIV arm.
+    pub fn diversity_only() -> Self {
+        Self::new(1.0, 0.0)
+    }
+
+    /// Pure relevance seeking: `(0, 1)` — the HTA-GRE-REL arm.
+    pub fn relevance_only() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Balanced weights `(0.5, 0.5)`.
+    pub fn balanced() -> Self {
+        Self::new(0.5, 0.5)
+    }
+
+    /// The diversity weight `α_w`.
+    #[inline]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The relevance weight `β_w`.
+    #[inline]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl Default for Weights {
+    fn default() -> Self {
+        Self::balanced()
+    }
+}
+
+/// A worker: expressed keyword interests plus current motivation weights.
+#[derive(Debug, Clone)]
+pub struct Worker {
+    /// Dense id within its pool.
+    pub id: WorkerId,
+    /// The worker's expressed keyword interests.
+    pub keywords: KeywordVec,
+    /// Current motivation weights `(α_w, β_w)`.
+    pub weights: Weights,
+}
+
+impl Worker {
+    /// Build a worker with balanced weights.
+    pub fn new(id: WorkerId, keywords: KeywordVec) -> Self {
+        Self {
+            id,
+            keywords,
+            weights: Weights::balanced(),
+        }
+    }
+
+    /// Set the motivation weights (builder style).
+    pub fn with_weights(mut self, weights: Weights) -> Self {
+        self.weights = weights;
+        self
+    }
+}
+
+/// An owned collection of workers with dense ids `0..len`.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerPool {
+    workers: Vec<Worker>,
+}
+
+impl WorkerPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a worker; the pool assigns the next dense [`WorkerId`].
+    pub fn push(&mut self, keywords: KeywordVec, weights: Weights) -> WorkerId {
+        let id = WorkerId(self.workers.len() as u32);
+        self.workers.push(Worker::new(id, keywords).with_weights(weights));
+        id
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Access by id.
+    ///
+    /// # Panics
+    /// Panics if the id was not issued by this pool.
+    pub fn get(&self, id: WorkerId) -> &Worker {
+        &self.workers[id.0 as usize]
+    }
+
+    /// Mutable access by id (e.g. to update weights between iterations).
+    pub fn get_mut(&mut self, id: WorkerId) -> &mut Worker {
+        &mut self.workers[id.0 as usize]
+    }
+
+    /// All workers, in id order.
+    pub fn workers(&self) -> &[Worker] {
+        &self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_enforce_simplex() {
+        let w = Weights::new(0.2, 0.8);
+        assert_eq!(w.alpha(), 0.2);
+        assert_eq!(w.beta(), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn weights_reject_bad_sum() {
+        let _ = Weights::new(0.5, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn weights_reject_out_of_range() {
+        let _ = Weights::new(1.5, -0.5);
+    }
+
+    #[test]
+    fn normalized_handles_zero() {
+        let w = Weights::normalized(0.0, 0.0);
+        assert_eq!(w.alpha(), 0.5);
+        let w = Weights::normalized(3.0, 1.0);
+        assert!((w.alpha() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn special_weights() {
+        assert_eq!(Weights::diversity_only().alpha(), 1.0);
+        assert_eq!(Weights::relevance_only().beta(), 1.0);
+        assert_eq!(Weights::from_alpha(0.3).beta(), 0.7);
+    }
+
+    #[test]
+    fn pool_roundtrip() {
+        let mut pool = WorkerPool::new();
+        let id = pool.push(KeywordVec::new(4), Weights::from_alpha(0.9));
+        assert_eq!(id, WorkerId(0));
+        assert_eq!(pool.get(id).weights.alpha(), 0.9);
+        pool.get_mut(id).weights = Weights::balanced();
+        assert_eq!(pool.get(id).weights.alpha(), 0.5);
+    }
+}

@@ -1,0 +1,263 @@
+//! Property-based tests for the core model: metric axioms, motivation
+//! identities, QAP mapping invariants, and solver feasibility under
+//! arbitrary instances.
+
+use std::collections::BTreeSet;
+
+use hta_core::metric::{Dice, Distance, Hamming, Jaccard, WeightedJaccard};
+use hta_core::motivation::{
+    marginal_diversity, motivation, normalized_gains, task_diversity, task_relevance,
+};
+use hta_core::prelude::*;
+use hta_core::qap::{assignment_from_permutation, qap_objective};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const NBITS: usize = 48;
+
+fn keyword_vec() -> impl Strategy<Value = KeywordVec> {
+    proptest::collection::vec(0usize..NBITS, 0..10)
+        .prop_map(|idx| KeywordVec::from_indices(NBITS, &idx))
+}
+
+/// A random instance built from explicit matrices whose diversity values
+/// lie in `[0.5, 1] ∪ {0}` (always a metric).
+fn matrix_instance() -> impl Strategy<Value = Instance> {
+    (1usize..=2, 2usize..=3, 4usize..=9).prop_flat_map(|(nw, xmax, nt)| {
+        (
+            proptest::collection::vec(0.0f64..1.0, nw),
+            proptest::collection::vec(0.0f64..1.0, nw * nt),
+            proptest::collection::vec(0.5f64..1.0, nt * nt),
+        )
+            .prop_map(move |(alphas, rel, raw_div)| {
+                let weights: Vec<Weights> =
+                    alphas.iter().map(|&a| Weights::from_alpha(a)).collect();
+                let mut div = vec![0.0; nt * nt];
+                for k in 0..nt {
+                    for l in (k + 1)..nt {
+                        let d = raw_div[k * nt + l];
+                        div[k * nt + l] = d;
+                        div[l * nt + k] = d;
+                    }
+                }
+                Instance::from_matrices(nt, &weights, rel, div, xmax).unwrap()
+            })
+    })
+}
+
+proptest! {
+    // ---- metric axioms ------------------------------------------------
+
+    #[test]
+    fn jaccard_axioms(a in keyword_vec(), b in keyword_vec(), c in keyword_vec()) {
+        let d = Jaccard;
+        prop_assert!(d.dist(&a, &a).abs() < 1e-12, "identity");
+        prop_assert!((d.dist(&a, &b) - d.dist(&b, &a)).abs() < 1e-12, "symmetry");
+        let (ab, bc, ac) = (d.dist(&a, &b), d.dist(&b, &c), d.dist(&a, &c));
+        prop_assert!(ac <= ab + bc + 1e-9, "triangle: {ac} > {ab} + {bc}");
+        prop_assert!((0.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn hamming_axioms(a in keyword_vec(), b in keyword_vec(), c in keyword_vec()) {
+        let d = Hamming;
+        prop_assert!(d.dist(&a, &a).abs() < 1e-12);
+        prop_assert!((d.dist(&a, &b) - d.dist(&b, &a)).abs() < 1e-12);
+        prop_assert!(d.dist(&a, &c) <= d.dist(&a, &b) + d.dist(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn weighted_jaccard_triangle(a in keyword_vec(), b in keyword_vec(), c in keyword_vec(),
+                                 w in proptest::collection::vec(0.0f64..5.0, NBITS)) {
+        let d = WeightedJaccard::new(w);
+        prop_assert!(d.dist(&a, &c) <= d.dist(&a, &b) + d.dist(&b, &c) + 1e-9);
+    }
+
+    #[test]
+    fn dice_symmetric_and_bounded(a in keyword_vec(), b in keyword_vec()) {
+        // Dice is not a metric, but must still be a symmetric bounded
+        // dissimilarity with zero self-distance.
+        let d = Dice;
+        prop_assert!(d.dist(&a, &a).abs() < 1e-12);
+        prop_assert!((d.dist(&a, &b) - d.dist(&b, &a)).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d.dist(&a, &b)));
+    }
+
+    // ---- motivation identities ------------------------------------------
+
+    #[test]
+    fn diversity_decomposes_incrementally(inst in matrix_instance()) {
+        // TD(S ∪ {t}) = TD(S) + Σ_{k∈S} d(t, k) — the identity behind the
+        // marginal-gain observation of Section III.
+        let n = inst.n_tasks();
+        let set: Vec<usize> = (0..n - 1).collect();
+        let t = n - 1;
+        let lhs = task_diversity(&inst, &(0..n).collect::<Vec<_>>());
+        let rhs = task_diversity(&inst, &set) + marginal_diversity(&inst, &set, t);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn motivation_invariant_under_set_order(inst in matrix_instance()) {
+        let n = inst.n_tasks();
+        let fwd: Vec<usize> = (0..n).collect();
+        let rev: Vec<usize> = (0..n).rev().collect();
+        for q in 0..inst.n_workers() {
+            prop_assert!((motivation(&inst, q, &fwd) - motivation(&inst, q, &rev)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn motivation_is_nonnegative_and_relevance_bounded(inst in matrix_instance()) {
+        let n = inst.n_tasks();
+        let all: Vec<usize> = (0..n).collect();
+        for q in 0..inst.n_workers() {
+            prop_assert!(motivation(&inst, q, &all) >= 0.0);
+            let tr = task_relevance(&inst, q, &all);
+            prop_assert!(tr >= 0.0 && tr <= n as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn normalized_gains_live_in_unit_interval(inst in matrix_instance()) {
+        let n = inst.n_tasks();
+        let completed: Vec<usize> = (0..n / 2).collect();
+        let remaining: Vec<usize> = (n / 2..n).collect();
+        let t = remaining[0];
+        let (nd, nr) = normalized_gains(&inst, 0, &completed, &remaining, t);
+        if let Some(g) = nd {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&g));
+        }
+        if let Some(g) = nr {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&g));
+        }
+    }
+
+    // ---- QAP mapping ------------------------------------------------------
+
+    #[test]
+    fn qap_equals_direct_objective_on_full_assignments(inst in matrix_instance(),
+                                                       seed in 0u64..1000) {
+        let n = inst.n_tasks();
+        if n < inst.n_workers() * inst.xmax() {
+            return Ok(()); // mapping requires |T| >= |W|·X_max
+        }
+        use rand::seq::SliceRandom;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pi: Vec<usize> = (0..n).collect();
+        pi.shuffle(&mut rng);
+        let a = assignment_from_permutation(&pi, n, inst.xmax(), inst.n_workers());
+        prop_assert!(a.validate(&inst).is_ok());
+        let direct = a.objective(&inst);
+        let qap = qap_objective(&inst, &pi);
+        prop_assert!((qap - direct).abs() < 1e-9, "qap={qap} direct={direct}");
+    }
+
+    // ---- solver feasibility over arbitrary instances ----------------------
+
+    #[test]
+    fn solvers_always_feasible(inst in matrix_instance(), seed in 0u64..100) {
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(HtaApp::new()),
+            Box::new(HtaGre::new()),
+            Box::new(HtaGre::structured()),
+            Box::new(GreedyMotivation),
+            Box::new(RandomAssign),
+        ];
+        for solver in &solvers {
+            let out = solver.solve(&inst, &mut StdRng::seed_from_u64(seed));
+            prop_assert!(out.assignment.validate(&inst).is_ok(), "{}", solver.name());
+            // Full assignment whenever tasks suffice.
+            let expect = (inst.n_workers() * inst.xmax()).min(inst.n_tasks());
+            if solver.name() != "greedy-motivation" {
+                prop_assert_eq!(out.assignment.assigned_count(), expect, "{}", solver.name());
+            }
+        }
+    }
+
+    #[test]
+    fn local_search_never_hurts(inst in matrix_instance(), seed in 0u64..50) {
+        let base = HtaGre::new().solve(&inst, &mut StdRng::seed_from_u64(seed));
+        let improved = hta_core::solver::local_search::improve(&inst, &base.assignment, 10);
+        prop_assert!(improved.validate(&inst).is_ok());
+        prop_assert!(improved.objective(&inst) >= base.assignment.objective(&inst) - 1e-9);
+    }
+
+    // ---- adaptive estimator ------------------------------------------------
+
+    #[test]
+    fn estimator_stays_on_simplex(gains in proptest::collection::vec(
+        (proptest::option::of(0.0f64..1.0), proptest::option::of(0.0f64..1.0)), 0..20)) {
+        let mut e = WeightEstimator::new(Weights::balanced());
+        for (d, r) in gains {
+            e.observe_gains(d, r);
+        }
+        let w = e.estimate();
+        prop_assert!((w.alpha() + w.beta() - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&w.alpha()));
+    }
+}
+
+/// Model-based tests: [`KeywordVec`] set operations against `BTreeSet`.
+mod bitvec_model {
+    use super::*;
+
+    fn model_pair() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+        (
+            proptest::collection::vec(0usize..NBITS, 0..24),
+            proptest::collection::vec(0usize..NBITS, 0..24),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn set_ops_match_btreeset((ia, ib) in model_pair()) {
+            let va = KeywordVec::from_indices(NBITS, &ia);
+            let vb = KeywordVec::from_indices(NBITS, &ib);
+            let sa: BTreeSet<usize> = ia.iter().copied().collect();
+            let sb: BTreeSet<usize> = ib.iter().copied().collect();
+
+            prop_assert_eq!(va.count_ones(), sa.len());
+            prop_assert_eq!(va.intersection_count(&vb), sa.intersection(&sb).count());
+            prop_assert_eq!(va.union_count(&vb), sa.union(&sb).count());
+            prop_assert_eq!(
+                va.symmetric_difference_count(&vb),
+                sa.symmetric_difference(&sb).count()
+            );
+            let ones: Vec<usize> = va.iter_ones().collect();
+            let expect: Vec<usize> = sa.iter().copied().collect();
+            prop_assert_eq!(ones, expect);
+        }
+
+        #[test]
+        fn set_and_clear_are_inverse(idx in proptest::collection::vec(0usize..NBITS, 1..20)) {
+            let mut v = KeywordVec::new(NBITS);
+            for &i in &idx {
+                v.set(i);
+                prop_assert!(v.get(i));
+            }
+            for &i in &idx {
+                v.clear(i);
+                prop_assert!(!v.get(i));
+            }
+            prop_assert_eq!(v.count_ones(), 0);
+        }
+
+        #[test]
+        fn jaccard_from_counts_identity((ia, ib) in model_pair()) {
+            // Jaccard distance computed through the vector ops equals the
+            // set-theoretic definition.
+            let va = KeywordVec::from_indices(NBITS, &ia);
+            let vb = KeywordVec::from_indices(NBITS, &ib);
+            let d = Jaccard.dist(&va, &vb);
+            let union = va.union_count(&vb);
+            let expect = if union == 0 {
+                0.0
+            } else {
+                1.0 - va.intersection_count(&vb) as f64 / union as f64
+            };
+            prop_assert!((d - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Stochastic worker behaviour model.
+//!
+//! Substitutes the paper's live AMT workers (DESIGN.md §4). The model has
+//! exactly the three mechanisms the paper itself invokes to explain its
+//! online results (Section V-C):
+//!
+//! 1. **Boredom** — "providing relevant tasks only may induce boredom":
+//!    completing a task similar to the previous one raises a boredom level;
+//!    a dissimilar task lowers it. High boredom degrades answer accuracy
+//!    (the paper observes REL's correct-answer rate "starts to drop after
+//!    21 minutes") and raises the quit hazard.
+//! 2. **Choice overhead** — "too much diversity results in overhead in
+//!    choosing tasks": very diverse displayed sets cost extra seconds per
+//!    task (scanning/context switching), so pure diversity has the worst
+//!    task throughput despite the best quality.
+//! 3. **Motivation-dependent retention** — workers whose displayed tasks
+//!    match their latent preferences stay longer; sustained boredom or
+//!    choice overload ends sessions early.
+//!
+//! All knobs live in [`BehaviorConfig`]; defaults are calibrated so the
+//! simulated Figure 5 reproduces the paper's orderings and approximate
+//! magnitudes (see EXPERIMENTS.md).
+
+use rand::{Rng, RngExt};
+
+/// Tunable constants of the behaviour model. Times are in minutes.
+#[derive(Debug, Clone)]
+pub struct BehaviorConfig {
+    // -- accuracy ---------------------------------------------------------
+    /// Weight of latent skill on accuracy: `+skill_gain·(skill − 0.5)`.
+    pub skill_gain: f64,
+    /// Accuracy bonus for a fully engaged (zero-boredom) worker.
+    pub freshness_gain: f64,
+    /// Maximum accuracy penalty at full boredom saturation.
+    pub boredom_penalty: f64,
+    /// Boredom level where penalties start.
+    pub boredom_onset: f64,
+    /// Lower accuracy clamp.
+    pub min_accuracy: f64,
+    /// Upper accuracy clamp.
+    pub max_accuracy: f64,
+
+    // -- boredom dynamics --------------------------------------------------
+    /// Boredom increase rate per unit of (similarity − 0.5) when positive.
+    pub boredom_up_rate: f64,
+    /// Boredom decrease rate per unit of (0.5 − similarity) when positive.
+    pub boredom_down_rate: f64,
+
+    // -- timing -------------------------------------------------------------
+    /// Base task completion time (minutes) for an average-speed worker.
+    pub base_task_minutes: f64,
+    /// Multiplier for switching to a dissimilar task (context switch).
+    pub switch_cost: f64,
+    /// Extra minutes per unit of mean displayed-set diversity (choosing).
+    pub choice_overhead_minutes: f64,
+    /// Speed-up from task familiarity: time shrinks by
+    /// `familiarity_speedup · rel(task, worker)` (proficiency makes work
+    /// faster — the channel that gives relevance-heavy assignment its
+    /// throughput edge per task).
+    pub familiarity_speedup: f64,
+    /// Slowdown multiplier at full boredom saturation.
+    pub boredom_slowdown: f64,
+    /// Multiplicative timing noise range `[1 − noise, 1 + noise]`.
+    pub time_noise: f64,
+
+    // -- retention -----------------------------------------------------------
+    /// Baseline quit hazard, per minute of work.
+    pub base_quit_hazard: f64,
+    /// Extra per-minute hazard at full boredom saturation.
+    pub boredom_quit_weight: f64,
+    /// Extra per-minute hazard at maximal choice overload (display
+    /// diversity beyond `overload_threshold`).
+    pub overload_quit_weight: f64,
+    /// Mean displayed diversity above which choice overload begins.
+    pub overload_threshold: f64,
+    /// Extra per-minute hazard when the displayed tasks do not match the
+    /// worker's latent motivation (disengagement): weighted by
+    /// `1 − preference_match/engagement_full_match`.
+    pub disengagement_quit_weight: f64,
+    /// The preference-match level considered fully engaging (keyword-vector
+    /// relevance rarely reaches 1.0, so full engagement sits below 1).
+    pub engagement_full_match: f64,
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        Self {
+            skill_gain: 0.10,
+            freshness_gain: 0.06,
+            boredom_penalty: 0.60,
+            boredom_onset: 0.25,
+            min_accuracy: 0.05,
+            max_accuracy: 0.98,
+
+            boredom_up_rate: 0.45,
+            boredom_down_rate: 0.12,
+
+            base_task_minutes: 0.52,
+            switch_cost: 0.25,
+            choice_overhead_minutes: 0.10,
+            familiarity_speedup: 0.25,
+            boredom_slowdown: 0.30,
+            time_noise: 0.20,
+
+            base_quit_hazard: 0.0015,
+            boredom_quit_weight: 0.060,
+            overload_quit_weight: 0.060,
+            overload_threshold: 0.84,
+            disengagement_quit_weight: 0.040,
+            engagement_full_match: 0.65,
+        }
+    }
+}
+
+impl BehaviorConfig {
+    /// How far past the onset the boredom level is, normalized to `[0, 1]`.
+    pub fn boredom_saturation(&self, boredom: f64) -> f64 {
+        ((boredom - self.boredom_onset) / (1.0 - self.boredom_onset)).clamp(0.0, 1.0)
+    }
+
+    /// Probability of answering one question correctly.
+    ///
+    /// `base_accuracy` is the task kind's difficulty baseline, `skill` the
+    /// worker's latent skill for the kind, `boredom` the current level.
+    pub fn accuracy(&self, base_accuracy: f64, skill: f64, boredom: f64) -> f64 {
+        let sat = self.boredom_saturation(boredom);
+        (base_accuracy
+            + self.skill_gain * (skill - 0.5)
+            + self.freshness_gain * (1.0 - boredom)
+            - self.boredom_penalty * sat)
+            .clamp(self.min_accuracy, self.max_accuracy)
+    }
+
+    /// Update the boredom level after completing a task whose Jaccard
+    /// *similarity* to the previous task is `similarity` (`1 − d`).
+    pub fn boredom_update(&self, boredom: f64, similarity: f64) -> f64 {
+        let delta = similarity - 0.5;
+        let next = if delta >= 0.0 {
+            boredom + self.boredom_up_rate * delta * 2.0
+        } else {
+            boredom + self.boredom_down_rate * delta * 2.0
+        };
+        next.clamp(0.0, 1.0)
+    }
+
+    /// Minutes to complete the next task.
+    ///
+    /// * `speed` — worker speed multiplier (1.0 = average);
+    /// * `switch_diversity` — distance to the previous task (context switch);
+    /// * `display_diversity` — mean pairwise diversity of the displayed set
+    ///   (choice overhead);
+    /// * `relevance` — `rel(task, worker)` of the chosen task (familiarity);
+    /// * `boredom` — current level (bored workers slow down).
+    pub fn task_minutes<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        speed: f64,
+        switch_diversity: f64,
+        display_diversity: f64,
+        relevance: f64,
+        boredom: f64,
+    ) -> f64 {
+        let sat = self.boredom_saturation(boredom);
+        let work = self.base_task_minutes / speed
+            * (1.0 + self.switch_cost * switch_diversity)
+            * (1.0 - self.familiarity_speedup * relevance.clamp(0.0, 1.0))
+            * (1.0 + self.boredom_slowdown * sat);
+        let choose = self.choice_overhead_minutes * display_diversity;
+        let noise = 1.0 + self.time_noise * (2.0 * rng.random::<f64>() - 1.0);
+        ((work + choose) * noise).max(0.05)
+    }
+
+    /// Probability that the worker ends the session after a task that took
+    /// `elapsed_minutes` (hazards are per-minute, so fast workers are not
+    /// penalized for completing more tasks per unit time).
+    ///
+    /// `preference_match ∈ [0, 1]` measures how well the recent displayed
+    /// tasks matched the worker's latent motivation; values at or above
+    /// [`Self::engagement_full_match`] count as fully engaged.
+    pub fn quit_probability(
+        &self,
+        boredom: f64,
+        display_diversity: f64,
+        preference_match: f64,
+        elapsed_minutes: f64,
+    ) -> f64 {
+        let sat = self.boredom_saturation(boredom);
+        let overload = ((display_diversity - self.overload_threshold)
+            / (1.0 - self.overload_threshold))
+            .clamp(0.0, 1.0);
+        let engagement = (preference_match / self.engagement_full_match).clamp(0.0, 1.0);
+        let rate = self.base_quit_hazard
+            + self.boredom_quit_weight * sat
+            + self.overload_quit_weight * overload
+            + self.disengagement_quit_weight * (1.0 - engagement);
+        // 1 − exp(−rate·dt), the exact survival form.
+        (1.0 - (-rate * elapsed_minutes.max(0.0)).exp()).clamp(0.0, 0.9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> BehaviorConfig {
+        BehaviorConfig::default()
+    }
+
+    #[test]
+    fn accuracy_decreases_with_boredom() {
+        let c = cfg();
+        let fresh = c.accuracy(0.76, 0.6, 0.0);
+        let bored = c.accuracy(0.76, 0.6, 0.9);
+        assert!(fresh > bored + 0.15, "fresh={fresh} bored={bored}");
+        assert!((c.min_accuracy..=c.max_accuracy).contains(&fresh));
+        assert!((c.min_accuracy..=c.max_accuracy).contains(&bored));
+    }
+
+    #[test]
+    fn accuracy_increases_with_skill() {
+        let c = cfg();
+        assert!(c.accuracy(0.76, 0.9, 0.2) > c.accuracy(0.76, 0.3, 0.2));
+    }
+
+    #[test]
+    fn accuracy_is_clamped() {
+        let c = cfg();
+        assert_eq!(c.accuracy(1.5, 1.0, 0.0), c.max_accuracy);
+        assert_eq!(c.accuracy(-0.5, 0.0, 1.0), c.min_accuracy);
+    }
+
+    #[test]
+    fn boredom_rises_on_similar_falls_on_diverse() {
+        let c = cfg();
+        let b1 = c.boredom_update(0.4, 0.95); // near-identical task
+        assert!(b1 > 0.4);
+        let b2 = c.boredom_update(0.4, 0.05); // very different task
+        assert!(b2 < 0.4);
+        // Clamped to [0, 1].
+        assert_eq!(c.boredom_update(0.98, 1.0).min(1.0), c.boredom_update(0.98, 1.0));
+        assert_eq!(c.boredom_update(0.02, 0.0).max(0.0), c.boredom_update(0.02, 0.0));
+    }
+
+    #[test]
+    fn boredom_saturates_under_repetition() {
+        let c = cfg();
+        let mut b = 0.0;
+        for _ in 0..20 {
+            b = c.boredom_update(b, 0.9);
+        }
+        assert!(b > 0.9, "sustained similarity should saturate boredom, got {b}");
+    }
+
+    #[test]
+    fn diverse_tasks_take_longer() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let similar: f64 = (0..200)
+            .map(|_| c.task_minutes(&mut rng, 1.0, 0.1, 0.2, 0.0, 0.0))
+            .sum::<f64>()
+            / 200.0;
+        let diverse: f64 = (0..200)
+            .map(|_| c.task_minutes(&mut rng, 1.0, 0.9, 0.9, 0.0, 0.0))
+            .sum::<f64>()
+            / 200.0;
+        assert!(diverse > similar * 1.15, "similar={similar} diverse={diverse}");
+    }
+
+    #[test]
+    fn bored_workers_slow_down() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(2);
+        let fresh: f64 = (0..200)
+            .map(|_| c.task_minutes(&mut rng, 1.0, 0.2, 0.2, 0.0, 0.0))
+            .sum::<f64>()
+            / 200.0;
+        let bored: f64 = (0..200)
+            .map(|_| c.task_minutes(&mut rng, 1.0, 0.2, 0.2, 0.0, 1.0))
+            .sum::<f64>()
+            / 200.0;
+        assert!(bored > fresh * 1.1);
+    }
+
+    #[test]
+    fn faster_workers_finish_sooner() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(3);
+        let slow: f64 = (0..200)
+            .map(|_| c.task_minutes(&mut rng, 0.8, 0.5, 0.5, 0.0, 0.0))
+            .sum::<f64>()
+            / 200.0;
+        let fast: f64 = (0..200)
+            .map(|_| c.task_minutes(&mut rng, 1.2, 0.5, 0.5, 0.0, 0.0))
+            .sum::<f64>()
+            / 200.0;
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn quit_hazard_rises_with_boredom_and_overload() {
+        let c = cfg();
+        let balanced = c.quit_probability(0.2, 0.5, 1.0, 1.0);
+        let bored = c.quit_probability(1.0, 0.2, 1.0, 1.0);
+        let overloaded = c.quit_probability(0.1, 0.95, 1.0, 1.0);
+        assert!(bored > balanced);
+        assert!(overloaded > balanced);
+        assert!(balanced > 0.0);
+        assert!(bored <= 0.9 && overloaded <= 0.9);
+    }
+
+    #[test]
+    fn familiar_tasks_are_faster() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(5);
+        let unfamiliar: f64 = (0..200)
+            .map(|_| c.task_minutes(&mut rng, 1.0, 0.3, 0.3, 0.0, 0.0))
+            .sum::<f64>()
+            / 200.0;
+        let familiar: f64 = (0..200)
+            .map(|_| c.task_minutes(&mut rng, 1.0, 0.3, 0.3, 0.9, 0.0))
+            .sum::<f64>()
+            / 200.0;
+        assert!(familiar < unfamiliar * 0.8, "familiar={familiar} unfamiliar={unfamiliar}");
+    }
+
+    #[test]
+    fn disengagement_raises_quit_hazard() {
+        let c = cfg();
+        let engaged = c.quit_probability(0.1, 0.3, 1.0, 1.0);
+        let disengaged = c.quit_probability(0.1, 0.3, 0.0, 1.0);
+        assert!(disengaged > engaged + 0.02);
+        // Hazard scales with elapsed time.
+        let short = c.quit_probability(0.9, 0.9, 0.0, 0.2);
+        let long = c.quit_probability(0.9, 0.9, 0.0, 2.0);
+        assert!(long > short);
+    }
+
+    #[test]
+    fn task_time_never_non_positive() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(c.task_minutes(&mut rng, 1.25, 0.0, 0.0, 1.0, 0.0) > 0.0);
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The three online KPIs of Section V-C, as time series matching the
+//! paper's Figure 5: cumulative crowdwork quality (5a), cumulative task
+//! throughput (5b), and worker retention (5c).
+
+use crate::platform::SessionRecord;
+
+/// A time series over session-relative minutes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    /// Bucket upper edges in minutes (1, 2, …, limit).
+    pub minutes: Vec<f64>,
+    /// The series values at each bucket.
+    pub values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Value at the final bucket (the end-of-session figure).
+    pub fn last(&self) -> f64 {
+        self.values.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Figure 5a: cumulative percentage of questions answered correctly, by
+/// elapsed time. At bucket `m`, considers all questions answered in
+/// `[0, m]` minutes across all sessions.
+pub fn quality_series(records: &[SessionRecord], limit_minutes: usize) -> TimeSeries {
+    let mut questions = vec![0u64; limit_minutes];
+    let mut correct = vec![0u64; limit_minutes];
+    for r in records {
+        for c in &r.completions {
+            let b = bucket(c.minute, limit_minutes);
+            questions[b] += c.questions as u64;
+            correct[b] += c.correct as u64;
+        }
+    }
+    let mut minutes = Vec::with_capacity(limit_minutes);
+    let mut values = Vec::with_capacity(limit_minutes);
+    let (mut cq, mut cc) = (0u64, 0u64);
+    for m in 0..limit_minutes {
+        cq += questions[m];
+        cc += correct[m];
+        minutes.push((m + 1) as f64);
+        values.push(if cq == 0 {
+            0.0
+        } else {
+            100.0 * cc as f64 / cq as f64
+        });
+    }
+    TimeSeries { minutes, values }
+}
+
+/// Figure 5b: cumulative number of completed tasks across all sessions.
+pub fn throughput_series(records: &[SessionRecord], limit_minutes: usize) -> TimeSeries {
+    let mut counts = vec![0u64; limit_minutes];
+    for r in records {
+        for c in &r.completions {
+            counts[bucket(c.minute, limit_minutes)] += 1;
+        }
+    }
+    let mut minutes = Vec::with_capacity(limit_minutes);
+    let mut values = Vec::with_capacity(limit_minutes);
+    let mut acc = 0u64;
+    for m in 0..limit_minutes {
+        acc += counts[m];
+        minutes.push((m + 1) as f64);
+        values.push(acc as f64);
+    }
+    TimeSeries { minutes, values }
+}
+
+/// Figure 5c: worker retention — the percentage of sessions that lasted
+/// *longer than* each minute mark (a survival curve).
+pub fn retention_series(records: &[SessionRecord], limit_minutes: usize) -> TimeSeries {
+    let n = records.len().max(1) as f64;
+    let mut minutes = Vec::with_capacity(limit_minutes);
+    let mut values = Vec::with_capacity(limit_minutes);
+    for m in 1..=limit_minutes {
+        let surviving = records
+            .iter()
+            .filter(|r| r.duration_minutes > m as f64)
+            .count();
+        minutes.push(m as f64);
+        values.push(100.0 * surviving as f64 / n);
+    }
+    TimeSeries { minutes, values }
+}
+
+/// End-of-session aggregates for one strategy (the numbers the paper quotes
+/// in the text of Section V-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrategySummary {
+    /// Number of sessions aggregated.
+    pub n_sessions: usize,
+    /// Total completed tasks (the Fig. 5b endpoint).
+    pub total_completed: usize,
+    /// Mean completed tasks per session.
+    pub completed_per_session: f64,
+    /// Total questions answered.
+    pub total_questions: u64,
+    /// Total questions answered correctly.
+    pub total_correct: u64,
+    /// Crowdwork quality (the Fig. 5a endpoint).
+    pub percent_correct: f64,
+    /// Mean session duration in minutes.
+    pub mean_session_minutes: f64,
+    /// Share of sessions lasting more than `retention_probe_minutes`.
+    pub retention_at_probe: f64,
+    /// The probe used for `retention_at_probe`.
+    pub retention_probe_minutes: f64,
+    /// Mean per-task reward paid, in dollars.
+    pub mean_task_reward_dollars: f64,
+}
+
+/// Compute the summary; `probe_minutes` matches the paper's "85% of workers
+/// stayed over 18.2 minutes" observation.
+pub fn summarize(records: &[SessionRecord], probe_minutes: f64) -> StrategySummary {
+    let n = records.len();
+    let total_completed: usize = records.iter().map(|r| r.n_completed()).sum();
+    let total_questions: u64 = records.iter().map(|r| r.total_questions() as u64).sum();
+    let total_correct: u64 = records.iter().map(|r| r.total_correct() as u64).sum();
+    let mean_minutes = if n == 0 {
+        0.0
+    } else {
+        records.iter().map(|r| r.duration_minutes).sum::<f64>() / n as f64
+    };
+    let surviving = records
+        .iter()
+        .filter(|r| r.duration_minutes > probe_minutes)
+        .count();
+    let total_task_earnings: u32 = records
+        .iter()
+        .map(|r| r.earnings_cents.saturating_sub(10))
+        .sum();
+    StrategySummary {
+        n_sessions: n,
+        total_completed,
+        completed_per_session: if n == 0 {
+            0.0
+        } else {
+            total_completed as f64 / n as f64
+        },
+        total_questions,
+        total_correct,
+        percent_correct: if total_questions == 0 {
+            0.0
+        } else {
+            100.0 * total_correct as f64 / total_questions as f64
+        },
+        mean_session_minutes: mean_minutes,
+        retention_at_probe: if n == 0 {
+            0.0
+        } else {
+            100.0 * surviving as f64 / n as f64
+        },
+        retention_probe_minutes: probe_minutes,
+        mean_task_reward_dollars: if total_completed == 0 {
+            0.0
+        } else {
+            total_task_earnings as f64 / 100.0 / total_completed as f64
+        },
+    }
+}
+
+fn bucket(minute: f64, limit: usize) -> usize {
+    (minute.floor() as usize).min(limit - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::CompletionRecord;
+    use crate::strategies::Strategy;
+
+    fn record(duration: f64, completions: Vec<(f64, u32, u32)>) -> SessionRecord {
+        SessionRecord {
+            strategy: Strategy::HtaGre,
+            worker_index: 0,
+            duration_minutes: duration,
+            completions: completions
+                .into_iter()
+                .map(|(minute, questions, correct)| CompletionRecord {
+                    minute,
+                    questions,
+                    correct,
+                    kind: 0,
+                    task_index: 0,
+                    boredom: 0.0,
+                    pref_match: 1.0,
+                    display_diversity: 0.0,
+                })
+                .collect(),
+            iterations: 1,
+            end_reason: crate::platform::EndReason::TimeLimit,
+            earnings_cents: 10,
+            arrival_minute: 0.0,
+        }
+    }
+
+    #[test]
+    fn quality_series_is_cumulative_percentage() {
+        let records = vec![
+            record(10.0, vec![(0.5, 2, 2), (1.5, 2, 0)]),
+            record(10.0, vec![(2.5, 2, 1)]),
+        ];
+        let s = quality_series(&records, 5);
+        assert_eq!(s.minutes, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.values[0], 100.0); // 2/2
+        assert_eq!(s.values[1], 50.0); // 2/4
+        assert!((s.values[2] - 50.0).abs() < 1e-9); // 3/6
+        assert_eq!(s.last(), 50.0);
+    }
+
+    #[test]
+    fn throughput_series_counts_cumulatively() {
+        let records = vec![
+            record(10.0, vec![(0.2, 1, 1), (3.7, 1, 0)]),
+            record(10.0, vec![(0.9, 1, 1)]),
+        ];
+        let s = throughput_series(&records, 5);
+        assert_eq!(s.values, vec![2.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn retention_is_a_survival_curve() {
+        let records = vec![
+            record(5.5, vec![]),
+            record(20.0, vec![]),
+            record(30.0, vec![]),
+            record(2.0, vec![]),
+        ];
+        let s = retention_series(&records, 30);
+        assert_eq!(s.values[0], 100.0); // all last > 1 min
+        assert_eq!(s.values[4], 75.0); // > 5 min: 3 of 4
+        assert_eq!(s.values[19], 25.0); // > 20 min: only the 30.0 session
+        assert_eq!(s.values[25], 25.0); // > 26 min: only the 30.0 session
+        // Monotonically non-increasing.
+        for w in s.values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let records = vec![
+            record(25.0, vec![(1.0, 2, 1), (2.0, 2, 2)]),
+            record(15.0, vec![(1.0, 2, 0)]),
+        ];
+        let s = summarize(&records, 18.2);
+        assert_eq!(s.n_sessions, 2);
+        assert_eq!(s.total_completed, 3);
+        assert_eq!(s.completed_per_session, 1.5);
+        assert_eq!(s.total_questions, 6);
+        assert_eq!(s.total_correct, 3);
+        assert_eq!(s.percent_correct, 50.0);
+        assert_eq!(s.mean_session_minutes, 20.0);
+        assert_eq!(s.retention_at_probe, 50.0);
+    }
+
+    #[test]
+    fn empty_records_are_safe() {
+        let s = summarize(&[], 18.2);
+        assert_eq!(s.percent_correct, 0.0);
+        let q = quality_series(&[], 30);
+        assert_eq!(q.last(), 0.0);
+        let r = retention_series(&[], 30);
+        assert_eq!(r.values[0], 0.0);
+    }
+
+    #[test]
+    fn late_completions_clamp_to_last_bucket() {
+        let records = vec![record(30.0, vec![(29.9, 1, 1), (30.0, 1, 1)])];
+        let s = throughput_series(&records, 30);
+        assert_eq!(s.last(), 2.0);
+    }
+}

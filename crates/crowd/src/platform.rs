@@ -1,0 +1,849 @@
+//! The crowdsourcing platform: the assignment-service workflow of the
+//! paper's Figure 4, driven by a discrete-event simulation.
+//!
+//! Workers enter a work session, are shown an assigned set of tasks
+//! (`X_max` solver-assigned plus a few random ones "to avoid falling into a
+//! silo"), choose and complete tasks, and are re-assigned when their
+//! displayed set runs low. The assignment service monitors completions,
+//! re-estimates `(α_w, β_w)` for the adaptive strategy, and solves HTA for
+//! all workers that need new tasks at once — the *holistic* part of HTA.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hta_core::{
+    Instance, KeywordVec, Solver, Task, TaskId, WeightEstimator, Weights, Worker, WorkerId,
+};
+use hta_core::solver::HtaGre;
+use hta_datagen::crowdflower::{CrowdflowerCatalog, KINDS};
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::behavior::BehaviorConfig;
+use crate::population::LiveWorker;
+use crate::strategies::Strategy;
+
+/// Platform configuration (paper values as defaults).
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Tasks per solver assignment (the paper sets `X_max = 15`).
+    pub xmax: usize,
+    /// Extra random tasks displayed alongside ("an additional 5 random
+    /// tasks to avoid falling into a silo").
+    pub display_extra_random: usize,
+    /// Hard session limit in minutes (HITs must finish within 30).
+    pub session_minutes: f64,
+    /// Trigger a new assignment iteration when a worker's displayed set
+    /// drops below this many tasks.
+    pub refill_below: usize,
+    /// Cap on the number of available tasks considered per HTA solve (the
+    /// service works on the current window of open tasks).
+    pub max_instance_tasks: usize,
+    /// Scale of the noise in the worker's task-choice utility.
+    pub choice_noise: f64,
+    /// How many recent completions feed the marginal-diversity signal.
+    pub diversity_memory: usize,
+    /// Contrast applied to the adaptive weight estimate before solving:
+    /// `α' = 0.5 + sharpening·(α̂ − 0.5)`, clamped to `[0, 1]`. The paper's
+    /// normalized-gain estimator is correct in *direction* but compressed in
+    /// *magnitude* (both gains are normalized against the best candidate on
+    /// display, so they rarely stray far from ½); the service stretches the
+    /// estimate so assignments actually specialize. `1.0` disables.
+    pub adaptive_sharpening: f64,
+    /// The behaviour model.
+    pub behavior: BehaviorConfig,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self {
+            xmax: 15,
+            display_extra_random: 5,
+            session_minutes: 30.0,
+            refill_below: 8,
+            max_instance_tasks: 1200,
+            choice_noise: 0.15,
+            diversity_memory: 8,
+            adaptive_sharpening: 4.0,
+            behavior: BehaviorConfig::default(),
+        }
+    }
+}
+
+/// One completed task within a session.
+#[derive(Debug, Clone)]
+pub struct CompletionRecord {
+    /// Session-relative completion time in minutes.
+    pub minute: f64,
+    /// Number of questions the task asked.
+    pub questions: u32,
+    /// Questions answered correctly.
+    pub correct: u32,
+    /// Task kind (0..22).
+    pub kind: usize,
+    /// Catalog task index.
+    pub task_index: usize,
+    /// Worker's boredom level when answering (instrumentation).
+    pub boredom: f64,
+    /// The worker's engagement (preference-match EMA) at completion time
+    /// (instrumentation).
+    pub pref_match: f64,
+    /// Mean pairwise diversity of the displayed set at completion time
+    /// (instrumentation).
+    pub display_diversity: f64,
+}
+
+/// Why a session ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EndReason {
+    /// The 30-minute HIT limit expired.
+    TimeLimit,
+    /// The worker chose to leave (quit hazard).
+    Quit,
+    /// No tasks were left to display.
+    PoolExhausted,
+}
+
+/// One work session.
+#[derive(Debug, Clone)]
+pub struct SessionRecord {
+    /// The strategy arm this session ran under.
+    pub strategy: Strategy,
+    /// The worker's population index.
+    pub worker_index: usize,
+    /// How long the worker stayed, in minutes (≤ the session limit).
+    pub duration_minutes: f64,
+    /// Every completed task, in completion order.
+    pub completions: Vec<CompletionRecord>,
+    /// Number of assignment iterations the session went through.
+    pub iterations: usize,
+    /// Why the session ended.
+    pub end_reason: EndReason,
+    /// Total earnings in cents: the HIT base reward plus per-task rewards
+    /// (the paper pays a $0.10 HIT reward plus each task's reward).
+    pub earnings_cents: u32,
+    /// When the worker arrived, in platform-global minutes (0 unless the
+    /// cohort was run with staggered arrivals).
+    pub arrival_minute: f64,
+}
+
+impl SessionRecord {
+    /// Total questions answered.
+    pub fn total_questions(&self) -> u32 {
+        self.completions.iter().map(|c| c.questions).sum()
+    }
+
+    /// Total questions answered correctly.
+    pub fn total_correct(&self) -> u32 {
+        self.completions.iter().map(|c| c.correct).sum()
+    }
+
+    /// Number of completed tasks.
+    pub fn n_completed(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Mean per-task reward in dollars (the paper reports ≈ $0.064 for the
+    /// Hta-Gre arm), excluding the HIT base reward.
+    pub fn mean_task_reward_dollars(&self) -> f64 {
+        if self.completions.is_empty() {
+            return 0.0;
+        }
+        (self.earnings_cents.saturating_sub(10)) as f64
+            / 100.0
+            / self.completions.len() as f64
+    }
+}
+
+struct Active<'w> {
+    worker: &'w LiveWorker,
+    /// Platform-global arrival time, minutes.
+    arrival: f64,
+    display: Vec<usize>,
+    display_diversity: f64,
+    completed: Vec<usize>,
+    boredom: f64,
+    /// Exponential average of how well chosen tasks matched the worker's
+    /// latent motivation (1 = perfectly engaged).
+    pref_match: f64,
+    estimator: WeightEstimator,
+    alive: bool,
+    pending: Option<usize>,
+    pending_minutes: f64,
+    iterations: usize,
+    record: SessionRecord,
+}
+
+/// The platform: owns the task availability state across cohorts.
+pub struct Platform<'c> {
+    catalog: &'c CrowdflowerCatalog,
+    cfg: PlatformConfig,
+    available: Vec<bool>,
+    solver: Box<dyn Solver>,
+}
+
+impl<'c> Platform<'c> {
+    /// Build a platform over `catalog` using HTA-GRE (structured costs) as
+    /// the assignment solver — the paper deploys HTA-GRE only.
+    ///
+    /// The random ½-flip of matched pairs (Algorithm 2, lines 12–16) is
+    /// disabled here: it exists solely for the worst-case expectation proof
+    /// and, under fixed weights (`α = 0` or `β = 0`), strictly damages the
+    /// deterministic solution by swapping assigned tasks with their
+    /// diversity-matched partners. The paper's deployed REL arm visibly
+    /// produced relevance silos (they added 5 random tasks to break them),
+    /// which is only consistent with the unflipped solution.
+    pub fn new(catalog: &'c CrowdflowerCatalog, cfg: PlatformConfig) -> Self {
+        Self {
+            catalog,
+            cfg,
+            available: vec![true; catalog.tasks.len()],
+            solver: Box::new(HtaGre::structured().without_flip()),
+        }
+    }
+
+    /// Replace the assignment solver (ablations).
+    pub fn with_solver(mut self, solver: Box<dyn Solver>) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Number of catalog tasks still open.
+    pub fn open_tasks(&self) -> usize {
+        self.available.iter().filter(|&&a| a).count()
+    }
+
+    fn jaccard(a: &KeywordVec, b: &KeywordVec) -> f64 {
+        let union = a.union_count(b);
+        if union == 0 {
+            return 0.0;
+        }
+        1.0 - a.intersection_count(b) as f64 / union as f64
+    }
+
+    fn task_kw(&self, idx: usize) -> &KeywordVec {
+        &self.catalog.tasks[idx].task.keywords
+    }
+
+    fn mean_pairwise_diversity(&self, tasks: &[usize]) -> f64 {
+        if tasks.len() < 2 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (i, &a) in tasks.iter().enumerate() {
+            for &b in &tasks[i + 1..] {
+                sum += Self::jaccard(self.task_kw(a), self.task_kw(b));
+                n += 1;
+            }
+        }
+        sum / n as f64
+    }
+
+    /// Marginal diversity of candidate `t` against the most recent
+    /// completions (bounded by `diversity_memory`).
+    fn marginal_diversity(&self, completed: &[usize], t: usize) -> f64 {
+        let recent = &completed[completed.len().saturating_sub(self.cfg.diversity_memory)..];
+        recent
+            .iter()
+            .map(|&c| Self::jaccard(self.task_kw(c), self.task_kw(t)))
+            .sum()
+    }
+
+    fn relevance(&self, worker: &LiveWorker, t: usize) -> f64 {
+        1.0 - Self::jaccard(self.task_kw(t), &worker.keywords)
+    }
+
+    /// Run one cohort of concurrent sessions under `strategy`, everyone
+    /// arriving at time 0.
+    pub fn run_cohort(
+        &mut self,
+        strategy: Strategy,
+        workers: &[&LiveWorker],
+        rng: &mut StdRng,
+    ) -> Vec<SessionRecord> {
+        let arrivals = vec![0.0; workers.len()];
+        self.run_cohort_with_arrivals(strategy, workers, &arrivals, rng)
+    }
+
+    /// Run one cohort with *staggered arrivals*: worker `i` enters the
+    /// platform at `arrivals[i]` minutes (the "New w" path of the paper's
+    /// Figure 4 — the assignment service is notified and assigns an initial
+    /// set on the spot). Each session still runs on its own 30-minute HIT
+    /// clock; recorded minutes are session-relative.
+    pub fn run_cohort_with_arrivals(
+        &mut self,
+        strategy: Strategy,
+        workers: &[&LiveWorker],
+        arrivals: &[f64],
+        rng: &mut StdRng,
+    ) -> Vec<SessionRecord> {
+        assert_eq!(workers.len(), arrivals.len());
+        assert!(arrivals.iter().all(|&a| a >= 0.0), "arrivals must be non-negative");
+        let mut active: Vec<Active> = workers
+            .iter()
+            .zip(arrivals)
+            .map(|(w, &arrival)| Active {
+                worker: w,
+                arrival,
+                display: Vec::new(),
+                display_diversity: 0.0,
+                completed: Vec::new(),
+                boredom: 0.0,
+                pref_match: 1.0,
+                estimator: WeightEstimator::new(Weights::balanced()),
+                alive: true,
+                pending: None,
+                pending_minutes: 0.0,
+                iterations: 0,
+                record: SessionRecord {
+                    strategy,
+                    worker_index: w.index,
+                    duration_minutes: 0.0,
+                    completions: Vec::new(),
+                    iterations: 0,
+                    end_reason: EndReason::TimeLimit,
+                    earnings_cents: 10, // $0.10 HIT base reward
+                    arrival_minute: arrival,
+                },
+            })
+            .collect();
+
+        // ---- Event loop ---------------------------------------------------
+        // Heap keys are (micro-minutes, slot, kind); kind 0 = arrival,
+        // kind 1 = task completion. Arrivals sort before completions at the
+        // same instant.
+        const ARRIVAL: u8 = 0;
+        let mut heap: BinaryHeap<Reverse<(u64, u8, usize)>> = BinaryHeap::new();
+        for (slot, a) in active.iter().enumerate() {
+            heap.push(Reverse(((a.arrival * 1e6) as u64, ARRIVAL, slot)));
+        }
+
+        while let Some(Reverse((t_us, kind, slot))) = heap.pop() {
+            let now_global = t_us as f64 / 1e6;
+            if !active[slot].alive {
+                continue;
+            }
+            if kind == ARRIVAL {
+                // Batch all simultaneous arrivals: the assignment service
+                // solves HTA *holistically* for everyone who just arrived.
+                let mut batch = vec![slot];
+                while let Some(&Reverse((t2, k2, s2))) = heap.peek() {
+                    if t2 == t_us && k2 == ARRIVAL {
+                        heap.pop();
+                        batch.push(s2);
+                    } else {
+                        break;
+                    }
+                }
+                batch.sort_unstable();
+                // Initial assignment (cold start): the adaptive strategy
+                // cold-starts with random tasks (Section V-C); fixed-weight
+                // strategies solve HTA on arrival; Random draws randomly.
+                if strategy.uses_solver() && !strategy.is_adaptive() {
+                    self.assign_iteration(strategy, &mut active, &batch, rng);
+                    for &s in &batch {
+                        self.add_random_extras(&mut active[s], rng);
+                    }
+                } else {
+                    for &s in &batch {
+                        self.assign_random(&mut active[s], self.cfg.xmax, rng);
+                        active[s].iterations += 1;
+                    }
+                }
+                for &s in &batch {
+                    self.refresh_display_diversity(&mut active[s]);
+                    if active[s].display.is_empty() {
+                        self.end_session(&mut active[s], 0.0, EndReason::PoolExhausted);
+                        continue;
+                    }
+                    self.schedule_next_at(&mut active[s], s, now_global, &mut heap, rng);
+                }
+                continue;
+            }
+            let now = now_global - active[slot].arrival; // session-relative
+            if now >= self.cfg.session_minutes {
+                // The HIT clock ran out mid-task; the task does not count.
+                self.end_session(&mut active[slot], self.cfg.session_minutes, EndReason::TimeLimit);
+                continue;
+            }
+            let task_idx = active[slot]
+                .pending
+                .take()
+                .expect("a scheduled worker always has a pending task");
+            self.complete_task(strategy, &mut active[slot], task_idx, now, rng);
+
+            // Quit decision.
+            let a = &mut active[slot];
+            let quit_p = self.cfg.behavior.quit_probability(
+                a.boredom,
+                a.display_diversity,
+                a.pref_match,
+                a.pending_minutes,
+            );
+            if rng.random_bool(quit_p) {
+                self.end_session(&mut active[slot], now, EndReason::Quit);
+                continue;
+            }
+
+            // Refill via the assignment service when the display runs low.
+            // "At each iteration, each worker w is shown a *new* set of
+            // tasks" (Section V-C): the stale display returns to the pool
+            // and is replaced wholesale.
+            if active[slot].display.len() < self.cfg.refill_below {
+                let needy: Vec<usize> = (0..active.len())
+                    .filter(|&s| {
+                        active[s].alive && active[s].display.len() < self.cfg.refill_below
+                    })
+                    .collect();
+                for &s in &needy {
+                    for &t in &active[s].display {
+                        self.available[t] = true;
+                    }
+                    active[s].display.clear();
+                }
+                self.assign_iteration(strategy, &mut active, &needy, rng);
+                for &s in &needy {
+                    self.add_random_extras(&mut active[s], rng);
+                    self.refresh_display_diversity(&mut active[s]);
+                }
+            }
+
+            if active[slot].display.is_empty() {
+                // Pool exhausted: the worker has nothing left to do.
+                self.end_session(&mut active[slot], now, EndReason::PoolExhausted);
+                continue;
+            }
+            self.schedule_next_at(&mut active[slot], slot, now_global, &mut heap, rng);
+        }
+
+        // Anything still alive (e.g. never scheduled) ends at the limit.
+        active
+            .into_iter()
+            .map(|mut a| {
+                if a.alive {
+                    a.record.duration_minutes = self.cfg.session_minutes;
+                }
+                a.record.iterations = a.iterations;
+                a.record
+            })
+            .collect()
+    }
+
+    fn end_session(&mut self, a: &mut Active, at: f64, reason: EndReason) {
+        a.alive = false;
+        a.record.duration_minutes = at.min(self.cfg.session_minutes);
+        a.record.iterations = a.iterations;
+        a.record.end_reason = reason;
+        // Tasks displayed but never completed go back to the open pool
+        // (the platform re-posts them for other workers).
+        for &t in &a.display {
+            self.available[t] = true;
+        }
+        a.display.clear();
+        if let Some(p) = a.pending.take() {
+            self.available[p] = true;
+        }
+    }
+
+    /// The worker chooses the next task from the display: utility is the
+    /// latent preference blend of normalized marginal diversity and
+    /// relevance, plus noise.
+    /// Returns the chosen task and its noise-free *preference match*.
+    ///
+    /// The choice utility uses display-relative novelty (the worker picks
+    /// the most diverse thing on offer), but the reported match uses the
+    /// *absolute* mean distance to the recent stream: a diversity-seeking
+    /// worker stuck in a relevance silo picks the relatively-most-diverse
+    /// task yet is still dissatisfied — that dissatisfaction drives the
+    /// disengagement quit hazard.
+    fn choose_task(&self, a: &Active, rng: &mut StdRng) -> (usize, f64) {
+        debug_assert!(!a.display.is_empty());
+        let recent_len = a
+            .completed
+            .len()
+            .min(self.cfg.diversity_memory)
+            .max(1) as f64;
+        let mdivs: Vec<f64> = a
+            .display
+            .iter()
+            .map(|&t| self.marginal_diversity(&a.completed, t))
+            .collect();
+        let max_mdiv = mdivs.iter().fold(0.0f64, |m, &v| m.max(v));
+        let mut best = a.display[0];
+        let mut best_u = f64::NEG_INFINITY;
+        let mut best_match = 0.0;
+        for (i, &t) in a.display.iter().enumerate() {
+            // Display-relative novelty for the choice; fully novel when
+            // there is no history yet.
+            let nd_rel = if max_mdiv > 0.0 { mdivs[i] / max_mdiv } else { 1.0 };
+            // Absolute novelty for satisfaction.
+            let nd_abs = if a.completed.is_empty() {
+                1.0
+            } else {
+                (mdivs[i] / recent_len).clamp(0.0, 1.0)
+            };
+            let rel = self.relevance(a.worker, t);
+            let u = a.worker.latent_alpha * nd_rel
+                + (1.0 - a.worker.latent_alpha) * rel
+                + self.cfg.choice_noise * rng.random::<f64>();
+            if u > best_u {
+                best_u = u;
+                best = t;
+                best_match =
+                    a.worker.latent_alpha * nd_abs + (1.0 - a.worker.latent_alpha) * rel;
+            }
+        }
+        (best, best_match)
+    }
+
+    fn schedule_next_at(
+        &self,
+        a: &mut Active,
+        slot: usize,
+        now_global: f64,
+        heap: &mut BinaryHeap<Reverse<(u64, u8, usize)>>,
+        rng: &mut StdRng,
+    ) {
+        let (chosen, pref_match) = self.choose_task(a, rng);
+        a.pref_match = 0.7 * a.pref_match + 0.3 * pref_match;
+        let switch_div = a
+            .completed
+            .last()
+            .map(|&prev| Self::jaccard(self.task_kw(prev), self.task_kw(chosen)))
+            .unwrap_or(0.5);
+        let dt = self.cfg.behavior.task_minutes(
+            rng,
+            a.worker.speed,
+            switch_div,
+            a.display_diversity,
+            self.relevance(a.worker, chosen),
+            a.boredom,
+        );
+        a.pending = Some(chosen);
+        a.pending_minutes = dt;
+        let t_us = ((now_global + dt) * 1e6) as u64;
+        heap.push(Reverse((t_us, 1, slot)));
+    }
+
+    fn complete_task(
+        &mut self,
+        strategy: Strategy,
+        a: &mut Active,
+        task_idx: usize,
+        now: f64,
+        rng: &mut StdRng,
+    ) {
+        let micro = &self.catalog.tasks[task_idx];
+        let kind = &KINDS[micro.kind];
+
+        // Answer the questions.
+        let acc = self.cfg.behavior.accuracy(
+            kind.base_accuracy_pct as f64 / 100.0,
+            a.worker.skill[micro.kind],
+            a.boredom,
+        );
+        let mut correct = 0u32;
+        for _ in &micro.questions {
+            if rng.random_bool(acc) {
+                correct += 1;
+            }
+        }
+        a.record.earnings_cents += micro.task.reward_cents;
+        a.record.completions.push(CompletionRecord {
+            minute: now,
+            questions: micro.questions.len() as u32,
+            correct,
+            kind: micro.kind,
+            task_index: task_idx,
+            boredom: a.boredom,
+            pref_match: a.pref_match,
+            display_diversity: a.display_diversity,
+        });
+
+        // Adaptive signal: normalized marginal gains over the display
+        // (Section III), observed before the task leaves the display.
+        if strategy.is_adaptive() {
+            let gd = self.marginal_diversity(&a.completed, task_idx);
+            let max_gd = a
+                .display
+                .iter()
+                .map(|&c| self.marginal_diversity(&a.completed, c))
+                .fold(0.0f64, f64::max);
+            let gr = self.relevance(a.worker, task_idx);
+            let max_gr = a
+                .display
+                .iter()
+                .map(|&c| self.relevance(a.worker, c))
+                .fold(0.0f64, f64::max);
+            a.estimator.observe_gains(
+                (max_gd > 0.0).then(|| gd / max_gd),
+                (max_gr > 0.0).then(|| gr / max_gr),
+            );
+        }
+
+        // Boredom follows the similarity of the new task to the *recent
+        // stream* of completions (not just the previous task): a worker
+        // alternating between two near-identical kinds is still doing
+        // monotonous work.
+        if !a.completed.is_empty() {
+            let recent =
+                &a.completed[a.completed.len().saturating_sub(self.cfg.diversity_memory)..];
+            let mean_sim = recent
+                .iter()
+                .map(|&c| 1.0 - Self::jaccard(self.task_kw(c), self.task_kw(task_idx)))
+                .sum::<f64>()
+                / recent.len() as f64;
+            a.boredom = self.cfg.behavior.boredom_update(a.boredom, mean_sim);
+        }
+
+        a.completed.push(task_idx);
+        a.display.retain(|&t| t != task_idx);
+        self.refresh_display_diversity(a);
+    }
+
+    fn refresh_display_diversity(&self, a: &mut Active) {
+        a.display_diversity = self.mean_pairwise_diversity(&a.display);
+    }
+
+    /// Draw `count` random available tasks into the display.
+    fn assign_random(&mut self, a: &mut Active, count: usize, rng: &mut StdRng) {
+        let mut open: Vec<usize> = (0..self.available.len())
+            .filter(|&i| self.available[i])
+            .collect();
+        for _ in 0..count.min(open.len()) {
+            let pick = rng.random_range(0..open.len());
+            let idx = open.swap_remove(pick);
+            self.available[idx] = false;
+            a.display.push(idx);
+        }
+    }
+
+    fn add_random_extras(&mut self, a: &mut Active, rng: &mut StdRng) {
+        self.assign_random(a, self.cfg.display_extra_random, rng);
+    }
+
+    /// One assignment-service iteration: solve HTA for the flagged workers
+    /// over (a window of) the open tasks, then push the assigned tasks into
+    /// their displays.
+    fn assign_iteration(
+        &mut self,
+        strategy: Strategy,
+        active: &mut [Active],
+        slots: &[usize],
+        rng: &mut StdRng,
+    ) {
+        if slots.is_empty() {
+            return;
+        }
+        if !strategy.uses_solver() {
+            for &slot in slots {
+                self.assign_random(&mut active[slot], self.cfg.xmax, rng);
+                active[slot].iterations += 1;
+            }
+            return;
+        }
+        // Window of open tasks.
+        let mut open: Vec<usize> = (0..self.available.len())
+            .filter(|&i| self.available[i])
+            .collect();
+        if open.is_empty() {
+            return;
+        }
+        if open.len() > self.cfg.max_instance_tasks {
+            // Uniform sample without replacement via partial Fisher-Yates.
+            for i in 0..self.cfg.max_instance_tasks {
+                let j = rng.random_range(i..open.len());
+                open.swap(i, j);
+            }
+            open.truncate(self.cfg.max_instance_tasks);
+        }
+
+        let local_tasks: Vec<Task> = open
+            .iter()
+            .enumerate()
+            .map(|(li, &ci)| {
+                let t = &self.catalog.tasks[ci].task;
+                Task::new(TaskId(li as u32), t.group, t.keywords.clone())
+            })
+            .collect();
+        let local_workers: Vec<Worker> = slots
+            .iter()
+            .enumerate()
+            .map(|(li, &slot)| {
+                let a = &active[slot];
+                let weights = strategy.fixed_weights().unwrap_or_else(|| {
+                    let est = a.estimator.estimate();
+                    let alpha = (0.5 + self.cfg.adaptive_sharpening * (est.alpha() - 0.5))
+                        .clamp(0.0, 1.0);
+                    Weights::from_alpha(alpha)
+                });
+                Worker::new(WorkerId(li as u32), a.worker.keywords.clone())
+                    .with_weights(weights)
+            })
+            .collect();
+
+        let inst = Instance::new(local_tasks, local_workers, self.cfg.xmax)
+            .expect("platform instances are well-formed");
+        let out = self.solver.solve(&inst, rng);
+        debug_assert!(out.assignment.validate(&inst).is_ok());
+
+        for (li, &slot) in slots.iter().enumerate() {
+            for &local in out.assignment.tasks_of(li) {
+                let ci = open[local];
+                debug_assert!(self.available[ci]);
+                self.available[ci] = false;
+                active[slot].display.push(ci);
+            }
+            active[slot].iterations += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::{generate, PopulationConfig};
+    use hta_datagen::crowdflower::CrowdflowerConfig;
+    use rand::SeedableRng;
+
+    fn small_catalog() -> CrowdflowerCatalog {
+        CrowdflowerCatalog::generate(&CrowdflowerConfig {
+            n_tasks: 600,
+            ..Default::default()
+        })
+    }
+
+    fn run_strategy(strategy: Strategy, seed: u64) -> Vec<SessionRecord> {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 4,
+                ..Default::default()
+            },
+        );
+        let mut platform = Platform::new(&catalog, PlatformConfig::default());
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        platform.run_cohort(strategy, &refs, &mut rng)
+    }
+
+    #[test]
+    fn sessions_complete_with_sane_records() {
+        for strategy in Strategy::ALL {
+            let records = run_strategy(strategy, 7);
+            assert_eq!(records.len(), 4);
+            for r in &records {
+                assert_eq!(r.strategy, strategy);
+                assert!(r.duration_minutes > 0.0 && r.duration_minutes <= 30.0);
+                assert!(r.iterations >= 1, "{strategy:?} had no iterations");
+                for c in &r.completions {
+                    assert!(c.minute <= 30.0);
+                    assert!(c.correct <= c.questions);
+                    assert!(c.kind < 22);
+                }
+                // Completion times are non-decreasing.
+                for w in r.completions.windows(2) {
+                    assert!(w[0].minute <= w[1].minute);
+                }
+                assert!(r.total_correct() <= r.total_questions());
+            }
+            // The cohort completes a plausible number of tasks in 30 min.
+            let total: usize = records.iter().map(|r| r.n_completed()).sum();
+            assert!(total > 20, "{strategy:?}: only {total} completions");
+        }
+    }
+
+    #[test]
+    fn tasks_never_assigned_twice_within_cohort() {
+        let records = run_strategy(Strategy::HtaGre, 9);
+        let mut seen = std::collections::HashSet::new();
+        for r in &records {
+            for c in &r.completions {
+                assert!(seen.insert(c.task_index), "task completed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_strategy(Strategy::HtaGreDiv, 11);
+        let b = run_strategy(Strategy::HtaGreDiv, 11);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.n_completed(), y.n_completed());
+            assert_eq!(x.duration_minutes, y.duration_minutes);
+        }
+    }
+
+    #[test]
+    fn staggered_arrivals_produce_valid_sessions() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 4,
+                ..Default::default()
+            },
+        );
+        let mut platform = Platform::new(&catalog, PlatformConfig::default());
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let arrivals = [0.0, 3.5, 7.0, 12.25];
+        let mut rng = StdRng::seed_from_u64(21);
+        let records =
+            platform.run_cohort_with_arrivals(Strategy::HtaGre, &refs, &arrivals, &mut rng);
+        assert_eq!(records.len(), 4);
+        for (rec, &arr) in records.iter().zip(&arrivals) {
+            assert_eq!(rec.arrival_minute, arr);
+            // Minutes are session-relative: still bounded by the HIT limit.
+            assert!(rec.duration_minutes > 0.0 && rec.duration_minutes <= 30.0);
+            for c in &rec.completions {
+                assert!(c.minute >= 0.0 && c.minute <= 30.0);
+            }
+        }
+        // Later arrivals must not complete tasks that earlier workers
+        // already completed (shared pool).
+        let mut seen = std::collections::HashSet::new();
+        for r in &records {
+            for c in &r.completions {
+                assert!(seen.insert(c.task_index));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arrivals must be non-negative")]
+    fn negative_arrival_rejected() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 1,
+                ..Default::default()
+            },
+        );
+        let mut platform = Platform::new(&catalog, PlatformConfig::default());
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = platform.run_cohort_with_arrivals(Strategy::Random, &refs, &[-1.0], &mut rng);
+    }
+
+    #[test]
+    fn open_tasks_decrease() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 2,
+                ..Default::default()
+            },
+        );
+        let mut platform = Platform::new(&catalog, PlatformConfig::default());
+        let before = platform.open_tasks();
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = platform.run_cohort(Strategy::Random, &refs, &mut rng);
+        assert!(platform.open_tasks() < before);
+    }
+}

@@ -1,0 +1,189 @@
+//! Live-worker population model.
+//!
+//! The paper recruits real AMT workers who (a) choose **at least 6
+//! keywords** when entering the platform, (b) have latent skills that vary
+//! by task kind, and (c) have *latent* motivation preferences that the
+//! adaptive strategy tries to estimate. This module generates such worker
+//! profiles deterministically.
+
+use hta_core::KeywordVec;
+use hta_datagen::crowdflower::KINDS;
+use hta_core::KeywordSpace;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A simulated live worker.
+#[derive(Debug, Clone)]
+pub struct LiveWorker {
+    /// Stable index in the population.
+    pub index: usize,
+    /// The keywords the worker selected on entry (≥ 6, per the platform's
+    /// onboarding in Section V-C).
+    pub keywords: KeywordVec,
+    /// Latent per-kind skill in `[0, 1]` (0.5 = average). Higher for kinds
+    /// overlapping the worker's chosen keywords.
+    pub skill: Vec<f64>,
+    /// Latent diversity preference `α* ∈ [0, 1]` (the quantity the adaptive
+    /// estimator tries to recover; `β* = 1 − α*`).
+    pub latent_alpha: f64,
+    /// Work-speed multiplier (1.0 = average; higher is faster).
+    pub speed: f64,
+}
+
+/// Population generation parameters.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Number of distinct workers to generate.
+    pub n_workers: usize,
+    /// Inclusive range of keywords chosen at onboarding (paper: at least 6).
+    pub keywords_per_worker: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PopulationConfig {
+    fn default() -> Self {
+        Self {
+            n_workers: 58, // the paper's live experiment had 58 distinct workers
+            keywords_per_worker: (6, 10),
+            seed: 0x11FE,
+        }
+    }
+}
+
+/// Generate the worker population over the catalog's keyword universe.
+pub fn generate(space: &KeywordSpace, cfg: &PopulationConfig) -> Vec<LiveWorker> {
+    let width = space.len();
+    assert!(width > 0, "keyword universe must be non-empty");
+    let (kmin, kmax) = cfg.keywords_per_worker;
+    assert!(kmin >= 1 && kmin <= kmax && kmax <= width);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    (0..cfg.n_workers)
+        .map(|index| {
+            // Choose keywords biased toward 2-3 "favourite" kinds, mimicking
+            // workers who sign up for what they are good at.
+            let n_kw = rng.random_range(kmin..=kmax);
+            let mut chosen: Vec<usize> = Vec::with_capacity(n_kw);
+            let n_fav = rng.random_range(2..=3usize);
+            let favourites: Vec<usize> =
+                (0..n_fav).map(|_| rng.random_range(0..KINDS.len())).collect();
+            for &f in &favourites {
+                for kw in KINDS[f].keywords {
+                    if chosen.len() >= n_kw {
+                        break;
+                    }
+                    let id = space.get(kw).expect("catalog keyword").0 as usize;
+                    if !chosen.contains(&id) {
+                        chosen.push(id);
+                    }
+                }
+            }
+            while chosen.len() < n_kw {
+                let id = rng.random_range(0..width);
+                if !chosen.contains(&id) {
+                    chosen.push(id);
+                }
+            }
+            let keywords = KeywordVec::from_indices(width, &chosen);
+
+            // Skill: baseline noise plus a boost on kinds overlapping the
+            // worker's keywords.
+            let skill: Vec<f64> = KINDS
+                .iter()
+                .map(|kind| {
+                    let overlap = kind
+                        .keywords
+                        .iter()
+                        .filter(|kw| {
+                            space
+                                .get(kw)
+                                .is_some_and(|id| keywords.get(id.0 as usize))
+                        })
+                        .count() as f64
+                        / kind.keywords.len() as f64;
+                    (0.35 + 0.3 * rng.random::<f64>() + 0.35 * overlap).clamp(0.0, 1.0)
+                })
+                .collect();
+
+            LiveWorker {
+                index,
+                keywords,
+                skill,
+                latent_alpha: rng.random(),
+                speed: 0.75 + 0.5 * rng.random::<f64>(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_datagen::crowdflower::{CrowdflowerCatalog, CrowdflowerConfig};
+
+    fn space() -> KeywordSpace {
+        CrowdflowerCatalog::generate(&CrowdflowerConfig {
+            n_tasks: 22,
+            ..Default::default()
+        })
+        .space
+    }
+
+    #[test]
+    fn generates_population_with_enough_keywords() {
+        let s = space();
+        let pop = generate(&s, &PopulationConfig::default());
+        assert_eq!(pop.len(), 58);
+        for w in &pop {
+            assert!(w.keywords.count_ones() >= 6, "worker must pick >= 6 keywords");
+            assert_eq!(w.skill.len(), 22);
+            assert!((0.0..=1.0).contains(&w.latent_alpha));
+            assert!(w.speed >= 0.75 && w.speed <= 1.25);
+        }
+    }
+
+    #[test]
+    fn skill_is_bounded_and_favours_keyword_overlap() {
+        let s = space();
+        let pop = generate(
+            &s,
+            &PopulationConfig {
+                n_workers: 200,
+                ..Default::default()
+            },
+        );
+        for w in &pop {
+            for &sk in &w.skill {
+                assert!((0.0..=1.0).contains(&sk));
+            }
+        }
+        // On average, kinds overlapping the worker's keywords score higher.
+        let mut with_overlap = Vec::new();
+        let mut without = Vec::new();
+        for w in &pop {
+            for (ki, kind) in KINDS.iter().enumerate() {
+                let overlap = kind.keywords.iter().any(|kw| {
+                    s.get(kw).is_some_and(|id| w.keywords.get(id.0 as usize))
+                });
+                if overlap {
+                    with_overlap.push(w.skill[ki]);
+                } else {
+                    without.push(w.skill[ki]);
+                }
+            }
+        }
+        assert!(crate::stats::mean(&with_overlap) > crate::stats::mean(&without) + 0.05);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = space();
+        let a = generate(&s, &PopulationConfig::default());
+        let b = generate(&s, &PopulationConfig::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.keywords, y.keywords);
+            assert_eq!(x.latent_alpha, y.latent_alpha);
+        }
+    }
+}

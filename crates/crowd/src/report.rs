@@ -1,0 +1,139 @@
+//! Markdown report generation for online experiment results.
+//!
+//! Produces the Section V-C style write-up — summary table, the three KPI
+//! verdicts, and the significance matrix — from an [`OnlineResults`], so
+//! harnesses and the CLI render consistent output.
+
+use std::fmt::Write as _;
+
+use crate::experiment::OnlineResults;
+use crate::strategies::Strategy;
+
+/// Render a full markdown report.
+pub fn markdown(results: &OnlineResults) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# Online experiment report\n");
+
+    // ---- summary table -----------------------------------------------------
+    let _ = writeln!(
+        out,
+        "| strategy | % correct | completed | tasks/session | mean minutes | retention@{:.1}min | $/task |",
+        results.per_strategy[0].summary.retention_probe_minutes
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for r in &results.per_strategy {
+        let s = &r.summary;
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {} | {:.1} | {:.1} | {:.0}% | {:.3} |",
+            r.strategy.name(),
+            s.percent_correct,
+            s.total_completed,
+            s.completed_per_session,
+            s.mean_session_minutes,
+            s.retention_at_probe,
+            s.mean_task_reward_dollars,
+        );
+    }
+
+    // ---- verdicts ------------------------------------------------------------
+    let _ = writeln!(out, "\n## Verdicts\n");
+    let q = |s: Strategy| results.get(s).summary.percent_correct;
+    let t = |s: Strategy| results.get(s).summary.total_completed;
+    let ret = |s: Strategy| results.get(s).summary.retention_at_probe;
+
+    let best_quality = best_by(q);
+    let best_throughput = best_by(|s| t(s) as f64);
+    let best_retention = best_by(ret);
+    let _ = writeln!(out, "* best crowdwork quality: **{}**", best_quality.name());
+    let _ = writeln!(out, "* best task throughput: **{}**", best_throughput.name());
+    let _ = writeln!(out, "* best worker retention: **{}**", best_retention.name());
+
+    // ---- significance matrix ----------------------------------------------
+    let _ = writeln!(out, "\n## Significance (one-sided p-values)\n");
+    let _ = writeln!(out, "| comparison | quality (Z) | tasks (MWU) | duration (MWU) |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    let pairs = [
+        (Strategy::HtaGreDiv, Strategy::HtaGre),
+        (Strategy::HtaGre, Strategy::HtaGreRel),
+        (Strategy::HtaGre, Strategy::HtaGreDiv),
+        (Strategy::HtaGre, Strategy::Random),
+    ];
+    for (a, b) in pairs {
+        let fmt = |t: Option<crate::stats::TestResult>| match t {
+            Some(t) => format!("{:.3}", t.p_one_sided),
+            None => "—".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "| {} vs {} | {} | {} | {} |",
+            a.name(),
+            b.name(),
+            fmt(results.quality_test(a, b)),
+            fmt(results.throughput_test(a, b)),
+            fmt(results.retention_test(a, b)),
+        );
+    }
+    out
+}
+
+fn best_by(f: impl Fn(Strategy) -> f64) -> Strategy {
+    *Strategy::ALL
+        .iter()
+        .max_by(|&&a, &&b| f(a).partial_cmp(&f(b)).expect("KPIs are finite"))
+        .expect("at least one strategy")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{run, OnlineConfig};
+    use crate::population::PopulationConfig;
+    use hta_datagen::crowdflower::CrowdflowerConfig;
+
+    fn results() -> OnlineResults {
+        run(&OnlineConfig {
+            sessions_per_strategy: 3,
+            cohort_size: 3,
+            catalog: CrowdflowerConfig {
+                n_tasks: 700,
+                ..Default::default()
+            },
+            population: PopulationConfig {
+                n_workers: 6,
+                ..Default::default()
+            },
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn report_contains_all_arms_and_sections() {
+        let md = markdown(&results());
+        for s in Strategy::ALL {
+            assert!(md.contains(s.name()), "missing {}", s.name());
+        }
+        assert!(md.contains("## Verdicts"));
+        assert!(md.contains("## Significance"));
+        assert!(md.contains("best crowdwork quality"));
+        // Markdown table structure.
+        assert!(md.lines().filter(|l| l.starts_with('|')).count() >= 10);
+    }
+
+    #[test]
+    fn verdicts_match_summaries() {
+        let r = results();
+        let md = markdown(&r);
+        let best_q = Strategy::ALL
+            .iter()
+            .max_by(|&&a, &&b| {
+                r.get(a)
+                    .summary
+                    .percent_correct
+                    .partial_cmp(&r.get(b).summary.percent_correct)
+                    .unwrap()
+            })
+            .unwrap();
+        assert!(md.contains(&format!("best crowdwork quality: **{}**", best_q.name())));
+    }
+}

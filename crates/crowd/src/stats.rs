@@ -1,0 +1,219 @@
+//! The statistical tests the paper reports for its online results
+//! (Section V-C): the **two-proportion Z-test** for crowdwork quality and
+//! the **Mann–Whitney U test** for per-session counts/durations, plus small
+//! descriptive helpers.
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max absolute error ≈ 1.5e-7 — ample for significance reporting).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Result of a significance test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (Z for both tests, after normal approximation).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_two_sided: f64,
+    /// One-sided p-value in the direction of the observed effect.
+    pub p_one_sided: f64,
+}
+
+/// Two-proportion Z-test: are success rates `x1/n1` and `x2/n2` different?
+///
+/// Uses the pooled-variance statistic. Returns `None` when a group is empty
+/// or the pooled proportion is degenerate (all successes or all failures).
+pub fn two_proportion_z_test(x1: usize, n1: usize, x2: usize, n2: usize) -> Option<TestResult> {
+    if n1 == 0 || n2 == 0 {
+        return None;
+    }
+    assert!(x1 <= n1 && x2 <= n2, "successes cannot exceed trials");
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let var = pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64);
+    if var <= 0.0 {
+        return None;
+    }
+    let z = (p1 - p2) / var.sqrt();
+    Some(from_z(z))
+}
+
+/// Mann–Whitney U test (normal approximation with tie correction): do the
+/// two samples come from the same distribution? Suitable for the paper's
+/// per-session completed-task counts and session durations.
+///
+/// Returns `None` when either sample is empty or all values are tied.
+pub fn mann_whitney_u(a: &[f64], b: &[f64]) -> Option<TestResult> {
+    let (na, nb) = (a.len(), b.len());
+    if na == 0 || nb == 0 {
+        return None;
+    }
+    // Rank the pooled sample with average ranks for ties.
+    let mut pooled: Vec<(f64, usize)> = a
+        .iter()
+        .map(|&v| (v, 0usize))
+        .chain(b.iter().map(|&v| (v, 1usize)))
+        .collect();
+    pooled.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("values must not be NaN"));
+
+    let n = pooled.len() as f64;
+    let mut rank_sum_a = 0.0f64;
+    let mut tie_term = 0.0f64;
+    let mut i = 0usize;
+    while i < pooled.len() {
+        let mut j = i;
+        while j + 1 < pooled.len() && pooled[j + 1].0 == pooled[i].0 {
+            j += 1;
+        }
+        let count = (j - i + 1) as f64;
+        // Average rank for this tie group (1-based ranks).
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for entry in &pooled[i..=j] {
+            if entry.1 == 0 {
+                rank_sum_a += avg_rank;
+            }
+        }
+        tie_term += count * count * count - count;
+        i = j + 1;
+    }
+
+    let (na_f, nb_f) = (na as f64, nb as f64);
+    let u_a = rank_sum_a - na_f * (na_f + 1.0) / 2.0;
+    let mean_u = na_f * nb_f / 2.0;
+    let var_u = na_f * nb_f / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        return None; // everything tied
+    }
+    let z = (u_a - mean_u) / var_u.sqrt();
+    Some(from_z(z))
+}
+
+fn from_z(z: f64) -> TestResult {
+    let p_one = 1.0 - normal_cdf(z.abs());
+    TestResult {
+        statistic: z,
+        p_two_sided: (2.0 * p_one).min(1.0),
+        p_one_sided: p_one,
+    }
+}
+
+/// Sample mean; 0 for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n − 1 denominator); 0 for fewer than 2 points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+        assert!(normal_cdf(8.0) > 0.999999);
+    }
+
+    #[test]
+    fn z_test_detects_clear_difference() {
+        // 82% vs 65% on ~500 questions each: decisively significant.
+        let r = two_proportion_z_test(410, 500, 325, 500).unwrap();
+        assert!(r.statistic > 5.0);
+        assert!(r.p_two_sided < 1e-6);
+    }
+
+    #[test]
+    fn z_test_near_equal_proportions_not_significant() {
+        let r = two_proportion_z_test(50, 100, 52, 100).unwrap();
+        assert!(r.p_two_sided > 0.5);
+    }
+
+    #[test]
+    fn z_test_paper_magnitude() {
+        // Fig 5a scale: 81.9% vs 75.5% at a few hundred questions per arm
+        // gives a p-value near the paper's reported 0.06.
+        let r = two_proportion_z_test(233, 285, 215, 285).unwrap();
+        assert!(r.p_one_sided < 0.05 && r.p_two_sided < 0.2);
+    }
+
+    #[test]
+    fn z_test_degenerate_cases() {
+        assert!(two_proportion_z_test(0, 0, 1, 2).is_none());
+        assert!(two_proportion_z_test(5, 5, 5, 5).is_none()); // pooled p = 1
+        assert!(two_proportion_z_test(0, 5, 0, 5).is_none()); // pooled p = 0
+    }
+
+    #[test]
+    #[should_panic(expected = "successes")]
+    fn z_test_rejects_impossible_counts() {
+        let _ = two_proportion_z_test(6, 5, 0, 5);
+    }
+
+    #[test]
+    fn mann_whitney_separated_samples() {
+        let a: Vec<f64> = (0..20).map(|i| 30.0 + i as f64).collect();
+        let b: Vec<f64> = (0..20).map(|i| 10.0 + i as f64 * 0.5).collect();
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.statistic > 4.0);
+        assert!(r.p_two_sided < 1e-4);
+    }
+
+    #[test]
+    fn mann_whitney_identical_samples() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.statistic.abs() < 1e-9);
+        assert!(r.p_two_sided > 0.99);
+    }
+
+    #[test]
+    fn mann_whitney_all_tied_returns_none() {
+        let a = [2.0, 2.0, 2.0];
+        let b = [2.0, 2.0];
+        assert!(mann_whitney_u(&a, &b).is_none());
+    }
+
+    #[test]
+    fn mann_whitney_handles_ties_gracefully() {
+        let a = [1.0, 2.0, 2.0, 3.0, 5.0, 5.0];
+        let b = [2.0, 3.0, 3.0, 4.0, 5.0, 6.0];
+        let r = mann_whitney_u(&a, &b).unwrap();
+        assert!(r.p_two_sided > 0.05); // small overlapping samples
+    }
+
+    #[test]
+    fn descriptive_stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.138).abs() < 1e-3);
+    }
+}

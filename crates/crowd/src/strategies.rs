@@ -1,0 +1,85 @@
+//! The four online assignment strategies of Section V-C.
+
+use hta_core::Weights;
+
+/// An online assignment arm.
+///
+/// The paper names three (HTA-GRE adaptive, HTA-GRE-REL, HTA-GRE-DIV) but
+/// counts "all 4 strategies" in its session tally; the fourth is random
+/// assignment (also the paper's cold-start assigner), included here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Adaptive HTA-GRE: re-estimates `(α_w, β_w)` from observed
+    /// completions each iteration; random cold start.
+    HtaGre,
+    /// HTA-GRE with `α = 0, β = 1` for everyone: relevance only.
+    HtaGreRel,
+    /// HTA-GRE with `α = 1, β = 0` for everyone: diversity only.
+    HtaGreDiv,
+    /// Uniformly random assignment at every iteration.
+    Random,
+}
+
+impl Strategy {
+    /// All four arms, in the paper's reporting order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::HtaGre,
+        Strategy::HtaGreRel,
+        Strategy::HtaGreDiv,
+        Strategy::Random,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::HtaGre => "Hta-Gre",
+            Strategy::HtaGreRel => "Hta-Gre-Rel",
+            Strategy::HtaGreDiv => "Hta-Gre-Div",
+            Strategy::Random => "Random",
+        }
+    }
+
+    /// Fixed weights for non-adaptive HTA arms; `None` for adaptive or
+    /// random.
+    pub fn fixed_weights(&self) -> Option<Weights> {
+        match self {
+            Strategy::HtaGreRel => Some(Weights::relevance_only()),
+            Strategy::HtaGreDiv => Some(Weights::diversity_only()),
+            _ => None,
+        }
+    }
+
+    /// Whether this arm re-estimates weights from observations.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Strategy::HtaGre)
+    }
+
+    /// Whether this arm solves HTA at all (Random does not).
+    pub fn uses_solver(&self) -> bool {
+        !matches!(self, Strategy::Random)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Strategy::HtaGre.name(), "Hta-Gre");
+        assert_eq!(Strategy::HtaGreRel.name(), "Hta-Gre-Rel");
+        assert_eq!(Strategy::HtaGreDiv.name(), "Hta-Gre-Div");
+        assert_eq!(Strategy::ALL.len(), 4);
+    }
+
+    #[test]
+    fn weight_policies() {
+        assert!(Strategy::HtaGre.fixed_weights().is_none());
+        assert!(Strategy::HtaGre.is_adaptive());
+        assert_eq!(Strategy::HtaGreRel.fixed_weights().unwrap().beta(), 1.0);
+        assert_eq!(Strategy::HtaGreDiv.fixed_weights().unwrap().alpha(), 1.0);
+        assert!(!Strategy::Random.uses_solver());
+        assert!(Strategy::HtaGreDiv.uses_solver());
+        assert!(!Strategy::HtaGreDiv.is_adaptive());
+    }
+}

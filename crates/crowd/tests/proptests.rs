@@ -1,0 +1,127 @@
+//! Property-based tests for the crowd simulator's statistics and behaviour
+//! model.
+
+use hta_crowd::behavior::BehaviorConfig;
+use hta_crowd::stats::{mann_whitney_u, mean, normal_cdf, std_dev, two_proportion_z_test};
+use proptest::prelude::*;
+
+proptest! {
+    // ---- normal CDF -----------------------------------------------------
+
+    #[test]
+    fn normal_cdf_monotone_and_symmetric(a in -6.0f64..6.0, b in -6.0f64..6.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(normal_cdf(lo) <= normal_cdf(hi) + 1e-12);
+        prop_assert!((normal_cdf(a) + normal_cdf(-a) - 1.0).abs() < 1e-6);
+        prop_assert!((0.0..=1.0).contains(&normal_cdf(a)));
+    }
+
+    // ---- two-proportion Z-test -------------------------------------------
+
+    #[test]
+    fn z_test_antisymmetric(x1 in 0usize..50, n1x in 1usize..50,
+                            x2 in 0usize..50, n2x in 1usize..50) {
+        let n1 = n1x + x1; // ensure x1 <= n1
+        let n2 = n2x + x2;
+        if let (Some(fwd), Some(rev)) = (
+            two_proportion_z_test(x1, n1, x2, n2),
+            two_proportion_z_test(x2, n2, x1, n1),
+        ) {
+            prop_assert!((fwd.statistic + rev.statistic).abs() < 1e-9);
+            prop_assert!((fwd.p_two_sided - rev.p_two_sided).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&fwd.p_two_sided));
+            prop_assert!(fwd.p_one_sided <= fwd.p_two_sided + 1e-12);
+        }
+    }
+
+    #[test]
+    fn z_test_equal_proportions_give_zero(x in 1usize..40, scale in 1usize..5) {
+        let n = x * 2;
+        // Same proportion in both groups (scaled): z == 0.
+        if let Some(r) = two_proportion_z_test(x, n, x * scale, n * scale) {
+            prop_assert!(r.statistic.abs() < 1e-9);
+            prop_assert!(r.p_two_sided > 0.99);
+        }
+    }
+
+    // ---- Mann–Whitney U ----------------------------------------------------
+
+    #[test]
+    fn mann_whitney_antisymmetric(a in proptest::collection::vec(0.0f64..100.0, 2..20),
+                                  b in proptest::collection::vec(0.0f64..100.0, 2..20)) {
+        if let (Some(fwd), Some(rev)) = (mann_whitney_u(&a, &b), mann_whitney_u(&b, &a)) {
+            prop_assert!((fwd.statistic + rev.statistic).abs() < 1e-6);
+            prop_assert!((fwd.p_two_sided - rev.p_two_sided).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mann_whitney_shift_increases_statistic(
+        a in proptest::collection::vec(0.0f64..10.0, 5..15),
+        shift in 20.0f64..50.0,
+    ) {
+        // A clearly shifted sample must give a strongly positive statistic.
+        let b: Vec<f64> = a.iter().map(|&v| v + shift).collect();
+        let r = mann_whitney_u(&b, &a).expect("distinct samples");
+        prop_assert!(r.statistic > 2.0, "z = {}", r.statistic);
+        prop_assert!(r.p_one_sided < 0.05);
+    }
+
+    // ---- descriptive stats --------------------------------------------------
+
+    #[test]
+    fn mean_and_std_dev_basic(xs in proptest::collection::vec(-100.0f64..100.0, 2..30)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        prop_assert!(std_dev(&xs) >= 0.0);
+        // Constant shift leaves std-dev unchanged.
+        let shifted: Vec<f64> = xs.iter().map(|&v| v + 42.0).collect();
+        prop_assert!((std_dev(&xs) - std_dev(&shifted)).abs() < 1e-6);
+    }
+
+    // ---- behaviour model invariants -----------------------------------------
+
+    #[test]
+    fn accuracy_always_clamped(base in 0.0f64..1.0, skill in 0.0f64..1.0,
+                               boredom in 0.0f64..1.0) {
+        let c = BehaviorConfig::default();
+        let acc = c.accuracy(base, skill, boredom);
+        prop_assert!((c.min_accuracy..=c.max_accuracy).contains(&acc));
+    }
+
+    #[test]
+    fn boredom_stays_in_unit_interval(start in 0.0f64..1.0,
+                                      sims in proptest::collection::vec(0.0f64..1.0, 0..50)) {
+        let c = BehaviorConfig::default();
+        let mut b = start;
+        for s in sims {
+            b = c.boredom_update(b, s);
+            prop_assert!((0.0..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn quit_probability_valid_and_monotone_in_time(boredom in 0.0f64..1.0,
+                                                   dd in 0.0f64..1.0,
+                                                   pm in 0.0f64..1.0,
+                                                   dt in 0.01f64..5.0) {
+        let c = BehaviorConfig::default();
+        let p1 = c.quit_probability(boredom, dd, pm, dt);
+        let p2 = c.quit_probability(boredom, dd, pm, dt * 2.0);
+        prop_assert!((0.0..=0.9).contains(&p1));
+        prop_assert!(p2 >= p1 - 1e-12, "longer exposure cannot reduce quit odds");
+    }
+
+    #[test]
+    fn task_minutes_positive(speed in 0.75f64..1.25, sw in 0.0f64..1.0,
+                             dd in 0.0f64..1.0, rel in 0.0f64..1.0,
+                             boredom in 0.0f64..1.0, seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let c = BehaviorConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = c.task_minutes(&mut rng, speed, sw, dd, rel, boredom);
+        prop_assert!(t > 0.0 && t < 10.0, "implausible task time {t}");
+    }
+}

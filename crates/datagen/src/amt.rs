@@ -1,0 +1,196 @@
+//! AMT-like task-group corpus generator.
+//!
+//! Substitutes the paper's crawl of 152,221 AMT task groups (DESIGN.md §4).
+//! The offline experiments consume `#groups × #tasks-per-group = |T|` tasks
+//! whose keyword vectors carry the group structure: all tasks in a group
+//! share the group's keyword set (AMT groups list one metadata block for
+//! every HIT inside). The paper's Figure 3 sweeps the number of groups at a
+//! fixed `|T|` — with few groups the pairwise diversity matrix is highly
+//! degenerate, with many groups it is diverse; this generator reproduces
+//! exactly that spectrum.
+
+use hta_core::{GroupId, KeywordSpace, KeywordVec, TaskPool};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::vocab::build_vocabulary;
+use crate::zipf::Zipf;
+
+/// Configuration of the AMT-like corpus.
+#[derive(Debug, Clone)]
+pub struct AmtConfig {
+    /// Number of task groups.
+    pub n_groups: usize,
+    /// Tasks per group (`|T| = n_groups × tasks_per_group`).
+    pub tasks_per_group: usize,
+    /// Vocabulary size (the paper's crawl has a long-tailed keyword set).
+    pub vocab_size: usize,
+    /// Inclusive range of keywords attached to one group.
+    pub keywords_per_group: (usize, usize),
+    /// Zipf exponent of keyword popularity (0 = uniform).
+    pub zipf_exponent: f64,
+    /// RNG seed; every run with the same config is identical.
+    pub seed: u64,
+}
+
+impl Default for AmtConfig {
+    fn default() -> Self {
+        Self {
+            n_groups: 200,
+            tasks_per_group: 20,
+            vocab_size: 500,
+            keywords_per_group: (3, 6),
+            zipf_exponent: 1.05,
+            seed: 0xA37,
+        }
+    }
+}
+
+impl AmtConfig {
+    /// Convenience: a corpus of exactly `n_tasks` split over `n_groups`
+    /// groups (the paper's sweeps fix one and vary the other). Rounds
+    /// `tasks_per_group` up so at least `n_tasks` are generated, then the
+    /// pool is truncated to exactly `n_tasks`.
+    pub fn with_totals(n_tasks: usize, n_groups: usize) -> Self {
+        let tasks_per_group = n_tasks.div_ceil(n_groups.max(1));
+        Self {
+            n_groups: n_groups.max(1),
+            tasks_per_group,
+            ..Self::default()
+        }
+    }
+}
+
+/// A generated corpus: the keyword universe plus the task pool.
+#[derive(Debug)]
+pub struct AmtWorkload {
+    /// The keyword universe the tasks are defined over.
+    pub space: KeywordSpace,
+    /// The generated tasks.
+    pub tasks: TaskPool,
+}
+
+/// Generate a corpus. Deterministic in `cfg.seed`.
+pub fn generate(cfg: &AmtConfig) -> AmtWorkload {
+    generate_exact(cfg, cfg.n_groups * cfg.tasks_per_group)
+}
+
+/// Generate and truncate to exactly `n_tasks` tasks.
+pub fn generate_exact(cfg: &AmtConfig, n_tasks: usize) -> AmtWorkload {
+    assert!(cfg.vocab_size > 0, "vocabulary must be non-empty");
+    let (kmin, kmax) = cfg.keywords_per_group;
+    assert!(kmin >= 1 && kmin <= kmax, "bad keywords_per_group range");
+    assert!(
+        kmax <= cfg.vocab_size,
+        "keywords_per_group exceeds vocabulary"
+    );
+    let space = build_vocabulary(cfg.vocab_size);
+    let zipf = Zipf::new(cfg.vocab_size, cfg.zipf_exponent);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut tasks = TaskPool::new();
+
+    'groups: for g in 0..cfg.n_groups {
+        let k = rng.random_range(kmin..=kmax);
+        let kws = zipf.sample_distinct(&mut rng, k);
+        let vec = KeywordVec::from_indices(cfg.vocab_size, &kws);
+        for _ in 0..cfg.tasks_per_group {
+            if tasks.len() == n_tasks {
+                break 'groups;
+            }
+            // Micro-task rewards < $0.15 (Section II).
+            let reward = rng.random_range(1..=14);
+            let task = hta_core::Task::new(
+                hta_core::TaskId(0), // reassigned by the pool
+                GroupId(g as u32),
+                vec.clone(),
+            )
+            .with_reward_cents(reward);
+            tasks.push_task(task);
+        }
+    }
+    AmtWorkload { space, tasks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shape() {
+        let cfg = AmtConfig {
+            n_groups: 10,
+            tasks_per_group: 5,
+            vocab_size: 50,
+            ..AmtConfig::default()
+        };
+        let w = generate(&cfg);
+        assert_eq!(w.tasks.len(), 50);
+        assert_eq!(w.tasks.group_count(), 10);
+        assert_eq!(w.space.len(), 50);
+    }
+
+    #[test]
+    fn tasks_within_group_share_keywords() {
+        let cfg = AmtConfig {
+            n_groups: 3,
+            tasks_per_group: 4,
+            vocab_size: 40,
+            ..AmtConfig::default()
+        };
+        let w = generate(&cfg);
+        for g in 0..3u32 {
+            let group_tasks: Vec<_> = w
+                .tasks
+                .tasks()
+                .iter()
+                .filter(|t| t.group == GroupId(g))
+                .collect();
+            assert_eq!(group_tasks.len(), 4);
+            for t in &group_tasks[1..] {
+                assert_eq!(t.keywords, group_tasks[0].keywords);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = AmtConfig::default();
+        let a = generate_exact(&cfg, 100);
+        let b = generate_exact(&cfg, 100);
+        for (ta, tb) in a.tasks.tasks().iter().zip(b.tasks.tasks()) {
+            assert_eq!(ta.keywords, tb.keywords);
+        }
+    }
+
+    #[test]
+    fn with_totals_produces_exact_task_count() {
+        let cfg = AmtConfig::with_totals(103, 10);
+        let w = generate_exact(&cfg, 103);
+        assert_eq!(w.tasks.len(), 103);
+    }
+
+    #[test]
+    fn single_group_is_fully_degenerate() {
+        let cfg = AmtConfig::with_totals(20, 1);
+        let w = generate_exact(&cfg, 20);
+        assert_eq!(w.tasks.group_count(), 1);
+        let first = &w.tasks.tasks()[0].keywords;
+        assert!(w.tasks.tasks().iter().all(|t| &t.keywords == first));
+    }
+
+    #[test]
+    fn keyword_counts_respect_range() {
+        let cfg = AmtConfig {
+            n_groups: 50,
+            tasks_per_group: 1,
+            vocab_size: 100,
+            keywords_per_group: (2, 4),
+            ..AmtConfig::default()
+        };
+        let w = generate(&cfg);
+        for t in w.tasks.tasks() {
+            let k = t.keywords.count_ones();
+            assert!((2..=4).contains(&k), "got {k} keywords");
+        }
+    }
+}

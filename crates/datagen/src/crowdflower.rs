@@ -1,0 +1,249 @@
+//! CrowdFlower-like micro-task catalog.
+//!
+//! Substitutes the paper's set of 158,018 CrowdFlower micro-tasks across
+//! **22 kinds** (tweet classification, web search, image transcription,
+//! sentiment analysis, entity resolution, news extraction, …), each kind
+//! carrying descriptive keywords and a reward between $0.01 and $0.12, with
+//! ground truth available for a sample of questions (Section V-C).
+//!
+//! Tasks are generated per kind; each task has 1–3 multiple-choice
+//! questions with known ground truth, so the online simulator can score
+//! crowdwork quality exactly as the paper does.
+
+use hta_core::{GroupId, KeywordSpace, KeywordVec, Task, TaskId, TaskPool};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One of the 22 micro-task kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskKind {
+    /// Stable kind index `0..22`.
+    pub index: usize,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Keywords describing the kind's content and requirements.
+    pub keywords: &'static [&'static str],
+    /// Reward range in cents (inclusive), within the paper's $0.01–$0.12.
+    pub reward_cents: (u32, u32),
+    /// Baseline probability that an *average, fresh* worker answers a
+    /// question of this kind correctly (difficulty knob for the simulator).
+    pub base_accuracy_pct: u32,
+}
+
+/// The 22 kinds, modelled on the examples the paper names plus common
+/// CrowdFlower catalog entries.
+pub const KINDS: &[TaskKind] = &[
+    TaskKind { index: 0, name: "tweet-classification", keywords: &["tweets", "classification", "english", "social"], reward_cents: (1, 4), base_accuracy_pct: 82 },
+    TaskKind { index: 1, name: "web-search-relevance", keywords: &["search", "web-research", "relevance", "english"], reward_cents: (2, 6), base_accuracy_pct: 76 },
+    TaskKind { index: 2, name: "image-transcription", keywords: &["image", "transcription", "ocr", "typing"], reward_cents: (3, 8), base_accuracy_pct: 74 },
+    TaskKind { index: 3, name: "sentiment-analysis", keywords: &["sentiment-analysis", "english", "reviews"], reward_cents: (1, 4), base_accuracy_pct: 80 },
+    TaskKind { index: 4, name: "entity-resolution", keywords: &["entity-resolution", "product-matching", "dedup"], reward_cents: (4, 10), base_accuracy_pct: 70 },
+    TaskKind { index: 5, name: "news-extraction", keywords: &["news", "extraction", "english", "annotation"], reward_cents: (3, 9), base_accuracy_pct: 72 },
+    TaskKind { index: 6, name: "audio-transcription", keywords: &["audio", "transcription", "english", "speech"], reward_cents: (5, 12), base_accuracy_pct: 68 },
+    TaskKind { index: 7, name: "image-tagging", keywords: &["image", "tagging", "photos", "annotation"], reward_cents: (1, 5), base_accuracy_pct: 84 },
+    TaskKind { index: 8, name: "street-view-labeling", keywords: &["street-view", "maps", "image", "labeling"], reward_cents: (2, 6), base_accuracy_pct: 78 },
+    TaskKind { index: 9, name: "receipt-digitization", keywords: &["receipts", "ocr", "typing", "shopping"], reward_cents: (4, 10), base_accuracy_pct: 71 },
+    TaskKind { index: 10, name: "product-categorization", keywords: &["categorization", "shopping", "retail"], reward_cents: (2, 6), base_accuracy_pct: 79 },
+    TaskKind { index: 11, name: "video-moderation", keywords: &["video", "moderation", "classification"], reward_cents: (3, 9), base_accuracy_pct: 75 },
+    TaskKind { index: 12, name: "survey-completion", keywords: &["survey", "data-collection", "english"], reward_cents: (5, 12), base_accuracy_pct: 86 },
+    TaskKind { index: 13, name: "translation-check", keywords: &["translation", "spanish", "english", "verification"], reward_cents: (4, 11), base_accuracy_pct: 69 },
+    TaskKind { index: 14, name: "medical-coding", keywords: &["medical", "annotation", "classification"], reward_cents: (6, 12), base_accuracy_pct: 64 },
+    TaskKind { index: 15, name: "legal-document-tagging", keywords: &["legal", "annotation", "english"], reward_cents: (6, 12), base_accuracy_pct: 65 },
+    TaskKind { index: 16, name: "sports-trivia-verification", keywords: &["sports", "verification", "qa"], reward_cents: (1, 4), base_accuracy_pct: 83 },
+    TaskKind { index: 17, name: "restaurant-matching", keywords: &["food", "product-matching", "maps"], reward_cents: (2, 7), base_accuracy_pct: 77 },
+    TaskKind { index: 18, name: "music-genre-tagging", keywords: &["music", "tagging", "classification"], reward_cents: (1, 5), base_accuracy_pct: 81 },
+    TaskKind { index: 19, name: "travel-review-rating", keywords: &["travel", "reviews", "ratings", "english"], reward_cents: (2, 6), base_accuracy_pct: 80 },
+    TaskKind { index: 20, name: "finance-news-sentiment", keywords: &["finance", "news", "sentiment-analysis"], reward_cents: (3, 8), base_accuracy_pct: 73 },
+    TaskKind { index: 21, name: "photo-quality-rating", keywords: &["photos", "ratings", "image"], reward_cents: (1, 4), base_accuracy_pct: 85 },
+];
+
+/// A multiple-choice question with ground truth (the paper scores quality
+/// against CrowdFlower's provided ground truth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Question {
+    /// Number of answer options (2–4).
+    pub n_options: u8,
+    /// The correct option, `< n_options`.
+    pub ground_truth: u8,
+}
+
+/// A micro-task: the core [`Task`] plus its kind and questions.
+#[derive(Debug, Clone)]
+pub struct MicroTask {
+    /// The core task (keywords, group = kind, reward).
+    pub task: Task,
+    /// Kind index into [`KINDS`].
+    pub kind: usize,
+    /// The task's questions with ground truth.
+    pub questions: Vec<Question>,
+}
+
+/// Catalog generation parameters.
+#[derive(Debug, Clone)]
+pub struct CrowdflowerConfig {
+    /// Total number of micro-tasks, spread round-robin over the 22 kinds.
+    pub n_tasks: usize,
+    /// Inclusive range of questions per task (the paper averages ≈1.6).
+    pub questions_per_task: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CrowdflowerConfig {
+    fn default() -> Self {
+        Self {
+            n_tasks: 2000,
+            questions_per_task: (1, 3),
+            seed: 0xCF,
+        }
+    }
+}
+
+/// The generated catalog.
+#[derive(Debug)]
+pub struct CrowdflowerCatalog {
+    /// The keyword universe (union of all kinds' keywords).
+    pub space: KeywordSpace,
+    /// The generated micro-tasks.
+    pub tasks: Vec<MicroTask>,
+}
+
+impl CrowdflowerCatalog {
+    /// Generate a catalog. Deterministic in the seed.
+    pub fn generate(cfg: &CrowdflowerConfig) -> Self {
+        let (qmin, qmax) = cfg.questions_per_task;
+        assert!(qmin >= 1 && qmin <= qmax, "bad questions_per_task range");
+        let mut space = KeywordSpace::new();
+        for kind in KINDS {
+            for kw in kind.keywords {
+                space.intern(kw);
+            }
+        }
+        let width = space.len();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut tasks = Vec::with_capacity(cfg.n_tasks);
+        for i in 0..cfg.n_tasks {
+            let kind = &KINDS[i % KINDS.len()];
+            let ids: Vec<usize> = kind
+                .keywords
+                .iter()
+                .map(|k| space.get(k).expect("interned above").0 as usize)
+                .collect();
+            let keywords = KeywordVec::from_indices(width, &ids);
+            let reward = rng.random_range(kind.reward_cents.0..=kind.reward_cents.1);
+            let n_questions = rng.random_range(qmin..=qmax);
+            let questions = (0..n_questions)
+                .map(|_| {
+                    let n_options = rng.random_range(2..=4u8);
+                    Question {
+                        n_options,
+                        ground_truth: rng.random_range(0..n_options),
+                    }
+                })
+                .collect();
+            tasks.push(MicroTask {
+                task: Task::new(TaskId(i as u32), GroupId(kind.index as u32), keywords)
+                    .with_reward_cents(reward),
+                kind: kind.index,
+                questions,
+            });
+        }
+        Self { space, tasks }
+    }
+
+    /// Extract the plain [`TaskPool`] for the core solvers (kind = group).
+    pub fn task_pool(&self) -> TaskPool {
+        let mut pool = TaskPool::new();
+        for mt in &self.tasks {
+            pool.push_task(mt.task.clone());
+        }
+        pool
+    }
+
+    /// Mean reward over the catalog, in dollars.
+    pub fn mean_reward_dollars(&self) -> f64 {
+        if self.tasks.is_empty() {
+            return 0.0;
+        }
+        let cents: u32 = self.tasks.iter().map(|t| t.task.reward_cents).sum();
+        cents as f64 / self.tasks.len() as f64 / 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_two_kinds() {
+        assert_eq!(KINDS.len(), 22);
+        for (i, k) in KINDS.iter().enumerate() {
+            assert_eq!(k.index, i);
+            assert!(!k.keywords.is_empty());
+            assert!(k.reward_cents.0 >= 1 && k.reward_cents.1 <= 12);
+            assert!(k.reward_cents.0 <= k.reward_cents.1);
+            assert!((50..=95).contains(&k.base_accuracy_pct));
+        }
+    }
+
+    #[test]
+    fn catalog_covers_all_kinds() {
+        let cat = CrowdflowerCatalog::generate(&CrowdflowerConfig {
+            n_tasks: 44,
+            ..Default::default()
+        });
+        assert_eq!(cat.tasks.len(), 44);
+        for kind in 0..22 {
+            assert_eq!(cat.tasks.iter().filter(|t| t.kind == kind).count(), 2);
+        }
+    }
+
+    #[test]
+    fn questions_have_valid_ground_truth() {
+        let cat = CrowdflowerCatalog::generate(&CrowdflowerConfig::default());
+        for t in &cat.tasks {
+            assert!(!t.questions.is_empty());
+            assert!(t.questions.len() <= 3);
+            for q in &t.questions {
+                assert!((2..=4).contains(&q.n_options));
+                assert!(q.ground_truth < q.n_options);
+            }
+        }
+    }
+
+    #[test]
+    fn rewards_in_paper_range() {
+        let cat = CrowdflowerCatalog::generate(&CrowdflowerConfig::default());
+        for t in &cat.tasks {
+            assert!((1..=12).contains(&t.task.reward_cents));
+        }
+        let mean = cat.mean_reward_dollars();
+        assert!(mean > 0.01 && mean < 0.12);
+    }
+
+    #[test]
+    fn task_pool_preserves_kind_as_group() {
+        let cat = CrowdflowerCatalog::generate(&CrowdflowerConfig {
+            n_tasks: 100,
+            ..Default::default()
+        });
+        let pool = cat.task_pool();
+        assert_eq!(pool.len(), 100);
+        assert_eq!(pool.group_count(), 22);
+        for (mt, t) in cat.tasks.iter().zip(pool.tasks()) {
+            assert_eq!(t.group.0 as usize, mt.kind);
+            assert_eq!(t.keywords, mt.task.keywords);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = CrowdflowerCatalog::generate(&CrowdflowerConfig::default());
+        let b = CrowdflowerCatalog::generate(&CrowdflowerConfig::default());
+        assert_eq!(a.tasks.len(), b.tasks.len());
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.task.reward_cents, y.task.reward_cents);
+            assert_eq!(x.questions, y.questions);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Plain-text (CSV) export/import of generated workloads.
+//!
+//! Experiments should be shareable: a generated AMT-like corpus or
+//! CrowdFlower-like catalog can be written to a small CSV format and read
+//! back bit-for-bit, so a result can be reproduced from the artifact alone
+//! (no reliance on generator version + seed). The format is deliberately
+//! simple: one header line, one line per task, keywords `;`-separated.
+
+use std::fmt::Write as _;
+
+use hta_core::{GroupId, KeywordSpace, KeywordVec, Task, TaskId, TaskPool, Weights, WorkerPool};
+
+/// Serialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The header line was missing or malformed.
+    BadHeader(String),
+    /// A data line did not have the expected number of fields.
+    BadRecord {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadHeader(h) => write!(f, "bad header: '{h}'"),
+            Self::BadRecord { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const HEADER: &str = "task_id,group_id,reward_cents,keywords";
+const WORKER_HEADER: &str = "worker_id,alpha,beta,keywords";
+
+/// Serialize a task pool (with its keyword universe) to CSV.
+pub fn tasks_to_csv(space: &KeywordSpace, tasks: &TaskPool) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    for t in tasks.tasks() {
+        let kws: Vec<&str> = t.keywords.iter_ones().map(|i| space.name(hta_core::KeywordId(i as u32))).collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            t.id.0,
+            t.group.0,
+            t.reward_cents,
+            kws.join(";")
+        );
+    }
+    out
+}
+
+/// Parse a CSV produced by [`tasks_to_csv`]. Returns the reconstructed
+/// keyword universe and pool; keyword ids are re-interned in order of first
+/// appearance, so round-tripping preserves set contents (not raw bit ids).
+pub fn tasks_from_csv(csv: &str) -> Result<(KeywordSpace, TaskPool), ParseError> {
+    let mut lines = csv.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, h)) => return Err(ParseError::BadHeader(h.to_owned())),
+        None => return Err(ParseError::BadHeader(String::new())),
+    }
+
+    // Pass 1: collect records and intern keywords.
+    let mut space = KeywordSpace::new();
+    let mut records: Vec<(u32, u32, Vec<String>)> = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(4, ',').collect();
+        if fields.len() != 4 {
+            return Err(ParseError::BadRecord {
+                line: lineno + 1,
+                reason: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let group: u32 = fields[1].parse().map_err(|_| ParseError::BadRecord {
+            line: lineno + 1,
+            reason: format!("bad group id '{}'", fields[1]),
+        })?;
+        let reward: u32 = fields[2].parse().map_err(|_| ParseError::BadRecord {
+            line: lineno + 1,
+            reason: format!("bad reward '{}'", fields[2]),
+        })?;
+        let kws: Vec<String> = fields[3]
+            .split(';')
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        for k in &kws {
+            space.intern(k);
+        }
+        records.push((group, reward, kws));
+    }
+
+    // Pass 2: build vectors over the final universe.
+    let width = space.len();
+    let mut pool = TaskPool::new();
+    for (group, reward, kws) in records {
+        let ids: Vec<usize> = kws
+            .iter()
+            .map(|k| space.get(k).expect("interned in pass 1").0 as usize)
+            .collect();
+        let task = Task::new(
+            TaskId(0),
+            GroupId(group),
+            KeywordVec::from_indices(width, &ids),
+        )
+        .with_reward_cents(reward);
+        pool.push_task(task);
+    }
+    Ok((space, pool))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amt::{generate, AmtConfig};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let w = generate(&AmtConfig {
+            n_groups: 8,
+            tasks_per_group: 3,
+            vocab_size: 60,
+            ..Default::default()
+        });
+        let csv = tasks_to_csv(&w.space, &w.tasks);
+        let (space2, pool2) = tasks_from_csv(&csv).unwrap();
+        assert_eq!(pool2.len(), w.tasks.len());
+        assert_eq!(pool2.group_count(), w.tasks.group_count());
+        // Keyword *sets* survive (ids may be renumbered).
+        for (a, b) in w.tasks.tasks().iter().zip(pool2.tasks()) {
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.reward_cents, b.reward_cents);
+            let names_a: std::collections::BTreeSet<String> = a
+                .keywords
+                .iter_ones()
+                .map(|i| w.space.name(hta_core::KeywordId(i as u32)).to_owned())
+                .collect();
+            let names_b: std::collections::BTreeSet<String> = b
+                .keywords
+                .iter_ones()
+                .map(|i| space2.name(hta_core::KeywordId(i as u32)).to_owned())
+                .collect();
+            assert_eq!(names_a, names_b);
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_is_identical_text() {
+        let w = generate(&AmtConfig {
+            n_groups: 4,
+            tasks_per_group: 2,
+            vocab_size: 30,
+            ..Default::default()
+        });
+        let csv1 = tasks_to_csv(&w.space, &w.tasks);
+        let (s2, p2) = tasks_from_csv(&csv1).unwrap();
+        let csv2 = tasks_to_csv(&s2, &p2);
+        let (s3, p3) = tasks_from_csv(&csv2).unwrap();
+        let csv3 = tasks_to_csv(&s3, &p3);
+        assert_eq!(csv2, csv3, "serialization must reach a fixed point");
+        assert_eq!(p2.len(), p3.len());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            tasks_from_csv("nope\n1,2,3,a"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(tasks_from_csv(""), Err(ParseError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        let bad_fields = format!("{HEADER}\n1,2,3");
+        assert!(matches!(
+            tasks_from_csv(&bad_fields),
+            Err(ParseError::BadRecord { .. })
+        ));
+        let bad_reward = format!("{HEADER}\n1,2,xx,a;b");
+        let err = tasks_from_csv(&bad_reward).unwrap_err();
+        assert!(err.to_string().contains("bad reward"));
+    }
+
+    #[test]
+    fn empty_keyword_list_allowed() {
+        let csv = format!("{HEADER}\n0,5,7,\n");
+        let (_, pool) = tasks_from_csv(&csv).unwrap();
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.get(TaskId(0)).keywords.count_ones(), 0);
+        assert_eq!(pool.get(TaskId(0)).reward_cents, 7);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = format!("{HEADER}\n\n0,1,2,a\n\n");
+        let (_, pool) = tasks_from_csv(&csv).unwrap();
+        assert_eq!(pool.len(), 1);
+    }
+}
+
+/// Serialize a worker pool to CSV (over the same keyword universe as the
+/// tasks they will be matched with).
+pub fn workers_to_csv(space: &KeywordSpace, workers: &WorkerPool) -> String {
+    let mut out = String::new();
+    out.push_str(WORKER_HEADER);
+    out.push('\n');
+    for w in workers.workers() {
+        let kws: Vec<&str> = w
+            .keywords
+            .iter_ones()
+            .map(|i| space.name(hta_core::KeywordId(i as u32)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            w.id.0,
+            w.weights.alpha(),
+            w.weights.beta(),
+            kws.join(";")
+        );
+    }
+    out
+}
+
+/// Parse a worker CSV against an existing keyword universe (typically the
+/// one reconstructed from the task CSV). Unknown keywords are interned into
+/// `space`, widening the universe; re-widen task vectors afterwards if that
+/// happens (see [`KeywordSpace::widen`]).
+pub fn workers_from_csv(
+    space: &mut KeywordSpace,
+    csv: &str,
+) -> Result<WorkerPool, ParseError> {
+    let mut lines = csv.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == WORKER_HEADER => {}
+        Some((_, h)) => return Err(ParseError::BadHeader(h.to_owned())),
+        None => return Err(ParseError::BadHeader(String::new())),
+    }
+    let mut records: Vec<(f64, f64, Vec<String>)> = Vec::new();
+    for (lineno, line) in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.splitn(4, ',').collect();
+        if fields.len() != 4 {
+            return Err(ParseError::BadRecord {
+                line: lineno + 1,
+                reason: format!("expected 4 fields, got {}", fields.len()),
+            });
+        }
+        let alpha: f64 = fields[1].parse().map_err(|_| ParseError::BadRecord {
+            line: lineno + 1,
+            reason: format!("bad alpha '{}'", fields[1]),
+        })?;
+        let beta: f64 = fields[2].parse().map_err(|_| ParseError::BadRecord {
+            line: lineno + 1,
+            reason: format!("bad beta '{}'", fields[2]),
+        })?;
+        if !(0.0..=1.0).contains(&alpha) || !(0.0..=1.0).contains(&beta) {
+            return Err(ParseError::BadRecord {
+                line: lineno + 1,
+                reason: format!("weights ({alpha}, {beta}) outside [0, 1]"),
+            });
+        }
+        let kws: Vec<String> = fields[3]
+            .split(';')
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+            .collect();
+        for k in &kws {
+            space.intern(k);
+        }
+        records.push((alpha, beta, kws));
+    }
+    let width = space.len();
+    let mut pool = WorkerPool::new();
+    for (alpha, beta, kws) in records {
+        let ids: Vec<usize> = kws
+            .iter()
+            .map(|k| space.get(k).expect("interned above").0 as usize)
+            .collect();
+        pool.push(
+            KeywordVec::from_indices(width, &ids),
+            Weights::raw(alpha, beta),
+        );
+    }
+    Ok(pool)
+}
+
+#[cfg(test)]
+mod worker_csv_tests {
+    use super::*;
+    use crate::workers::{synthetic_workers, SyntheticWorkerConfig};
+    use crate::vocab::build_vocabulary;
+
+    #[test]
+    fn worker_roundtrip() {
+        let space = build_vocabulary(40);
+        let workers = synthetic_workers(
+            40,
+            &SyntheticWorkerConfig {
+                n_workers: 7,
+                ..Default::default()
+            },
+        );
+        let csv = workers_to_csv(&space, &workers);
+        let mut space2 = build_vocabulary(40);
+        let pool = workers_from_csv(&mut space2, &csv).unwrap();
+        assert_eq!(pool.len(), 7);
+        for (a, b) in workers.workers().iter().zip(pool.workers()) {
+            assert!((a.weights.alpha() - b.weights.alpha()).abs() < 1e-12);
+            assert_eq!(a.keywords.count_ones(), b.keywords.count_ones());
+        }
+    }
+
+    #[test]
+    fn worker_csv_rejects_bad_weights() {
+        let mut space = build_vocabulary(5);
+        let csv = format!("{WORKER_HEADER}\n0,1.5,0.2,english");
+        assert!(workers_from_csv(&mut space, &csv).is_err());
+        let csv = format!("{WORKER_HEADER}\n0,x,0.2,english");
+        assert!(workers_from_csv(&mut space, &csv).is_err());
+    }
+
+    #[test]
+    fn worker_csv_interns_new_keywords() {
+        let mut space = KeywordSpace::new();
+        let csv = format!("{WORKER_HEADER}\n0,0.5,0.5,alpha;beta");
+        let pool = workers_from_csv(&mut space, &csv).unwrap();
+        assert_eq!(space.len(), 2);
+        assert_eq!(pool.get(hta_core::WorkerId(0)).keywords.count_ones(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! # hta-datagen — workload generators for the HTA experiments
+//!
+//! The paper evaluates on two datasets we cannot redistribute:
+//!
+//! * **152,221 task groups crawled from Amazon Mechanical Turk** (title,
+//!   reward, keywords) — used by the offline scalability experiments
+//!   (Figures 2–3). [`amt`] generates a statistically similar corpus: task
+//!   groups whose keyword sets are drawn Zipf-style from a shared
+//!   vocabulary, with all tasks in a group sharing the group's keywords.
+//! * **158,018 CrowdFlower micro-tasks across 22 kinds** with ground truth
+//!   — used by the live experiment (Figure 5). [`crowdflower`] provides the
+//!   22 kinds (tweet classification, sentiment analysis, image
+//!   transcription, entity resolution, …) with per-kind keywords, rewards
+//!   in $0.01–$0.12, and synthetic ground-truth questions.
+//!
+//! [`workers`] generates both the paper's synthetic workers (five uniformly
+//! chosen keywords, random `(α, β)`) and the richer live-worker profiles
+//! used by `hta-crowd`'s behaviour model.
+//!
+//! All generators are deterministic given a seed.
+
+#![warn(missing_docs)]
+
+pub mod amt;
+pub mod crowdflower;
+pub mod export;
+pub mod vocab;
+pub mod workers;
+pub mod zipf;
+
+pub use amt::{AmtConfig, AmtWorkload};
+pub use crowdflower::{CrowdflowerCatalog, CrowdflowerConfig, MicroTask, Question, TaskKind};
+pub use workers::{SyntheticWorkerConfig, WeightModel};
+pub use zipf::Zipf;

@@ -1,0 +1,99 @@
+//! Keyword vocabulary construction.
+//!
+//! The generator vocabularies mix a seed list of real crowdsourcing
+//! keywords (observed on AMT/CrowdFlower task listings) with synthetic
+//! `domain-modifier` compounds, so any requested vocabulary size is
+//! available while the most frequent keywords stay realistic.
+
+use hta_core::KeywordSpace;
+
+/// Real-world keywords that dominate AMT/CrowdFlower listings. These occupy
+/// the lowest ranks, so Zipf-distributed keyword draws use them most often.
+pub const SEED_KEYWORDS: &[&str] = &[
+    "english", "survey", "data-collection", "audio", "transcription",
+    "image", "tagging", "sentiment-analysis", "tweets", "classification",
+    "news", "video", "annotation", "search", "web-research",
+    "categorization", "writing", "translation", "moderation", "receipts",
+    "entity-resolution", "product-matching", "speech", "ocr", "street-view",
+    "medical", "legal", "sports", "finance", "music",
+    "photos", "qa", "spanish", "french", "german",
+    "reviews", "ratings", "shopping", "travel", "food",
+];
+
+const DOMAINS: &[&str] = &[
+    "retail", "social", "maps", "books", "movies", "health", "auto",
+    "fashion", "gaming", "crypto", "weather", "jobs", "realestate",
+    "science", "politics", "education", "pets", "gardening", "fitness",
+    "photography",
+];
+
+const MODIFIERS: &[&str] = &[
+    "labeling", "verification", "extraction", "dedup", "sorting", "rating",
+    "captioning", "segmentation", "linking", "cleanup", "summarization",
+    "comparison", "detection", "lookup", "typing", "listing", "counting",
+    "matching", "grading", "screening",
+];
+
+/// Build a [`KeywordSpace`] of exactly `size` keywords: the seed list first,
+/// then `domain-modifier` compounds, then numbered filler if `size` exceeds
+/// the compound space.
+pub fn build_vocabulary(size: usize) -> KeywordSpace {
+    let mut space = KeywordSpace::new();
+    for kw in SEED_KEYWORDS.iter().take(size) {
+        space.intern(kw);
+    }
+    'outer: for d in DOMAINS {
+        for m in MODIFIERS {
+            if space.len() >= size {
+                break 'outer;
+            }
+            space.intern(&format!("{d}-{m}"));
+        }
+    }
+    let mut i = 0usize;
+    while space.len() < size {
+        space.intern(&format!("keyword-{i}"));
+        i += 1;
+    }
+    space
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_small() {
+        let v = build_vocabulary(10);
+        assert_eq!(v.len(), 10);
+        assert!(v.get("english").is_some());
+    }
+
+    #[test]
+    fn exact_size_medium_uses_compounds() {
+        let v = build_vocabulary(200);
+        assert_eq!(v.len(), 200);
+        assert!(v.get("retail-labeling").is_some());
+    }
+
+    #[test]
+    fn exact_size_large_uses_filler() {
+        let v = build_vocabulary(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.get("keyword-0").is_some());
+    }
+
+    #[test]
+    fn zero_size() {
+        let v = build_vocabulary(0);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn keywords_are_distinct() {
+        // Interning is idempotent, so len == size proves distinctness, but
+        // double-check a sample.
+        let v = build_vocabulary(500);
+        assert_eq!(v.len(), 500);
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic worker generation.
+//!
+//! The paper's offline experiments use synthetic workers: "For each worker
+//! w, we use a pseudo-random uniform generator to choose five keywords …
+//! for each worker, we pick a random α and β in [0, 1]" (Section V-B).
+//! [`synthetic_workers`] reproduces that construction; [`WeightModel`]
+//! selects between the paper's independent-uniform weights and
+//! simplex-normalized ones.
+
+use hta_core::{KeywordVec, Weights, WorkerPool};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// How random motivation weights are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WeightModel {
+    /// `α, β ~ U[0, 1]` independently — exactly the paper's simulation
+    /// set-up (their example weights do not sum to 1 either).
+    #[default]
+    UniformIndependent,
+    /// `α ~ U[0, 1]`, `β = 1 − α` — on the simplex of Eq. 3.
+    Simplex,
+}
+
+/// Configuration for [`synthetic_workers`].
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkerConfig {
+    /// Number of workers to generate.
+    pub n_workers: usize,
+    /// Keywords per worker (the paper uses 5).
+    pub keywords_per_worker: usize,
+    /// How `(α, β)` are drawn.
+    pub weight_model: WeightModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticWorkerConfig {
+    fn default() -> Self {
+        Self {
+            n_workers: 200,
+            keywords_per_worker: 5,
+            weight_model: WeightModel::UniformIndependent,
+            seed: 0x30B,
+        }
+    }
+}
+
+/// Generate a pool of synthetic workers over a vocabulary of `vocab_size`
+/// keywords. Deterministic in the seed.
+pub fn synthetic_workers(vocab_size: usize, cfg: &SyntheticWorkerConfig) -> WorkerPool {
+    assert!(
+        cfg.keywords_per_worker <= vocab_size,
+        "keywords_per_worker exceeds vocabulary"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut pool = WorkerPool::new();
+    for _ in 0..cfg.n_workers {
+        let kws = sample_distinct_uniform(&mut rng, vocab_size, cfg.keywords_per_worker);
+        let keywords = KeywordVec::from_indices(vocab_size, &kws);
+        let weights = match cfg.weight_model {
+            WeightModel::UniformIndependent => Weights::raw(rng.random(), rng.random()),
+            WeightModel::Simplex => Weights::from_alpha(rng.random()),
+        };
+        pool.push(keywords, weights);
+    }
+    pool
+}
+
+/// `k` distinct values from `0..n`, uniformly (partial Fisher–Yates for
+/// small `k`, rejection otherwise).
+fn sample_distinct_uniform<R: Rng + ?Sized>(rng: &mut R, n: usize, k: usize) -> Vec<usize> {
+    if k * 4 >= n {
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(rng);
+        all.truncate(k);
+        return all;
+    }
+    let mut out: Vec<usize> = Vec::with_capacity(k);
+    while out.len() < k {
+        let v = rng.random_range(0..n);
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count_and_keywords() {
+        let cfg = SyntheticWorkerConfig {
+            n_workers: 25,
+            keywords_per_worker: 5,
+            ..Default::default()
+        };
+        let pool = synthetic_workers(100, &cfg);
+        assert_eq!(pool.len(), 25);
+        for w in pool.workers() {
+            assert_eq!(w.keywords.count_ones(), 5);
+            assert_eq!(w.keywords.nbits(), 100);
+        }
+    }
+
+    #[test]
+    fn uniform_independent_weights_cover_the_square() {
+        let cfg = SyntheticWorkerConfig {
+            n_workers: 200,
+            weight_model: WeightModel::UniformIndependent,
+            ..Default::default()
+        };
+        let pool = synthetic_workers(50, &cfg);
+        // With 200 draws, some pair should be far off the simplex.
+        let off_simplex = pool
+            .workers()
+            .iter()
+            .filter(|w| (w.weights.alpha() + w.weights.beta() - 1.0).abs() > 0.2)
+            .count();
+        assert!(off_simplex > 10);
+    }
+
+    #[test]
+    fn simplex_weights_sum_to_one() {
+        let cfg = SyntheticWorkerConfig {
+            n_workers: 50,
+            weight_model: WeightModel::Simplex,
+            ..Default::default()
+        };
+        let pool = synthetic_workers(50, &cfg);
+        for w in pool.workers() {
+            assert!((w.weights.alpha() + w.weights.beta() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SyntheticWorkerConfig::default();
+        let a = synthetic_workers(60, &cfg);
+        let b = synthetic_workers(60, &cfg);
+        for (x, y) in a.workers().iter().zip(b.workers()) {
+            assert_eq!(x.keywords, y.keywords);
+            assert_eq!(x.weights.alpha(), y.weights.alpha());
+        }
+    }
+
+    #[test]
+    fn dense_k_uses_shuffle_path() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sample_distinct_uniform(&mut rng, 10, 8);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+        assert!(s.iter().all(|&v| v < 10));
+    }
+}

@@ -1,0 +1,167 @@
+//! A seeded Zipf sampler (rank-frequency `1/rank^s`).
+//!
+//! Real AMT keyword usage is heavily skewed ("English", "survey", "data
+//! collection" dominate); the AMT generator draws group keywords through
+//! this distribution so that few keywords are common and many are rare —
+//! the property that makes task groups overlap realistically.
+
+use rand::{Rng, RngExt};
+
+/// Zipf distribution over ranks `0..n` with exponent `s ≥ 0`
+/// (`s = 0` degenerates to uniform). Sampling is `O(log n)` via binary
+/// search on the precomputed CDF.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative/NaN.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point: the last entry must be exactly 1.
+        *cdf.last_mut().expect("non-empty") = 1.0;
+        Self { cdf }
+    }
+
+    /// Support size.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Draw `k` *distinct* ranks (by rejection; `k` must not exceed `n`).
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<usize> {
+        assert!(k <= self.n(), "cannot draw {k} distinct from {}", self.n());
+        let mut out = Vec::with_capacity(k);
+        // Rejection is fast while k ≪ n; fall back to a shuffled sweep when
+        // rejection starts thrashing.
+        let mut misses = 0usize;
+        while out.len() < k {
+            let r = self.sample(rng);
+            if out.contains(&r) {
+                misses += 1;
+                if misses > 16 * k + 64 {
+                    // Dense fallback: take the remaining lowest ranks.
+                    for rank in 0..self.n() {
+                        if out.len() == k {
+                            break;
+                        }
+                        if !out.contains(&rank) {
+                            out.push(rank);
+                        }
+                    }
+                    break;
+                }
+            } else {
+                out.push(r);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 600.0, "counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_when_s_positive() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // Rank 0 should dominate clearly.
+        assert!(counts[0] as f64 > 0.1 * 50_000.0);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 7);
+        }
+    }
+
+    #[test]
+    fn distinct_sampling() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = z.sample_distinct(&mut rng, 10);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn distinct_sampling_extreme_skew_terminates() {
+        // s = 5: almost all mass on rank 0 — forces the dense fallback.
+        let z = Zipf::new(50, 5.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let s = z.sample_distinct(&mut rng, 20);
+        assert_eq!(s.len(), 20);
+        let mut sorted = s;
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_support() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let z = Zipf::new(30, 1.1);
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..20).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

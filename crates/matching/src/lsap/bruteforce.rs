@@ -1,0 +1,80 @@
+//! Exhaustive LSAP solver for testing (`O(n!)`, use only for tiny `n`).
+
+use super::LsapSolution;
+use crate::costs::CostMatrix;
+
+/// Maximize over all permutations by exhaustive enumeration.
+///
+/// # Panics
+/// Panics if `n > 10` (10! ≈ 3.6M permutations is the sensible ceiling).
+pub fn solve(profits: &impl CostMatrix) -> LsapSolution {
+    let n = profits.n();
+    assert!(n <= 10, "bruteforce LSAP limited to n <= 10, got {n}");
+    if n == 0 {
+        return LsapSolution {
+            assignment: Vec::new(),
+            value: 0.0,
+        };
+    }
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut best = perm.clone();
+    let mut best_value = LsapSolution::evaluate(&perm, profits);
+    // Heap's algorithm, iterative.
+    let mut c = vec![0usize; n];
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            let v = LsapSolution::evaluate(&perm, profits);
+            if v > best_value {
+                best_value = v;
+                best.copy_from_slice(&perm);
+            }
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    LsapSolution {
+        assignment: best,
+        value: best_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::DenseMatrix;
+
+    #[test]
+    fn enumerates_all_permutations() {
+        let m = DenseMatrix::from_rows(&[[1.0, 10.0], [10.0, 1.0]]);
+        let s = solve(&m);
+        assert_eq!(s.assignment, vec![1, 0]);
+        assert_eq!(s.value, 20.0);
+    }
+
+    #[test]
+    fn three_by_three() {
+        let m = DenseMatrix::from_rows(&[
+            [1.0, 2.0, 3.0],
+            [3.0, 1.0, 2.0],
+            [2.0, 3.0, 1.0],
+        ]);
+        let s = solve(&m);
+        assert_eq!(s.value, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "limited")]
+    fn rejects_large_instances() {
+        let m = DenseMatrix::zeros(11);
+        let _ = solve(&m);
+    }
+}

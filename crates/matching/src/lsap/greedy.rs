@@ -1,0 +1,194 @@
+//! ½-approximate LSAP via greedy matching on the complete bipartite profit
+//! graph — the solver that makes HTA-GRE run in `O(n² log n)`.
+//!
+//! The paper (Section IV-C, Lemma 4) models the LSAP as a maximum-weight
+//! perfect matching on the complete bipartite graph `G_LSAP` and applies
+//! `GreedyMatching`: repeatedly take the heaviest remaining `(row, col)`
+//! pair with both endpoints free. Because the graph is complete, the result
+//! is a perfect matching (a permutation), and the greedy rule guarantees at
+//! least half the optimal weight.
+
+use super::LsapSolution;
+use crate::costs::CostMatrix;
+
+const FREE: usize = usize::MAX;
+
+/// Greedy LSAP. Automatically uses the column-class representation when the
+/// matrix reports fewer classes than columns (sorting `n·classes` candidate
+/// pairs instead of `n²`).
+pub fn solve(profits: &impl CostMatrix) -> LsapSolution {
+    if profits.n_classes() < profits.n() {
+        solve_classed(profits)
+    } else {
+        solve_dense(profits)
+    }
+}
+
+/// Greedy LSAP over all `n²` entries.
+pub fn solve_dense(profits: &impl CostMatrix) -> LsapSolution {
+    let n = profits.n();
+    let mut entries: Vec<(f64, u32, u32)> = Vec::with_capacity(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            entries.push((profits.cost(r, c), r as u32, c as u32));
+        }
+    }
+    sort_entries(&mut entries);
+
+    let mut row_to_col = vec![FREE; n];
+    let mut col_taken = vec![false; n];
+    let mut assigned = 0usize;
+    for &(_, r, c) in &entries {
+        let (r, c) = (r as usize, c as usize);
+        if row_to_col[r] == FREE && !col_taken[c] {
+            row_to_col[r] = c;
+            col_taken[c] = true;
+            assigned += 1;
+            if assigned == n {
+                break;
+            }
+        }
+    }
+    finish(profits, row_to_col)
+}
+
+/// Greedy LSAP exploiting column classes: sort the `n × n_classes` candidate
+/// pairs; a pair `(row, class)` is usable while the class has spare columns.
+/// Produces the same profit as [`solve_dense`] whenever the dense tie-break
+/// ordering groups classes consistently, and is never worse than the ½
+/// guarantee.
+pub fn solve_classed(profits: &impl CostMatrix) -> LsapSolution {
+    let n = profits.n();
+    let nc = profits.n_classes();
+    let mut entries: Vec<(f64, u32, u32)> = Vec::with_capacity(n * nc);
+    for r in 0..n {
+        for cl in 0..nc {
+            entries.push((profits.class_cost(r, cl), r as u32, cl as u32));
+        }
+    }
+    sort_entries(&mut entries);
+
+    // Remaining capacity per class.
+    let mut cap = vec![0u32; nc];
+    for col in 0..n {
+        cap[profits.class_of(col)] += 1;
+    }
+
+    let mut row_to_class = vec![FREE; n];
+    let mut assigned = 0usize;
+    for &(_, r, cl) in &entries {
+        let (r, cl) = (r as usize, cl as usize);
+        if row_to_class[r] == FREE && cap[cl] > 0 {
+            row_to_class[r] = cl;
+            cap[cl] -= 1;
+            assigned += 1;
+            if assigned == n {
+                break;
+            }
+        }
+    }
+
+    // Materialize concrete columns: hand the columns of each class out in
+    // increasing order.
+    let mut next_col_of_class: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    for col in (0..n).rev() {
+        next_col_of_class[profits.class_of(col)].push(col);
+    }
+    let row_to_col = row_to_class
+        .iter()
+        .map(|&cl| {
+            next_col_of_class[cl]
+                .pop()
+                .expect("class capacity accounting guarantees a free column")
+        })
+        .collect();
+    finish(profits, row_to_col)
+}
+
+/// Sort candidate pairs by decreasing profit, tie-broken by `(row, col)` for
+/// determinism.
+fn sort_entries(entries: &mut [(f64, u32, u32)]) {
+    entries.sort_unstable_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .expect("profits must not be NaN")
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
+}
+
+fn finish(profits: &impl CostMatrix, assignment: Vec<usize>) -> LsapSolution {
+    debug_assert!(LsapSolution::is_permutation(&assignment));
+    let value = LsapSolution::evaluate(&assignment, profits);
+    LsapSolution { assignment, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::{ClassedCosts, DenseMatrix};
+    use crate::lsap::jv;
+
+    #[test]
+    fn produces_permutation_and_half_guarantee() {
+        let m = DenseMatrix::from_rows(&[
+            [3.0, 1.0, 0.0, 2.0],
+            [0.0, 2.0, 1.0, 4.0],
+            [1.0, 0.0, 4.0, 1.0],
+            [2.0, 2.0, 2.0, 2.0],
+        ]);
+        let g = solve(&m);
+        let opt = jv::solve(&m);
+        assert!(LsapSolution::is_permutation(&g.assignment));
+        assert!(g.value >= 0.5 * opt.value);
+        assert!(g.value <= opt.value + 1e-12);
+    }
+
+    #[test]
+    fn greedy_is_optimal_on_diagonal_dominant() {
+        let m = DenseMatrix::from_rows(&[[9.0, 0.0], [0.0, 9.0]]);
+        let g = solve(&m);
+        assert_eq!(g.assignment, vec![0, 1]);
+        assert_eq!(g.value, 18.0);
+    }
+
+    #[test]
+    fn classic_half_gap_instance() {
+        // Greedy takes (0,0)=2 first, forcing (1,1)=0; optimal crosses for
+        // 1.9 + 1.9 = 3.8.
+        let m = DenseMatrix::from_rows(&[[2.0, 1.9], [1.9, 0.0]]);
+        let g = solve(&m);
+        assert_eq!(g.value, 2.0);
+        let opt = jv::solve(&m);
+        assert_eq!(opt.value, 3.8);
+        assert!(g.value >= 0.5 * opt.value);
+    }
+
+    #[test]
+    fn classed_solver_matches_dense_on_expanded_matrix() {
+        // 6 columns in 3 classes of 2.
+        let classes = vec![0u32, 0, 1, 1, 2, 2];
+        let cc = ClassedCosts::new(6, 3, classes, |r, c| ((r * 7 + c * 3) % 5) as f64);
+        let dense = DenseMatrix::from_fn(6, |r, col| cc.cost(r, col));
+        let g_classed = solve(&cc);
+        let g_dense = solve_dense(&dense);
+        assert!(LsapSolution::is_permutation(&g_classed.assignment));
+        assert_eq!(g_classed.value, g_dense.value);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = DenseMatrix::zeros(0);
+        let g = solve(&m);
+        assert!(g.assignment.is_empty());
+        assert_eq!(g.value, 0.0);
+    }
+
+    #[test]
+    fn deterministic_on_ties() {
+        let m = DenseMatrix::from_fn(5, |_, _| 1.0);
+        let a = solve(&m);
+        let b = solve(&m);
+        assert_eq!(a.assignment, b.assignment);
+        // Tie-break (row, col): identity permutation.
+        assert_eq!(a.assignment, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Solvers for the Linear Sum Assignment Problem (LSAP).
+//!
+//! Given a square profit matrix `f`, find a permutation `σ` maximizing
+//! `Σ_k f[k][σ(k)]`. HTA-APP solves its auxiliary LSAP exactly
+//! ([`jv`]); HTA-GRE trades a factor ½ for speed ([`greedy`]). [`auction`]
+//! and [`structured`] are alternative exact solvers used in ablations.
+
+pub mod auction;
+pub mod bruteforce;
+pub mod greedy;
+pub mod hungarian;
+pub mod jv;
+pub mod structured;
+
+use crate::costs::CostMatrix;
+
+/// The result of an LSAP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LsapSolution {
+    /// `assignment[row] = col`: the column assigned to each row. Always a
+    /// permutation of `0..n`.
+    pub assignment: Vec<usize>,
+    /// Total profit `Σ_row f[row][assignment[row]]`.
+    pub value: f64,
+}
+
+impl LsapSolution {
+    /// Recompute the value of `assignment` on `costs` (used to cross-check
+    /// solver bookkeeping in tests).
+    pub fn evaluate(assignment: &[usize], costs: &impl CostMatrix) -> f64 {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(r, &c)| costs.cost(r, c))
+            .sum()
+    }
+
+    /// Assert (debug builds / tests) that `assignment` is a permutation.
+    pub fn is_permutation(assignment: &[usize]) -> bool {
+        let n = assignment.len();
+        let mut seen = vec![false; n];
+        assignment.iter().all(|&c| {
+            if c >= n || seen[c] {
+                false
+            } else {
+                seen[c] = true;
+                true
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::DenseMatrix;
+
+    #[test]
+    fn evaluate_sums_selected_entries() {
+        let m = DenseMatrix::from_rows(&[[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(LsapSolution::evaluate(&[1, 0], &m), 5.0);
+        assert_eq!(LsapSolution::evaluate(&[0, 1], &m), 5.0);
+    }
+
+    #[test]
+    fn permutation_check() {
+        assert!(LsapSolution::is_permutation(&[2, 0, 1]));
+        assert!(!LsapSolution::is_permutation(&[0, 0, 1]));
+        assert!(!LsapSolution::is_permutation(&[0, 3, 1]));
+        assert!(LsapSolution::is_permutation(&[]));
+    }
+}

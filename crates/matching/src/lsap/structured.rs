@@ -1,0 +1,206 @@
+//! Exact LSAP solver exploiting *column classes* (semi-assignment).
+//!
+//! The HTA auxiliary profit matrix `f_{k,l} = b_M(t_k)·degA_l + c_{k,l}` has
+//! a special shape: every column mapped to the same worker is identical, and
+//! every column past `|W|·X_max` is all-zero. The LSAP therefore collapses
+//! to a **transportation problem** over `n` rows and `n_classes ≪ n` column
+//! classes, where class `c` has capacity = its column count.
+//!
+//! This module solves that transportation problem exactly with successive
+//! shortest augmenting paths over *classes* — a direct generalization of the
+//! Jonker–Volgenant augmentation where a "column" is a class with remaining
+//! capacity. Complexity `O(n · (n·C + C²))` with `C = n_classes`, versus
+//! `O(n³)` for dense JV; memory `O(n·C)` versus `O(n²)`.
+//!
+//! This is an extension beyond the paper (an ablation point in DESIGN.md §3);
+//! it produces the same optimal value as dense JV, which the tests verify.
+
+use super::LsapSolution;
+use crate::costs::CostMatrix;
+
+const NONE: usize = usize::MAX;
+
+/// Maximize `Σ f[row][σ(row)]` exactly, exploiting column classes.
+pub fn solve(profits: &impl CostMatrix) -> LsapSolution {
+    let n = profits.n();
+    let nc = profits.n_classes();
+    if n == 0 {
+        return LsapSolution {
+            assignment: Vec::new(),
+            value: 0.0,
+        };
+    }
+    // Minimization of negated profits, per (row, class).
+    let cost = |r: usize, c: usize| -profits.class_cost(r, c);
+
+    let mut cap = vec![0usize; nc];
+    for col in 0..n {
+        cap[profits.class_of(col)] += 1;
+    }
+
+    let mut assigned: Vec<usize> = vec![NONE; n]; // row -> class
+    let mut rows_in: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    let mut v = vec![0.0f64; nc]; // class potentials
+
+    let mut d = vec![0.0f64; nc];
+    let mut pred_row = vec![0usize; nc];
+    let mut pred_cls = vec![NONE; nc];
+    let mut scanned = vec![false; nc];
+
+    for r0 in 0..n {
+        // ---- Dijkstra over classes ------------------------------------
+        for c in 0..nc {
+            d[c] = cost(r0, c) - v[c];
+            pred_row[c] = r0;
+            pred_cls[c] = NONE; // NONE = direct edge from the new row
+            scanned[c] = false;
+        }
+        let end;
+        loop {
+            // Pick the unscanned class at minimum distance.
+            let mut cstar = NONE;
+            let mut dmin = f64::INFINITY;
+            for c in 0..nc {
+                if !scanned[c] && d[c] < dmin {
+                    dmin = d[c];
+                    cstar = c;
+                }
+            }
+            debug_assert!(cstar != NONE, "augmenting path search must progress");
+            if rows_in[cstar].len() < cap[cstar] {
+                end = cstar;
+                break;
+            }
+            scanned[cstar] = true;
+            // Relax: a row currently in cstar may move to another class.
+            for &i in &rows_in[cstar] {
+                let leave = cost(i, cstar) - v[cstar];
+                for c in 0..nc {
+                    if !scanned[c] {
+                        let nd = d[cstar] + (cost(i, c) - v[c]) - leave;
+                        if nd < d[c] {
+                            d[c] = nd;
+                            pred_row[c] = i;
+                            pred_cls[c] = cstar;
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Potential update (scanned classes only, as in JV) ---------
+        for c in 0..nc {
+            if scanned[c] {
+                v[c] += d[c] - d[end];
+            }
+        }
+
+        // ---- Augment ----------------------------------------------------
+        let mut cur = end;
+        loop {
+            let i = pred_row[cur];
+            let from = pred_cls[cur];
+            if from == NONE {
+                // i == r0 enters `cur` directly.
+                debug_assert_eq!(i, r0);
+                rows_in[cur].push(r0);
+                assigned[r0] = cur;
+                break;
+            }
+            // Row i moves from `from` into `cur`.
+            let pos = rows_in[from]
+                .iter()
+                .position(|&x| x == i)
+                .expect("pred_row must be assigned to pred_cls");
+            rows_in[from].swap_remove(pos);
+            rows_in[cur].push(i);
+            assigned[i] = cur;
+            cur = from;
+        }
+    }
+
+    // Materialize concrete columns: hand each class's columns out in
+    // increasing order of row index for determinism.
+    let mut cols_of_class: Vec<Vec<usize>> = vec![Vec::new(); nc];
+    for col in (0..n).rev() {
+        cols_of_class[profits.class_of(col)].push(col);
+    }
+    let mut assignment = vec![0usize; n];
+    for r in 0..n {
+        assignment[r] = cols_of_class[assigned[r]]
+            .pop()
+            .expect("class capacities exactly cover all rows");
+    }
+    debug_assert!(LsapSolution::is_permutation(&assignment));
+    let value = LsapSolution::evaluate(&assignment, profits);
+    LsapSolution { assignment, value }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costs::{ClassedCosts, DenseMatrix};
+    use crate::lsap::jv;
+
+    #[test]
+    fn dense_matrix_degenerates_to_exact_lsap() {
+        // With n_classes == n this is plain exact LSAP.
+        let m = DenseMatrix::from_rows(&[
+            [3.0, 1.0, 0.0],
+            [0.0, 2.0, 1.0],
+            [1.0, 0.0, 4.0],
+        ]);
+        let s = solve(&m);
+        let opt = jv::solve(&m);
+        assert!((s.value - opt.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classed_instance_matches_dense_jv() {
+        let classes = vec![0u32, 0, 0, 1, 1, 2];
+        let cc = ClassedCosts::new(6, 3, classes, |r, c| ((r * 5 + c * 11) % 7) as f64);
+        let dense = DenseMatrix::from_fn(6, |r, col| cc.cost(r, col));
+        let s = solve(&cc);
+        let opt = jv::solve(&dense);
+        assert!(LsapSolution::is_permutation(&s.assignment));
+        assert!(
+            (s.value - opt.value).abs() < 1e-9,
+            "structured={} jv={}",
+            s.value,
+            opt.value
+        );
+    }
+
+    #[test]
+    fn zero_class_absorbs_leftover_rows() {
+        // Mimic the HTA shape: class 0 is profitable but small, class 1 is a
+        // large all-zero sink.
+        let classes = vec![0u32, 1, 1, 1];
+        let cc = ClassedCosts::new(4, 2, classes, |r, c| {
+            if c == 0 {
+                (4 - r) as f64
+            } else {
+                0.0
+            }
+        });
+        let s = solve(&cc);
+        // Best row for class 0 is row 0 (profit 4), rest go to the sink.
+        assert_eq!(s.value, 4.0);
+        assert_eq!(s.assignment[0], 0);
+    }
+
+    #[test]
+    fn empty_instance() {
+        let m = DenseMatrix::zeros(0);
+        let s = solve(&m);
+        assert!(s.assignment.is_empty());
+    }
+
+    #[test]
+    fn single_class_everything_equal() {
+        let cc = ClassedCosts::new(3, 1, vec![0, 0, 0], |r, _| r as f64);
+        let s = solve(&cc);
+        assert!(LsapSolution::is_permutation(&s.assignment));
+        assert_eq!(s.value, 0.0 + 1.0 + 2.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the matching substrate.
+
+use hta_matching::lsap::{auction, bruteforce, greedy as lsap_greedy, hungarian, jv, structured};
+use hta_matching::{greedy_matching, ClassedCosts, CostMatrix, DenseMatrix, LsapSolution, WeightedEdge};
+use proptest::prelude::*;
+
+/// Random small profit matrix with non-negative entries (the HTA profit
+/// matrices are non-negative).
+fn small_matrix(max_n: usize) -> impl Strategy<Value = DenseMatrix> {
+    (1..=max_n).prop_flat_map(|n| {
+        proptest::collection::vec(0.0f64..10.0, n * n)
+            .prop_map(move |data| DenseMatrix::from_fn(n, |r, c| data[r * n + c]))
+    })
+}
+
+/// Random classed cost instance: `n` columns in `nc <= n` classes.
+fn classed_instance() -> impl Strategy<Value = (ClassedCosts, DenseMatrix)> {
+    (1usize..=7, 1usize..=4).prop_flat_map(|(n, nc_raw)| {
+        let nc = nc_raw.min(n);
+        (
+            proptest::collection::vec(0u32..nc as u32, n),
+            proptest::collection::vec(0.0f64..10.0, n * nc),
+        )
+            .prop_map(move |(mut classes, profits)| {
+                // Ensure every class id < nc appears at least zero times is
+                // fine; but ClassedCosts requires ids < nc which holds.
+                // Guarantee class 0 exists for determinism of shrink output.
+                if !classes.contains(&0) {
+                    classes[0] = 0;
+                }
+                let cc = ClassedCosts::new(n, nc, classes, |r, c| profits[r * nc + c]);
+                let dense = DenseMatrix::from_fn(n, |r, col| cc.cost(r, col));
+                (cc, dense)
+            })
+    })
+}
+
+proptest! {
+    /// JV is exact: matches the brute-force optimum.
+    #[test]
+    fn jv_matches_bruteforce(m in small_matrix(6)) {
+        let s = jv::solve(&m);
+        let opt = bruteforce::solve(&m);
+        prop_assert!(LsapSolution::is_permutation(&s.assignment));
+        prop_assert!((s.value - opt.value).abs() < 1e-9,
+            "jv={} brute={}", s.value, opt.value);
+        // Reported value is consistent with the reported assignment.
+        prop_assert!((LsapSolution::evaluate(&s.assignment, &m) - s.value).abs() < 1e-9);
+    }
+
+    /// Greedy LSAP respects its ½-approximation guarantee and never beats
+    /// the optimum.
+    #[test]
+    fn greedy_lsap_half_approximation(m in small_matrix(7)) {
+        let g = lsap_greedy::solve(&m);
+        let opt = jv::solve(&m);
+        prop_assert!(LsapSolution::is_permutation(&g.assignment));
+        prop_assert!(g.value >= 0.5 * opt.value - 1e-9,
+            "greedy={} opt={}", g.value, opt.value);
+        prop_assert!(g.value <= opt.value + 1e-9);
+    }
+
+    /// The classic Hungarian solver is exact: it matches JV everywhere.
+    #[test]
+    fn hungarian_matches_jv(m in small_matrix(7)) {
+        let h = hungarian::solve(&m);
+        let opt = jv::solve(&m);
+        prop_assert!(LsapSolution::is_permutation(&h.assignment));
+        prop_assert!((h.value - opt.value).abs() < 1e-9,
+            "hungarian={} jv={}", h.value, opt.value);
+    }
+
+    /// Auction with default ε-scaling lands (numerically) on the optimum.
+    #[test]
+    fn auction_near_optimal(m in small_matrix(6)) {
+        let a = auction::solve(&m);
+        let opt = jv::solve(&m);
+        prop_assert!(LsapSolution::is_permutation(&a.assignment));
+        let tol = 1e-6 * (1.0 + opt.value.abs());
+        prop_assert!(a.value >= opt.value - tol,
+            "auction={} opt={}", a.value, opt.value);
+    }
+
+    /// The structured (class-aware) exact solver agrees with dense JV on the
+    /// expanded matrix.
+    #[test]
+    fn structured_matches_jv((cc, dense) in classed_instance()) {
+        let s = structured::solve(&cc);
+        let opt = jv::solve(&dense);
+        prop_assert!(LsapSolution::is_permutation(&s.assignment));
+        prop_assert!((s.value - opt.value).abs() < 1e-9,
+            "structured={} jv={}", s.value, opt.value);
+    }
+
+    /// Class-aware greedy achieves the same value as dense greedy would on
+    /// the expanded matrix — column identity within a class means greedy's
+    /// choices are value-equivalent. Both satisfy the ½ guarantee.
+    #[test]
+    fn classed_greedy_equivalent((cc, dense) in classed_instance()) {
+        let gc = lsap_greedy::solve(&cc);
+        let gd = lsap_greedy::solve_dense(&dense);
+        prop_assert!(LsapSolution::is_permutation(&gc.assignment));
+        prop_assert!((gc.value - gd.value).abs() < 1e-9,
+            "classed={} dense={}", gc.value, gd.value);
+    }
+
+    /// Greedy general-graph matching: ½-approximation versus brute force,
+    /// and all matched edges are vertex-disjoint.
+    #[test]
+    fn greedy_matching_half_approx(
+        n in 2usize..8,
+        raw in proptest::collection::vec((0u32..8, 0u32..8, 0.0f64..5.0), 0..16),
+    ) {
+        let edges: Vec<WeightedEdge> = raw
+            .into_iter()
+            .filter(|&(u, v, _)| (u as usize) < n && (v as usize) < n && u != v)
+            .map(|(u, v, w)| WeightedEdge::new(u.min(v), u.max(v), w))
+            .collect();
+        let m = greedy_matching(n, &edges);
+        // Vertex-disjointness.
+        let mut seen = vec![false; n];
+        for e in m.edges() {
+            prop_assert!(!seen[e.u as usize] && !seen[e.v as usize]);
+            seen[e.u as usize] = true;
+            seen[e.v as usize] = true;
+        }
+        let opt = hta_matching::greedy::exact_matching_bruteforce(n, &edges);
+        prop_assert!(m.total_weight() >= 0.5 * opt - 1e-9,
+            "greedy={} opt={}", m.total_weight(), opt);
+    }
+
+    /// JV solutions on classed instances: dense JV run directly on the
+    /// ClassedCosts view (exercises the CostMatrix abstraction).
+    #[test]
+    fn jv_on_classed_view((cc, dense) in classed_instance()) {
+        let via_view = jv::solve(&cc);
+        let via_dense = jv::solve(&dense);
+        prop_assert!((via_view.value - via_dense.value).abs() < 1e-9);
+    }
+}

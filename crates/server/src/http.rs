@@ -1,0 +1,236 @@
+//! A deliberately small HTTP/1.1 server core (std-only).
+//!
+//! The offline dependency set restricts us to the standard library; the
+//! platform API needs only `GET`/`POST` with query parameters and JSON
+//! responses, so a ~200-line implementation is both sufficient and easy to
+//! audit. Limits: requests up to 16 KiB, no keep-alive, no chunked bodies.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request size (headers + body).
+pub const MAX_REQUEST_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path without the query string, e.g. `/assign`.
+    pub path: String,
+    /// Decoded query parameters.
+    pub query: HashMap<String, String>,
+}
+
+impl Request {
+    /// A query parameter.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.query.get(key).map(String::as_str)
+    }
+
+    /// A required, typed query parameter.
+    pub fn require<T: std::str::FromStr>(&self, key: &str) -> Result<T, String> {
+        self.param(key)
+            .ok_or_else(|| format!("missing query parameter '{key}'"))?
+            .parse()
+            .map_err(|_| format!("query parameter '{key}' is malformed"))
+    }
+}
+
+/// A response to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Body (the platform always returns JSON).
+    pub body: String,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn ok(body: String) -> Self {
+        Self { status: 200, body }
+    }
+
+    /// An error with a JSON `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self {
+            status,
+            body: format!("{{\"error\":{}}}", json_string(message)),
+        }
+    }
+}
+
+/// Percent-decode a query component (`+` means space).
+pub fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 3 <= bytes.len() => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse the query string `a=1&b=two` into a map (later keys win).
+pub fn parse_query(qs: &str) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    for pair in qs.split('&') {
+        if pair.is_empty() {
+            continue;
+        }
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        map.insert(url_decode(k), url_decode(v));
+    }
+    map
+}
+
+/// Read and parse one request from a stream.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?)
+        .take(MAX_REQUEST_BYTES as u64);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read error: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_owned();
+    let target = parts.next().ok_or("missing request target")?.to_owned();
+    // Drain headers (we do not need them for this API).
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read error: {e}"))?;
+        if n == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), parse_query(q)),
+        None => (target, HashMap::new()),
+    };
+    Ok(Request {
+        method,
+        path,
+        query,
+    })
+}
+
+/// Serialize and send a response.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let reason = match response.status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        response.status,
+        reason,
+        response.body.len(),
+        response.body
+    )?;
+    stream.flush()
+}
+
+/// JSON-escape a string (including the quotes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_and_decoding() {
+        let q = parse_query("a=1&b=two+words&c=%2Fslash&flag");
+        assert_eq!(q.get("a").unwrap(), "1");
+        assert_eq!(q.get("b").unwrap(), "two words");
+        assert_eq!(q.get("c").unwrap(), "/slash");
+        assert_eq!(q.get("flag").unwrap(), "");
+        assert!(parse_query("").is_empty());
+    }
+
+    #[test]
+    fn url_decode_edge_cases() {
+        assert_eq!(url_decode("%41%42"), "AB");
+        assert_eq!(url_decode("%4"), "%4"); // truncated escape preserved
+        assert_eq!(url_decode("%zz"), "%zz"); // invalid hex preserved
+        assert_eq!(url_decode("plain"), "plain");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("back\\slash"), "\"back\\\\slash\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn request_param_helpers() {
+        let r = Request {
+            method: "GET".into(),
+            path: "/x".into(),
+            query: parse_query("worker=4&name=ann"),
+        };
+        assert_eq!(r.param("name"), Some("ann"));
+        assert_eq!(r.require::<usize>("worker").unwrap(), 4);
+        assert!(r.require::<usize>("missing").is_err());
+        assert!(r.require::<usize>("name").is_err());
+    }
+
+    #[test]
+    fn response_constructors() {
+        let ok = Response::ok("{}".into());
+        assert_eq!(ok.status, 200);
+        let err = Response::error(400, "bad \"thing\"");
+        assert_eq!(err.status, 400);
+        assert!(err.body.contains("\\\"thing\\\""));
+    }
+}

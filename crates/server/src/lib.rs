@@ -1,0 +1,36 @@
+//! # hta-server — the crowdsourcing platform as an HTTP service
+//!
+//! The paper deployed a home-grown crowdsourcing platform whose assignment
+//! service implements the Figure 4 workflow: workers register with their
+//! keywords, receive solver-assigned task sets, and report completions that
+//! feed the adaptive `(α, β)` estimation. This crate exposes exactly that
+//! workflow over HTTP, so the library can be driven by real clients (a web
+//! front-end, a load generator, `curl`).
+//!
+//! Std-only by design: the offline dependency policy (DESIGN.md §5) rules
+//! out web frameworks, and the API surface — five endpoints, query
+//! parameters in, JSON out — fits comfortably in a small, auditable
+//! HTTP/1.1 core ([`http`]).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use hta_datagen::amt::{generate, AmtConfig};
+//! use hta_server::{PlatformState, Server};
+//!
+//! let workload = generate(&AmtConfig::default());
+//! let state = Arc::new(PlatformState::new(workload.space, workload.tasks, 15, 42));
+//! let server = Server::spawn("127.0.0.1:8080", state).unwrap();
+//! println!("serving on {}", server.addr());
+//! // … later:
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod state;
+
+pub use server::Server;
+pub use state::{AssignResult, CompleteResult, PlatformState, Stats};

@@ -1,0 +1,52 @@
+//! `hta-serve` — run the crowdsourcing platform service.
+//!
+//! ```text
+//! hta-serve [addr] [tasks.csv]
+//! ```
+//!
+//! With no task CSV, serves a generated AMT-like corpus (1000 tasks).
+//! Endpoints: see `hta_server::service`.
+
+use std::sync::Arc;
+
+use hta_server::{PlatformState, Server};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:8080".to_owned());
+    let state = match args.next() {
+        Some(csv_path) => {
+            let csv = std::fs::read_to_string(&csv_path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {csv_path}: {e}");
+                std::process::exit(1);
+            });
+            let (space, tasks) = hta_datagen::export::tasks_from_csv(&csv).unwrap_or_else(|e| {
+                eprintln!("error: cannot parse {csv_path}: {e}");
+                std::process::exit(1);
+            });
+            println!("loaded {} tasks from {csv_path}", tasks.len());
+            PlatformState::new(space, tasks, 15, 0x5E11)
+        }
+        None => {
+            let w = hta_datagen::amt::generate(&hta_datagen::amt::AmtConfig {
+                n_groups: 100,
+                tasks_per_group: 10,
+                ..Default::default()
+            });
+            println!("serving a generated corpus of {} tasks", w.tasks.len());
+            PlatformState::new(w.space, w.tasks, 15, 0x5E11)
+        }
+    };
+
+    let server = Server::spawn(&addr, Arc::new(state)).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {addr}: {e}");
+        std::process::exit(1);
+    });
+    println!("hta platform service listening on http://{}", server.addr());
+    println!("try: curl -X POST 'http://{}/register?keywords=english;audio'", server.addr());
+
+    // Serve until interrupted.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

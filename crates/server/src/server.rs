@@ -1,0 +1,180 @@
+//! The TCP accept loop: one thread per connection over shared
+//! [`PlatformState`], with a cooperative shutdown handle for tests.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, Response};
+use crate::service::handle;
+use crate::state::PlatformState;
+
+/// A running server.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and serve
+    /// `state` on a background thread.
+    pub fn spawn(addr: &str, state: Arc<PlatformState>) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // A short accept timeout lets the loop observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let state = Arc::clone(&state);
+                        workers.push(std::thread::spawn(move || serve_one(stream, &state)));
+                        // Opportunistically reap finished handlers.
+                        workers.retain(|h| !h.is_finished());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+            for h in workers {
+                let _ = h.join();
+            }
+        });
+        Ok(Server {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_one(mut stream: TcpStream, state: &PlatformState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let response = match read_request(&mut stream) {
+        Ok(req) => handle(state, &req),
+        Err(e) => Response::error(400, &e),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_datagen::amt::{generate, AmtConfig};
+    use std::io::{Read, Write};
+
+    fn start() -> (Server, Arc<PlatformState>) {
+        let w = generate(&AmtConfig {
+            n_groups: 10,
+            tasks_per_group: 5,
+            vocab_size: 40,
+            ..Default::default()
+        });
+        let state = Arc::new(PlatformState::new(w.space, w.tasks, 3, 11));
+        let server = Server::spawn("127.0.0.1:0", Arc::clone(&state)).unwrap();
+        (server, state)
+    }
+
+    fn request(addr: SocketAddr, line: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "{line}\r\nHost: test\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        let status: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+        (status, body)
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let (server, _state) = start();
+        let addr = server.addr();
+
+        let (status, body) = request(addr, "GET /health HTTP/1.1");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\"}");
+
+        let (status, body) = request(addr, "POST /register?keywords=english;audio HTTP/1.1");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"worker_id\":0"));
+
+        let (status, body) = request(addr, "POST /assign?worker=0 HTTP/1.1");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"tasks\":["), "{body}");
+
+        let (status, _) = request(addr, "GET /stats HTTP/1.1");
+        assert_eq!(status, 200);
+
+        let (status, _) = request(addr, "GET /missing HTTP/1.1");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_is_a_400() {
+        let (server, _state) = start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_share_state() {
+        let (server, state) = start();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    request(
+                        addr,
+                        &format!("POST /register?keywords=worker{i} HTTP/1.1"),
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let (status, _) = h.join().unwrap();
+            assert_eq!(status, 200);
+        }
+        assert_eq!(state.stats().workers, 4);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,199 @@
+//! HTTP routing: the platform API endpoints over [`PlatformState`].
+//!
+//! | endpoint | effect |
+//! |---|---|
+//! | `GET /health` | liveness probe |
+//! | `POST /register?keywords=a;b;c` | create a worker, returns its id |
+//! | `POST /assign?worker=N` | solve HTA for the worker, returns task ids |
+//! | `POST /complete?worker=N&task=M` | record a completion, returns updated (α, β) |
+//! | `GET /tasks?id=M` | a task's keywords |
+//! | `GET /stats` | aggregate counters |
+
+use std::fmt::Write as _;
+
+use crate::http::{json_string, Request, Response};
+use crate::state::{PlatformState, StateError};
+
+/// Dispatch one request against the state.
+pub fn handle(state: &PlatformState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => Response::ok("{\"status\":\"ok\"}".to_owned()),
+        ("POST", "/register") => register(state, req),
+        ("POST", "/assign") => assign(state, req),
+        ("POST", "/complete") => complete(state, req),
+        ("GET", "/tasks") => task_info(state, req),
+        ("GET", "/stats") => stats(state),
+        (_, "/register" | "/assign" | "/complete") => {
+            Response::error(405, "use POST for this endpoint")
+        }
+        (_, "/health" | "/tasks" | "/stats") => Response::error(405, "use GET for this endpoint"),
+        _ => Response::error(404, "unknown endpoint"),
+    }
+}
+
+fn state_error(e: StateError) -> Response {
+    let status = match e {
+        StateError::UnknownWorker(_) => 404,
+        StateError::NotAssigned { .. } => 409,
+        StateError::NoKeywords => 400,
+    };
+    Response::error(status, &e.to_string())
+}
+
+fn register(state: &PlatformState, req: &Request) -> Response {
+    let Some(raw) = req.param("keywords") else {
+        return Response::error(400, "missing query parameter 'keywords'");
+    };
+    let keywords: Vec<&str> = raw.split(';').filter(|s| !s.is_empty()).collect();
+    match state.register_worker(&keywords) {
+        Ok(id) => Response::ok(format!("{{\"worker_id\":{id}}}")),
+        Err(e) => state_error(e),
+    }
+}
+
+fn assign(state: &PlatformState, req: &Request) -> Response {
+    let worker = match req.require::<usize>("worker") {
+        Ok(w) => w,
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.assign(worker) {
+        Ok(r) => {
+            let ids: Vec<String> = r.tasks.iter().map(usize::to_string).collect();
+            Response::ok(format!(
+                "{{\"tasks\":[{}],\"alpha\":{:.6},\"beta\":{:.6}}}",
+                ids.join(","),
+                r.alpha,
+                r.beta
+            ))
+        }
+        Err(e) => state_error(e),
+    }
+}
+
+fn complete(state: &PlatformState, req: &Request) -> Response {
+    let worker = match req.require::<usize>("worker") {
+        Ok(w) => w,
+        Err(e) => return Response::error(400, &e),
+    };
+    let task = match req.require::<usize>("task") {
+        Ok(t) => t,
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.complete(worker, task) {
+        Ok(r) => Response::ok(format!(
+            "{{\"alpha\":{:.6},\"beta\":{:.6},\"remaining\":{}}}",
+            r.alpha, r.beta, r.remaining
+        )),
+        Err(e) => state_error(e),
+    }
+}
+
+fn task_info(state: &PlatformState, req: &Request) -> Response {
+    let id = match req.require::<usize>("id") {
+        Ok(t) => t,
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.task_keywords(id) {
+        None => Response::error(404, "unknown task"),
+        Some(kws) => {
+            let mut body = String::from("{\"keywords\":[");
+            for (i, k) in kws.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let _ = write!(body, "{}", json_string(k));
+            }
+            body.push_str("]}");
+            Response::ok(body)
+        }
+    }
+}
+
+fn stats(state: &PlatformState) -> Response {
+    let s = state.stats();
+    Response::ok(format!(
+        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{}}}",
+        s.workers, s.open_tasks, s.assigned_tasks, s.completed_tasks
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_query;
+    use hta_datagen::amt::{generate, AmtConfig};
+
+    fn state() -> PlatformState {
+        let w = generate(&AmtConfig {
+            n_groups: 10,
+            tasks_per_group: 6,
+            vocab_size: 50,
+            ..Default::default()
+        });
+        PlatformState::new(w.space, w.tasks, 4, 7)
+    }
+
+    fn req(method: &str, path: &str, query: &str) -> Request {
+        Request {
+            method: method.to_owned(),
+            path: path.to_owned(),
+            query: parse_query(query),
+        }
+    }
+
+    #[test]
+    fn full_api_flow() {
+        let s = state();
+        assert_eq!(handle(&s, &req("GET", "/health", "")).status, 200);
+
+        let r = handle(&s, &req("POST", "/register", "keywords=english;survey"));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"worker_id\":0"));
+
+        let r = handle(&s, &req("POST", "/assign", "worker=0"));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"tasks\":["));
+        // Extract the first assigned task id from the JSON.
+        let ids = r
+            .body
+            .split('[')
+            .nth(1)
+            .unwrap()
+            .split(']')
+            .next()
+            .unwrap();
+        let first: usize = ids.split(',').next().unwrap().parse().unwrap();
+
+        let r = handle(
+            &s,
+            &req("POST", "/complete", &format!("worker=0&task={first}")),
+        );
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"remaining\":3"));
+
+        let r = handle(&s, &req("GET", "/stats", ""));
+        assert!(r.body.contains("\"completed_tasks\":1"));
+
+        let r = handle(&s, &req("GET", "/tasks", &format!("id={first}")));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"keywords\":["));
+    }
+
+    #[test]
+    fn error_statuses() {
+        let s = state();
+        assert_eq!(handle(&s, &req("GET", "/nope", "")).status, 404);
+        assert_eq!(handle(&s, &req("GET", "/assign", "worker=0")).status, 405);
+        assert_eq!(handle(&s, &req("POST", "/assign", "")).status, 400);
+        assert_eq!(handle(&s, &req("POST", "/assign", "worker=9")).status, 404);
+        assert_eq!(handle(&s, &req("POST", "/register", "")).status, 400);
+        assert_eq!(handle(&s, &req("POST", "/register", "keywords=")).status, 400);
+        let _ = handle(&s, &req("POST", "/register", "keywords=a"));
+        assert_eq!(
+            handle(&s, &req("POST", "/complete", "worker=0&task=3")).status,
+            409
+        );
+        assert_eq!(handle(&s, &req("GET", "/tasks", "id=99999")).status, 404);
+        assert_eq!(handle(&s, &req("GET", "/tasks", "id=x")).status, 400);
+    }
+}

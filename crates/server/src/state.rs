@@ -1,0 +1,422 @@
+//! The platform's shared state: the task pool, registered workers with
+//! their adaptive weight estimators, and the assignment ledger — the data
+//! behind the Figure 4 workflow.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use hta_core::adaptive::WeightEstimator;
+use hta_core::solver::HtaGre;
+use hta_core::{
+    Instance, KeywordSpace, KeywordVec, Solver, Task, TaskId, TaskPool, Weights, Worker, WorkerId,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A registered worker session.
+struct WorkerState {
+    keywords: KeywordVec,
+    estimator: WeightEstimator,
+    /// Catalog indices currently assigned and not yet completed.
+    assigned: Vec<usize>,
+    /// Catalog indices completed, in order.
+    completed: Vec<usize>,
+}
+
+/// Result of an assignment call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignResult {
+    /// Newly assigned catalog task indices.
+    pub tasks: Vec<usize>,
+    /// The weights used for the solve.
+    pub alpha: f64,
+    pub beta: f64,
+}
+
+/// Result of a completion call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompleteResult {
+    /// Updated weight estimate after observing the completion.
+    pub alpha: f64,
+    pub beta: f64,
+    /// Tasks remaining on the worker's display.
+    pub remaining: usize,
+}
+
+/// Aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stats {
+    /// Registered workers.
+    pub workers: usize,
+    /// Open (unassigned) tasks.
+    pub open_tasks: usize,
+    /// Assigned-but-not-completed tasks.
+    pub assigned_tasks: usize,
+    /// Completed tasks.
+    pub completed_tasks: usize,
+}
+
+/// Errors surfaced to the HTTP layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// Unknown worker id.
+    UnknownWorker(usize),
+    /// The task is not on the worker's display.
+    NotAssigned {
+        /// The worker that reported the completion.
+        worker: usize,
+        /// The task that was not on their display.
+        task: usize,
+    },
+    /// A keyword list was empty.
+    NoKeywords,
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            Self::NotAssigned { worker, task } => {
+                write!(f, "task {task} is not assigned to worker {worker}")
+            }
+            Self::NoKeywords => write!(f, "at least one keyword is required"),
+        }
+    }
+}
+
+/// The platform state; all methods are thread-safe.
+pub struct PlatformState {
+    inner: Mutex<Inner>,
+}
+
+struct Inner {
+    space: KeywordSpace,
+    tasks: TaskPool,
+    available: Vec<bool>,
+    workers: Vec<WorkerState>,
+    rng: StdRng,
+    xmax: usize,
+    /// Cap on the open-task window per solve.
+    max_instance_tasks: usize,
+}
+
+impl PlatformState {
+    /// Build over a task corpus. `xmax` is the per-assignment size.
+    pub fn new(space: KeywordSpace, tasks: TaskPool, xmax: usize, seed: u64) -> Self {
+        let available = vec![true; tasks.len()];
+        Self {
+            inner: Mutex::new(Inner {
+                space,
+                tasks,
+                available,
+                workers: Vec::new(),
+                rng: StdRng::seed_from_u64(seed),
+                xmax,
+                max_instance_tasks: 1200,
+            }),
+        }
+    }
+
+    /// Register a worker by keyword names (unknown keywords are interned).
+    /// Returns the new worker id.
+    pub fn register_worker(&self, keywords: &[&str]) -> Result<usize, StateError> {
+        if keywords.is_empty() {
+            return Err(StateError::NoKeywords);
+        }
+        let mut inner = self.inner.lock().expect("state lock");
+        for kw in keywords {
+            inner.space.intern(kw);
+        }
+        let vec = inner.space.vector_of_known(keywords);
+        // The universe may have widened; vectors built per-request use the
+        // current width, and task vectors are widened lazily at solve time.
+        let id = inner.workers.len();
+        inner.workers.push(WorkerState {
+            keywords: vec,
+            estimator: WeightEstimator::new(Weights::balanced()),
+            assigned: Vec::new(),
+            completed: Vec::new(),
+        });
+        Ok(id)
+    }
+
+    /// Assign a fresh set of tasks to `worker` by solving HTA with the
+    /// worker's current weight estimate (Figure 4's "Solve HTA" box, for a
+    /// singleton worker batch).
+    pub fn assign(&self, worker: usize) -> Result<AssignResult, StateError> {
+        let mut inner = self.inner.lock().expect("state lock");
+        if worker >= inner.workers.len() {
+            return Err(StateError::UnknownWorker(worker));
+        }
+        let weights = inner.workers[worker].estimator.estimate();
+
+        // Window of open tasks.
+        let open: Vec<usize> = (0..inner.available.len())
+            .filter(|&i| inner.available[i])
+            .take(inner.max_instance_tasks)
+            .collect();
+        if open.is_empty() {
+            return Ok(AssignResult {
+                tasks: Vec::new(),
+                alpha: weights.alpha(),
+                beta: weights.beta(),
+            });
+        }
+        let width = inner.space.len();
+        let local_tasks: Vec<Task> = open
+            .iter()
+            .enumerate()
+            .map(|(li, &ci)| {
+                let t = inner.tasks.get(TaskId(ci as u32));
+                let kw = if t.keywords.nbits() == width {
+                    t.keywords.clone()
+                } else {
+                    inner.space.widen(&t.keywords)
+                };
+                Task::new(TaskId(li as u32), t.group, kw)
+            })
+            .collect();
+        let wkw = if inner.workers[worker].keywords.nbits() == width {
+            inner.workers[worker].keywords.clone()
+        } else {
+            inner.space.widen(&inner.workers[worker].keywords)
+        };
+        let local_workers = vec![Worker::new(WorkerId(0), wkw).with_weights(weights)];
+        let xmax = inner.xmax;
+        let inst = Instance::new(local_tasks, local_workers, xmax)
+            .expect("constructed instances are well-formed");
+        let solver = HtaGre::structured().without_flip();
+        let out = solver.solve(&inst, &mut inner.rng);
+
+        let mut assigned = Vec::new();
+        for &local in out.assignment.tasks_of(0) {
+            let ci = open[local];
+            inner.available[ci] = false;
+            assigned.push(ci);
+        }
+        inner.workers[worker].assigned.extend(&assigned);
+        Ok(AssignResult {
+            tasks: assigned,
+            alpha: weights.alpha(),
+            beta: weights.beta(),
+        })
+    }
+
+    /// Record a completion (Figure 4's "Notify t completed by w"): updates
+    /// the adaptive estimator from the observed marginal gains.
+    pub fn complete(&self, worker: usize, task: usize) -> Result<CompleteResult, StateError> {
+        let mut inner = self.inner.lock().expect("state lock");
+        if worker >= inner.workers.len() {
+            return Err(StateError::UnknownWorker(worker));
+        }
+        let Some(pos) = inner.workers[worker].assigned.iter().position(|&t| t == task) else {
+            return Err(StateError::NotAssigned { worker, task });
+        };
+
+        // Normalized marginal gains against the remaining display.
+        let width = inner.space.len();
+        let kw_of = |inner: &Inner, ci: usize| -> KeywordVec {
+            let t = inner.tasks.get(TaskId(ci as u32));
+            if t.keywords.nbits() == width {
+                t.keywords.clone()
+            } else {
+                inner.space.widen(&t.keywords)
+            }
+        };
+        let jac = |a: &KeywordVec, b: &KeywordVec| -> f64 {
+            let union = a.union_count(b);
+            if union == 0 {
+                0.0
+            } else {
+                1.0 - a.intersection_count(b) as f64 / union as f64
+            }
+        };
+        let wkw = if inner.workers[worker].keywords.nbits() == width {
+            inner.workers[worker].keywords.clone()
+        } else {
+            inner.space.widen(&inner.workers[worker].keywords)
+        };
+        let completed_kw: Vec<KeywordVec> = inner.workers[worker]
+            .completed
+            .iter()
+            .map(|&c| kw_of(&inner, c))
+            .collect();
+        let gain_d = |inner: &Inner, c: usize| -> f64 {
+            let kw = kw_of(inner, c);
+            completed_kw.iter().map(|k| jac(k, &kw)).sum()
+        };
+        let gain_r = |inner: &Inner, c: usize| -> f64 { 1.0 - jac(&kw_of(inner, c), &wkw) };
+
+        let candidates: Vec<usize> = inner.workers[worker].assigned.clone();
+        let gd = gain_d(&inner, task);
+        let gr = gain_r(&inner, task);
+        let max_gd = candidates
+            .iter()
+            .map(|&c| gain_d(&inner, c))
+            .fold(0.0f64, f64::max);
+        let max_gr = candidates
+            .iter()
+            .map(|&c| gain_r(&inner, c))
+            .fold(0.0f64, f64::max);
+        inner.workers[worker].estimator.observe_gains(
+            (max_gd > 0.0).then(|| gd / max_gd),
+            (max_gr > 0.0).then(|| gr / max_gr),
+        );
+
+        inner.workers[worker].assigned.remove(pos);
+        inner.workers[worker].completed.push(task);
+        let est = inner.workers[worker].estimator.estimate();
+        Ok(CompleteResult {
+            alpha: est.alpha(),
+            beta: est.beta(),
+            remaining: inner.workers[worker].assigned.len(),
+        })
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> Stats {
+        let inner = self.inner.lock().expect("state lock");
+        let open = inner.available.iter().filter(|&&a| a).count();
+        let assigned: usize = inner.workers.iter().map(|w| w.assigned.len()).sum();
+        let completed: usize = inner.workers.iter().map(|w| w.completed.len()).sum();
+        Stats {
+            workers: inner.workers.len(),
+            open_tasks: open,
+            assigned_tasks: assigned,
+            completed_tasks: completed,
+        }
+    }
+}
+
+/// Lookup keyword names of a task (used by the /tasks endpoint).
+impl PlatformState {
+    /// Keyword names of catalog task `index`, or `None` if out of range.
+    pub fn task_keywords(&self, index: usize) -> Option<Vec<String>> {
+        let inner = self.inner.lock().expect("state lock");
+        if index >= inner.tasks.len() {
+            return None;
+        }
+        let t = inner.tasks.get(TaskId(index as u32));
+        Some(
+            t.keywords
+                .iter_ones()
+                .map(|i| inner.space.name(hta_core::KeywordId(i as u32)).to_owned())
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_datagen::amt::{generate, AmtConfig};
+
+    fn state() -> PlatformState {
+        let w = generate(&AmtConfig {
+            n_groups: 20,
+            tasks_per_group: 10,
+            vocab_size: 80,
+            ..Default::default()
+        });
+        PlatformState::new(w.space, w.tasks, 5, 42)
+    }
+
+    #[test]
+    fn register_assign_complete_cycle() {
+        let s = state();
+        let w = s.register_worker(&["english", "survey"]).unwrap();
+        assert_eq!(w, 0);
+        let a = s.assign(w).unwrap();
+        assert_eq!(a.tasks.len(), 5);
+        assert!((a.alpha - 0.5).abs() < 1e-12, "cold start is balanced");
+
+        let c = s.complete(w, a.tasks[0]).unwrap();
+        assert_eq!(c.remaining, 4);
+        assert!((c.alpha + c.beta - 1.0).abs() < 1e-9);
+
+        let st = s.stats();
+        assert_eq!(st.workers, 1);
+        assert_eq!(st.completed_tasks, 1);
+        assert_eq!(st.assigned_tasks, 4);
+        assert_eq!(st.open_tasks, 200 - 5);
+    }
+
+    #[test]
+    fn completing_unassigned_task_fails() {
+        let s = state();
+        let w = s.register_worker(&["english"]).unwrap();
+        assert_eq!(
+            s.complete(w, 7),
+            Err(StateError::NotAssigned { worker: w, task: 7 })
+        );
+        assert_eq!(s.complete(99, 0), Err(StateError::UnknownWorker(99)));
+    }
+
+    #[test]
+    fn tasks_are_never_double_assigned() {
+        let s = state();
+        let w1 = s.register_worker(&["english", "survey"]).unwrap();
+        let w2 = s.register_worker(&["english", "audio"]).unwrap();
+        let a1 = s.assign(w1).unwrap();
+        let a2 = s.assign(w2).unwrap();
+        for t in &a2.tasks {
+            assert!(!a1.tasks.contains(t), "task {t} double-assigned");
+        }
+    }
+
+    #[test]
+    fn adaptive_weights_move_with_observations() {
+        let s = state();
+        let w = s.register_worker(&["english", "survey", "audio"]).unwrap();
+        let a = s.assign(w).unwrap();
+        let mut last = (0.5, 0.5);
+        for &t in &a.tasks {
+            let c = s.complete(w, t).unwrap();
+            last = (c.alpha, c.beta);
+        }
+        // After several observations the estimate is generally off-balance.
+        assert!((last.0 + last.1 - 1.0).abs() < 1e-9);
+        // New assignment uses the updated weights.
+        let a2 = s.assign(w).unwrap();
+        assert!((a2.alpha - last.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_keywords_are_interned() {
+        let s = state();
+        let w = s.register_worker(&["totally-new-keyword"]).unwrap();
+        let a = s.assign(w).unwrap();
+        // Solvable even though the keyword is new (rel = 0 everywhere).
+        assert_eq!(a.tasks.len(), 5);
+    }
+
+    #[test]
+    fn empty_keyword_registration_rejected() {
+        let s = state();
+        assert_eq!(s.register_worker(&[]), Err(StateError::NoKeywords));
+    }
+
+    #[test]
+    fn pool_exhaustion_yields_empty_assignment() {
+        let w = generate(&AmtConfig {
+            n_groups: 1,
+            tasks_per_group: 4,
+            vocab_size: 10,
+            ..Default::default()
+        });
+        let s = PlatformState::new(w.space, w.tasks, 5, 1);
+        let a = s.register_worker(&["english"]).unwrap();
+        let first = s.assign(a).unwrap();
+        assert_eq!(first.tasks.len(), 4);
+        let second = s.assign(a).unwrap();
+        assert!(second.tasks.is_empty());
+    }
+
+    #[test]
+    fn task_keywords_lookup() {
+        let s = state();
+        assert!(s.task_keywords(0).is_some());
+        assert!(s.task_keywords(10_000).is_none());
+        assert!(!s.task_keywords(0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Team formation — the paper's stated future work (Section VII),
+//! implemented in `hta_core::team`: staff collaborative tasks with the most
+//! motivated teams, balancing member relevance against the social term
+//! (complementary vs similar team composition).
+//!
+//! Run with: `cargo run -p hta-bench --example team_formation`
+
+use hta_core::team::{SocialModel, TeamConfig, TeamInstance, TeamTask};
+use hta_core::{KeywordSpace, KeywordVec};
+
+fn main() {
+    let mut space = KeywordSpace::new();
+    for kw in [
+        "rust", "databases", "frontend", "design", "ml", "statistics",
+        "writing", "editing", "audio", "video",
+    ] {
+        space.intern(kw);
+    }
+    let width = space.len();
+    let v = |kws: &[&str]| -> KeywordVec { space.vector_of_known(kws) };
+    let _ = width;
+
+    let tasks = vec![
+        TeamTask {
+            keywords: v(&["rust", "databases"]),
+            team_size: 2,
+        },
+        TeamTask {
+            keywords: v(&["ml", "statistics"]),
+            team_size: 2,
+        },
+        TeamTask {
+            keywords: v(&["writing", "editing"]),
+            team_size: 2,
+        },
+    ];
+    let worker_defs: &[(&str, &[&str])] = &[
+        ("backend dev", &["rust", "databases"]),
+        ("db admin", &["databases", "statistics"]),
+        ("data scientist", &["ml", "statistics"]),
+        ("ml engineer", &["ml", "rust"]),
+        ("author", &["writing", "design"]),
+        ("editor", &["editing", "writing"]),
+        ("generalist", &["frontend", "audio"]),
+    ];
+    let workers: Vec<KeywordVec> = worker_defs.iter().map(|(_, kws)| v(kws)).collect();
+
+    for model in [SocialModel::Complementary, SocialModel::Similar] {
+        let inst = TeamInstance::new(
+            tasks.clone(),
+            workers.clone(),
+            TeamConfig {
+                social_weight: 0.6,
+                model,
+            },
+        );
+        let assignment = inst.solve_greedy(10);
+        inst.validate(&assignment).expect("solver output is feasible");
+        println!("--- social model: {model:?} ---");
+        for (t, members) in assignment.teams.iter().enumerate() {
+            let names: Vec<&str> = members.iter().map(|&w| worker_defs[w].0).collect();
+            println!(
+                "task {t} (motiv {:.3}): {}",
+                inst.team_motivation(t, members),
+                if names.is_empty() {
+                    "UNSTAFFED".to_owned()
+                } else {
+                    names.join(" + ")
+                }
+            );
+        }
+        println!("total objective: {:.3}\n", inst.objective(&assignment));
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests of the paper's approximation guarantees, against the
+//! exact branch-and-bound solver on small random instances:
+//!
+//! * Theorem 3: HTA-APP is a ¼-approximation (in expectation over its
+//!   random flips; we require it per-seed, which holds in practice and is a
+//!   strictly stronger check on these instances).
+//! * Theorem 4: HTA-GRE is a ⅛-approximation.
+
+use hta_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Random small instance via explicit metric matrices: diversity values in
+/// `[0.5, 1.0]` always satisfy the triangle inequality.
+fn random_instance(
+    rng: &mut StdRng,
+    n_tasks: usize,
+    n_workers: usize,
+    xmax: usize,
+) -> Instance {
+    let weights: Vec<Weights> = (0..n_workers)
+        .map(|_| Weights::from_alpha(rng.random()))
+        .collect();
+    let rel: Vec<f64> = (0..n_workers * n_tasks).map(|_| rng.random()).collect();
+    let mut div = vec![0.0; n_tasks * n_tasks];
+    for k in 0..n_tasks {
+        for l in (k + 1)..n_tasks {
+            let d = 0.5 + 0.5 * rng.random::<f64>();
+            div[k * n_tasks + l] = d;
+            div[l * n_tasks + k] = d;
+        }
+    }
+    Instance::from_matrices(n_tasks, &weights, rel, div, xmax).unwrap()
+}
+
+#[test]
+fn hta_app_respects_quarter_approximation() {
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    for trial in 0..30 {
+        let n_tasks = 4 + (trial % 5);
+        let n_workers = 1 + (trial % 2);
+        let xmax = 2 + (trial % 2);
+        let inst = random_instance(&mut rng, n_tasks, n_workers, xmax);
+        let opt = ExactSolver
+            .solve(&inst, &mut StdRng::seed_from_u64(0))
+            .assignment
+            .objective(&inst);
+        let approx = HtaApp::new()
+            .solve(&inst, &mut StdRng::seed_from_u64(trial as u64))
+            .assignment
+            .objective(&inst);
+        assert!(
+            approx >= 0.25 * opt - 1e-9,
+            "trial {trial}: app={approx} opt={opt} (|T|={n_tasks}, |W|={n_workers}, Xmax={xmax})"
+        );
+        assert!(approx <= opt + 1e-9, "approximation cannot beat the optimum");
+    }
+}
+
+#[test]
+fn hta_gre_respects_eighth_approximation() {
+    let mut rng = StdRng::seed_from_u64(0x63E);
+    for trial in 0..30 {
+        let n_tasks = 4 + (trial % 5);
+        let n_workers = 1 + (trial % 2);
+        let xmax = 2 + (trial % 2);
+        let inst = random_instance(&mut rng, n_tasks, n_workers, xmax);
+        let opt = ExactSolver
+            .solve(&inst, &mut StdRng::seed_from_u64(0))
+            .assignment
+            .objective(&inst);
+        let approx = HtaGre::new()
+            .solve(&inst, &mut StdRng::seed_from_u64(trial as u64))
+            .assignment
+            .objective(&inst);
+        assert!(
+            approx >= 0.125 * opt - 1e-9,
+            "trial {trial}: gre={approx} opt={opt}"
+        );
+        assert!(approx <= opt + 1e-9);
+    }
+}
+
+#[test]
+fn approximations_are_much_better_in_practice() {
+    // The paper's Fig. 2b point: both algorithms land close to each other
+    // (and to the optimum) on realistic instances. Check the average ratio
+    // across seeds stays well above the worst-case bound.
+    let mut rng = StdRng::seed_from_u64(0x9E);
+    let mut ratios = Vec::new();
+    for trial in 0..20 {
+        let inst = random_instance(&mut rng, 8, 2, 3);
+        let opt = ExactSolver
+            .solve(&inst, &mut StdRng::seed_from_u64(0))
+            .assignment
+            .objective(&inst);
+        let gre = HtaGre::new()
+            .solve(&inst, &mut StdRng::seed_from_u64(trial))
+            .assignment
+            .objective(&inst);
+        if opt > 0.0 {
+            ratios.push(gre / opt);
+        }
+    }
+    let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!(avg > 0.75, "average HTA-GRE/OPT ratio {avg} unexpectedly low");
+}
+
+#[test]
+fn exact_solver_never_loses_to_approximations() {
+    let mut rng = StdRng::seed_from_u64(0xEE);
+    for trial in 0..10 {
+        let inst = random_instance(&mut rng, 7, 2, 2);
+        let opt = ExactSolver.solve(&inst, &mut StdRng::seed_from_u64(0));
+        for solver in [
+            Box::new(HtaApp::new()) as Box<dyn Solver>,
+            Box::new(HtaGre::new()),
+            Box::new(GreedyMotivation),
+            Box::new(GreedyRelevance),
+            Box::new(RandomAssign),
+        ] {
+            let out = solver.solve(&inst, &mut StdRng::seed_from_u64(trial));
+            out.assignment.validate(&inst).unwrap();
+            assert!(
+                out.assignment.objective(&inst) <= opt.assignment.objective(&inst) + 1e-9,
+                "{} beat the exact optimum",
+                solver.name()
+            );
+        }
+    }
+}

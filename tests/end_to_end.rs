@@ -1,0 +1,164 @@
+//! End-to-end integration: generated AMT workload → iteration engine →
+//! adaptive weight updates, across crates.
+
+use hta_bench::instance_from_pools;
+use hta_core::prelude::*;
+use hta_datagen::amt::{generate_exact, AmtConfig};
+use hta_datagen::workers::{synthetic_workers, SyntheticWorkerConfig, WeightModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn workload(n_tasks: usize, n_groups: usize, n_workers: usize) -> (TaskPool, WorkerPool) {
+    let amt = generate_exact(
+        &AmtConfig {
+            seed: 0xE2E,
+            ..AmtConfig::with_totals(n_tasks, n_groups)
+        },
+        n_tasks,
+    );
+    let workers = synthetic_workers(
+        amt.space.len(),
+        &SyntheticWorkerConfig {
+            n_workers,
+            weight_model: WeightModel::Simplex,
+            seed: 0xE2F,
+            ..Default::default()
+        },
+    );
+    (amt.tasks, workers)
+}
+
+#[test]
+fn multi_iteration_run_preserves_global_constraints() {
+    let (tasks, workers) = workload(120, 12, 4);
+    let mut engine = IterationEngine::new(tasks, workers, 5).unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut seen = std::collections::HashSet::new();
+    let mut last_remaining = 120;
+
+    for iteration in 0..6 {
+        let result = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        assert_eq!(result.iteration, iteration);
+        for (_, tasks) in &result.assignments {
+            assert!(tasks.len() <= 5, "C1 violated");
+            for t in tasks {
+                assert!(seen.insert(*t), "task {t:?} assigned twice across iterations");
+            }
+        }
+        assert!(result.remaining_tasks <= last_remaining);
+        last_remaining = result.remaining_tasks;
+        assert!(result.objective >= 0.0);
+    }
+    // 6 iterations × 4 workers × 5 tasks = 120: pool exactly exhausted.
+    assert_eq!(engine.remaining_tasks(), 0);
+    assert_eq!(seen.len(), 120);
+}
+
+#[test]
+fn adaptive_weights_feed_back_into_assignment() {
+    let (tasks, workers) = workload(80, 8, 2);
+    let mut engine = IterationEngine::new(tasks, workers, 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // Iteration 1 with balanced-ish weights.
+    let r1 = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+
+    // Simulate observations: worker 0 turns out diversity-hungry, worker 1
+    // relevance-hungry.
+    let mut est0 = WeightEstimator::new(engine.weights(WorkerId(0)));
+    let mut est1 = WeightEstimator::new(engine.weights(WorkerId(1)));
+    for _ in 0..5 {
+        est0.observe_gains(Some(0.95), Some(0.2));
+        est1.observe_gains(Some(0.1), Some(0.9));
+    }
+    engine.set_weights(WorkerId(0), est0.estimate());
+    engine.set_weights(WorkerId(1), est1.estimate());
+    assert!(engine.weights(WorkerId(0)).alpha() > 0.7);
+    assert!(engine.weights(WorkerId(1)).beta() > 0.7);
+
+    // Iteration 2 must honour the new weights: the diversity-seeker's set
+    // should be more internally diverse than the relevance-seeker's set is
+    // relevant... at minimum, both get full sets and constraints hold.
+    let r2 = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+    for (_, ts) in &r2.assignments {
+        assert_eq!(ts.len(), 4);
+    }
+    // No overlap between iterations.
+    let set1: std::collections::HashSet<_> =
+        r1.assignments.iter().flat_map(|(_, t)| t.iter()).collect();
+    assert!(r2
+        .assignments
+        .iter()
+        .flat_map(|(_, t)| t.iter())
+        .all(|t| !set1.contains(t)));
+}
+
+#[test]
+fn all_solvers_agree_on_feasibility_over_generated_workloads() {
+    // One task per group: all tasks have distinct keyword sets. (With many
+    // tasks per group, the auxiliary-LSAP proxy can legitimately cluster
+    // zero-diversity same-group tasks on a worker and trail random on the
+    // true objective while still satisfying its ¼-of-OPT guarantee, so the
+    // beat-random check below is only meaningful on a diverse pool.)
+    let (tasks, workers) = workload(100, 100, 5);
+    let inst = instance_from_pools(&tasks, &workers, 6);
+    let solvers: Vec<Box<dyn Solver>> = vec![
+        Box::new(HtaApp::new()),
+        Box::new(HtaApp::structured()),
+        Box::new(HtaGre::new()),
+        Box::new(HtaGre::structured()),
+        Box::new(GreedyMotivation),
+        Box::new(GreedyRelevance),
+        Box::new(RandomAssign),
+    ];
+    let mut objectives = Vec::new();
+    for solver in &solvers {
+        let out = solver.solve(&inst, &mut StdRng::seed_from_u64(3));
+        out.assignment.validate(&inst).unwrap();
+        assert_eq!(out.assignment.assigned_count(), 30, "{}", solver.name());
+        objectives.push((solver.name(), out.assignment.objective(&inst)));
+    }
+    // The HTA algorithms should comfortably beat random assignment.
+    let random_obj = objectives.last().unwrap().1;
+    let app_obj = objectives[0].1;
+    let gre_obj = objectives[2].1;
+    assert!(
+        app_obj > random_obj,
+        "hta-app {app_obj} should beat random {random_obj}"
+    );
+    assert!(
+        gre_obj > random_obj,
+        "hta-gre {gre_obj} should beat random {random_obj}"
+    );
+}
+
+#[test]
+fn dense_and_structured_variants_match_exactly_without_flip() {
+    let (tasks, workers) = workload(60, 10, 3);
+    let inst = instance_from_pools(&tasks, &workers, 5);
+    let dense = HtaApp::new()
+        .without_flip()
+        .solve(&inst, &mut StdRng::seed_from_u64(4));
+    let structured = HtaApp::structured()
+        .without_flip()
+        .solve(&inst, &mut StdRng::seed_from_u64(4));
+    assert!(
+        (dense.lsap_value - structured.lsap_value).abs() < 1e-9,
+        "exact LSAP values must agree: dense={} structured={}",
+        dense.lsap_value,
+        structured.lsap_value
+    );
+}
+
+#[test]
+fn engine_rejects_invalid_configuration() {
+    let (tasks, workers) = workload(10, 2, 1);
+    assert!(matches!(
+        IterationEngine::new(tasks.clone(), workers, 0),
+        Err(HtaError::InvalidXmax)
+    ));
+    assert!(matches!(
+        IterationEngine::new(tasks, WorkerPool::new(), 3),
+        Err(HtaError::NoWorkers)
+    ));
+}

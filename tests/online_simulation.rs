@@ -1,0 +1,145 @@
+//! Integration tests of the online platform simulation (the Figure 5
+//! substitute).
+//!
+//! Structural invariants are checked at a small, fast scale for any seed;
+//! the *qualitative orderings* the paper draws its conclusions from are
+//! claims about the experiment's real scale (20 sessions/arm on a large
+//! catalog), so they are verified once against the default `OnlineConfig`
+//! used by the `fig5` harness.
+
+use hta_crowd::{experiment, OnlineConfig, PopulationConfig, Strategy};
+use hta_datagen::crowdflower::CrowdflowerConfig;
+
+fn small_config(sessions: usize, seed: u64) -> OnlineConfig {
+    OnlineConfig {
+        sessions_per_strategy: sessions,
+        cohort_size: 4,
+        catalog: CrowdflowerConfig {
+            n_tasks: 2000,
+            ..Default::default()
+        },
+        population: PopulationConfig {
+            n_workers: 12,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn structural_invariants_hold_for_every_arm() {
+    let results = experiment::run(&small_config(8, 0x51));
+    for r in &results.per_strategy {
+        assert_eq!(r.records.len(), 8);
+        // Quality series is a percentage, retention a survival curve.
+        for &v in &r.quality.values {
+            assert!((0.0..=100.0).contains(&v));
+        }
+        let mut prev = f64::INFINITY;
+        for &v in &r.retention.values {
+            assert!((0.0..=100.0).contains(&v));
+            assert!(v <= prev, "retention must be non-increasing");
+            prev = v;
+        }
+        // Throughput non-decreasing and consistent with the summary.
+        for w in r.throughput.values.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(r.throughput.last(), r.summary.total_completed as f64);
+        // Session durations within the HIT limit; earnings include the HIT
+        // base reward plus micro-task rewards in the paper's range.
+        for rec in &r.records {
+            assert!(rec.duration_minutes > 0.0 && rec.duration_minutes <= 30.0);
+            assert!(rec.iterations >= 1);
+            assert!(rec.earnings_cents >= 10);
+            let mean_reward = rec.mean_task_reward_dollars();
+            if rec.n_completed() > 0 {
+                assert!(
+                    (0.01..=0.12).contains(&mean_reward),
+                    "mean task reward {mean_reward} outside the catalog range"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn experiment_is_deterministic() {
+    let a = experiment::run(&small_config(4, 0x55));
+    let b = experiment::run(&small_config(4, 0x55));
+    for (x, y) in a.per_strategy.iter().zip(&b.per_strategy) {
+        assert_eq!(x.summary, y.summary);
+        assert_eq!(x.quality.values, y.quality.values);
+    }
+    // And a different seed gives different outcomes somewhere.
+    let c = experiment::run(&small_config(4, 0x56));
+    let any_diff = a
+        .per_strategy
+        .iter()
+        .zip(&c.per_strategy)
+        .any(|(x, y)| x.summary != y.summary);
+    assert!(any_diff, "different seeds should change results");
+}
+
+/// The headline Figure 5 result, at the scale the paper (and our `fig5`
+/// harness) actually uses: 20 sessions/arm on a 6000-task catalog with the
+/// default seed. One run, several assertions — this is the calibrated
+/// regime recorded in EXPERIMENTS.md.
+#[test]
+fn figure5_orderings_at_experiment_scale() {
+    let results = experiment::run(&OnlineConfig::default());
+
+    let q = |s: Strategy| results.get(s).summary.percent_correct;
+    let t = |s: Strategy| results.get(s).summary.total_completed;
+    let ret = |s: Strategy| results.get(s).summary.retention_at_probe;
+
+    // Fig 5a — crowdwork quality: Div > Gre > Rel, with visible gaps.
+    assert!(
+        q(Strategy::HtaGreDiv) > q(Strategy::HtaGre) + 2.0,
+        "Div {:.1}% vs Gre {:.1}%",
+        q(Strategy::HtaGreDiv),
+        q(Strategy::HtaGre)
+    );
+    assert!(
+        q(Strategy::HtaGre) > q(Strategy::HtaGreRel) + 4.0,
+        "Gre {:.1}% vs Rel {:.1}%",
+        q(Strategy::HtaGre),
+        q(Strategy::HtaGreRel)
+    );
+
+    // Fig 5b — throughput: Gre > Rel > Div in total completed tasks.
+    assert!(
+        t(Strategy::HtaGre) > t(Strategy::HtaGreRel),
+        "Gre {} vs Rel {}",
+        t(Strategy::HtaGre),
+        t(Strategy::HtaGreRel)
+    );
+    assert!(
+        t(Strategy::HtaGreRel) > t(Strategy::HtaGreDiv),
+        "Rel {} vs Div {}",
+        t(Strategy::HtaGreRel),
+        t(Strategy::HtaGreDiv)
+    );
+
+    // Fig 5c — retention: Gre holds workers at least as long as both
+    // fixed-weight arms at the 18.2-minute probe.
+    assert!(ret(Strategy::HtaGre) >= ret(Strategy::HtaGreRel));
+    assert!(ret(Strategy::HtaGre) >= ret(Strategy::HtaGreDiv));
+
+    // Fig 5a inset — Rel's quality must not *improve* late in the session
+    // (boredom accumulates); compare the 10-minute mark with the end.
+    let rel = results.get(Strategy::HtaGreRel);
+    assert!(
+        rel.quality.values[9] >= rel.quality.last() - 1.0,
+        "REL early {:.1}% vs late {:.1}%",
+        rel.quality.values[9],
+        rel.quality.last()
+    );
+
+    // Significance machinery mirrors the paper's reporting.
+    let test = results
+        .quality_test(Strategy::HtaGreDiv, Strategy::HtaGreRel)
+        .expect("computable");
+    assert!(test.statistic > 2.0, "Div vs Rel must be clearly significant");
+}

@@ -1,0 +1,113 @@
+//! Integration tests of the HTA ↔ MaxQAP mapping (Section IV-A): the Eq. 8
+//! identity between the QAP objective and the direct Eq. 3 objective, on
+//! randomly generated full-clique instances and permutations.
+
+use hta_core::motivation::motivation;
+use hta_core::qap::{
+    assignment_from_permutation, build_dense_a, build_dense_b, build_dense_c, qap_objective,
+};
+use hta_core::{Instance, Weights};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+fn random_instance(rng: &mut StdRng, n_tasks: usize, n_workers: usize, xmax: usize) -> Instance {
+    assert!(n_tasks >= n_workers * xmax);
+    let weights: Vec<Weights> = (0..n_workers)
+        .map(|_| Weights::raw(rng.random(), rng.random()))
+        .collect();
+    let rel: Vec<f64> = (0..n_workers * n_tasks).map(|_| rng.random()).collect();
+    let mut div = vec![0.0; n_tasks * n_tasks];
+    for k in 0..n_tasks {
+        for l in (k + 1)..n_tasks {
+            let d = rng.random::<f64>();
+            div[k * n_tasks + l] = d;
+            div[l * n_tasks + k] = d;
+        }
+    }
+    Instance::from_matrices(n_tasks, &weights, rel, div, xmax).unwrap()
+}
+
+#[test]
+fn eq8_identity_random_instances_and_permutations() {
+    let mut rng = StdRng::seed_from_u64(0x0E8);
+    for trial in 0..25 {
+        let n_workers = 1 + trial % 3;
+        let xmax = 2 + trial % 3;
+        let n_tasks = n_workers * xmax + trial % 4;
+        let inst = random_instance(&mut rng, n_tasks, n_workers, xmax);
+        let mut pi: Vec<usize> = (0..n_tasks).collect();
+        pi.shuffle(&mut rng);
+
+        let qap = qap_objective(&inst, &pi);
+        let assignment = assignment_from_permutation(&pi, n_tasks, xmax, n_workers);
+        assignment.validate(&inst).unwrap();
+        let direct: f64 = (0..n_workers)
+            .map(|q| motivation(&inst, q, assignment.tasks_of(q)))
+            .sum();
+        // Full cliques (every worker receives exactly X_max tasks) when the
+        // permutation maps enough tasks into clique vertices — which a full
+        // shuffle always does because |T| >= |W|·X_max covers all vertices.
+        assert_eq!(assignment.assigned_count(), n_workers * xmax);
+        assert!(
+            (qap - direct).abs() < 1e-9,
+            "trial {trial}: qap={qap} direct={direct}"
+        );
+    }
+}
+
+#[test]
+fn explicit_matrix_qap_value_matches_structured_evaluation() {
+    // Evaluate Eq. 8 brute-force from the dense A/B/C matrices and compare
+    // with the structured qap_objective.
+    let mut rng = StdRng::seed_from_u64(0x0E9);
+    for _ in 0..10 {
+        let inst = random_instance(&mut rng, 8, 2, 3);
+        let a = build_dense_a(&inst);
+        let b = build_dense_b(&inst);
+        let c = build_dense_c(&inst);
+        let mut pi: Vec<usize> = (0..8).collect();
+        pi.shuffle(&mut rng);
+
+        let mut brute = 0.0;
+        for k in 0..8 {
+            brute += c.get(k, pi[k]);
+            for l in 0..8 {
+                if k != l {
+                    brute += a.get(pi[k], pi[l]) * b.get(k, l);
+                }
+            }
+        }
+        let fast = qap_objective(&inst, &pi);
+        assert!((brute - fast).abs() < 1e-9, "brute={brute} fast={fast}");
+    }
+}
+
+#[test]
+fn matrix_structure_invariants() {
+    let mut rng = StdRng::seed_from_u64(0x0EA);
+    let inst = random_instance(&mut rng, 10, 2, 3);
+    let a = build_dense_a(&inst);
+    let b = build_dense_b(&inst);
+    let c = build_dense_c(&inst);
+
+    assert!(a.is_symmetric(1e-12));
+    assert!(b.is_symmetric(1e-12));
+    // A: block-diagonal cliques with zero diagonal; isolated vertices after
+    // |W|·X_max.
+    for k in 0..10 {
+        assert_eq!(a.get(k, k), 0.0);
+        for l in 0..10 {
+            if k / 3 != l / 3 || k.max(l) >= 6 {
+                assert_eq!(a.get(k, l), 0.0, "a[{k}][{l}] should be 0");
+            }
+        }
+    }
+    // C: columns beyond |W|·X_max are zero; within a block, constant per row.
+    for k in 0..10 {
+        assert_eq!(c.get(k, 6), 0.0);
+        assert_eq!(c.get(k, 0), c.get(k, 2));
+        assert_eq!(c.get(k, 3), c.get(k, 5));
+        assert!(c.get(k, 0) >= 0.0);
+    }
+}
