@@ -28,11 +28,9 @@ fn bench_matching(c: &mut Criterion) {
     for &n in &[500usize, 1000, 2000] {
         let inst = build_instance(n, 100, 20, 10, 0xBE);
         let edges = edges_of(&inst);
-        group.bench_with_input(
-            BenchmarkId::new("sorted-greedy", n),
-            &edges,
-            |b, edges| b.iter(|| black_box(greedy_matching(n, edges).total_weight())),
-        );
+        group.bench_with_input(BenchmarkId::new("sorted-greedy", n), &edges, |b, edges| {
+            b.iter(|| black_box(greedy_matching(n, edges).total_weight()))
+        });
     }
     group.finish();
 }

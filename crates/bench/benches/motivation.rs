@@ -25,18 +25,12 @@ fn bench_jaccard(c: &mut Criterion) {
 
 fn bench_motivation_eval(c: &mut Criterion) {
     let inst = build_instance(500, 50, 10, 20, 0x40);
-    let sets: Vec<Vec<usize>> = vec![
-        (0..5).collect(),
-        (0..20).collect(),
-        (0..100).collect(),
-    ];
+    let sets: Vec<Vec<usize>> = vec![(0..5).collect(), (0..20).collect(), (0..100).collect()];
     let mut group = c.benchmark_group("motivation/eq3");
     for set in &sets {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(set.len()),
-            set,
-            |b, set| b.iter(|| black_box(motivation(&inst, 0, set))),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(set.len()), set, |b, set| {
+            b.iter(|| black_box(motivation(&inst, 0, set)))
+        });
     }
     group.finish();
 }

@@ -41,7 +41,10 @@ fn main() {
     let variants: Vec<(&str, Box<dyn Solver>)> = vec![
         ("app dense+jv (paper)", Box::new(HtaApp::new())),
         ("app classed+structured", Box::new(HtaApp::structured())),
-        ("app dense+auction", Box::new(HtaApp::new().with_auction_lsap())),
+        (
+            "app dense+auction",
+            Box::new(HtaApp::new().with_auction_lsap()),
+        ),
         ("gre dense (paper)", Box::new(HtaGre::new())),
         ("gre classed", Box::new(HtaGre::structured())),
     ];
@@ -73,7 +76,10 @@ fn main() {
     let baselines: Vec<(&str, Box<dyn Solver>)> = vec![
         ("hta-app", Box::new(HtaApp::new())),
         ("hta-gre", Box::new(HtaGre::new())),
-        ("hta-gre+local-search", Box::new(LocalSearch::new(HtaGre::new(), 3))),
+        (
+            "hta-gre+local-search",
+            Box::new(LocalSearch::new(HtaGre::new(), 3)),
+        ),
         ("greedy-motivation", Box::new(GreedyMotivation)),
         ("greedy-relevance", Box::new(GreedyRelevance)),
         ("random", Box::new(RandomAssign)),

@@ -26,7 +26,15 @@ fn main() {
 
     println!(
         "{:<13} {:>8} {:>8} {:>7} {:>9} {:>10} {:>9} {:>9} {:>10}",
-        "strategy", "boredom", "dispdiv", "match", "%correct", "tasks/sess", "mean-min", "min/task", "%>18.2min"
+        "strategy",
+        "boredom",
+        "dispdiv",
+        "match",
+        "%correct",
+        "tasks/sess",
+        "mean-min",
+        "min/task",
+        "%>18.2min"
     );
     for r in &results.per_strategy {
         let mut boredom = 0.0;

@@ -25,7 +25,10 @@ fn main() {
         let mut cells: Vec<(&str, f64)> = Vec::new();
         for (name, solver) in [
             ("hta-app", Box::new(HtaApp::new()) as Box<dyn Solver>),
-            ("hta-app-hungarian", Box::new(HtaApp::new().with_classic_hungarian())),
+            (
+                "hta-app-hungarian",
+                Box::new(HtaApp::new().with_classic_hungarian()),
+            ),
             ("hta-gre", Box::new(HtaGre::new())),
         ] {
             let (mut matching, mut lsap, mut total) = (0.0, 0.0, 0.0);

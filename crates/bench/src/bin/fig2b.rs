@@ -19,7 +19,10 @@ fn main() {
         spec.n_workers, spec.xmax, spec.n_groups
     );
 
-    let mut table = Table::new("Fig 2b — objective function value vs number of tasks", "|T|");
+    let mut table = Table::new(
+        "Fig 2b — objective function value vs number of tasks",
+        "|T|",
+    );
     for &n_tasks in &spec.sweep {
         let inst = build_instance(n_tasks, spec.n_groups, spec.n_workers, spec.xmax, 0xF26B);
         let mut objective = [0.0f64; 2];
@@ -43,7 +46,14 @@ fn main() {
             vec![
                 ("hta-app", objective[0] / r),
                 ("hta-gre", objective[1] / r),
-                ("gre/app-worst", if ratio_min.is_finite() { ratio_min } else { 1.0 }),
+                (
+                    "gre/app-worst",
+                    if ratio_min.is_finite() {
+                        ratio_min
+                    } else {
+                        1.0
+                    },
+                ),
             ],
         ));
         println!("  |T|={n_tasks} done");

@@ -45,7 +45,10 @@ fn jv_stats(inst: &Instance) -> (usize, usize) {
         }
     });
     let stats = jv::solve_with_stats(&costs);
-    (stats.assigned_in_column_reduction, stats.augmenting_path_calls)
+    (
+        stats.assigned_in_column_reduction,
+        stats.augmenting_path_calls,
+    )
 }
 
 fn main() {

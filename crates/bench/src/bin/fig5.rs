@@ -9,9 +9,9 @@
 //! * Hta-Gre averages 36.7 tasks/session over 22.3 minutes.
 
 use hta_bench::{write_csv, Row, Scale, Table};
+use hta_crowd::PopulationConfig;
 use hta_crowd::{experiment, OnlineConfig, Strategy};
 use hta_datagen::crowdflower::CrowdflowerConfig;
-use hta_crowd::PopulationConfig;
 
 fn main() {
     let scale = Scale::from_env();
@@ -82,8 +82,7 @@ fn main() {
 
     // ---- Markdown report ---------------------------------------------------
     let report = hta_crowd::report_markdown(&results);
-    let report_path = hta_bench::csv_path("fig5_report")
-        .with_extension("md");
+    let report_path = hta_bench::csv_path("fig5_report").with_extension("md");
     if let Some(dir) = report_path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }

@@ -50,7 +50,10 @@ fn main() {
         build_dense_c(&inst).get(0, 0)
     );
     println!();
-    print_matrix("Matrix B (Eq. 5) — pairwise diversities", &build_dense_b(&inst));
+    print_matrix(
+        "Matrix B (Eq. 5) — pairwise diversities",
+        &build_dense_b(&inst),
+    );
 
     for (name, solver) in [
         ("HTA-APP", Box::new(HtaApp::new()) as Box<dyn Solver>),

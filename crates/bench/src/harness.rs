@@ -74,10 +74,7 @@ impl Row {
     pub fn new(label: impl Into<String>, cells: Vec<(&str, f64)>) -> Self {
         Self {
             label: label.into(),
-            cells: cells
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
+            cells: cells.into_iter().map(|(k, v)| (k.to_owned(), v)).collect(),
         }
     }
 }
@@ -116,11 +113,7 @@ impl Table {
             out.push_str("(no rows)\n");
             return out;
         }
-        let headers: Vec<&str> = self.rows[0]
-            .cells
-            .iter()
-            .map(|(k, _)| k.as_str())
-            .collect();
+        let headers: Vec<&str> = self.rows[0].cells.iter().map(|(k, _)| k.as_str()).collect();
         let mut widths: Vec<usize> = headers.iter().map(|h| h.len().max(10)).collect();
         let label_w = self
             .rows

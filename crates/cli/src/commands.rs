@@ -6,6 +6,7 @@ use hta_core::prelude::*;
 use hta_datagen::amt::{generate_exact, AmtConfig};
 use hta_datagen::export;
 use hta_datagen::workers::{synthetic_workers, SyntheticWorkerConfig};
+use hta_index::{CandidateMode, CandidatePool, InvertedIndex, PoolParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -65,16 +66,31 @@ pub fn workers(args: &Args) -> CmdResult {
 
 /// `hta solve` — one HTA iteration over CSV inputs.
 pub fn solve(args: &Args) -> CmdResult {
-    args.reject_unknown(&["tasks", "workers", "xmax", "algorithm", "seed", "out"])?;
+    args.reject_unknown(&[
+        "tasks",
+        "workers",
+        "xmax",
+        "algorithm",
+        "seed",
+        "out",
+        "candidates",
+    ])?;
     let tasks_file = args.require("tasks")?;
     let workers_file = args.require("workers")?;
     let xmax: usize = args.get_or("xmax", 10)?;
     let algorithm = args.get("algorithm").unwrap_or("gre");
     let seed: u64 = args.get_or("seed", 0)?;
+    let candidates: CandidateMode = match args.get("candidates") {
+        Some(s) => s
+            .parse()
+            .map_err(|e: String| -> Box<dyn Error> { e.into() })?,
+        None => CandidateMode::Full,
+    };
 
     let (mut space, task_pool) = export::tasks_from_csv(&std::fs::read_to_string(tasks_file)?)?;
     let width_before = space.len();
-    let worker_pool = export::workers_from_csv(&mut space, &std::fs::read_to_string(workers_file)?)?;
+    let worker_pool =
+        export::workers_from_csv(&mut space, &std::fs::read_to_string(workers_file)?)?;
 
     // Worker keywords may have widened the universe; re-home task vectors.
     let tasks: Vec<Task> = task_pool
@@ -100,7 +116,28 @@ pub fn solve(args: &Args) -> CmdResult {
         other => return Err(format!("unknown algorithm '{other}'").into()),
     };
 
-    let inst = Instance::new(tasks, workers, xmax)?;
+    // Sparse mode runs retrieval first and solves over the candidate pool;
+    // `back` maps pool-local task indices to the original catalog indices.
+    let (inst, back): (Instance, Option<Vec<u32>>) = match candidates {
+        CandidateMode::Full => (Instance::new(tasks, workers, xmax)?, None),
+        CandidateMode::TopK(k) => {
+            let pairs: Vec<(u32, &KeywordVec)> =
+                tasks.iter().map(|t| (t.id.0, &t.keywords)).collect();
+            let index =
+                InvertedIndex::build(space.len(), &pairs, hta_index::par::default_threads());
+            let pool = CandidatePool::generate(&index, &workers, xmax, &PoolParams::with_k(k));
+            println!(
+                "candidates {candidates}: pool {} of {} tasks ({} from top-k retrieval)",
+                pool.len(),
+                tasks.len(),
+                pool.topk_hits()
+            );
+            let built =
+                pool.build_instance(&tasks, &workers, xmax, hta_index::par::default_threads())?;
+            (built.instance, Some(built.catalog_ids))
+        }
+    };
+    let global = |t: usize| back.as_ref().map_or(t, |b| b[t] as usize);
     let mut rng = StdRng::seed_from_u64(seed);
     let started = std::time::Instant::now();
     let out = solver.solve(&inst, &mut rng);
@@ -118,7 +155,12 @@ pub fn solve(args: &Args) -> CmdResult {
         elapsed.as_secs_f64()
     );
     for q in 0..inst.n_workers() {
-        let mut ids: Vec<usize> = out.assignment.tasks_of(q).to_vec();
+        let mut ids: Vec<usize> = out
+            .assignment
+            .tasks_of(q)
+            .iter()
+            .map(|&t| global(t))
+            .collect();
         ids.sort_unstable();
         println!("  worker {q}: {ids:?}");
     }
@@ -127,7 +169,7 @@ pub fn solve(args: &Args) -> CmdResult {
         let mut csv = String::from("worker_id,task_id\n");
         for q in 0..inst.n_workers() {
             for &t in out.assignment.tasks_of(q) {
-                csv.push_str(&format!("{q},{t}\n"));
+                csv.push_str(&format!("{q},{}\n", global(t)));
             }
         }
         std::fs::write(path, csv)?;
@@ -162,17 +204,28 @@ pub fn analyze(args: &Args) -> CmdResult {
     let inst = Instance::new(tasks, worker_pool.workers().to_vec(), xmax)?;
     let a = hta_core::analysis::analyze(&inst);
 
-    println!("instance: |T| = {}, |W| = {}, X_max = {}", a.n_tasks, a.n_workers, a.xmax);
+    println!(
+        "instance: |T| = {}, |W| = {}, X_max = {}",
+        a.n_tasks, a.n_workers, a.xmax
+    );
     let stat = |name: &str, s: &hta_core::analysis::ValueStats| {
         println!(
             "  {name:<14} n={:<8} min={:.3} mean={:.3} max={:.3} distinct={} degeneracy={:.3}",
-            s.count, s.min, s.mean, s.max, s.distinct, s.degeneracy()
+            s.count,
+            s.min,
+            s.mean,
+            s.max,
+            s.distinct,
+            s.degeneracy()
         );
     };
     stat("diversity", &a.diversity);
     stat("relevance", &a.relevance);
     stat("lsap-profits", &a.lsap_profits);
-    println!("  zero-diversity pairs: {:.1}%", 100.0 * a.zero_diversity_pairs);
+    println!(
+        "  zero-diversity pairs: {:.1}%",
+        100.0 * a.zero_diversity_pairs
+    );
     println!(
         "recommended exact-LSAP configuration: {}",
         hta_core::analysis::recommend_lsap(&a)
@@ -182,12 +235,18 @@ pub fn analyze(args: &Args) -> CmdResult {
 
 /// `hta simulate` — the Figure 5 online experiment at custom scale.
 pub fn simulate(args: &Args) -> CmdResult {
-    args.reject_unknown(&["sessions", "catalog", "seed"])?;
+    args.reject_unknown(&["sessions", "catalog", "seed", "candidates"])?;
     let sessions: usize = args.get_or("sessions", 8)?;
     let catalog: usize = args.get_or("catalog", 2000)?;
-    let seed: u64 = args.get_or("seed", 0x5E55)?;
+    let seed: u64 = args.get_or("seed", 0x5E59)?;
+    let candidates: CandidateMode = match args.get("candidates") {
+        Some(s) => s
+            .parse()
+            .map_err(|e: String| -> Box<dyn Error> { e.into() })?,
+        None => CandidateMode::Full,
+    };
 
-    let cfg = hta_crowd::OnlineConfig {
+    let mut cfg = hta_crowd::OnlineConfig {
         sessions_per_strategy: sessions,
         catalog: hta_datagen::crowdflower::CrowdflowerConfig {
             n_tasks: catalog,
@@ -196,6 +255,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         seed,
         ..Default::default()
     };
+    cfg.platform.candidates = candidates;
     let results = hta_crowd::experiment::run(&cfg);
     println!(
         "{:<13} {:>9} {:>10} {:>14} {:>10} {:>11}",
@@ -264,16 +324,85 @@ mod tests {
             "generate", "--tasks", "60", "--groups", "12", "--vocab", "80", "--out", t,
         ]))
         .unwrap();
-        workers(&args(&["workers", "--count", "4", "--tasks", t, "--out", w])).unwrap();
+        workers(&args(&[
+            "workers", "--count", "4", "--tasks", t, "--out", w,
+        ]))
+        .unwrap();
         solve(&args(&[
-            "solve", "--tasks", t, "--workers", w, "--xmax", "5", "--algorithm", "gre",
-            "--out", a,
+            "solve",
+            "--tasks",
+            t,
+            "--workers",
+            w,
+            "--xmax",
+            "5",
+            "--algorithm",
+            "gre",
+            "--out",
+            a,
         ]))
         .unwrap();
 
         let csv = std::fs::read_to_string(&assignment).unwrap();
         // header + 4 workers × 5 tasks
         assert_eq!(csv.lines().count(), 1 + 20);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solve_with_topk_candidates_writes_full_assignment() {
+        let dir = std::env::temp_dir().join("hta-cli-test-topk");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tasks = dir.join("tasks.csv");
+        let workers_f = dir.join("workers.csv");
+        let assignment = dir.join("assignment.csv");
+        let t = tasks.to_str().unwrap();
+        let w = workers_f.to_str().unwrap();
+        let a = assignment.to_str().unwrap();
+
+        generate(&args(&[
+            "generate", "--tasks", "80", "--groups", "16", "--vocab", "60", "--out", t,
+        ]))
+        .unwrap();
+        workers(&args(&[
+            "workers", "--count", "3", "--tasks", t, "--out", w,
+        ]))
+        .unwrap();
+        solve(&args(&[
+            "solve",
+            "--tasks",
+            t,
+            "--workers",
+            w,
+            "--xmax",
+            "4",
+            "--candidates",
+            "topk:6",
+            "--out",
+            a,
+        ]))
+        .unwrap();
+
+        // The candidate pool still admits a full assignment, and ids map
+        // back to the catalog (header + 3 workers × 4 tasks, all in range).
+        let csv = std::fs::read_to_string(&assignment).unwrap();
+        assert_eq!(csv.lines().count(), 1 + 12);
+        for line in csv.lines().skip(1) {
+            let task_id: usize = line.split(',').nth(1).unwrap().parse().unwrap();
+            assert!(task_id < 80);
+        }
+        // Bad grammar is rejected up front.
+        let err = solve(&args(&[
+            "solve",
+            "--tasks",
+            t,
+            "--workers",
+            w,
+            "--candidates",
+            "topk:zero",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("top-k"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -285,10 +414,22 @@ mod tests {
         let workers_f = dir.join("workers.csv");
         let t = tasks.to_str().unwrap();
         let w = workers_f.to_str().unwrap();
-        generate(&args(&["generate", "--tasks", "10", "--groups", "2", "--out", t])).unwrap();
-        workers(&args(&["workers", "--count", "2", "--tasks", t, "--out", w])).unwrap();
+        generate(&args(&[
+            "generate", "--tasks", "10", "--groups", "2", "--out", t,
+        ]))
+        .unwrap();
+        workers(&args(&[
+            "workers", "--count", "2", "--tasks", t, "--out", w,
+        ]))
+        .unwrap();
         let err = solve(&args(&[
-            "solve", "--tasks", t, "--workers", w, "--algorithm", "nope",
+            "solve",
+            "--tasks",
+            t,
+            "--workers",
+            w,
+            "--algorithm",
+            "nope",
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("unknown algorithm"));

@@ -30,12 +30,15 @@ COMMANDS:
   solve      Solve one HTA iteration over task + worker CSVs
              --tasks FILE      --workers FILE    --xmax X (10)
              --algorithm app|app-hungarian|gre|greedy|random (gre)
+             --candidates full|topk:K (full)  — topk solves over an
+               inverted-index candidate pool instead of every task
              --seed S (0)      --out FILE (optional assignment CSV)
   analyze    Structural analysis of a task+worker instance (degeneracy,
              diversity/relevance distributions, solver recommendation)
              --tasks FILE      --workers FILE    --xmax X (10)
   simulate   Run the online crowdsourcing simulation (Figure 5 style)
-             --sessions N (8)  --catalog M (2000)  --seed S (0x5E55)
+             --sessions N (8)  --catalog M (2000)  --seed S (0x5E59)
+             --candidates full|topk:K (full)
   example    Print the paper's worked example (Table I / Figure 1)
   help       Show this message
 ";

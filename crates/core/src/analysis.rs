@@ -114,7 +114,7 @@ pub fn analyze(inst: &Instance) -> InstanceAnalysis {
     let mut idx = 0usize;
     for k in 0..n {
         for l in (k + 1)..n {
-            if idx % stride == 0 {
+            if idx.is_multiple_of(stride) {
                 let d = inst.diversity(k, l);
                 if d == 0.0 {
                     zero_pairs += 1;
@@ -283,8 +283,7 @@ mod tests {
         for k in 0..n {
             div[k * n + k] = 0.0;
         }
-        let inst =
-            Instance::from_matrices(n, &[Weights::balanced()], rel, div, 3).unwrap();
+        let inst = Instance::from_matrices(n, &[Weights::balanced()], rel, div, 3).unwrap();
         let constant = analyze(&inst);
         assert!(constant.lsap_profits.degeneracy() > 0.9);
         assert_eq!(recommend_lsap(&constant), "jv-dense");

@@ -164,7 +164,10 @@ mod tests {
         let a = Assignment::from_sets(vec![vec![0]]);
         assert!(matches!(
             a.validate(&i),
-            Err(HtaError::WrongWorkerCount { expected: 2, found: 1 })
+            Err(HtaError::WrongWorkerCount {
+                expected: 2,
+                found: 1
+            })
         ));
     }
 

@@ -44,21 +44,33 @@ impl KeywordVec {
     /// Panics if `i >= nbits`.
     #[inline]
     pub fn set(&mut self, i: usize) {
-        assert!(i < self.nbits, "keyword index {i} out of range {}", self.nbits);
+        assert!(
+            i < self.nbits,
+            "keyword index {i} out of range {}",
+            self.nbits
+        );
         self.blocks[i / 64] |= 1u64 << (i % 64);
     }
 
     /// Clear keyword `i`.
     #[inline]
     pub fn clear(&mut self, i: usize) {
-        assert!(i < self.nbits, "keyword index {i} out of range {}", self.nbits);
+        assert!(
+            i < self.nbits,
+            "keyword index {i} out of range {}",
+            self.nbits
+        );
         self.blocks[i / 64] &= !(1u64 << (i % 64));
     }
 
     /// Whether keyword `i` is set.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.nbits, "keyword index {i} out of range {}", self.nbits);
+        assert!(
+            i < self.nbits,
+            "keyword index {i} out of range {}",
+            self.nbits
+        );
         (self.blocks[i / 64] >> (i % 64)) & 1 == 1
     }
 

@@ -71,7 +71,10 @@ impl fmt::Display for HtaError {
                  (construct the instance with allow_non_metric to override)"
             ),
             Self::TaskIndexOutOfRange { index, n_tasks } => {
-                write!(f, "task index {index} out of range (instance has {n_tasks})")
+                write!(
+                    f,
+                    "task index {index} out of range (instance has {n_tasks})"
+                )
             }
             Self::TooManyTasksForWorker {
                 worker,
@@ -82,10 +85,16 @@ impl fmt::Display for HtaError {
                 "constraint C1 violated: worker {worker} got {assigned} tasks (X_max = {xmax})"
             ),
             Self::TaskAssignedTwice { task } => {
-                write!(f, "constraint C2 violated: task {task} assigned to two workers")
+                write!(
+                    f,
+                    "constraint C2 violated: task {task} assigned to two workers"
+                )
             }
             Self::WrongWorkerCount { expected, found } => {
-                write!(f, "assignment covers {found} workers, instance has {expected}")
+                write!(
+                    f,
+                    "assignment covers {found} workers, instance has {expected}"
+                )
             }
             Self::BadMatrixShape { expected, found } => {
                 write!(f, "matrix with {found} entries, expected {expected}")
@@ -112,6 +121,8 @@ mod tests {
         assert!(msg.contains("worker 3"));
         assert!(msg.contains("7"));
 
-        assert!(HtaError::NonMetricDistance("dice").to_string().contains("dice"));
+        assert!(HtaError::NonMetricDistance("dice")
+            .to_string()
+            .contains("dice"));
     }
 }

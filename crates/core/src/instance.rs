@@ -16,6 +16,14 @@ use crate::metric::{Distance, Jaccard};
 use crate::task::Task;
 use crate::worker::{Weights, Worker, WorkerId};
 
+/// Smallest task count for which [`Instance::with_distance`] pre-builds the
+/// dense diversity cache automatically.
+pub const AUTO_CACHE_MIN_TASKS: usize = 32;
+
+/// Largest task count for which the cache is auto-built (4·n² bytes: 4096
+/// tasks cap the cache at 64 MiB).
+pub const AUTO_CACHE_MAX_TASKS: usize = 4096;
+
 enum Diversity {
     /// Compute from task keyword vectors through `distance`.
     Keywords {
@@ -95,7 +103,7 @@ impl Instance {
         }
         let distance_name = distance.name();
         let distance_is_metric = distance.is_metric();
-        Ok(Self {
+        let mut inst = Self {
             tasks,
             workers,
             xmax,
@@ -104,7 +112,18 @@ impl Instance {
             cache: None,
             distance_name,
             distance_is_metric,
-        })
+        };
+        // Solvers read every diversity pair several times; recomputing the
+        // distance per read dominates their hot loops. Auto-build the dense
+        // cache for mid-sized instances: below the lower bound the recompute
+        // is cheap anyway, above the upper bound the O(n²) f32 cache would
+        // not fit a sane memory budget (callers can still opt in explicitly
+        // through `build_diversity_cache*`).
+        let n = inst.tasks.len();
+        if (AUTO_CACHE_MIN_TASKS..=AUTO_CACHE_MAX_TASKS).contains(&n) {
+            inst.build_diversity_cache();
+        }
+        Ok(inst)
     }
 
     /// Build directly from matrices — used for fixtures such as the paper's
@@ -186,6 +205,55 @@ impl Instance {
             }
         }
         self.cache = Some(cache);
+    }
+
+    /// [`Self::build_diversity_cache`] with the upper triangle computed by
+    /// `threads` scoped `std::thread`s over chunked row ranges (the
+    /// dependency policy rules out a thread-pool crate). Row `k` costs
+    /// `n − k` distance evaluations, so rows are dealt round-robin to keep
+    /// the chunks balanced; each thread fills disjoint full rows of the
+    /// upper triangle and the lower triangle is mirrored afterwards.
+    pub fn build_diversity_cache_parallel(&mut self, threads: usize) {
+        let n = self.tasks.len();
+        let threads = threads.clamp(1, n.max(1));
+        if threads == 1 || n < 2 {
+            self.build_diversity_cache();
+            return;
+        }
+        let mut cache = vec![0.0f32; n * n];
+        {
+            let rows: Vec<&mut [f32]> = cache.chunks_mut(n).collect();
+            let this = &*self;
+            // Hand each thread every `threads`-th row (with its slot in the
+            // round-robin deal) so long and short rows mix evenly.
+            let mut per_thread: Vec<Vec<(usize, &mut [f32])>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (k, row) in rows.into_iter().enumerate() {
+                per_thread[k % threads].push((k, row));
+            }
+            std::thread::scope(|scope| {
+                for chunk in per_thread {
+                    scope.spawn(move || {
+                        for (k, row) in chunk {
+                            for (l, slot) in row.iter_mut().enumerate().skip(k + 1) {
+                                *slot = this.diversity_uncached(k, l) as f32;
+                            }
+                        }
+                    });
+                }
+            });
+        }
+        for k in 0..n {
+            for l in (k + 1)..n {
+                cache[l * n + k] = cache[k * n + l];
+            }
+        }
+        self.cache = Some(cache);
+    }
+
+    /// Whether the dense diversity cache is built.
+    pub fn has_diversity_cache(&self) -> bool {
+        self.cache.is_some()
     }
 
     /// Number of tasks `|T^i|`.
@@ -337,16 +405,16 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, HtaError::NonMetricDistance("dice"));
-        assert!(Instance::with_distance(tasks, workers, 1, Arc::new(crate::metric::Dice), true)
-            .is_ok());
+        assert!(
+            Instance::with_distance(tasks, workers, 1, Arc::new(crate::metric::Dice), true).is_ok()
+        );
     }
 
     #[test]
     fn matrix_instance_serves_given_values() {
         let rel = vec![0.3, 0.7];
         let div = vec![0.0, 0.9, 0.9, 0.0];
-        let inst =
-            Instance::from_matrices(2, &[Weights::balanced()], rel, div, 2).unwrap();
+        let inst = Instance::from_matrices(2, &[Weights::balanced()], rel, div, 2).unwrap();
         assert_eq!(inst.rel(0, 1), 0.7);
         assert_eq!(inst.diversity(0, 1), 0.9);
         assert_eq!(inst.diversity(1, 0), 0.9);
@@ -357,6 +425,59 @@ mod tests {
         let err = Instance::from_matrices(2, &[Weights::balanced()], vec![0.0], vec![0.0; 4], 1)
             .unwrap_err();
         assert!(matches!(err, HtaError::BadMatrixShape { .. }));
+    }
+
+    #[test]
+    fn keyword_instances_auto_build_the_cache_above_the_threshold() {
+        let nbits = 16;
+        let mk = |n: usize| -> Instance {
+            let tasks: Vec<Task> = (0..n)
+                .map(|i| task(i as u32, nbits, &[i % nbits, (i * 3 + 1) % nbits]))
+                .collect();
+            Instance::new(tasks, vec![worker(0, nbits, &[0, 1])], 2).unwrap()
+        };
+        // Below the threshold: recompute-on-read (cache build would cost
+        // more than it saves).
+        assert!(!mk(AUTO_CACHE_MIN_TASKS - 1).has_diversity_cache());
+        // At and above: the solvers' hot loops read cached values.
+        let inst = mk(AUTO_CACHE_MIN_TASKS);
+        assert!(inst.has_diversity_cache());
+        // Cached values agree with the recomputed metric.
+        for k in 0..4 {
+            for l in 0..4 {
+                assert!((inst.diversity(k, l) - inst.diversity_uncached(k, l)).abs() < 1e-6);
+            }
+        }
+        // Matrix-backed instances never need the cache: lookups are O(1).
+        let inst =
+            Instance::from_matrices(2, &[Weights::balanced()], vec![0.1, 0.2], vec![0.0; 4], 1)
+                .unwrap();
+        assert!(!inst.has_diversity_cache());
+    }
+
+    #[test]
+    fn parallel_cache_matches_sequential() {
+        let nbits = 24;
+        let tasks: Vec<Task> = (0..37)
+            .map(|i| {
+                task(
+                    i as u32,
+                    nbits,
+                    &[i % nbits, (i * 5 + 2) % nbits, (i * 11) % nbits],
+                )
+            })
+            .collect();
+        let workers = vec![worker(0, nbits, &[0, 1])];
+        let mut seq = Instance::new(tasks.clone(), workers.clone(), 3).unwrap();
+        seq.build_diversity_cache();
+        let mut par = Instance::new(tasks, workers, 3).unwrap();
+        par.build_diversity_cache_parallel(4);
+        assert!(par.has_diversity_cache());
+        for k in 0..37 {
+            for l in 0..37 {
+                assert_eq!(seq.diversity(k, l), par.diversity(k, l), "({k},{l})");
+            }
+        }
     }
 
     #[test]

@@ -32,6 +32,33 @@ pub struct IterationResult {
     pub remaining_tasks: usize,
 }
 
+/// A pluggable candidate-generation stage: given one iteration's frozen
+/// tasks `T^i` and workers `W^i`, pick the subset of task indices worth
+/// handing to the solver.
+///
+/// This is the seam that makes per-iteration assignment sub-quadratic: a
+/// retrieval structure (e.g. `hta-index`'s inverted keyword index) returns a
+/// small, high-value candidate pool and the solver never materializes the
+/// full `|T| × |T|` diversity structure. Returning `None` means "solve over
+/// everything" (the dense path).
+///
+/// Contract: returned indices must be in-bounds for `tasks`; duplicates are
+/// ignored. Generators should return at least `min(|tasks|,
+/// |workers| · xmax)` candidates so a full assignment stays feasible.
+pub trait CandidateGenerator: Send {
+    /// Select candidate indices into `tasks`, or `None` for the dense path.
+    fn select(&mut self, tasks: &[Task], workers: &[Worker], xmax: usize) -> Option<Vec<usize>>;
+}
+
+impl<F> CandidateGenerator for F
+where
+    F: FnMut(&[Task], &[Worker], usize) -> Option<Vec<usize>> + Send,
+{
+    fn select(&mut self, tasks: &[Task], workers: &[Worker], xmax: usize) -> Option<Vec<usize>> {
+        self(tasks, workers, xmax)
+    }
+}
+
 /// Drives HTA across iterations over a shared task pool.
 pub struct IterationEngine {
     tasks: TaskPool,
@@ -40,6 +67,7 @@ pub struct IterationEngine {
     distance: Arc<dyn Distance + Send + Sync>,
     available: Vec<bool>,
     iteration: usize,
+    candidates: Option<Box<dyn CandidateGenerator>>,
 }
 
 impl IterationEngine {
@@ -73,7 +101,20 @@ impl IterationEngine {
             distance,
             available,
             iteration: 0,
+            candidates: None,
         })
+    }
+
+    /// Install a candidate-generation stage (sparse mode). Subsequent
+    /// iterations solve over the generator's selection instead of every
+    /// available task.
+    pub fn set_candidate_generator(&mut self, generator: Box<dyn CandidateGenerator>) {
+        self.candidates = Some(generator);
+    }
+
+    /// Remove the candidate-generation stage (back to the dense path).
+    pub fn clear_candidate_generator(&mut self) {
+        self.candidates = None;
     }
 
     /// Tasks still available for assignment.
@@ -165,6 +206,31 @@ impl IterationEngine {
                 Worker::new(WorkerId(i as u32), w.keywords.clone()).with_weights(w.weights)
             })
             .collect();
+
+        // Candidate generation: shrink T^i to the generator's selection so
+        // the solver works on a pool-local instance.
+        if let Some(generator) = self.candidates.as_mut() {
+            if let Some(selected) = generator.select(&local_tasks, &local_workers, self.xmax) {
+                let mut keep: Vec<usize> = selected
+                    .into_iter()
+                    .filter(|&i| i < local_tasks.len())
+                    .collect();
+                keep.sort_unstable();
+                keep.dedup();
+                let mut pool_tasks = Vec::with_capacity(keep.len());
+                let mut pool_to_global = Vec::with_capacity(keep.len());
+                for (pool_idx, &local_idx) in keep.iter().enumerate() {
+                    let mut t = local_tasks[local_idx].clone();
+                    t.id = TaskId(pool_idx as u32);
+                    pool_tasks.push(t);
+                    pool_to_global.push(local_to_global[local_idx]);
+                }
+                if !pool_tasks.is_empty() {
+                    local_tasks = pool_tasks;
+                    local_to_global = pool_to_global;
+                }
+            }
+        }
 
         let inst = Instance::with_distance(
             local_tasks,
@@ -322,6 +388,49 @@ mod tests {
         assert_eq!(engine.remaining_tasks(), 3);
         engine.release_task(t);
         assert_eq!(engine.remaining_tasks(), 4);
+    }
+
+    #[test]
+    fn candidate_generator_limits_the_solve() {
+        let mut engine = setup(20, 2, 3);
+        // Keep only the first |W|·X_max frozen tasks: with 2 workers and
+        // xmax 3 the solver sees a 6-task pool and must assign all of it.
+        engine.set_candidate_generator(Box::new(
+            |tasks: &[Task], workers: &[Worker], xmax: usize| {
+                Some((0..(workers.len() * xmax).min(tasks.len())).collect())
+            },
+        ));
+        let mut rng = StdRng::seed_from_u64(6);
+        let r = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        let assigned: Vec<TaskId> = r
+            .assignments
+            .iter()
+            .flat_map(|(_, ts)| ts.iter().copied())
+            .collect();
+        assert_eq!(assigned.len(), 6);
+        // The pool was the first six available tasks, so every assignment
+        // must map back into that prefix of the global catalog.
+        assert!(assigned.iter().all(|t| t.0 < 6), "{assigned:?}");
+
+        // The dense path returns after clearing the generator.
+        engine.clear_candidate_generator();
+        let r2 = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        let n2: usize = r2.assignments.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(n2, 6);
+    }
+
+    #[test]
+    fn empty_candidate_selection_falls_back_to_dense() {
+        let mut engine = setup(9, 1, 2);
+        engine.set_candidate_generator(Box::new(|_: &[Task], _: &[Worker], _: usize| {
+            Some(Vec::new())
+        }));
+        let mut rng = StdRng::seed_from_u64(7);
+        // An empty pool would make every iteration a no-op; the engine
+        // treats it as "no selection" and solves densely instead.
+        let r = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        let n: usize = r.assignments.iter().map(|(_, t)| t.len()).sum();
+        assert_eq!(n, 2);
     }
 
     #[test]

@@ -71,10 +71,7 @@ impl KeywordSpace {
     /// Build a [`KeywordVec`] over this universe from keyword names,
     /// interning any new ones.
     pub fn vector_of(&mut self, keywords: &[&str]) -> KeywordVec {
-        let ids: Vec<usize> = keywords
-            .iter()
-            .map(|k| self.intern(k).0 as usize)
-            .collect();
+        let ids: Vec<usize> = keywords.iter().map(|k| self.intern(k).0 as usize).collect();
         // The universe may have grown while interning.
         KeywordVec::from_indices(self.len(), &ids)
     }

@@ -82,7 +82,7 @@ pub use assignment::Assignment;
 pub use bitvec::KeywordVec;
 pub use error::HtaError;
 pub use instance::Instance;
-pub use iteration::{IterationEngine, IterationResult};
+pub use iteration::{CandidateGenerator, IterationEngine, IterationResult};
 pub use keywords::{KeywordId, KeywordSpace};
 pub use metric::{Distance, Jaccard};
 pub use solver::{SolveOutcome, Solver};
@@ -96,13 +96,13 @@ pub mod prelude {
     pub use crate::bitvec::KeywordVec;
     pub use crate::error::HtaError;
     pub use crate::instance::Instance;
-    pub use crate::iteration::{IterationEngine, IterationResult};
+    pub use crate::iteration::{CandidateGenerator, IterationEngine, IterationResult};
     pub use crate::keywords::{KeywordId, KeywordSpace};
     pub use crate::metric::{Dice, Distance, Hamming, Jaccard, WeightedJaccard};
     pub use crate::motivation::{motivation, task_diversity, task_relevance};
     pub use crate::solver::{
-        ExactSolver, GreedyMotivation, GreedyRelevance, HtaApp, HtaGre, LocalSearch,
-        RandomAssign, SolveOutcome, Solver,
+        ExactSolver, GreedyMotivation, GreedyRelevance, HtaApp, HtaGre, LocalSearch, RandomAssign,
+        SolveOutcome, Solver,
     };
     pub use crate::task::{GroupId, Task, TaskId, TaskPool};
     pub use crate::worker::{Weights, Worker, WorkerId, WorkerPool};

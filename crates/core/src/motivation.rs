@@ -73,8 +73,16 @@ pub fn normalized_gains(
         .iter()
         .map(|&c| marginal_relevance(inst, q, c))
         .fold(0.0f64, f64::max);
-    let nd = if max_gd > 0.0 { Some(gd / max_gd) } else { None };
-    let nr = if max_gr > 0.0 { Some(gr / max_gr) } else { None };
+    let nd = if max_gd > 0.0 {
+        Some(gd / max_gd)
+    } else {
+        None
+    };
+    let nr = if max_gr > 0.0 {
+        Some(gr / max_gr)
+    } else {
+        None
+    };
     (nd, nr)
 }
 

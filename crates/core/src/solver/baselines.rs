@@ -108,8 +108,7 @@ impl GreedyMotivation {
     pub fn marginal_gain(inst: &Instance, q: usize, set: &[usize], t: usize) -> f64 {
         let sum_div: f64 = set.iter().map(|&k| inst.diversity(t, k)).sum();
         let tr: f64 = set.iter().map(|&k| inst.rel(q, k)).sum();
-        2.0 * inst.alpha(q) * sum_div
-            + inst.beta(q) * (tr + set.len() as f64 * inst.rel(q, t))
+        2.0 * inst.alpha(q) * sum_div + inst.beta(q) * (tr + set.len() as f64 * inst.rel(q, t))
     }
 }
 
@@ -131,8 +130,8 @@ impl Solver for GreedyMotivation {
                 if a.tasks_of(q).len() >= inst.xmax() {
                     continue;
                 }
-                for t in 0..n {
-                    if taken[t] {
+                for (t, &is_taken) in taken.iter().enumerate() {
+                    if is_taken {
                         continue;
                     }
                     let gain = Self::marginal_gain(inst, q, a.tasks_of(q), t);

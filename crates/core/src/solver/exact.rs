@@ -57,9 +57,7 @@ impl Search<'_> {
             .enumerate()
             .map(|(q, s)| {
                 2.0 * self.inst.alpha(q) * crate::motivation::task_diversity(self.inst, s)
-                    + self.inst.beta(q)
-                        * xm1
-                        * crate::motivation::task_relevance(self.inst, q, s)
+                    + self.inst.beta(q) * xm1 * crate::motivation::task_relevance(self.inst, q, s)
             })
             .sum()
     }
@@ -118,10 +116,7 @@ impl Solver for ExactSolver {
                     .map(|u| inst.diversity(t, u))
                     .fold(0.0f64, f64::max);
                 (0..inst.n_workers())
-                    .map(|q| {
-                        2.0 * inst.alpha(q) * dmax * xm1
-                            + inst.beta(q) * xm1 * inst.rel(q, t)
-                    })
+                    .map(|q| 2.0 * inst.alpha(q) * dmax * xm1 + inst.beta(q) * xm1 * inst.rel(q, t))
                     .fold(0.0f64, f64::max)
             })
             .collect();
@@ -173,8 +168,7 @@ mod tests {
                 }
             }
         }
-        let inst =
-            Instance::from_matrices(4, &[Weights::relevance_only()], rel, div, 2).unwrap();
+        let inst = Instance::from_matrices(4, &[Weights::relevance_only()], rel, div, 2).unwrap();
         let out = ExactSolver.solve(&inst, &mut rng());
         let mut set = out.assignment.tasks_of(0).to_vec();
         set.sort_unstable();
@@ -193,8 +187,7 @@ mod tests {
             0.9, 0.3, 0.0,
         ];
         let rel = vec![0.0; 3];
-        let inst =
-            Instance::from_matrices(3, &[Weights::diversity_only()], rel, div, 2).unwrap();
+        let inst = Instance::from_matrices(3, &[Weights::diversity_only()], rel, div, 2).unwrap();
         let out = ExactSolver.solve(&inst, &mut rng());
         let mut set = out.assignment.tasks_of(0).to_vec();
         set.sort_unstable();
@@ -210,8 +203,7 @@ mod tests {
         for k in 0..n {
             div[k * n + k] = 0.0;
         }
-        let inst =
-            Instance::from_matrices(n, &[Weights::balanced(); 2], rel, div, 2).unwrap();
+        let inst = Instance::from_matrices(n, &[Weights::balanced(); 2], rel, div, 2).unwrap();
         let out = ExactSolver.solve(&inst, &mut rng());
         out.assignment.validate(&inst).unwrap();
         assert!(out.assignment.tasks_of(0).len() <= 2);
@@ -224,8 +216,7 @@ mod tests {
         let n = 13;
         let rel = vec![0.5; n];
         let div = vec![0.0; n * n];
-        let inst =
-            Instance::from_matrices(n, &[Weights::balanced()], rel, div, 2).unwrap();
+        let inst = Instance::from_matrices(n, &[Weights::balanced()], rel, div, 2).unwrap();
         let _ = ExactSolver.solve(&inst, &mut rng());
     }
 }

@@ -155,8 +155,8 @@ pub fn improve(inst: &Instance, start: &Assignment, max_passes: usize) -> Assign
                         ca[i] = tb;
                         let mut cb = sets[qb].clone();
                         cb[j] = ta;
-                        let after = contribution(inst, qa, &ca, tb)
-                            + contribution(inst, qb, &cb, ta);
+                        let after =
+                            contribution(inst, qa, &ca, tb) + contribution(inst, qb, &cb, ta);
                         let delta = after - before;
                         if delta > 1e-9 && best.is_none_or(|(b, _, _)| delta > b) {
                             best = Some((delta, i, j));
@@ -238,7 +238,10 @@ mod tests {
                 reached += 1;
             }
         }
-        assert!(reached >= 4, "local search reached the optimum only {reached}/8 times");
+        assert!(
+            reached >= 4,
+            "local search reached the optimum only {reached}/8 times"
+        );
     }
 
     #[test]
@@ -257,8 +260,8 @@ mod tests {
             .solve(&inst, &mut StdRng::seed_from_u64(1))
             .assignment
             .objective(&inst);
-        let wrapped = LocalSearch::new(HtaGre::new(), 20)
-            .solve(&inst, &mut StdRng::seed_from_u64(1));
+        let wrapped =
+            LocalSearch::new(HtaGre::new(), 20).solve(&inst, &mut StdRng::seed_from_u64(1));
         wrapped.assignment.validate(&inst).unwrap();
         assert!(wrapped.assignment.objective(&inst) >= base - 1e-9);
     }

@@ -262,8 +262,7 @@ mod tests {
         for k in 0..4 {
             div[k * 4 + k] = 0.0;
         }
-        let inst =
-            Instance::from_matrices(4, &[Weights::balanced(); 2], rel, div, 3).unwrap();
+        let inst = Instance::from_matrices(4, &[Weights::balanced(); 2], rel, div, 3).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         let out = solve_via_qap(
             &inst,

@@ -216,14 +216,13 @@ impl TeamInstance {
             let mut members: Vec<usize> = Vec::with_capacity(size);
             for _ in 0..size {
                 let mut best: Option<(f64, usize)> = None;
-                for w in 0..self.workers.len() {
-                    if !free[w] || members.contains(&w) {
+                for (w, &is_free) in free.iter().enumerate() {
+                    if !is_free || members.contains(&w) {
                         continue;
                     }
                     let mut with_w = members.clone();
                     with_w.push(w);
-                    let gain = self.team_motivation(t, &with_w)
-                        - self.team_motivation(t, &members);
+                    let gain = self.team_motivation(t, &with_w) - self.team_motivation(t, &members);
                     if best.is_none_or(|(g, _)| gain > g) {
                         best = Some((gain, w));
                     }
@@ -262,8 +261,7 @@ impl TeamInstance {
                         let mut a2 = assignment.teams[ta].clone();
                         let mut b2 = assignment.teams[tb].clone();
                         std::mem::swap(&mut a2[i], &mut b2[j]);
-                        let after =
-                            self.team_motivation(ta, &a2) + self.team_motivation(tb, &b2);
+                        let after = self.team_motivation(ta, &a2) + self.team_motivation(tb, &b2);
                         let delta = after - before;
                         if delta > 1e-9 && best.is_none_or(|(g, _, _)| delta > g) {
                             best = Some((delta, i, j));
@@ -364,10 +362,10 @@ mod tests {
             },
         ];
         let workers = vec![
-            kv(nbits, &[0, 1]),    // strong on task 0
-            kv(nbits, &[2, 3]),    // partial on task 0, different skills
-            kv(nbits, &[6, 7]),    // strong on task 1
-            kv(nbits, &[8, 9]),    // partial on task 1, different skills
+            kv(nbits, &[0, 1]),   // strong on task 0
+            kv(nbits, &[2, 3]),   // partial on task 0, different skills
+            kv(nbits, &[6, 7]),   // strong on task 1
+            kv(nbits, &[8, 9]),   // partial on task 1, different skills
             kv(nbits, &[10, 11]), // irrelevant
         ];
         TeamInstance::new(

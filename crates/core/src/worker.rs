@@ -141,7 +141,8 @@ impl WorkerPool {
     /// Append a worker; the pool assigns the next dense [`WorkerId`].
     pub fn push(&mut self, keywords: KeywordVec, weights: Weights) -> WorkerId {
         let id = WorkerId(self.workers.len() as u32);
-        self.workers.push(Worker::new(id, keywords).with_weights(weights));
+        self.workers
+            .push(Worker::new(id, keywords).with_weights(weights));
         id
     }
 

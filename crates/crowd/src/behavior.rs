@@ -124,9 +124,7 @@ impl BehaviorConfig {
     /// worker's latent skill for the kind, `boredom` the current level.
     pub fn accuracy(&self, base_accuracy: f64, skill: f64, boredom: f64) -> f64 {
         let sat = self.boredom_saturation(boredom);
-        (base_accuracy
-            + self.skill_gain * (skill - 0.5)
-            + self.freshness_gain * (1.0 - boredom)
+        (base_accuracy + self.skill_gain * (skill - 0.5) + self.freshness_gain * (1.0 - boredom)
             - self.boredom_penalty * sat)
             .clamp(self.min_accuracy, self.max_accuracy)
     }
@@ -239,8 +237,14 @@ mod tests {
         let b2 = c.boredom_update(0.4, 0.05); // very different task
         assert!(b2 < 0.4);
         // Clamped to [0, 1].
-        assert_eq!(c.boredom_update(0.98, 1.0).min(1.0), c.boredom_update(0.98, 1.0));
-        assert_eq!(c.boredom_update(0.02, 0.0).max(0.0), c.boredom_update(0.02, 0.0));
+        assert_eq!(
+            c.boredom_update(0.98, 1.0).min(1.0),
+            c.boredom_update(0.98, 1.0)
+        );
+        assert_eq!(
+            c.boredom_update(0.02, 0.0).max(0.0),
+            c.boredom_update(0.02, 0.0)
+        );
     }
 
     #[test]
@@ -250,7 +254,10 @@ mod tests {
         for _ in 0..20 {
             b = c.boredom_update(b, 0.9);
         }
-        assert!(b > 0.9, "sustained similarity should saturate boredom, got {b}");
+        assert!(
+            b > 0.9,
+            "sustained similarity should saturate boredom, got {b}"
+        );
     }
 
     #[test]
@@ -265,7 +272,10 @@ mod tests {
             .map(|_| c.task_minutes(&mut rng, 1.0, 0.9, 0.9, 0.0, 0.0))
             .sum::<f64>()
             / 200.0;
-        assert!(diverse > similar * 1.15, "similar={similar} diverse={diverse}");
+        assert!(
+            diverse > similar * 1.15,
+            "similar={similar} diverse={diverse}"
+        );
     }
 
     #[test]
@@ -322,7 +332,10 @@ mod tests {
             .map(|_| c.task_minutes(&mut rng, 1.0, 0.3, 0.3, 0.9, 0.0))
             .sum::<f64>()
             / 200.0;
-        assert!(familiar < unfamiliar * 0.8, "familiar={familiar} unfamiliar={unfamiliar}");
+        assert!(
+            familiar < unfamiliar * 0.8,
+            "familiar={familiar} unfamiliar={unfamiliar}"
+        );
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub fn throughput_series(records: &[SessionRecord], limit_minutes: usize) -> Tim
     let mut minutes = Vec::with_capacity(limit_minutes);
     let mut values = Vec::with_capacity(limit_minutes);
     let mut acc = 0u64;
-    for m in 0..limit_minutes {
-        acc += counts[m];
+    for (m, &count) in counts.iter().enumerate() {
+        acc += count;
         minutes.push((m + 1) as f64);
         values.push(acc as f64);
     }
@@ -233,7 +233,7 @@ mod tests {
         assert_eq!(s.values[4], 75.0); // > 5 min: 3 of 4
         assert_eq!(s.values[19], 25.0); // > 20 min: only the 30.0 session
         assert_eq!(s.values[25], 25.0); // > 26 min: only the 30.0 session
-        // Monotonically non-increasing.
+                                        // Monotonically non-increasing.
         for w in s.values.windows(2) {
             assert!(w[0] >= w[1]);
         }

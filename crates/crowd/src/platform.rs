@@ -11,11 +11,12 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use hta_core::solver::HtaGre;
 use hta_core::{
     Instance, KeywordVec, Solver, Task, TaskId, WeightEstimator, Weights, Worker, WorkerId,
 };
-use hta_core::solver::HtaGre;
 use hta_datagen::crowdflower::{CrowdflowerCatalog, KINDS};
+use hta_index::{CandidateMode, CandidatePool, InvertedIndex, PoolParams};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -39,6 +40,12 @@ pub struct PlatformConfig {
     /// Cap on the number of available tasks considered per HTA solve (the
     /// service works on the current window of open tasks).
     pub max_instance_tasks: usize,
+    /// How the assignment service selects solver candidates.
+    /// [`CandidateMode::Full`] (the default) windows the open tasks, which
+    /// is what the paper's experiment calibration assumes;
+    /// [`CandidateMode::TopK`] retrieves per-worker top-k candidates from
+    /// the platform's inverted index instead.
+    pub candidates: CandidateMode,
     /// Scale of the noise in the worker's task-choice utility.
     pub choice_noise: f64,
     /// How many recent completions feed the marginal-diversity signal.
@@ -62,6 +69,7 @@ impl Default for PlatformConfig {
             session_minutes: 30.0,
             refill_below: 8,
             max_instance_tasks: 1200,
+            candidates: CandidateMode::Full,
             choice_noise: 0.15,
             diversity_memory: 8,
             adaptive_sharpening: 4.0,
@@ -149,9 +157,7 @@ impl SessionRecord {
         if self.completions.is_empty() {
             return 0.0;
         }
-        (self.earnings_cents.saturating_sub(10)) as f64
-            / 100.0
-            / self.completions.len() as f64
+        (self.earnings_cents.saturating_sub(10)) as f64 / 100.0 / self.completions.len() as f64
     }
 }
 
@@ -179,6 +185,10 @@ pub struct Platform<'c> {
     catalog: &'c CrowdflowerCatalog,
     cfg: PlatformConfig,
     available: Vec<bool>,
+    /// Inverted keyword index mirroring `available` — every flip goes
+    /// through [`Platform::open_task`]/[`Platform::take_task`], so the
+    /// sparse candidate path never rebuilds it.
+    index: InvertedIndex,
     solver: Box<dyn Solver>,
 }
 
@@ -194,12 +204,45 @@ impl<'c> Platform<'c> {
     /// produced relevance silos (they added 5 random tasks to break them),
     /// which is only consistent with the unflipped solution.
     pub fn new(catalog: &'c CrowdflowerCatalog, cfg: PlatformConfig) -> Self {
+        let pairs: Vec<(u32, &KeywordVec)> = catalog
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as u32, &t.task.keywords))
+            .collect();
+        let nbits = catalog.space.len();
+        let index = InvertedIndex::build(nbits, &pairs, hta_index::par::default_threads());
         Self {
             catalog,
             cfg,
             available: vec![true; catalog.tasks.len()],
+            index,
             solver: Box::new(HtaGre::structured().without_flip()),
         }
+    }
+
+    /// Return a task to the open pool, keeping the index in sync.
+    fn open_task(&mut self, idx: usize) {
+        if !self.available[idx] {
+            self.available[idx] = true;
+            self.index
+                .insert(idx as u32, &self.catalog.tasks[idx].task.keywords);
+        }
+    }
+
+    /// Take a task off the open pool, keeping the index in sync.
+    fn take_task(&mut self, idx: usize) {
+        if self.available[idx] {
+            self.available[idx] = false;
+            self.index.remove(idx as u32);
+        }
+    }
+
+    /// Number of open tasks held by the inverted index (equals
+    /// [`Platform::open_tasks`] by construction; exposed for invariants in
+    /// tests and monitoring).
+    pub fn indexed_open_tasks(&self) -> usize {
+        self.index.len()
     }
 
     /// Replace the assignment solver (ablations).
@@ -279,7 +322,10 @@ impl<'c> Platform<'c> {
         rng: &mut StdRng,
     ) -> Vec<SessionRecord> {
         assert_eq!(workers.len(), arrivals.len());
-        assert!(arrivals.iter().all(|&a| a >= 0.0), "arrivals must be non-negative");
+        assert!(
+            arrivals.iter().all(|&a| a >= 0.0),
+            "arrivals must be non-negative"
+        );
         let mut active: Vec<Active> = workers
             .iter()
             .zip(arrivals)
@@ -364,7 +410,11 @@ impl<'c> Platform<'c> {
             let now = now_global - active[slot].arrival; // session-relative
             if now >= self.cfg.session_minutes {
                 // The HIT clock ran out mid-task; the task does not count.
-                self.end_session(&mut active[slot], self.cfg.session_minutes, EndReason::TimeLimit);
+                self.end_session(
+                    &mut active[slot],
+                    self.cfg.session_minutes,
+                    EndReason::TimeLimit,
+                );
                 continue;
             }
             let task_idx = active[slot]
@@ -392,15 +442,12 @@ impl<'c> Platform<'c> {
             // and is replaced wholesale.
             if active[slot].display.len() < self.cfg.refill_below {
                 let needy: Vec<usize> = (0..active.len())
-                    .filter(|&s| {
-                        active[s].alive && active[s].display.len() < self.cfg.refill_below
-                    })
+                    .filter(|&s| active[s].alive && active[s].display.len() < self.cfg.refill_below)
                     .collect();
                 for &s in &needy {
-                    for &t in &active[s].display {
-                        self.available[t] = true;
+                    while let Some(t) = active[s].display.pop() {
+                        self.open_task(t);
                     }
-                    active[s].display.clear();
                 }
                 self.assign_iteration(strategy, &mut active, &needy, rng);
                 for &s in &needy {
@@ -437,12 +484,11 @@ impl<'c> Platform<'c> {
         a.record.end_reason = reason;
         // Tasks displayed but never completed go back to the open pool
         // (the platform re-posts them for other workers).
-        for &t in &a.display {
-            self.available[t] = true;
+        while let Some(t) = a.display.pop() {
+            self.open_task(t);
         }
-        a.display.clear();
         if let Some(p) = a.pending.take() {
-            self.available[p] = true;
+            self.open_task(p);
         }
     }
 
@@ -459,11 +505,7 @@ impl<'c> Platform<'c> {
     /// disengagement quit hazard.
     fn choose_task(&self, a: &Active, rng: &mut StdRng) -> (usize, f64) {
         debug_assert!(!a.display.is_empty());
-        let recent_len = a
-            .completed
-            .len()
-            .min(self.cfg.diversity_memory)
-            .max(1) as f64;
+        let recent_len = a.completed.len().min(self.cfg.diversity_memory).max(1) as f64;
         let mdivs: Vec<f64> = a
             .display
             .iter()
@@ -476,7 +518,11 @@ impl<'c> Platform<'c> {
         for (i, &t) in a.display.iter().enumerate() {
             // Display-relative novelty for the choice; fully novel when
             // there is no history yet.
-            let nd_rel = if max_mdiv > 0.0 { mdivs[i] / max_mdiv } else { 1.0 };
+            let nd_rel = if max_mdiv > 0.0 {
+                mdivs[i] / max_mdiv
+            } else {
+                1.0
+            };
             // Absolute novelty for satisfaction.
             let nd_abs = if a.completed.is_empty() {
                 1.0
@@ -490,8 +536,7 @@ impl<'c> Platform<'c> {
             if u > best_u {
                 best_u = u;
                 best = t;
-                best_match =
-                    a.worker.latent_alpha * nd_abs + (1.0 - a.worker.latent_alpha) * rel;
+                best_match = a.worker.latent_alpha * nd_abs + (1.0 - a.worker.latent_alpha) * rel;
             }
         }
         (best, best_match)
@@ -614,7 +659,7 @@ impl<'c> Platform<'c> {
         for _ in 0..count.min(open.len()) {
             let pick = rng.random_range(0..open.len());
             let idx = open.swap_remove(pick);
-            self.available[idx] = false;
+            self.take_task(idx);
             a.display.push(idx);
         }
     }
@@ -643,20 +688,50 @@ impl<'c> Platform<'c> {
             }
             return;
         }
-        // Window of open tasks.
-        let mut open: Vec<usize> = (0..self.available.len())
-            .filter(|&i| self.available[i])
+        let local_workers: Vec<Worker> = slots
+            .iter()
+            .enumerate()
+            .map(|(li, &slot)| {
+                let a = &active[slot];
+                let weights = strategy.fixed_weights().unwrap_or_else(|| {
+                    let est = a.estimator.estimate();
+                    let alpha =
+                        (0.5 + self.cfg.adaptive_sharpening * (est.alpha() - 0.5)).clamp(0.0, 1.0);
+                    Weights::from_alpha(alpha)
+                });
+                Worker::new(WorkerId(li as u32), a.worker.keywords.clone()).with_weights(weights)
+            })
             .collect();
+
+        // Candidate selection over the open tasks.
+        let open: Vec<usize> = match self.cfg.candidates {
+            CandidateMode::Full => {
+                // Dense window, uniformly sampled when oversized.
+                let mut open: Vec<usize> = (0..self.available.len())
+                    .filter(|&i| self.available[i])
+                    .collect();
+                if open.len() > self.cfg.max_instance_tasks {
+                    // Uniform sample without replacement (partial Fisher-Yates).
+                    for i in 0..self.cfg.max_instance_tasks {
+                        let j = rng.random_range(i..open.len());
+                        open.swap(i, j);
+                    }
+                    open.truncate(self.cfg.max_instance_tasks);
+                }
+                open
+            }
+            CandidateMode::TopK(k) => {
+                let pool = CandidatePool::generate(
+                    &self.index,
+                    &local_workers,
+                    self.cfg.xmax,
+                    &PoolParams::with_k(k),
+                );
+                pool.members().iter().map(|&t| t as usize).collect()
+            }
+        };
         if open.is_empty() {
             return;
-        }
-        if open.len() > self.cfg.max_instance_tasks {
-            // Uniform sample without replacement via partial Fisher-Yates.
-            for i in 0..self.cfg.max_instance_tasks {
-                let j = rng.random_range(i..open.len());
-                open.swap(i, j);
-            }
-            open.truncate(self.cfg.max_instance_tasks);
         }
 
         let local_tasks: Vec<Task> = open
@@ -665,21 +740,6 @@ impl<'c> Platform<'c> {
             .map(|(li, &ci)| {
                 let t = &self.catalog.tasks[ci].task;
                 Task::new(TaskId(li as u32), t.group, t.keywords.clone())
-            })
-            .collect();
-        let local_workers: Vec<Worker> = slots
-            .iter()
-            .enumerate()
-            .map(|(li, &slot)| {
-                let a = &active[slot];
-                let weights = strategy.fixed_weights().unwrap_or_else(|| {
-                    let est = a.estimator.estimate();
-                    let alpha = (0.5 + self.cfg.adaptive_sharpening * (est.alpha() - 0.5))
-                        .clamp(0.0, 1.0);
-                    Weights::from_alpha(alpha)
-                });
-                Worker::new(WorkerId(li as u32), a.worker.keywords.clone())
-                    .with_weights(weights)
             })
             .collect();
 
@@ -692,7 +752,7 @@ impl<'c> Platform<'c> {
             for &local in out.assignment.tasks_of(li) {
                 let ci = open[local];
                 debug_assert!(self.available[ci]);
-                self.available[ci] = false;
+                self.take_task(ci);
                 active[slot].display.push(ci);
             }
             active[slot].iterations += 1;
@@ -827,6 +887,58 @@ mod tests {
         let refs: Vec<&LiveWorker> = pop.iter().collect();
         let mut rng = StdRng::seed_from_u64(1);
         let _ = platform.run_cohort_with_arrivals(Strategy::Random, &refs, &[-1.0], &mut rng);
+    }
+
+    #[test]
+    fn sparse_candidates_run_valid_cohorts() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 4,
+                ..Default::default()
+            },
+        );
+        let cfg = PlatformConfig {
+            candidates: CandidateMode::TopK(20),
+            ..Default::default()
+        };
+        let mut platform = Platform::new(&catalog, cfg);
+        assert_eq!(platform.indexed_open_tasks(), platform.open_tasks());
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let mut rng = StdRng::seed_from_u64(13);
+        let records = platform.run_cohort(Strategy::HtaGre, &refs, &mut rng);
+        assert_eq!(records.len(), 4);
+        // Sessions behave like the dense platform: tasks complete, no task
+        // is done twice, and the cohort gets real work through.
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for r in &records {
+            for c in &r.completions {
+                assert!(seen.insert(c.task_index), "task completed twice");
+            }
+            total += r.n_completed();
+        }
+        assert!(total > 20, "only {total} completions under sparse mode");
+        // Every availability flip went through the index.
+        assert_eq!(platform.indexed_open_tasks(), platform.open_tasks());
+    }
+
+    #[test]
+    fn index_mirrors_availability_in_dense_mode_too() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 3,
+                ..Default::default()
+            },
+        );
+        let mut platform = Platform::new(&catalog, PlatformConfig::default());
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let mut rng = StdRng::seed_from_u64(17);
+        let _ = platform.run_cohort(Strategy::HtaGreRel, &refs, &mut rng);
+        assert_eq!(platform.indexed_open_tasks(), platform.open_tasks());
     }
 
     #[test]

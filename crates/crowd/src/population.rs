@@ -6,9 +6,9 @@
 //! adaptive strategy tries to estimate. This module generates such worker
 //! profiles deterministically.
 
+use hta_core::KeywordSpace;
 use hta_core::KeywordVec;
 use hta_datagen::crowdflower::KINDS;
-use hta_core::KeywordSpace;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -66,8 +66,9 @@ pub fn generate(space: &KeywordSpace, cfg: &PopulationConfig) -> Vec<LiveWorker>
             let n_kw = rng.random_range(kmin..=kmax);
             let mut chosen: Vec<usize> = Vec::with_capacity(n_kw);
             let n_fav = rng.random_range(2..=3usize);
-            let favourites: Vec<usize> =
-                (0..n_fav).map(|_| rng.random_range(0..KINDS.len())).collect();
+            let favourites: Vec<usize> = (0..n_fav)
+                .map(|_| rng.random_range(0..KINDS.len()))
+                .collect();
             for &f in &favourites {
                 for kw in KINDS[f].keywords {
                     if chosen.len() >= n_kw {
@@ -95,11 +96,7 @@ pub fn generate(space: &KeywordSpace, cfg: &PopulationConfig) -> Vec<LiveWorker>
                     let overlap = kind
                         .keywords
                         .iter()
-                        .filter(|kw| {
-                            space
-                                .get(kw)
-                                .is_some_and(|id| keywords.get(id.0 as usize))
-                        })
+                        .filter(|kw| space.get(kw).is_some_and(|id| keywords.get(id.0 as usize)))
                         .count() as f64
                         / kind.keywords.len() as f64;
                     (0.35 + 0.3 * rng.random::<f64>() + 0.35 * overlap).clamp(0.0, 1.0)
@@ -136,7 +133,10 @@ mod tests {
         let pop = generate(&s, &PopulationConfig::default());
         assert_eq!(pop.len(), 58);
         for w in &pop {
-            assert!(w.keywords.count_ones() >= 6, "worker must pick >= 6 keywords");
+            assert!(
+                w.keywords.count_ones() >= 6,
+                "worker must pick >= 6 keywords"
+            );
             assert_eq!(w.skill.len(), 22);
             assert!((0.0..=1.0).contains(&w.latent_alpha));
             assert!(w.speed >= 0.75 && w.speed <= 1.25);
@@ -163,9 +163,10 @@ mod tests {
         let mut without = Vec::new();
         for w in &pop {
             for (ki, kind) in KINDS.iter().enumerate() {
-                let overlap = kind.keywords.iter().any(|kw| {
-                    s.get(kw).is_some_and(|id| w.keywords.get(id.0 as usize))
-                });
+                let overlap = kind
+                    .keywords
+                    .iter()
+                    .any(|kw| s.get(kw).is_some_and(|id| w.keywords.get(id.0 as usize)));
                 if overlap {
                     with_overlap.push(w.skill[ki]);
                 } else {

@@ -46,12 +46,23 @@ pub fn markdown(results: &OnlineResults) -> String {
     let best_throughput = best_by(|s| t(s) as f64);
     let best_retention = best_by(ret);
     let _ = writeln!(out, "* best crowdwork quality: **{}**", best_quality.name());
-    let _ = writeln!(out, "* best task throughput: **{}**", best_throughput.name());
-    let _ = writeln!(out, "* best worker retention: **{}**", best_retention.name());
+    let _ = writeln!(
+        out,
+        "* best task throughput: **{}**",
+        best_throughput.name()
+    );
+    let _ = writeln!(
+        out,
+        "* best worker retention: **{}**",
+        best_retention.name()
+    );
 
     // ---- significance matrix ----------------------------------------------
     let _ = writeln!(out, "\n## Significance (one-sided p-values)\n");
-    let _ = writeln!(out, "| comparison | quality (Z) | tasks (MWU) | duration (MWU) |");
+    let _ = writeln!(
+        out,
+        "| comparison | quality (Z) | tasks (MWU) | duration (MWU) |"
+    );
     let _ = writeln!(out, "|---|---|---|---|");
     let pairs = [
         (Strategy::HtaGreDiv, Strategy::HtaGre),

@@ -33,28 +33,160 @@ pub struct TaskKind {
 /// The 22 kinds, modelled on the examples the paper names plus common
 /// CrowdFlower catalog entries.
 pub const KINDS: &[TaskKind] = &[
-    TaskKind { index: 0, name: "tweet-classification", keywords: &["tweets", "classification", "english", "social"], reward_cents: (1, 4), base_accuracy_pct: 82 },
-    TaskKind { index: 1, name: "web-search-relevance", keywords: &["search", "web-research", "relevance", "english"], reward_cents: (2, 6), base_accuracy_pct: 76 },
-    TaskKind { index: 2, name: "image-transcription", keywords: &["image", "transcription", "ocr", "typing"], reward_cents: (3, 8), base_accuracy_pct: 74 },
-    TaskKind { index: 3, name: "sentiment-analysis", keywords: &["sentiment-analysis", "english", "reviews"], reward_cents: (1, 4), base_accuracy_pct: 80 },
-    TaskKind { index: 4, name: "entity-resolution", keywords: &["entity-resolution", "product-matching", "dedup"], reward_cents: (4, 10), base_accuracy_pct: 70 },
-    TaskKind { index: 5, name: "news-extraction", keywords: &["news", "extraction", "english", "annotation"], reward_cents: (3, 9), base_accuracy_pct: 72 },
-    TaskKind { index: 6, name: "audio-transcription", keywords: &["audio", "transcription", "english", "speech"], reward_cents: (5, 12), base_accuracy_pct: 68 },
-    TaskKind { index: 7, name: "image-tagging", keywords: &["image", "tagging", "photos", "annotation"], reward_cents: (1, 5), base_accuracy_pct: 84 },
-    TaskKind { index: 8, name: "street-view-labeling", keywords: &["street-view", "maps", "image", "labeling"], reward_cents: (2, 6), base_accuracy_pct: 78 },
-    TaskKind { index: 9, name: "receipt-digitization", keywords: &["receipts", "ocr", "typing", "shopping"], reward_cents: (4, 10), base_accuracy_pct: 71 },
-    TaskKind { index: 10, name: "product-categorization", keywords: &["categorization", "shopping", "retail"], reward_cents: (2, 6), base_accuracy_pct: 79 },
-    TaskKind { index: 11, name: "video-moderation", keywords: &["video", "moderation", "classification"], reward_cents: (3, 9), base_accuracy_pct: 75 },
-    TaskKind { index: 12, name: "survey-completion", keywords: &["survey", "data-collection", "english"], reward_cents: (5, 12), base_accuracy_pct: 86 },
-    TaskKind { index: 13, name: "translation-check", keywords: &["translation", "spanish", "english", "verification"], reward_cents: (4, 11), base_accuracy_pct: 69 },
-    TaskKind { index: 14, name: "medical-coding", keywords: &["medical", "annotation", "classification"], reward_cents: (6, 12), base_accuracy_pct: 64 },
-    TaskKind { index: 15, name: "legal-document-tagging", keywords: &["legal", "annotation", "english"], reward_cents: (6, 12), base_accuracy_pct: 65 },
-    TaskKind { index: 16, name: "sports-trivia-verification", keywords: &["sports", "verification", "qa"], reward_cents: (1, 4), base_accuracy_pct: 83 },
-    TaskKind { index: 17, name: "restaurant-matching", keywords: &["food", "product-matching", "maps"], reward_cents: (2, 7), base_accuracy_pct: 77 },
-    TaskKind { index: 18, name: "music-genre-tagging", keywords: &["music", "tagging", "classification"], reward_cents: (1, 5), base_accuracy_pct: 81 },
-    TaskKind { index: 19, name: "travel-review-rating", keywords: &["travel", "reviews", "ratings", "english"], reward_cents: (2, 6), base_accuracy_pct: 80 },
-    TaskKind { index: 20, name: "finance-news-sentiment", keywords: &["finance", "news", "sentiment-analysis"], reward_cents: (3, 8), base_accuracy_pct: 73 },
-    TaskKind { index: 21, name: "photo-quality-rating", keywords: &["photos", "ratings", "image"], reward_cents: (1, 4), base_accuracy_pct: 85 },
+    TaskKind {
+        index: 0,
+        name: "tweet-classification",
+        keywords: &["tweets", "classification", "english", "social"],
+        reward_cents: (1, 4),
+        base_accuracy_pct: 82,
+    },
+    TaskKind {
+        index: 1,
+        name: "web-search-relevance",
+        keywords: &["search", "web-research", "relevance", "english"],
+        reward_cents: (2, 6),
+        base_accuracy_pct: 76,
+    },
+    TaskKind {
+        index: 2,
+        name: "image-transcription",
+        keywords: &["image", "transcription", "ocr", "typing"],
+        reward_cents: (3, 8),
+        base_accuracy_pct: 74,
+    },
+    TaskKind {
+        index: 3,
+        name: "sentiment-analysis",
+        keywords: &["sentiment-analysis", "english", "reviews"],
+        reward_cents: (1, 4),
+        base_accuracy_pct: 80,
+    },
+    TaskKind {
+        index: 4,
+        name: "entity-resolution",
+        keywords: &["entity-resolution", "product-matching", "dedup"],
+        reward_cents: (4, 10),
+        base_accuracy_pct: 70,
+    },
+    TaskKind {
+        index: 5,
+        name: "news-extraction",
+        keywords: &["news", "extraction", "english", "annotation"],
+        reward_cents: (3, 9),
+        base_accuracy_pct: 72,
+    },
+    TaskKind {
+        index: 6,
+        name: "audio-transcription",
+        keywords: &["audio", "transcription", "english", "speech"],
+        reward_cents: (5, 12),
+        base_accuracy_pct: 68,
+    },
+    TaskKind {
+        index: 7,
+        name: "image-tagging",
+        keywords: &["image", "tagging", "photos", "annotation"],
+        reward_cents: (1, 5),
+        base_accuracy_pct: 84,
+    },
+    TaskKind {
+        index: 8,
+        name: "street-view-labeling",
+        keywords: &["street-view", "maps", "image", "labeling"],
+        reward_cents: (2, 6),
+        base_accuracy_pct: 78,
+    },
+    TaskKind {
+        index: 9,
+        name: "receipt-digitization",
+        keywords: &["receipts", "ocr", "typing", "shopping"],
+        reward_cents: (4, 10),
+        base_accuracy_pct: 71,
+    },
+    TaskKind {
+        index: 10,
+        name: "product-categorization",
+        keywords: &["categorization", "shopping", "retail"],
+        reward_cents: (2, 6),
+        base_accuracy_pct: 79,
+    },
+    TaskKind {
+        index: 11,
+        name: "video-moderation",
+        keywords: &["video", "moderation", "classification"],
+        reward_cents: (3, 9),
+        base_accuracy_pct: 75,
+    },
+    TaskKind {
+        index: 12,
+        name: "survey-completion",
+        keywords: &["survey", "data-collection", "english"],
+        reward_cents: (5, 12),
+        base_accuracy_pct: 86,
+    },
+    TaskKind {
+        index: 13,
+        name: "translation-check",
+        keywords: &["translation", "spanish", "english", "verification"],
+        reward_cents: (4, 11),
+        base_accuracy_pct: 69,
+    },
+    TaskKind {
+        index: 14,
+        name: "medical-coding",
+        keywords: &["medical", "annotation", "classification"],
+        reward_cents: (6, 12),
+        base_accuracy_pct: 64,
+    },
+    TaskKind {
+        index: 15,
+        name: "legal-document-tagging",
+        keywords: &["legal", "annotation", "english"],
+        reward_cents: (6, 12),
+        base_accuracy_pct: 65,
+    },
+    TaskKind {
+        index: 16,
+        name: "sports-trivia-verification",
+        keywords: &["sports", "verification", "qa"],
+        reward_cents: (1, 4),
+        base_accuracy_pct: 83,
+    },
+    TaskKind {
+        index: 17,
+        name: "restaurant-matching",
+        keywords: &["food", "product-matching", "maps"],
+        reward_cents: (2, 7),
+        base_accuracy_pct: 77,
+    },
+    TaskKind {
+        index: 18,
+        name: "music-genre-tagging",
+        keywords: &["music", "tagging", "classification"],
+        reward_cents: (1, 5),
+        base_accuracy_pct: 81,
+    },
+    TaskKind {
+        index: 19,
+        name: "travel-review-rating",
+        keywords: &["travel", "reviews", "ratings", "english"],
+        reward_cents: (2, 6),
+        base_accuracy_pct: 80,
+    },
+    TaskKind {
+        index: 20,
+        name: "finance-news-sentiment",
+        keywords: &["finance", "news", "sentiment-analysis"],
+        reward_cents: (3, 8),
+        base_accuracy_pct: 73,
+    },
+    TaskKind {
+        index: 21,
+        name: "photo-quality-rating",
+        keywords: &["photos", "ratings", "image"],
+        reward_cents: (1, 4),
+        base_accuracy_pct: 85,
+    },
 ];
 
 /// A multiple-choice question with ground truth (the paper scores quality

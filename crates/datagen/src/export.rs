@@ -44,7 +44,11 @@ pub fn tasks_to_csv(space: &KeywordSpace, tasks: &TaskPool) -> String {
     out.push_str(HEADER);
     out.push('\n');
     for t in tasks.tasks() {
-        let kws: Vec<&str> = t.keywords.iter_ones().map(|i| space.name(hta_core::KeywordId(i as u32))).collect();
+        let kws: Vec<&str> = t
+            .keywords
+            .iter_ones()
+            .map(|i| space.name(hta_core::KeywordId(i as u32)))
+            .collect();
         let _ = writeln!(
             out,
             "{},{},{},{}",
@@ -238,10 +242,7 @@ pub fn workers_to_csv(space: &KeywordSpace, workers: &WorkerPool) -> String {
 /// one reconstructed from the task CSV). Unknown keywords are interned into
 /// `space`, widening the universe; re-widen task vectors afterwards if that
 /// happens (see [`KeywordSpace::widen`]).
-pub fn workers_from_csv(
-    space: &mut KeywordSpace,
-    csv: &str,
-) -> Result<WorkerPool, ParseError> {
+pub fn workers_from_csv(space: &mut KeywordSpace, csv: &str) -> Result<WorkerPool, ParseError> {
     let mut lines = csv.lines().enumerate();
     match lines.next() {
         Some((_, h)) if h.trim() == WORKER_HEADER => {}
@@ -302,8 +303,8 @@ pub fn workers_from_csv(
 #[cfg(test)]
 mod worker_csv_tests {
     use super::*;
-    use crate::workers::{synthetic_workers, SyntheticWorkerConfig};
     use crate::vocab::build_vocabulary;
+    use crate::workers::{synthetic_workers, SyntheticWorkerConfig};
 
     #[test]
     fn worker_roundtrip() {

@@ -10,28 +10,92 @@ use hta_core::KeywordSpace;
 /// Real-world keywords that dominate AMT/CrowdFlower listings. These occupy
 /// the lowest ranks, so Zipf-distributed keyword draws use them most often.
 pub const SEED_KEYWORDS: &[&str] = &[
-    "english", "survey", "data-collection", "audio", "transcription",
-    "image", "tagging", "sentiment-analysis", "tweets", "classification",
-    "news", "video", "annotation", "search", "web-research",
-    "categorization", "writing", "translation", "moderation", "receipts",
-    "entity-resolution", "product-matching", "speech", "ocr", "street-view",
-    "medical", "legal", "sports", "finance", "music",
-    "photos", "qa", "spanish", "french", "german",
-    "reviews", "ratings", "shopping", "travel", "food",
+    "english",
+    "survey",
+    "data-collection",
+    "audio",
+    "transcription",
+    "image",
+    "tagging",
+    "sentiment-analysis",
+    "tweets",
+    "classification",
+    "news",
+    "video",
+    "annotation",
+    "search",
+    "web-research",
+    "categorization",
+    "writing",
+    "translation",
+    "moderation",
+    "receipts",
+    "entity-resolution",
+    "product-matching",
+    "speech",
+    "ocr",
+    "street-view",
+    "medical",
+    "legal",
+    "sports",
+    "finance",
+    "music",
+    "photos",
+    "qa",
+    "spanish",
+    "french",
+    "german",
+    "reviews",
+    "ratings",
+    "shopping",
+    "travel",
+    "food",
 ];
 
 const DOMAINS: &[&str] = &[
-    "retail", "social", "maps", "books", "movies", "health", "auto",
-    "fashion", "gaming", "crypto", "weather", "jobs", "realestate",
-    "science", "politics", "education", "pets", "gardening", "fitness",
+    "retail",
+    "social",
+    "maps",
+    "books",
+    "movies",
+    "health",
+    "auto",
+    "fashion",
+    "gaming",
+    "crypto",
+    "weather",
+    "jobs",
+    "realestate",
+    "science",
+    "politics",
+    "education",
+    "pets",
+    "gardening",
+    "fitness",
     "photography",
 ];
 
 const MODIFIERS: &[&str] = &[
-    "labeling", "verification", "extraction", "dedup", "sorting", "rating",
-    "captioning", "segmentation", "linking", "cleanup", "summarization",
-    "comparison", "detection", "lookup", "typing", "listing", "counting",
-    "matching", "grading", "screening",
+    "labeling",
+    "verification",
+    "extraction",
+    "dedup",
+    "sorting",
+    "rating",
+    "captioning",
+    "segmentation",
+    "linking",
+    "cleanup",
+    "summarization",
+    "comparison",
+    "detection",
+    "lookup",
+    "typing",
+    "listing",
+    "counting",
+    "matching",
+    "grading",
+    "screening",
 ];
 
 /// Build a [`KeywordSpace`] of exactly `size` keywords: the seed list first,

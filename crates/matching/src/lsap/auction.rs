@@ -74,8 +74,8 @@ pub fn solve_with_options(profits: &impl CostMatrix, opts: AuctionOptions) -> Ls
             let mut best_j = 0usize;
             let mut best = f64::NEG_INFINITY;
             let mut second = f64::NEG_INFINITY;
-            for j in 0..n {
-                let m = profits.cost(i, j) - prices[j];
+            for (j, &pj) in prices.iter().enumerate() {
+                let m = profits.cost(i, j) - pj;
                 if m > best {
                     second = best;
                     best = m;
@@ -85,7 +85,11 @@ pub fn solve_with_options(profits: &impl CostMatrix, opts: AuctionOptions) -> Ls
                 }
             }
             // n == 1: no second choice, bid eps over own margin.
-            let bid_increment = if second.is_finite() { best - second } else { 0.0 } + eps;
+            let bid_increment = if second.is_finite() {
+                best - second
+            } else {
+                0.0
+            } + eps;
             prices[best_j] += bid_increment;
 
             let evicted = col_to_row[best_j];

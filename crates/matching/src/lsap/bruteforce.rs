@@ -62,11 +62,7 @@ mod tests {
 
     #[test]
     fn three_by_three() {
-        let m = DenseMatrix::from_rows(&[
-            [1.0, 2.0, 3.0],
-            [3.0, 1.0, 2.0],
-            [2.0, 3.0, 1.0],
-        ]);
+        let m = DenseMatrix::from_rows(&[[1.0, 2.0, 3.0], [3.0, 1.0, 2.0], [2.0, 3.0, 1.0]]);
         let s = solve(&m);
         assert_eq!(s.value, 9.0);
     }

@@ -120,7 +120,12 @@ mod tests {
         for m in &cases {
             let s = solve(m);
             let opt = bruteforce::solve(m);
-            assert!((s.value - opt.value).abs() < 1e-9, "{} vs {}", s.value, opt.value);
+            assert!(
+                (s.value - opt.value).abs() < 1e-9,
+                "{} vs {}",
+                s.value,
+                opt.value
+            );
         }
     }
 

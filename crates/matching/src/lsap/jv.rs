@@ -92,9 +92,9 @@ pub fn solve_with_stats(profits: &impl CostMatrix) -> JvStats {
             1 => {
                 let j1 = x[i];
                 let mut min = f64::INFINITY;
-                for j in 0..n {
+                for (j, &vj) in v.iter().enumerate() {
                     if j != j1 {
-                        let red = cost(i, j) - v[j];
+                        let red = cost(i, j) - vj;
                         if red < min {
                             min = red;
                         }
@@ -155,8 +155,8 @@ fn augmenting_row_reduction(
         let mut j1 = 0usize;
         let mut usubmin = f64::INFINITY;
         let mut j2 = UNASSIGNED;
-        for j in 1..n {
-            let h = cost(free_i, j) - v[j];
+        for (j, &vj) in v.iter().enumerate().skip(1) {
+            let h = cost(free_i, j) - vj;
             if h < usubmin {
                 if h >= umin {
                     usubmin = h;
@@ -207,6 +207,9 @@ fn augmenting_row_reduction(
 
 /// Dijkstra-style shortest augmenting path from free row `f`, followed by the
 /// potential update and augmentation (the `O(n²)` core step of JV).
+// The frontier scan swaps entries of `col` while iterating and extends `up`
+// past the captured range bound on purpose (classic JV partition invariant).
+#[allow(clippy::needless_range_loop, clippy::mut_range_bound)]
 fn shortest_augmenting_path(
     n: usize,
     cost: &impl Fn(usize, usize) -> f64,
@@ -319,11 +322,7 @@ mod tests {
 
     #[test]
     fn diagonal_dominant() {
-        let m = DenseMatrix::from_rows(&[
-            [9.0, 1.0, 1.0],
-            [1.0, 9.0, 1.0],
-            [1.0, 1.0, 9.0],
-        ]);
+        let m = DenseMatrix::from_rows(&[[9.0, 1.0, 1.0], [1.0, 9.0, 1.0], [1.0, 1.0, 9.0]]);
         let s = solve(&m);
         assert_eq!(s.assignment, vec![0, 1, 2]);
         assert_eq!(s.value, 27.0);
@@ -331,11 +330,7 @@ mod tests {
 
     #[test]
     fn anti_diagonal_optimal() {
-        let m = DenseMatrix::from_rows(&[
-            [0.0, 0.0, 5.0],
-            [0.0, 5.0, 0.0],
-            [5.0, 0.0, 0.0],
-        ]);
+        let m = DenseMatrix::from_rows(&[[0.0, 0.0, 5.0], [0.0, 5.0, 0.0], [5.0, 0.0, 0.0]]);
         let s = solve(&m);
         assert_eq!(s.assignment, vec![2, 1, 0]);
         assert_eq!(s.value, 15.0);
@@ -371,11 +366,7 @@ mod tests {
                 [1.0, 0.0, 4.0, 1.0],
                 [2.0, 2.0, 2.0, 2.0],
             ]),
-            DenseMatrix::from_rows(&[
-                [0.848, 0.1, 0.0],
-                [0.2, 0.9, 0.3],
-                [0.5, 0.5, 0.5],
-            ]),
+            DenseMatrix::from_rows(&[[0.848, 0.1, 0.0], [0.2, 0.9, 0.3], [0.5, 0.5, 0.5]]),
         ];
         for m in &cases {
             let s = solve(m);

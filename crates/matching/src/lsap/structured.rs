@@ -145,11 +145,7 @@ mod tests {
     #[test]
     fn dense_matrix_degenerates_to_exact_lsap() {
         // With n_classes == n this is plain exact LSAP.
-        let m = DenseMatrix::from_rows(&[
-            [3.0, 1.0, 0.0],
-            [0.0, 2.0, 1.0],
-            [1.0, 0.0, 4.0],
-        ]);
+        let m = DenseMatrix::from_rows(&[[3.0, 1.0, 0.0], [0.0, 2.0, 1.0], [1.0, 0.0, 4.0]]);
         let s = solve(&m);
         let opt = jv::solve(&m);
         assert!((s.value - opt.value).abs() < 1e-9);
@@ -176,13 +172,18 @@ mod tests {
         // Mimic the HTA shape: class 0 is profitable but small, class 1 is a
         // large all-zero sink.
         let classes = vec![0u32, 1, 1, 1];
-        let cc = ClassedCosts::new(4, 2, classes, |r, c| {
-            if c == 0 {
-                (4 - r) as f64
-            } else {
-                0.0
-            }
-        });
+        let cc = ClassedCosts::new(
+            4,
+            2,
+            classes,
+            |r, c| {
+                if c == 0 {
+                    (4 - r) as f64
+                } else {
+                    0.0
+                }
+            },
+        );
         let s = solve(&cc);
         // Best row for class 0 is row 0 (profit 4), rest go to the sink.
         assert_eq!(s.value, 4.0);

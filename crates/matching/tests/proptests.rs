@@ -1,7 +1,9 @@
 //! Property-based tests for the matching substrate.
 
 use hta_matching::lsap::{auction, bruteforce, greedy as lsap_greedy, hungarian, jv, structured};
-use hta_matching::{greedy_matching, ClassedCosts, CostMatrix, DenseMatrix, LsapSolution, WeightedEdge};
+use hta_matching::{
+    greedy_matching, ClassedCosts, CostMatrix, DenseMatrix, LsapSolution, WeightedEdge,
+};
 use proptest::prelude::*;
 
 /// Random small profit matrix with non-negative entries (the HTA profit

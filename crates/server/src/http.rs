@@ -75,8 +75,7 @@ pub fn url_decode(s: &str) -> String {
             }
             b'%' if i + 3 <= bytes.len() => {
                 let hex = bytes.get(i + 1..i + 3);
-                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
-                {
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
                     Some(b) => {
                         out.push(b);
                         i += 3;

@@ -43,7 +43,10 @@ fn main() {
         std::process::exit(1);
     });
     println!("hta platform service listening on http://{}", server.addr());
-    println!("try: curl -X POST 'http://{}/register?keywords=english;audio'", server.addr());
+    println!(
+        "try: curl -X POST 'http://{}/register?keywords=english;audio'",
+        server.addr()
+    );
 
     // Serve until interrupted.
     loop {

@@ -163,10 +163,7 @@ mod tests {
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 std::thread::spawn(move || {
-                    request(
-                        addr,
-                        &format!("POST /register?keywords=worker{i} HTTP/1.1"),
-                    )
+                    request(addr, &format!("POST /register?keywords=worker{i} HTTP/1.1"))
                 })
             })
             .collect();

@@ -112,8 +112,8 @@ fn task_info(state: &PlatformState, req: &Request) -> Response {
 fn stats(state: &PlatformState) -> Response {
     let s = state.stats();
     Response::ok(format!(
-        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{}}}",
-        s.workers, s.open_tasks, s.assigned_tasks, s.completed_tasks
+        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{}}}",
+        s.workers, s.open_tasks, s.assigned_tasks, s.completed_tasks, s.indexed_tasks
     ))
 }
 
@@ -154,14 +154,7 @@ mod tests {
         assert_eq!(r.status, 200);
         assert!(r.body.contains("\"tasks\":["));
         // Extract the first assigned task id from the JSON.
-        let ids = r
-            .body
-            .split('[')
-            .nth(1)
-            .unwrap()
-            .split(']')
-            .next()
-            .unwrap();
+        let ids = r.body.split('[').nth(1).unwrap().split(']').next().unwrap();
         let first: usize = ids.split(',').next().unwrap().parse().unwrap();
 
         let r = handle(
@@ -187,7 +180,10 @@ mod tests {
         assert_eq!(handle(&s, &req("POST", "/assign", "")).status, 400);
         assert_eq!(handle(&s, &req("POST", "/assign", "worker=9")).status, 404);
         assert_eq!(handle(&s, &req("POST", "/register", "")).status, 400);
-        assert_eq!(handle(&s, &req("POST", "/register", "keywords=")).status, 400);
+        assert_eq!(
+            handle(&s, &req("POST", "/register", "keywords=")).status,
+            400
+        );
         let _ = handle(&s, &req("POST", "/register", "keywords=a"));
         assert_eq!(
             handle(&s, &req("POST", "/complete", "worker=0&task=3")).status,

@@ -1,8 +1,7 @@
 //! The platform's shared state: the task pool, registered workers with
-//! their adaptive weight estimators, and the assignment ledger — the data
-//! behind the Figure 4 workflow.
+//! their adaptive weight estimators, the inverted keyword index over open
+//! tasks, and the assignment ledger — the data behind the Figure 4 workflow.
 
-use std::collections::HashMap;
 use std::sync::Mutex;
 
 use hta_core::adaptive::WeightEstimator;
@@ -10,6 +9,7 @@ use hta_core::solver::HtaGre;
 use hta_core::{
     Instance, KeywordSpace, KeywordVec, Solver, Task, TaskId, TaskPool, Weights, Worker, WorkerId,
 };
+use hta_index::{CandidateMode, CandidatePool, InvertedIndex, PoolParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,16 +28,18 @@ struct WorkerState {
 pub struct AssignResult {
     /// Newly assigned catalog task indices.
     pub tasks: Vec<usize>,
-    /// The weights used for the solve.
+    /// The diversity weight used for the solve.
     pub alpha: f64,
+    /// The relevance weight used for the solve.
     pub beta: f64,
 }
 
 /// Result of a completion call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompleteResult {
-    /// Updated weight estimate after observing the completion.
+    /// Updated diversity-weight estimate after observing the completion.
     pub alpha: f64,
+    /// Updated relevance-weight estimate after observing the completion.
     pub beta: f64,
     /// Tasks remaining on the worker's display.
     pub remaining: usize,
@@ -54,6 +56,9 @@ pub struct Stats {
     pub assigned_tasks: usize,
     /// Completed tasks.
     pub completed_tasks: usize,
+    /// Open tasks currently held by the inverted index (always equals
+    /// `open_tasks` — surfaced so operators can spot index drift).
+    pub indexed_tasks: usize,
 }
 
 /// Errors surfaced to the HTTP layer.
@@ -96,14 +101,38 @@ struct Inner {
     workers: Vec<WorkerState>,
     rng: StdRng,
     xmax: usize,
-    /// Cap on the open-task window per solve.
+    /// Cap on the open-task window per solve (dense mode only).
     max_instance_tasks: usize,
+    /// Inverted keyword index over the open tasks, maintained incrementally
+    /// across register/assign — never rebuilt from the catalog per request.
+    index: InvertedIndex,
+    mode: CandidateMode,
 }
 
 impl PlatformState {
-    /// Build over a task corpus. `xmax` is the per-assignment size.
+    /// Build over a task corpus. `xmax` is the per-assignment size. Uses
+    /// sparse top-k candidate generation by default; see
+    /// [`PlatformState::with_mode`].
     pub fn new(space: KeywordSpace, tasks: TaskPool, xmax: usize, seed: u64) -> Self {
+        Self::with_mode(space, tasks, xmax, seed, CandidateMode::default())
+    }
+
+    /// Build with an explicit candidate-generation mode
+    /// ([`CandidateMode::Full`] reproduces the dense open-task window).
+    pub fn with_mode(
+        space: KeywordSpace,
+        tasks: TaskPool,
+        xmax: usize,
+        seed: u64,
+        mode: CandidateMode,
+    ) -> Self {
         let available = vec![true; tasks.len()];
+        let pairs: Vec<(u32, &KeywordVec)> = tasks
+            .tasks()
+            .iter()
+            .map(|t| (t.id.0, &t.keywords))
+            .collect();
+        let index = InvertedIndex::build(space.len(), &pairs, hta_index::par::default_threads());
         Self {
             inner: Mutex::new(Inner {
                 space,
@@ -113,8 +142,21 @@ impl PlatformState {
                 rng: StdRng::seed_from_u64(seed),
                 xmax,
                 max_instance_tasks: 1200,
+                index,
+                mode,
             }),
         }
+    }
+
+    /// Switch the candidate-generation mode at runtime (the index is kept
+    /// in sync regardless of mode, so switching is safe mid-stream).
+    pub fn set_candidate_mode(&self, mode: CandidateMode) {
+        self.inner.lock().expect("state lock").mode = mode;
+    }
+
+    /// The active candidate-generation mode.
+    pub fn candidate_mode(&self) -> CandidateMode {
+        self.inner.lock().expect("state lock").mode
     }
 
     /// Register a worker by keyword names (unknown keywords are interned).
@@ -127,6 +169,10 @@ impl PlatformState {
         for kw in keywords {
             inner.space.intern(kw);
         }
+        // Keyword ids are stable, so a wider universe just means new empty
+        // posting lists — O(new keywords), not a rebuild.
+        let width = inner.space.len();
+        inner.index.widen(width);
         let vec = inner.space.vector_of_known(keywords);
         // The universe may have widened; vectors built per-request use the
         // current width, and task vectors are widened lazily at solve time.
@@ -149,12 +195,32 @@ impl PlatformState {
             return Err(StateError::UnknownWorker(worker));
         }
         let weights = inner.workers[worker].estimator.estimate();
+        let width = inner.space.len();
+        let wkw = if inner.workers[worker].keywords.nbits() == width {
+            inner.workers[worker].keywords.clone()
+        } else {
+            inner.space.widen(&inner.workers[worker].keywords)
+        };
 
-        // Window of open tasks.
-        let open: Vec<usize> = (0..inner.available.len())
-            .filter(|&i| inner.available[i])
-            .take(inner.max_instance_tasks)
-            .collect();
+        // Candidate selection: the sparse path retrieves this worker's
+        // top-k open tasks from the inverted index and tops the pool up to
+        // the feasibility floor; the dense path windows the whole open set.
+        let open: Vec<usize> = match inner.mode {
+            CandidateMode::Full => (0..inner.available.len())
+                .filter(|&i| inner.available[i])
+                .take(inner.max_instance_tasks)
+                .collect(),
+            CandidateMode::TopK(k) => {
+                let probe = Worker::new(WorkerId(0), wkw.clone()).with_weights(weights);
+                let pool = CandidatePool::generate(
+                    &inner.index,
+                    &[probe],
+                    inner.xmax,
+                    &PoolParams::with_k(k),
+                );
+                pool.members().iter().map(|&t| t as usize).collect()
+            }
+        };
         if open.is_empty() {
             return Ok(AssignResult {
                 tasks: Vec::new(),
@@ -162,7 +228,6 @@ impl PlatformState {
                 beta: weights.beta(),
             });
         }
-        let width = inner.space.len();
         let local_tasks: Vec<Task> = open
             .iter()
             .enumerate()
@@ -176,11 +241,6 @@ impl PlatformState {
                 Task::new(TaskId(li as u32), t.group, kw)
             })
             .collect();
-        let wkw = if inner.workers[worker].keywords.nbits() == width {
-            inner.workers[worker].keywords.clone()
-        } else {
-            inner.space.widen(&inner.workers[worker].keywords)
-        };
         let local_workers = vec![Worker::new(WorkerId(0), wkw).with_weights(weights)];
         let xmax = inner.xmax;
         let inst = Instance::new(local_tasks, local_workers, xmax)
@@ -192,6 +252,7 @@ impl PlatformState {
         for &local in out.assignment.tasks_of(0) {
             let ci = open[local];
             inner.available[ci] = false;
+            inner.index.remove(ci as u32);
             assigned.push(ci);
         }
         inner.workers[worker].assigned.extend(&assigned);
@@ -209,7 +270,11 @@ impl PlatformState {
         if worker >= inner.workers.len() {
             return Err(StateError::UnknownWorker(worker));
         }
-        let Some(pos) = inner.workers[worker].assigned.iter().position(|&t| t == task) else {
+        let Some(pos) = inner.workers[worker]
+            .assigned
+            .iter()
+            .position(|&t| t == task)
+        else {
             return Err(StateError::NotAssigned { worker, task });
         };
 
@@ -284,6 +349,7 @@ impl PlatformState {
             open_tasks: open,
             assigned_tasks: assigned,
             completed_tasks: completed,
+            indexed_tasks: inner.index.len(),
         }
     }
 }
@@ -410,6 +476,61 @@ mod tests {
         assert_eq!(first.tasks.len(), 4);
         let second = s.assign(a).unwrap();
         assert!(second.tasks.is_empty());
+    }
+
+    #[test]
+    fn index_tracks_open_tasks_across_the_lifecycle() {
+        let s = state();
+        let st = s.stats();
+        assert_eq!(st.indexed_tasks, st.open_tasks, "index starts in sync");
+
+        let w = s
+            .register_worker(&["english", "survey", "brand-new-kw"])
+            .unwrap();
+        let a = s.assign(w).unwrap();
+        assert_eq!(a.tasks.len(), 5);
+        let st = s.stats();
+        assert_eq!(st.indexed_tasks, st.open_tasks, "assign removes from index");
+
+        s.complete(w, a.tasks[0]).unwrap();
+        let st = s.stats();
+        assert_eq!(
+            st.indexed_tasks, st.open_tasks,
+            "complete leaves index alone"
+        );
+
+        // Drain a few more rounds; the invariant must hold throughout.
+        for _ in 0..5 {
+            s.assign(w).unwrap();
+            let st = s.stats();
+            assert_eq!(st.indexed_tasks, st.open_tasks);
+        }
+    }
+
+    #[test]
+    fn dense_and_sparse_modes_both_fill_the_display() {
+        let w = generate(&AmtConfig {
+            n_groups: 20,
+            tasks_per_group: 10,
+            vocab_size: 80,
+            ..Default::default()
+        });
+        let s = PlatformState::with_mode(w.space, w.tasks, 5, 42, CandidateMode::Full);
+        assert_eq!(s.candidate_mode(), CandidateMode::Full);
+        let wid = s.register_worker(&["english", "survey"]).unwrap();
+        let dense = s.assign(wid).unwrap();
+        assert_eq!(dense.tasks.len(), 5);
+
+        // Flip to sparse mid-stream: the index never went stale, so the
+        // next assignment draws from it directly.
+        s.set_candidate_mode(CandidateMode::TopK(8));
+        let sparse = s.assign(wid).unwrap();
+        assert_eq!(sparse.tasks.len(), 5);
+        for t in &sparse.tasks {
+            assert!(!dense.tasks.contains(t), "task {t} double-assigned");
+        }
+        let st = s.stats();
+        assert_eq!(st.indexed_tasks, st.open_tasks);
     }
 
     #[test]

@@ -55,7 +55,9 @@ impl Distance for LanguageWeightedJaccard {
 fn main() -> Result<(), HtaError> {
     let mut space = KeywordSpace::new();
     // Language markers first (ids 0-2), topical keywords after.
-    for kw in ["english", "spanish", "french", "audio", "image", "news", "sports"] {
+    for kw in [
+        "english", "spanish", "french", "audio", "image", "news", "sports",
+    ] {
         space.intern(kw);
     }
 
@@ -101,11 +103,10 @@ fn main() -> Result<(), HtaError> {
         space.vector_of_known(&["spanish", "image"]),
         Weights::from_alpha(0.5),
     );
-    let mut engine =
-        IterationEngine::with_distance(tasks, workers, 2, Arc::new(metric))?;
+    let mut engine = IterationEngine::with_distance(tasks, workers, 2, Arc::new(metric))?;
     let mut rng = StdRng::seed_from_u64(3);
     let result = engine.run_iteration(&HtaGre::new(), &mut rng)?;
-    println!("\nassignment under {}:", "language-weighted-jaccard");
+    println!("\nassignment under language-weighted-jaccard:");
     for (w, ts) in &result.assignments {
         println!("  worker {:?} <- {:?}", w, ts);
     }

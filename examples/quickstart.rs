@@ -12,8 +12,18 @@ fn main() -> Result<(), HtaError> {
     // 1. A keyword universe shared by tasks and workers.
     let mut space = KeywordSpace::new();
     for kw in [
-        "audio", "english", "news", "sports", "image", "tagging",
-        "street-view", "animals", "sentiment", "tweets", "reviews", "ocr",
+        "audio",
+        "english",
+        "news",
+        "sports",
+        "image",
+        "tagging",
+        "street-view",
+        "animals",
+        "sentiment",
+        "tweets",
+        "reviews",
+        "ocr",
     ] {
         space.intern(kw);
     }
@@ -55,7 +65,12 @@ fn main() -> Result<(), HtaError> {
         println!("--- {} ---", solver.name());
         let result = engine.run_iteration(solver, &mut rng)?;
         for (worker, assigned) in &result.assignments {
-            println!("worker {:?} receives {} tasks: {:?}", worker, assigned.len(), assigned);
+            println!(
+                "worker {:?} receives {} tasks: {:?}",
+                worker,
+                assigned.len(),
+                assigned
+            );
         }
         println!(
             "objective (total expected motivation) = {:.3}; {} tasks remain",

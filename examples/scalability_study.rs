@@ -12,9 +12,7 @@ use rand::SeedableRng;
 fn main() {
     let sizes = [200usize, 400, 800, 1600];
     let (n_workers, xmax, n_groups) = (40, 8, 50);
-    println!(
-        "|W| = {n_workers}, X_max = {xmax}, {n_groups} task groups; times in milliseconds\n"
-    );
+    println!("|W| = {n_workers}, X_max = {xmax}, {n_groups} task groups; times in milliseconds\n");
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12} {:>10}",
         "|T|", "app (ms)", "gre (ms)", "app obj", "gre obj", "gre/app"

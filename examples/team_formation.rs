@@ -11,8 +11,16 @@ use hta_core::{KeywordSpace, KeywordVec};
 fn main() {
     let mut space = KeywordSpace::new();
     for kw in [
-        "rust", "databases", "frontend", "design", "ml", "statistics",
-        "writing", "editing", "audio", "video",
+        "rust",
+        "databases",
+        "frontend",
+        "design",
+        "ml",
+        "statistics",
+        "writing",
+        "editing",
+        "audio",
+        "video",
     ] {
         space.intern(kw);
     }
@@ -55,7 +63,8 @@ fn main() {
             },
         );
         let assignment = inst.solve_greedy(10);
-        inst.validate(&assignment).expect("solver output is feasible");
+        inst.validate(&assignment)
+            .expect("solver output is feasible");
         println!("--- social model: {model:?} ---");
         for (t, members) in assignment.teams.iter().enumerate() {
             let names: Vec<&str> = members.iter().map(|&w| worker_defs[w].0).collect();

@@ -12,12 +12,7 @@ use rand::{RngExt, SeedableRng};
 
 /// Random small instance via explicit metric matrices: diversity values in
 /// `[0.5, 1.0]` always satisfy the triangle inequality.
-fn random_instance(
-    rng: &mut StdRng,
-    n_tasks: usize,
-    n_workers: usize,
-    xmax: usize,
-) -> Instance {
+fn random_instance(rng: &mut StdRng, n_tasks: usize, n_workers: usize, xmax: usize) -> Instance {
     let weights: Vec<Weights> = (0..n_workers)
         .map(|_| Weights::from_alpha(rng.random()))
         .collect();
@@ -53,7 +48,10 @@ fn hta_app_respects_quarter_approximation() {
             approx >= 0.25 * opt - 1e-9,
             "trial {trial}: app={approx} opt={opt} (|T|={n_tasks}, |W|={n_workers}, Xmax={xmax})"
         );
-        assert!(approx <= opt + 1e-9, "approximation cannot beat the optimum");
+        assert!(
+            approx <= opt + 1e-9,
+            "approximation cannot beat the optimum"
+        );
     }
 }
 
@@ -103,7 +101,10 @@ fn approximations_are_much_better_in_practice() {
         }
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!(avg > 0.75, "average HTA-GRE/OPT ratio {avg} unexpectedly low");
+    assert!(
+        avg > 0.75,
+        "average HTA-GRE/OPT ratio {avg} unexpectedly low"
+    );
 }
 
 #[test]

@@ -42,7 +42,10 @@ fn multi_iteration_run_preserves_global_constraints() {
         for (_, tasks) in &result.assignments {
             assert!(tasks.len() <= 5, "C1 violated");
             for t in tasks {
-                assert!(seen.insert(*t), "task {t:?} assigned twice across iterations");
+                assert!(
+                    seen.insert(*t),
+                    "task {t:?} assigned twice across iterations"
+                );
             }
         }
         assert!(result.remaining_tasks <= last_remaining);

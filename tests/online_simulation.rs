@@ -141,5 +141,8 @@ fn figure5_orderings_at_experiment_scale() {
     let test = results
         .quality_test(Strategy::HtaGreDiv, Strategy::HtaGreRel)
         .expect("computable");
-    assert!(test.statistic > 2.0, "Div vs Rel must be clearly significant");
+    assert!(
+        test.statistic > 2.0,
+        "Div vs Rel must be clearly significant"
+    );
 }

@@ -1,0 +1,227 @@
+//! Std-only shim for the subset of the `criterion` API this workspace
+//! uses, so `cargo bench` works with the offline registry set.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! adaptive batches until the target measurement time is spent; the
+//! reported figure is the median of the per-batch means. No statistical
+//! regression analysis, plots, or baselines — just stable wall-clock
+//! numbers on stdout, enough for before/after comparisons within one
+//! machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-exported for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    /// Target time to spend measuring each benchmark.
+    measurement_time: Duration,
+    /// Filter from the command line (`cargo bench -- <substr>`).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // flags like `--bench` arrive from cargo itself and are ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self {
+            measurement_time: Duration::from_millis(600),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: 100,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = name.to_owned();
+        if self.matches(&id) {
+            run_one(&id, self.measurement_time, &mut f);
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Compatibility knob; this shim scales measurement time with it.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted and ignored (plots/throughput are not implemented).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` over `input` under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.matches(&full) {
+            // Small declared sample sizes signal an expensive benchmark:
+            // shrink the measurement budget proportionally (floor 200 ms).
+            let budget = self
+                .criterion
+                .measurement_time
+                .mul_f64((self.sample_size as f64 / 100.0).clamp(0.3, 1.0));
+            run_one(&full, budget, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Benchmark a closure with no explicit input.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.criterion.measurement_time, &mut f);
+        }
+        self
+    }
+
+    /// End the group (marker only; numbers print as they complete).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `name/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    /// Iterations the measurement loop asks for in this batch.
+    iters: u64,
+    /// Wall-clock spent in the routine for this batch.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this batch's iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(id: &str, budget: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up: one iteration to estimate cost and fault in caches.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    // Aim for ~20 batches within the budget.
+    let batch_time = budget / 20;
+    let iters_per_batch = (batch_time.as_nanos() / per_iter.as_nanos()).clamp(1, 1 << 24) as u64;
+
+    let mut samples: Vec<f64> = Vec::new();
+    let deadline = Instant::now() + budget;
+    while Instant::now() < deadline || samples.len() < 3 {
+        let mut b = Bencher {
+            iters: iters_per_batch,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters_per_batch as f64);
+        if samples.len() >= 200 {
+            break;
+        }
+    }
+    samples.sort_by(|a, z| a.total_cmp(z));
+    let median = samples[samples.len() / 2];
+    println!("{id:<60} time: [{}]", format_ns(median));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+mod macros {
+    /// Bundle benchmark functions into a runnable group.
+    #[macro_export]
+    macro_rules! criterion_group {
+        ($group:ident, $($target:path),+ $(,)?) => {
+            pub fn $group() {
+                let mut criterion = $crate::Criterion::default();
+                $( $target(&mut criterion); )+
+            }
+        };
+        (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+            pub fn $group() {
+                let mut criterion = $config;
+                $( $target(&mut criterion); )+
+            }
+        };
+    }
+
+    /// Emit `main` running the given groups.
+    #[macro_export]
+    macro_rules! criterion_main {
+        ($($group:path),+ $(,)?) => {
+            fn main() {
+                $( $group(); )+
+            }
+        };
+    }
+}

@@ -1,0 +1,106 @@
+//! Std-only shim for the subset of the `proptest` API this workspace uses,
+//! so property tests run with the offline registry set.
+//!
+//! Supported surface: the [`proptest!`] macro (`pat in strategy` arguments,
+//! `prop_assert!`/`prop_assert_eq!`, early `return Ok(())`), the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, numeric
+//! range strategies, tuple strategies, [`collection::vec`],
+//! [`option::of`], and [`strategy::Just`].
+//!
+//! Differences from upstream: cases are sampled from a deterministic
+//! per-test seed (derived from the test name) and **failures do not
+//! shrink** — the panic message reports the case number and seed instead.
+//! The default case count is 96 per property; override with the
+//! `PROPTEST_CASES` environment variable.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each function runs its body over many sampled
+/// inputs. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__pt_rng| {
+                    let __pt_strategy = ($($strat,)+);
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::sample(&__pt_strategy, __pt_rng);
+                    let mut __pt_case = || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    __pt_case()
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the current property case with a message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current property case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Fails the current property case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}

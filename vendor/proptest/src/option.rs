@@ -1,0 +1,29 @@
+//! `Option` strategies.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::strategy::Strategy;
+
+/// Strategy producing `Some(inner)` about 90% of the time (matching
+/// upstream's default weighting) and `None` otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        if rng.random_bool(0.9) {
+            Some(self.inner.sample(rng))
+        } else {
+            None
+        }
+    }
+}

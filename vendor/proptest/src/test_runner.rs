@@ -1,0 +1,58 @@
+//! The case runner behind the [`crate::proptest!`] macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure carrying `message`.
+    pub fn fail(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Number of cases per property (`PROPTEST_CASES` env override).
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
+/// FNV-1a, used to derive a stable per-test base seed from the test name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Run `case` over `case_count()` deterministically seeded inputs,
+/// panicking (with the case number and seed) on the first failure.
+pub fn run(name: &str, mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>) {
+    let base = fnv1a(name);
+    for i in 0..case_count() {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(e) = case(&mut rng) {
+            panic!("property '{name}' failed on case {i} (seed {seed:#x}): {e}");
+        }
+    }
+}
