@@ -6,7 +6,7 @@ use hta_core::prelude::*;
 use hta_datagen::amt::{generate_exact, AmtConfig};
 use hta_datagen::export;
 use hta_datagen::workers::{synthetic_workers, SyntheticWorkerConfig};
-use hta_index::{CandidateMode, CandidatePool, InvertedIndex, PoolParams};
+use hta_index::{CandidateMode, CandidatePool, PoolParams, ShardedIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -74,12 +74,14 @@ pub fn solve(args: &Args) -> CmdResult {
         "seed",
         "out",
         "candidates",
+        "shards",
     ])?;
     let tasks_file = args.require("tasks")?;
     let workers_file = args.require("workers")?;
     let xmax: usize = args.get_or("xmax", 10)?;
     let algorithm = args.get("algorithm").unwrap_or("gre");
     let seed: u64 = args.get_or("seed", 0)?;
+    let shards: usize = args.get_or("shards", 0)?;
     let candidates: CandidateMode = match args.get("candidates") {
         Some(s) => s
             .parse()
@@ -123,8 +125,7 @@ pub fn solve(args: &Args) -> CmdResult {
         CandidateMode::TopK(k) => {
             let pairs: Vec<(u32, &KeywordVec)> =
                 tasks.iter().map(|t| (t.id.0, &t.keywords)).collect();
-            let index =
-                InvertedIndex::build(space.len(), &pairs, hta_index::par::default_threads());
+            let index = ShardedIndex::build(space.len(), &pairs, shards);
             let pool = CandidatePool::generate(&index, &workers, xmax, &PoolParams::with_k(k));
             println!(
                 "candidates {candidates}: pool {} of {} tasks ({} from top-k retrieval)",
@@ -235,10 +236,11 @@ pub fn analyze(args: &Args) -> CmdResult {
 
 /// `hta simulate` — the Figure 5 online experiment at custom scale.
 pub fn simulate(args: &Args) -> CmdResult {
-    args.reject_unknown(&["sessions", "catalog", "seed", "candidates"])?;
+    args.reject_unknown(&["sessions", "catalog", "seed", "candidates", "shards"])?;
     let sessions: usize = args.get_or("sessions", 8)?;
     let catalog: usize = args.get_or("catalog", 2000)?;
     let seed: u64 = args.get_or("seed", 0x5E59)?;
+    let shards: usize = args.get_or("shards", 0)?;
     let candidates: CandidateMode = match args.get("candidates") {
         Some(s) => s
             .parse()
@@ -256,6 +258,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         ..Default::default()
     };
     cfg.platform.candidates = candidates;
+    cfg.platform.index_shards = shards;
     let results = hta_crowd::experiment::run(&cfg);
     println!(
         "{:<13} {:>9} {:>10} {:>14} {:>10} {:>11}",
@@ -378,6 +381,8 @@ mod tests {
             "4",
             "--candidates",
             "topk:6",
+            "--shards",
+            "3",
             "--out",
             a,
         ]))

@@ -32,13 +32,15 @@ COMMANDS:
              --algorithm app|app-hungarian|gre|greedy|random (gre)
              --candidates full|topk:K (full)  — topk solves over an
                inverted-index candidate pool instead of every task
+             --shards N (0 = auto)  — keyword-range shards of the
+               retrieval index used by topk
              --seed S (0)      --out FILE (optional assignment CSV)
   analyze    Structural analysis of a task+worker instance (degeneracy,
              diversity/relevance distributions, solver recommendation)
              --tasks FILE      --workers FILE    --xmax X (10)
   simulate   Run the online crowdsourcing simulation (Figure 5 style)
              --sessions N (8)  --catalog M (2000)  --seed S (0x5E59)
-             --candidates full|topk:K (full)
+             --candidates full|topk:K (full)  --shards N (0 = auto)
   example    Print the paper's worked example (Table I / Figure 1)
   help       Show this message
 ";

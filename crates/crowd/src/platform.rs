@@ -16,7 +16,7 @@ use hta_core::{
     Instance, KeywordVec, Solver, Task, TaskId, WeightEstimator, Weights, Worker, WorkerId,
 };
 use hta_datagen::crowdflower::{CrowdflowerCatalog, KINDS};
-use hta_index::{CandidateMode, CandidatePool, InvertedIndex, PoolParams};
+use hta_index::{CandidateMode, CandidatePool, PoolParams, ShardedIndex};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -50,6 +50,9 @@ pub struct PlatformConfig {
     pub choice_noise: f64,
     /// How many recent completions feed the marginal-diversity signal.
     pub diversity_memory: usize,
+    /// Keyword-shard count of the platform's index (`0` = auto:
+    /// `HTA_INDEX_SHARDS` or the thread default).
+    pub index_shards: usize,
     /// Contrast applied to the adaptive weight estimate before solving:
     /// `α' = 0.5 + sharpening·(α̂ − 0.5)`, clamped to `[0, 1]`. The paper's
     /// normalized-gain estimator is correct in *direction* but compressed in
@@ -72,6 +75,7 @@ impl Default for PlatformConfig {
             candidates: CandidateMode::Full,
             choice_noise: 0.15,
             diversity_memory: 8,
+            index_shards: 0,
             adaptive_sharpening: 4.0,
             behavior: BehaviorConfig::default(),
         }
@@ -185,10 +189,10 @@ pub struct Platform<'c> {
     catalog: &'c CrowdflowerCatalog,
     cfg: PlatformConfig,
     available: Vec<bool>,
-    /// Inverted keyword index mirroring `available` — every flip goes
+    /// Sharded keyword index mirroring `available` — every flip goes
     /// through [`Platform::open_task`]/[`Platform::take_task`], so the
     /// sparse candidate path never rebuilds it.
-    index: InvertedIndex,
+    index: ShardedIndex,
     solver: Box<dyn Solver>,
 }
 
@@ -211,7 +215,7 @@ impl<'c> Platform<'c> {
             .map(|(i, t)| (i as u32, &t.task.keywords))
             .collect();
         let nbits = catalog.space.len();
-        let index = InvertedIndex::build(nbits, &pairs, hta_index::par::default_threads());
+        let index = ShardedIndex::build(nbits, &pairs, cfg.index_shards);
         Self {
             catalog,
             cfg,
@@ -238,7 +242,7 @@ impl<'c> Platform<'c> {
         }
     }
 
-    /// Number of open tasks held by the inverted index (equals
+    /// Number of open tasks held by the keyword index (equals
     /// [`Platform::open_tasks`] by construction; exposed for invariants in
     /// tests and monitoring).
     pub fn indexed_open_tasks(&self) -> usize {

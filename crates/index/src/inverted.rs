@@ -5,15 +5,35 @@ use hta_core::KeywordVec;
 use crate::par;
 
 /// Sentinel in `doc_len` marking a task that is not in the index.
-const ABSENT: u32 = u32::MAX;
+pub(crate) const ABSENT: u32 = u32::MAX;
+
+/// `None` when `tasks` carries no duplicate ids; otherwise the first
+/// occurrence of each id, in input order (the bulk-build equivalent of
+/// `insert` returning `false` on a repeat).
+pub(crate) fn dedup_first_occurrences<'a>(
+    tasks: &[(u32, &'a KeywordVec)],
+) -> Option<Vec<(u32, &'a KeywordVec)>> {
+    let mut seen = std::collections::HashSet::with_capacity(tasks.len());
+    if tasks.iter().all(|&(id, _)| seen.insert(id)) {
+        return None;
+    }
+    seen.clear();
+    Some(
+        tasks
+            .iter()
+            .copied()
+            .filter(|&(id, _)| seen.insert(id))
+            .collect(),
+    )
+}
 
 /// One posting-list back-reference held per `(task, keyword)` membership:
 /// which list the task sits in and at which position. Positions make
 /// removal `O(|kw(t)|)` via swap-remove instead of a list scan.
 #[derive(Debug, Clone, Copy)]
-struct PostingRef {
-    keyword: u32,
-    position: u32,
+pub(crate) struct PostingRef {
+    pub(crate) keyword: u32,
+    pub(crate) position: u32,
 }
 
 /// An inverted index mapping keyword ids to posting lists of **open** task
@@ -52,14 +72,36 @@ impl InvertedIndex {
     /// partial set of posting lists, which are concatenated chunk-by-chunk
     /// (deterministically) at the end. Falls back to sequential inserts for
     /// small inputs where thread spawn costs dominate.
+    ///
+    /// Duplicate task ids are skipped with the same no-op semantics as
+    /// [`InvertedIndex::insert`]: the first occurrence wins, later ones
+    /// change nothing. Use [`InvertedIndex::build_counting`] to observe how
+    /// many were dropped.
     pub fn build(nbits: usize, tasks: &[(u32, &KeywordVec)], threads: usize) -> Self {
+        Self::build_counting(nbits, tasks, threads).0
+    }
+
+    /// [`InvertedIndex::build`], also returning the number of duplicate-id
+    /// pairs that were skipped.
+    pub fn build_counting(
+        nbits: usize,
+        tasks: &[(u32, &KeywordVec)],
+        threads: usize,
+    ) -> (Self, usize) {
+        // Keep only the first occurrence of each id; a duplicate fed to the
+        // parallel path below would double-count `docs` and give the task
+        // two sets of posting back-refs, corrupting later `remove`s.
+        let firsts = dedup_first_occurrences(tasks);
+        let skipped = tasks.len() - firsts.as_ref().map_or(tasks.len(), Vec::len);
+        let tasks: &[(u32, &KeywordVec)] = firsts.as_deref().unwrap_or(tasks);
+
         let threads = threads.clamp(1, tasks.len().max(1));
         if threads == 1 || tasks.len() < 1024 {
             let mut index = Self::new(nbits);
             for &(id, kw) in tasks {
                 index.insert(id, kw);
             }
-            return index;
+            return (index, skipped);
         }
         // Phase 1 (parallel): per-chunk partial posting lists.
         let partials: Vec<Vec<Vec<u32>>> = par::map_chunks(tasks, threads, |chunk| {
@@ -93,7 +135,7 @@ impl InvertedIndex {
                 });
             }
         }
-        index
+        (index, skipped)
     }
 
     /// Width of the keyword universe.
@@ -279,8 +321,12 @@ impl InvertedIndex {
                     .collect();
                 lower.sort_unstable_by(|a, b| b.total_cmp(a));
                 let threshold = lower[k - 1];
-                // Unseen tasks can reach at most `remaining` overlap.
-                if (remaining as f64) / (wlen as f64) <= threshold {
+                // Unseen tasks can reach at most `remaining` overlap. The
+                // comparison must be strict: at equality an unseen task can
+                // still *tie* the k-th score, and the ascending-id tie-break
+                // means a smaller-id newcomer wins — dropping it here would
+                // diverge from brute force.
+                if (remaining as f64) / (wlen as f64) < threshold {
                     admit_new = false;
                 }
             }
@@ -403,22 +449,55 @@ mod tests {
     }
 
     #[test]
+    fn top_k_admits_a_tying_lower_id_from_the_last_list() {
+        // Worker = {0, 1}. Task 5 = {0} scores 1/(1+2-1) = 1/2 and is seen
+        // first (kw 0 has the smallest document frequency). Task 2 = {1}
+        // also scores exactly 1/2 but only appears in the *last* (largest
+        // DF) posting list. The unseen-task upper bound before that list is
+        // remaining/|w| = 1/2, equal to the k-th lower bound — with a
+        // non-strict comparison task 2 is never admitted and the documented
+        // ascending-id tie-break (2 before 5) breaks vs brute force.
+        let nbits = 8;
+        let mut idx = InvertedIndex::new(nbits);
+        idx.insert(5, &kw(nbits, &[0]));
+        idx.insert(2, &kw(nbits, &[1]));
+        idx.insert(9, &kw(nbits, &[1, 6, 7]));
+        let worker = kw(nbits, &[0, 1]);
+        assert!(idx.df(0) < idx.df(1), "kw 1 must be the last list visited");
+        let got = idx.top_k(&worker, 1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, 2, "lower-id tie must win: {got:?}");
+        assert!((got[0].1 - 0.5).abs() < 1e-12);
+        // The full ranking keeps both tying tasks in id order.
+        let got = idx.top_k(&worker, 2);
+        assert_eq!(got.iter().map(|&(t, _)| t).collect::<Vec<_>>(), vec![2, 5]);
+    }
+
+    #[test]
     fn bulk_build_equals_incremental() {
         let nbits = 16;
         let vecs: Vec<KeywordVec> = (0..2000)
             .map(|i| kw(nbits, &[i % nbits, (i * 3 + 1) % nbits]))
             .collect();
-        let pairs: Vec<(u32, &KeywordVec)> = vecs
+        let mut pairs: Vec<(u32, &KeywordVec)> = vecs
             .iter()
             .enumerate()
             .map(|(i, v)| (i as u32, v))
             .collect();
-        let bulk = InvertedIndex::build(nbits, &pairs, 4);
+        // Duplicate ids (with *different* vectors) must be skipped exactly
+        // like `insert` skips them: first occurrence wins. Before the dedup
+        // fix these double-counted `docs` and left task 17 with two sets of
+        // posting back-refs, so the `remove` below patched wrong positions.
+        pairs.push((17, &vecs[4]));
+        pairs.push((902, &vecs[1]));
+        let (bulk, skipped) = InvertedIndex::build_counting(nbits, &pairs, 4);
+        assert_eq!(skipped, 2);
         let mut incr = InvertedIndex::new(nbits);
         for &(id, v) in &pairs {
             incr.insert(id, v);
         }
         assert_eq!(bulk.len(), incr.len());
+        assert_eq!(bulk.len(), 2000, "duplicates must not inflate docs");
         for b in 0..nbits as u32 {
             let mut lb: Vec<u32> = bulk.postings(b).to_vec();
             let mut li: Vec<u32> = incr.postings(b).to_vec();
@@ -426,10 +505,16 @@ mod tests {
             li.sort_unstable();
             assert_eq!(lb, li, "keyword {b}");
         }
-        // The bulk-built index supports incremental maintenance too.
+        // The bulk-built index supports incremental maintenance too — and
+        // removing a formerly-duplicated id leaves no stale postings behind.
         let mut bulk = bulk;
         assert!(bulk.remove(17));
+        for b in 0..nbits as u32 {
+            assert!(!bulk.postings(b).contains(&17), "stale posting for 17");
+        }
         assert!(bulk.insert(17, &vecs[17]));
+        assert!(bulk.remove(902));
+        assert!(bulk.insert(902, &vecs[902]));
     }
 
     #[test]

@@ -9,6 +9,13 @@
 //!   incrementally in `O(|kw(t)|)` per task arrival/completion;
 //! * [`InvertedIndex::top_k`] — per-worker top-k relevance retrieval by
 //!   term-at-a-time accumulation with an early-termination upper bound;
+//! * [`ShardedIndex`] — the same contract partitioned into contiguous
+//!   keyword-range shards: bulk builds run one scoped thread per shard with
+//!   no merge phase, incremental updates route per shard, and top-k fans
+//!   the worker's terms out per shard before an exact Jaccard merge —
+//!   output is byte-identical to the unsharded index (property-tested);
+//! * [`TaskIndex`] — the retrieval abstraction both indices implement, so
+//!   pools and generators are generic over the sharding decision;
 //! * [`CandidatePool`] — unions per-worker top-k sets, fills up to the
 //!   feasibility floor `|W| · X_max` with coverage-seeded diverse tasks, and
 //!   builds a pool-local [`hta_core::Instance`] with a back-to-catalog map;
@@ -27,9 +34,13 @@
 pub mod inverted;
 pub mod par;
 pub mod pool;
+pub mod sharded;
+pub mod traits;
 
 mod engine;
 
 pub use engine::SparseCandidateGenerator;
 pub use inverted::InvertedIndex;
 pub use pool::{CandidateMode, CandidatePool, PoolParams};
+pub use sharded::{default_shards, ShardedIndex};
+pub use traits::TaskIndex;

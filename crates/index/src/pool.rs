@@ -16,8 +16,8 @@ use std::str::FromStr;
 
 use hta_core::{HtaError, Instance, Task, TaskId, Worker, WorkerId};
 
-use crate::inverted::InvertedIndex;
 use crate::par;
+use crate::traits::TaskIndex;
 
 /// How the assignment path selects the tasks handed to the solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +79,10 @@ pub struct PoolParams {
     /// Scoped-thread budget for bulk index builds and the pool instance's
     /// diversity cache.
     pub threads: usize,
+    /// Keyword-range shards for indices built by generators that own their
+    /// index ([`crate::SparseCandidateGenerator`]); `0` = auto
+    /// ([`crate::default_shards`]).
+    pub shards: usize,
 }
 
 impl Default for PoolParams {
@@ -86,6 +90,7 @@ impl Default for PoolParams {
         Self {
             per_worker_k: CandidateMode::DEFAULT_K,
             threads: par::default_threads(),
+            shards: 0,
         }
     }
 }
@@ -131,8 +136,8 @@ impl CandidatePool {
     /// (Coverage scores only decrease as the pool grows, so stale heap
     /// entries are upper bounds — the CELF-style lazy re-evaluation is
     /// exact.)
-    pub fn generate(
-        index: &InvertedIndex,
+    pub fn generate<I: TaskIndex>(
+        index: &I,
         workers: &[Worker],
         xmax: usize,
         params: &PoolParams,
@@ -157,8 +162,8 @@ impl CandidatePool {
     }
 
     /// Top the pool up to `floor` members with coverage-seeded open tasks.
-    fn seed_diverse(
-        index: &InvertedIndex,
+    fn seed_diverse<I: TaskIndex>(
+        index: &I,
         members: &mut Vec<u32>,
         in_pool: &mut HashMap<u32, ()>,
         floor: usize,
@@ -166,15 +171,16 @@ impl CandidatePool {
         // Keyword representation inside the current pool.
         let mut counts: HashMap<u32, u32> = HashMap::new();
         for &m in members.iter() {
-            for kw in index.keywords_of(m) {
+            index.keywords_each(m, |kw| {
                 *counts.entry(kw).or_insert(0) += 1;
-            }
+            });
         }
         let score = |counts: &HashMap<u32, u32>, task: u32| -> f64 {
-            index
-                .keywords_of(task)
-                .map(|kw| 1.0 / (1.0 + counts.get(&kw).copied().unwrap_or(0) as f64))
-                .sum()
+            let mut s = 0.0;
+            index.keywords_each(task, |kw| {
+                s += 1.0 / (1.0 + counts.get(&kw).copied().unwrap_or(0) as f64);
+            });
+            s
         };
         // Max-heap keyed by (score bits, smallest id wins ties). Coverage
         // scores are non-negative, so IEEE bit order == numeric order.
@@ -194,9 +200,9 @@ impl CandidatePool {
             if fresh >= next_best || fresh == stale {
                 members.push(task);
                 in_pool.insert(task, ());
-                for kw in index.keywords_of(task) {
+                index.keywords_each(task, |kw| {
                     *counts.entry(kw).or_insert(0) += 1;
-                }
+                });
             } else {
                 heap.push((fresh, std::cmp::Reverse(task)));
             }
@@ -272,6 +278,7 @@ impl CandidatePool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::InvertedIndex;
     use hta_core::{GroupId, KeywordVec, Weights};
 
     fn kw(nbits: usize, bits: &[usize]) -> KeywordVec {

@@ -1,0 +1,95 @@
+//! The retrieval-index abstraction candidate generation is generic over.
+
+use hta_core::KeywordVec;
+
+/// What [`crate::CandidatePool`] needs from a retrieval index, implemented
+/// by both [`crate::InvertedIndex`] and [`crate::ShardedIndex`] so pool
+/// generation, diversity seeding, and the engine adapter are agnostic to
+/// the sharding decision.
+///
+/// Implementations must agree on semantics: `top_k` returns exact Jaccard
+/// scores with ties broken by ascending task id, and `open_tasks` /
+/// `keywords_each` iterate ascending. The shard-equivalence property tests
+/// rely on this to compare the two implementations byte-for-byte.
+pub trait TaskIndex {
+    /// Number of open tasks in the index.
+    fn len(&self) -> usize;
+
+    /// Whether the index holds no open task.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `task` is currently indexed.
+    fn contains(&self, task: u32) -> bool;
+
+    /// Keyword count of an indexed task (`None` if absent).
+    fn keyword_count(&self, task: u32) -> Option<usize>;
+
+    /// Call `f` with each keyword id of `task`, ascending (no-op if the
+    /// task is absent).
+    fn keywords_each(&self, task: u32, f: impl FnMut(u32));
+
+    /// Iterate over the open task ids, ascending.
+    fn open_tasks(&self) -> impl Iterator<Item = u32> + '_;
+
+    /// Top-`k` most relevant open tasks by Jaccard similarity, ties broken
+    /// by ascending task id.
+    fn top_k(&self, worker: &KeywordVec, k: usize) -> Vec<(u32, f64)>;
+}
+
+impl TaskIndex for crate::InvertedIndex {
+    fn len(&self) -> usize {
+        crate::InvertedIndex::len(self)
+    }
+
+    fn contains(&self, task: u32) -> bool {
+        crate::InvertedIndex::contains(self, task)
+    }
+
+    fn keyword_count(&self, task: u32) -> Option<usize> {
+        crate::InvertedIndex::keyword_count(self, task)
+    }
+
+    fn keywords_each(&self, task: u32, mut f: impl FnMut(u32)) {
+        for kw in crate::InvertedIndex::keywords_of(self, task) {
+            f(kw);
+        }
+    }
+
+    fn open_tasks(&self) -> impl Iterator<Item = u32> + '_ {
+        crate::InvertedIndex::open_tasks(self)
+    }
+
+    fn top_k(&self, worker: &KeywordVec, k: usize) -> Vec<(u32, f64)> {
+        crate::InvertedIndex::top_k(self, worker, k)
+    }
+}
+
+impl TaskIndex for crate::ShardedIndex {
+    fn len(&self) -> usize {
+        crate::ShardedIndex::len(self)
+    }
+
+    fn contains(&self, task: u32) -> bool {
+        crate::ShardedIndex::contains(self, task)
+    }
+
+    fn keyword_count(&self, task: u32) -> Option<usize> {
+        crate::ShardedIndex::keyword_count(self, task)
+    }
+
+    fn keywords_each(&self, task: u32, mut f: impl FnMut(u32)) {
+        for kw in crate::ShardedIndex::keywords_of(self, task) {
+            f(kw);
+        }
+    }
+
+    fn open_tasks(&self) -> impl Iterator<Item = u32> + '_ {
+        crate::ShardedIndex::open_tasks(self)
+    }
+
+    fn top_k(&self, worker: &KeywordVec, k: usize) -> Vec<(u32, f64)> {
+        crate::ShardedIndex::top_k(self, worker, k)
+    }
+}

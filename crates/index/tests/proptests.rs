@@ -9,7 +9,7 @@
 //!    factor of the dense solve on small instances.
 
 use hta_core::prelude::*;
-use hta_index::{InvertedIndex, SparseCandidateGenerator};
+use hta_index::{sharded::contents_equal, InvertedIndex, ShardedIndex, SparseCandidateGenerator};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -87,6 +87,87 @@ proptest! {
             let got: Vec<u32> = index.keywords_of(id).collect();
             let want: Vec<u32> = v.iter_ones().map(|b| b as u32).collect();
             prop_assert_eq!(got, want);
+        }
+    }
+}
+
+proptest! {
+    /// Sharding is an implementation detail: under any interleaving of
+    /// inserts and removes, a [`ShardedIndex`] with 1, 2, or 7 shards holds
+    /// the same open-task set and returns **byte-identical** `top_k`
+    /// results (same ids, same `f64` score bits, same tie order) as the
+    /// unsharded [`InvertedIndex`]. Exact float equality is deliberate —
+    /// both sides must evaluate the same Jaccard expression on the same
+    /// integer overlaps.
+    #[test]
+    fn sharded_equals_unsharded_under_interleaving(
+        kw_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 0..5),
+            1..40,
+        ),
+        removals in proptest::collection::vec(0u8..2, 40),
+        reinserts in proptest::collection::vec(0u8..2, 40),
+        worker_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 1..6),
+            1..4,
+        ),
+        k in 1usize..8,
+    ) {
+        let nbits = 24;
+        let vecs: Vec<KeywordVec> = kw_picks
+            .iter()
+            .map(|picks| {
+                let mut v = KeywordVec::new(nbits);
+                for &b in picks {
+                    v.set(b);
+                }
+                v
+            })
+            .collect();
+
+        let mut flat = InvertedIndex::new(nbits);
+        let mut sharded: Vec<ShardedIndex> = [1, 2, 7]
+            .iter()
+            .map(|&s| ShardedIndex::new(nbits, s))
+            .collect();
+        let mut live: Vec<bool> = vec![true; vecs.len()];
+        for (i, v) in vecs.iter().enumerate() {
+            flat.insert(i as u32, v);
+            for s in &mut sharded {
+                prop_assert!(s.insert(i as u32, v));
+            }
+        }
+        for (i, _) in vecs.iter().enumerate() {
+            if removals[i] == 1 {
+                flat.remove(i as u32);
+                for s in &mut sharded {
+                    prop_assert!(s.remove(i as u32));
+                }
+                live[i] = false;
+            }
+        }
+        for (i, v) in vecs.iter().enumerate() {
+            if !live[i] && reinserts[i] == 1 {
+                flat.insert(i as u32, v);
+                for s in &mut sharded {
+                    prop_assert!(s.insert(i as u32, v));
+                }
+            }
+        }
+
+        let flat_open: Vec<u32> = flat.open_tasks().collect();
+        for s in &sharded {
+            prop_assert!(contents_equal(s, &flat), "{} shards drifted", s.shard_count());
+            let open: Vec<u32> = s.open_tasks().collect();
+            prop_assert_eq!(&open, &flat_open);
+            for picks in &worker_picks {
+                let mut w = KeywordVec::new(nbits);
+                for &b in picks {
+                    w.set(b);
+                }
+                // Exact Vec<(u32, f64)> equality: ids, score bits, order.
+                prop_assert_eq!(s.top_k(&w, k), flat.top_k(&w, k));
+            }
         }
     }
 }

@@ -31,7 +31,7 @@ impl Server {
         let thread = std::thread::spawn(move || {
             let mut workers: Vec<JoinHandle<()>> = Vec::new();
             while !stop2.load(Ordering::Relaxed) {
-                match listener.accept() {
+                match accept_next(&listener) {
                     Ok((stream, _)) => {
                         let state = Arc::clone(&state);
                         workers.push(std::thread::spawn(move || serve_one(stream, &state)));
@@ -41,7 +41,15 @@ impl Server {
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
-                    Err(_) => break,
+                    Err(e) => {
+                        // Transient accept failures (EMFILE when the fd
+                        // table is briefly full, ECONNABORTED from a client
+                        // that hung up in the backlog, EINTR, ...) must not
+                        // kill the listener for good: log, back off so a
+                        // resource-exhaustion error is not spun on, retry.
+                        eprintln!("hta-server: accept error (retrying): {e}");
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
                 }
             }
             for h in workers {
@@ -78,6 +86,21 @@ impl Drop for Server {
     }
 }
 
+/// Accept one connection, with a test-only fault hook: while the induced
+/// error counter is armed, an error is returned *instead of* accepting, so
+/// a real client waits in the backlog until the loop has survived the
+/// failures and retried.
+fn accept_next(listener: &TcpListener) -> std::io::Result<(TcpStream, SocketAddr)> {
+    #[cfg(test)]
+    if tests::INDUCED_ACCEPT_ERRORS
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+    {
+        return Err(std::io::Error::other("induced accept failure"));
+    }
+    listener.accept()
+}
+
 fn serve_one(mut stream: TcpStream, state: &PlatformState) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
     let response = match read_request(&mut stream) {
@@ -92,6 +115,12 @@ mod tests {
     use super::*;
     use hta_datagen::amt::{generate, AmtConfig};
     use std::io::{Read, Write};
+    use std::sync::atomic::AtomicUsize;
+
+    /// How many upcoming accepts should fail with an induced error (shared
+    /// by every test server in the process; tests that arm it run the
+    /// request on the same thread, so the count drains before it returns).
+    pub(super) static INDUCED_ACCEPT_ERRORS: AtomicUsize = AtomicUsize::new(0);
 
     fn start() -> (Server, Arc<PlatformState>) {
         let w = generate(&AmtConfig {
@@ -153,6 +182,28 @@ mod tests {
         let mut buf = String::new();
         stream.read_to_string(&mut buf).unwrap();
         assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn accept_errors_do_not_kill_the_listener() {
+        let (server, _state) = start();
+        let addr = server.addr();
+        // Arm three induced accept failures; the loop must log, back off,
+        // and keep accepting — the `Err(_) => break` it replaced would have
+        // left this connect hanging until the read timeout.
+        INDUCED_ACCEPT_ERRORS.store(3, Ordering::Relaxed);
+        let (status, body) = request(addr, "GET /health HTTP/1.1");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\"}");
+        assert_eq!(
+            INDUCED_ACCEPT_ERRORS.load(Ordering::Relaxed),
+            0,
+            "the error path was actually exercised"
+        );
+        // The server is still healthy afterwards.
+        let (status, _) = request(addr, "GET /stats HTTP/1.1");
+        assert_eq!(status, 200);
         server.shutdown();
     }
 

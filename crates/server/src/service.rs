@@ -111,9 +111,15 @@ fn task_info(state: &PlatformState, req: &Request) -> Response {
 
 fn stats(state: &PlatformState) -> Response {
     let s = state.stats();
+    let shards = s
+        .shard_sizes
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     Response::ok(format!(
-        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{}}}",
-        s.workers, s.open_tasks, s.assigned_tasks, s.completed_tasks, s.indexed_tasks
+        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{},\"shards\":[{}]}}",
+        s.workers, s.open_tasks, s.assigned_tasks, s.completed_tasks, s.indexed_tasks, shards
     ))
 }
 
@@ -166,6 +172,7 @@ mod tests {
 
         let r = handle(&s, &req("GET", "/stats", ""));
         assert!(r.body.contains("\"completed_tasks\":1"));
+        assert!(r.body.contains("\"shards\":["));
 
         let r = handle(&s, &req("GET", "/tasks", &format!("id={first}")));
         assert_eq!(r.status, 200);

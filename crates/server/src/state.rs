@@ -1,5 +1,5 @@
 //! The platform's shared state: the task pool, registered workers with
-//! their adaptive weight estimators, the inverted keyword index over open
+//! their adaptive weight estimators, the sharded keyword index over open
 //! tasks, and the assignment ledger — the data behind the Figure 4 workflow.
 
 use std::sync::Mutex;
@@ -9,7 +9,7 @@ use hta_core::solver::HtaGre;
 use hta_core::{
     Instance, KeywordSpace, KeywordVec, Solver, Task, TaskId, TaskPool, Weights, Worker, WorkerId,
 };
-use hta_index::{CandidateMode, CandidatePool, InvertedIndex, PoolParams};
+use hta_index::{CandidateMode, CandidatePool, PoolParams, ShardedIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -56,9 +56,15 @@ pub struct Stats {
     pub assigned_tasks: usize,
     /// Completed tasks.
     pub completed_tasks: usize,
-    /// Open tasks currently held by the inverted index (always equals
+    /// Open tasks currently held by the keyword index (always equals
     /// `open_tasks` — surfaced so operators can spot index drift).
     pub indexed_tasks: usize,
+    /// Per-shard `(task, keyword)` membership counts of the keyword index.
+    /// Every open task contributes one count per keyword to the shard owning
+    /// that keyword, so the sum is the total posting count (≥
+    /// `indexed_tasks`); a persistently empty shard means the keyword
+    /// universe is skewed away from its range.
+    pub shard_sizes: Vec<usize>,
 }
 
 /// Errors surfaced to the HTTP layer.
@@ -103,9 +109,9 @@ struct Inner {
     xmax: usize,
     /// Cap on the open-task window per solve (dense mode only).
     max_instance_tasks: usize,
-    /// Inverted keyword index over the open tasks, maintained incrementally
+    /// Sharded keyword index over the open tasks, maintained incrementally
     /// across register/assign — never rebuilt from the catalog per request.
-    index: InvertedIndex,
+    index: ShardedIndex,
     mode: CandidateMode,
 }
 
@@ -126,13 +132,26 @@ impl PlatformState {
         seed: u64,
         mode: CandidateMode,
     ) -> Self {
+        Self::with_options(space, tasks, xmax, seed, mode, 0)
+    }
+
+    /// Build with an explicit mode and keyword-shard count (`0` = auto:
+    /// `HTA_INDEX_SHARDS` or the thread default).
+    pub fn with_options(
+        space: KeywordSpace,
+        tasks: TaskPool,
+        xmax: usize,
+        seed: u64,
+        mode: CandidateMode,
+        shards: usize,
+    ) -> Self {
         let available = vec![true; tasks.len()];
         let pairs: Vec<(u32, &KeywordVec)> = tasks
             .tasks()
             .iter()
             .map(|t| (t.id.0, &t.keywords))
             .collect();
-        let index = InvertedIndex::build(space.len(), &pairs, hta_index::par::default_threads());
+        let index = ShardedIndex::build(space.len(), &pairs, shards);
         Self {
             inner: Mutex::new(Inner {
                 space,
@@ -350,6 +369,7 @@ impl PlatformState {
             assigned_tasks: assigned,
             completed_tasks: completed,
             indexed_tasks: inner.index.len(),
+            shard_sizes: inner.index.shard_sizes(),
         }
     }
 }
@@ -531,6 +551,29 @@ mod tests {
         }
         let st = s.stats();
         assert_eq!(st.indexed_tasks, st.open_tasks);
+    }
+
+    #[test]
+    fn stats_report_per_shard_sizes() {
+        let w = generate(&AmtConfig {
+            n_groups: 20,
+            tasks_per_group: 10,
+            vocab_size: 80,
+            ..Default::default()
+        });
+        let s = PlatformState::with_options(w.space, w.tasks, 5, 42, CandidateMode::default(), 3);
+        let st = s.stats();
+        assert_eq!(st.shard_sizes.len(), 3);
+        // Every open task holds ≥1 keyword, so it lands in ≥1 shard.
+        assert!(st.shard_sizes.iter().sum::<usize>() >= st.indexed_tasks);
+
+        // Assignment removes tasks from every shard they occupy.
+        let wid = s.register_worker(&["english", "survey"]).unwrap();
+        s.assign(wid).unwrap();
+        let st2 = s.stats();
+        assert_eq!(st2.shard_sizes.len(), 3);
+        assert!(st2.shard_sizes.iter().sum::<usize>() < st.shard_sizes.iter().sum::<usize>());
+        assert_eq!(st2.indexed_tasks, st2.open_tasks);
     }
 
     #[test]
