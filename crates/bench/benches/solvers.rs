@@ -1,11 +1,19 @@
 //! Criterion micro-benchmarks of the end-to-end solvers (Fig. 2a at
-//! regression-tracking sizes): HTA-APP vs HTA-GRE vs baselines.
+//! regression-tracking sizes): HTA-APP vs HTA-GRE vs baselines, plus the
+//! parallel-pipeline thread sweep and the per-iteration edge-reuse path.
+//!
+//! Besides the criterion output, the run emits `BENCH_solvers.json` at the
+//! repo root: per-phase wall-clock (`edge_enum` / `matching` / `lsap` /
+//! `total`) for every (|T|, threads) point so the perf trajectory stays
+//! machine-readable across PRs.
 
 use std::hint::black_box;
+use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use hta_bench::build_instance;
 use hta_core::prelude::*;
+use hta_core::DiversityEdgeCache;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,5 +42,178 @@ fn bench_solvers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);
+/// Sizes for the parallel sweep: 1k/4k always, 10k behind `HTA_BENCH_LARGE`
+/// (the dense 10k solve enumerates ~50M task pairs per run).
+fn parallel_sizes() -> Vec<usize> {
+    let mut sizes = vec![1_000usize, 4_000];
+    if std::env::var("HTA_BENCH_LARGE").is_ok() {
+        sizes.push(10_000);
+    } else {
+        println!("solvers/parallel: set HTA_BENCH_LARGE=1 for the 10k point");
+    }
+    sizes
+}
+
+/// Thread sweep over the parallel QAP pipeline plus the edge-reuse path.
+/// Output is byte-identical at every thread count, so the sweep measures
+/// pure wall-clock; `reuse` feeds the presorted catalog edge list to the
+/// solver the way the iteration engine / crowd platform do each round.
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers/parallel");
+    group.sample_size(10);
+    for &n in &parallel_sizes() {
+        let inst = build_instance(n, n / 10, 20, 10, 0x51);
+        for &threads in &[1usize, 2, 4, 8] {
+            let solver = HtaGre::structured().with_threads(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("hta-gre-structured/t{threads}"), n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| {
+                        let mut rng = StdRng::seed_from_u64(1);
+                        black_box(solver.solve(inst, &mut rng).assignment.assigned_count())
+                    })
+                },
+            );
+        }
+        if n <= 1_000 {
+            for &threads in &[1usize, 4] {
+                let solver = HtaApp::structured().with_threads(threads);
+                group.bench_with_input(
+                    BenchmarkId::new(format!("hta-app-structured/t{threads}"), n),
+                    &inst,
+                    |b, inst| {
+                        b.iter(|| {
+                            let mut rng = StdRng::seed_from_u64(1);
+                            black_box(solver.solve(inst, &mut rng).assignment.assigned_count())
+                        })
+                    },
+                );
+            }
+        }
+        // Edge reuse: enumerate + sort the catalog's diversity edges once,
+        // then solve against the presorted list (every iteration after the
+        // first pays only the filter, not the O(n²) enumerate + sort).
+        let cache = DiversityEdgeCache::from_instance(&inst, 1);
+        let solver = HtaGre::structured().with_threads(1);
+        group.bench_with_input(
+            BenchmarkId::new("hta-gre-structured/reuse", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    black_box(
+                        solver
+                            .solve_with_diversity_edges(inst, cache.edges(), &mut rng)
+                            .assignment
+                            .assigned_count(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+// ---- BENCH_solvers.json: machine-readable per-phase timings ---------------
+
+struct PhaseSample {
+    label: String,
+    n_tasks: usize,
+    threads: usize,
+    edge_enum: Duration,
+    matching: Duration,
+    lsap: Duration,
+    total: Duration,
+}
+
+fn best_of<R>(runs: usize, mut f: impl FnMut() -> (R, Duration)) -> (R, Duration) {
+    let mut best = f();
+    for _ in 1..runs {
+        let next = f();
+        if next.1 < best.1 {
+            best = next;
+        }
+    }
+    best
+}
+
+/// Re-measure every sweep point once more, capturing the [`PhaseTimings`]
+/// breakdown (criterion's loop only sees totals), and write the lot to
+/// `BENCH_solvers.json` at the repo root.
+fn emit_phase_json() {
+    let runs = 3usize;
+    let mut samples: Vec<PhaseSample> = Vec::new();
+    for &n in &parallel_sizes() {
+        let inst = build_instance(n, n / 10, 20, 10, 0x51);
+        for &threads in &[1usize, 2, 4, 8] {
+            let solver = HtaGre::structured().with_threads(threads);
+            let (out, wall) = best_of(runs, || {
+                let start = std::time::Instant::now();
+                let mut rng = StdRng::seed_from_u64(1);
+                let out = solver.solve(&inst, &mut rng);
+                (out, start.elapsed())
+            });
+            samples.push(PhaseSample {
+                label: "hta-gre-structured".into(),
+                n_tasks: n,
+                threads,
+                edge_enum: out.timings.edge_enum,
+                matching: out.timings.matching,
+                lsap: out.timings.lsap,
+                total: wall,
+            });
+        }
+        let cache = DiversityEdgeCache::from_instance(&inst, 1);
+        let solver = HtaGre::structured().with_threads(1);
+        let (out, wall) = best_of(runs, || {
+            let start = std::time::Instant::now();
+            let mut rng = StdRng::seed_from_u64(1);
+            let out = solver.solve_with_diversity_edges(&inst, cache.edges(), &mut rng);
+            (out, start.elapsed())
+        });
+        samples.push(PhaseSample {
+            label: "hta-gre-structured/reuse".into(),
+            n_tasks: n,
+            threads: 1,
+            edge_enum: out.timings.edge_enum,
+            matching: out.timings.matching,
+            lsap: out.timings.lsap,
+            total: wall,
+        });
+    }
+
+    let mut json = String::from("{\n  \"group\": \"solvers/parallel\",\n  \"samples\": [\n");
+    for (i, s) in samples.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"label\": \"{}\", \"n_tasks\": {}, \"threads\": {}, \
+             \"edge_enum_s\": {:.6}, \"matching_s\": {:.6}, \"lsap_s\": {:.6}, \
+             \"total_s\": {:.6}}}{}\n",
+            s.label,
+            s.n_tasks,
+            s.threads,
+            s.edge_enum.as_secs_f64(),
+            s.matching.as_secs_f64(),
+            s.lsap.as_secs_f64(),
+            s.total.as_secs_f64(),
+            if i + 1 < samples.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop(); // crates/
+    path.pop(); // repo root
+    path.push("BENCH_solvers.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("per-phase timings written to {}", path.display()),
+        Err(e) => eprintln!("BENCH_solvers.json write failed: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_solvers, bench_parallel);
+
+fn main() {
+    benches();
+    emit_phase_json();
+}

@@ -75,6 +75,7 @@ pub fn solve(args: &Args) -> CmdResult {
         "out",
         "candidates",
         "shards",
+        "solver-threads",
     ])?;
     let tasks_file = args.require("tasks")?;
     let workers_file = args.require("workers")?;
@@ -82,6 +83,7 @@ pub fn solve(args: &Args) -> CmdResult {
     let algorithm = args.get("algorithm").unwrap_or("gre");
     let seed: u64 = args.get_or("seed", 0)?;
     let shards: usize = args.get_or("shards", 0)?;
+    let solver_threads: usize = args.get_or("solver-threads", 0)?;
     let candidates: CandidateMode = match args.get("candidates") {
         Some(s) => s
             .parse()
@@ -109,10 +111,16 @@ pub fn solve(args: &Args) -> CmdResult {
         .collect();
     let workers: Vec<Worker> = worker_pool.workers().to_vec();
 
+    // `--solver-threads 0` defers to `HTA_SOLVER_THREADS`, then hardware;
+    // the pipeline's output is byte-identical at any thread count.
     let solver: Box<dyn Solver> = match algorithm {
-        "app" => Box::new(HtaApp::new()),
-        "app-hungarian" => Box::new(HtaApp::new().with_classic_hungarian()),
-        "gre" => Box::new(HtaGre::new()),
+        "app" => Box::new(HtaApp::new().with_threads(solver_threads)),
+        "app-hungarian" => Box::new(
+            HtaApp::new()
+                .with_classic_hungarian()
+                .with_threads(solver_threads),
+        ),
+        "gre" => Box::new(HtaGre::new().with_threads(solver_threads)),
         "greedy" => Box::new(GreedyMotivation),
         "random" => Box::new(RandomAssign),
         other => return Err(format!("unknown algorithm '{other}'").into()),
@@ -236,11 +244,19 @@ pub fn analyze(args: &Args) -> CmdResult {
 
 /// `hta simulate` — the Figure 5 online experiment at custom scale.
 pub fn simulate(args: &Args) -> CmdResult {
-    args.reject_unknown(&["sessions", "catalog", "seed", "candidates", "shards"])?;
+    args.reject_unknown(&[
+        "sessions",
+        "catalog",
+        "seed",
+        "candidates",
+        "shards",
+        "solver-threads",
+    ])?;
     let sessions: usize = args.get_or("sessions", 8)?;
     let catalog: usize = args.get_or("catalog", 2000)?;
     let seed: u64 = args.get_or("seed", 0x5E59)?;
     let shards: usize = args.get_or("shards", 0)?;
+    let solver_threads: usize = args.get_or("solver-threads", 0)?;
     let candidates: CandidateMode = match args.get("candidates") {
         Some(s) => s
             .parse()
@@ -259,6 +275,7 @@ pub fn simulate(args: &Args) -> CmdResult {
     };
     cfg.platform.candidates = candidates;
     cfg.platform.index_shards = shards;
+    cfg.platform.solver_threads = solver_threads;
     let results = hta_crowd::experiment::run(&cfg);
     println!(
         "{:<13} {:>9} {:>10} {:>14} {:>10} {:>11}",
@@ -408,6 +425,46 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.to_string().contains("top-k"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solver_thread_knob_does_not_change_the_assignment() {
+        let dir = std::env::temp_dir().join("hta-cli-test-threads");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tasks = dir.join("tasks.csv");
+        let workers_f = dir.join("workers.csv");
+        let t = tasks.to_str().unwrap();
+        let w = workers_f.to_str().unwrap();
+        generate(&args(&[
+            "generate", "--tasks", "40", "--groups", "8", "--out", t,
+        ]))
+        .unwrap();
+        workers(&args(&[
+            "workers", "--count", "3", "--tasks", t, "--out", w,
+        ]))
+        .unwrap();
+
+        let mut outputs = Vec::new();
+        for threads in ["1", "3"] {
+            let out = dir.join(format!("assignment-{threads}.csv"));
+            solve(&args(&[
+                "solve",
+                "--tasks",
+                t,
+                "--workers",
+                w,
+                "--xmax",
+                "4",
+                "--solver-threads",
+                threads,
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            outputs.push(std::fs::read_to_string(&out).unwrap());
+        }
+        assert_eq!(outputs[0], outputs[1], "assignment depends on thread count");
         std::fs::remove_dir_all(&dir).ok();
     }
 

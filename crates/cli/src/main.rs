@@ -34,6 +34,9 @@ COMMANDS:
                inverted-index candidate pool instead of every task
              --shards N (0 = auto)  — keyword-range shards of the
                retrieval index used by topk
+             --solver-threads N (0 = auto: HTA_SOLVER_THREADS, then
+               hardware)  — pipeline threads; output is byte-identical
+               at any value
              --seed S (0)      --out FILE (optional assignment CSV)
   analyze    Structural analysis of a task+worker instance (degeneracy,
              diversity/relevance distributions, solver recommendation)
@@ -41,6 +44,7 @@ COMMANDS:
   simulate   Run the online crowdsourcing simulation (Figure 5 style)
              --sessions N (8)  --catalog M (2000)  --seed S (0x5E59)
              --candidates full|topk:K (full)  --shards N (0 = auto)
+             --solver-threads N (0 = auto)
   example    Print the paper's worked example (Table I / Figure 1)
   help       Show this message
 ";

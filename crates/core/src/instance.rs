@@ -20,8 +20,8 @@ use crate::worker::{Weights, Worker, WorkerId};
 /// dense diversity cache automatically.
 pub const AUTO_CACHE_MIN_TASKS: usize = 32;
 
-/// Largest task count for which the cache is auto-built (4·n² bytes: 4096
-/// tasks cap the cache at 64 MiB).
+/// Largest task count for which the cache is auto-built (8·n² bytes: 4096
+/// tasks cap the cache at 128 MiB).
 pub const AUTO_CACHE_MAX_TASKS: usize = 4096;
 
 enum Diversity {
@@ -41,8 +41,11 @@ pub struct Instance {
     /// Worker-major relevance: `rel[w * n_tasks + t]`.
     rel: Vec<f64>,
     diversity: Diversity,
-    /// Optional dense diversity cache (row-major upper use; full n×n).
-    cache: Option<Vec<f32>>,
+    /// Optional dense diversity cache (row-major, full n×n). Stored at full
+    /// `f64` precision so cached reads are bit-identical to the uncached
+    /// `distance.dist` values — the solver pipeline's edge-reuse path
+    /// depends on cached and recomputed diversities agreeing exactly.
+    cache: Option<Vec<f64>>,
     distance_name: &'static str,
     distance_is_metric: bool,
 }
@@ -116,7 +119,7 @@ impl Instance {
         // Solvers read every diversity pair several times; recomputing the
         // distance per read dominates their hot loops. Auto-build the dense
         // cache for mid-sized instances: below the lower bound the recompute
-        // is cheap anyway, above the upper bound the O(n²) f32 cache would
+        // is cheap anyway, above the upper bound the O(n²) f64 cache would
         // not fit a sane memory budget (callers can still opt in explicitly
         // through `build_diversity_cache*`).
         let n = inst.tasks.len();
@@ -192,14 +195,16 @@ impl Instance {
         })
     }
 
-    /// Precompute the dense `n × n` diversity cache (`f32`, ~4·n² bytes).
-    /// Worth it when a solver reads every pair more than once.
+    /// Precompute the dense `n × n` diversity cache (`f64`, ~8·n² bytes).
+    /// Worth it when a solver reads every pair more than once. Cached values
+    /// are the exact `f64` distances, so building the cache never changes
+    /// what [`Self::diversity`] returns.
     pub fn build_diversity_cache(&mut self) {
         let n = self.tasks.len();
-        let mut cache = vec![0.0f32; n * n];
+        let mut cache = vec![0.0f64; n * n];
         for k in 0..n {
             for l in (k + 1)..n {
-                let d = self.diversity_uncached(k, l) as f32;
+                let d = self.diversity_uncached(k, l);
                 cache[k * n + l] = d;
                 cache[l * n + k] = d;
             }
@@ -220,13 +225,13 @@ impl Instance {
             self.build_diversity_cache();
             return;
         }
-        let mut cache = vec![0.0f32; n * n];
+        let mut cache = vec![0.0f64; n * n];
         {
-            let rows: Vec<&mut [f32]> = cache.chunks_mut(n).collect();
+            let rows: Vec<&mut [f64]> = cache.chunks_mut(n).collect();
             let this = &*self;
             // Hand each thread every `threads`-th row (with its slot in the
             // round-robin deal) so long and short rows mix evenly.
-            let mut per_thread: Vec<Vec<(usize, &mut [f32])>> =
+            let mut per_thread: Vec<Vec<(usize, &mut [f64])>> =
                 (0..threads).map(|_| Vec::new()).collect();
             for (k, row) in rows.into_iter().enumerate() {
                 per_thread[k % threads].push((k, row));
@@ -236,7 +241,7 @@ impl Instance {
                     scope.spawn(move || {
                         for (k, row) in chunk {
                             for (l, slot) in row.iter_mut().enumerate().skip(k + 1) {
-                                *slot = this.diversity_uncached(k, l) as f32;
+                                *slot = this.diversity_uncached(k, l);
                             }
                         }
                     });
@@ -303,7 +308,7 @@ impl Instance {
             return 0.0;
         }
         if let Some(cache) = &self.cache {
-            return cache[k * self.tasks.len() + l] as f64;
+            return cache[k * self.tasks.len() + l];
         }
         self.diversity_uncached(k, l)
     }
@@ -442,10 +447,13 @@ mod tests {
         // At and above: the solvers' hot loops read cached values.
         let inst = mk(AUTO_CACHE_MIN_TASKS);
         assert!(inst.has_diversity_cache());
-        // Cached values agree with the recomputed metric.
+        // Cached values are bit-identical to the recomputed metric.
         for k in 0..4 {
             for l in 0..4 {
-                assert!((inst.diversity(k, l) - inst.diversity_uncached(k, l)).abs() < 1e-6);
+                assert_eq!(
+                    inst.diversity(k, l).to_bits(),
+                    inst.diversity_uncached(k, l).to_bits()
+                );
             }
         }
         // Matrix-backed instances never need the cache: lookups are O(1).
@@ -501,7 +509,7 @@ mod tests {
             inst.diversity(1, 2),
         ];
         for (b, a) in before.iter().zip(&after) {
-            assert!((b - a).abs() < 1e-6);
+            assert_eq!(b.to_bits(), a.to_bits());
         }
     }
 }

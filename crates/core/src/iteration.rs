@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use rand::Rng;
 
+use crate::edges::DiversityEdgeCache;
 use crate::error::HtaError;
 use crate::instance::Instance;
 use crate::metric::{Distance, Jaccard};
@@ -68,6 +69,7 @@ pub struct IterationEngine {
     available: Vec<bool>,
     iteration: usize,
     candidates: Option<Box<dyn CandidateGenerator>>,
+    edge_cache: Option<DiversityEdgeCache>,
 }
 
 impl IterationEngine {
@@ -102,7 +104,34 @@ impl IterationEngine {
             available,
             iteration: 0,
             candidates: None,
+            edge_cache: None,
         })
+    }
+
+    /// Precompute the full-catalog sorted diversity edge list once and reuse
+    /// it on every iteration: the open-task subset is filtered out of the
+    /// global list instead of re-enumerating and re-sorting `O(|T|²)` pairs
+    /// per iteration. Results are byte-identical to the non-reusing path
+    /// (the filtered sublist equals a fresh enumerate-and-sort).
+    ///
+    /// `threads` controls the one-off build (`0` = auto).
+    pub fn enable_edge_reuse(&mut self, threads: usize) {
+        let threads = hta_par::solver_threads(threads);
+        self.edge_cache = Some(DiversityEdgeCache::build(
+            self.tasks.tasks(),
+            self.distance.as_ref(),
+            threads,
+        ));
+    }
+
+    /// Drop the precomputed edge list (back to per-iteration enumeration).
+    pub fn disable_edge_reuse(&mut self) {
+        self.edge_cache = None;
+    }
+
+    /// Whether the reusable edge list is active.
+    pub fn edge_reuse_enabled(&self) -> bool {
+        self.edge_cache.is_some()
     }
 
     /// Install a candidate-generation stage (sparse mode). Subsequent
@@ -239,7 +268,23 @@ impl IterationEngine {
             Arc::clone(&self.distance),
             false,
         )?;
-        let out = solver.solve(&inst, rng);
+        // Edge reuse: the frozen tasks' global indices are ascending (pool
+        // order, and candidate selection keeps them sorted), so the filtered
+        // sublist of the global sorted edge list is exactly what enumerating
+        // and sorting this instance would produce. Fall back to a fresh
+        // solve if a future code path ever breaks the ordering.
+        let out = match &self.edge_cache {
+            Some(cache) => {
+                let open: Vec<u32> = local_to_global.iter().map(|t| t.0).collect();
+                if open.windows(2).all(|w| w[0] < w[1]) {
+                    let edges = cache.filter_sorted(&open);
+                    solver.solve_with_diversity_edges(&inst, &edges, rng)
+                } else {
+                    solver.solve(&inst, rng)
+                }
+            }
+            None => solver.solve(&inst, rng),
+        };
         out.assignment.validate(&inst)?;
         let objective = out.assignment.objective(&inst);
 
@@ -431,6 +476,56 @@ mod tests {
         let r = engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
         let n: usize = r.assignments.iter().map(|(_, t)| t.len()).sum();
         assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn edge_reuse_is_byte_identical_across_iterations() {
+        let solver = HtaGre::new().with_threads(1);
+        let mut plain = setup(30, 2, 3);
+        let mut reusing = setup(30, 2, 3);
+        reusing.enable_edge_reuse(2);
+        assert!(reusing.edge_reuse_enabled());
+        let mut rng_a = StdRng::seed_from_u64(17);
+        let mut rng_b = StdRng::seed_from_u64(17);
+        for _ in 0..4 {
+            let a = plain.run_iteration(&solver, &mut rng_a).unwrap();
+            let b = reusing.run_iteration(&solver, &mut rng_b).unwrap();
+            assert_eq!(a.assignments, b.assignments);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+        reusing.disable_edge_reuse();
+        assert!(!reusing.edge_reuse_enabled());
+        let a = plain.run_iteration(&solver, &mut rng_a).unwrap();
+        let b = reusing.run_iteration(&solver, &mut rng_b).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn edge_reuse_composes_with_candidate_generation() {
+        let solver = HtaGre::new().with_threads(1);
+        let generator = || {
+            Box::new(|tasks: &[Task], workers: &[Worker], xmax: usize| {
+                // Every other frozen task, capped well above |W|·xmax.
+                Some(
+                    (0..tasks.len())
+                        .step_by(2)
+                        .take((workers.len() * xmax) * 2)
+                        .collect(),
+                )
+            })
+        };
+        let mut plain = setup(24, 2, 2);
+        plain.set_candidate_generator(generator());
+        let mut reusing = setup(24, 2, 2);
+        reusing.set_candidate_generator(generator());
+        reusing.enable_edge_reuse(0);
+        let mut rng_a = StdRng::seed_from_u64(23);
+        let mut rng_b = StdRng::seed_from_u64(23);
+        for _ in 0..3 {
+            let a = plain.run_iteration(&solver, &mut rng_a).unwrap();
+            let b = reusing.run_iteration(&solver, &mut rng_b).unwrap();
+            assert_eq!(a.assignments, b.assignments);
+        }
     }
 
     #[test]

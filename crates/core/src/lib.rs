@@ -65,6 +65,7 @@ pub mod adaptive;
 pub mod analysis;
 pub mod assignment;
 pub mod bitvec;
+pub mod edges;
 pub mod error;
 pub mod instance;
 pub mod iteration;
@@ -80,7 +81,9 @@ pub mod worker;
 pub use adaptive::WeightEstimator;
 pub use assignment::Assignment;
 pub use bitvec::KeywordVec;
+pub use edges::DiversityEdgeCache;
 pub use error::HtaError;
+pub use hta_matching::WeightedEdge;
 pub use instance::Instance;
 pub use iteration::{CandidateGenerator, IterationEngine, IterationResult};
 pub use keywords::{KeywordId, KeywordSpace};

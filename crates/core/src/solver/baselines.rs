@@ -20,6 +20,7 @@ fn outcome(assignment: Assignment, start: std::time::Instant) -> SolveOutcome {
     SolveOutcome {
         assignment,
         timings: PhaseTimings {
+            edge_enum: std::time::Duration::ZERO,
             matching: std::time::Duration::ZERO,
             lsap: std::time::Duration::ZERO,
             total: start.elapsed(),

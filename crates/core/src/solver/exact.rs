@@ -135,6 +135,7 @@ impl Solver for ExactSolver {
         SolveOutcome {
             assignment,
             timings: PhaseTimings {
+                edge_enum: std::time::Duration::ZERO,
                 matching: std::time::Duration::ZERO,
                 lsap: std::time::Duration::ZERO,
                 total: start.elapsed(),

@@ -7,8 +7,10 @@
 
 use rand::Rng;
 
+use hta_matching::WeightedEdge;
+
 use crate::instance::Instance;
-use crate::solver::qap_pipeline::{solve_via_qap, PipelineOptions};
+use crate::solver::qap_pipeline::{solve_via_qap, solve_via_qap_with_edges, PipelineOptions};
 use crate::solver::{CostRepresentation, LsapStrategy, SolveOutcome, Solver};
 
 /// The HTA-APP solver. See [module docs](self).
@@ -17,16 +19,18 @@ pub struct HtaApp {
     representation: CostRepresentation,
     lsap: LsapStrategy,
     random_flip: bool,
+    threads: usize,
 }
 
 impl HtaApp {
     /// Paper-faithful configuration: dense cost matrix, exact JV LSAP,
-    /// random flip enabled.
+    /// random flip enabled, automatic thread count.
     pub fn new() -> Self {
         Self {
             representation: CostRepresentation::Dense,
             lsap: LsapStrategy::ExactJv,
             random_flip: true,
+            threads: 0,
         }
     }
 
@@ -36,7 +40,7 @@ impl HtaApp {
         Self {
             representation: CostRepresentation::Classed,
             lsap: LsapStrategy::StructuredExact,
-            random_flip: true,
+            ..Self::new()
         }
     }
 
@@ -60,6 +64,22 @@ impl HtaApp {
         self.random_flip = false;
         self
     }
+
+    /// Pin the pipeline thread count (`0` = auto: `HTA_SOLVER_THREADS`,
+    /// then the hardware default). Output is byte-identical at any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn options(&self) -> PipelineOptions {
+        PipelineOptions {
+            lsap: self.lsap,
+            representation: self.representation,
+            random_flip: self.random_flip,
+            threads: self.threads,
+        }
+    }
 }
 
 impl Default for HtaApp {
@@ -80,15 +100,16 @@ impl Solver for HtaApp {
     }
 
     fn solve(&self, inst: &Instance, rng: &mut dyn Rng) -> SolveOutcome {
-        solve_via_qap(
-            inst,
-            PipelineOptions {
-                lsap: self.lsap,
-                representation: self.representation,
-                random_flip: self.random_flip,
-            },
-            rng,
-        )
+        solve_via_qap(inst, self.options(), rng)
+    }
+
+    fn solve_with_diversity_edges(
+        &self,
+        inst: &Instance,
+        sorted_edges: &[WeightedEdge],
+        rng: &mut dyn Rng,
+    ) -> SolveOutcome {
+        solve_via_qap_with_edges(inst, self.options(), sorted_edges, rng)
     }
 }
 

@@ -8,8 +8,10 @@
 
 use rand::Rng;
 
+use hta_matching::WeightedEdge;
+
 use crate::instance::Instance;
-use crate::solver::qap_pipeline::{solve_via_qap, PipelineOptions};
+use crate::solver::qap_pipeline::{solve_via_qap, solve_via_qap_with_edges, PipelineOptions};
 use crate::solver::{CostRepresentation, LsapStrategy, SolveOutcome, Solver};
 
 /// The HTA-GRE solver. See [module docs](self).
@@ -17,15 +19,17 @@ use crate::solver::{CostRepresentation, LsapStrategy, SolveOutcome, Solver};
 pub struct HtaGre {
     representation: CostRepresentation,
     random_flip: bool,
+    threads: usize,
 }
 
 impl HtaGre {
     /// Paper-faithful configuration: dense profit entries (`n²` sorted),
-    /// random flip enabled.
+    /// random flip enabled, automatic thread count.
     pub fn new() -> Self {
         Self {
             representation: CostRepresentation::Dense,
             random_flip: true,
+            threads: 0,
         }
     }
 
@@ -35,7 +39,7 @@ impl HtaGre {
     pub fn structured() -> Self {
         Self {
             representation: CostRepresentation::Classed,
-            random_flip: true,
+            ..Self::new()
         }
     }
 
@@ -43,6 +47,22 @@ impl HtaGre {
     pub fn without_flip(mut self) -> Self {
         self.random_flip = false;
         self
+    }
+
+    /// Pin the pipeline thread count (`0` = auto: `HTA_SOLVER_THREADS`,
+    /// then the hardware default). Output is byte-identical at any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    fn options(&self) -> PipelineOptions {
+        PipelineOptions {
+            lsap: LsapStrategy::Greedy,
+            representation: self.representation,
+            random_flip: self.random_flip,
+            threads: self.threads,
+        }
     }
 }
 
@@ -61,15 +81,16 @@ impl Solver for HtaGre {
     }
 
     fn solve(&self, inst: &Instance, rng: &mut dyn Rng) -> SolveOutcome {
-        solve_via_qap(
-            inst,
-            PipelineOptions {
-                lsap: LsapStrategy::Greedy,
-                representation: self.representation,
-                random_flip: self.random_flip,
-            },
-            rng,
-        )
+        solve_via_qap(inst, self.options(), rng)
+    }
+
+    fn solve_with_diversity_edges(
+        &self,
+        inst: &Instance,
+        sorted_edges: &[WeightedEdge],
+        rng: &mut dyn Rng,
+    ) -> SolveOutcome {
+        solve_via_qap_with_edges(inst, self.options(), sorted_edges, rng)
     }
 }
 

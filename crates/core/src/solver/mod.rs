@@ -22,12 +22,17 @@ use rand::Rng;
 use crate::assignment::Assignment;
 use crate::instance::Instance;
 
-/// Wall-clock timings of the two expensive phases of the QAP pipeline —
-/// exactly the decomposition plotted in the paper's Figure 2a
-/// ("Matching" vs "Lsap").
+/// Wall-clock timings of the expensive phases of the QAP pipeline — the
+/// decomposition plotted in the paper's Figure 2a ("Matching" vs "Lsap"),
+/// with diversity-edge enumeration split out as its own phase now that it
+/// can be parallelized (and skipped entirely on the edge-reuse path).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseTimings {
-    /// The maximum-weight matching `M_B` on the diversity graph.
+    /// Enumerating the positive-weight diversity edges (`O(|T|²)` distance
+    /// reads). Zero when a precomputed edge list was supplied.
+    pub edge_enum: Duration,
+    /// The maximum-weight matching `M_B` on the diversity graph (sort +
+    /// greedy scan).
     pub matching: Duration,
     /// Solving the auxiliary LSAP (Hungarian/JV for HTA-APP, greedy for
     /// HTA-GRE).
@@ -60,6 +65,23 @@ pub trait Solver {
 
     /// Solve one instance.
     fn solve(&self, inst: &Instance, rng: &mut dyn Rng) -> SolveOutcome;
+
+    /// Solve one instance, reusing a precomputed positive-diversity edge
+    /// list sorted by [`hta_matching::edge_order`] (local task indices, as
+    /// produced by [`crate::edges::DiversityEdgeCache::filter_sorted`]).
+    ///
+    /// Solvers that go through the QAP pipeline override this to skip edge
+    /// enumeration and the matching sort; the default ignores the edges and
+    /// must produce the same result as [`Self::solve`].
+    fn solve_with_diversity_edges(
+        &self,
+        inst: &Instance,
+        sorted_edges: &[hta_matching::WeightedEdge],
+        rng: &mut dyn Rng,
+    ) -> SolveOutcome {
+        let _ = sorted_edges;
+        self.solve(inst, rng)
+    }
 }
 
 #[cfg(test)]
@@ -69,6 +91,7 @@ mod tests {
     #[test]
     fn phase_timings_default_is_zero() {
         let t = PhaseTimings::default();
+        assert_eq!(t.edge_enum, Duration::ZERO);
         assert_eq!(t.matching, Duration::ZERO);
         assert_eq!(t.lsap, Duration::ZERO);
         assert_eq!(t.total, Duration::ZERO);

@@ -15,14 +15,30 @@
 //! Instances with fewer than `|W|·X_max` tasks are padded with *virtual*
 //! tasks (zero diversity, zero relevance) so the clique mapping stays
 //! well-formed; virtual rows are dropped when building the assignment.
+//!
+//! # Parallelism and determinism
+//!
+//! Four stages run on `threads` scoped threads (resolved through
+//! [`hta_par::solver_threads`]; `0` = auto): diversity-edge enumeration
+//! (row-chunked, concatenated in chunk order), the edge sort inside the
+//! greedy matching (per-chunk sorts + a chunk-order-stable merge),
+//! profit-matrix materialization (row chunks), and the LSAP itself when the
+//! strategy supports it (threaded greedy; synchronous-Jacobi auction). Every
+//! parallel stage is engineered to produce **byte-identical** output at any
+//! thread count — same assignment, same `lsap_value` bits — so the thread
+//! knob is purely a performance setting.
 
 use std::time::Instant;
 
 use rand::{Rng, RngExt};
 
 use hta_matching::lsap::{auction, greedy as lsap_greedy, hungarian, jv, structured};
-use hta_matching::{greedy_matching, ClassedCosts, CostMatrix, DenseMatrix, WeightedEdge};
+use hta_matching::{
+    greedy_matching_presorted, greedy_matching_with_threads, ClassedCosts, CostMatrix, DenseMatrix,
+    Matching, WeightedEdge,
+};
 
+use crate::edges::enumerate_positive_edges;
 use crate::instance::Instance;
 use crate::qap::{assignment_from_permutation, worker_of_vertex};
 use crate::solver::{PhaseTimings, SolveOutcome};
@@ -37,7 +53,8 @@ pub enum LsapStrategy {
     ExactClassicHungarian,
     /// ½-approximate greedy matching (HTA-GRE).
     Greedy,
-    /// Bertsekas auction with ε-scaling (ablation).
+    /// Bertsekas auction with ε-scaling (ablation). Runs the synchronous
+    /// Jacobi variant so results are identical at any thread count.
     Auction,
     /// Exact transportation solver over column classes (ablation).
     StructuredExact,
@@ -60,6 +77,9 @@ pub struct PipelineOptions {
     /// Apply the random ½-flip of matched pairs (disable only for the
     /// ablation study; the approximation proof needs it).
     pub random_flip: bool,
+    /// Solver threads: `0` = auto (`HTA_SOLVER_THREADS`, then the hardware
+    /// default). Results are byte-identical at any value.
+    pub threads: usize,
 }
 
 pub(crate) fn solve_via_qap(
@@ -67,7 +87,29 @@ pub(crate) fn solve_via_qap(
     opts: PipelineOptions,
     rng: &mut dyn Rng,
 ) -> SolveOutcome {
+    solve_via_qap_impl(inst, opts, None, rng)
+}
+
+/// [`solve_via_qap`] reusing a precomputed, `edge_order`-sorted
+/// positive-diversity edge list (local task indices) — skips edge
+/// enumeration and the matching sort entirely.
+pub(crate) fn solve_via_qap_with_edges(
+    inst: &Instance,
+    opts: PipelineOptions,
+    sorted_edges: &[WeightedEdge],
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
+    solve_via_qap_impl(inst, opts, Some(sorted_edges), rng)
+}
+
+fn solve_via_qap_impl(
+    inst: &Instance,
+    opts: PipelineOptions,
+    presorted: Option<&[WeightedEdge]>,
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
     let t_start = Instant::now();
+    let threads = hta_par::solver_threads(opts.threads);
     let n_real = inst.n_tasks();
     let nw = inst.n_workers();
     let xmax = inst.xmax();
@@ -75,18 +117,21 @@ pub(crate) fn solve_via_qap(
     let n = n_real.max(nw * xmax);
 
     // ---- Step 2: greedy max-weight matching M_B on diversity -------------
-    let t_matching = Instant::now();
-    let mut edges = Vec::with_capacity(n_real.saturating_sub(1) * n_real / 2);
-    for u in 0..n_real {
-        for v in (u + 1)..n_real {
-            let w = inst.diversity(u, v);
-            if w > 0.0 {
-                edges.push(WeightedEdge::new(u as u32, v as u32, w));
-            }
+    let (mb, edge_enum_time, matching_time) = match presorted {
+        Some(edges) => {
+            let t_matching = Instant::now();
+            let mb = greedy_matching_presorted(n, edges);
+            (mb, std::time::Duration::ZERO, t_matching.elapsed())
         }
-    }
-    let mb = greedy_matching(n, &edges);
-    let matching_time = t_matching.elapsed();
+        None => {
+            let t_enum = Instant::now();
+            let edges = enumerate_positive_edges(n_real, threads, |u, v| inst.diversity(u, v));
+            let edge_enum_time = t_enum.elapsed();
+            let t_matching = Instant::now();
+            let mb = greedy_matching_with_threads(n, &edges, threads);
+            (mb, edge_enum_time, t_matching.elapsed())
+        }
+    };
 
     // b_M(t_k): weight of the matched edge incident to task k (0 otherwise,
     // and 0 for virtual rows).
@@ -111,20 +156,50 @@ pub(crate) fn solve_via_qap(
     let t_lsap = Instant::now();
     let lsap_solution = match opts.representation {
         CostRepresentation::Dense => {
-            let dense = DenseMatrix::from_fn(n, |k, l| {
+            let dense = DenseMatrix::from_fn_parallel(n, threads, |k, l| {
                 profit(k, worker_of_vertex(l, xmax, nw).unwrap_or(nw))
             });
-            run_lsap(&dense, opts.lsap)
+            run_lsap(&dense, opts.lsap, threads)
         }
         CostRepresentation::Classed => {
             let classes: Vec<u32> = (0..n)
                 .map(|l| worker_of_vertex(l, xmax, nw).unwrap_or(nw) as u32)
                 .collect();
-            let classed = ClassedCosts::new(n, nw + 1, classes, profit);
-            run_lsap(&classed, opts.lsap)
+            let classed = ClassedCosts::new_parallel(n, nw + 1, classes, threads, profit);
+            run_lsap(&classed, opts.lsap, threads)
         }
     };
     let lsap_time = t_lsap.elapsed();
+
+    finish(
+        inst,
+        opts,
+        mb,
+        lsap_solution,
+        PhaseTimings {
+            edge_enum: edge_enum_time,
+            matching: matching_time,
+            lsap: lsap_time,
+            total: std::time::Duration::ZERO, // patched below
+        },
+        t_start,
+        rng,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    inst: &Instance,
+    opts: PipelineOptions,
+    mb: Matching,
+    lsap_solution: hta_matching::LsapSolution,
+    mut timings: PhaseTimings,
+    t_start: Instant,
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
+    let n_real = inst.n_tasks();
+    let nw = inst.n_workers();
+    let xmax = inst.xmax();
 
     // ---- Step 5: random flip of matched pairs (Alg. 1 lines 12-16) -------
     let mut pi = lsap_solution.assignment;
@@ -140,23 +215,26 @@ pub(crate) fn solve_via_qap(
     let assignment = assignment_from_permutation(&pi, n_real, xmax, nw);
     debug_assert!(assignment.validate(inst).is_ok());
 
+    timings.total = t_start.elapsed();
     SolveOutcome {
         assignment,
-        timings: PhaseTimings {
-            matching: matching_time,
-            lsap: lsap_time,
-            total: t_start.elapsed(),
-        },
+        timings,
         lsap_value: lsap_solution.value,
     }
 }
 
-fn run_lsap(costs: &impl CostMatrix, strategy: LsapStrategy) -> hta_matching::LsapSolution {
+fn run_lsap(
+    costs: &(impl CostMatrix + Sync),
+    strategy: LsapStrategy,
+    threads: usize,
+) -> hta_matching::LsapSolution {
     match strategy {
         LsapStrategy::ExactJv => jv::solve(costs),
         LsapStrategy::ExactClassicHungarian => hungarian::solve(costs),
-        LsapStrategy::Greedy => lsap_greedy::solve(costs),
-        LsapStrategy::Auction => auction::solve(costs),
+        LsapStrategy::Greedy => lsap_greedy::solve_with_threads(costs, threads),
+        // Jacobi at every thread count (including 1) so the strategy's
+        // output does not depend on the thread knob.
+        LsapStrategy::Auction => auction::solve_jacobi(costs, threads),
         LsapStrategy::StructuredExact => structured::solve(costs),
     }
 }
@@ -167,6 +245,15 @@ mod tests {
     use crate::qap::paper_example;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    fn opts(lsap: LsapStrategy, representation: CostRepresentation) -> PipelineOptions {
+        PipelineOptions {
+            lsap,
+            representation,
+            random_flip: true,
+            threads: 1,
+        }
+    }
 
     fn run(opts: PipelineOptions, seed: u64) -> SolveOutcome {
         let inst = paper_example();
@@ -184,14 +271,7 @@ mod tests {
             LsapStrategy::StructuredExact,
         ] {
             for repr in [CostRepresentation::Dense, CostRepresentation::Classed] {
-                let out = run(
-                    PipelineOptions {
-                        lsap,
-                        representation: repr,
-                        random_flip: true,
-                    },
-                    7,
-                );
+                let out = run(opts(lsap, repr), 7);
                 out.assignment.validate(&inst).unwrap();
                 // 2 workers × X_max 3 = 6 of the 8 tasks assigned.
                 assert_eq!(out.assignment.assigned_count(), 6);
@@ -203,53 +283,87 @@ mod tests {
     #[test]
     fn exact_lsap_value_independent_of_representation() {
         let a = run(
-            PipelineOptions {
-                lsap: LsapStrategy::ExactJv,
-                representation: CostRepresentation::Dense,
-                random_flip: false,
-            },
+            opts(LsapStrategy::ExactJv, CostRepresentation::Dense).no_flip(),
             1,
         );
         let b = run(
-            PipelineOptions {
-                lsap: LsapStrategy::ExactJv,
-                representation: CostRepresentation::Classed,
-                random_flip: false,
-            },
+            opts(LsapStrategy::ExactJv, CostRepresentation::Classed).no_flip(),
             1,
         );
         assert!((a.lsap_value - b.lsap_value).abs() < 1e-9);
         let c = run(
-            PipelineOptions {
-                lsap: LsapStrategy::StructuredExact,
-                representation: CostRepresentation::Classed,
-                random_flip: false,
-            },
+            opts(LsapStrategy::StructuredExact, CostRepresentation::Classed).no_flip(),
             1,
         );
         assert!((a.lsap_value - c.lsap_value).abs() < 1e-9);
     }
 
+    impl PipelineOptions {
+        fn no_flip(mut self) -> Self {
+            self.random_flip = false;
+            self
+        }
+
+        fn with_threads(mut self, threads: usize) -> Self {
+            self.threads = threads;
+            self
+        }
+    }
+
     #[test]
     fn greedy_lsap_within_half_of_exact() {
         let exact = run(
-            PipelineOptions {
-                lsap: LsapStrategy::ExactJv,
-                representation: CostRepresentation::Dense,
-                random_flip: false,
-            },
+            opts(LsapStrategy::ExactJv, CostRepresentation::Dense).no_flip(),
             1,
         );
         let greedy = run(
-            PipelineOptions {
-                lsap: LsapStrategy::Greedy,
-                representation: CostRepresentation::Dense,
-                random_flip: false,
-            },
+            opts(LsapStrategy::Greedy, CostRepresentation::Dense).no_flip(),
             1,
         );
         assert!(greedy.lsap_value >= 0.5 * exact.lsap_value - 1e-9);
         assert!(greedy.lsap_value <= exact.lsap_value + 1e-9);
+    }
+
+    #[test]
+    fn parallel_pipeline_is_byte_identical_to_sequential() {
+        let inst = paper_example();
+        for lsap in [
+            LsapStrategy::ExactJv,
+            LsapStrategy::Greedy,
+            LsapStrategy::Auction,
+        ] {
+            for repr in [CostRepresentation::Dense, CostRepresentation::Classed] {
+                let seq = {
+                    let mut rng = StdRng::seed_from_u64(13);
+                    solve_via_qap(&inst, opts(lsap, repr), &mut rng)
+                };
+                for threads in [2usize, 7] {
+                    let mut rng = StdRng::seed_from_u64(13);
+                    let par =
+                        solve_via_qap(&inst, opts(lsap, repr).with_threads(threads), &mut rng);
+                    assert_eq!(
+                        par.assignment.sets(),
+                        seq.assignment.sets(),
+                        "{lsap:?}/{repr:?} threads={threads}"
+                    );
+                    assert_eq!(par.lsap_value.to_bits(), seq.lsap_value.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn presorted_edges_match_fresh_enumeration() {
+        use hta_matching::edge_order;
+        let inst = paper_example();
+        let mut edges = enumerate_positive_edges(inst.n_tasks(), 1, |u, v| inst.diversity(u, v));
+        edges.sort_unstable_by(edge_order);
+        let o = opts(LsapStrategy::Greedy, CostRepresentation::Classed);
+        let fresh = solve_via_qap(&inst, o, &mut StdRng::seed_from_u64(21));
+        let reused = solve_via_qap_with_edges(&inst, o, &edges, &mut StdRng::seed_from_u64(21));
+        assert_eq!(reused.assignment.sets(), fresh.assignment.sets());
+        assert_eq!(reused.lsap_value.to_bits(), fresh.lsap_value.to_bits());
+        assert_eq!(reused.timings.edge_enum, std::time::Duration::ZERO);
     }
 
     #[test]
@@ -266,11 +380,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let out = solve_via_qap(
             &inst,
-            PipelineOptions {
-                lsap: LsapStrategy::ExactJv,
-                representation: CostRepresentation::Dense,
-                random_flip: true,
-            },
+            opts(LsapStrategy::ExactJv, CostRepresentation::Dense),
             &mut rng,
         );
         out.assignment.validate(&inst).unwrap();
@@ -282,19 +392,11 @@ mod tests {
     #[test]
     fn flip_changes_nothing_when_disabled() {
         let a = run(
-            PipelineOptions {
-                lsap: LsapStrategy::ExactJv,
-                representation: CostRepresentation::Dense,
-                random_flip: false,
-            },
+            opts(LsapStrategy::ExactJv, CostRepresentation::Dense).no_flip(),
             11,
         );
         let b = run(
-            PipelineOptions {
-                lsap: LsapStrategy::ExactJv,
-                representation: CostRepresentation::Dense,
-                random_flip: false,
-            },
+            opts(LsapStrategy::ExactJv, CostRepresentation::Dense).no_flip(),
             99,
         );
         assert_eq!(a.assignment.sets(), b.assignment.sets());

@@ -184,6 +184,63 @@ proptest! {
         prop_assert!(improved.objective(&inst) >= base.assignment.objective(&inst) - 1e-9);
     }
 
+    // ---- parallel pipeline equivalence -------------------------------------
+
+    #[test]
+    fn thread_count_never_changes_the_answer(inst in matrix_instance(), seed in 0u64..30) {
+        // The QAP pipeline's contract: any `--solver-threads` value yields
+        // a byte-identical outcome — same assigned sets, bit-equal LSAP
+        // value — across both cost representations and every LSAP strategy
+        // that the thread knob touches (greedy, structured, auction, JV).
+        type SolverBuild = fn(usize) -> Box<dyn Solver>;
+        let builds: Vec<(&str, SolverBuild)> = vec![
+            ("hta-gre", |t| Box::new(HtaGre::new().with_threads(t))),
+            ("hta-gre-structured", |t| Box::new(HtaGre::structured().with_threads(t))),
+            ("hta-app", |t| Box::new(HtaApp::new().with_threads(t))),
+            ("hta-app-structured", |t| Box::new(HtaApp::structured().with_threads(t))),
+            ("hta-app-auction", |t| {
+                Box::new(HtaApp::new().with_auction_lsap().with_threads(t))
+            }),
+        ];
+        for (name, build) in &builds {
+            let base = build(1).solve(&inst, &mut StdRng::seed_from_u64(seed));
+            for threads in [2usize, 7] {
+                let out = build(threads).solve(&inst, &mut StdRng::seed_from_u64(seed));
+                prop_assert_eq!(
+                    out.assignment.sets(), base.assignment.sets(),
+                    "{} diverges at {} threads", name, threads
+                );
+                prop_assert_eq!(
+                    out.lsap_value.to_bits(), base.lsap_value.to_bits(),
+                    "{} LSAP value diverges at {} threads", name, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precomputed_edges_never_change_the_answer(inst in matrix_instance(), seed in 0u64..30) {
+        // Feeding the solver a presorted diversity edge list (the per-
+        // iteration reuse path) must be indistinguishable from letting it
+        // enumerate and sort edges itself.
+        let cache = hta_core::DiversityEdgeCache::from_instance(&inst, 2);
+        let solvers: Vec<Box<dyn Solver>> = vec![
+            Box::new(HtaGre::new()),
+            Box::new(HtaGre::structured()),
+            Box::new(HtaApp::structured()),
+        ];
+        for solver in &solvers {
+            let plain = solver.solve(&inst, &mut StdRng::seed_from_u64(seed));
+            let reused = solver.solve_with_diversity_edges(
+                &inst, cache.edges(), &mut StdRng::seed_from_u64(seed));
+            prop_assert_eq!(
+                reused.assignment.sets(), plain.assignment.sets(),
+                "{} diverges on the edge-reuse path", solver.name()
+            );
+            prop_assert_eq!(reused.lsap_value.to_bits(), plain.lsap_value.to_bits());
+        }
+    }
+
     // ---- adaptive estimator ------------------------------------------------
 
     #[test]

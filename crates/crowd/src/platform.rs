@@ -11,9 +11,11 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use hta_core::metric::Jaccard;
 use hta_core::solver::HtaGre;
 use hta_core::{
-    Instance, KeywordVec, Solver, Task, TaskId, WeightEstimator, Weights, Worker, WorkerId,
+    DiversityEdgeCache, Instance, KeywordVec, Solver, Task, TaskId, WeightEstimator, Weights,
+    Worker, WorkerId,
 };
 use hta_datagen::crowdflower::{CrowdflowerCatalog, KINDS};
 use hta_index::{CandidateMode, CandidatePool, PoolParams, ShardedIndex};
@@ -53,6 +55,15 @@ pub struct PlatformConfig {
     /// Keyword-shard count of the platform's index (`0` = auto:
     /// `HTA_INDEX_SHARDS` or the thread default).
     pub index_shards: usize,
+    /// Threads for the assignment solver's parallel pipeline (`0` = auto:
+    /// `HTA_SOLVER_THREADS` or the hardware default). Assignments are
+    /// byte-identical at any value.
+    pub solver_threads: usize,
+    /// Reuse the catalog's sorted diversity edge list across assignment
+    /// iterations instead of re-enumerating `O(n²)` pairs per solve. Only
+    /// takes effect for catalogs small enough to cache (≤ 4096 tasks);
+    /// results are byte-identical either way.
+    pub reuse_edges: bool,
     /// Contrast applied to the adaptive weight estimate before solving:
     /// `α' = 0.5 + sharpening·(α̂ − 0.5)`, clamped to `[0, 1]`. The paper's
     /// normalized-gain estimator is correct in *direction* but compressed in
@@ -76,6 +87,8 @@ impl Default for PlatformConfig {
             choice_noise: 0.15,
             diversity_memory: 8,
             index_shards: 0,
+            solver_threads: 0,
+            reuse_edges: true,
             adaptive_sharpening: 4.0,
             behavior: BehaviorConfig::default(),
         }
@@ -194,7 +207,16 @@ pub struct Platform<'c> {
     /// sparse candidate path never rebuilds it.
     index: ShardedIndex,
     solver: Box<dyn Solver>,
+    /// Catalog-wide sorted diversity edge list, filtered per assignment
+    /// iteration (`None` when disabled or the catalog is too large).
+    edge_cache: Option<DiversityEdgeCache>,
 }
+
+/// Largest catalog for which [`Platform`] caches the sorted diversity edge
+/// list (a dense 4096-task catalog tops out around 8M edges ≈ 200 MB; the
+/// paper-scale 10k catalog would triple that, so bigger catalogs fall back
+/// to per-solve enumeration).
+const MAX_EDGE_CACHE_TASKS: usize = 4096;
 
 impl<'c> Platform<'c> {
     /// Build a platform over `catalog` using HTA-GRE (structured costs) as
@@ -216,12 +238,22 @@ impl<'c> Platform<'c> {
             .collect();
         let nbits = catalog.space.len();
         let index = ShardedIndex::build(nbits, &pairs, cfg.index_shards);
+        let threads = hta_par::solver_threads(cfg.solver_threads);
+        let edge_cache =
+            (cfg.reuse_edges && catalog.tasks.len() <= MAX_EDGE_CACHE_TASKS).then(|| {
+                let tasks: Vec<Task> = catalog.tasks.iter().map(|t| t.task.clone()).collect();
+                DiversityEdgeCache::build(&tasks, &Jaccard, threads)
+            });
+        let solver = HtaGre::structured()
+            .without_flip()
+            .with_threads(cfg.solver_threads);
         Self {
             catalog,
             cfg,
             available: vec![true; catalog.tasks.len()],
             index,
-            solver: Box::new(HtaGre::structured().without_flip()),
+            solver: Box::new(solver),
+            edge_cache,
         }
     }
 
@@ -749,7 +781,20 @@ impl<'c> Platform<'c> {
 
         let inst = Instance::new(local_tasks, local_workers, self.cfg.xmax)
             .expect("platform instances are well-formed");
-        let out = self.solver.solve(&inst, rng);
+        // Edge reuse needs the open indices in strictly increasing catalog
+        // order (so the filtered sublist of the global sorted list equals a
+        // fresh enumerate-and-sort). Full mode delivers that unless the
+        // window was down-sampled (partial Fisher-Yates shuffles it); TopK
+        // pools are sorted by construction. Anything else falls back.
+        let ascending = open.windows(2).all(|w| w[0] < w[1]);
+        let out = match (&self.edge_cache, ascending) {
+            (Some(cache), true) => {
+                let open_u32: Vec<u32> = open.iter().map(|&i| i as u32).collect();
+                let edges = cache.filter_sorted(&open_u32);
+                self.solver.solve_with_diversity_edges(&inst, &edges, rng)
+            }
+            _ => self.solver.solve(&inst, rng),
+        };
         debug_assert!(out.assignment.validate(&inst).is_ok());
 
         for (li, &slot) in slots.iter().enumerate() {
@@ -826,6 +871,41 @@ mod tests {
         for r in &records {
             for c in &r.completions {
                 assert!(seen.insert(c.task_index), "task completed twice");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_reuse_does_not_change_the_simulation() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 4,
+                ..Default::default()
+            },
+        );
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let run = |reuse_edges: bool| {
+            let cfg = PlatformConfig {
+                reuse_edges,
+                solver_threads: 1,
+                ..Default::default()
+            };
+            let mut platform = Platform::new(&catalog, cfg);
+            assert_eq!(platform.edge_cache.is_some(), reuse_edges);
+            let mut rng = StdRng::seed_from_u64(19);
+            platform.run_cohort(Strategy::HtaGre, &refs, &mut rng)
+        };
+        let with_cache = run(true);
+        let without = run(false);
+        assert_eq!(with_cache.len(), without.len());
+        for (a, b) in with_cache.iter().zip(&without) {
+            assert_eq!(a.duration_minutes, b.duration_minutes);
+            assert_eq!(a.n_completed(), b.n_completed());
+            for (ca, cb) in a.completions.iter().zip(&b.completions) {
+                assert_eq!(ca.task_index, cb.task_index);
+                assert_eq!(ca.minute, cb.minute);
             }
         }
     }

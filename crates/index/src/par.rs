@@ -1,125 +1,11 @@
-//! Std-only chunked parallelism helpers.
+//! Std-only chunked parallelism helpers — re-exported from [`hta_par`].
 //!
-//! The dependency policy keeps the workspace free of thread-pool crates, so
-//! the parallel stages (bulk index construction, pool diversity cache) lean
-//! on `std::thread::scope` with contiguous chunking. Results are collected
-//! **in chunk order**, so every helper is deterministic regardless of how
-//! the OS interleaves the threads.
+//! These helpers were born here for the sharded-index bulk build and were
+//! hoisted into the base `hta-par` crate when the solver pipeline
+//! (`hta-core`/`hta-matching`) needed the same deterministic chunked
+//! pattern. This module remains as a compatibility shim; new code should
+//! depend on `hta-par` directly.
 
-/// Split `items` into at most `threads` contiguous chunks, apply `f` to each
-/// chunk on its own scoped thread, and return the results in chunk order.
-///
-/// With `threads <= 1` or fewer items than threads this degrades to a plain
-/// sequential map over one chunk per item bucket — no threads are spawned
-/// for a single chunk.
-pub fn map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> R + Sync,
-{
-    let threads = threads.clamp(1, items.len().max(1));
-    let chunk_size = items.len().div_ceil(threads);
-    if threads == 1 || chunk_size == 0 {
-        return if items.is_empty() {
-            Vec::new()
-        } else {
-            vec![f(items)]
-        };
-    }
-    let mut out: Vec<Option<R>> = Vec::new();
-    out.resize_with(items.len().div_ceil(chunk_size), || None);
-    std::thread::scope(|scope| {
-        for (slot, chunk) in out.iter_mut().zip(items.chunks(chunk_size)) {
-            let f = &f;
-            scope.spawn(move || {
-                *slot = Some(f(chunk));
-            });
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("chunk completed"))
-        .collect()
-}
-
-/// Apply `f(index, item) -> R` to every item using at most `threads` scoped
-/// threads, returning results in item order. `index` is the item's position
-/// in `items`, so callers can key side tables without sharing state.
-pub fn map_items<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let base: Vec<usize> = {
-        let mut offsets = Vec::new();
-        let threads = threads.clamp(1, items.len().max(1));
-        let chunk_size = items.len().div_ceil(threads);
-        let mut start = 0;
-        while start < items.len() {
-            offsets.push(start);
-            start += chunk_size.max(1);
-        }
-        offsets
-    };
-    let chunked = map_chunks(items, threads, |chunk| {
-        // Recover the chunk's base offset from pointer arithmetic: chunks
-        // are contiguous slices of `items`.
-        let offset = (chunk.as_ptr() as usize - items.as_ptr() as usize) / std::mem::size_of::<T>();
-        chunk
-            .iter()
-            .enumerate()
-            .map(|(i, item)| f(offset + i, item))
-            .collect::<Vec<R>>()
-    });
-    debug_assert_eq!(chunked.len(), base.len());
-    chunked.into_iter().flatten().collect()
-}
-
-/// A reasonable default thread count for this process: `available_parallelism`
-/// capped at 8 (the chunked helpers stop scaling well beyond that for the
-/// sizes this crate handles).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn map_chunks_preserves_order() {
-        let items: Vec<u64> = (0..1000).collect();
-        for threads in [1usize, 2, 3, 7, 16] {
-            let sums = map_chunks(&items, threads, |chunk| chunk.iter().sum::<u64>());
-            assert_eq!(sums.iter().sum::<u64>(), 499_500, "threads={threads}");
-            // Chunk order == slice order: first chunk holds the smallest ids.
-            if sums.len() > 1 {
-                assert!(sums[0] < *sums.last().unwrap(), "threads={threads}");
-            }
-        }
-    }
-
-    #[test]
-    fn map_chunks_handles_edges() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(map_chunks(&empty, 4, |c| c.len()).is_empty());
-        assert_eq!(map_chunks(&[5u32], 4, |c| c.len()), vec![1]);
-    }
-
-    #[test]
-    fn map_items_passes_global_indices() {
-        let items: Vec<u32> = (0..97).map(|i| i * 2).collect();
-        for threads in [1usize, 4, 32] {
-            let got = map_items(&items, threads, |i, &v| (i, v));
-            assert_eq!(got.len(), items.len(), "threads={threads}");
-            for (i, &(gi, gv)) in got.iter().enumerate() {
-                assert_eq!(gi, i);
-                assert_eq!(gv, items[i]);
-            }
-        }
-    }
-}
+pub use hta_par::{
+    default_threads, map_chunks, map_items, solver_threads, sort_unstable_by_parallel,
+};

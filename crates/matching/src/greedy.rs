@@ -101,6 +101,19 @@ impl Matching {
     }
 }
 
+/// The edge ordering every greedy-matching variant agrees on: decreasing
+/// weight, ties broken by `(u, v)` so results are reproducible. No two
+/// distinct edges compare equal (endpoints are unique per edge), which is
+/// what makes the parallel chunk-sort + merge byte-identical to the
+/// sequential sort.
+#[inline]
+pub fn edge_order(a: &WeightedEdge, b: &WeightedEdge) -> std::cmp::Ordering {
+    b.weight
+        .partial_cmp(&a.weight)
+        .expect("edge weights must not be NaN")
+        .then_with(|| (a.u, a.v).cmp(&(b.u, b.v)))
+}
+
 /// Greedy maximum-weight matching: sort edges by decreasing weight, then take
 /// each edge whose endpoints are both still free. Edges with non-positive
 /// weight are skipped (they can never improve a maximum-weight matching).
@@ -110,18 +123,39 @@ impl Matching {
 ///
 /// Ties are broken deterministically by `(u, v)` so results are reproducible.
 pub fn greedy_matching(n: usize, edges: &[WeightedEdge]) -> Matching {
-    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
-    order.sort_unstable_by(|&a, &b| {
-        let (ea, eb) = (&edges[a as usize], &edges[b as usize]);
-        eb.weight
-            .partial_cmp(&ea.weight)
-            .expect("edge weights must not be NaN")
-            .then_with(|| (ea.u, ea.v).cmp(&(eb.u, eb.v)))
-    });
+    greedy_matching_with_threads(n, edges, 1)
+}
 
+/// [`greedy_matching`] with the edge sort parallelized over `threads`
+/// scoped threads (per-chunk sorts + a chunk-order-stable k-way merge).
+/// Output is byte-identical to the sequential sort at any thread count
+/// because [`edge_order`] never compares two distinct edges equal.
+pub fn greedy_matching_with_threads(n: usize, edges: &[WeightedEdge], threads: usize) -> Matching {
+    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+    hta_par::sort_unstable_by_parallel(&mut order, threads, |&a, &b| {
+        edge_order(&edges[a as usize], &edges[b as usize])
+    });
+    greedy_scan(n, order.iter().map(|&i| edges[i as usize]))
+}
+
+/// Greedy matching over an edge list that is **already sorted** by
+/// [`edge_order`] — the per-iteration edge-reuse fast path, which skips
+/// both enumeration and the `O(|E| log |E|)` sort.
+///
+/// Debug builds verify the precondition; release builds trust the caller.
+pub fn greedy_matching_presorted(n: usize, edges: &[WeightedEdge]) -> Matching {
+    debug_assert!(
+        edges
+            .windows(2)
+            .all(|w| edge_order(&w[0], &w[1]) != std::cmp::Ordering::Greater),
+        "greedy_matching_presorted requires edge_order-sorted input"
+    );
+    greedy_scan(n, edges.iter().copied())
+}
+
+fn greedy_scan(n: usize, sorted: impl Iterator<Item = WeightedEdge>) -> Matching {
     let mut m = Matching::empty(n);
-    for idx in order {
-        let e = edges[idx as usize];
+    for e in sorted {
         if e.weight <= 0.0 {
             break; // sorted: everything after is also non-positive
         }
@@ -255,6 +289,39 @@ mod tests {
         assert_eq!(m.edges().len(), 2);
         let uncovered: Vec<u32> = (0..5).filter(|&v| !m.covers(v)).collect();
         assert_eq!(uncovered.len(), 1);
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential_matching() {
+        // Dense-ish random-weight graph with many ties (weights quantized)
+        // so the (u, v) tie-break is actually exercised across chunks.
+        let mut edges = Vec::new();
+        for u in 0..40u32 {
+            for v in (u + 1)..40 {
+                let w = ((u * 7 + v * 13) % 5) as f64 / 4.0;
+                edges.push(WeightedEdge::new(u, v, w));
+            }
+        }
+        let seq = greedy_matching(40, &edges);
+        for threads in [2usize, 3, 7, 16] {
+            let par = greedy_matching_with_threads(40, &edges, threads);
+            assert_eq!(par.edges(), seq.edges(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn presorted_matches_unsorted_input_path() {
+        let mut edges = Vec::new();
+        for u in 0..25u32 {
+            for v in (u + 1)..25 {
+                edges.push(WeightedEdge::new(u, v, ((u * 3 + v) % 7) as f64));
+            }
+        }
+        let expect = greedy_matching(25, &edges);
+        let mut sorted = edges.clone();
+        sorted.sort_unstable_by(edge_order);
+        let got = greedy_matching_presorted(25, &sorted);
+        assert_eq!(got.edges(), expect.edges());
     }
 
     #[test]

@@ -50,5 +50,8 @@ pub mod greedy;
 pub mod lsap;
 
 pub use costs::{ClassedCosts, CostMatrix, DenseMatrix};
-pub use greedy::{greedy_matching, Matching, WeightedEdge};
+pub use greedy::{
+    edge_order, greedy_matching, greedy_matching_presorted, greedy_matching_with_threads, Matching,
+    WeightedEdge,
+};
 pub use lsap::LsapSolution;

@@ -39,6 +39,136 @@ pub fn solve(profits: &impl CostMatrix) -> LsapSolution {
     solve_with_options(profits, AuctionOptions::default())
 }
 
+/// Row-parallel auction: synchronous **Jacobi** bidding rounds instead of
+/// the Gauss-Seidel sweep of [`solve`].
+///
+/// Each round, every unassigned row computes its bid against a frozen price
+/// snapshot (the parallel stage — bids are pure reads), then bids are
+/// resolved sequentially: each contested column goes to the highest bid,
+/// ties to the lowest bidder id. Because bids depend only on the snapshot
+/// and resolution order is fixed, the result is **byte-identical at any
+/// thread count** — this is the variant the QAP pipeline uses so its
+/// determinism contract extends to the auction ablation. The round
+/// structure differs from Gauss-Seidel, so values may differ from [`solve`]
+/// within the usual `n · ε_final` optimality band.
+pub fn solve_jacobi(profits: &(impl CostMatrix + Sync), threads: usize) -> LsapSolution {
+    solve_jacobi_with_options(profits, threads, AuctionOptions::default())
+}
+
+/// [`solve_jacobi`] with explicit ε-scaling options.
+pub fn solve_jacobi_with_options(
+    profits: &(impl CostMatrix + Sync),
+    threads: usize,
+    opts: AuctionOptions,
+) -> LsapSolution {
+    let n = profits.n();
+    if n == 0 {
+        return LsapSolution {
+            assignment: Vec::new(),
+            value: 0.0,
+        };
+    }
+    let rows: Vec<usize> = (0..n).collect();
+    let max_abs = hta_par::map_chunks(&rows, threads, |rows| {
+        let mut m = 0.0f64;
+        for &r in rows {
+            for c in 0..n {
+                m = m.max(profits.cost(r, c).abs());
+            }
+        }
+        m
+    })
+    .into_iter()
+    .fold(0.0f64, f64::max);
+    let scale = if max_abs > 0.0 { max_abs } else { 1.0 };
+    let eps_final = (scale * opts.eps_final_fraction).max(f64::MIN_POSITIVE);
+    let mut eps = (scale * opts.eps_start_fraction).max(eps_final);
+
+    let mut prices = vec![0.0f64; n];
+    let mut row_to_col = vec![FREE; n];
+    let mut col_to_row = vec![FREE; n];
+
+    loop {
+        row_to_col.iter_mut().for_each(|x| *x = FREE);
+        col_to_row.iter_mut().for_each(|x| *x = FREE);
+        // Ascending row order keeps the lowest-bidder-id tie-break stable
+        // from round to round.
+        let mut unassigned: Vec<usize> = (0..n).collect();
+
+        while !unassigned.is_empty() {
+            // Jacobi bidding: every unassigned row bids against the same
+            // price snapshot. Pure reads — safe to chunk across threads, and
+            // chunk-ordered results keep the round deterministic.
+            let bids: Vec<(usize, f64)> = hta_par::map_items(&unassigned, threads, |_, &i| {
+                let mut best_j = 0usize;
+                let mut best = f64::NEG_INFINITY;
+                let mut second = f64::NEG_INFINITY;
+                for (j, &pj) in prices.iter().enumerate() {
+                    let m = profits.cost(i, j) - pj;
+                    if m > best {
+                        second = best;
+                        best = m;
+                        best_j = j;
+                    } else if m > second {
+                        second = m;
+                    }
+                }
+                let increment = if second.is_finite() {
+                    best - second
+                } else {
+                    0.0
+                } + eps;
+                (best_j, prices[best_j] + increment)
+            });
+
+            // Resolution: per column, the highest bid wins; ties go to the
+            // lowest bidder id (bidders iterate in ascending row order, and
+            // a strict `>` keeps the first — lowest — of equal bids).
+            let mut winner: Vec<usize> = vec![FREE; n];
+            let mut winning_bid = vec![f64::NEG_INFINITY; n];
+            for (&i, &(j, bid)) in unassigned.iter().zip(&bids) {
+                if bid > winning_bid[j] {
+                    winning_bid[j] = bid;
+                    winner[j] = i;
+                }
+            }
+            let mut next_unassigned = Vec::new();
+            for (&i, &(j, _)) in unassigned.iter().zip(&bids) {
+                if winner[j] != i {
+                    next_unassigned.push(i); // lost this round, bid again
+                }
+            }
+            for (j, &i) in winner.iter().enumerate() {
+                if i == FREE {
+                    continue;
+                }
+                prices[j] = winning_bid[j];
+                let evicted = col_to_row[j];
+                col_to_row[j] = i;
+                row_to_col[i] = j;
+                if evicted != FREE {
+                    row_to_col[evicted] = FREE;
+                    next_unassigned.push(evicted);
+                }
+            }
+            next_unassigned.sort_unstable();
+            unassigned = next_unassigned;
+        }
+
+        if eps <= eps_final {
+            break;
+        }
+        eps = (eps / opts.scaling_factor).max(eps_final);
+    }
+
+    debug_assert!(LsapSolution::is_permutation(&row_to_col));
+    let value = LsapSolution::evaluate(&row_to_col, profits);
+    LsapSolution {
+        assignment: row_to_col,
+        value,
+    }
+}
+
 /// Maximize with explicit options.
 pub fn solve_with_options(profits: &impl CostMatrix, opts: AuctionOptions) -> LsapSolution {
     let n = profits.n();
@@ -155,6 +285,37 @@ mod tests {
             [5.0, 0.0, 0.0, 3.0],
             [1.0, 2.0, 3.0, 4.0],
         ]));
+    }
+
+    #[test]
+    fn jacobi_is_near_optimal_and_thread_invariant() {
+        let m = DenseMatrix::from_fn(23, |r, c| ((r * 13 + c * 7) % 11) as f64 / 2.0);
+        let opt = jv::solve(&m);
+        let seq = solve_jacobi(&m, 1);
+        assert!(LsapSolution::is_permutation(&seq.assignment));
+        let tol = 1e-6 * (1.0 + opt.value.abs());
+        assert!(
+            seq.value >= opt.value - tol,
+            "jacobi={} jv={}",
+            seq.value,
+            opt.value
+        );
+        for threads in [2usize, 3, 7] {
+            let par = solve_jacobi(&m, threads);
+            assert_eq!(par.assignment, seq.assignment, "threads={threads}");
+            assert_eq!(par.value.to_bits(), seq.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn jacobi_handles_degenerate_shapes() {
+        let s = solve_jacobi(&DenseMatrix::zeros(0), 4);
+        assert!(s.assignment.is_empty());
+        let s = solve_jacobi(&DenseMatrix::from_rows(&[[2.0]]), 4);
+        assert_eq!(s.assignment, vec![0]);
+        let s = solve_jacobi(&DenseMatrix::zeros(5), 3);
+        assert!(LsapSolution::is_permutation(&s.assignment));
+        assert_eq!(s.value, 0.0);
     }
 
     #[test]

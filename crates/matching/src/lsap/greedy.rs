@@ -24,6 +24,71 @@ pub fn solve(profits: &impl CostMatrix) -> LsapSolution {
     }
 }
 
+/// [`solve`] with entry enumeration and the big sort parallelized over
+/// `threads` scoped threads. Entries are enumerated row-chunked and
+/// concatenated in chunk order, and the sort tie-breaks on the unique
+/// `(row, col)` key, so the result is byte-identical to the sequential
+/// path at any thread count.
+pub fn solve_with_threads(profits: &(impl CostMatrix + Sync), threads: usize) -> LsapSolution {
+    if threads <= 1 {
+        return solve(profits);
+    }
+    if profits.n_classes() < profits.n() {
+        solve_classed_entries(
+            profits,
+            enumerate_classed_parallel(profits, threads),
+            threads,
+        )
+    } else {
+        solve_dense_entries(profits, enumerate_dense_parallel(profits, threads), threads)
+    }
+}
+
+fn enumerate_dense_parallel(
+    profits: &(impl CostMatrix + Sync),
+    threads: usize,
+) -> Vec<(f64, u32, u32)> {
+    let n = profits.n();
+    let rows: Vec<usize> = (0..n).collect();
+    let chunks = hta_par::map_chunks(&rows, threads, |rows| {
+        let mut entries = Vec::with_capacity(rows.len() * n);
+        for &r in rows {
+            for c in 0..n {
+                entries.push((profits.cost(r, c), r as u32, c as u32));
+            }
+        }
+        entries
+    });
+    let mut entries = Vec::with_capacity(n * n);
+    for chunk in chunks {
+        entries.extend(chunk);
+    }
+    entries
+}
+
+fn enumerate_classed_parallel(
+    profits: &(impl CostMatrix + Sync),
+    threads: usize,
+) -> Vec<(f64, u32, u32)> {
+    let n = profits.n();
+    let nc = profits.n_classes();
+    let rows: Vec<usize> = (0..n).collect();
+    let chunks = hta_par::map_chunks(&rows, threads, |rows| {
+        let mut entries = Vec::with_capacity(rows.len() * nc);
+        for &r in rows {
+            for cl in 0..nc {
+                entries.push((profits.class_cost(r, cl), r as u32, cl as u32));
+            }
+        }
+        entries
+    });
+    let mut entries = Vec::with_capacity(n * nc);
+    for chunk in chunks {
+        entries.extend(chunk);
+    }
+    entries
+}
+
 /// Greedy LSAP over all `n²` entries.
 pub fn solve_dense(profits: &impl CostMatrix) -> LsapSolution {
     let n = profits.n();
@@ -33,7 +98,16 @@ pub fn solve_dense(profits: &impl CostMatrix) -> LsapSolution {
             entries.push((profits.cost(r, c), r as u32, c as u32));
         }
     }
-    sort_entries(&mut entries);
+    solve_dense_entries(profits, entries, 1)
+}
+
+fn solve_dense_entries(
+    profits: &impl CostMatrix,
+    mut entries: Vec<(f64, u32, u32)>,
+    threads: usize,
+) -> LsapSolution {
+    let n = profits.n();
+    sort_entries(&mut entries, threads);
 
     let mut row_to_col = vec![FREE; n];
     let mut col_taken = vec![false; n];
@@ -66,7 +140,17 @@ pub fn solve_classed(profits: &impl CostMatrix) -> LsapSolution {
             entries.push((profits.class_cost(r, cl), r as u32, cl as u32));
         }
     }
-    sort_entries(&mut entries);
+    solve_classed_entries(profits, entries, 1)
+}
+
+fn solve_classed_entries(
+    profits: &impl CostMatrix,
+    mut entries: Vec<(f64, u32, u32)>,
+    threads: usize,
+) -> LsapSolution {
+    let n = profits.n();
+    let nc = profits.n_classes();
+    sort_entries(&mut entries, threads);
 
     // Remaining capacity per class.
     let mut cap = vec![0u32; nc];
@@ -106,9 +190,10 @@ pub fn solve_classed(profits: &impl CostMatrix) -> LsapSolution {
 }
 
 /// Sort candidate pairs by decreasing profit, tie-broken by `(row, col)` for
-/// determinism.
-fn sort_entries(entries: &mut [(f64, u32, u32)]) {
-    entries.sort_unstable_by(|a, b| {
+/// determinism. The tie-break key is unique per entry, so the parallel
+/// chunk-sort + merge is byte-identical to the sequential sort.
+fn sort_entries(entries: &mut [(f64, u32, u32)], threads: usize) {
+    hta_par::sort_unstable_by_parallel(entries, threads, |a, b| {
         b.0.partial_cmp(&a.0)
             .expect("profits must not be NaN")
             .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
@@ -172,6 +257,30 @@ mod tests {
         let g_dense = solve_dense(&dense);
         assert!(LsapSolution::is_permutation(&g_classed.assignment));
         assert_eq!(g_classed.value, g_dense.value);
+    }
+
+    #[test]
+    fn threaded_solve_is_byte_identical() {
+        // Quantized profits produce plenty of cross-chunk ties.
+        let dense = DenseMatrix::from_fn(41, |r, c| ((r * 5 + c * 11) % 7) as f64);
+        let classes: Vec<u32> = (0..41).map(|i| (i % 5) as u32).collect();
+        let classed = ClassedCosts::new(41, 5, classes, |r, cl| ((r * 3 + cl) % 4) as f64);
+        let seq_dense = solve(&dense);
+        let seq_classed = solve(&classed);
+        for threads in [1usize, 2, 3, 7] {
+            let pd = solve_with_threads(&dense, threads);
+            assert_eq!(
+                pd.assignment, seq_dense.assignment,
+                "dense threads={threads}"
+            );
+            assert_eq!(pd.value.to_bits(), seq_dense.value.to_bits());
+            let pc = solve_with_threads(&classed, threads);
+            assert_eq!(
+                pc.assignment, seq_classed.assignment,
+                "classed threads={threads}"
+            );
+            assert_eq!(pc.value.to_bits(), seq_classed.value.to_bits());
+        }
     }
 
     #[test]

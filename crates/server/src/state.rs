@@ -113,6 +113,8 @@ struct Inner {
     /// across register/assign — never rebuilt from the catalog per request.
     index: ShardedIndex,
     mode: CandidateMode,
+    /// Thread count handed to the solver pipeline (`0` = auto).
+    solver_threads: usize,
 }
 
 impl PlatformState {
@@ -132,11 +134,13 @@ impl PlatformState {
         seed: u64,
         mode: CandidateMode,
     ) -> Self {
-        Self::with_options(space, tasks, xmax, seed, mode, 0)
+        Self::with_options(space, tasks, xmax, seed, mode, 0, 0)
     }
 
-    /// Build with an explicit mode and keyword-shard count (`0` = auto:
-    /// `HTA_INDEX_SHARDS` or the thread default).
+    /// Build with an explicit mode, keyword-shard count (`0` = auto:
+    /// `HTA_INDEX_SHARDS` or the thread default), and solver thread count
+    /// (`0` = auto: `HTA_SOLVER_THREADS` or the hardware default; solver
+    /// output is byte-identical at any value).
     pub fn with_options(
         space: KeywordSpace,
         tasks: TaskPool,
@@ -144,6 +148,7 @@ impl PlatformState {
         seed: u64,
         mode: CandidateMode,
         shards: usize,
+        solver_threads: usize,
     ) -> Self {
         let available = vec![true; tasks.len()];
         let pairs: Vec<(u32, &KeywordVec)> = tasks
@@ -163,6 +168,7 @@ impl PlatformState {
                 max_instance_tasks: 1200,
                 index,
                 mode,
+                solver_threads,
             }),
         }
     }
@@ -264,7 +270,9 @@ impl PlatformState {
         let xmax = inner.xmax;
         let inst = Instance::new(local_tasks, local_workers, xmax)
             .expect("constructed instances are well-formed");
-        let solver = HtaGre::structured().without_flip();
+        let solver = HtaGre::structured()
+            .without_flip()
+            .with_threads(inner.solver_threads);
         let out = solver.solve(&inst, &mut inner.rng);
 
         let mut assigned = Vec::new();
@@ -561,7 +569,8 @@ mod tests {
             vocab_size: 80,
             ..Default::default()
         });
-        let s = PlatformState::with_options(w.space, w.tasks, 5, 42, CandidateMode::default(), 3);
+        let s =
+            PlatformState::with_options(w.space, w.tasks, 5, 42, CandidateMode::default(), 3, 1);
         let st = s.stats();
         assert_eq!(st.shard_sizes.len(), 3);
         // Every open task holds ≥1 keyword, so it lands in ≥1 shard.
