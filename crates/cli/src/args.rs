@@ -3,11 +3,13 @@
 
 use std::collections::HashMap;
 
-/// Parsed arguments: a subcommand plus `--key value` flags.
+/// Parsed arguments: a subcommand, `--key value` flags, and positional
+/// operands (commands that take none call [`Args::no_positionals`]).
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     pub command: Option<String>,
     flags: HashMap<String, String>,
+    positionals: Vec<String>,
 }
 
 /// Parse error with a user-facing message.
@@ -32,11 +34,10 @@ impl Args {
                 args.command = iter.next();
             }
         }
-        while let Some(flag) = iter.next() {
-            let Some(key) = flag.strip_prefix("--") else {
-                return Err(ArgError(format!(
-                    "unexpected positional argument '{flag}' (flags are --key value)"
-                )));
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                args.positionals.push(arg);
+                continue;
             };
             let value = iter
                 .next()
@@ -46,6 +47,22 @@ impl Args {
             }
         }
         Ok(args)
+    }
+
+    /// Positional operands, in order.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+
+    /// Error if any positional operand was given (for commands that take
+    /// flags only).
+    pub fn no_positionals(&self) -> Result<(), ArgError> {
+        match self.positionals.first() {
+            None => Ok(()),
+            Some(p) => Err(ArgError(format!(
+                "unexpected positional argument '{p}' (flags are --key value)"
+            ))),
+        }
     }
 
     /// A string flag.
@@ -120,7 +137,19 @@ mod tests {
     fn rejects_missing_value_and_duplicates() {
         assert!(parse(&["gen", "--seed"]).is_err());
         assert!(parse(&["gen", "--a", "1", "--a", "2"]).is_err());
-        assert!(parse(&["gen", "positional"]).is_err());
+    }
+
+    #[test]
+    fn positionals_are_collected_and_gated() {
+        let a = parse(&["resume", "ckpt.htasnap", "--keep", "3"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("resume"));
+        assert_eq!(a.positionals(), ["ckpt.htasnap"]);
+        assert_eq!(a.get("keep"), Some("3"));
+        assert!(a.no_positionals().is_err());
+
+        let b = parse(&["gen", "--seed", "1"]).unwrap();
+        assert!(b.positionals().is_empty());
+        assert!(b.no_positionals().is_ok());
     }
 
     #[test]

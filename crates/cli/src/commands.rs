@@ -16,6 +16,7 @@ type CmdResult = Result<(), Box<dyn Error>>;
 
 /// `hta generate` — AMT-like corpus to CSV.
 pub fn generate(args: &Args) -> CmdResult {
+    args.no_positionals()?;
     args.reject_unknown(&["tasks", "groups", "vocab", "seed", "out"])?;
     let n_tasks: usize = args.get_or("tasks", 1000)?;
     let n_groups: usize = args.get_or("groups", 100)?;
@@ -42,6 +43,7 @@ pub fn generate(args: &Args) -> CmdResult {
 
 /// `hta workers` — synthetic workers over a corpus' keyword universe.
 pub fn workers(args: &Args) -> CmdResult {
+    args.no_positionals()?;
     args.reject_unknown(&["count", "keywords", "tasks", "seed", "out"])?;
     let count: usize = args.get_or("count", 50)?;
     let keywords: usize = args.get_or("keywords", 5)?;
@@ -66,6 +68,7 @@ pub fn workers(args: &Args) -> CmdResult {
 
 /// `hta solve` — one HTA iteration over CSV inputs.
 pub fn solve(args: &Args) -> CmdResult {
+    args.no_positionals()?;
     args.reject_unknown(&[
         "tasks",
         "workers",
@@ -189,6 +192,7 @@ pub fn solve(args: &Args) -> CmdResult {
 
 /// `hta analyze` — structural analysis of an instance.
 pub fn analyze(args: &Args) -> CmdResult {
+    args.no_positionals()?;
     args.reject_unknown(&["tasks", "workers", "xmax"])?;
     let tasks_file = args.require("tasks")?;
     let workers_file = args.require("workers")?;
@@ -242,41 +246,33 @@ pub fn analyze(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `hta simulate` — the Figure 5 online experiment at custom scale.
-pub fn simulate(args: &Args) -> CmdResult {
-    args.reject_unknown(&[
-        "sessions",
-        "catalog",
-        "seed",
-        "candidates",
-        "shards",
-        "solver-threads",
-    ])?;
-    let sessions: usize = args.get_or("sessions", 8)?;
-    let catalog: usize = args.get_or("catalog", 2000)?;
-    let seed: u64 = args.get_or("seed", 0x5E59)?;
-    let shards: usize = args.get_or("shards", 0)?;
-    let solver_threads: usize = args.get_or("solver-threads", 0)?;
-    let candidates: CandidateMode = match args.get("candidates") {
-        Some(s) => s
-            .parse()
-            .map_err(|e: String| -> Box<dyn Error> { e.into() })?,
-        None => CandidateMode::Full,
+/// One-line reproducibility header: the *effective* values of everything
+/// the simulation's determinism depends on (auto knobs resolved to what
+/// they actually ran with), so a result can be reproduced from its log.
+fn print_repro_header(cfg: &hta_crowd::OnlineConfig) {
+    let fmt_auto = |requested: usize, effective: usize| {
+        if requested == 0 {
+            format!("{effective}(auto)")
+        } else {
+            format!("{requested}")
+        }
     };
+    println!(
+        "# simulate: seed={:#x} catalog={} sessions={} cohort={} index-shards={} solver-threads={} candidates={}",
+        cfg.seed,
+        cfg.catalog.n_tasks,
+        cfg.sessions_per_strategy,
+        cfg.cohort_size,
+        fmt_auto(cfg.platform.index_shards, hta_index::default_shards()),
+        fmt_auto(
+            cfg.platform.solver_threads,
+            hta_index::par::solver_threads(0)
+        ),
+        cfg.platform.candidates,
+    );
+}
 
-    let mut cfg = hta_crowd::OnlineConfig {
-        sessions_per_strategy: sessions,
-        catalog: hta_datagen::crowdflower::CrowdflowerConfig {
-            n_tasks: catalog,
-            ..Default::default()
-        },
-        seed,
-        ..Default::default()
-    };
-    cfg.platform.candidates = candidates;
-    cfg.platform.index_shards = shards;
-    cfg.platform.solver_threads = solver_threads;
-    let results = hta_crowd::experiment::run(&cfg);
+fn print_results_table(results: &hta_crowd::OnlineResults) {
     println!(
         "{:<13} {:>9} {:>10} {:>14} {:>10} {:>11}",
         "strategy", "%correct", "completed", "tasks/session", "mean min", "%>18.2min"
@@ -292,11 +288,140 @@ pub fn simulate(args: &Args) -> CmdResult {
             r.summary.retention_at_probe,
         );
     }
+}
+
+/// Build checkpoint/halt controls from the shared flag set
+/// (`--checkpoint-every/-dir/-keep`, `--halt-after`).
+fn run_control(args: &Args) -> Result<hta_crowd::RunControl, Box<dyn Error>> {
+    let every: usize = args.get_or("checkpoint-every", 0)?;
+    let keep: usize = args.get_or("checkpoint-keep", 5)?;
+    let halt_after: usize = args.get_or("halt-after", 0)?;
+    let checkpoint = match (every, args.get("checkpoint-dir")) {
+        (0, None) => None,
+        (0, Some(_)) => return Err("--checkpoint-dir needs --checkpoint-every N".into()),
+        (_, None) => return Err("--checkpoint-every needs --checkpoint-dir DIR".into()),
+        (every, Some(dir)) => Some(hta_crowd::CheckpointPolicy {
+            every_cohorts: every,
+            dir: std::path::PathBuf::from(dir),
+            keep,
+        }),
+    };
+    Ok(hta_crowd::RunControl {
+        checkpoint,
+        halt_after_cohorts: (halt_after > 0).then_some(halt_after),
+    })
+}
+
+fn report_outcome(outcome: hta_crowd::RunOutcome) {
+    match outcome {
+        hta_crowd::RunOutcome::Complete(results) => print_results_table(&results),
+        hta_crowd::RunOutcome::Halted {
+            cohorts_completed,
+            snapshot,
+        } => match snapshot {
+            Some(p) => println!(
+                "halted after {cohorts_completed} cohorts; resume with: hta resume {}",
+                p.display()
+            ),
+            None => println!("halted after {cohorts_completed} cohorts (no checkpoint written)"),
+        },
+    }
+}
+
+/// `hta simulate` — the Figure 5 online experiment at custom scale, with
+/// optional cohort-boundary checkpointing.
+pub fn simulate(args: &Args) -> CmdResult {
+    args.no_positionals()?;
+    args.reject_unknown(&[
+        "sessions",
+        "catalog",
+        "seed",
+        "candidates",
+        "shards",
+        "solver-threads",
+        "checkpoint-every",
+        "checkpoint-dir",
+        "checkpoint-keep",
+        "halt-after",
+    ])?;
+    let sessions: usize = args.get_or("sessions", 8)?;
+    let catalog: usize = args.get_or("catalog", 2000)?;
+    let seed: u64 = args.get_or("seed", 0x5E59)?;
+    let shards: usize = args.get_or("shards", 0)?;
+    let solver_threads: usize = args.get_or("solver-threads", 0)?;
+    let candidates: CandidateMode = match args.get("candidates") {
+        Some(s) => s
+            .parse()
+            .map_err(|e: String| -> Box<dyn Error> { e.into() })?,
+        None => CandidateMode::Full,
+    };
+    let control = run_control(args)?;
+
+    let mut cfg = hta_crowd::OnlineConfig {
+        sessions_per_strategy: sessions,
+        catalog: hta_datagen::crowdflower::CrowdflowerConfig {
+            n_tasks: catalog,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    };
+    cfg.platform.candidates = candidates;
+    cfg.platform.index_shards = shards;
+    cfg.platform.solver_threads = solver_threads;
+    print_repro_header(&cfg);
+    report_outcome(hta_crowd::run_with(&cfg, None, &control)?);
+    Ok(())
+}
+
+/// `hta resume <snapshot>` — continue an interrupted `simulate` run from a
+/// checkpoint file (or the newest checkpoint in a directory). The resumed
+/// run produces byte-identical metrics to an uninterrupted one; the
+/// configuration is read from the snapshot itself.
+pub fn resume(args: &Args) -> CmdResult {
+    args.reject_unknown(&[
+        "checkpoint-every",
+        "checkpoint-dir",
+        "checkpoint-keep",
+        "halt-after",
+    ])?;
+    let path = match args.positionals() {
+        [one] => std::path::Path::new(one),
+        [] => return Err("usage: hta resume <snapshot-file-or-checkpoint-dir>".into()),
+        more => {
+            return Err(format!("expected one snapshot path, got {}: {more:?}", more.len()).into())
+        }
+    };
+    let snapshot_path = if path.is_dir() {
+        hta_crowd::list_checkpoints(path)
+            .pop()
+            .ok_or_else(|| format!("no checkpoint files in {}", path.display()))?
+    } else {
+        path.to_path_buf()
+    };
+    let loaded = hta_crowd::load_run(&snapshot_path)
+        .map_err(|e| format!("{}: {e}", snapshot_path.display()))?;
+    let control = run_control(args)?;
+    println!(
+        "resuming {} at arm {}/{} ({}/{} sessions into the arm)",
+        snapshot_path.display(),
+        loaded.progress.arm + 1,
+        hta_crowd::Strategy::ALL.len(),
+        loaded.progress.current_records.len(),
+        loaded.config.sessions_per_strategy,
+    );
+    print_repro_header(&loaded.config);
+    report_outcome(hta_crowd::run_with(
+        &loaded.config,
+        Some(loaded.progress),
+        &control,
+    )?);
     Ok(())
 }
 
 /// `hta example` — the paper's worked example.
 pub fn example(args: &Args) -> CmdResult {
+    args.no_positionals()?;
     args.reject_unknown(&[])?;
     let inst = hta_core::qap::paper_example();
     println!("Paper example: |T| = 8, |W| = 2, X_max = 3 (Table I / Figure 1)");
@@ -507,5 +632,72 @@ mod tests {
     fn unknown_flags_rejected() {
         assert!(generate(&args(&["generate", "--nope", "1"])).is_err());
         assert!(simulate(&args(&["simulate", "--nope", "1"])).is_err());
+    }
+
+    #[test]
+    fn stray_positionals_rejected() {
+        assert!(generate(&args(&["generate", "stray", "--tasks", "10"])).is_err());
+        assert!(simulate(&args(&["simulate", "stray"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_flags_must_be_consistent() {
+        let err = simulate(&args(&["simulate", "--checkpoint-every", "2"])).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-dir"), "{err}");
+        let err = simulate(&args(&["simulate", "--checkpoint-dir", "/tmp/x"])).unwrap_err();
+        assert!(err.to_string().contains("--checkpoint-every"), "{err}");
+    }
+
+    #[test]
+    fn resume_needs_a_usable_snapshot_path() {
+        assert!(resume(&args(&["resume"])).is_err());
+        assert!(resume(&args(&["resume", "a", "b"])).is_err());
+        let err = resume(&args(&["resume", "/nonexistent/ckpt.htasnap"])).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent"), "{err}");
+    }
+
+    #[test]
+    fn simulate_checkpoint_halt_then_resume_completes() {
+        let dir = std::env::temp_dir().join("hta-cli-test-resume");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpts = dir.join("ckpts");
+        let d = ckpts.to_str().unwrap();
+
+        // A small run: 2 sessions per arm at the default cohort size 5 →
+        // one cohort per arm, 4 cohorts total. Halt after 2.
+        let base = [
+            "simulate",
+            "--sessions",
+            "2",
+            "--catalog",
+            "300",
+            "--checkpoint-every",
+            "1",
+            "--checkpoint-dir",
+            d,
+        ];
+        let mut halted: Vec<&str> = base.to_vec();
+        halted.extend(["--halt-after", "2"]);
+        simulate(&args(&halted)).unwrap();
+        let files = hta_crowd::list_checkpoints(&ckpts);
+        assert!(!files.is_empty(), "halted run left no checkpoints");
+
+        // Resume from the directory (newest checkpoint) to completion.
+        resume(&args(&["resume", d])).unwrap();
+
+        // A corrupted checkpoint is rejected with an error, not resumed.
+        let victim = files.last().unwrap();
+        let mut bytes = std::fs::read(victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(victim, &bytes).unwrap();
+        let err = resume(&args(&["resume", victim.to_str().unwrap()])).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("checksum") || msg.contains("corrupt") || msg.contains("truncated"),
+            "unexpected error: {msg}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -45,6 +45,16 @@ COMMANDS:
              --sessions N (8)  --catalog M (2000)  --seed S (0x5E59)
              --candidates full|topk:K (full)  --shards N (0 = auto)
              --solver-threads N (0 = auto)
+             --checkpoint-every N  --checkpoint-dir DIR  — write a
+               versioned, checksummed snapshot every N cohorts
+             --checkpoint-keep K (5)  — prune to the K newest snapshots
+             --halt-after N  — stop cleanly after N cohorts (a
+               deterministic stand-in for killing the process)
+  resume     Continue an interrupted simulate run from a snapshot file,
+             or from the newest checkpoint in a directory; results are
+             byte-identical to the uninterrupted run
+             hta resume <snapshot-or-dir> [--checkpoint-every N
+               --checkpoint-dir DIR --checkpoint-keep K --halt-after N]
   example    Print the paper's worked example (Table I / Figure 1)
   help       Show this message
 ";
@@ -63,6 +73,7 @@ fn main() {
         Some("solve") => commands::solve(&args),
         Some("analyze") => commands::analyze(&args),
         Some("simulate") => commands::simulate(&args),
+        Some("resume") => commands::resume(&args),
         Some("example") => commands::example(&args),
         Some("help") | None => {
             println!("{USAGE}");

@@ -94,6 +94,26 @@ impl WeightEstimator {
         self.div_gains.clear();
         self.rel_gains.clear();
     }
+
+    /// The cold-start prior.
+    pub(crate) fn prior(&self) -> Weights {
+        self.prior
+    }
+
+    /// The raw recorded gain samples `(diversity, relevance)`, in
+    /// observation order.
+    pub(crate) fn gain_samples(&self) -> (&[f64], &[f64]) {
+        (&self.div_gains, &self.rel_gains)
+    }
+
+    /// Rebuild an estimator from its parts (snapshot decoding).
+    pub(crate) fn from_parts(prior: Weights, div_gains: Vec<f64>, rel_gains: Vec<f64>) -> Self {
+        Self {
+            prior,
+            div_gains,
+            rel_gains,
+        }
+    }
 }
 
 #[cfg(test)]

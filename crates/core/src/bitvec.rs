@@ -172,6 +172,30 @@ impl KeywordVec {
             })
     }
 
+    /// The raw 64-bit blocks (little-endian bit order within a block).
+    #[inline]
+    pub(crate) fn blocks(&self) -> &[u64] {
+        &self.blocks
+    }
+
+    /// Rebuild from raw blocks, e.g. when decoding a snapshot. Returns
+    /// `None` unless the block count matches `nbits` exactly and every bit
+    /// above `nbits` is zero (so restored vectors compare equal to freshly
+    /// built ones).
+    pub(crate) fn from_blocks(nbits: usize, blocks: Vec<u64>) -> Option<Self> {
+        if blocks.len() != nbits.div_ceil(64) {
+            return None;
+        }
+        if !nbits.is_multiple_of(64) {
+            if let Some(&last) = blocks.last() {
+                if last >> (nbits % 64) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Self { nbits, blocks })
+    }
+
     #[inline]
     fn check_compat(&self, other: &Self) {
         assert_eq!(

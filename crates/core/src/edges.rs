@@ -18,9 +18,42 @@
 
 use hta_matching::{edge_order, WeightedEdge};
 
+use crate::bitvec::KeywordVec;
 use crate::instance::Instance;
 use crate::metric::Distance;
 use crate::task::Task;
+
+/// FNV-1a fingerprint of a task catalog: task count plus every keyword
+/// vector's width and bit pattern. Two catalogs share a fingerprint exactly
+/// when they have the same tasks with the same keywords in the same order —
+/// which is the condition under which a [`DiversityEdgeCache`] built from
+/// one is valid for the other (pairwise diversities depend only on the
+/// keyword vectors).
+pub fn keywords_fingerprint<'a, I>(keywords: I) -> u64
+where
+    I: IntoIterator<Item = &'a KeywordVec>,
+{
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    #[inline]
+    fn mix(mut h: u64, word: u64) -> u64 {
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+    let mut h = FNV_OFFSET;
+    let mut count = 0u64;
+    for kw in keywords {
+        h = mix(h, kw.nbits() as u64);
+        for &block in kw.blocks() {
+            h = mix(h, block);
+        }
+        count += 1;
+    }
+    mix(h, count)
+}
 
 /// Cap on the up-front edge reservation. The old
 /// `Vec::with_capacity(n·(n−1)/2)` pre-allocation reserved ~800 MB for a
@@ -99,6 +132,8 @@ pub(crate) fn enumerate_positive_edges(
 pub struct DiversityEdgeCache {
     n: usize,
     edges: Vec<WeightedEdge>,
+    /// [`keywords_fingerprint`] of the catalog the cache was built from.
+    fingerprint: u64,
 }
 
 impl DiversityEdgeCache {
@@ -111,7 +146,12 @@ impl DiversityEdgeCache {
             distance.dist(&tasks[u].keywords, &tasks[v].keywords)
         });
         hta_par::sort_unstable_by_parallel(&mut edges, threads, edge_order);
-        Self { n, edges }
+        let fingerprint = keywords_fingerprint(tasks.iter().map(|t| &t.keywords));
+        Self {
+            n,
+            edges,
+            fingerprint,
+        }
     }
 
     /// Build from an [`Instance`] over the full catalog (reads
@@ -121,12 +161,34 @@ impl DiversityEdgeCache {
         let n = inst.n_tasks();
         let mut edges = enumerate_positive_edges(n, threads, |u, v| inst.diversity(u, v));
         hta_par::sort_unstable_by_parallel(&mut edges, threads, edge_order);
-        Self { n, edges }
+        let fingerprint = keywords_fingerprint(inst.tasks().iter().map(|t| &t.keywords));
+        Self {
+            n,
+            edges,
+            fingerprint,
+        }
     }
 
     /// Number of tasks the cache was built over.
     pub fn n_tasks(&self) -> usize {
         self.n
+    }
+
+    /// Fingerprint of the catalog the cache was built from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Whether the cache is valid for a catalog whose task keywords are
+    /// `keywords` (in catalog order). Callers holding a cache of uncertain
+    /// provenance — e.g. one restored alongside a snapshot, or kept across
+    /// a catalog swap — should check this and fall back to fresh edge
+    /// enumeration on mismatch instead of trusting a stale edge list.
+    pub fn valid_for<'a, I>(&self, keywords: I) -> bool
+    where
+        I: IntoIterator<Item = &'a KeywordVec>,
+    {
+        self.fingerprint == keywords_fingerprint(keywords)
     }
 
     /// The full sorted edge list (global task indices).
@@ -235,6 +297,38 @@ mod tests {
             .collect();
         let fresh = DiversityEdgeCache::build(&sub, &Jaccard, 1);
         assert_eq!(filtered, fresh.edges());
+    }
+
+    #[test]
+    fn fingerprint_detects_catalog_changes() {
+        let tasks = catalog(20);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        assert!(cache.valid_for(tasks.iter().map(|t| &t.keywords)));
+        assert_eq!(
+            cache.fingerprint(),
+            keywords_fingerprint(tasks.iter().map(|t| &t.keywords))
+        );
+
+        // One keyword bit flipped → invalid.
+        let mut changed = tasks.clone();
+        changed[7].keywords.set(11);
+        assert!(!cache.valid_for(changed.iter().map(|t| &t.keywords)));
+
+        // Fewer tasks → invalid.
+        assert!(!cache.valid_for(tasks[..19].iter().map(|t| &t.keywords)));
+
+        // Same tasks, different order → invalid (edge endpoints are
+        // positional, so order matters).
+        let mut swapped = tasks.clone();
+        swapped.swap(0, 1);
+        assert!(!cache.valid_for(swapped.iter().map(|t| &t.keywords)));
+
+        // A same-bits vector over a wider universe → invalid.
+        let widened: Vec<KeywordVec> = tasks
+            .iter()
+            .map(|t| KeywordVec::from_indices(64, &t.keywords.iter_ones().collect::<Vec<_>>()))
+            .collect();
+        assert!(!cache.valid_for(widened.iter()));
     }
 
     #[test]

@@ -273,7 +273,14 @@ impl IterationEngine {
         // sublist of the global sorted edge list is exactly what enumerating
         // and sorting this instance would produce. Fall back to a fresh
         // solve if a future code path ever breaks the ordering.
-        let out = match &self.edge_cache {
+        // The cache is only trusted when its catalog fingerprint still
+        // matches the pool — a stale cache (catalog swapped or restored from
+        // elsewhere) silently degrades to fresh enumeration.
+        let cache = self
+            .edge_cache
+            .as_ref()
+            .filter(|c| c.valid_for(self.tasks.tasks().iter().map(|t| &t.keywords)));
+        let out = match cache {
             Some(cache) => {
                 let open: Vec<u32> = local_to_global.iter().map(|t| t.0).collect();
                 if open.windows(2).all(|w| w[0] < w[1]) {
@@ -364,6 +371,43 @@ mod tests {
         }
         assert_eq!(engine.remaining_tasks(), 20 - 12);
         assert_eq!(engine.iterations_run(), 2);
+    }
+
+    #[test]
+    fn stale_edge_cache_falls_back_to_fresh_enumeration() {
+        use crate::metric::Jaccard;
+        use crate::task::Task;
+
+        // Baseline: no cache at all.
+        let mut plain = setup(24, 2, 3);
+        let mut rng = StdRng::seed_from_u64(5);
+        let expect = plain.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+
+        // Engine carrying a cache built from a *different* catalog: the
+        // fingerprint guard must reject it and solve from scratch, giving
+        // the same result as the cacheless engine.
+        let mut stale = setup(24, 2, 3);
+        let other: Vec<Task> = (0..24)
+            .map(|i| {
+                Task::new(
+                    TaskId(i as u32),
+                    GroupId(0),
+                    KeywordVec::from_indices(32, &[(i * 11 + 2) % 32]),
+                )
+            })
+            .collect();
+        stale.edge_cache = Some(DiversityEdgeCache::build(&other, &Jaccard, 1));
+        let mut rng = StdRng::seed_from_u64(5);
+        let got = stale.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        assert_eq!(got.assignments, expect.assignments);
+        assert_eq!(got.objective, expect.objective);
+
+        // Sanity: a cache the engine built itself is accepted and agrees too.
+        let mut fresh = setup(24, 2, 3);
+        fresh.enable_edge_reuse(1);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cached = fresh.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        assert_eq!(cached.assignments, expect.assignments);
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod metric;
 pub mod motivation;
 pub mod qap;
 pub mod solver;
+pub mod state;
 pub mod task;
 pub mod team;
 pub mod worker;
@@ -81,7 +82,7 @@ pub mod worker;
 pub use adaptive::WeightEstimator;
 pub use assignment::Assignment;
 pub use bitvec::KeywordVec;
-pub use edges::DiversityEdgeCache;
+pub use edges::{keywords_fingerprint, DiversityEdgeCache};
 pub use error::HtaError;
 pub use hta_matching::WeightedEdge;
 pub use instance::Instance;
@@ -89,6 +90,7 @@ pub use iteration::{CandidateGenerator, IterationEngine, IterationResult};
 pub use keywords::{KeywordId, KeywordSpace};
 pub use metric::{Distance, Jaccard};
 pub use solver::{SolveOutcome, Solver};
+pub use state::{StateDecodeError, StateReader, StateSerialize};
 pub use task::{GroupId, Task, TaskId, TaskPool};
 pub use worker::{Weights, Worker, WorkerId, WorkerPool};
 

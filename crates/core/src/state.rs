@@ -1,0 +1,562 @@
+//! Binary state serialization for checkpoint/restore.
+//!
+//! The snapshot subsystem (`hta-snapshot`) stores opaque, checksummed byte
+//! sections; this module defines *what the bytes mean*. [`StateSerialize`]
+//! is a minimal, deterministic, little-endian encoding: fixed-width
+//! integers, `f64` as IEEE-754 bit patterns (bit-exact round trips, the
+//! whole point of resumable runs), and length-prefixed sequences. There is
+//! no self-description — readers and writers must agree on the layout, and
+//! the snapshot container's format version is what keeps them honest.
+//!
+//! Decoding is total: every failure is a [`StateDecodeError`], never a
+//! panic, and never a partially-constructed value escaping to the caller.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::StdRng;
+
+use crate::adaptive::WeightEstimator;
+use crate::bitvec::KeywordVec;
+use crate::keywords::{KeywordId, KeywordSpace};
+use crate::task::{GroupId, Task, TaskId, TaskPool};
+use crate::worker::{Weights, WorkerId};
+
+/// Why a state blob failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateDecodeError {
+    /// The reader ran out of bytes: `needed` more were required but only
+    /// `remaining` were left.
+    Truncated {
+        /// Bytes the current field required.
+        needed: usize,
+        /// Bytes actually remaining.
+        remaining: usize,
+    },
+    /// The bytes decoded to a structurally invalid value.
+    Invalid(String),
+    /// Decoding finished with unconsumed bytes — the blob does not match
+    /// the expected layout.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for StateDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated { needed, remaining } => write!(
+                f,
+                "state blob truncated: needed {needed} more bytes, {remaining} remaining"
+            ),
+            Self::Invalid(msg) => write!(f, "invalid state: {msg}"),
+            Self::TrailingBytes(n) => write!(f, "state blob has {n} trailing bytes"),
+        }
+    }
+}
+
+impl std::error::Error for StateDecodeError {}
+
+/// A bounds-checked cursor over a state blob.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    #[inline]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], StateDecodeError> {
+        if n > self.remaining() {
+            return Err(StateDecodeError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Decode the next value of type `T`.
+    pub fn read<T: StateSerialize>(&mut self) -> Result<T, StateDecodeError> {
+        T::read_state(self)
+    }
+
+    /// Fail unless every byte was consumed.
+    pub fn expect_end(&self) -> Result<(), StateDecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StateDecodeError::TrailingBytes(self.remaining()))
+        }
+    }
+}
+
+/// Deterministic binary encoding of a piece of run state.
+pub trait StateSerialize: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn write_state(&self, out: &mut Vec<u8>);
+
+    /// Decode a value from the reader. Must consume exactly the bytes
+    /// `write_state` produced and must not leave observable side effects on
+    /// failure.
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError>;
+}
+
+/// Encode `value` into a fresh byte vector.
+pub fn encode<T: StateSerialize>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.write_state(&mut out);
+    out
+}
+
+/// Decode a value from `bytes`, requiring the blob to be fully consumed.
+pub fn decode<T: StateSerialize>(bytes: &[u8]) -> Result<T, StateDecodeError> {
+    let mut r = StateReader::new(bytes);
+    let value = T::read_state(&mut r)?;
+    r.expect_end()?;
+    Ok(value)
+}
+
+macro_rules! int_impl {
+    ($ty:ty) => {
+        impl StateSerialize for $ty {
+            fn write_state(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+                let bytes = r.take(std::mem::size_of::<$ty>())?;
+                Ok(<$ty>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    };
+}
+
+int_impl!(u8);
+int_impl!(u16);
+int_impl!(u32);
+int_impl!(u64);
+
+impl StateSerialize for usize {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        (*self as u64).write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let v = u64::read_state(r)?;
+        usize::try_from(v)
+            .map_err(|_| StateDecodeError::Invalid(format!("length {v} overflows usize")))
+    }
+}
+
+impl StateSerialize for f64 {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.to_bits().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        Ok(f64::from_bits(u64::read_state(r)?))
+    }
+}
+
+impl StateSerialize for bool {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        match u8::read_state(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(StateDecodeError::Invalid(format!("bool byte {b:#04x}"))),
+        }
+    }
+}
+
+impl StateSerialize for String {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.len().write_state(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let len = usize::read_state(r)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StateDecodeError::Invalid(format!("string not UTF-8: {e}")))
+    }
+}
+
+impl<T: StateSerialize> StateSerialize for Vec<T> {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.len().write_state(out);
+        for item in self {
+            item.write_state(out);
+        }
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let len = usize::read_state(r)?;
+        // Every element consumes at least one byte, so a corrupt length
+        // larger than the remaining buffer cannot force a huge allocation.
+        let mut out = Vec::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            out.push(T::read_state(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: StateSerialize> StateSerialize for Option<T> {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.write_state(out);
+            }
+        }
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        match u8::read_state(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::read_state(r)?)),
+            b => Err(StateDecodeError::Invalid(format!("option tag {b:#04x}"))),
+        }
+    }
+}
+
+macro_rules! id_impl {
+    ($ty:ident) => {
+        impl StateSerialize for $ty {
+            fn write_state(&self, out: &mut Vec<u8>) {
+                self.0.write_state(out);
+            }
+            fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+                Ok($ty(u32::read_state(r)?))
+            }
+        }
+    };
+}
+
+id_impl!(TaskId);
+id_impl!(GroupId);
+id_impl!(WorkerId);
+id_impl!(KeywordId);
+
+impl StateSerialize for KeywordVec {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.nbits().write_state(out);
+        self.blocks().to_vec().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let nbits = usize::read_state(r)?;
+        let blocks = Vec::<u64>::read_state(r)?;
+        KeywordVec::from_blocks(nbits, blocks).ok_or_else(|| {
+            StateDecodeError::Invalid(format!(
+                "keyword vector blocks inconsistent with nbits={nbits}"
+            ))
+        })
+    }
+}
+
+impl StateSerialize for KeywordSpace {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.len().write_state(out);
+        for i in 0..self.len() {
+            self.name(KeywordId(i as u32)).to_owned().write_state(out);
+        }
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let len = usize::read_state(r)?;
+        let mut space = KeywordSpace::new();
+        for _ in 0..len {
+            let name = String::read_state(r)?;
+            if space.get(&name).is_some() {
+                return Err(StateDecodeError::Invalid(format!(
+                    "duplicate keyword {name:?} in keyword space"
+                )));
+            }
+            space.intern(&name);
+        }
+        Ok(space)
+    }
+}
+
+impl StateSerialize for Weights {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.alpha().write_state(out);
+        self.beta().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let alpha = f64::read_state(r)?;
+        let beta = f64::read_state(r)?;
+        // `Weights::raw` panics out of range; reject first. `contains` is
+        // false for NaN, so corrupt bit patterns are caught here too.
+        if !(0.0..=1.0).contains(&alpha) || !(0.0..=1.0).contains(&beta) {
+            return Err(StateDecodeError::Invalid(format!(
+                "weights ({alpha}, {beta}) outside [0, 1]"
+            )));
+        }
+        Ok(Weights::raw(alpha, beta))
+    }
+}
+
+impl StateSerialize for WeightEstimator {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.prior().write_state(out);
+        let (div, rel) = self.gain_samples();
+        div.to_vec().write_state(out);
+        rel.to_vec().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let prior = Weights::read_state(r)?;
+        let div = Vec::<f64>::read_state(r)?;
+        let rel = Vec::<f64>::read_state(r)?;
+        for &g in div.iter().chain(&rel) {
+            if !(0.0..=1.0).contains(&g) {
+                return Err(StateDecodeError::Invalid(format!(
+                    "gain sample {g} outside [0, 1]"
+                )));
+            }
+        }
+        Ok(WeightEstimator::from_parts(prior, div, rel))
+    }
+}
+
+impl StateSerialize for Task {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.id.write_state(out);
+        self.group.write_state(out);
+        self.keywords.write_state(out);
+        self.reward_cents.write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let id = TaskId::read_state(r)?;
+        let group = GroupId::read_state(r)?;
+        let keywords = KeywordVec::read_state(r)?;
+        let reward_cents = u32::read_state(r)?;
+        Ok(Task::new(id, group, keywords).with_reward_cents(reward_cents))
+    }
+}
+
+impl StateSerialize for TaskPool {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.tasks().to_vec().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let tasks = Vec::<Task>::read_state(r)?;
+        let mut pool = TaskPool::new();
+        for (i, task) in tasks.into_iter().enumerate() {
+            if task.id != TaskId(i as u32) {
+                return Err(StateDecodeError::Invalid(format!(
+                    "task pool ids not dense: position {i} holds id {}",
+                    task.id.0
+                )));
+            }
+            pool.push_task(task);
+        }
+        Ok(pool)
+    }
+}
+
+impl StateSerialize for StdRng {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        for word in self.state() {
+            word.write_state(out);
+        }
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = u64::read_state(r)?;
+        }
+        Ok(StdRng::from_state(s))
+    }
+}
+
+/// `HashMap<String, T>` encoded as sorted `(key, value)` pairs so the byte
+/// stream is independent of hash iteration order.
+impl<T: StateSerialize> StateSerialize for HashMap<String, T> {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        keys.len().write_state(out);
+        for key in keys {
+            key.write_state(out);
+            self[key].write_state(out);
+        }
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let len = usize::read_state(r)?;
+        let mut map = HashMap::with_capacity(len.min(r.remaining()));
+        for _ in 0..len {
+            let key = String::read_state(r)?;
+            let value = T::read_state(r)?;
+            if map.insert(key, value).is_some() {
+                return Err(StateDecodeError::Invalid("duplicate map key".into()));
+            }
+        }
+        Ok(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn round_trip<T: StateSerialize + PartialEq + std::fmt::Debug>(value: &T) {
+        let bytes = encode(value);
+        let back: T = decode(&bytes).expect("decode");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        round_trip(&0u8);
+        round_trip(&0xDEAD_BEEFu32);
+        round_trip(&u64::MAX);
+        round_trip(&usize::MAX);
+        round_trip(&-0.0f64);
+        round_trip(&f64::NAN.to_bits()); // NaN itself is not PartialEq
+        round_trip(&true);
+        round_trip(&String::from("relevance & diversity"));
+        round_trip(&vec![1u32, 2, 3]);
+        round_trip(&Some(7u64));
+        round_trip(&None::<u64>);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = encode(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            let err = decode::<Vec<u64>>(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, StateDecodeError::Truncated { .. }),
+                "cut={cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode(&3u32);
+        bytes.push(0);
+        assert_eq!(
+            decode::<u32>(&bytes).unwrap_err(),
+            StateDecodeError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn huge_length_prefix_does_not_allocate() {
+        let bytes = encode(&(u64::MAX / 2));
+        // Decoding as a Vec sees an absurd length but only `0` remaining
+        // bytes, so it must fail fast without a giant reservation.
+        let err = decode::<Vec<u64>>(&bytes).unwrap_err();
+        assert!(matches!(err, StateDecodeError::Truncated { .. }));
+    }
+
+    #[test]
+    fn keyword_vec_round_trip_and_validation() {
+        let v = KeywordVec::from_indices(130, &[0, 63, 64, 129]);
+        round_trip(&v);
+
+        // Stray bits above nbits must be rejected.
+        let mut bytes = Vec::new();
+        70usize.write_state(&mut bytes);
+        vec![0u64, u64::MAX].write_state(&mut bytes);
+        let err = decode::<KeywordVec>(&bytes).unwrap_err();
+        assert!(matches!(err, StateDecodeError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn keyword_space_round_trip_preserves_ids() {
+        let mut space = KeywordSpace::new();
+        for kw in ["audio", "english", "news", "sports"] {
+            space.intern(kw);
+        }
+        let bytes = encode(&space);
+        let back: KeywordSpace = decode(&bytes).unwrap();
+        assert_eq!(back.len(), space.len());
+        for i in 0..space.len() {
+            let id = KeywordId(i as u32);
+            assert_eq!(back.name(id), space.name(id));
+            assert_eq!(back.get(space.name(id)), Some(id));
+        }
+    }
+
+    #[test]
+    fn weights_and_estimator_round_trip() {
+        let w = Weights::raw(0.6, 0.3); // non-simplex raw weights survive
+        let bytes = encode(&w);
+        let back: Weights = decode(&bytes).unwrap();
+        assert_eq!(back.alpha().to_bits(), w.alpha().to_bits());
+        assert_eq!(back.beta().to_bits(), w.beta().to_bits());
+
+        let mut e = WeightEstimator::new(Weights::from_alpha(0.7));
+        e.observe_gains(Some(0.8), Some(0.2));
+        e.observe_gains(None, Some(0.5));
+        let back: WeightEstimator = decode(&encode(&e)).unwrap();
+        assert_eq!(back.sample_counts(), e.sample_counts());
+        assert_eq!(
+            back.estimate().alpha().to_bits(),
+            e.estimate().alpha().to_bits()
+        );
+    }
+
+    #[test]
+    fn corrupt_weights_are_rejected_not_panicking() {
+        let mut bytes = Vec::new();
+        2.5f64.write_state(&mut bytes);
+        0.5f64.write_state(&mut bytes);
+        assert!(matches!(
+            decode::<Weights>(&bytes).unwrap_err(),
+            StateDecodeError::Invalid(_)
+        ));
+        let mut bytes = Vec::new();
+        f64::NAN.write_state(&mut bytes);
+        0.5f64.write_state(&mut bytes);
+        assert!(matches!(
+            decode::<Weights>(&bytes).unwrap_err(),
+            StateDecodeError::Invalid(_)
+        ));
+    }
+
+    #[test]
+    fn task_pool_round_trip() {
+        let mut pool = TaskPool::new();
+        for i in 0..5usize {
+            pool.push(
+                GroupId((i % 2) as u32),
+                KeywordVec::from_indices(16, &[i, i + 3]),
+            );
+        }
+        let back: TaskPool = decode(&encode(&pool)).unwrap();
+        assert_eq!(back.len(), pool.len());
+        for (a, b) in back.tasks().iter().zip(pool.tasks()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.group, b.group);
+            assert_eq!(a.keywords, b.keywords);
+            assert_eq!(a.reward_cents, b.reward_cents);
+        }
+    }
+
+    #[test]
+    fn rng_round_trip_resumes_stream() {
+        let mut rng = StdRng::seed_from_u64(0x5E59);
+        for _ in 0..37 {
+            rng.next_u64();
+        }
+        let mut back: StdRng = decode(&encode(&rng)).unwrap();
+        for _ in 0..50 {
+            assert_eq!(back.next_u64(), rng.next_u64());
+        }
+    }
+}

@@ -2,6 +2,9 @@
 //! sessions per strategy on the simulated platform, aggregate the three
 //! KPIs, and report the significance tests the paper quotes.
 
+use std::fmt;
+use std::path::{Path, PathBuf};
+
 use hta_datagen::crowdflower::{CrowdflowerCatalog, CrowdflowerConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,6 +14,7 @@ use crate::metrics::{
 };
 use crate::platform::{Platform, PlatformConfig, SessionRecord};
 use crate::population::{generate, LiveWorker, PopulationConfig};
+use crate::snapshot::{save_run, CompletedArm, RunProgress, RunSnapshotError, SNAPSHOT_EXT};
 use crate::stats::{mann_whitney_u, two_proportion_z_test, TestResult};
 use crate::strategies::Strategy;
 
@@ -74,6 +78,11 @@ pub struct StrategyResults {
     pub throughput: TimeSeries,
     /// Figure 5c series: session survival per minute.
     pub retention: TimeSeries,
+    /// The arm RNG's xoshiro256** state after the last cohort — the
+    /// strongest resume-identity witness: a resumed run that lands on the
+    /// same state consumed the exact same random stream as an
+    /// uninterrupted one.
+    pub rng_state: [u64; 4],
 }
 
 /// The full experiment outcome.
@@ -140,10 +149,93 @@ impl OnlineResults {
     }
 }
 
+/// When and where [`run_with`] writes checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Write a checkpoint every this many cohort boundaries (≥ 1).
+    pub every_cohorts: usize,
+    /// Directory for checkpoint files (created if missing).
+    pub dir: PathBuf,
+    /// Keep at most this many checkpoint files, pruning the oldest
+    /// (`0` = keep all).
+    pub keep: usize,
+}
+
+/// External control over [`run_with`]: checkpointing and deterministic
+/// early halt.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    /// Checkpoint policy (`None` = never checkpoint).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Stop cleanly after this many cohorts have run *in this process*,
+    /// writing a final checkpoint first when a policy is set. This is the
+    /// deterministic stand-in for killing the process mid-run — resume
+    /// tests and the CI round-trip job use it.
+    pub halt_after_cohorts: Option<usize>,
+}
+
+/// What [`run_with`] produced.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The experiment ran to the end.
+    Complete(OnlineResults),
+    /// The run stopped at [`RunControl::halt_after_cohorts`].
+    Halted {
+        /// Cohorts run in this process before halting.
+        cohorts_completed: usize,
+        /// The last checkpoint written, if a policy was set.
+        snapshot: Option<PathBuf>,
+    },
+}
+
+/// Why [`run_with`] failed.
+#[derive(Debug)]
+pub enum RunError {
+    /// The resume state does not fit the configuration.
+    Resume(String),
+    /// Writing a checkpoint failed.
+    Checkpoint(RunSnapshotError),
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Resume(msg) => write!(f, "cannot resume: {msg}"),
+            Self::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
 /// Run the experiment. Every strategy sees the same worker population (in
 /// the same cohort order) and its own fresh copy of the task catalog, so
 /// arms differ only in the assignment policy. Deterministic in `cfg.seed`.
 pub fn run(cfg: &OnlineConfig) -> OnlineResults {
+    match run_with(cfg, None, &RunControl::default()) {
+        Ok(RunOutcome::Complete(r)) => r,
+        Ok(RunOutcome::Halted { .. }) => unreachable!("no halt was requested"),
+        Err(e) => unreachable!("uncontrolled runs cannot fail: {e}"),
+    }
+}
+
+/// [`run`], with resume and checkpoint/halt control.
+///
+/// With `resume`, the run continues from a [`RunProgress`] (normally loaded
+/// via [`crate::snapshot::load_run`]) instead of starting at arm 0: already
+/// finished arms are taken from the stored records, the in-progress arm's
+/// platform and RNG are restored to the checkpointed cohort boundary, and
+/// later arms run from scratch. Because checkpoints are taken at cohort
+/// boundaries — quiescent points where the discrete-event state is fully
+/// folded into the session records — a resumed run executes the exact
+/// remaining loop iterations of the original and its [`OnlineResults`] are
+/// **byte-identical** to an uninterrupted run's (assignments, metrics, and
+/// RNG stream; see `tests/resume_identity.rs`).
+pub fn run_with(
+    cfg: &OnlineConfig,
+    resume: Option<RunProgress>,
+    control: &RunControl,
+) -> Result<RunOutcome, RunError> {
     assert!(cfg.sessions_per_strategy >= 1);
     assert!(cfg.cohort_size >= 1);
     let catalog = CrowdflowerCatalog::generate(&cfg.catalog);
@@ -151,47 +243,197 @@ pub fn run(cfg: &OnlineConfig) -> OnlineResults {
     assert!(!population.is_empty(), "population must not be empty");
 
     let limit = cfg.platform.session_minutes.ceil() as usize;
-    let per_strategy = Strategy::ALL
-        .iter()
-        .map(|&strategy| {
-            // Fresh availability per arm: each arm sees the same catalog.
-            let mut platform = Platform::new(&catalog, cfg.platform.clone());
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ strategy_seed(strategy));
-            let mut records: Vec<SessionRecord> = Vec::new();
-            let mut next_worker = 0usize;
-            while records.len() < cfg.sessions_per_strategy {
-                let take = cfg
-                    .cohort_size
-                    .min(cfg.sessions_per_strategy - records.len());
-                let cohort: Vec<&LiveWorker> = (0..take)
-                    .map(|k| &population[(next_worker + k) % population.len()])
-                    .collect();
-                next_worker += take;
-                if cfg.arrival_spread_minutes > 0.0 {
-                    use rand::RngExt;
-                    let arrivals: Vec<f64> = (0..take)
-                        .map(|_| rng.random::<f64>() * cfg.arrival_spread_minutes)
-                        .collect();
-                    records.extend(
-                        platform.run_cohort_with_arrivals(strategy, &cohort, &arrivals, &mut rng),
-                    );
-                } else {
-                    records.extend(platform.run_cohort(strategy, &cohort, &mut rng));
+    let mut per_strategy: Vec<StrategyResults> = Vec::new();
+    let (start_arm, mut pending) = match resume {
+        Some(p) => {
+            if p.arm >= Strategy::ALL.len() {
+                return Err(RunError::Resume(format!(
+                    "arm index {} out of range",
+                    p.arm
+                )));
+            }
+            if p.completed_arms.len() != p.arm {
+                return Err(RunError::Resume(format!(
+                    "arm index {} disagrees with {} completed arms",
+                    p.arm,
+                    p.completed_arms.len()
+                )));
+            }
+            if p.current_records.len() > cfg.sessions_per_strategy {
+                return Err(RunError::Resume(format!(
+                    "in-progress arm has {} records, config expects at most {}",
+                    p.current_records.len(),
+                    cfg.sessions_per_strategy
+                )));
+            }
+            for (i, arm) in p.completed_arms.iter().enumerate() {
+                if arm.records.len() != cfg.sessions_per_strategy {
+                    return Err(RunError::Resume(format!(
+                        "completed arm {i} has {} records, config expects {}",
+                        arm.records.len(),
+                        cfg.sessions_per_strategy
+                    )));
                 }
+                per_strategy.push(finish_arm(
+                    Strategy::ALL[i],
+                    arm.records.clone(),
+                    arm.rng_state,
+                    cfg,
+                    limit,
+                ));
             }
-            let summary = summarize(&records, cfg.retention_probe_minutes);
-            StrategyResults {
-                strategy,
-                quality: quality_series(&records, limit),
-                throughput: throughput_series(&records, limit),
-                retention: retention_series(&records, limit),
-                summary,
-                records,
-            }
-        })
-        .collect();
+            (p.arm, Some(p))
+        }
+        None => (0, None),
+    };
 
-    OnlineResults { per_strategy }
+    let mut cohorts_run = 0usize;
+    let mut last_snapshot: Option<PathBuf> = None;
+
+    for (arm_idx, &strategy) in Strategy::ALL.iter().enumerate().skip(start_arm) {
+        // Fresh availability per arm (each arm sees the same catalog) —
+        // unless this is the arm a resume landed in, whose platform state
+        // is restored from the checkpoint.
+        let (mut platform, mut rng, mut records, mut next_worker) = match pending.take() {
+            Some(p) => (
+                Platform::resume(&catalog, cfg.platform.clone(), p.available, p.index)
+                    .map_err(RunError::Resume)?,
+                StdRng::from_state(p.rng_state),
+                p.current_records,
+                p.next_worker,
+            ),
+            None => (
+                Platform::new(&catalog, cfg.platform.clone()),
+                StdRng::seed_from_u64(cfg.seed ^ strategy_seed(strategy)),
+                Vec::new(),
+                0usize,
+            ),
+        };
+
+        while records.len() < cfg.sessions_per_strategy {
+            let take = cfg
+                .cohort_size
+                .min(cfg.sessions_per_strategy - records.len());
+            let cohort: Vec<&LiveWorker> = (0..take)
+                .map(|k| &population[(next_worker + k) % population.len()])
+                .collect();
+            next_worker += take;
+            if cfg.arrival_spread_minutes > 0.0 {
+                use rand::RngExt;
+                let arrivals: Vec<f64> = (0..take)
+                    .map(|_| rng.random::<f64>() * cfg.arrival_spread_minutes)
+                    .collect();
+                records.extend(
+                    platform.run_cohort_with_arrivals(strategy, &cohort, &arrivals, &mut rng),
+                );
+            } else {
+                records.extend(platform.run_cohort(strategy, &cohort, &mut rng));
+            }
+            cohorts_run += 1;
+
+            // Cohort boundary: the quiescent point where checkpoints are
+            // valid (module docs of [`crate::snapshot`]).
+            let due = control
+                .checkpoint
+                .as_ref()
+                .is_some_and(|p| cohorts_run.is_multiple_of(p.every_cohorts.max(1)));
+            let halt = control.halt_after_cohorts.is_some_and(|h| cohorts_run >= h);
+            if due || (halt && control.checkpoint.is_some()) {
+                let policy = control.checkpoint.as_ref().expect("checked above");
+                let progress = RunProgress {
+                    arm: arm_idx,
+                    completed_arms: per_strategy
+                        .iter()
+                        .map(|r| CompletedArm {
+                            records: r.records.clone(),
+                            rng_state: r.rng_state,
+                        })
+                        .collect(),
+                    current_records: records.clone(),
+                    next_worker,
+                    available: platform.availability().to_vec(),
+                    index: platform.index().clone(),
+                    rng_state: rng.state(),
+                };
+                last_snapshot = Some(write_checkpoint(policy, cfg, &progress)?);
+            }
+            if halt {
+                return Ok(RunOutcome::Halted {
+                    cohorts_completed: cohorts_run,
+                    snapshot: last_snapshot,
+                });
+            }
+        }
+
+        let rng_state = rng.state();
+        per_strategy.push(finish_arm(strategy, records, rng_state, cfg, limit));
+    }
+
+    Ok(RunOutcome::Complete(OnlineResults { per_strategy }))
+}
+
+fn finish_arm(
+    strategy: Strategy,
+    records: Vec<SessionRecord>,
+    rng_state: [u64; 4],
+    cfg: &OnlineConfig,
+    limit: usize,
+) -> StrategyResults {
+    let summary = summarize(&records, cfg.retention_probe_minutes);
+    StrategyResults {
+        strategy,
+        quality: quality_series(&records, limit),
+        throughput: throughput_series(&records, limit),
+        retention: retention_series(&records, limit),
+        summary,
+        records,
+        rng_state,
+    }
+}
+
+fn write_checkpoint(
+    policy: &CheckpointPolicy,
+    cfg: &OnlineConfig,
+    progress: &RunProgress,
+) -> Result<PathBuf, RunError> {
+    std::fs::create_dir_all(&policy.dir)
+        .map_err(|e| RunError::Checkpoint(RunSnapshotError::Io(e)))?;
+    let name = format!(
+        "ckpt-a{:02}-s{:05}.{}",
+        progress.arm,
+        progress.current_records.len(),
+        SNAPSHOT_EXT
+    );
+    let path = policy.dir.join(name);
+    save_run(&path, cfg, progress).map_err(RunError::Checkpoint)?;
+    if policy.keep > 0 {
+        let mut files = list_checkpoints(&policy.dir);
+        while files.len() > policy.keep {
+            // Best-effort prune: a checkpoint that cannot be removed is
+            // harmless, just stale.
+            let _ = std::fs::remove_file(files.remove(0));
+        }
+    }
+    Ok(path)
+}
+
+/// Checkpoint files in `dir`, oldest first. Filenames encode
+/// `(arm, sessions-finished)` zero-padded, so lexicographic order is
+/// progress order and the last element is the newest checkpoint.
+pub fn list_checkpoints(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("ckpt-") && n.ends_with(SNAPSHOT_EXT))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    out.sort();
+    out
 }
 
 fn strategy_seed(s: Strategy) -> u64 {

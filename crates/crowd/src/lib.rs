@@ -16,6 +16,7 @@
 //!   HTA-GRE-DIV, and random.
 //! * [`metrics`] — Figure 5's KPIs: quality, throughput, retention.
 //! * [`experiment`] — the full 20-sessions-per-arm experiment.
+//! * [`snapshot`] — versioned, checksummed checkpoint/resume of a run.
 //! * [`stats`] — the two-proportion Z-test and Mann–Whitney U test used to
 //!   report significance.
 
@@ -27,13 +28,18 @@ pub mod metrics;
 pub mod platform;
 pub mod population;
 pub mod report;
+pub mod snapshot;
 pub mod stats;
 pub mod strategies;
 
 pub use behavior::BehaviorConfig;
-pub use experiment::{run, OnlineConfig, OnlineResults, StrategyResults};
+pub use experiment::{
+    list_checkpoints, run, run_with, CheckpointPolicy, OnlineConfig, OnlineResults, RunControl,
+    RunError, RunOutcome, StrategyResults,
+};
 pub use metrics::{StrategySummary, TimeSeries};
 pub use platform::{CompletionRecord, EndReason, Platform, PlatformConfig, SessionRecord};
 pub use population::{LiveWorker, PopulationConfig};
 pub use report::markdown as report_markdown;
+pub use snapshot::{load_run, save_run, CompletedArm, RunProgress, RunSnapshot, RunSnapshotError};
 pub use strategies::Strategy;

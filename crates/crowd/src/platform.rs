@@ -96,7 +96,7 @@ impl Default for PlatformConfig {
 }
 
 /// One completed task within a session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompletionRecord {
     /// Session-relative completion time in minutes.
     pub minute: f64,
@@ -130,7 +130,7 @@ pub enum EndReason {
 }
 
 /// One work session.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionRecord {
     /// The strategy arm this session ran under.
     pub strategy: Strategy,
@@ -255,6 +255,82 @@ impl<'c> Platform<'c> {
             solver: Box::new(solver),
             edge_cache,
         }
+    }
+
+    /// Rebuild a platform from checkpointed cross-cohort state: the task
+    /// availability vector and the keyword index, exactly as captured by
+    /// [`Platform::availability`]/[`Platform::index`] at a cohort boundary.
+    /// The solver and the diversity edge cache are deterministic functions
+    /// of `(catalog, cfg)` and are rebuilt rather than stored; the index is
+    /// taken verbatim because its posting-list order encodes swap-remove
+    /// history and affects future retrieval order.
+    ///
+    /// Fails (with a description) when the pieces are mutually
+    /// inconsistent — the constructor never builds a half-valid platform.
+    pub fn resume(
+        catalog: &'c CrowdflowerCatalog,
+        cfg: PlatformConfig,
+        available: Vec<bool>,
+        index: ShardedIndex,
+    ) -> Result<Self, String> {
+        if available.len() != catalog.tasks.len() {
+            return Err(format!(
+                "availability vector covers {} tasks, catalog has {}",
+                available.len(),
+                catalog.tasks.len()
+            ));
+        }
+        if index.nbits() != catalog.space.len() {
+            return Err(format!(
+                "index keyword universe has {} bits, catalog has {}",
+                index.nbits(),
+                catalog.space.len()
+            ));
+        }
+        let open = available.iter().filter(|&&a| a).count();
+        if index.len() != open {
+            return Err(format!(
+                "index holds {} open tasks, availability vector has {}",
+                index.len(),
+                open
+            ));
+        }
+        for t in index.open_tasks() {
+            if !available[t as usize] {
+                return Err(format!(
+                    "index lists task {t} as open but the availability vector does not"
+                ));
+            }
+        }
+        let threads = hta_par::solver_threads(cfg.solver_threads);
+        let edge_cache =
+            (cfg.reuse_edges && catalog.tasks.len() <= MAX_EDGE_CACHE_TASKS).then(|| {
+                let tasks: Vec<Task> = catalog.tasks.iter().map(|t| t.task.clone()).collect();
+                DiversityEdgeCache::build(&tasks, &Jaccard, threads)
+            });
+        let solver = HtaGre::structured()
+            .without_flip()
+            .with_threads(cfg.solver_threads);
+        Ok(Self {
+            catalog,
+            cfg,
+            available,
+            index,
+            solver: Box::new(solver),
+            edge_cache,
+        })
+    }
+
+    /// The task-availability vector (catalog order) — the platform's
+    /// cross-cohort state, captured at cohort boundaries for checkpoints.
+    pub fn availability(&self) -> &[bool] {
+        &self.available
+    }
+
+    /// The keyword index over the open tasks (the other half of the
+    /// cross-cohort state).
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
     }
 
     /// Return a task to the open pool, keeping the index in sync.
@@ -787,7 +863,14 @@ impl<'c> Platform<'c> {
         // window was down-sampled (partial Fisher-Yates shuffles it); TopK
         // pools are sorted by construction. Anything else falls back.
         let ascending = open.windows(2).all(|w| w[0] < w[1]);
-        let out = match (&self.edge_cache, ascending) {
+        // Trust the cached edge list only while its catalog fingerprint
+        // matches — a cache carried across a catalog swap (or paired with
+        // the wrong catalog on restore) falls back to fresh enumeration.
+        let cache = self
+            .edge_cache
+            .as_ref()
+            .filter(|c| c.valid_for(self.catalog.tasks.iter().map(|t| &t.task.keywords)));
+        let out = match (cache, ascending) {
             (Some(cache), true) => {
                 let open_u32: Vec<u32> = open.iter().map(|&i| i as u32).collect();
                 let edges = cache.filter_sorted(&open_u32);

@@ -10,6 +10,7 @@
 //! questions with known ground truth, so the online simulator can score
 //! crowdwork quality exactly as the paper does.
 
+use hta_core::state::{StateDecodeError, StateReader, StateSerialize};
 use hta_core::{GroupId, KeywordSpace, KeywordVec, Task, TaskId, TaskPool};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -228,6 +229,32 @@ impl Default for CrowdflowerConfig {
             questions_per_task: (1, 3),
             seed: 0xCF,
         }
+    }
+}
+
+impl StateSerialize for CrowdflowerConfig {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.n_tasks.write_state(out);
+        self.questions_per_task.0.write_state(out);
+        self.questions_per_task.1.write_state(out);
+        self.seed.write_state(out);
+    }
+
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let n_tasks = usize::read_state(r)?;
+        let lo = usize::read_state(r)?;
+        let hi = usize::read_state(r)?;
+        let seed = u64::read_state(r)?;
+        if lo > hi {
+            return Err(StateDecodeError::Invalid(format!(
+                "questions_per_task range ({lo}, {hi}) inverted"
+            )));
+        }
+        Ok(Self {
+            n_tasks,
+            questions_per_task: (lo, hi),
+            seed,
+        })
     }
 }
 

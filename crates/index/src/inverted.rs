@@ -1,5 +1,6 @@
 //! The inverted keyword index over open tasks.
 
+use hta_core::state::{StateDecodeError, StateReader, StateSerialize};
 use hta_core::KeywordVec;
 
 use crate::par;
@@ -353,6 +354,66 @@ impl InvertedIndex {
         scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         scored.truncate(k);
         scored
+    }
+}
+
+impl StateSerialize for InvertedIndex {
+    /// Layout: `nbits`, `docs`, `doc_len`, posting lists **verbatim** (list
+    /// order encodes swap-remove history). Back-references are derivable
+    /// and rebuilt on read, in ascending keyword order per task — the same
+    /// invariant live insert/remove maintain.
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.postings.len().write_state(out);
+        self.docs.write_state(out);
+        self.doc_len.write_state(out);
+        self.postings.write_state(out);
+    }
+
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let invalid = |msg: String| StateDecodeError::Invalid(format!("inverted index: {msg}"));
+        let nbits = usize::read_state(r)?;
+        let docs = usize::read_state(r)?;
+        let doc_len = Vec::<u32>::read_state(r)?;
+        let postings = Vec::<Vec<u32>>::read_state(r)?;
+        if postings.len() != nbits {
+            return Err(invalid(format!(
+                "{} posting lists for a universe of {nbits}",
+                postings.len()
+            )));
+        }
+        if docs != doc_len.iter().filter(|&&l| l != ABSENT).count() {
+            return Err(invalid("docs does not match the doc_len table".into()));
+        }
+        let mut entries: Vec<Vec<PostingRef>> = vec![Vec::new(); doc_len.len()];
+        let mut counts = vec![0u32; doc_len.len()];
+        for (keyword, list) in postings.iter().enumerate() {
+            for (position, &task) in list.iter().enumerate() {
+                let len = doc_len
+                    .get(task as usize)
+                    .ok_or_else(|| invalid(format!("posting for unknown task {task}")))?;
+                if *len == ABSENT {
+                    return Err(invalid(format!("posting for absent task {task}")));
+                }
+                counts[task as usize] += 1;
+                entries[task as usize].push(PostingRef {
+                    keyword: keyword as u32,
+                    position: position as u32,
+                });
+            }
+        }
+        for (task, (&count, &len)) in counts.iter().zip(&doc_len).enumerate() {
+            if len != ABSENT && count != len {
+                return Err(invalid(format!(
+                    "task {task} has {count} memberships but doc_len {len}"
+                )));
+            }
+        }
+        Ok(Self {
+            postings,
+            entries,
+            doc_len,
+            docs,
+        })
     }
 }
 

@@ -14,6 +14,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 use std::str::FromStr;
 
+use hta_core::state::{StateDecodeError, StateReader, StateSerialize};
 use hta_core::{HtaError, Instance, Task, TaskId, Worker, WorkerId};
 
 use crate::par;
@@ -67,6 +68,34 @@ impl std::fmt::Display for CandidateMode {
         match self {
             CandidateMode::Full => write!(f, "full"),
             CandidateMode::TopK(k) => write!(f, "topk:{k}"),
+        }
+    }
+}
+
+impl StateSerialize for CandidateMode {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        match self {
+            CandidateMode::Full => 0u8.write_state(out),
+            CandidateMode::TopK(k) => {
+                1u8.write_state(out);
+                k.write_state(out);
+            }
+        }
+    }
+
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        match u8::read_state(r)? {
+            0 => Ok(CandidateMode::Full),
+            1 => {
+                let k = usize::read_state(r)?;
+                if k == 0 {
+                    return Err(StateDecodeError::Invalid("top-k depth 0".into()));
+                }
+                Ok(CandidateMode::TopK(k))
+            }
+            tag => Err(StateDecodeError::Invalid(format!(
+                "candidate mode tag {tag:#04x}"
+            ))),
         }
     }
 }

@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use hta_core::state::{StateDecodeError, StateReader, StateSerialize};
 use hta_core::KeywordVec;
 
 use crate::inverted::{dedup_first_occurrences, InvertedIndex, PostingRef, ABSENT};
@@ -499,6 +500,102 @@ fn build_shard_group(group: &mut [Shard], tasks: &[(u32, &KeywordVec)]) {
             }
             group[owner].push_membership(id, bit as u32);
         }
+    }
+}
+
+impl StateSerialize for ShardedIndex {
+    /// Layout: `nbits`, `docs`, `doc_len`, then per shard `lo`, `hi` and
+    /// the posting lists **verbatim** (list order encodes swap-remove
+    /// history, and back-reference positions index into it). Entries are
+    /// not stored: they are derivable — `entries[t]` is exactly the
+    /// `(keyword, position)` pairs at which `t` appears, in ascending
+    /// keyword order per shard, which is the same invariant live
+    /// insert/remove maintain.
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.nbits.write_state(out);
+        self.docs.write_state(out);
+        self.doc_len.write_state(out);
+        self.shards.len().write_state(out);
+        for shard in &self.shards {
+            shard.lo.write_state(out);
+            shard.hi().write_state(out);
+            shard.postings.write_state(out);
+        }
+    }
+
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let invalid = |msg: String| StateDecodeError::Invalid(format!("sharded index: {msg}"));
+        let nbits = usize::read_state(r)?;
+        let docs = usize::read_state(r)?;
+        let doc_len = Vec::<u32>::read_state(r)?;
+        let n_shards = usize::read_state(r)?;
+        if n_shards == 0 {
+            return Err(invalid("no shards".into()));
+        }
+        let mut shards = Vec::with_capacity(n_shards.min(r.remaining()));
+        let mut expected_lo = 0u32;
+        for _ in 0..n_shards {
+            let lo = u32::read_state(r)?;
+            let hi = u32::read_state(r)?;
+            let postings = Vec::<Vec<u32>>::read_state(r)?;
+            if lo != expected_lo || hi < lo || postings.len() != (hi - lo) as usize {
+                return Err(invalid(format!(
+                    "shard range [{lo}, {hi}) breaks the contiguous partition at {expected_lo}"
+                )));
+            }
+            expected_lo = hi;
+            shards.push(Shard {
+                lo,
+                postings,
+                entries: Vec::new(),
+            });
+        }
+        if expected_lo as usize != nbits {
+            return Err(invalid(format!(
+                "shard ranges cover {expected_lo} keywords, universe is {nbits}"
+            )));
+        }
+        if docs != doc_len.iter().filter(|&&l| l != ABSENT).count() {
+            return Err(invalid("docs does not match the doc_len table".into()));
+        }
+        // Cross-check every membership against the doc_len table, then
+        // rebuild the back-references (ascending keyword order per shard —
+        // the live invariant).
+        let mut counts = vec![0u32; doc_len.len()];
+        for shard in &mut shards {
+            if !doc_len.is_empty() {
+                shard.reserve_task(doc_len.len() as u32 - 1);
+            }
+            for (off, list) in shard.postings.iter().enumerate() {
+                let keyword = shard.lo + off as u32;
+                for (position, &task) in list.iter().enumerate() {
+                    let len = doc_len
+                        .get(task as usize)
+                        .ok_or_else(|| invalid(format!("posting for unknown task {task}")))?;
+                    if *len == ABSENT {
+                        return Err(invalid(format!("posting for absent task {task}")));
+                    }
+                    counts[task as usize] += 1;
+                    shard.entries[task as usize].push(PostingRef {
+                        keyword,
+                        position: position as u32,
+                    });
+                }
+            }
+        }
+        for (task, (&count, &len)) in counts.iter().zip(&doc_len).enumerate() {
+            if len != ABSENT && count != len {
+                return Err(invalid(format!(
+                    "task {task} has {count} memberships but doc_len {len}"
+                )));
+            }
+        }
+        Ok(Self {
+            shards,
+            doc_len,
+            docs,
+            nbits,
+        })
     }
 }
 

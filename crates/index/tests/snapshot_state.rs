@@ -1,0 +1,175 @@
+//! Round-trip tests for the index `StateSerialize` impls.
+//!
+//! The resume-identity guarantee needs a restored index to be not merely
+//! *equivalent* but *operationally identical* to the live one: posting-list
+//! order encodes swap-remove history, and future removes/queries must
+//! behave byte-identically. These tests drive random insert/remove
+//! histories, snapshot mid-flight, and check both structural equality and
+//! continued-operation equality.
+
+use hta_core::state::{decode, encode, StateDecodeError};
+use hta_core::KeywordVec;
+use hta_index::{sharded::contents_equal, InvertedIndex, ShardedIndex};
+use proptest::prelude::*;
+
+fn kw(nbits: usize, bits: &[usize]) -> KeywordVec {
+    KeywordVec::from_indices(nbits, bits)
+}
+
+/// Exact structural view: posting lists *in order* (not sorted — order is
+/// part of the state) plus the open set.
+fn exact_view(index: &ShardedIndex) -> (Vec<Vec<u32>>, Vec<u32>, Vec<usize>) {
+    (
+        (0..index.nbits() as u32)
+            .map(|b| index.postings(b).to_vec())
+            .collect(),
+        index.open_tasks().collect(),
+        index.shard_sizes(),
+    )
+}
+
+#[test]
+fn sharded_round_trip_preserves_exact_state() {
+    let nbits = 40;
+    let vecs: Vec<KeywordVec> = (0..80)
+        .map(|i| {
+            kw(
+                nbits,
+                &[i % nbits, (i * 7 + 3) % nbits, (i * 13 + 1) % nbits],
+            )
+        })
+        .collect();
+    let pairs: Vec<(u32, &KeywordVec)> = vecs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as u32, v))
+        .collect();
+    for shards in [1usize, 2, 7] {
+        let mut idx = ShardedIndex::build(nbits, &pairs, shards);
+        // Give it a swap-remove history so list order is non-trivial.
+        for t in [3u32, 40, 12, 77, 5] {
+            assert!(idx.remove(t));
+        }
+        idx.insert(12, &vecs[12]);
+
+        let back: ShardedIndex = decode(&encode(&idx)).expect("round trip");
+        assert_eq!(exact_view(&back), exact_view(&idx), "shards={shards}");
+        assert_eq!(back.shard_ranges(), idx.shard_ranges());
+
+        // Operational identity: the same future mutations and queries give
+        // the same results on both copies.
+        let mut live = idx.clone();
+        let mut restored = back;
+        for t in [40u32, 0, 61, 12] {
+            assert_eq!(live.remove(t), restored.remove(t), "remove {t}");
+        }
+        live.insert(3, &vecs[3]);
+        restored.insert(3, &vecs[3]);
+        assert_eq!(exact_view(&live), exact_view(&restored));
+        let worker = kw(nbits, &[0, 5, 11, 22, 39]);
+        assert_eq!(live.top_k(&worker, 16), restored.top_k(&worker, 16));
+    }
+}
+
+#[test]
+fn flat_round_trip_preserves_exact_state() {
+    let nbits = 24;
+    let vecs: Vec<KeywordVec> = (0..50)
+        .map(|i| kw(nbits, &[i % nbits, (i * 5 + 2) % nbits]))
+        .collect();
+    let mut idx = InvertedIndex::new(nbits);
+    for (i, v) in vecs.iter().enumerate() {
+        idx.insert(i as u32, v);
+    }
+    for t in [9u32, 30, 2] {
+        idx.remove(t);
+    }
+    let mut back: InvertedIndex = decode(&encode(&idx)).expect("round trip");
+    assert_eq!(back.len(), idx.len());
+    for b in 0..nbits as u32 {
+        assert_eq!(back.postings(b), idx.postings(b), "keyword {b}");
+    }
+    // Restored back-references still support removal.
+    let mut live = idx.clone();
+    for t in [30u32, 44, 0] {
+        assert_eq!(live.remove(t), back.remove(t));
+    }
+    for b in 0..nbits as u32 {
+        assert_eq!(back.postings(b), live.postings(b), "keyword {b}");
+    }
+}
+
+#[test]
+fn corrupt_blobs_are_rejected() {
+    let nbits = 16;
+    let vecs: Vec<KeywordVec> = (0..10).map(|i| kw(nbits, &[i % nbits])).collect();
+    let pairs: Vec<(u32, &KeywordVec)> = vecs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as u32, v))
+        .collect();
+    let idx = ShardedIndex::build(nbits, &pairs, 2);
+    let bytes = encode(&idx);
+
+    // Truncations fail cleanly.
+    for cut in [0usize, 8, bytes.len() / 2, bytes.len() - 1] {
+        assert!(decode::<ShardedIndex>(&bytes[..cut]).is_err(), "cut={cut}");
+    }
+
+    // A doc_len inconsistent with the postings is caught by validation.
+    let mut tampered = bytes.clone();
+    // Layout starts: nbits u64, docs u64, doc_len (len u64 + 10 × u32).
+    // Bump doc_len[0] from 1 to 2.
+    let doc0 = 8 + 8 + 8;
+    tampered[doc0] = 2;
+    let err = decode::<ShardedIndex>(&tampered).unwrap_err();
+    assert!(matches!(err, StateDecodeError::Invalid(_)), "{err}");
+}
+
+proptest! {
+    /// Random insert/remove interleavings at several shard counts: the
+    /// decoded index equals the live one exactly and keeps matching it
+    /// under continued mutation.
+    #[test]
+    fn sharded_state_round_trips_under_random_histories(
+        kw_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..20, 0..4),
+            1..30,
+        ),
+        removals in proptest::collection::vec(0u8..2, 30),
+        shards_pick in 0usize..3,
+    ) {
+        let shards = [1usize, 2, 7][shards_pick];
+        let nbits = 20;
+        let vecs: Vec<KeywordVec> = kw_picks
+            .iter()
+            .map(|picks| {
+                let mut v = KeywordVec::new(nbits);
+                for &b in picks {
+                    v.set(b);
+                }
+                v
+            })
+            .collect();
+        let mut idx = ShardedIndex::new(nbits, shards);
+        for (i, v) in vecs.iter().enumerate() {
+            idx.insert(i as u32, v);
+        }
+        for (i, &r) in removals.iter().enumerate().take(vecs.len()) {
+            if r == 1 {
+                idx.remove(i as u32);
+            }
+        }
+        let back: ShardedIndex = decode(&encode(&idx)).expect("round trip");
+        prop_assert_eq!(exact_view(&back), exact_view(&idx));
+
+        // The restored index also equals a flat index over the same
+        // contents — the cross-representation invariant all other tests
+        // rely on survives serialization.
+        let mut flat = InvertedIndex::new(nbits);
+        for t in idx.open_tasks() {
+            flat.insert(t, &vecs[t as usize]);
+        }
+        prop_assert!(contents_equal(&back, &flat));
+    }
+}

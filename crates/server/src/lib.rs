@@ -30,7 +30,9 @@
 pub mod http;
 pub mod server;
 pub mod service;
+pub mod snapshot;
 pub mod state;
 
 pub use server::Server;
+pub use snapshot::ServerSnapshotError;
 pub use state::{AssignResult, CompleteResult, PlatformState, Stats};

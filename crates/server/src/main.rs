@@ -1,21 +1,62 @@
 //! `hta-serve` — run the crowdsourcing platform service.
 //!
 //! ```text
-//! hta-serve [addr] [tasks.csv]
+//! hta-serve [addr] [tasks.csv] [--restore state.htasnap]
 //! ```
 //!
-//! With no task CSV, serves a generated AMT-like corpus (1000 tasks).
+//! With no task CSV, serves a generated AMT-like corpus (1000 tasks). With
+//! `--restore`, rehydrates the full serving state — workers, estimators,
+//! assignment ledger, index, RNG stream — from a snapshot saved via
+//! `POST /snapshot`, and picks up exactly where that server left off.
 //! Endpoints: see `hta_server::service`.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use hta_server::{PlatformState, Server};
 
 fn main() {
+    let mut addr = "127.0.0.1:8080".to_owned();
+    let mut restore: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let addr = args.next().unwrap_or_else(|| "127.0.0.1:8080".to_owned());
-    let state = match args.next() {
-        Some(csv_path) => {
+    while let Some(arg) = args.next() {
+        if arg == "--restore" {
+            match args.next() {
+                Some(p) => restore = Some(p),
+                None => {
+                    eprintln!("error: --restore needs a snapshot path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            positionals.push(arg);
+        }
+    }
+    let mut positionals = positionals.into_iter();
+    if let Some(a) = positionals.next() {
+        addr = a;
+    }
+    let csv_path = positionals.next();
+    if restore.is_some() && csv_path.is_some() {
+        eprintln!("error: --restore and a task CSV are mutually exclusive");
+        std::process::exit(2);
+    }
+
+    let state = match (restore, csv_path) {
+        (Some(snap_path), _) => {
+            let state = PlatformState::restore(Path::new(&snap_path)).unwrap_or_else(|e| {
+                eprintln!("error: cannot restore {snap_path}: {e}");
+                std::process::exit(1);
+            });
+            let st = state.stats();
+            println!(
+                "restored {snap_path}: {} workers, {} open / {} assigned / {} completed tasks",
+                st.workers, st.open_tasks, st.assigned_tasks, st.completed_tasks
+            );
+            state
+        }
+        (None, Some(csv_path)) => {
             let csv = std::fs::read_to_string(&csv_path).unwrap_or_else(|e| {
                 eprintln!("error: cannot read {csv_path}: {e}");
                 std::process::exit(1);
@@ -27,7 +68,7 @@ fn main() {
             println!("loaded {} tasks from {csv_path}", tasks.len());
             PlatformState::new(space, tasks, 15, 0x5E11)
         }
-        None => {
+        (None, None) => {
             let w = hta_datagen::amt::generate(&hta_datagen::amt::AmtConfig {
                 n_groups: 100,
                 tasks_per_group: 10,

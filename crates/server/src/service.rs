@@ -8,8 +8,10 @@
 //! | `POST /complete?worker=N&task=M` | record a completion, returns updated (α, β) |
 //! | `GET /tasks?id=M` | a task's keywords |
 //! | `GET /stats` | aggregate counters |
+//! | `POST /snapshot?path=FILE` | atomically save the full serving state |
 
 use std::fmt::Write as _;
+use std::path::Path;
 
 use crate::http::{json_string, Request, Response};
 use crate::state::{PlatformState, StateError};
@@ -23,7 +25,8 @@ pub fn handle(state: &PlatformState, req: &Request) -> Response {
         ("POST", "/complete") => complete(state, req),
         ("GET", "/tasks") => task_info(state, req),
         ("GET", "/stats") => stats(state),
-        (_, "/register" | "/assign" | "/complete") => {
+        ("POST", "/snapshot") => snapshot(state, req),
+        (_, "/register" | "/assign" | "/complete" | "/snapshot") => {
             Response::error(405, "use POST for this endpoint")
         }
         (_, "/health" | "/tasks" | "/stats") => Response::error(405, "use GET for this endpoint"),
@@ -109,6 +112,19 @@ fn task_info(state: &PlatformState, req: &Request) -> Response {
     }
 }
 
+fn snapshot(state: &PlatformState, req: &Request) -> Response {
+    let Some(path) = req.param("path") else {
+        return Response::error(400, "missing query parameter 'path'");
+    };
+    match state.save_snapshot(Path::new(path)) {
+        Ok(bytes) => Response::ok(format!(
+            "{{\"path\":{},\"bytes\":{bytes}}}",
+            json_string(path)
+        )),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
 fn stats(state: &PlatformState) -> Response {
     let s = state.stats();
     let shards = s
@@ -177,6 +193,47 @@ mod tests {
         let r = handle(&s, &req("GET", "/tasks", &format!("id={first}")));
         assert_eq!(r.status, 200);
         assert!(r.body.contains("\"keywords\":["));
+    }
+
+    #[test]
+    fn snapshot_endpoint_saves_a_restorable_file() {
+        let dir = std::env::temp_dir().join(format!("hta-svc-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.htasnap");
+
+        let s = state();
+        let _ = handle(&s, &req("POST", "/register", "keywords=english;survey"));
+        let _ = handle(&s, &req("POST", "/assign", "worker=0"));
+
+        let r = handle(
+            &s,
+            &req("POST", "/snapshot", &format!("path={}", path.display())),
+        );
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"bytes\":"));
+
+        let restored = PlatformState::restore(&path).expect("restore");
+        assert_eq!(
+            handle(&restored, &req("GET", "/stats", "")).body,
+            handle(&s, &req("GET", "/stats", "")).body,
+            "restored /stats diverged"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_endpoint_error_paths() {
+        let s = state();
+        assert_eq!(handle(&s, &req("POST", "/snapshot", "")).status, 400);
+        assert_eq!(handle(&s, &req("GET", "/snapshot", "path=x")).status, 405);
+        // Unwritable destination surfaces as a server-side error, and the
+        // serving state is untouched.
+        let r = handle(
+            &s,
+            &req("POST", "/snapshot", "path=/nonexistent-dir/state.htasnap"),
+        );
+        assert_eq!(r.status, 500);
+        assert_eq!(handle(&s, &req("GET", "/stats", "")).status, 200);
     }
 
     #[test]

@@ -14,13 +14,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// A registered worker session.
-struct WorkerState {
-    keywords: KeywordVec,
-    estimator: WeightEstimator,
+pub(crate) struct WorkerState {
+    pub(crate) keywords: KeywordVec,
+    pub(crate) estimator: WeightEstimator,
     /// Catalog indices currently assigned and not yet completed.
-    assigned: Vec<usize>,
+    pub(crate) assigned: Vec<usize>,
     /// Catalog indices completed, in order.
-    completed: Vec<usize>,
+    pub(crate) completed: Vec<usize>,
 }
 
 /// Result of an assignment call.
@@ -100,21 +100,21 @@ pub struct PlatformState {
     inner: Mutex<Inner>,
 }
 
-struct Inner {
-    space: KeywordSpace,
-    tasks: TaskPool,
-    available: Vec<bool>,
-    workers: Vec<WorkerState>,
-    rng: StdRng,
-    xmax: usize,
+pub(crate) struct Inner {
+    pub(crate) space: KeywordSpace,
+    pub(crate) tasks: TaskPool,
+    pub(crate) available: Vec<bool>,
+    pub(crate) workers: Vec<WorkerState>,
+    pub(crate) rng: StdRng,
+    pub(crate) xmax: usize,
     /// Cap on the open-task window per solve (dense mode only).
-    max_instance_tasks: usize,
+    pub(crate) max_instance_tasks: usize,
     /// Sharded keyword index over the open tasks, maintained incrementally
     /// across register/assign — never rebuilt from the catalog per request.
-    index: ShardedIndex,
-    mode: CandidateMode,
+    pub(crate) index: ShardedIndex,
+    pub(crate) mode: CandidateMode,
     /// Thread count handed to the solver pipeline (`0` = auto).
-    solver_threads: usize,
+    pub(crate) solver_threads: usize,
 }
 
 impl PlatformState {
@@ -170,6 +170,18 @@ impl PlatformState {
                 mode,
                 solver_threads,
             }),
+        }
+    }
+
+    /// Run `f` against the locked inner state (snapshot encoding).
+    pub(crate) fn with_inner<T>(&self, f: impl FnOnce(&Inner) -> T) -> T {
+        f(&self.inner.lock().expect("state lock"))
+    }
+
+    /// Rehydrate from fully-validated inner state (snapshot restore).
+    pub(crate) fn from_inner(inner: Inner) -> Self {
+        Self {
+            inner: Mutex::new(inner),
         }
     }
 

@@ -1,0 +1,219 @@
+//! Integration tests for the `/stats` shard accounting and the
+//! snapshot/restore cycle, driven end-to-end through the HTTP service
+//! layer (`handle`), exactly as a TCP client would exercise it.
+
+use std::path::PathBuf;
+
+use hta_datagen::amt::{generate, AmtConfig};
+use hta_index::CandidateMode;
+use hta_server::http::{parse_query, Request};
+use hta_server::service::handle;
+use hta_server::PlatformState;
+
+fn state(shards: usize) -> PlatformState {
+    let w = generate(&AmtConfig {
+        n_groups: 8,
+        tasks_per_group: 5,
+        vocab_size: 60,
+        ..Default::default()
+    });
+    PlatformState::with_options(w.space, w.tasks, 5, 42, CandidateMode::default(), shards, 1)
+}
+
+fn req(method: &str, path: &str, query: &str) -> Request {
+    Request {
+        method: method.to_owned(),
+        path: path.to_owned(),
+        query: parse_query(query),
+    }
+}
+
+/// Pull a JSON array field like `"shards":[3,1,4]` out of a `/stats` body.
+fn json_array(body: &str, key: &str) -> Vec<usize> {
+    let tail = body
+        .split(&format!("\"{key}\":["))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no {key:?} in {body}"));
+    let inner = tail.split(']').next().unwrap();
+    if inner.is_empty() {
+        return Vec::new();
+    }
+    inner.split(',').map(|n| n.parse().unwrap()).collect()
+}
+
+/// Pull a JSON number field like `"open_tasks":35` out of a body.
+fn json_number(body: &str, key: &str) -> usize {
+    body.split(&format!("\"{key}\":"))
+        .nth(1)
+        .unwrap_or_else(|| panic!("no {key:?} in {body}"))
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap()
+}
+
+fn shard_sizes(s: &PlatformState) -> Vec<usize> {
+    json_array(&handle(s, &req("GET", "/stats", "")).body, "shards")
+}
+
+/// Keyword count of a catalog task, via the public `/tasks` endpoint. Each
+/// open task contributes exactly one posting per keyword, so removing it
+/// from the index must shrink the shard-size total by this amount.
+fn keyword_count(s: &PlatformState, task: usize) -> usize {
+    let body = handle(s, &req("GET", "/tasks", &format!("id={task}"))).body;
+    let inner = body.split('[').nth(1).unwrap().split(']').next().unwrap();
+    inner.split("\",\"").count()
+}
+
+fn assigned_tasks(body: &str) -> Vec<usize> {
+    json_array(body, "tasks")
+}
+
+/// Satellite: per-shard sizes stay an exact posting-count accounting of the
+/// open set as tasks are incrementally removed (assignment) while the
+/// keyword universe widens (registration of unseen keywords).
+#[test]
+fn stats_shard_sizes_track_the_task_lifecycle() {
+    let s = state(3);
+    let initial = shard_sizes(&s);
+    assert_eq!(initial.len(), 3, "one entry per shard");
+    let total: usize = initial.iter().sum();
+    let expected: usize = (0..40).map(|t| keyword_count(&s, t)).sum();
+    assert_eq!(total, expected, "initial postings = sum of task keywords");
+
+    // Registering a worker with brand-new keywords widens the keyword
+    // universe; the new posting lists are empty, so sizes are unchanged.
+    let r = handle(
+        &s,
+        &req("POST", "/register", "keywords=english;never-seen-before"),
+    );
+    assert_eq!(r.status, 200);
+    assert_eq!(shard_sizes(&s), initial, "widening adds no postings");
+
+    // Draining the pool: every assignment removes exactly the assigned
+    // tasks' postings, spread over the owning shards.
+    let mut running = total;
+    loop {
+        let before = shard_sizes(&s);
+        let body = handle(&s, &req("POST", "/assign", "worker=0")).body;
+        let tasks = assigned_tasks(&body);
+        if tasks.is_empty() {
+            break;
+        }
+        let removed: usize = tasks.iter().map(|&t| keyword_count(&s, t)).sum();
+        let after = shard_sizes(&s);
+        assert_eq!(after.len(), 3);
+        assert!(
+            before.iter().zip(&after).all(|(b, a)| a <= b),
+            "no shard may grow on removal: {before:?} -> {after:?}"
+        );
+        running -= removed;
+        assert_eq!(after.iter().sum::<usize>(), running, "posting accounting");
+
+        // Completions touch the ledger, not the index.
+        let done = handle(
+            &s,
+            &req("POST", "/complete", &format!("worker=0&task={}", tasks[0])),
+        );
+        assert_eq!(done.status, 200);
+        assert_eq!(shard_sizes(&s), after, "complete leaves shards alone");
+    }
+    let stats = handle(&s, &req("GET", "/stats", "")).body;
+    assert_eq!(json_number(&stats, "open_tasks"), 0);
+    assert_eq!(json_number(&stats, "indexed_tasks"), 0);
+    assert_eq!(shard_sizes(&s), vec![0, 0, 0], "drained pool, empty shards");
+}
+
+fn scratch_file(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hta-server-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Satellite: `POST /snapshot` then restore reproduces `/stats` verbatim —
+/// per-shard sizes included — and the restored server's future request
+/// stream is identical to the original's.
+#[test]
+fn restore_then_stats_round_trip() {
+    let s = state(4);
+    for kws in ["english;survey", "audio;transcription"] {
+        let r = handle(&s, &req("POST", "/register", &format!("keywords={kws}")));
+        assert_eq!(r.status, 200);
+    }
+    for worker in [0usize, 1] {
+        let body = handle(&s, &req("POST", "/assign", &format!("worker={worker}"))).body;
+        let first = assigned_tasks(&body)[0];
+        let done = handle(
+            &s,
+            &req(
+                "POST",
+                "/complete",
+                &format!("worker={worker}&task={first}"),
+            ),
+        );
+        assert_eq!(done.status, 200);
+    }
+
+    let path = scratch_file("roundtrip.htasnap");
+    let saved = handle(
+        &s,
+        &req("POST", "/snapshot", &format!("path={}", path.display())),
+    );
+    assert_eq!(saved.status, 200, "{}", saved.body);
+
+    let restored = PlatformState::restore(&path).expect("restore");
+    let stats_orig = handle(&s, &req("GET", "/stats", "")).body;
+    let stats_back = handle(&restored, &req("GET", "/stats", "")).body;
+    assert_eq!(stats_back, stats_orig, "restored /stats diverged");
+    assert_eq!(shard_sizes(&restored).len(), 4);
+
+    // Both servers now serve the same futures: same assignment (estimator,
+    // index order, and RNG stream all survived), same follow-up stats.
+    for worker in [1usize, 0] {
+        let a = handle(&s, &req("POST", "/assign", &format!("worker={worker}"))).body;
+        let b = handle(
+            &restored,
+            &req("POST", "/assign", &format!("worker={worker}")),
+        )
+        .body;
+        assert_eq!(a, b, "worker {worker} assignment diverged after restore");
+    }
+    assert_eq!(
+        handle(&restored, &req("GET", "/stats", "")).body,
+        handle(&s, &req("GET", "/stats", "")).body
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A corrupted snapshot file is rejected by `--restore`'s loading path with
+/// a checksum error; it never yields a half-restored server.
+#[test]
+fn corrupted_snapshot_file_is_rejected() {
+    let s = state(2);
+    let _ = handle(&s, &req("POST", "/register", "keywords=english"));
+    let _ = handle(&s, &req("POST", "/assign", "worker=0"));
+    let path = scratch_file("corrupt.htasnap");
+    assert_eq!(
+        handle(
+            &s,
+            &req("POST", "/snapshot", &format!("path={}", path.display()))
+        )
+        .status,
+        200
+    );
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let msg = match PlatformState::restore(&path) {
+        Ok(_) => panic!("corrupt file accepted"),
+        Err(e) => e.to_string(),
+    };
+    assert!(
+        msg.contains("checksum") || msg.contains("corrupt") || msg.contains("truncated"),
+        "unhelpful error: {msg}"
+    );
+    std::fs::remove_file(&path).ok();
+}
