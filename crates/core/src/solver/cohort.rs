@@ -1,0 +1,142 @@
+//! Cohort solves over an open subset of a fixed catalog.
+//!
+//! Serving layers (the `hta-server` platform, the `hta-crowd` simulator)
+//! repeatedly solve instances whose tasks are an *open subset* of one
+//! immutable catalog. Enumerating the `O(|T'|²)` positive-diversity edges
+//! per solve dominates the pipeline; a catalog-level
+//! [`DiversityEdgeCache`] amortizes that work across every solve. Reuse is
+//! only sound when the subset is given in strictly increasing catalog
+//! order — then [`DiversityEdgeCache::filter_sorted`] reproduces a fresh
+//! enumerate-and-sort bit-for-bit and the solver output is byte-identical
+//! to the uncached path. This module centralizes that soundness check so
+//! each caller does not reimplement it.
+
+use rand::Rng;
+
+use crate::edges::DiversityEdgeCache;
+use crate::instance::Instance;
+use crate::solver::{SolveOutcome, Solver};
+
+/// Solve `inst`, whose tasks are the catalog subset `open` (catalog
+/// indices, one per local task id, in local order), reusing `cache` when
+/// that is provably equivalent to a fresh solve.
+///
+/// The cached edge list is used only when all of the following hold,
+/// otherwise the call falls back to [`Solver::solve`]:
+///
+/// * a cache is supplied,
+/// * `open` is strictly increasing (so the filtered sublist of the global
+///   sorted edge list equals enumerating and sorting the sub-instance),
+/// * every index in `open` is in range for the cached catalog.
+///
+/// Callers holding a cache of uncertain provenance should additionally
+/// gate on [`DiversityEdgeCache::valid_for`] against their catalog before
+/// passing it here.
+pub fn solve_open_subset(
+    solver: &dyn Solver,
+    inst: &Instance,
+    open: &[usize],
+    cache: Option<&DiversityEdgeCache>,
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
+    let usable = cache.is_some_and(|c| {
+        open.windows(2).all(|w| w[0] < w[1]) && open.last().is_none_or(|&g| g < c.n_tasks())
+    });
+    match cache {
+        Some(cache) if usable => {
+            let open_u32: Vec<u32> = open.iter().map(|&i| i as u32).collect();
+            let edges = cache.filter_sorted(&open_u32);
+            solver.solve_with_diversity_edges(inst, &edges, rng)
+        }
+        _ => solver.solve(inst, rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::KeywordVec;
+    use crate::metric::Jaccard;
+    use crate::solver::HtaGre;
+    use crate::task::{GroupId, Task, TaskId};
+    use crate::worker::{Weights, Worker, WorkerId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog(n: usize) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                let mut kw = KeywordVec::new(16);
+                kw.set(i % 16);
+                kw.set((i * 3 + 1) % 16);
+                Task::new(TaskId(i as u32), GroupId((i % 4) as u32), kw)
+            })
+            .collect()
+    }
+
+    fn sub_instance(tasks: &[Task], open: &[usize]) -> Instance {
+        let local: Vec<Task> = open
+            .iter()
+            .enumerate()
+            .map(|(li, &ci)| {
+                Task::new(
+                    TaskId(li as u32),
+                    tasks[ci].group,
+                    tasks[ci].keywords.clone(),
+                )
+            })
+            .collect();
+        let workers = vec![
+            Worker::new(WorkerId(0), tasks[0].keywords.clone()).with_weights(Weights::balanced()),
+            Worker::new(WorkerId(1), tasks[1].keywords.clone())
+                .with_weights(Weights::from_alpha(0.7)),
+        ];
+        Instance::new(local, workers, 3).unwrap()
+    }
+
+    #[test]
+    fn cached_and_fresh_solves_are_identical() {
+        let tasks = catalog(20);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let solver = HtaGre::structured().without_flip();
+        let open: Vec<usize> = vec![0, 2, 3, 5, 8, 11, 12, 15, 19];
+        let inst = sub_instance(&tasks, &open);
+
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let fresh = solver.solve(&inst, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let cached = solve_open_subset(&solver, &inst, &open, Some(&cache), &mut rng2);
+        assert_eq!(fresh.assignment, cached.assignment);
+        assert_eq!(fresh.lsap_value.to_bits(), cached.lsap_value.to_bits());
+    }
+
+    #[test]
+    fn unsorted_subset_falls_back_to_a_plain_solve() {
+        let tasks = catalog(12);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let solver = HtaGre::structured().without_flip();
+        // Same subset, shuffled: local task ids no longer ascend with the
+        // catalog ids, so edge reuse would mis-map endpoints. The helper
+        // must detect this and solve from scratch.
+        let open = vec![5usize, 1, 9, 3];
+        let inst = sub_instance(&tasks, &open);
+        let mut rng1 = StdRng::seed_from_u64(4);
+        let fresh = solver.solve(&inst, &mut rng1);
+        let mut rng2 = StdRng::seed_from_u64(4);
+        let out = solve_open_subset(&solver, &inst, &open, Some(&cache), &mut rng2);
+        assert_eq!(fresh.assignment, out.assignment);
+    }
+
+    #[test]
+    fn out_of_range_subset_falls_back() {
+        let tasks = catalog(6);
+        let cache = DiversityEdgeCache::build(&tasks[..4], &Jaccard, 1);
+        let solver = HtaGre::structured().without_flip();
+        let open = vec![1usize, 3, 5]; // 5 is outside the 4-task cache
+        let inst = sub_instance(&tasks, &open);
+        let mut rng = StdRng::seed_from_u64(2);
+        // Must not panic or read garbage; falls back to a fresh solve.
+        let out = solve_open_subset(&solver, &inst, &open, Some(&cache), &mut rng);
+        assert!(out.assignment.validate(&inst).is_ok());
+    }
+}

@@ -2,6 +2,7 @@
 //! branch-and-bound reference, and simple baselines.
 
 pub mod baselines;
+pub mod cohort;
 pub mod exact;
 pub mod hta_app;
 pub mod hta_gre;
@@ -9,6 +10,7 @@ pub mod local_search;
 mod qap_pipeline;
 
 pub use baselines::{GreedyMotivation, GreedyRelevance, RandomAssign};
+pub use cohort::solve_open_subset;
 pub use exact::ExactSolver;
 pub use hta_app::HtaApp;
 pub use hta_gre::HtaGre;

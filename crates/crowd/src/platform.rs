@@ -861,23 +861,16 @@ impl<'c> Platform<'c> {
         // order (so the filtered sublist of the global sorted list equals a
         // fresh enumerate-and-sort). Full mode delivers that unless the
         // window was down-sampled (partial Fisher-Yates shuffles it); TopK
-        // pools are sorted by construction. Anything else falls back.
-        let ascending = open.windows(2).all(|w| w[0] < w[1]);
-        // Trust the cached edge list only while its catalog fingerprint
-        // matches — a cache carried across a catalog swap (or paired with
-        // the wrong catalog on restore) falls back to fresh enumeration.
+        // pools are sorted by construction. `solve_open_subset` checks this
+        // and falls back to a plain solve otherwise. Trust the cached edge
+        // list only while its catalog fingerprint matches — a cache carried
+        // across a catalog swap (or paired with the wrong catalog on
+        // restore) falls back to fresh enumeration.
         let cache = self
             .edge_cache
             .as_ref()
             .filter(|c| c.valid_for(self.catalog.tasks.iter().map(|t| &t.task.keywords)));
-        let out = match (cache, ascending) {
-            (Some(cache), true) => {
-                let open_u32: Vec<u32> = open.iter().map(|&i| i as u32).collect();
-                let edges = cache.filter_sorted(&open_u32);
-                self.solver.solve_with_diversity_edges(&inst, &edges, rng)
-            }
-            _ => self.solver.solve(&inst, rng),
-        };
+        let out = hta_core::solver::solve_open_subset(&*self.solver, &inst, &open, cache, rng);
         debug_assert!(out.assignment.validate(&inst).is_ok());
 
         for (li, &slot) in slots.iter().enumerate() {

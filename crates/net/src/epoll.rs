@@ -1,0 +1,220 @@
+//! Safe wrappers over the epoll / eventfd / signalfd shims in [`crate::sys`].
+
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, OwnedFd};
+
+use crate::sys;
+pub use crate::sys::{EPOLLERR, EPOLLEXCLUSIVE, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+/// An epoll instance plus a reusable ready-event buffer.
+pub struct Epoll {
+    fd: OwnedFd,
+    ready: Vec<sys::EpollEvent>,
+}
+
+/// One readiness notification: the registered token plus the event mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ready {
+    /// The token supplied at registration.
+    pub token: u64,
+    /// The readiness mask (`EPOLLIN | …`).
+    pub events: u32,
+}
+
+impl Ready {
+    /// Readable (or a peer hangup, which reads as EOF).
+    pub fn readable(&self) -> bool {
+        self.events & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0
+    }
+
+    /// Writable.
+    pub fn writable(&self) -> bool {
+        self.events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0
+    }
+}
+
+impl Epoll {
+    /// Create an epoll instance with room for `capacity` ready events per
+    /// wait call.
+    pub fn new(capacity: usize) -> io::Result<Self> {
+        Ok(Self {
+            fd: sys::epoll_create1()?,
+            ready: vec![sys::EpollEvent::zeroed(); capacity.max(1)],
+        })
+    }
+
+    /// Register `fd` for `events`, tagging notifications with `token`.
+    pub fn add(&self, fd: &impl AsRawFd, events: u32, token: u64) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.fd.as_raw_fd(),
+            sys::EPOLL_CTL_ADD,
+            fd.as_raw_fd(),
+            Some(sys::EpollEvent::new(events, token)),
+        )
+    }
+
+    /// Change the interest mask of a registered fd.
+    pub fn modify(&self, fd: &impl AsRawFd, events: u32, token: u64) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.fd.as_raw_fd(),
+            sys::EPOLL_CTL_MOD,
+            fd.as_raw_fd(),
+            Some(sys::EpollEvent::new(events, token)),
+        )
+    }
+
+    /// Deregister a fd.
+    pub fn delete(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        sys::epoll_ctl(
+            self.fd.as_raw_fd(),
+            sys::EPOLL_CTL_DEL,
+            fd.as_raw_fd(),
+            None,
+        )
+    }
+
+    /// Wait up to `timeout_ms` (negative = forever) and return the ready
+    /// set. `EINTR` is surfaced as an empty set, so callers just loop.
+    pub fn wait(&mut self, timeout_ms: i32) -> io::Result<Vec<Ready>> {
+        let n = match sys::epoll_wait(self.fd.as_raw_fd(), &mut self.ready, timeout_ms) {
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+            Err(e) => return Err(e),
+        };
+        Ok(self.ready[..n]
+            .iter()
+            .map(|e| Ready {
+                token: e.data,
+                events: e.events,
+            })
+            .collect())
+    }
+
+    /// Edge-triggered interest mask helper.
+    pub fn et(events: u32) -> u32 {
+        events | sys::EPOLLET
+    }
+}
+
+/// A nonblocking eventfd used to wake a reactor from other threads.
+/// `&Wake` posts and drains without any per-call fd duplication, so it can
+/// be shared behind an `Arc`.
+pub struct Wake {
+    file: std::fs::File,
+}
+
+impl Wake {
+    /// Create the eventfd.
+    pub fn new() -> io::Result<Self> {
+        Ok(Self {
+            file: std::fs::File::from(sys::eventfd()?),
+        })
+    }
+
+    /// Post a wakeup. Never blocks; an `EAGAIN` (counter saturated) still
+    /// leaves the fd readable, so it is ignored.
+    pub fn wake(&self) {
+        let _ = (&self.file).write(&1u64.to_ne_bytes());
+    }
+
+    /// Drain pending wakeups (resets the counter).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = (&self.file).read(&mut buf);
+    }
+
+    /// A second handle to the same eventfd (for posting from other threads
+    /// without an `Arc`).
+    pub fn try_clone(&self) -> io::Result<Self> {
+        Ok(Self {
+            file: self.file.try_clone()?,
+        })
+    }
+}
+
+impl AsRawFd for Wake {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        self.file.as_raw_fd()
+    }
+}
+
+/// A signalfd carrying `SIGINT`/`SIGTERM`, with those signals blocked for
+/// the whole process (threads spawned afterwards inherit the mask).
+pub struct ShutdownSignals {
+    file: std::fs::File,
+}
+
+impl ShutdownSignals {
+    /// Block SIGINT/SIGTERM on the calling thread and route them to a fd.
+    /// Call from the main thread *before* spawning workers so every thread
+    /// inherits the blocked mask.
+    pub fn install(nonblocking: bool) -> io::Result<Self> {
+        let sigs = [sys::SIGINT, sys::SIGTERM];
+        sys::block_signals(&sigs)?;
+        Ok(Self {
+            file: std::fs::File::from(sys::signalfd(&sigs, nonblocking)?),
+        })
+    }
+
+    /// Consume one pending signal record if present; returns how many were
+    /// read (0 or 1). On a nonblocking fd this returns 0 when no signal is
+    /// pending; on a blocking fd it parks until one arrives.
+    pub fn read_pending(&self) -> usize {
+        let mut buf = [0u8; sys::SIGINFO_SIZE];
+        match (&self.file).read(&mut buf) {
+            Ok(n) if n > 0 => 1,
+            _ => 0,
+        }
+    }
+}
+
+impl AsRawFd for ShutdownSignals {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        self.file.as_raw_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn socket_readiness_via_epoll() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut ep = Epoll::new(8).unwrap();
+        ep.add(&listener, EPOLLIN, 7).unwrap();
+
+        assert!(ep.wait(0).unwrap().is_empty());
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let ready = ep.wait(2000).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].token, 7);
+        assert!(ready[0].readable());
+
+        // Accept, watch the connection edge-triggered, see data arrive.
+        let (conn, _) = listener.accept().unwrap();
+        conn.set_nonblocking(true).unwrap();
+        ep.add(&conn, Epoll::et(EPOLLIN | EPOLLRDHUP), 9).unwrap();
+        client.write_all(b"ping").unwrap();
+        let ready = ep.wait(2000).unwrap();
+        assert!(ready.iter().any(|r| r.token == 9 && r.readable()));
+        ep.delete(&conn).unwrap();
+    }
+
+    #[test]
+    fn wake_crosses_threads() {
+        let mut ep = Epoll::new(4).unwrap();
+        let wake = Wake::new().unwrap();
+        ep.add(&wake, EPOLLIN, 1).unwrap();
+        let remote = wake.try_clone().unwrap();
+        let t = std::thread::spawn(move || remote.wake());
+        let ready = ep.wait(2000).unwrap();
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].token, 1);
+        wake.drain();
+        assert!(ep.wait(0).unwrap().is_empty(), "drain resets readiness");
+        t.join().unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! `hta-net`: a std-only event-driven serving core.
+//!
+//! The crate packages the four pieces the HTA serving layer needs and that
+//! the standard library does not provide, without reaching for external
+//! dependencies (DESIGN.md §5):
+//!
+//! * [`sys`] — raw Linux syscall shims (`epoll`, `eventfd`, `signalfd`,
+//!   `rt_sigprocmask`) via one inline-asm primitive per architecture;
+//! * [`epoll`] — safe wrappers: [`Epoll`], the cross-thread [`Wake`]
+//!   eventfd, and [`ShutdownSignals`] (SIGINT/SIGTERM as a readable fd);
+//! * [`queue`] — a bounded MPMC job queue whose producers never block
+//!   ([`BoundedQueue`]), the backpressure primitive;
+//! * [`http1`] — an incremental HTTP/1.1 parser with keep-alive,
+//!   pipelining, and per-request resynchronization after client errors;
+//! * [`reactor`] — the assembled server: [`NetServer`] runs reactor
+//!   threads over nonblocking sockets and a bounded pool of workers
+//!   executing an application [`HttpHandler`].
+//!
+//! [`client`] is the matching blocking client side, used by tests and the
+//! `hta-loadgen` benchmark.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod epoll;
+pub mod http1;
+pub mod queue;
+pub mod reactor;
+pub mod sys;
+
+pub use epoll::{Epoll, Ready, ShutdownSignals, Wake};
+pub use http1::{Http1Parser, HttpResponse, ParseStep, RawRequest};
+pub use queue::{BoundedQueue, PushError};
+pub use reactor::{HttpHandler, NetMetrics, NetServer, ServerConfig};

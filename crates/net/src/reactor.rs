@@ -1,0 +1,824 @@
+//! The event-driven serving core: reactor threads multiplexing nonblocking
+//! keep-alive connections, plus a bounded pool of worker threads running
+//! the request handler.
+//!
+//! Division of labour:
+//!
+//! * **Reactor threads** own the sockets. They accept, read, parse
+//!   (incrementally, via [`Http1Parser`]), serialize and write. They never
+//!   touch application state, so they never block behind a long solve —
+//!   `/health` keeps answering while the solver pool is saturated.
+//! * **Worker threads** run [`HttpHandler::handle`], which may take locks
+//!   and solve QAP instances. Work reaches them through a bounded
+//!   [`BoundedQueue`]; when it is full the reactor answers `503` with
+//!   `Retry-After` instead of queueing unboundedly (backpressure).
+//! * Completions travel back through a per-reactor mailbox plus an eventfd
+//!   [`Wake`], so a reactor parked in `epoll_wait` learns about finished
+//!   jobs immediately.
+//!
+//! Each connection has at most one request in flight at the pool; pipelined
+//! requests stay buffered in the parser and are admitted one at a time,
+//! which preserves response ordering for free.
+//!
+//! Shutdown ([`NetServer::shutdown`]) stops accepting, lets the pool drain
+//! every queued job, writes the in-flight responses out (with a bounded
+//! drain window), and joins all threads.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::epoll::{Epoll, Ready, Wake, EPOLLEXCLUSIVE, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+use crate::http1::{Http1Parser, HttpResponse, ParseStep, RawRequest};
+use crate::queue::{BoundedQueue, PushError};
+
+/// Application-side request handling, split by where it may run.
+pub trait HttpHandler: Send + Sync + 'static {
+    /// Full handling, on a pool worker thread. May block on shared state.
+    fn handle(&self, req: &RawRequest) -> HttpResponse;
+
+    /// Optional fast path, run *on the reactor thread*. Must not block or
+    /// take contended locks. Return `None` to route to the pool.
+    fn inline(&self, req: &RawRequest) -> Option<HttpResponse> {
+        let _ = req;
+        None
+    }
+
+    /// The backpressure response sent when the job queue is full.
+    fn overloaded(&self) -> HttpResponse {
+        HttpResponse::overloaded(1)
+    }
+}
+
+/// Serving counters, shared between the reactor core and the application
+/// (which typically surfaces them on a `/stats` endpoint).
+#[derive(Debug, Default)]
+pub struct NetMetrics {
+    /// Connections accepted since start.
+    pub connections_accepted: AtomicU64,
+    /// Connections closed since start.
+    pub connections_closed: AtomicU64,
+    /// Requests answered on the reactor thread (`inline` fast path).
+    pub requests_inline: AtomicU64,
+    /// Requests dispatched to the worker pool.
+    pub requests_pooled: AtomicU64,
+    /// Requests refused with `503` because the queue was full.
+    pub rejected_busy: AtomicU64,
+    /// Malformed requests answered with a parse-level error.
+    pub parse_errors: AtomicU64,
+    /// Jobs currently sitting in the queue (not yet picked up).
+    pub queue_depth: AtomicU64,
+}
+
+impl NetMetrics {
+    /// Currently open connections.
+    pub fn connections_active(&self) -> u64 {
+        self.connections_accepted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.connections_closed.load(Ordering::Relaxed))
+    }
+
+    /// Total requests that produced a handler response (inline + pooled).
+    pub fn requests_total(&self) -> u64 {
+        self.requests_inline.load(Ordering::Relaxed) + self.requests_pooled.load(Ordering::Relaxed)
+    }
+}
+
+/// Reactor/pool sizing knobs.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Reactor (event-loop) threads sharing the listener.
+    pub listen_threads: usize,
+    /// Worker threads running the handler.
+    pub pool_workers: usize,
+    /// Job-queue capacity; beyond it requests get `503 Retry-After`.
+    pub queue_capacity: usize,
+    /// Shared counters; pass your own handle to read them from a handler.
+    pub metrics: Arc<NetMetrics>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            listen_threads: 1,
+            pool_workers: 2,
+            queue_capacity: 64,
+            metrics: Arc::new(NetMetrics::default()),
+        }
+    }
+}
+
+/// How long a stopping reactor keeps draining in-flight work before
+/// force-closing what is left.
+const DRAIN_LIMIT: Duration = Duration::from_secs(5);
+/// Per-connection cap on buffered-but-unparsed pipelined bytes.
+const MAX_PIPELINE_BUFFER: usize = 256 * 1024;
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKE: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+struct Job {
+    req: RawRequest,
+    conn: u64,
+    reactor: usize,
+}
+
+struct Mailbox {
+    completions: Mutex<Vec<(u64, HttpResponse)>>,
+    wake: Wake,
+}
+
+struct Shared {
+    handler: Arc<dyn HttpHandler>,
+    queue: BoundedQueue<Job>,
+    metrics: Arc<NetMetrics>,
+    stop: AtomicBool,
+    mailboxes: Vec<Mailbox>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: Http1Parser,
+    out: Vec<u8>,
+    out_pos: usize,
+    armed_mask: u32,
+    in_flight: bool,
+    keep_alive_current: bool,
+    close_after_write: bool,
+    peer_eof: bool,
+    read_shutdown: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, armed_mask: u32) -> Self {
+        Self {
+            stream,
+            parser: Http1Parser::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            armed_mask,
+            in_flight: false,
+            keep_alive_current: true,
+            close_after_write: false,
+            peer_eof: false,
+            read_shutdown: false,
+        }
+    }
+
+    fn has_output(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+}
+
+fn desired_mask(conn: &Conn) -> u32 {
+    let mut mask = EPOLLIN | EPOLLRDHUP;
+    if conn.has_output() {
+        mask |= EPOLLOUT;
+    }
+    Epoll::et(mask)
+}
+
+/// Serialize `resp` onto the connection's output buffer and record whether
+/// the connection must close afterwards.
+fn queue_response(conn: &mut Conn, resp: &HttpResponse, req_keep_alive: bool) {
+    conn.out.extend_from_slice(&resp.serialize(req_keep_alive));
+    if !req_keep_alive || resp.close {
+        conn.close_after_write = true;
+    }
+}
+
+/// Write as much buffered output as the socket accepts. Returns `true` when
+/// the connection is finished (fatal write error, or fully flushed with a
+/// pending close).
+fn flush_and_maybe_close(conn: &mut Conn) -> bool {
+    while conn.out_pos < conn.out.len() {
+        match (&conn.stream).write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return true,
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return true,
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    conn.close_after_write
+}
+
+/// Admit buffered requests until one is in flight, output is pending close,
+/// or the parser runs dry.
+fn pump(shared: &Shared, token: u64, reactor: usize, conn: &mut Conn) {
+    while !conn.in_flight && !conn.close_after_write {
+        match conn.parser.next_request() {
+            ParseStep::Incomplete => break,
+            ParseStep::Request(req) => {
+                if let Some(resp) = shared.handler.inline(&req) {
+                    shared
+                        .metrics
+                        .requests_inline
+                        .fetch_add(1, Ordering::Relaxed);
+                    queue_response(conn, &resp, req.keep_alive);
+                    continue;
+                }
+                let keep_alive = req.keep_alive;
+                match shared.queue.try_push(Job {
+                    req,
+                    conn: token,
+                    reactor,
+                }) {
+                    Ok(()) => {
+                        shared
+                            .metrics
+                            .requests_pooled
+                            .fetch_add(1, Ordering::Relaxed);
+                        shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                        conn.in_flight = true;
+                        conn.keep_alive_current = keep_alive;
+                    }
+                    Err(PushError::Full(_)) => {
+                        shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        queue_response(conn, &shared.handler.overloaded(), keep_alive);
+                    }
+                    Err(PushError::Closed(_)) => {
+                        shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        let mut resp = shared.handler.overloaded();
+                        resp.close = true;
+                        queue_response(conn, &resp, keep_alive);
+                    }
+                }
+            }
+            ParseStep::Error { response, fatal } => {
+                shared.metrics.parse_errors.fetch_add(1, Ordering::Relaxed);
+                queue_response(conn, &response, !fatal);
+                if fatal {
+                    conn.close_after_write = true;
+                }
+            }
+        }
+    }
+}
+
+/// Drain the socket's receive buffer into the parser (edge-triggered fds
+/// must be read to `WouldBlock`), then admit requests. Returns `true` when
+/// the connection is finished.
+fn read_and_pump(
+    shared: &Shared,
+    token: u64,
+    reactor: usize,
+    conn: &mut Conn,
+    stopping: bool,
+) -> bool {
+    if !conn.read_shutdown {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match (&conn.stream).read(&mut buf) {
+                Ok(0) => {
+                    conn.peer_eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.parser.feed(&buf[..n]);
+                    if conn.parser.buffered() > MAX_PIPELINE_BUFFER {
+                        // Abusive pipelining: stop reading, finish what is
+                        // in flight, close.
+                        conn.read_shutdown = true;
+                        conn.close_after_write = true;
+                        let _ = conn.stream.shutdown(Shutdown::Read);
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return true,
+            }
+        }
+    }
+    if !stopping {
+        pump(shared, token, reactor, conn);
+    }
+    conn.peer_eof && !conn.in_flight && !conn.has_output()
+}
+
+struct Reactor {
+    idx: usize,
+    ep: Epoll,
+    listener: TcpListener,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    shared: Arc<Shared>,
+    accepting: bool,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let listener_mask = EPOLLIN | EPOLLEXCLUSIVE;
+        self.ep
+            .add(&self.listener, listener_mask, TOKEN_LISTENER)
+            .expect("register listener");
+        self.ep
+            .add(&self.shared.mailboxes[self.idx].wake, EPOLLIN, TOKEN_WAKE)
+            .expect("register wake eventfd");
+
+        let mut stop_seen_at: Option<Instant> = None;
+        loop {
+            let stopping = self.shared.stop.load(Ordering::Acquire);
+            if stopping {
+                if self.accepting {
+                    let _ = self.ep.delete(&self.listener);
+                    self.accepting = false;
+                }
+                // Drop idle connections; only in-flight/unflushed ones keep
+                // the reactor alive.
+                let metrics = Arc::clone(&self.shared.metrics);
+                self.conns.retain(|_, c| {
+                    let busy = c.in_flight || c.has_output();
+                    if !busy {
+                        metrics.connections_closed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    busy
+                });
+                if self.conns.is_empty() {
+                    break;
+                }
+                let started = stop_seen_at.get_or_insert_with(Instant::now);
+                if started.elapsed() > DRAIN_LIMIT {
+                    break;
+                }
+            }
+            let timeout = if stopping { 50 } else { -1 };
+            let ready = match self.ep.wait(timeout) {
+                Ok(r) => r,
+                Err(_) => break,
+            };
+            for ev in ready {
+                match ev.token {
+                    TOKEN_LISTENER => {
+                        if self.accepting {
+                            self.accept_ready();
+                        }
+                    }
+                    TOKEN_WAKE => self.deliver_completions(stopping),
+                    token => self.conn_event(token, ev, stopping),
+                }
+            }
+        }
+        let metrics = &self.shared.metrics;
+        for _ in self.conns.drain() {
+            metrics.connections_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let mask = Epoll::et(EPOLLIN | EPOLLRDHUP);
+                    let conn = Conn::new(stream, mask);
+                    if self.ep.add(&conn.stream, mask, token).is_ok() {
+                        self.shared
+                            .metrics
+                            .connections_accepted
+                            .fetch_add(1, Ordering::Relaxed);
+                        self.conns.insert(token, conn);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept failures (e.g. fd pressure, peer reset):
+                // the listener is level-triggered, so pending connections
+                // re-report on the next wait.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn deliver_completions(&mut self, stopping: bool) {
+        let mailbox = &self.shared.mailboxes[self.idx];
+        mailbox.wake.drain();
+        let done = std::mem::take(&mut *mailbox.completions.lock().expect("mailbox lock"));
+        for (token, resp) in done {
+            // The connection may have died while its job was running.
+            let Some(mut conn) = self.conns.remove(&token) else {
+                continue;
+            };
+            conn.in_flight = false;
+            if stopping {
+                conn.close_after_write = true;
+            }
+            let keep_alive = conn.keep_alive_current && !stopping;
+            queue_response(&mut conn, &resp, keep_alive);
+            let mut dead = flush_and_maybe_close(&mut conn);
+            if !dead && !conn.close_after_write && !stopping {
+                // Admit the next pipelined request, if one is buffered.
+                pump(&self.shared, token, self.idx, &mut conn);
+                dead = flush_and_maybe_close(&mut conn)
+                    || (conn.peer_eof && !conn.in_flight && !conn.has_output());
+            }
+            self.finish(token, conn, dead);
+        }
+    }
+
+    fn conn_event(&mut self, token: u64, ev: Ready, stopping: bool) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let mut dead = false;
+        if ev.readable() {
+            dead = read_and_pump(&self.shared, token, self.idx, &mut conn, stopping);
+        }
+        if !dead {
+            dead = flush_and_maybe_close(&mut conn);
+        }
+        self.finish(token, conn, dead);
+    }
+
+    /// Re-arm the interest mask and put the connection back, or account for
+    /// its close (dropping the stream closes the fd, which also removes it
+    /// from the epoll interest list).
+    fn finish(&mut self, token: u64, mut conn: Conn, dead: bool) {
+        if dead {
+            self.shared
+                .metrics
+                .connections_closed
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let want = desired_mask(&conn);
+        if want != conn.armed_mask {
+            if self.ep.modify(&conn.stream, want, token).is_err() {
+                self.shared
+                    .metrics
+                    .connections_closed
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            conn.armed_mask = want;
+        }
+        self.conns.insert(token, conn);
+    }
+}
+
+fn run_worker(shared: Arc<Shared>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        let resp = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared.handler.handle(&job.req)
+        }))
+        .unwrap_or_else(|_| HttpResponse::error(500, "handler panicked"));
+        let mailbox = &shared.mailboxes[job.reactor];
+        mailbox
+            .completions
+            .lock()
+            .expect("mailbox lock")
+            .push((job.conn, resp));
+        mailbox.wake.wake();
+    }
+}
+
+/// The running server: reactor threads + worker pool over one listener.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    reactors: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `addr` and start the reactor and worker threads.
+    pub fn bind(
+        addr: &str,
+        handler: Arc<dyn HttpHandler>,
+        config: ServerConfig,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let listen_threads = config.listen_threads.max(1);
+        let pool_workers = config.pool_workers.max(1);
+        let mailboxes = (0..listen_threads)
+            .map(|_| {
+                Ok(Mailbox {
+                    completions: Mutex::new(Vec::new()),
+                    wake: Wake::new()?,
+                })
+            })
+            .collect::<io::Result<Vec<_>>>()?;
+        let shared = Arc::new(Shared {
+            handler,
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: config.metrics,
+            stop: AtomicBool::new(false),
+            mailboxes,
+        });
+
+        let mut reactors = Vec::with_capacity(listen_threads);
+        for idx in 0..listen_threads {
+            let reactor = Reactor {
+                idx,
+                ep: Epoll::new(256)?,
+                listener: listener.try_clone()?,
+                conns: HashMap::new(),
+                next_token: FIRST_CONN_TOKEN,
+                shared: Arc::clone(&shared),
+                accepting: true,
+            };
+            reactors.push(
+                std::thread::Builder::new()
+                    .name(format!("hta-reactor-{idx}"))
+                    .spawn(move || reactor.run())?,
+            );
+        }
+        let mut workers = Vec::with_capacity(pool_workers);
+        for idx in 0..pool_workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("hta-solver-{idx}"))
+                    .spawn(move || run_worker(shared))?,
+            );
+        }
+        Ok(Self {
+            addr: local_addr,
+            shared,
+            reactors,
+            workers,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared serving counters.
+    pub fn metrics(&self) -> Arc<NetMetrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Jobs currently queued for the pool.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Graceful shutdown: stop accepting, drain every queued job, write the
+    /// in-flight responses, join all threads. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for mailbox in &self.shared.mailboxes {
+            mailbox.wake.wake();
+        }
+        // Workers drain the backlog and exit once the queue is closed.
+        self.shared.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Every completion has been posted; make sure each reactor sees it.
+        for mailbox in &self.shared.mailboxes {
+            mailbox.wake.wake();
+        }
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client;
+    use std::io::BufReader;
+    use std::sync::Condvar;
+
+    struct Echo;
+
+    impl HttpHandler for Echo {
+        fn handle(&self, req: &RawRequest) -> HttpResponse {
+            HttpResponse::json(200, format!("{{\"target\":\"{}\"}}", req.target))
+        }
+
+        fn inline(&self, req: &RawRequest) -> Option<HttpResponse> {
+            (req.target == "/health").then(|| HttpResponse::json(200, "{\"ok\":true}".into()))
+        }
+    }
+
+    fn get(stream: &mut TcpStream, target: &str) {
+        stream
+            .write_all(&client::request_bytes("GET", target, true))
+            .unwrap();
+    }
+
+    #[test]
+    fn keep_alive_roundtrips() {
+        let mut srv =
+            NetServer::bind("127.0.0.1:0", Arc::new(Echo), ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..3 {
+            get(&mut stream, &format!("/t{i}"));
+            let resp = client::read_response(&mut reader).unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(resp.body_text().contains(&format!("/t{i}")));
+            assert!(resp.keep_alive());
+        }
+        srv.shutdown();
+        assert_eq!(srv.metrics().requests_pooled.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pipelined_requests_are_answered_in_order() {
+        let mut srv =
+            NetServer::bind("127.0.0.1:0", Arc::new(Echo), ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut batch = Vec::new();
+        for i in 0..5 {
+            batch.extend_from_slice(&client::request_bytes("GET", &format!("/p{i}"), true));
+        }
+        stream.write_all(&batch).unwrap();
+        for i in 0..5 {
+            let resp = client::read_response(&mut reader).unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(resp.body_text().contains(&format!("/p{i}")));
+        }
+        srv.shutdown();
+    }
+
+    #[test]
+    fn inline_fast_path_skips_the_pool() {
+        let mut srv =
+            NetServer::bind("127.0.0.1:0", Arc::new(Echo), ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        get(&mut stream, "/health");
+        let resp = client::read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        let metrics = srv.metrics();
+        srv.shutdown();
+        assert_eq!(metrics.requests_inline.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.requests_pooled.load(Ordering::Relaxed), 0);
+    }
+
+    #[derive(Default)]
+    struct Gate {
+        open: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Gate {
+        fn release(&self) {
+            *self.open.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+    }
+
+    struct Gated(Arc<Gate>);
+
+    impl HttpHandler for Gated {
+        fn handle(&self, _req: &RawRequest) -> HttpResponse {
+            let mut open = self.0.open.lock().unwrap();
+            while !*open {
+                open = self.0.cv.wait(open).unwrap();
+            }
+            HttpResponse::json(200, "{\"slow\":true}".into())
+        }
+    }
+
+    #[test]
+    fn full_queue_gets_503_with_retry_after() {
+        let gate = Arc::new(Gate::default());
+        let config = ServerConfig {
+            pool_workers: 1,
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        };
+        let metrics = Arc::clone(&config.metrics);
+        let mut srv =
+            NetServer::bind("127.0.0.1:0", Arc::new(Gated(Arc::clone(&gate))), config).unwrap();
+
+        // One job blocks the single worker, one fills the queue; the rest
+        // must be rejected immediately with backpressure.
+        let mut conns: Vec<(TcpStream, BufReader<TcpStream>)> = (0..4)
+            .map(|_| {
+                let s = TcpStream::connect(srv.addr()).unwrap();
+                let r = BufReader::new(s.try_clone().unwrap());
+                (s, r)
+            })
+            .collect();
+        for (s, _) in conns.iter_mut() {
+            get(s, "/work");
+        }
+        std::thread::sleep(Duration::from_millis(150));
+        gate.release();
+
+        let mut ok = 0;
+        let mut busy = 0;
+        for (_, r) in conns.iter_mut() {
+            let resp = client::read_response(r).unwrap();
+            match resp.status {
+                200 => ok += 1,
+                503 => {
+                    busy += 1;
+                    assert!(
+                        resp.header("retry-after").is_some(),
+                        "503 carries Retry-After"
+                    );
+                    assert!(
+                        resp.keep_alive(),
+                        "backpressure does not kill the connection"
+                    );
+                }
+                other => panic!("unexpected status {other}"),
+            }
+        }
+        assert_eq!(ok + busy, 4);
+        assert!(busy >= 2, "expected >=2 rejections, got {busy}");
+        assert!(ok >= 1, "the blocked job must still complete");
+        srv.shutdown();
+        assert_eq!(metrics.rejected_busy.load(Ordering::Relaxed), busy as u64);
+    }
+
+    struct Slow;
+
+    impl HttpHandler for Slow {
+        fn handle(&self, _req: &RawRequest) -> HttpResponse {
+            std::thread::sleep(Duration::from_millis(150));
+            HttpResponse::json(200, "{\"done\":true}".into())
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_in_flight_requests() {
+        let mut srv =
+            NetServer::bind("127.0.0.1:0", Arc::new(Slow), ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        get(&mut stream, "/job");
+        std::thread::sleep(Duration::from_millis(30)); // let the pool pick it up
+        srv.shutdown(); // blocks until the response is out
+
+        let resp = client::read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_text().contains("done"));
+        assert!(!resp.keep_alive(), "drained connections close");
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "clean EOF after the drained response");
+    }
+
+    #[test]
+    fn multiple_reactors_share_the_listener() {
+        let config = ServerConfig {
+            listen_threads: 2,
+            ..ServerConfig::default()
+        };
+        let mut srv = NetServer::bind("127.0.0.1:0", Arc::new(Echo), config).unwrap();
+        for i in 0..8 {
+            let mut stream = TcpStream::connect(srv.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            get(&mut stream, &format!("/conn{i}"));
+            let resp = client::read_response(&mut reader).unwrap();
+            assert_eq!(resp.status, 200);
+            assert!(resp.body_text().contains(&format!("/conn{i}")));
+        }
+        srv.shutdown();
+        assert_eq!(
+            srv.metrics().connections_accepted.load(Ordering::Relaxed),
+            8
+        );
+    }
+
+    #[test]
+    fn malformed_request_gets_400_and_connection_survives() {
+        let mut srv =
+            NetServer::bind("127.0.0.1:0", Arc::new(Echo), ServerConfig::default()).unwrap();
+        let mut stream = TcpStream::connect(srv.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        stream
+            .write_all(b"not a request\r\n\r\nGET /fine HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let bad = client::read_response(&mut reader).unwrap();
+        assert_eq!(bad.status, 400);
+        let good = client::read_response(&mut reader).unwrap();
+        assert_eq!(good.status, 200);
+        assert!(good.body_text().contains("/fine"));
+        srv.shutdown();
+    }
+}

@@ -1,0 +1,316 @@
+//! Raw Linux syscall shims for the readiness primitives std does not
+//! expose.
+//!
+//! The offline dependency policy (DESIGN.md §5) rules out the `libc` crate,
+//! and `std` deliberately hides `epoll`/`eventfd`/`signalfd`. The kernel
+//! ABI for these calls is tiny and stable, so we invoke them directly with
+//! one inline-asm `syscall` shim per architecture and wrap each call in a
+//! typed function that converts the kernel's `-errno` convention into
+//! [`std::io::Error`]. Everything that *is* in std (sockets, reads, writes,
+//! fd ownership/close via [`OwnedFd`]) stays on the std path, so the unsafe
+//! surface is exactly these few functions.
+
+use std::io;
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+
+// --- the one unsafe primitive per architecture ---------------------------
+
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn syscall6(num: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "syscall",
+        inlateout("rax") num as isize => ret,
+        in("rdi") a1,
+        in("rsi") a2,
+        in("rdx") a3,
+        in("r10") a4,
+        in("r8") a5,
+        // The kernel clobbers rcx (return rip) and r11 (rflags).
+        out("rcx") _,
+        out("r11") _,
+        options(nostack, preserves_flags)
+    );
+    ret
+}
+
+#[cfg(target_arch = "aarch64")]
+#[inline]
+unsafe fn syscall6(num: usize, a1: usize, a2: usize, a3: usize, a4: usize, a5: usize) -> isize {
+    let ret: isize;
+    core::arch::asm!(
+        "svc 0",
+        inlateout("x0") a1 as isize => ret,
+        in("x1") a2,
+        in("x2") a3,
+        in("x3") a4,
+        in("x4") a5,
+        in("x8") num,
+        options(nostack)
+    );
+    ret
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+compile_error!("hta-net's syscall shims cover x86_64 and aarch64 Linux only");
+
+/// Convert a raw kernel return value (`-errno` on failure) into a result.
+#[inline]
+fn check(ret: isize) -> io::Result<usize> {
+    if (-4095..0).contains(&ret) {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret as usize)
+    }
+}
+
+// --- syscall numbers ------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod nr {
+    pub const RT_SIGPROCMASK: usize = 14;
+    pub const EPOLL_CTL: usize = 233;
+    pub const EPOLL_PWAIT: usize = 281;
+    pub const SIGNALFD4: usize = 289;
+    pub const EVENTFD2: usize = 290;
+    pub const EPOLL_CREATE1: usize = 291;
+}
+
+#[cfg(target_arch = "aarch64")]
+mod nr {
+    pub const RT_SIGPROCMASK: usize = 135;
+    pub const EPOLL_CTL: usize = 21;
+    pub const EPOLL_PWAIT: usize = 22;
+    pub const SIGNALFD4: usize = 74;
+    pub const EVENTFD2: usize = 19;
+    pub const EPOLL_CREATE1: usize = 20;
+}
+
+// --- flags and structures (uapi values, stable ABI) -----------------------
+
+/// `EPOLL_CLOEXEC` / `EFD_CLOEXEC` / `SFD_CLOEXEC` (all equal `O_CLOEXEC`).
+const CLOEXEC: usize = 0o2000000;
+/// `EFD_NONBLOCK` / `SFD_NONBLOCK` (both equal `O_NONBLOCK`).
+const NONBLOCK: usize = 0o4000;
+
+/// `epoll_ctl` ops.
+pub const EPOLL_CTL_ADD: i32 = 1;
+/// Remove an fd from the interest list.
+pub const EPOLL_CTL_DEL: i32 = 2;
+/// Change the event mask of a registered fd.
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+/// Readable.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition.
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half.
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Avoid thundering herds when several reactors share a listener.
+pub const EPOLLEXCLUSIVE: u32 = 1 << 28;
+/// Edge-triggered readiness.
+pub const EPOLLET: u32 = 1 << 31;
+
+/// `struct epoll_event`. Packed on x86_64 (the kernel ABI predates the
+/// 64-bit alignment rules); naturally aligned elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Readiness mask (`EPOLLIN | …`).
+    pub events: u32,
+    /// Caller-owned token returned verbatim with the event.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// An event with the given mask and token.
+    pub fn new(events: u32, data: u64) -> Self {
+        Self { events, data }
+    }
+
+    /// The zero event (used to size `epoll_wait` buffers).
+    pub fn zeroed() -> Self {
+        Self { events: 0, data: 0 }
+    }
+}
+
+// --- typed wrappers -------------------------------------------------------
+
+/// `epoll_create1(EPOLL_CLOEXEC)`.
+pub fn epoll_create1() -> io::Result<OwnedFd> {
+    // SAFETY: no pointers are passed; the kernel returns a fresh fd that we
+    // immediately give a unique owner.
+    let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, CLOEXEC, 0, 0, 0, 0) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
+}
+
+/// `epoll_ctl(epfd, op, fd, &event)`.
+pub fn epoll_ctl(epfd: RawFd, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+    let ev_ptr = event
+        .as_ref()
+        .map_or(std::ptr::null(), |e| e as *const EpollEvent);
+    // SAFETY: `ev_ptr` is null (DEL) or points at a live EpollEvent for the
+    // duration of the call; the kernel copies it before returning.
+    check(unsafe {
+        syscall6(
+            nr::EPOLL_CTL,
+            epfd as usize,
+            op as usize,
+            fd as usize,
+            ev_ptr as usize,
+            0,
+        )
+    })
+    .map(|_| ())
+}
+
+/// `epoll_pwait(epfd, events, timeout_ms, NULL)`; returns the number of
+/// ready events. A negative timeout blocks indefinitely.
+pub fn epoll_wait(epfd: RawFd, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `events` is a live, writable buffer whose length we pass; the
+    // null sigmask makes epoll_pwait behave exactly like epoll_wait.
+    check(unsafe {
+        syscall6(
+            nr::EPOLL_PWAIT,
+            epfd as usize,
+            events.as_mut_ptr() as usize,
+            events.len(),
+            timeout_ms as usize,
+            0,
+        )
+    })
+}
+
+/// `eventfd2(0, EFD_CLOEXEC | EFD_NONBLOCK)`.
+pub fn eventfd() -> io::Result<OwnedFd> {
+    // SAFETY: no pointers; fresh fd, unique owner.
+    let fd = check(unsafe { syscall6(nr::EVENTFD2, 0, CLOEXEC | NONBLOCK, 0, 0, 0) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
+}
+
+/// The kernel's sigset for `rt_sigprocmask`/`signalfd4`: a plain u64 bitmask
+/// (bit `n-1` set for signal `n`), 8 bytes long.
+fn sigset(signals: &[i32]) -> u64 {
+    signals.iter().fold(0u64, |m, &s| m | 1u64 << (s - 1))
+}
+
+/// `SIG_BLOCK` for `rt_sigprocmask`.
+const SIG_BLOCK: usize = 0;
+
+/// Block `signals` for the calling thread (and threads spawned later, which
+/// inherit the mask). Required before `signalfd` so delivery is routed to
+/// the fd instead of default handlers.
+pub fn block_signals(signals: &[i32]) -> io::Result<()> {
+    let mask = sigset(signals);
+    // SAFETY: the mask pointer is valid for the call; oldset is null;
+    // sigsetsize is the kernel's 8.
+    check(unsafe {
+        syscall6(
+            nr::RT_SIGPROCMASK,
+            SIG_BLOCK,
+            &mask as *const u64 as usize,
+            0,
+            8,
+            0,
+        )
+    })
+    .map(|_| ())
+}
+
+/// `signalfd4(-1, mask, 8, flags)` — a readable fd that yields one
+/// 128-byte `signalfd_siginfo` per delivered signal. `nonblocking` picks
+/// between reactor use (nonblocking, registered with epoll) and a plain
+/// blocking wait.
+pub fn signalfd(signals: &[i32], nonblocking: bool) -> io::Result<OwnedFd> {
+    let mask = sigset(signals);
+    let flags = CLOEXEC | if nonblocking { NONBLOCK } else { 0 };
+    // SAFETY: the mask pointer is valid for the call; -1 creates a new fd.
+    let fd = check(unsafe {
+        syscall6(
+            nr::SIGNALFD4,
+            usize::MAX, // -1: create
+            &mask as *const u64 as usize,
+            8,
+            flags,
+            0,
+        )
+    })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
+}
+
+/// `SIGINT`.
+pub const SIGINT: i32 = 2;
+/// `SIGTERM`.
+pub const SIGTERM: i32 = 15;
+
+/// Size of `struct signalfd_siginfo`.
+pub const SIGINFO_SIZE: usize = 128;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_create_and_close() {
+        let ep = epoll_create1().unwrap();
+        assert!(ep.as_raw_fd() >= 0);
+    }
+
+    #[test]
+    fn eventfd_roundtrip_through_epoll() {
+        let ep = epoll_create1().unwrap();
+        let ev = eventfd().unwrap();
+        epoll_ctl(
+            ep.as_raw_fd(),
+            EPOLL_CTL_ADD,
+            ev.as_raw_fd(),
+            Some(EpollEvent::new(EPOLLIN, 42)),
+        )
+        .unwrap();
+
+        // Nothing ready yet.
+        let mut buf = [EpollEvent::zeroed(); 4];
+        assert_eq!(epoll_wait(ep.as_raw_fd(), &mut buf, 0).unwrap(), 0);
+
+        // Write to the eventfd, observe readiness with the right token.
+        let one = 1u64.to_ne_bytes();
+        let n =
+            std::io::Write::write(&mut std::fs::File::from(ev.try_clone().unwrap()), &one).unwrap();
+        assert_eq!(n, 8);
+        let ready = epoll_wait(ep.as_raw_fd(), &mut buf, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert_eq!({ buf[0].data }, 42);
+        assert_ne!({ buf[0].events } & EPOLLIN, 0);
+
+        // Deregister; the fd no longer reports.
+        epoll_ctl(ep.as_raw_fd(), EPOLL_CTL_DEL, ev.as_raw_fd(), None).unwrap();
+        assert_eq!(epoll_wait(ep.as_raw_fd(), &mut buf, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn epoll_ctl_rejects_bogus_fd() {
+        let ep = epoll_create1().unwrap();
+        let err = epoll_ctl(
+            ep.as_raw_fd(),
+            EPOLL_CTL_ADD,
+            -1,
+            Some(EpollEvent::new(EPOLLIN, 0)),
+        )
+        .unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(9)); // EBADF
+    }
+
+    #[test]
+    fn sigset_bit_layout() {
+        assert_eq!(sigset(&[SIGINT]), 1 << 1);
+        assert_eq!(sigset(&[SIGTERM]), 1 << 14);
+        assert_eq!(sigset(&[SIGINT, SIGTERM]), (1 << 1) | (1 << 14));
+    }
+}

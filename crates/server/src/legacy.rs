@@ -1,0 +1,231 @@
+//! The original TCP accept loop — one thread per connection, one request
+//! per connection — kept as the measured baseline for `hta-loadgen`'s
+//! reactor-vs-threads comparison (BENCH_server.json) and as a minimal
+//! reference implementation. New deployments use [`crate::server::Server`],
+//! the epoll reactor front-end.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::http::{read_request, write_response, Response};
+use crate::service::handle;
+use crate::state::PlatformState;
+
+/// A running thread-per-connection server.
+pub struct LegacyServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl LegacyServer {
+    /// Bind to `addr` (use port 0 for an ephemeral port) and serve
+    /// `state` on a background thread.
+    pub fn spawn(addr: &str, state: Arc<PlatformState>) -> std::io::Result<LegacyServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // A short accept timeout lets the loop observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            let mut workers: Vec<JoinHandle<()>> = Vec::new();
+            while !stop2.load(Ordering::Relaxed) {
+                match accept_next(&listener) {
+                    Ok((stream, _)) => {
+                        let state = Arc::clone(&state);
+                        workers.push(std::thread::spawn(move || serve_one(stream, &state)));
+                        // Opportunistically reap finished handlers.
+                        workers.retain(|h| !h.is_finished());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(e) => {
+                        // Transient accept failures (EMFILE when the fd
+                        // table is briefly full, ECONNABORTED from a client
+                        // that hung up in the backlog, EINTR, ...) must not
+                        // kill the listener for good: log, back off so a
+                        // resource-exhaustion error is not spun on, retry.
+                        eprintln!("hta-server: accept error (retrying): {e}");
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            }
+            for h in workers {
+                let _ = h.join();
+            }
+        });
+        Ok(LegacyServer {
+            addr: local,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LegacyServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Accept one connection, with a test-only fault hook: while the induced
+/// error counter is armed, an error is returned *instead of* accepting, so
+/// a real client waits in the backlog until the loop has survived the
+/// failures and retried.
+fn accept_next(listener: &TcpListener) -> std::io::Result<(TcpStream, SocketAddr)> {
+    #[cfg(test)]
+    if tests::INDUCED_ACCEPT_ERRORS
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+        .is_ok()
+    {
+        return Err(std::io::Error::other("induced accept failure"));
+    }
+    listener.accept()
+}
+
+fn serve_one(mut stream: TcpStream, state: &PlatformState) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let response = match read_request(&mut stream) {
+        Ok(req) => handle(state, &req),
+        Err(e) => Response::error(400, &e),
+    };
+    let _ = write_response(&mut stream, &response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_datagen::amt::{generate, AmtConfig};
+    use std::io::{Read, Write};
+    use std::sync::atomic::AtomicUsize;
+
+    /// How many upcoming accepts should fail with an induced error (shared
+    /// by every test server in the process; tests that arm it run the
+    /// request on the same thread, so the count drains before it returns).
+    pub(super) static INDUCED_ACCEPT_ERRORS: AtomicUsize = AtomicUsize::new(0);
+
+    fn start() -> (LegacyServer, Arc<PlatformState>) {
+        let w = generate(&AmtConfig {
+            n_groups: 10,
+            tasks_per_group: 5,
+            vocab_size: 40,
+            ..Default::default()
+        });
+        let state = Arc::new(PlatformState::new(w.space, w.tasks, 3, 11));
+        let server = LegacyServer::spawn("127.0.0.1:0", Arc::clone(&state)).unwrap();
+        (server, state)
+    }
+
+    fn request(addr: SocketAddr, line: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "{line}\r\nHost: test\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        let status: u16 = buf
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
+        (status, body)
+    }
+
+    #[test]
+    fn end_to_end_over_tcp() {
+        let (server, _state) = start();
+        let addr = server.addr();
+
+        let (status, body) = request(addr, "GET /health HTTP/1.1");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\"}");
+
+        let (status, body) = request(addr, "POST /register?keywords=english;audio HTTP/1.1");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"worker_id\":0"));
+
+        let (status, body) = request(addr, "POST /assign?worker=0 HTTP/1.1");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"tasks\":["), "{body}");
+
+        let (status, _) = request(addr, "GET /stats HTTP/1.1");
+        assert_eq!(status, 200);
+
+        let (status, _) = request(addr, "GET /missing HTTP/1.1");
+        assert_eq!(status, 404);
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_request_is_a_400() {
+        let (server, _state) = start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write!(stream, "\r\n\r\n").unwrap();
+        let mut buf = String::new();
+        stream.read_to_string(&mut buf).unwrap();
+        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn accept_errors_do_not_kill_the_listener() {
+        let (server, _state) = start();
+        let addr = server.addr();
+        // Arm three induced accept failures; the loop must log, back off,
+        // and keep accepting — the `Err(_) => break` it replaced would have
+        // left this connect hanging until the read timeout.
+        INDUCED_ACCEPT_ERRORS.store(3, Ordering::Relaxed);
+        let (status, body) = request(addr, "GET /health HTTP/1.1");
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"status\":\"ok\"}");
+        assert_eq!(
+            INDUCED_ACCEPT_ERRORS.load(Ordering::Relaxed),
+            0,
+            "the error path was actually exercised"
+        );
+        // The server is still healthy afterwards.
+        let (status, _) = request(addr, "GET /stats HTTP/1.1");
+        assert_eq!(status, 200);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_share_state() {
+        let (server, state) = start();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    request(addr, &format!("POST /register?keywords=worker{i} HTTP/1.1"))
+                })
+            })
+            .collect();
+        for h in handles {
+            let (status, _) = h.join().unwrap();
+            assert_eq!(status, 200);
+        }
+        assert_eq!(state.stats().workers, 4);
+        server.shutdown();
+    }
+}

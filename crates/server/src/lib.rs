@@ -8,9 +8,11 @@
 //! front-end, a load generator, `curl`).
 //!
 //! Std-only by design: the offline dependency policy (DESIGN.md §5) rules
-//! out web frameworks, and the API surface — five endpoints, query
-//! parameters in, JSON out — fits comfortably in a small, auditable
-//! HTTP/1.1 core ([`http`]).
+//! out web frameworks. The serving core is `hta-net`'s epoll reactor —
+//! keep-alive HTTP/1.1 connections multiplexed on a few event-loop
+//! threads, CPU-heavy solves on a bounded worker pool with `503`
+//! backpressure ([`server`]); the original thread-per-connection loop is
+//! kept as the measured baseline ([`legacy`]).
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -28,11 +30,15 @@
 #![warn(missing_docs)]
 
 pub mod http;
+pub mod legacy;
+pub mod metrics;
 pub mod server;
 pub mod service;
 pub mod snapshot;
 pub mod state;
 
-pub use server::Server;
+pub use legacy::LegacyServer;
+pub use metrics::ServingMetrics;
+pub use server::{ServeOptions, Server};
 pub use snapshot::ServerSnapshotError;
 pub use state::{AssignResult, CompleteResult, PlatformState, Stats};

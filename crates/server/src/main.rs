@@ -2,35 +2,77 @@
 //!
 //! ```text
 //! hta-serve [addr] [tasks.csv] [--restore state.htasnap]
+//!           [--listen-threads N] [--solver-pool N] [--queue-capacity N]
+//!           [--snapshot-on-exit state.htasnap]
 //! ```
 //!
 //! With no task CSV, serves a generated AMT-like corpus (1000 tasks). With
 //! `--restore`, rehydrates the full serving state — workers, estimators,
 //! assignment ledger, index, RNG stream — from a snapshot saved via
 //! `POST /snapshot`, and picks up exactly where that server left off.
-//! Endpoints: see `hta_server::service`.
+//!
+//! Sizing: `--listen-threads` sets the reactor (event-loop) thread count
+//! (default: `HTA_SERVER_THREADS` or 1), `--solver-pool` the worker threads
+//! running solves (default 2), `--queue-capacity` the backpressure bound
+//! (default 64; a full queue answers `503` + `Retry-After`).
+//!
+//! `SIGINT`/`SIGTERM` shut down gracefully: stop accepting, drain in-flight
+//! requests, then (with `--snapshot-on-exit`) save a final snapshot that a
+//! later `--restore` resumes from. Endpoints: see `hta_server::service`.
 
 use std::path::Path;
 use std::sync::Arc;
 
-use hta_server::{PlatformState, Server};
+use hta_net::ShutdownSignals;
+use hta_server::{PlatformState, ServeOptions, Server};
+
+fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a valid value");
+        std::process::exit(2);
+    })
+}
 
 fn main() {
+    // Block SIGINT/SIGTERM *before* any thread spawns so the whole process
+    // inherits the mask and the signals arrive only on the signalfd below.
+    let signals = ShutdownSignals::install(false).unwrap_or_else(|e| {
+        eprintln!("error: cannot install signal handling: {e}");
+        std::process::exit(1);
+    });
+
     let mut addr = "127.0.0.1:8080".to_owned();
     let mut restore: Option<String> = None;
+    let mut snapshot_on_exit: Option<String> = None;
+    let mut opts = ServeOptions::default();
+    if let Some(n) = std::env::var("HTA_SERVER_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        opts.listen_threads = n;
+    }
     let mut positionals: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--restore" {
-            match args.next() {
+        match arg.as_str() {
+            "--restore" => match args.next() {
                 Some(p) => restore = Some(p),
                 None => {
                     eprintln!("error: --restore needs a snapshot path");
                     std::process::exit(2);
                 }
-            }
-        } else {
-            positionals.push(arg);
+            },
+            "--snapshot-on-exit" => match args.next() {
+                Some(p) => snapshot_on_exit = Some(p),
+                None => {
+                    eprintln!("error: --snapshot-on-exit needs a snapshot path");
+                    std::process::exit(2);
+                }
+            },
+            "--listen-threads" => opts.listen_threads = parse_flag_value(&arg, args.next()),
+            "--solver-pool" => opts.solver_pool = parse_flag_value(&arg, args.next()),
+            "--queue-capacity" => opts.queue_capacity = parse_flag_value(&arg, args.next()),
+            _ => positionals.push(arg),
         }
     }
     let mut positionals = positionals.into_iter();
@@ -79,18 +121,35 @@ fn main() {
         }
     };
 
-    let server = Server::spawn(&addr, Arc::new(state)).unwrap_or_else(|e| {
+    let state = Arc::new(state);
+    let server = Server::spawn_with(&addr, Arc::clone(&state), opts.clone()).unwrap_or_else(|e| {
         eprintln!("error: cannot bind {addr}: {e}");
         std::process::exit(1);
     });
-    println!("hta platform service listening on http://{}", server.addr());
+    println!(
+        "hta platform service listening on http://{} ({} reactor / {} solver threads, queue {})",
+        server.addr(),
+        opts.listen_threads.max(1),
+        opts.solver_pool.max(1),
+        opts.queue_capacity
+    );
     println!(
         "try: curl -X POST 'http://{}/register?keywords=english;audio'",
         server.addr()
     );
 
-    // Serve until interrupted.
-    loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+    // Serve until SIGINT/SIGTERM, then drain and exit cleanly.
+    signals.read_pending();
+    println!("shutdown signal received; draining in-flight requests");
+    server.shutdown();
+    if let Some(path) = snapshot_on_exit {
+        match state.save_snapshot(Path::new(&path)) {
+            Ok(bytes) => println!("final snapshot saved to {path} ({bytes} bytes)"),
+            Err(e) => {
+                eprintln!("error: final snapshot failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
+    println!("shutdown complete");
 }

@@ -1,126 +1,154 @@
-//! The TCP accept loop: one thread per connection over shared
-//! [`PlatformState`], with a cooperative shutdown handle for tests.
+//! The serving front-end: [`hta_net`]'s epoll reactor plus a bounded
+//! solver pool, running the platform service with keep-alive HTTP/1.1.
+//!
+//! Reactor threads own the sockets and answer `/health` inline; everything
+//! that touches [`PlatformState`] goes through the bounded job queue to a
+//! solver-pool worker, so a long `/assign` solve never blocks accepts or
+//! liveness probes, and a full queue answers `503` + `Retry-After` instead
+//! of queueing unboundedly. The thread-per-connection baseline lives on in
+//! [`crate::legacy::LegacyServer`].
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io;
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::Instant;
 
-use crate::http::{read_request, write_response, Response};
-use crate::service::handle;
+use hta_net::reactor::ServerConfig;
+use hta_net::{HttpHandler, HttpResponse, NetMetrics, NetServer, RawRequest};
+
+use crate::http::{parse_query, Request};
+use crate::metrics::ServingMetrics;
+use crate::service;
 use crate::state::PlatformState;
 
-/// A running server.
+/// Sizing knobs for [`Server::spawn_with`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Reactor (event-loop) threads sharing the listener.
+    pub listen_threads: usize,
+    /// Solver-pool worker threads running the request handlers.
+    pub solver_pool: usize,
+    /// Job-queue capacity; beyond it requests get `503 Retry-After`.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            listen_threads: 1,
+            solver_pool: 2,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// A running reactor server.
 pub struct Server {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    thread: Option<JoinHandle<()>>,
+    net: NetServer,
+    metrics: Arc<ServingMetrics>,
+}
+
+/// Routes raw reactor requests into [`service::handle_with_metrics`].
+struct PlatformHandler {
+    state: Arc<PlatformState>,
+    metrics: Arc<ServingMetrics>,
+}
+
+impl PlatformHandler {
+    fn to_request(raw: &RawRequest) -> Request {
+        let (path, query) = match raw.target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (raw.target.as_str(), ""),
+        };
+        Request {
+            method: raw.method.clone(),
+            path: path.to_owned(),
+            query: parse_query(query),
+        }
+    }
+}
+
+impl HttpHandler for PlatformHandler {
+    fn handle(&self, raw: &RawRequest) -> HttpResponse {
+        let started = Instant::now();
+        let req = Self::to_request(raw);
+        let resp = service::handle_with_metrics(&self.state, &req, Some(&self.metrics));
+        self.metrics.record(&req.path, started.elapsed());
+        let mut out = HttpResponse::json(resp.status, resp.body);
+        if resp.status == 503 {
+            out.retry_after = Some(1);
+        }
+        out
+    }
+
+    fn inline(&self, raw: &RawRequest) -> Option<HttpResponse> {
+        // Liveness must answer even while the pool is saturated by solves;
+        // it reads no shared state, so it is safe on the reactor thread.
+        let path = raw.target.split('?').next().unwrap_or("");
+        if raw.method == "GET" && path == "/health" {
+            self.metrics.record("/health", Instant::now().elapsed());
+            return Some(HttpResponse::json(200, "{\"status\":\"ok\"}".to_owned()));
+        }
+        None
+    }
 }
 
 impl Server {
-    /// Bind to `addr` (use port 0 for an ephemeral port) and serve
-    /// `state` on a background thread.
-    pub fn spawn(addr: &str, state: Arc<PlatformState>) -> std::io::Result<Server> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        // A short accept timeout lets the loop observe the stop flag.
-        listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop2 = Arc::clone(&stop);
-        let thread = std::thread::spawn(move || {
-            let mut workers: Vec<JoinHandle<()>> = Vec::new();
-            while !stop2.load(Ordering::Relaxed) {
-                match accept_next(&listener) {
-                    Ok((stream, _)) => {
-                        let state = Arc::clone(&state);
-                        workers.push(std::thread::spawn(move || serve_one(stream, &state)));
-                        // Opportunistically reap finished handlers.
-                        workers.retain(|h| !h.is_finished());
-                    }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(e) => {
-                        // Transient accept failures (EMFILE when the fd
-                        // table is briefly full, ECONNABORTED from a client
-                        // that hung up in the backlog, EINTR, ...) must not
-                        // kill the listener for good: log, back off so a
-                        // resource-exhaustion error is not spun on, retry.
-                        eprintln!("hta-server: accept error (retrying): {e}");
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                }
-            }
-            for h in workers {
-                let _ = h.join();
-            }
+    /// Bind to `addr` (port 0 for an ephemeral port) and serve `state` with
+    /// the default sizing ([`ServeOptions::default`]).
+    pub fn spawn(addr: &str, state: Arc<PlatformState>) -> io::Result<Server> {
+        Self::spawn_with(addr, state, ServeOptions::default())
+    }
+
+    /// Bind and serve with explicit reactor/pool sizing.
+    pub fn spawn_with(
+        addr: &str,
+        state: Arc<PlatformState>,
+        opts: ServeOptions,
+    ) -> io::Result<Server> {
+        let net_metrics = Arc::new(NetMetrics::default());
+        let metrics = Arc::new(ServingMetrics::new(Arc::clone(&net_metrics)));
+        let handler = Arc::new(PlatformHandler {
+            state,
+            metrics: Arc::clone(&metrics),
         });
-        Ok(Server {
-            addr: local,
-            stop,
-            thread: Some(thread),
-        })
+        let net = NetServer::bind(
+            addr,
+            handler,
+            ServerConfig {
+                listen_threads: opts.listen_threads,
+                pool_workers: opts.solver_pool,
+                queue_capacity: opts.queue_capacity,
+                metrics: net_metrics,
+            },
+        )?;
+        Ok(Server { net, metrics })
     }
 
     /// The bound address.
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.net.addr()
     }
 
-    /// Stop accepting and join the accept loop.
+    /// The serving counters (also surfaced on `GET /stats`).
+    pub fn metrics(&self) -> Arc<ServingMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests (bounded), write the responses out, join every thread.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
+        self.net.shutdown();
     }
-}
-
-impl Drop for Server {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(t) = self.thread.take() {
-            let _ = t.join();
-        }
-    }
-}
-
-/// Accept one connection, with a test-only fault hook: while the induced
-/// error counter is armed, an error is returned *instead of* accepting, so
-/// a real client waits in the backlog until the loop has survived the
-/// failures and retried.
-fn accept_next(listener: &TcpListener) -> std::io::Result<(TcpStream, SocketAddr)> {
-    #[cfg(test)]
-    if tests::INDUCED_ACCEPT_ERRORS
-        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
-        .is_ok()
-    {
-        return Err(std::io::Error::other("induced accept failure"));
-    }
-    listener.accept()
-}
-
-fn serve_one(mut stream: TcpStream, state: &PlatformState) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    let response = match read_request(&mut stream) {
-        Ok(req) => handle(state, &req),
-        Err(e) => Response::error(400, &e),
-    };
-    let _ = write_response(&mut stream, &response);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use hta_datagen::amt::{generate, AmtConfig};
-    use std::io::{Read, Write};
-    use std::sync::atomic::AtomicUsize;
-
-    /// How many upcoming accepts should fail with an induced error (shared
-    /// by every test server in the process; tests that arm it run the
-    /// request on the same thread, so the count drains before it returns).
-    pub(super) static INDUCED_ACCEPT_ERRORS: AtomicUsize = AtomicUsize::new(0);
+    use hta_net::client;
+    use std::io::{BufReader, Write};
+    use std::net::TcpStream;
 
     fn start() -> (Server, Arc<PlatformState>) {
         let w = generate(&AmtConfig {
@@ -134,93 +162,129 @@ mod tests {
         (server, state)
     }
 
-    fn request(addr: SocketAddr, line: &str) -> (u16, String) {
-        let mut stream = TcpStream::connect(addr).unwrap();
-        write!(stream, "{line}\r\nHost: test\r\n\r\n").unwrap();
-        let mut buf = String::new();
-        stream.read_to_string(&mut buf).unwrap();
-        let status: u16 = buf
-            .split_whitespace()
-            .nth(1)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0);
-        let body = buf.split("\r\n\r\n").nth(1).unwrap_or("").to_owned();
-        (status, body)
+    fn roundtrip(
+        stream: &mut TcpStream,
+        reader: &mut BufReader<TcpStream>,
+        method: &str,
+        target: &str,
+    ) -> (u16, String) {
+        stream
+            .write_all(&client::request_bytes(method, target, true))
+            .unwrap();
+        let resp = client::read_response(reader).unwrap();
+        (resp.status, resp.body_text())
     }
 
     #[test]
-    fn end_to_end_over_tcp() {
+    fn full_api_flow_over_one_keep_alive_connection() {
         let (server, _state) = start();
-        let addr = server.addr();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
 
-        let (status, body) = request(addr, "GET /health HTTP/1.1");
-        assert_eq!(status, 200);
-        assert_eq!(body, "{\"status\":\"ok\"}");
+        let (status, body) = roundtrip(&mut stream, &mut reader, "GET", "/health");
+        assert_eq!((status, body.as_str()), (200, "{\"status\":\"ok\"}"));
 
-        let (status, body) = request(addr, "POST /register?keywords=english;audio HTTP/1.1");
+        let (status, body) = roundtrip(
+            &mut stream,
+            &mut reader,
+            "POST",
+            "/register?keywords=english;audio",
+        );
         assert_eq!(status, 200);
         assert!(body.contains("\"worker_id\":0"));
 
-        let (status, body) = request(addr, "POST /assign?worker=0 HTTP/1.1");
+        let (status, body) = roundtrip(&mut stream, &mut reader, "POST", "/assign?worker=0");
         assert_eq!(status, 200);
         assert!(body.contains("\"tasks\":["), "{body}");
 
-        let (status, _) = request(addr, "GET /stats HTTP/1.1");
+        let (status, body) = roundtrip(&mut stream, &mut reader, "GET", "/stats");
         assert_eq!(status, 200);
+        assert!(body.contains("\"serving\":{"), "{body}");
+        assert!(body.contains("\"endpoints\":{"), "{body}");
+        assert!(body.contains("\"latency_us\":{"), "{body}");
 
-        let (status, _) = request(addr, "GET /missing HTTP/1.1");
+        let (status, _) = roundtrip(&mut stream, &mut reader, "GET", "/missing");
         assert_eq!(status, 404);
 
-        server.shutdown();
-    }
-
-    #[test]
-    fn malformed_request_is_a_400() {
-        let (server, _state) = start();
-        let mut stream = TcpStream::connect(server.addr()).unwrap();
-        write!(stream, "\r\n\r\n").unwrap();
-        let mut buf = String::new();
-        stream.read_to_string(&mut buf).unwrap();
-        assert!(buf.starts_with("HTTP/1.1 400"), "{buf}");
-        server.shutdown();
-    }
-
-    #[test]
-    fn accept_errors_do_not_kill_the_listener() {
-        let (server, _state) = start();
-        let addr = server.addr();
-        // Arm three induced accept failures; the loop must log, back off,
-        // and keep accepting — the `Err(_) => break` it replaced would have
-        // left this connect hanging until the read timeout.
-        INDUCED_ACCEPT_ERRORS.store(3, Ordering::Relaxed);
-        let (status, body) = request(addr, "GET /health HTTP/1.1");
-        assert_eq!(status, 200);
-        assert_eq!(body, "{\"status\":\"ok\"}");
+        let metrics = server.metrics();
+        assert_eq!(metrics.endpoint_count("/health"), 1);
+        assert_eq!(metrics.endpoint_count("/assign"), 1);
+        // /health ran inline on the reactor; the other four went to the pool.
         assert_eq!(
-            INDUCED_ACCEPT_ERRORS.load(Ordering::Relaxed),
-            0,
-            "the error path was actually exercised"
+            metrics
+                .net
+                .requests_inline
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
         );
-        // The server is still healthy afterwards.
-        let (status, _) = request(addr, "GET /stats HTTP/1.1");
-        assert_eq!(status, 200);
         server.shutdown();
     }
 
     #[test]
-    fn concurrent_clients_share_state() {
+    fn batch_assign_endpoint_returns_per_worker_lists() {
+        let (server, state) = start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for kw in ["english;audio", "english;survey"] {
+            let (status, _) = roundtrip(
+                &mut stream,
+                &mut reader,
+                "POST",
+                &format!("/register?keywords={kw}"),
+            );
+            assert_eq!(status, 200);
+        }
+        let (status, body) = roundtrip(
+            &mut stream,
+            &mut reader,
+            "POST",
+            "/assign_batch?workers=0,1",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"assignments\":["), "{body}");
+        assert!(body.contains("\"worker\":0"), "{body}");
+        assert!(body.contains("\"worker\":1"), "{body}");
+        assert_eq!(state.stats().assigned_tasks, 6);
+
+        // Error paths: malformed list, unknown worker, wrong method.
+        let (status, _) = roundtrip(
+            &mut stream,
+            &mut reader,
+            "POST",
+            "/assign_batch?workers=0,x",
+        );
+        assert_eq!(status, 400);
+        let (status, _) = roundtrip(&mut stream, &mut reader, "POST", "/assign_batch?workers=9");
+        assert_eq!(status, 404);
+        let (status, _) = roundtrip(&mut stream, &mut reader, "GET", "/assign_batch?workers=0");
+        assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_keep_alive_clients_share_state() {
         let (server, state) = start();
         let addr = server.addr();
         let handles: Vec<_> = (0..4)
             .map(|i| {
                 std::thread::spawn(move || {
-                    request(addr, &format!("POST /register?keywords=worker{i} HTTP/1.1"))
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let (status, _) = roundtrip(
+                        &mut stream,
+                        &mut reader,
+                        "POST",
+                        &format!("/register?keywords=worker{i}"),
+                    );
+                    assert_eq!(status, 200);
+                    // Second request on the same connection.
+                    let (status, _) = roundtrip(&mut stream, &mut reader, "GET", "/stats");
+                    assert_eq!(status, 200);
                 })
             })
             .collect();
         for h in handles {
-            let (status, _) = h.join().unwrap();
-            assert_eq!(status, 200);
+            h.join().unwrap();
         }
         assert_eq!(state.stats().workers, 4);
         server.shutdown();

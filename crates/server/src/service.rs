@@ -2,31 +2,45 @@
 //!
 //! | endpoint | effect |
 //! |---|---|
-//! | `GET /health` | liveness probe |
+//! | `GET /health` | liveness probe (answered inline by the reactor) |
 //! | `POST /register?keywords=a;b;c` | create a worker, returns its id |
 //! | `POST /assign?worker=N` | solve HTA for the worker, returns task ids |
+//! | `POST /assign_batch?workers=1,2,5` | one shared pool + one joint solve for the cohort |
 //! | `POST /complete?worker=N&task=M` | record a completion, returns updated (α, β) |
 //! | `GET /tasks?id=M` | a task's keywords |
-//! | `GET /stats` | aggregate counters |
+//! | `GET /stats` | aggregate counters (+ serving metrics when reactor-hosted) |
 //! | `POST /snapshot?path=FILE` | atomically save the full serving state |
 
 use std::fmt::Write as _;
 use std::path::Path;
 
 use crate::http::{json_string, Request, Response};
+use crate::metrics::ServingMetrics;
 use crate::state::{PlatformState, StateError};
 
-/// Dispatch one request against the state.
+/// Dispatch one request against the state (no serving-layer counters —
+/// the legacy front-end and direct library callers).
 pub fn handle(state: &PlatformState, req: &Request) -> Response {
+    handle_with_metrics(state, req, None)
+}
+
+/// Dispatch one request, splicing serving-layer counters into `GET /stats`
+/// when the front-end provides them (the reactor server does).
+pub fn handle_with_metrics(
+    state: &PlatformState,
+    req: &Request,
+    serving: Option<&ServingMetrics>,
+) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => Response::ok("{\"status\":\"ok\"}".to_owned()),
         ("POST", "/register") => register(state, req),
         ("POST", "/assign") => assign(state, req),
+        ("POST", "/assign_batch") => assign_batch(state, req),
         ("POST", "/complete") => complete(state, req),
         ("GET", "/tasks") => task_info(state, req),
-        ("GET", "/stats") => stats(state),
+        ("GET", "/stats") => stats(state, serving),
         ("POST", "/snapshot") => snapshot(state, req),
-        (_, "/register" | "/assign" | "/complete" | "/snapshot") => {
+        (_, "/register" | "/assign" | "/assign_batch" | "/complete" | "/snapshot") => {
             Response::error(405, "use POST for this endpoint")
         }
         (_, "/health" | "/tasks" | "/stats") => Response::error(405, "use GET for this endpoint"),
@@ -68,6 +82,49 @@ fn assign(state: &PlatformState, req: &Request) -> Response {
                 r.alpha,
                 r.beta
             ))
+        }
+        Err(e) => state_error(e),
+    }
+}
+
+fn assign_batch(state: &PlatformState, req: &Request) -> Response {
+    let Some(raw) = req.param("workers") else {
+        return Response::error(400, "missing query parameter 'workers'");
+    };
+    let cohort: Result<Vec<usize>, _> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::parse)
+        .collect();
+    let Ok(cohort) = cohort else {
+        return Response::error(400, "query parameter 'workers' is malformed");
+    };
+    // `mode=seq` runs the sequential reference semantics (one singleton
+    // solve per worker under one lock hold); the default is the cohort
+    // solve — one shared candidate pool, one joint edge-reusing solve.
+    let result = match req.param("mode") {
+        None | Some("cohort") => state.assign_batch(&cohort),
+        Some("seq") => state.assign_batch_sequential(&cohort),
+        Some(_) => return Response::error(400, "query parameter 'mode' must be cohort or seq"),
+    };
+    match result {
+        Ok(rs) => {
+            let mut body = String::from("{\"assignments\":[");
+            for (i, (w, r)) in cohort.iter().zip(&rs).enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let ids: Vec<String> = r.tasks.iter().map(usize::to_string).collect();
+                let _ = write!(
+                    body,
+                    "{{\"worker\":{w},\"tasks\":[{}],\"alpha\":{:.6},\"beta\":{:.6}}}",
+                    ids.join(","),
+                    r.alpha,
+                    r.beta
+                );
+            }
+            body.push_str("]}");
+            Response::ok(body)
         }
         Err(e) => state_error(e),
     }
@@ -125,7 +182,7 @@ fn snapshot(state: &PlatformState, req: &Request) -> Response {
     }
 }
 
-fn stats(state: &PlatformState) -> Response {
+fn stats(state: &PlatformState, serving: Option<&ServingMetrics>) -> Response {
     let s = state.stats();
     let shards = s
         .shard_sizes
@@ -133,10 +190,18 @@ fn stats(state: &PlatformState) -> Response {
         .map(|n| n.to_string())
         .collect::<Vec<_>>()
         .join(",");
-    Response::ok(format!(
-        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{},\"shards\":[{}]}}",
+    // The platform-state fields come first and keep their exact shape —
+    // snapshot tests compare these bodies across save/restore, and a
+    // legacy-served `/stats` (no serving counters) must stay byte-stable.
+    let mut body = format!(
+        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{},\"shards\":[{}]",
         s.workers, s.open_tasks, s.assigned_tasks, s.completed_tasks, s.indexed_tasks, shards
-    ))
+    );
+    if let Some(m) = serving {
+        let _ = write!(body, ",\"serving\":{}", m.to_json());
+    }
+    body.push('}');
+    Response::ok(body)
 }
 
 #[cfg(test)]
@@ -193,6 +258,55 @@ mod tests {
         let r = handle(&s, &req("GET", "/tasks", &format!("id={first}")));
         assert_eq!(r.status, 200);
         assert!(r.body.contains("\"keywords\":["));
+    }
+
+    #[test]
+    fn assign_batch_routes_and_modes() {
+        let s = state();
+        for kw in ["keywords=english;survey", "keywords=english;audio"] {
+            assert_eq!(handle(&s, &req("POST", "/register", kw)).status, 200);
+        }
+        let r = handle(&s, &req("POST", "/assign_batch", "workers=0,1"));
+        assert_eq!(r.status, 200, "{}", r.body);
+        assert!(r.body.contains("\"assignments\":["), "{}", r.body);
+        assert!(r.body.contains("\"worker\":0"), "{}", r.body);
+
+        let r = handle(&s, &req("POST", "/assign_batch", "workers=0&mode=seq"));
+        assert_eq!(r.status, 200, "{}", r.body);
+
+        assert_eq!(handle(&s, &req("POST", "/assign_batch", "")).status, 400);
+        assert_eq!(
+            handle(&s, &req("POST", "/assign_batch", "workers=a,b")).status,
+            400
+        );
+        assert_eq!(
+            handle(&s, &req("POST", "/assign_batch", "workers=0&mode=bogus")).status,
+            400
+        );
+        assert_eq!(
+            handle(&s, &req("POST", "/assign_batch", "workers=7")).status,
+            404
+        );
+        assert_eq!(
+            handle(&s, &req("GET", "/assign_batch", "workers=0")).status,
+            405
+        );
+    }
+
+    #[test]
+    fn stats_serving_fragment_only_when_metrics_supplied() {
+        let s = state();
+        let plain = handle(&s, &req("GET", "/stats", ""));
+        assert!(!plain.body.contains("\"serving\""));
+        let metrics = crate::metrics::ServingMetrics::new(std::sync::Arc::new(
+            hta_net::NetMetrics::default(),
+        ));
+        let with = handle_with_metrics(&s, &req("GET", "/stats", ""), Some(&metrics));
+        assert!(with.body.contains("\"serving\":{"), "{}", with.body);
+        assert!(
+            with.body.starts_with(plain.body.trim_end_matches('}')),
+            "platform-state prefix is unchanged"
+        );
     }
 
     #[test]

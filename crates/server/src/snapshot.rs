@@ -302,6 +302,9 @@ impl PlatformState {
             index,
             mode: platform.mode,
             solver_threads: platform.solver_threads,
+            // The edge cache is derived state over the immutable catalog;
+            // it is never serialized and rebuilds on the first solve.
+            edge_cache: None,
         }))
     }
 }

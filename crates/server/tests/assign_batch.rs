@@ -1,0 +1,112 @@
+//! Property tests for the batch assignment endpoint's state semantics.
+//!
+//! Two contracts:
+//! 1. **Sequential equivalence** — `assign_batch_sequential` over a cohort
+//!    is *byte-identical* (full snapshot bytes: ledger, estimators, index,
+//!    RNG stream) to issuing the same `assign` calls one by one. The HTTP
+//!    `/assign_batch?mode=seq` path is therefore a pure transport-level
+//!    batching of `/assign`.
+//! 2. **Cohort solve invariants** — the one-pool-one-solve batch path is
+//!    deterministic under a fixed seed, keeps per-worker task sets
+//!    disjoint (solver constraint C2), and leaves the ledger and keyword
+//!    index consistent.
+
+use hta_datagen::amt::{generate, AmtConfig};
+use hta_server::PlatformState;
+use proptest::prelude::*;
+
+/// A fresh platform with `n_workers` registered from a rotating keyword
+/// menu, so cohorts mix relevance profiles.
+fn platform(seed: u64, n_workers: usize) -> PlatformState {
+    let w = generate(&AmtConfig {
+        n_groups: 12,
+        tasks_per_group: 8,
+        vocab_size: 60,
+        ..Default::default()
+    });
+    let s = PlatformState::new(w.space, w.tasks, 4, seed);
+    const MENU: [&[&str]; 4] = [
+        &["english", "survey"],
+        &["english", "audio"],
+        &["image", "tagging"],
+        &["sentiment", "english", "tweets"],
+    ];
+    for i in 0..n_workers {
+        s.register_worker(MENU[i % MENU.len()]).unwrap();
+    }
+    s
+}
+
+proptest! {
+    /// `assign_batch_sequential` ≡ the same `assign` calls in order, down
+    /// to the serialized snapshot bytes (same ledger, same estimator
+    /// state, same RNG stream position).
+    #[test]
+    fn sequential_batch_is_byte_identical_to_singleton_assigns(
+        seed in 0u64..1_000,
+        cohort in proptest::collection::vec(0usize..4, 1..6),
+    ) {
+        let batched = platform(seed, 4);
+        let rs_batch = batched.assign_batch_sequential(&cohort).unwrap();
+
+        let singles = platform(seed, 4);
+        let rs_single: Vec<_> = cohort
+            .iter()
+            .map(|&w| singles.assign(w).unwrap())
+            .collect();
+
+        prop_assert_eq!(rs_batch, rs_single);
+        prop_assert_eq!(batched.snapshot_bytes(), singles.snapshot_bytes());
+    }
+
+    /// The cohort solve is deterministic, disjoint, and bookkept.
+    #[test]
+    fn cohort_batch_is_deterministic_and_disjoint(
+        seed in 0u64..1_000,
+        cohort in proptest::collection::vec(0usize..4, 1..5),
+    ) {
+        let a = platform(seed, 4);
+        let rs_a = a.assign_batch(&cohort).unwrap();
+        let b = platform(seed, 4);
+        let rs_b = b.assign_batch(&cohort).unwrap();
+        prop_assert_eq!(&rs_a, &rs_b, "same seed, same cohort, same result");
+        prop_assert_eq!(a.snapshot_bytes(), b.snapshot_bytes());
+
+        // Disjointness across the whole cohort (C2), even with repeats.
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for r in &rs_a {
+            for &t in &r.tasks {
+                prop_assert!(seen.insert(t), "task {} assigned twice", t);
+                total += 1;
+            }
+        }
+        let st = a.stats();
+        prop_assert_eq!(st.assigned_tasks, total);
+        prop_assert_eq!(st.open_tasks, 96 - total);
+        prop_assert_eq!(st.indexed_tasks, st.open_tasks, "index in sync");
+    }
+
+    /// Batch-then-complete keeps the adaptive loop functional: every task
+    /// the batch handed out is completable exactly once.
+    #[test]
+    fn batched_tasks_are_completable(
+        seed in 0u64..1_000,
+        cohort_len in 1usize..5,
+    ) {
+        let cohort: Vec<usize> = (0..cohort_len).collect();
+        let s = platform(seed, cohort_len);
+        let rs = s.assign_batch(&cohort).unwrap();
+        for (w, r) in cohort.iter().zip(&rs) {
+            for &t in &r.tasks {
+                let c = s.complete(*w, t).unwrap();
+                prop_assert!((c.alpha + c.beta - 1.0).abs() < 1e-9);
+            }
+            // A second completion of the same task must be rejected.
+            if let Some(&t) = r.tasks.first() {
+                prop_assert!(s.complete(*w, t).is_err());
+            }
+        }
+        prop_assert_eq!(s.stats().assigned_tasks, 0);
+    }
+}

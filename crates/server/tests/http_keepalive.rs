@@ -1,0 +1,219 @@
+//! Wire-level tests of the reactor front-end over real TCP: keep-alive,
+//! hostile fragmentation, pipelining, oversized and malformed requests.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use hta_datagen::amt::{generate, AmtConfig};
+use hta_net::client;
+use hta_server::{PlatformState, ServeOptions, Server};
+
+fn start() -> Server {
+    let w = generate(&AmtConfig {
+        n_groups: 8,
+        tasks_per_group: 5,
+        vocab_size: 40,
+        ..Default::default()
+    });
+    let state = Arc::new(PlatformState::new(w.space, w.tasks, 3, 5));
+    Server::spawn("127.0.0.1:0", state).unwrap()
+}
+
+#[test]
+fn headers_split_across_arbitrary_reads_still_parse() {
+    let server = start();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // One byte at a time, with pauses: the parser must accumulate across
+    // reads and only fire once the head is complete.
+    let wire = b"GET /health HTTP/1.1\r\nHost: split\r\nX-Filler: abc\r\n\r\n";
+    for chunk in wire.chunks(3) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let resp = client::read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.keep_alive());
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_come_back_in_order_on_one_connection() {
+    let server = start();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Register + stats + health in one write; responses must arrive in
+    // request order even though they take different code paths (pool vs
+    // inline).
+    let mut batch = Vec::new();
+    batch.extend_from_slice(&client::request_bytes(
+        "POST",
+        "/register?keywords=english",
+        true,
+    ));
+    batch.extend_from_slice(&client::request_bytes("GET", "/stats", true));
+    batch.extend_from_slice(&client::request_bytes("GET", "/health", true));
+    stream.write_all(&batch).unwrap();
+
+    let first = client::read_response(&mut reader).unwrap();
+    assert_eq!(first.status, 200);
+    assert!(
+        first.body_text().contains("\"worker_id\":0"),
+        "register first"
+    );
+    let second = client::read_response(&mut reader).unwrap();
+    assert!(second.body_text().contains("\"workers\":1"), "stats second");
+    let third = client::read_response(&mut reader).unwrap();
+    assert!(
+        third.body_text().contains("\"status\":\"ok\""),
+        "health third"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_request_line_gets_431_and_a_close() {
+    let server = start();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let huge = format!("GET /{} HTTP/1.1\r\n", "x".repeat(16 * 1024));
+    stream.write_all(huge.as_bytes()).unwrap();
+    let resp = client::read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 431);
+    assert!(!resp.keep_alive(), "431 is fatal for the connection");
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server closed after the error");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_request_gets_400_but_the_connection_survives() {
+    let server = start();
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(b"this is not http\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let bad = client::read_response(&mut reader).unwrap();
+    assert_eq!(bad.status, 400);
+    assert!(bad.keep_alive(), "a client error does not kill the socket");
+    // The same connection keeps working.
+    stream
+        .write_all(&client::request_bytes("GET", "/health", true))
+        .unwrap();
+    let good = client::read_response(&mut reader).unwrap();
+    assert_eq!(good.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn http_10_and_connection_close_are_honored() {
+    let server = start();
+    // Explicit Connection: close → one response, then EOF.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(&client::request_bytes("GET", "/health", false))
+        .unwrap();
+    let resp = client::read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(!resp.keep_alive());
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty());
+
+    // HTTP/1.0 without Connection: keep-alive also closes.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(b"GET /health HTTP/1.0\r\nHost: old\r\n\r\n")
+        .unwrap();
+    let resp = client::read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(!resp.keep_alive());
+    server.shutdown();
+}
+
+#[test]
+fn saturated_solver_pool_backpressures_with_503_but_health_stays_up() {
+    let w = generate(&AmtConfig {
+        n_groups: 40,
+        tasks_per_group: 10,
+        vocab_size: 100,
+        ..Default::default()
+    });
+    let state = Arc::new(PlatformState::new(w.space, w.tasks, 10, 5));
+    let server = Server::spawn_with(
+        "127.0.0.1:0",
+        Arc::clone(&state),
+        ServeOptions {
+            listen_threads: 1,
+            solver_pool: 1,
+            queue_capacity: 1,
+        },
+    )
+    .unwrap();
+    // Register a cohort up front (fast requests, one connection), then
+    // flood solver-bound `/assign` calls from many connections at once:
+    // the single pool worker is busy solving, the queue holds one, and
+    // everything else must bounce with 503.
+    {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        let mut r = BufReader::new(s.try_clone().unwrap());
+        for i in 0..24 {
+            s.write_all(&client::request_bytes(
+                "POST",
+                &format!("/register?keywords=w{i};english"),
+                true,
+            ))
+            .unwrap();
+            assert_eq!(client::read_response(&mut r).unwrap().status, 200);
+        }
+    }
+    for i in 0..24 {
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(&client::request_bytes(
+            "POST",
+            &format!("/assign?worker={i}"),
+            true,
+        ))
+        .unwrap();
+        // Leak the connections on purpose: their responses (200 or 503)
+        // are never read, but the rejection counter tells the story.
+        std::mem::forget(s);
+    }
+    // While the pool is busy, /health must still answer from the reactor.
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    stream
+        .write_all(&client::request_bytes("GET", "/health", true))
+        .unwrap();
+    let resp = client::read_response(&mut reader).unwrap();
+    assert_eq!(resp.status, 200, "inline liveness unaffected by load");
+
+    // Give the flood time to hit the queue bound, then check the counter.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let metrics = server.metrics();
+    while std::time::Instant::now() < deadline
+        && metrics
+            .net
+            .rejected_busy
+            .load(std::sync::atomic::Ordering::Relaxed)
+            == 0
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        metrics
+            .net
+            .rejected_busy
+            .load(std::sync::atomic::Ordering::Relaxed)
+            > 0,
+        "queue bound produced at least one 503"
+    );
+    server.shutdown();
+}
