@@ -5,7 +5,7 @@
 //!             [--conns K] [--duration-secs S] [--mode closed|open]
 //!             [--pipeline D] [--endpoint PATH] [--method M]
 //!             [--listen-threads N] [--solver-pool N]
-//!             [--json PATH] [--fail-on-5xx]
+//!             [--json PATH] [--fail-on-5xx] [--allow-503]
 //! ```
 //!
 //! Drives `K` concurrent keep-alive connections for `S` seconds and reports
@@ -46,6 +46,9 @@ struct LoadReport {
     ok_2xx: u64,
     client_4xx: u64,
     server_5xx: u64,
+    /// `503 Retry-After` backpressure answers, a subset of `server_5xx`
+    /// (expected under deliberate saturation; see `--allow-503`).
+    server_503: u64,
     reconnects: u64,
     io_errors: u64,
     elapsed: Duration,
@@ -58,6 +61,7 @@ impl LoadReport {
         self.ok_2xx += other.ok_2xx;
         self.client_4xx += other.client_4xx;
         self.server_5xx += other.server_5xx;
+        self.server_503 += other.server_503;
         self.reconnects += other.reconnects;
         self.io_errors += other.io_errors;
         self.latencies_us.extend(other.latencies_us);
@@ -85,7 +89,7 @@ impl LoadReport {
         format!(
             concat!(
                 "{{\"requests\":{},\"rps\":{:.1},\"status\":{{\"2xx\":{},",
-                "\"4xx\":{},\"5xx\":{}}},\"reconnects\":{},\"io_errors\":{},",
+                "\"4xx\":{},\"5xx\":{},\"503\":{}}},\"reconnects\":{},\"io_errors\":{},",
                 "\"latency_us\":{{\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}}}}}"
             ),
             self.requests,
@@ -93,6 +97,7 @@ impl LoadReport {
             self.ok_2xx,
             self.client_4xx,
             self.server_5xx,
+            self.server_503,
             self.reconnects,
             self.io_errors,
             self.quantile_us(0.50),
@@ -162,6 +167,10 @@ fn drive_connection(addr: &str, cfg: &LoadConfig, stop: &AtomicBool) -> LoadRepo
                         match resp.status {
                             200..=299 => report.ok_2xx += 1,
                             400..=499 => report.client_4xx += 1,
+                            503 => {
+                                report.server_5xx += 1;
+                                report.server_503 += 1;
+                            }
                             _ => report.server_5xx += 1,
                         }
                         if !resp.keep_alive() {
@@ -229,6 +238,7 @@ fn main() -> io::Result<()> {
     let mut opts = ServeOptions::default();
     let mut json_path = "BENCH_server.json".to_owned();
     let mut fail_on_5xx = false;
+    let mut allow_503 = false;
     let mut cfg = LoadConfig {
         conns: 64,
         duration: Duration::from_secs(5),
@@ -264,6 +274,7 @@ fn main() -> io::Result<()> {
             "--solver-pool" => opts.solver_pool = parse_flag_value(&arg, args.next()),
             "--json" => json_path = parse_flag_value(&arg, args.next()),
             "--fail-on-5xx" => fail_on_5xx = true,
+            "--allow-503" => allow_503 = true,
             other => {
                 eprintln!("error: unknown flag {other}");
                 std::process::exit(2);
@@ -328,7 +339,7 @@ fn main() -> io::Result<()> {
     for (name, report) in &sections {
         println!(
             "{name}: {} requests, {:.1} req/s, p50 {}us p95 {}us p99 {}us max {}us, \
-             {} 5xx, {} reconnects",
+             {} 5xx ({} of them 503), {} reconnects",
             report.requests,
             report.rps(),
             report.quantile_us(0.50),
@@ -336,10 +347,18 @@ fn main() -> io::Result<()> {
             report.quantile_us(0.99),
             report.latencies_us.last().copied().unwrap_or(0),
             report.server_5xx,
+            report.server_503,
             report.reconnects,
         );
         json.push_str(&format!(",\"{name}\":{}", report.to_json()));
-        any_5xx |= report.server_5xx > 0;
+        // `--allow-503` tolerates backpressure answers: saturation and
+        // shedding experiments assert "503s only, no 500s".
+        let hard_5xx = if allow_503 {
+            report.server_5xx - report.server_503
+        } else {
+            report.server_5xx
+        };
+        any_5xx |= hard_5xx > 0;
     }
     if let (Some(r), Some(l)) = (
         sections.iter().find(|(n, _)| n == "reactor"),

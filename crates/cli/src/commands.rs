@@ -79,6 +79,9 @@ pub fn solve(args: &Args) -> CmdResult {
         "candidates",
         "shards",
         "solver-threads",
+        "deadlines",
+        "priority-mix",
+        "reputation",
     ])?;
     let tasks_file = args.require("tasks")?;
     let workers_file = args.require("workers")?;
@@ -92,6 +95,31 @@ pub fn solve(args: &Args) -> CmdResult {
             .parse()
             .map_err(|e: String| -> Box<dyn Error> { e.into() })?,
         None => CandidateMode::Full,
+    };
+    let deadlines: f64 = args.get_or("deadlines", 0.0)?;
+    if !deadlines.is_finite() || deadlines < 0.0 {
+        return Err(format!(
+            "--deadlines must be a non-negative number of minutes, got {deadlines}"
+        )
+        .into());
+    }
+    let priority_mix = match args.get("priority-mix") {
+        Some(s) => Some(
+            hta_life::PriorityMix::parse(s).map_err(|e: String| -> Box<dyn Error> { e.into() })?,
+        ),
+        None => None,
+    };
+    let reputation = match args.get("reputation") {
+        Some(s) => {
+            let score: f64 = s
+                .parse()
+                .map_err(|_| format!("--reputation must be a score in 0..=1, got '{s}'"))?;
+            if !(0.0..=1.0).contains(&score) {
+                return Err(format!("--reputation must be a score in 0..=1, got {score}").into());
+            }
+            Some(score)
+        }
+        None => None,
     };
 
     let (mut space, task_pool) = export::tasks_from_csv(&std::fs::read_to_string(tasks_file)?)?;
@@ -112,7 +140,19 @@ pub fn solve(args: &Args) -> CmdResult {
             Task::new(t.id, t.group, kw).with_reward_cents(t.reward_cents)
         })
         .collect();
-    let workers: Vec<Worker> = worker_pool.workers().to_vec();
+    let mut workers: Vec<Worker> = worker_pool.workers().to_vec();
+    // A uniform reputation score scales Eq. 3's relevance weight exactly
+    // like the marketplace layer does per worker: β ← β · 2·pool_score,
+    // neutral at 0.5 (see hta_life::Reputation::beta_scale).
+    if let Some(score) = reputation {
+        for w in &mut workers {
+            w.weights = w.weights.scale_beta(2.0 * score);
+        }
+        println!(
+            "reputation {score}: relevance weight scaled by {:.3}",
+            2.0 * score
+        );
+    }
 
     // `--solver-threads 0` defers to `HTA_SOLVER_THREADS`, then hardware;
     // the pipeline's output is byte-identical at any thread count.
@@ -176,12 +216,43 @@ pub fn solve(args: &Args) -> CmdResult {
         ids.sort_unstable();
         println!("  worker {q}: {ids:?}");
     }
-
-    if let Some(path) = args.get("out") {
-        let mut csv = String::from("worker_id,task_id\n");
+    if let Some(mix) = &priority_mix {
+        // Tiers are a deterministic hash of the catalog index, so they are
+        // stable across runs and candidate modes.
+        let mut counts = [0usize; 4];
         for q in 0..inst.n_workers() {
             for &t in out.assignment.tasks_of(q) {
-                csv.push_str(&format!("{q},{}\n", global(t)));
+                counts[mix.pick(global(t)).rank() as usize] += 1;
+            }
+        }
+        println!(
+            "priorities: low={} normal={} high={} critical={}",
+            counts[0], counts[1], counts[2], counts[3]
+        );
+    }
+    if deadlines > 0.0 {
+        println!("deadlines: {deadlines} minutes per assigned task");
+    }
+
+    if let Some(path) = args.get("out") {
+        let mut header = String::from("worker_id,task_id");
+        if priority_mix.is_some() {
+            header.push_str(",priority");
+        }
+        if deadlines > 0.0 {
+            header.push_str(",deadline_minutes");
+        }
+        let mut csv = header + "\n";
+        for q in 0..inst.n_workers() {
+            for &t in out.assignment.tasks_of(q) {
+                csv.push_str(&format!("{q},{}", global(t)));
+                if let Some(mix) = &priority_mix {
+                    csv.push_str(&format!(",{}", mix.pick(global(t)).label()));
+                }
+                if deadlines > 0.0 {
+                    csv.push_str(&format!(",{deadlines}"));
+                }
+                csv.push('\n');
             }
         }
         std::fs::write(path, csv)?;
@@ -249,7 +320,8 @@ pub fn analyze(args: &Args) -> CmdResult {
 /// One-line reproducibility header: the *effective* values of everything
 /// the simulation's determinism depends on (auto knobs resolved to what
 /// they actually ran with), so a result can be reproduced from its log.
-fn print_repro_header(cfg: &hta_crowd::OnlineConfig) {
+/// `label` names the command that emitted it (`simulate` or `resume`).
+fn print_repro_header(label: &str, cfg: &hta_crowd::OnlineConfig) {
     let fmt_auto = |requested: usize, effective: usize| {
         if requested == 0 {
             format!("{effective}(auto)")
@@ -257,8 +329,8 @@ fn print_repro_header(cfg: &hta_crowd::OnlineConfig) {
             format!("{requested}")
         }
     };
-    println!(
-        "# simulate: seed={:#x} catalog={} sessions={} cohort={} index-shards={} solver-threads={} candidates={}",
+    let mut line = format!(
+        "# {label}: seed={:#x} catalog={} sessions={} cohort={} index-shards={} solver-threads={} candidates={}",
         cfg.seed,
         cfg.catalog.n_tasks,
         cfg.sessions_per_strategy,
@@ -270,6 +342,20 @@ fn print_repro_header(cfg: &hta_crowd::OnlineConfig) {
         ),
         cfg.platform.candidates,
     );
+    if cfg.platform.lifecycle {
+        let m = cfg.platform.priority_mix.weights();
+        line.push_str(&format!(
+            " lifecycle=on deadlines={} priority-mix={},{},{},{} max-retries={} reputation={}",
+            cfg.platform.deadline_minutes,
+            m[0],
+            m[1],
+            m[2],
+            m[3],
+            cfg.platform.max_retries,
+            if cfg.platform.reputation { "on" } else { "off" },
+        ));
+    }
+    println!("{line}");
 }
 
 fn print_results_table(results: &hta_crowd::OnlineResults) {
@@ -343,6 +429,10 @@ pub fn simulate(args: &Args) -> CmdResult {
         "checkpoint-dir",
         "checkpoint-keep",
         "halt-after",
+        "deadlines",
+        "priority-mix",
+        "reputation",
+        "edge-cache-cap",
     ])?;
     let sessions: usize = args.get_or("sessions", 8)?;
     let catalog: usize = args.get_or("catalog", 2000)?;
@@ -355,6 +445,26 @@ pub fn simulate(args: &Args) -> CmdResult {
             .map_err(|e: String| -> Box<dyn Error> { e.into() })?,
         None => CandidateMode::Full,
     };
+    let deadlines: f64 = args.get_or("deadlines", 0.0)?;
+    if !deadlines.is_finite() || deadlines < 0.0 {
+        return Err(format!(
+            "--deadlines must be a non-negative number of minutes, got {deadlines}"
+        )
+        .into());
+    }
+    let priority_mix = match args.get("priority-mix") {
+        Some(s) => Some(
+            hta_life::PriorityMix::parse(s).map_err(|e: String| -> Box<dyn Error> { e.into() })?,
+        ),
+        None => None,
+    };
+    let reputation = match args.get("reputation") {
+        None => None,
+        Some("on") => Some(true),
+        Some("off") => Some(false),
+        Some(other) => return Err(format!("--reputation must be on or off, got '{other}'").into()),
+    };
+    let edge_cache_cap: usize = args.get_or("edge-cache-cap", 0)?;
     let control = run_control(args)?;
 
     let mut cfg = hta_crowd::OnlineConfig {
@@ -369,7 +479,20 @@ pub fn simulate(args: &Args) -> CmdResult {
     cfg.platform.candidates = candidates;
     cfg.platform.index_shards = shards;
     cfg.platform.solver_threads = solver_threads;
-    print_repro_header(&cfg);
+    cfg.platform.edge_cache_cap = edge_cache_cap;
+    // Any lifecycle knob switches the marketplace layer on; `--reputation`
+    // additionally needs the lifecycle ledger, which scores completions.
+    if deadlines > 0.0 || priority_mix.is_some() || reputation == Some(true) {
+        cfg.platform.lifecycle = true;
+    }
+    if deadlines > 0.0 {
+        cfg.platform.deadline_minutes = deadlines;
+    }
+    if let Some(mix) = priority_mix {
+        cfg.platform.priority_mix = mix;
+    }
+    cfg.platform.reputation = reputation == Some(true);
+    print_repro_header("simulate", &cfg);
     report_outcome(hta_crowd::run_with(&cfg, None, &control)?);
     Ok(())
 }
@@ -410,7 +533,7 @@ pub fn resume(args: &Args) -> CmdResult {
         loaded.progress.current_records.len(),
         loaded.config.sessions_per_strategy,
     );
-    print_repro_header(&loaded.config);
+    print_repro_header("resume", &loaded.config);
     report_outcome(hta_crowd::run_with(
         &loaded.config,
         Some(loaded.progress),
@@ -646,6 +769,98 @@ mod tests {
         assert!(err.to_string().contains("--checkpoint-dir"), "{err}");
         let err = simulate(&args(&["simulate", "--checkpoint-dir", "/tmp/x"])).unwrap_err();
         assert!(err.to_string().contains("--checkpoint-every"), "{err}");
+    }
+
+    #[test]
+    fn lifecycle_flags_are_validated() {
+        let err = simulate(&args(&["simulate", "--reputation", "maybe"])).unwrap_err();
+        assert!(err.to_string().contains("on or off"), "{err}");
+        assert!(simulate(&args(&["simulate", "--deadlines", "-1"])).is_err());
+        assert!(simulate(&args(&["simulate", "--priority-mix", "1,2"])).is_err());
+    }
+
+    #[test]
+    fn simulate_with_lifecycle_knobs_runs() {
+        simulate(&args(&[
+            "simulate",
+            "--sessions",
+            "1",
+            "--catalog",
+            "200",
+            "--deadlines",
+            "2.5",
+            "--priority-mix",
+            "1,2,1,0.5",
+            "--reputation",
+            "on",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn solve_lifecycle_trio_annotates_output() {
+        let dir = std::env::temp_dir().join("hta-cli-test-life");
+        std::fs::create_dir_all(&dir).unwrap();
+        let tasks = dir.join("tasks.csv");
+        let workers_f = dir.join("workers.csv");
+        let assignment = dir.join("assignment.csv");
+        let t = tasks.to_str().unwrap();
+        let w = workers_f.to_str().unwrap();
+        let a = assignment.to_str().unwrap();
+        generate(&args(&[
+            "generate", "--tasks", "40", "--groups", "8", "--out", t,
+        ]))
+        .unwrap();
+        workers(&args(&[
+            "workers", "--count", "2", "--tasks", t, "--out", w,
+        ]))
+        .unwrap();
+        solve(&args(&[
+            "solve",
+            "--tasks",
+            t,
+            "--workers",
+            w,
+            "--xmax",
+            "4",
+            "--reputation",
+            "0.9",
+            "--priority-mix",
+            "1,2,1,0.5",
+            "--deadlines",
+            "3",
+            "--out",
+            a,
+        ]))
+        .unwrap();
+        let csv = std::fs::read_to_string(&assignment).unwrap();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "worker_id,task_id,priority,deadline_minutes"
+        );
+        for line in lines {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 4, "{line}");
+            assert!(
+                ["low", "normal", "high", "critical"].contains(&cols[2]),
+                "{line}"
+            );
+            assert_eq!(cols[3], "3");
+        }
+
+        let err = solve(&args(&[
+            "solve",
+            "--tasks",
+            t,
+            "--workers",
+            w,
+            "--reputation",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("0..=1"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -55,6 +55,26 @@ where
     mix(h, count)
 }
 
+/// Default largest catalog for which callers cache the full sorted
+/// diversity edge list (a dense 4096-task catalog tops out around 8M edges
+/// ≈ 200 MB; paper-scale 10k catalogs would triple that).
+pub const DEFAULT_EDGE_CACHE_TASKS: usize = 4096;
+
+/// Resolve the edge-cache catalog cap: an explicit request wins, otherwise
+/// the `HTA_EDGE_CACHE_CAP` environment variable, otherwise
+/// [`DEFAULT_EDGE_CACHE_TASKS`]. Mirrors `hta_par::solver_threads` /
+/// `hta_index::default_shards` so every sizing knob resolves the same way.
+pub fn edge_cache_cap(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::env::var("HTA_EDGE_CACHE_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(DEFAULT_EDGE_CACHE_TASKS)
+}
+
 /// Cap on the up-front edge reservation. The old
 /// `Vec::with_capacity(n·(n−1)/2)` pre-allocation reserved ~800 MB for a
 /// 10k-task catalog before a single edge existed; reserving at most this
@@ -329,6 +349,23 @@ mod tests {
             .map(|t| KeywordVec::from_indices(64, &t.keywords.iter_ones().collect::<Vec<_>>()))
             .collect();
         assert!(!cache.valid_for(widened.iter()));
+    }
+
+    #[test]
+    fn edge_cache_cap_resolution_order() {
+        // Explicit request wins outright (env-independent).
+        assert_eq!(edge_cache_cap(123), 123);
+        // Auto falls back to the env var or the built-in default. The env
+        // var may be set by the test harness, so just pin the invariant.
+        let auto = edge_cache_cap(0);
+        match std::env::var("HTA_EDGE_CACHE_CAP")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+        {
+            Some(v) => assert_eq!(auto, v),
+            None => assert_eq!(auto, DEFAULT_EDGE_CACHE_TASKS),
+        }
     }
 
     #[test]

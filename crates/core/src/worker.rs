@@ -90,6 +90,23 @@ impl Weights {
     pub fn beta(&self) -> f64 {
         self.beta
     }
+
+    /// Scale the relevance term by `factor`, clamping `β` back into
+    /// `[0, 1]` and leaving `α` untouched. This is the hook the reputation
+    /// layer uses: a proven worker (`factor > 1`) gets more relevance
+    /// weight in Eq. 3, an unproven one (`factor < 1`) less. The result is
+    /// in general non-simplex, which the objective and all solvers accept
+    /// (see [`Weights::raw`]).
+    ///
+    /// # Panics
+    /// Panics unless `factor` is finite and non-negative.
+    pub fn scale_beta(&self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "beta scale factor must be finite and >= 0, got {factor}"
+        );
+        Self::raw(self.alpha, (self.beta * factor).clamp(0.0, 1.0))
+    }
 }
 
 impl Default for Weights {
@@ -211,6 +228,25 @@ mod tests {
         assert_eq!(Weights::diversity_only().alpha(), 1.0);
         assert_eq!(Weights::relevance_only().beta(), 1.0);
         assert_eq!(Weights::from_alpha(0.3).beta(), 0.7);
+    }
+
+    #[test]
+    fn scale_beta_clamps_and_preserves_alpha() {
+        let w = Weights::new(0.4, 0.6);
+        let up = w.scale_beta(1.5);
+        assert_eq!(up.alpha(), 0.4);
+        assert!((up.beta() - 0.9).abs() < 1e-12);
+        let down = w.scale_beta(0.5);
+        assert!((down.beta() - 0.3).abs() < 1e-12);
+        assert_eq!(w.scale_beta(1.0), w, "factor 1 is a no-op");
+        assert_eq!(w.scale_beta(10.0).beta(), 1.0, "clamped at 1");
+        assert_eq!(w.scale_beta(0.0).beta(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scale_beta_rejects_nan() {
+        let _ = Weights::balanced().scale_beta(f64::NAN);
     }
 
     #[test]

@@ -296,7 +296,7 @@ pub fn run_with(
         // is restored from the checkpoint.
         let (mut platform, mut rng, mut records, mut next_worker) = match pending.take() {
             Some(p) => (
-                Platform::resume(&catalog, cfg.platform.clone(), p.available, p.index)
+                Platform::resume(&catalog, cfg.platform.clone(), p.available, p.index, p.life)
                     .map_err(RunError::Resume)?,
                 StdRng::from_state(p.rng_state),
                 p.current_records,
@@ -353,6 +353,7 @@ pub fn run_with(
                     next_worker,
                     available: platform.availability().to_vec(),
                     index: platform.index().clone(),
+                    life: platform.life().cloned(),
                     rng_state: rng.state(),
                 };
                 last_snapshot = Some(write_checkpoint(policy, cfg, &progress)?);

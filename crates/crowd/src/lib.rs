@@ -38,7 +38,9 @@ pub use experiment::{
     RunError, RunOutcome, StrategyResults,
 };
 pub use metrics::{StrategySummary, TimeSeries};
-pub use platform::{CompletionRecord, EndReason, Platform, PlatformConfig, SessionRecord};
+pub use platform::{
+    CompletionRecord, EndReason, LifeState, Platform, PlatformConfig, SessionRecord,
+};
 pub use population::{LiveWorker, PopulationConfig};
 pub use report::markdown as report_markdown;
 pub use snapshot::{load_run, save_run, CompletedArm, RunProgress, RunSnapshot, RunSnapshotError};

@@ -37,7 +37,7 @@ use hta_snapshot::{Snapshot, SnapshotBuilder, SnapshotError};
 
 use crate::behavior::BehaviorConfig;
 use crate::experiment::OnlineConfig;
-use crate::platform::{CompletionRecord, EndReason, PlatformConfig, SessionRecord};
+use crate::platform::{CompletionRecord, EndReason, LifeState, PlatformConfig, SessionRecord};
 use crate::population::PopulationConfig;
 use crate::strategies::Strategy;
 
@@ -51,6 +51,7 @@ const SECTION_CONFIG: &str = "config";
 const SECTION_PROGRESS: &str = "progress";
 const SECTION_PLATFORM: &str = "platform";
 const SECTION_INDEX: &str = "index";
+const SECTION_LIFE: &str = "life";
 const SECTION_RNG: &str = "rng";
 
 /// One finished strategy arm as stored in a snapshot: its session records
@@ -81,6 +82,9 @@ pub struct RunProgress {
     pub available: Vec<bool>,
     /// The platform's keyword index, posting-list order preserved.
     pub index: ShardedIndex,
+    /// The platform's lifecycle + reputation state (`Some` iff the config
+    /// enables [`PlatformConfig::lifecycle`]).
+    pub life: Option<LifeState>,
     /// The in-progress arm's RNG stream position.
     pub rng_state: [u64; 4],
 }
@@ -326,6 +330,13 @@ impl StateSerialize for PlatformConfig {
         self.reuse_edges.write_state(out);
         self.adaptive_sharpening.write_state(out);
         self.behavior.write_state(out);
+        self.lifecycle.write_state(out);
+        self.deadline_minutes.write_state(out);
+        self.priority_mix.write_state(out);
+        self.max_retries.write_state(out);
+        self.pass_threshold.write_state(out);
+        self.reputation.write_state(out);
+        self.edge_cache_cap.write_state(out);
     }
 
     fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
@@ -343,6 +354,13 @@ impl StateSerialize for PlatformConfig {
             reuse_edges: bool::read_state(r)?,
             adaptive_sharpening: f64::read_state(r)?,
             behavior: BehaviorConfig::read_state(r)?,
+            lifecycle: bool::read_state(r)?,
+            deadline_minutes: f64::read_state(r)?,
+            priority_mix: hta_life::PriorityMix::read_state(r)?,
+            max_retries: u32::read_state(r)?,
+            pass_threshold: f64::read_state(r)?,
+            reputation: bool::read_state(r)?,
+            edge_cache_cap: usize::read_state(r)?,
         };
         if cfg.xmax == 0 {
             return Err(StateDecodeError::Invalid("xmax must be >= 1".into()));
@@ -351,6 +369,18 @@ impl StateSerialize for PlatformConfig {
             return Err(StateDecodeError::Invalid(format!(
                 "session_minutes {} is not a positive finite duration",
                 cfg.session_minutes
+            )));
+        }
+        if !cfg.deadline_minutes.is_finite() || cfg.deadline_minutes < 0.0 {
+            return Err(StateDecodeError::Invalid(format!(
+                "deadline_minutes {} is not a non-negative finite duration",
+                cfg.deadline_minutes
+            )));
+        }
+        if !cfg.pass_threshold.is_finite() || cfg.pass_threshold < 0.0 {
+            return Err(StateDecodeError::Invalid(format!(
+                "pass_threshold {} is not a non-negative finite fraction",
+                cfg.pass_threshold
             )));
         }
         Ok(cfg)
@@ -410,6 +440,20 @@ impl StateSerialize for OnlineConfig {
             ));
         }
         Ok(cfg)
+    }
+}
+
+impl StateSerialize for LifeState {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.book.write_state(out);
+        self.reputations.write_state(out);
+    }
+
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        Ok(Self {
+            book: hta_life::LifecycleBook::read_state(r)?,
+            reputations: Vec::read_state(r)?,
+        })
     }
 }
 
@@ -511,6 +555,7 @@ pub fn run_snapshot_bytes(config: &OnlineConfig, progress: &RunProgress) -> Vec<
         .section(SECTION_PROGRESS, encode(&progress_section))
         .section(SECTION_PLATFORM, encode(&progress.available))
         .section(SECTION_INDEX, encode(&progress.index))
+        .section(SECTION_LIFE, encode(&progress.life))
         .section(SECTION_RNG, encode(&RngSection(progress.rng_state)))
         .to_bytes()
 }
@@ -533,6 +578,7 @@ pub fn save_run(
         .section(SECTION_PROGRESS, encode(&progress_section))
         .section(SECTION_PLATFORM, encode(&progress.available))
         .section(SECTION_INDEX, encode(&progress.index))
+        .section(SECTION_LIFE, encode(&progress.life))
         .section(SECTION_RNG, encode(&RngSection(progress.rng_state)))
         .write_atomic(path)?;
     Ok(())
@@ -568,6 +614,7 @@ fn run_snapshot_from_container(snap: &Snapshot) -> Result<RunSnapshot, RunSnapsh
     let progress: ProgressSection = decode_section(snap, SECTION_PROGRESS)?;
     let available: Vec<bool> = decode_section(snap, SECTION_PLATFORM)?;
     let index: ShardedIndex = decode_section(snap, SECTION_INDEX)?;
+    let life: Option<LifeState> = decode_section(snap, SECTION_LIFE)?;
     let rng: RngSection = decode_section(snap, SECTION_RNG)?;
 
     // Cross-section invariants. Every failure leaves no partially-restored
@@ -611,6 +658,38 @@ fn run_snapshot_from_container(snap: &Snapshot) -> Result<RunSnapshot, RunSnapsh
             config.sessions_per_strategy
         )));
     }
+    if life.is_some() != config.platform.lifecycle {
+        return Err(RunSnapshotError::Invalid(format!(
+            "lifecycle state is {} but the config has lifecycle {}",
+            if life.is_some() { "present" } else { "absent" },
+            if config.platform.lifecycle {
+                "on"
+            } else {
+                "off"
+            },
+        )));
+    }
+    if let Some(l) = &life {
+        if l.book.len() != available.len() {
+            return Err(RunSnapshotError::Invalid(format!(
+                "lifecycle book covers {} tasks, availability vector has {}",
+                l.book.len(),
+                available.len()
+            )));
+        }
+        // Snapshots are taken at cohort boundaries, where the open pool
+        // and the Pending set coincide exactly.
+        for (i, &open) in available.iter().enumerate() {
+            let pending = l.book.get(i).state() == hta_life::TaskState::Pending;
+            if open != pending {
+                return Err(RunSnapshotError::Invalid(format!(
+                    "task {i} is {} but its lifecycle state is {}",
+                    if open { "open" } else { "closed" },
+                    l.book.get(i).state()
+                )));
+            }
+        }
+    }
 
     Ok(RunSnapshot {
         config,
@@ -621,6 +700,7 @@ fn run_snapshot_from_container(snap: &Snapshot) -> Result<RunSnapshot, RunSnapsh
             next_worker: progress.next_worker,
             available,
             index,
+            life,
             rng_state: rng.0,
         },
     })
@@ -681,6 +761,7 @@ mod tests {
             next_worker: 3,
             available,
             index,
+            life: None,
             rng_state: [1, 2, 3, 4],
         };
         (config, progress)
@@ -723,6 +804,51 @@ mod tests {
         let open: Vec<u32> = back.progress.index.open_tasks().collect();
         let expect: Vec<u32> = progress.index.open_tasks().collect();
         assert_eq!(open, expect);
+    }
+
+    #[test]
+    fn lifecycle_state_round_trips_and_is_cross_checked() {
+        use hta_life::{LifecycleBook, PriorityMix, Reputation};
+        let (mut config, mut progress) = sample_progress();
+        config.platform.lifecycle = true;
+        config.platform.reputation = true;
+        let mut book = LifecycleBook::new(8, &PriorityMix::default(), 2);
+        // Close task 3 in the book too: drive it to a terminal state so the
+        // open ⟺ Pending invariant holds.
+        book.assign(3, 0.0, None).unwrap();
+        book.start(3).unwrap();
+        book.submit(3).unwrap();
+        book.verify(3, true).unwrap();
+        let mut rep = Reputation::new();
+        rep.observe(true);
+        progress.life = Some(LifeState {
+            book,
+            reputations: vec![rep],
+        });
+
+        let bytes = run_snapshot_bytes(&config, &progress);
+        let back = run_snapshot_from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.progress.life, progress.life);
+        // Re-encoding lands on the same bytes (resume identity).
+        assert_eq!(run_snapshot_bytes(&back.config, &back.progress), bytes);
+
+        // Lifecycle state without the config flag is rejected…
+        config.platform.lifecycle = false;
+        let err = run_snapshot_from_bytes(&run_snapshot_bytes(&config, &progress)).unwrap_err();
+        assert!(matches!(err, RunSnapshotError::Invalid(_)), "{err}");
+        config.platform.lifecycle = true;
+
+        // …as is a book that disagrees with the availability vector (task 0
+        // is open but the book holds it in-flight).
+        progress
+            .life
+            .as_mut()
+            .unwrap()
+            .book
+            .assign(0, 0.0, None)
+            .unwrap();
+        let err = run_snapshot_from_bytes(&run_snapshot_bytes(&config, &progress)).unwrap_err();
+        assert!(matches!(err, RunSnapshotError::Invalid(_)), "{err}");
     }
 
     #[test]

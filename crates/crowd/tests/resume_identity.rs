@@ -161,6 +161,20 @@ fn run_interrupted(cfg: &OnlineConfig, halt_after: usize) -> OnlineResults {
     }
 }
 
+/// `config`, with the full lifecycle layer switched on: deadlines, a mixed
+/// priority spread, bounded retries, a strict verification bar (so requeues
+/// actually happen), and reputation-scaled weights.
+fn lifecycle_config(seed: u64) -> OnlineConfig {
+    let mut cfg = config(2, 2, seed);
+    cfg.platform.lifecycle = true;
+    cfg.platform.deadline_minutes = 2.5;
+    cfg.platform.priority_mix = hta_life::PriorityMix::parse("1,2,1,0.5").unwrap();
+    cfg.platform.max_retries = 1;
+    cfg.platform.pass_threshold = 1.05;
+    cfg.platform.reputation = true;
+    cfg
+}
+
 /// The fixed grid the PR's acceptance criteria name: 1/2/7 index shards ×
 /// 1/2/7 solver threads, interrupted mid-run.
 #[test]
@@ -271,6 +285,38 @@ proptest! {
         let resumed = run_interrupted(&cfg, halt_after);
         let ctx = format!("shards={shards} threads={threads} halt={halt_after} seed={seed}");
         assert_results_identical(&uninterrupted, &resumed, &ctx);
+    }
+
+    /// With the lifecycle + reputation layer on, the same identity holds —
+    /// the state machine ledger, deadlines, retry counters, and reputation
+    /// EWMAs all checkpoint and resume bit-for-bit, across halt points.
+    #[test]
+    fn lifecycle_runs_resume_byte_identical(halt_after in 1usize..8, seed in 0u64..512) {
+        let cfg = lifecycle_config(seed);
+        let uninterrupted = run(&cfg);
+        let resumed = run_interrupted(&cfg, halt_after);
+        let ctx = format!("lifecycle halt={halt_after} seed={seed}");
+        assert_results_identical(&uninterrupted, &resumed, &ctx);
+    }
+
+    /// Lifecycle snapshot sections round-trip to the same bytes mid-run.
+    #[test]
+    fn lifecycle_snapshot_bytes_round_trip(halt_after in 1usize..8, seed in 0u64..512) {
+        let cfg = lifecycle_config(seed);
+        let dir = scratch_dir();
+        let control = RunControl {
+            checkpoint: Some(CheckpointPolicy { every_cohorts: 1, dir: dir.clone(), keep: 0 }),
+            halt_after_cohorts: Some(halt_after),
+        };
+        run_with(&cfg, None, &control).expect("halted run");
+        let path = list_checkpoints(&dir).pop().expect("checkpoint");
+        let loaded = load_run(&path).expect("load");
+        prop_assert!(loaded.progress.life.is_some(), "lifecycle section missing");
+        let bytes = run_snapshot_bytes(&loaded.config, &loaded.progress);
+        let again = run_snapshot_from_bytes(&bytes).expect("re-encode round trip");
+        prop_assert_eq!(&again.progress.life, &loaded.progress.life);
+        prop_assert_eq!(run_snapshot_bytes(&again.config, &again.progress), bytes);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// Snapshot encoding itself round-trips over runs with arbitrary

@@ -17,6 +17,9 @@
 //! chosen keywords, random `(α, β)`) and the richer live-worker profiles
 //! used by `hta-crowd`'s behaviour model.
 //!
+//! [`quality`] grades completed work: the deterministic pass/fail verdict
+//! the lifecycle layer (`hta-life`) uses for verification and requeueing.
+//!
 //! All generators are deterministic given a seed.
 
 #![warn(missing_docs)]
@@ -24,11 +27,13 @@
 pub mod amt;
 pub mod crowdflower;
 pub mod export;
+pub mod quality;
 pub mod vocab;
 pub mod workers;
 pub mod zipf;
 
 pub use amt::{AmtConfig, AmtWorkload};
 pub use crowdflower::{CrowdflowerCatalog, CrowdflowerConfig, MicroTask, Question, TaskKind};
+pub use quality::QualityModel;
 pub use workers::{SyntheticWorkerConfig, WeightModel};
 pub use zipf::Zipf;

@@ -1,0 +1,116 @@
+//! The answer-quality model: deciding whether a completed micro-task
+//! passes verification.
+//!
+//! CrowdFlower-style platforms grade submitted work against gold questions
+//! and accept it when the worker clears a kind-relative bar. This model is
+//! deliberately **deterministic**: the verdict is a pure function of the
+//! ground-truth outcome the behaviour model already produced (questions
+//! answered, questions correct) — no extra random draws — so enabling the
+//! lifecycle layer never perturbs the calibrated RNG streams, and a
+//! checkpointed run replays bit-for-bit.
+
+use crate::crowdflower::KINDS;
+
+/// Grades completions: pass when the observed accuracy reaches
+/// `pass_threshold` × the task kind's base accuracy.
+///
+/// Kinds differ widely in how hard they are (base accuracy 64–86% across
+/// the 22 CrowdFlower kinds), so a fixed absolute bar would reject nearly
+/// everything on hard kinds and nothing on easy ones. Grading *relative to
+/// the kind* keeps the rejection pressure comparable across the catalog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityModel {
+    /// Fraction of the kind's base accuracy a submission must reach to
+    /// pass verification. `0` accepts everything; values near `1` reject
+    /// below-average work for the kind.
+    pub pass_threshold: f64,
+}
+
+impl Default for QualityModel {
+    /// Pass at ≥ 90% of the kind's expected accuracy — lenient enough that
+    /// ordinary skilled work passes, strict enough that bored or
+    /// out-of-depth work gets requeued.
+    fn default() -> Self {
+        Self {
+            pass_threshold: 0.9,
+        }
+    }
+}
+
+impl QualityModel {
+    /// A model with an explicit threshold.
+    ///
+    /// # Panics
+    /// Panics unless `pass_threshold` is finite and non-negative.
+    pub fn new(pass_threshold: f64) -> Self {
+        assert!(
+            pass_threshold.is_finite() && pass_threshold >= 0.0,
+            "pass threshold must be finite and >= 0, got {pass_threshold}"
+        );
+        Self { pass_threshold }
+    }
+
+    /// The absolute accuracy bar for a task kind (index into
+    /// [`KINDS`]; out-of-range kinds use the catalog-mean base accuracy).
+    pub fn bar_for_kind(&self, kind: usize) -> f64 {
+        let base_pct = KINDS
+            .get(kind)
+            .map(|k| k.base_accuracy_pct)
+            .unwrap_or_else(|| {
+                KINDS.iter().map(|k| k.base_accuracy_pct).sum::<u32>() / KINDS.len() as u32
+            });
+        self.pass_threshold * (base_pct as f64 / 100.0)
+    }
+
+    /// The verdict for a completion: did `correct` out of `questions`
+    /// clear the kind's bar? Completions with no gold questions pass (there
+    /// is nothing to grade against).
+    pub fn passes(&self, kind: usize, questions: u32, correct: u32) -> bool {
+        if questions == 0 {
+            return true;
+        }
+        correct as f64 / questions as f64 >= self.bar_for_kind(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bar_tracks_kind_difficulty() {
+        let q = QualityModel::default();
+        // Kind 0 has base accuracy 82%: the bar is 0.9 * 0.82 = 0.738.
+        assert!((q.bar_for_kind(0) - 0.738).abs() < 1e-12);
+        assert!(q.passes(0, 10, 8));
+        assert!(!q.passes(0, 10, 7));
+        // A harder kind (base 64%) grades the same raw score differently.
+        let hard = KINDS
+            .iter()
+            .position(|k| k.base_accuracy_pct == 64)
+            .unwrap();
+        assert!(q.passes(hard, 10, 6));
+    }
+
+    #[test]
+    fn edge_cases() {
+        let q = QualityModel::default();
+        assert!(q.passes(0, 0, 0), "nothing to grade passes");
+        assert!(
+            QualityModel::new(0.0).passes(0, 10, 0),
+            "zero bar passes all"
+        );
+        // Out-of-range kind falls back to the mean bar, not a panic.
+        assert!(q.passes(usize::MAX, 10, 9));
+        // Determinism: same inputs, same verdict.
+        for _ in 0..3 {
+            assert_eq!(q.passes(3, 7, 5), q.passes(3, 7, 5));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_threshold_rejected() {
+        let _ = QualityModel::new(f64::NAN);
+    }
+}

@@ -1,0 +1,39 @@
+//! # hta-life — task lifecycle, priority tiers, and worker reputation
+//!
+//! The paper's platform model assumes every assigned task is completed
+//! instantly and perfectly. Real crowdsourcing markets are messier: answers
+//! fail verification, workers abandon tasks, deadlines pass, and platforms
+//! rank workers by track record (the quality-control mechanisms catalogued
+//! by Hettiachchi et al.'s survey). This crate adds that marketplace layer
+//! as a standalone, std-only subsystem the simulator and the serving stack
+//! share:
+//!
+//! * [`TaskPriority`] / [`PriorityMix`] — four priority tiers and a
+//!   deterministic (seed-free) assignment of tiers to a task catalog, so
+//!   enabling priorities never perturbs existing RNG streams.
+//! * [`TaskState`] / [`TaskLife`] — the per-task state machine
+//!   `Pending → Assigned → Computing → Verifying → Completed/Failed/Expired`
+//!   with per-task deadlines and bounded-retry requeue paths for both
+//!   timeouts and rejected answers.
+//! * [`LifecycleBook`] — the catalog-wide ledger of task lives plus the
+//!   requeue/terminal counters the simulator reports.
+//! * [`Reputation`] — an EWMA over verification outcomes with a
+//!   confidence-shrunk composite score (the `PoolScore` idiom from compute
+//!   marketplaces) that scales the relevance term of Eq. 3 via
+//!   [`hta_core::Weights::scale_beta`].
+//!
+//! Everything implements [`hta_core::StateSerialize`], so lifecycle and
+//! reputation state ride in checkpoints and `--restore` stays
+//! byte-identical.
+
+#![warn(missing_docs)]
+
+pub mod priority;
+pub mod reputation;
+pub mod task;
+
+mod serial;
+
+pub use priority::{PriorityMix, TaskPriority};
+pub use reputation::Reputation;
+pub use task::{LifeOutcome, LifeSummary, LifecycleBook, LifecycleError, TaskLife, TaskState};

@@ -1,0 +1,211 @@
+//! Priority tiers and the deterministic tier mix.
+//!
+//! Tiers are assigned to tasks by hashing the task index against a
+//! cumulative distribution — deliberately *not* by drawing from the run's
+//! RNG, so switching priorities on (or changing the mix) never shifts the
+//! random streams that drive the behaviour model. That is what lets the
+//! lifecycle layer default off with zero behavioural footprint.
+
+use std::fmt;
+
+/// Scheduling tier of a task. Higher tiers are served first and shed last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaskPriority {
+    /// Best-effort work: first to be shed under load.
+    Low,
+    /// The default tier.
+    Normal,
+    /// Latency-sensitive work.
+    High,
+    /// Never shed until the queue is completely full.
+    Critical,
+}
+
+impl TaskPriority {
+    /// All tiers, lowest first.
+    pub const ALL: [TaskPriority; 4] = [
+        TaskPriority::Low,
+        TaskPriority::Normal,
+        TaskPriority::High,
+        TaskPriority::Critical,
+    ];
+
+    /// Dense rank, `0` (Low) through `3` (Critical).
+    #[inline]
+    pub fn rank(self) -> u8 {
+        match self {
+            TaskPriority::Low => 0,
+            TaskPriority::Normal => 1,
+            TaskPriority::High => 2,
+            TaskPriority::Critical => 3,
+        }
+    }
+
+    /// Inverse of [`rank`](Self::rank).
+    pub fn from_rank(rank: u8) -> Option<Self> {
+        Self::ALL.get(rank as usize).copied()
+    }
+
+    /// Parse a lowercase tier name (`low`/`normal`/`high`/`critical`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "low" => Some(TaskPriority::Low),
+            "normal" => Some(TaskPriority::Normal),
+            "high" => Some(TaskPriority::High),
+            "critical" => Some(TaskPriority::Critical),
+            _ => None,
+        }
+    }
+
+    /// The lowercase tier name.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskPriority::Low => "low",
+            TaskPriority::Normal => "normal",
+            TaskPriority::High => "high",
+            TaskPriority::Critical => "critical",
+        }
+    }
+}
+
+impl fmt::Display for TaskPriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Relative tier weights `(low, normal, high, critical)`; any non-negative
+/// values with a positive sum. [`pick`](Self::pick) maps task indices onto
+/// tiers in these proportions, deterministically.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityMix {
+    weights: [f64; 4],
+}
+
+impl Default for PriorityMix {
+    /// Everything [`TaskPriority::Normal`].
+    fn default() -> Self {
+        Self {
+            weights: [0.0, 1.0, 0.0, 0.0],
+        }
+    }
+}
+
+impl PriorityMix {
+    /// Build from tier weights, lowest tier first.
+    pub fn new(weights: [f64; 4]) -> Result<Self, String> {
+        for (w, tier) in weights.iter().zip(TaskPriority::ALL) {
+            if !w.is_finite() || *w < 0.0 {
+                return Err(format!(
+                    "priority weight for {tier} must be finite and >= 0"
+                ));
+            }
+        }
+        if weights.iter().sum::<f64>() <= 0.0 {
+            return Err("priority weights must sum to a positive value".into());
+        }
+        Ok(Self { weights })
+    }
+
+    /// Parse `low,normal,high,critical` comma-separated weights.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let parts: Vec<&str> = s.split(',').collect();
+        if parts.len() != 4 {
+            return Err(format!(
+                "priority mix needs 4 comma-separated weights (low,normal,high,critical), got {}",
+                parts.len()
+            ));
+        }
+        let mut weights = [0.0; 4];
+        for (slot, part) in weights.iter_mut().zip(&parts) {
+            *slot = part
+                .trim()
+                .parse()
+                .map_err(|_| format!("priority mix: cannot parse weight '{part}'"))?;
+        }
+        Self::new(weights)
+    }
+
+    /// The raw tier weights, lowest tier first.
+    pub fn weights(&self) -> [f64; 4] {
+        self.weights
+    }
+
+    /// Deterministic tier for a task index: a splitmix64 hash of the index
+    /// mapped onto the cumulative weight distribution. Independent of every
+    /// RNG stream in the system.
+    pub fn pick(&self, task_index: usize) -> TaskPriority {
+        // splitmix64 finalizer — well-mixed bits from a sequential index.
+        let mut z = (task_index as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        let u = (z >> 11) as f64 / (1u64 << 53) as f64; // in [0, 1)
+        let total: f64 = self.weights.iter().sum();
+        let mut acc = 0.0;
+        for (w, tier) in self.weights.iter().zip(TaskPriority::ALL) {
+            acc += w / total;
+            if u < acc {
+                return tier;
+            }
+        }
+        TaskPriority::Critical
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_round_trips() {
+        for tier in TaskPriority::ALL {
+            assert_eq!(TaskPriority::from_rank(tier.rank()), Some(tier));
+            assert_eq!(TaskPriority::parse(tier.label()), Some(tier));
+        }
+        assert_eq!(TaskPriority::from_rank(4), None);
+        assert_eq!(TaskPriority::parse("urgent"), None);
+    }
+
+    #[test]
+    fn mix_rejects_bad_weights() {
+        assert!(PriorityMix::new([0.0, 0.0, 0.0, 0.0]).is_err());
+        assert!(PriorityMix::new([-1.0, 1.0, 0.0, 0.0]).is_err());
+        assert!(PriorityMix::new([f64::NAN, 1.0, 0.0, 0.0]).is_err());
+        assert!(PriorityMix::parse("1,2,3").is_err());
+        assert!(PriorityMix::parse("1,2,x,4").is_err());
+    }
+
+    #[test]
+    fn default_mix_is_all_normal() {
+        let mix = PriorityMix::default();
+        for i in 0..500 {
+            assert_eq!(mix.pick(i), TaskPriority::Normal);
+        }
+    }
+
+    #[test]
+    fn pick_is_deterministic_and_roughly_proportional() {
+        let mix = PriorityMix::parse("1,1,1,1").unwrap();
+        let mut counts = [0usize; 4];
+        for i in 0..4000 {
+            let tier = mix.pick(i);
+            assert_eq!(mix.pick(i), tier, "pick must be a pure function");
+            counts[tier.rank() as usize] += 1;
+        }
+        for (c, tier) in counts.iter().zip(TaskPriority::ALL) {
+            assert!(
+                (800..1200).contains(c),
+                "tier {tier} got {c}/4000 at equal weights"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_mix_assigns_single_tier() {
+        let mix = PriorityMix::parse("0,0,0,5").unwrap();
+        for i in 0..200 {
+            assert_eq!(mix.pick(i), TaskPriority::Critical);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Worker reputation: an EWMA over verification outcomes plus a
+//! confidence-shrunk composite score.
+//!
+//! The shape follows compute-marketplace pool scores: a fast-moving
+//! exponentially weighted average of pass/fail outcomes, shrunk toward the
+//! neutral prior `0.5` while the worker has little history, so one early
+//! failure does not bury a newcomer and one early pass does not crown them.
+//! [`beta_scale`](Reputation::beta_scale) maps the composite onto a factor
+//! for the relevance weight `β` of Eq. 3 (via
+//! [`hta_core::Weights::scale_beta`]): proven workers get *more* relevance
+//! weight (the platform trusts their stated interests and routes matching
+//! work to them), unproven or failing workers drift toward exploration.
+
+/// EWMA smoothing: how much one new outcome moves the score.
+pub const DEFAULT_LAMBDA: f64 = 0.2;
+
+/// Shrinkage pseudo-count: observations needed before history dominates the
+/// neutral prior in the composite score.
+pub const CONFIDENCE_K: f64 = 5.0;
+
+/// A worker's verification track record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reputation {
+    score: f64,
+    lambda: f64,
+    observations: u64,
+    passes: u64,
+}
+
+impl Default for Reputation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reputation {
+    /// A fresh, neutral reputation (score `0.5`, no history).
+    pub fn new() -> Self {
+        Self::with_lambda(DEFAULT_LAMBDA)
+    }
+
+    /// A fresh reputation with an explicit EWMA smoothing factor.
+    ///
+    /// # Panics
+    /// Panics unless `lambda` lies in `(0, 1]`.
+    pub fn with_lambda(lambda: f64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda <= 1.0,
+            "EWMA lambda must lie in (0, 1], got {lambda}"
+        );
+        Self {
+            score: 0.5,
+            lambda,
+            observations: 0,
+            passes: 0,
+        }
+    }
+
+    /// Rebuild from serialized parts (crate-internal: decode validation).
+    pub(crate) fn from_parts(score: f64, lambda: f64, observations: u64, passes: u64) -> Self {
+        Self {
+            score,
+            lambda,
+            observations,
+            passes,
+        }
+    }
+
+    /// Fold in one verification outcome:
+    /// `score ← (1 − λ)·score + λ·outcome`.
+    pub fn observe(&mut self, pass: bool) {
+        let outcome = if pass { 1.0 } else { 0.0 };
+        self.score = (1.0 - self.lambda) * self.score + self.lambda * outcome;
+        self.observations += 1;
+        self.passes += u64::from(pass);
+    }
+
+    /// The raw EWMA score in `[0, 1]`.
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// The EWMA smoothing factor.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Verification outcomes observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Outcomes that passed.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Lifetime pass fraction (`0.5` with no history).
+    pub fn pass_rate(&self) -> f64 {
+        if self.observations == 0 {
+            0.5
+        } else {
+            self.passes as f64 / self.observations as f64
+        }
+    }
+
+    /// The composite "pool score": the EWMA shrunk toward the neutral prior
+    /// `0.5` by the pseudo-count [`CONFIDENCE_K`] —
+    /// `(n·score + K·0.5) / (n + K)` with `n` the observation count. Always
+    /// in `[0, 1]`; exactly `0.5` with no history.
+    pub fn pool_score(&self) -> f64 {
+        let n = self.observations as f64;
+        (n * self.score + CONFIDENCE_K * 0.5) / (n + CONFIDENCE_K)
+    }
+
+    /// The factor applied to the relevance weight `β` of Eq. 3:
+    /// `2 · pool_score`, in `[0, 2]` and exactly `1.0` (a no-op) for a
+    /// worker with no history.
+    pub fn beta_scale(&self) -> f64 {
+        2.0 * self.pool_score()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_reputation_is_neutral() {
+        let r = Reputation::new();
+        assert_eq!(r.score(), 0.5);
+        assert_eq!(r.pool_score(), 0.5);
+        assert_eq!(r.beta_scale(), 1.0);
+        assert_eq!(r.pass_rate(), 0.5);
+    }
+
+    #[test]
+    fn ewma_moves_toward_outcomes_and_stays_bounded() {
+        let mut r = Reputation::new();
+        for _ in 0..50 {
+            r.observe(true);
+            assert!((0.0..=1.0).contains(&r.score()));
+        }
+        assert!(r.score() > 0.99, "score {} after 50 passes", r.score());
+        assert!(r.beta_scale() > 1.8);
+        for _ in 0..50 {
+            r.observe(false);
+            assert!((0.0..=1.0).contains(&r.score()));
+        }
+        assert!(r.score() < 0.01);
+        assert!(r.beta_scale() < 0.2);
+        assert_eq!(r.observations(), 100);
+        assert_eq!(r.passes(), 50);
+        assert_eq!(r.pass_rate(), 0.5);
+    }
+
+    #[test]
+    fn shrinkage_dampens_early_evidence() {
+        let mut r = Reputation::new();
+        r.observe(false);
+        // One failure: the EWMA drops to 0.4 but the composite barely moves.
+        assert!((r.score() - 0.4).abs() < 1e-12);
+        assert!(r.pool_score() > 0.45, "pool {}", r.pool_score());
+        // With history, the composite tracks the EWMA closely.
+        for _ in 0..100 {
+            r.observe(false);
+        }
+        assert!(r.pool_score() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn zero_lambda_is_rejected() {
+        let _ = Reputation::with_lambda(0.0);
+    }
+}

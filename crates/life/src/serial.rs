@@ -1,0 +1,244 @@
+//! [`StateSerialize`] impls: lifecycle and reputation state rides in run
+//! checkpoints and server snapshots, so every type here round-trips
+//! bit-exactly and validates on decode (a corrupt blob is an error, never a
+//! structurally impossible value).
+
+use hta_core::{StateDecodeError, StateReader, StateSerialize};
+
+use crate::priority::{PriorityMix, TaskPriority};
+use crate::reputation::Reputation;
+use crate::task::{LifeSummary, LifecycleBook, TaskLife, TaskState};
+
+impl StateSerialize for TaskPriority {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.rank().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let rank = u8::read_state(r)?;
+        TaskPriority::from_rank(rank)
+            .ok_or_else(|| StateDecodeError::Invalid(format!("priority rank {rank}")))
+    }
+}
+
+impl StateSerialize for TaskState {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.tag().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let tag = u8::read_state(r)?;
+        TaskState::from_tag(tag)
+            .ok_or_else(|| StateDecodeError::Invalid(format!("task state tag {tag}")))
+    }
+}
+
+impl StateSerialize for PriorityMix {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        for w in self.weights() {
+            w.write_state(out);
+        }
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let mut weights = [0.0; 4];
+        for w in &mut weights {
+            *w = f64::read_state(r)?;
+        }
+        PriorityMix::new(weights).map_err(StateDecodeError::Invalid)
+    }
+}
+
+impl StateSerialize for TaskLife {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.state().write_state(out);
+        self.priority().write_state(out);
+        self.deadline_minute().write_state(out);
+        self.retries().write_state(out);
+        self.max_retries().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let state = TaskState::read_state(r)?;
+        let priority = TaskPriority::read_state(r)?;
+        let deadline_minute = Option::<f64>::read_state(r)?;
+        let retries = u32::read_state(r)?;
+        let max_retries = u32::read_state(r)?;
+        if let Some(d) = deadline_minute {
+            if !d.is_finite() || d < 0.0 {
+                return Err(StateDecodeError::Invalid(format!("deadline minute {d}")));
+            }
+        }
+        if retries > max_retries {
+            return Err(StateDecodeError::Invalid(format!(
+                "retries {retries} exceed the budget {max_retries}"
+            )));
+        }
+        if state.is_terminal() && deadline_minute.is_some() {
+            return Err(StateDecodeError::Invalid(format!(
+                "terminal state {state} with an armed deadline"
+            )));
+        }
+        Ok(TaskLife::from_parts(
+            state,
+            priority,
+            deadline_minute,
+            retries,
+            max_retries,
+        ))
+    }
+}
+
+impl StateSerialize for LifeSummary {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.completed.write_state(out);
+        self.failed.write_state(out);
+        self.expired.write_state(out);
+        self.requeued_timeout.write_state(out);
+        self.requeued_bad_answer.write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        Ok(LifeSummary {
+            completed: u64::read_state(r)?,
+            failed: u64::read_state(r)?,
+            expired: u64::read_state(r)?,
+            requeued_timeout: u64::read_state(r)?,
+            requeued_bad_answer: u64::read_state(r)?,
+        })
+    }
+}
+
+impl StateSerialize for LifecycleBook {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.tasks().to_vec().write_state(out);
+        self.summary().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let tasks = Vec::<TaskLife>::read_state(r)?;
+        let summary = LifeSummary::read_state(r)?;
+        let terminal = |f: fn(TaskState) -> bool| tasks.iter().filter(|t| f(t.state())).count();
+        // Terminal counters are derivable from the states; enforce the link
+        // so a bit flip in either representation is caught.
+        if terminal(|s| s == TaskState::Completed) as u64 != summary.completed
+            || terminal(|s| s == TaskState::Failed) as u64 != summary.failed
+            || terminal(|s| s == TaskState::Expired) as u64 != summary.expired
+        {
+            return Err(StateDecodeError::Invalid(
+                "lifecycle summary disagrees with task states".into(),
+            ));
+        }
+        let total_retries: u64 = tasks.iter().map(|t| u64::from(t.retries())).sum();
+        if summary.requeued_timeout + summary.requeued_bad_answer != total_retries {
+            return Err(StateDecodeError::Invalid(
+                "requeue counters disagree with per-task retry counts".into(),
+            ));
+        }
+        Ok(LifecycleBook::from_parts(tasks, summary))
+    }
+}
+
+impl StateSerialize for Reputation {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.score().write_state(out);
+        self.lambda().write_state(out);
+        self.observations().write_state(out);
+        self.passes().write_state(out);
+    }
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let score = f64::read_state(r)?;
+        let lambda = f64::read_state(r)?;
+        let observations = u64::read_state(r)?;
+        let passes = u64::read_state(r)?;
+        if !(0.0..=1.0).contains(&score) {
+            return Err(StateDecodeError::Invalid(format!(
+                "reputation score {score} outside [0, 1]"
+            )));
+        }
+        if !(lambda > 0.0 && lambda <= 1.0) {
+            return Err(StateDecodeError::Invalid(format!(
+                "reputation lambda {lambda} outside (0, 1]"
+            )));
+        }
+        if passes > observations {
+            return Err(StateDecodeError::Invalid(format!(
+                "reputation passes {passes} exceed observations {observations}"
+            )));
+        }
+        Ok(Reputation::from_parts(score, lambda, observations, passes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hta_core::state::{decode, encode};
+
+    #[test]
+    fn lifecycle_types_round_trip() {
+        for tier in TaskPriority::ALL {
+            assert_eq!(decode::<TaskPriority>(&encode(&tier)).unwrap(), tier);
+        }
+        for state in TaskState::ALL {
+            assert_eq!(decode::<TaskState>(&encode(&state)).unwrap(), state);
+        }
+        let mix = PriorityMix::parse("1,5,2,0.5").unwrap();
+        assert_eq!(decode::<PriorityMix>(&encode(&mix)).unwrap(), mix);
+
+        let mut life = TaskLife::new(TaskPriority::High, 3);
+        life.assign(2.0, Some(7.5)).unwrap();
+        life.start().unwrap();
+        assert_eq!(decode::<TaskLife>(&encode(&life)).unwrap(), life);
+    }
+
+    #[test]
+    fn book_round_trips_with_history() {
+        let mix = PriorityMix::parse("1,1,1,1").unwrap();
+        let mut book = LifecycleBook::new(8, &mix, 2);
+        book.assign(0, 0.0, Some(4.0)).unwrap();
+        book.start(0).unwrap();
+        book.submit(0).unwrap();
+        book.verify(0, false).unwrap();
+        book.assign(1, 0.0, None).unwrap();
+        book.expire(1).unwrap();
+        book.assign(2, 0.0, None).unwrap();
+        book.start(2).unwrap();
+        book.submit(2).unwrap();
+        book.verify(2, true).unwrap();
+        assert_eq!(decode::<LifecycleBook>(&encode(&book)).unwrap(), book);
+    }
+
+    #[test]
+    fn corrupt_blobs_are_rejected() {
+        // Bad state tag.
+        assert!(decode::<TaskState>(&[9]).is_err());
+        // retries > max_retries.
+        let mut bytes = Vec::new();
+        TaskState::Pending.write_state(&mut bytes);
+        TaskPriority::Low.write_state(&mut bytes);
+        None::<f64>.write_state(&mut bytes);
+        5u32.write_state(&mut bytes);
+        1u32.write_state(&mut bytes);
+        assert!(decode::<TaskLife>(&bytes).is_err());
+        // Summary disagreeing with states.
+        let book = LifecycleBook::new(2, &PriorityMix::default(), 1);
+        let mut bytes = encode(&book);
+        let n = bytes.len();
+        bytes[n - 1] = 1; // claim one bad-answer requeue that never happened
+        assert!(decode::<LifecycleBook>(&bytes).is_err());
+        // Reputation with passes > observations.
+        let mut bytes = Vec::new();
+        0.5f64.write_state(&mut bytes);
+        0.2f64.write_state(&mut bytes);
+        1u64.write_state(&mut bytes);
+        2u64.write_state(&mut bytes);
+        assert!(decode::<Reputation>(&bytes).is_err());
+    }
+
+    #[test]
+    fn reputation_round_trips_bit_exactly() {
+        let mut rep = Reputation::new();
+        for i in 0..13 {
+            rep.observe(i % 3 != 0);
+        }
+        let back = decode::<Reputation>(&encode(&rep)).unwrap();
+        assert_eq!(back.score().to_bits(), rep.score().to_bits());
+        assert_eq!(back.observations(), rep.observations());
+        assert_eq!(back.passes(), rep.passes());
+    }
+}

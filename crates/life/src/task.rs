@@ -1,0 +1,561 @@
+//! The per-task lifecycle state machine and the catalog-wide ledger.
+//!
+//! ```text
+//!            ┌──────────────── release (worker quit / display refresh) ───┐
+//!            ▼                                                            │
+//!  Pending ──assign──▶ Assigned ──start──▶ Computing ──submit──▶ Verifying
+//!    ▲                     │                   │                     │
+//!    │                     └──── expire ───────┴───── expire ────────┤
+//!    │                          (deadline passed, retries left)      │
+//!    ├──────────────◀── requeue-on-timeout / requeue-on-bad-answer ──┤
+//!    │                                                               │
+//!    │     retries exhausted: expire ──▶ Expired    verify(fail) ────┼──▶ Failed
+//!    │                                                verify(pass) ──┴──▶ Completed
+//! ```
+//!
+//! Every transition is a fallible method: an illegal edge (e.g.
+//! `Completed → Assigned`) is a [`LifecycleError`], never silent state
+//! corruption, and requeues are bounded by the task's retry budget.
+
+use std::fmt;
+
+use crate::priority::{PriorityMix, TaskPriority};
+
+/// Where a task is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// Open: available for assignment.
+    Pending,
+    /// Shown to a worker (on a display) but not yet worked on.
+    Assigned,
+    /// A worker is actively producing an answer.
+    Computing,
+    /// An answer was submitted and awaits quality verification.
+    Verifying,
+    /// Terminal: the answer passed verification.
+    Completed,
+    /// Terminal: the answer failed verification and retries are exhausted.
+    Failed,
+    /// Terminal: the deadline passed and retries are exhausted.
+    Expired,
+}
+
+impl TaskState {
+    /// All states, in tag order.
+    pub const ALL: [TaskState; 7] = [
+        TaskState::Pending,
+        TaskState::Assigned,
+        TaskState::Computing,
+        TaskState::Verifying,
+        TaskState::Completed,
+        TaskState::Failed,
+        TaskState::Expired,
+    ];
+
+    /// Dense encoding tag.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        match self {
+            TaskState::Pending => 0,
+            TaskState::Assigned => 1,
+            TaskState::Computing => 2,
+            TaskState::Verifying => 3,
+            TaskState::Completed => 4,
+            TaskState::Failed => 5,
+            TaskState::Expired => 6,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Self::ALL.get(tag as usize).copied()
+    }
+
+    /// The lowercase state name.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaskState::Pending => "pending",
+            TaskState::Assigned => "assigned",
+            TaskState::Computing => "computing",
+            TaskState::Verifying => "verifying",
+            TaskState::Completed => "completed",
+            TaskState::Failed => "failed",
+            TaskState::Expired => "expired",
+        }
+    }
+
+    /// True for the three absorbing states.
+    #[inline]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TaskState::Completed | TaskState::Failed | TaskState::Expired
+        )
+    }
+
+    /// The machine's legality relation: is `self → to` an edge of the
+    /// diagram above? (Requeue edges land on `Pending`.)
+    pub fn can_transition(self, to: TaskState) -> bool {
+        use TaskState::*;
+        match (self, to) {
+            (Pending, Assigned) => true,
+            (Assigned, Computing) => true,
+            (Computing, Verifying) => true,
+            // Requeue / release edges back to the open pool.
+            (Assigned | Computing | Verifying, Pending) => true,
+            // Timeouts with no retries left, from any in-flight state.
+            (Assigned | Computing | Verifying, Expired) => true,
+            // Verification verdicts.
+            (Verifying, Completed | Failed) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for TaskState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// An illegal lifecycle operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleError {
+    /// The requested edge does not exist in the state machine.
+    IllegalTransition {
+        /// State the task was in.
+        from: TaskState,
+        /// State the operation tried to reach.
+        to: TaskState,
+    },
+}
+
+impl fmt::Display for LifecycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IllegalTransition { from, to } => {
+                write!(f, "illegal lifecycle transition {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LifecycleError {}
+
+/// What a verification or expiry decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LifeOutcome {
+    /// The answer passed; the task is done.
+    Completed,
+    /// The task went back to `Pending` for another attempt.
+    Requeued,
+    /// Retries exhausted on a bad answer.
+    Failed,
+    /// Retries exhausted on a missed deadline.
+    Expired,
+}
+
+/// The lifecycle of a single task: state, tier, deadline, retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskLife {
+    state: TaskState,
+    priority: TaskPriority,
+    /// Absolute deadline (simulation minute); set when assigned.
+    deadline_minute: Option<f64>,
+    retries: u32,
+    max_retries: u32,
+}
+
+impl TaskLife {
+    /// A fresh `Pending` task with a retry budget.
+    pub fn new(priority: TaskPriority, max_retries: u32) -> Self {
+        Self {
+            state: TaskState::Pending,
+            priority,
+            deadline_minute: None,
+            retries: 0,
+            max_retries,
+        }
+    }
+
+    /// Rebuild from serialized parts (crate-internal: decode validation).
+    pub(crate) fn from_parts(
+        state: TaskState,
+        priority: TaskPriority,
+        deadline_minute: Option<f64>,
+        retries: u32,
+        max_retries: u32,
+    ) -> Self {
+        Self {
+            state,
+            priority,
+            deadline_minute,
+            retries,
+            max_retries,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TaskState {
+        self.state
+    }
+
+    /// The task's tier.
+    pub fn priority(&self) -> TaskPriority {
+        self.priority
+    }
+
+    /// Absolute deadline, if one is armed.
+    pub fn deadline_minute(&self) -> Option<f64> {
+        self.deadline_minute
+    }
+
+    /// Requeues consumed so far.
+    pub fn retries(&self) -> u32 {
+        self.retries
+    }
+
+    /// The retry budget.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// True once the deadline (if any) has passed.
+    pub fn overdue(&self, now_minute: f64) -> bool {
+        self.deadline_minute.is_some_and(|d| now_minute > d)
+    }
+
+    fn step(&mut self, to: TaskState) -> Result<(), LifecycleError> {
+        if !self.state.can_transition(to) {
+            return Err(LifecycleError::IllegalTransition {
+                from: self.state,
+                to,
+            });
+        }
+        self.state = to;
+        if to.is_terminal() {
+            // A finished task has no deadline left to miss.
+            self.deadline_minute = None;
+        }
+        Ok(())
+    }
+
+    /// `Pending → Assigned`, arming the deadline `now + budget` minutes out.
+    pub fn assign(&mut self, now_minute: f64, budget: Option<f64>) -> Result<(), LifecycleError> {
+        self.step(TaskState::Assigned)?;
+        self.deadline_minute = budget.map(|b| now_minute + b);
+        Ok(())
+    }
+
+    /// `Assigned → Computing`: the worker picked this task off the display.
+    pub fn start(&mut self) -> Result<(), LifecycleError> {
+        self.step(TaskState::Computing)
+    }
+
+    /// `Computing → Verifying`: an answer was submitted.
+    pub fn submit(&mut self) -> Result<(), LifecycleError> {
+        self.step(TaskState::Verifying)
+    }
+
+    /// `Assigned/Computing → Pending` without consuming a retry: the worker
+    /// quit or the display was refreshed — not the task's fault.
+    pub fn release(&mut self) -> Result<(), LifecycleError> {
+        match self.state {
+            TaskState::Assigned | TaskState::Computing => {
+                self.state = TaskState::Pending;
+                self.deadline_minute = None;
+                Ok(())
+            }
+            from => Err(LifecycleError::IllegalTransition {
+                from,
+                to: TaskState::Pending,
+            }),
+        }
+    }
+
+    /// Requeue if the budget allows, else land on `terminal`.
+    fn retry_or(&mut self, terminal: TaskState) -> Result<LifeOutcome, LifecycleError> {
+        if self.retries < self.max_retries {
+            self.step(TaskState::Pending)?;
+            self.retries += 1;
+            self.deadline_minute = None;
+            Ok(LifeOutcome::Requeued)
+        } else {
+            self.step(terminal)?;
+            Ok(match terminal {
+                TaskState::Failed => LifeOutcome::Failed,
+                _ => LifeOutcome::Expired,
+            })
+        }
+    }
+
+    /// Verification verdict on a `Verifying` task: pass completes it, fail
+    /// requeues (bounded) or fails it.
+    pub fn verify(&mut self, pass: bool) -> Result<LifeOutcome, LifecycleError> {
+        if self.state != TaskState::Verifying {
+            return Err(LifecycleError::IllegalTransition {
+                from: self.state,
+                to: if pass {
+                    TaskState::Completed
+                } else {
+                    TaskState::Failed
+                },
+            });
+        }
+        if pass {
+            self.step(TaskState::Completed)?;
+            Ok(LifeOutcome::Completed)
+        } else {
+            self.retry_or(TaskState::Failed)
+        }
+    }
+
+    /// Deadline passed on an in-flight task: requeue (bounded) or expire.
+    pub fn expire(&mut self) -> Result<LifeOutcome, LifecycleError> {
+        match self.state {
+            TaskState::Assigned | TaskState::Computing | TaskState::Verifying => {
+                self.retry_or(TaskState::Expired)
+            }
+            from => Err(LifecycleError::IllegalTransition {
+                from,
+                to: TaskState::Expired,
+            }),
+        }
+    }
+}
+
+/// Totals the simulator reports per arm.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifeSummary {
+    /// Tasks whose answers passed verification.
+    pub completed: u64,
+    /// Tasks that exhausted retries on bad answers.
+    pub failed: u64,
+    /// Tasks that exhausted retries on missed deadlines.
+    pub expired: u64,
+    /// Requeues caused by missed deadlines.
+    pub requeued_timeout: u64,
+    /// Requeues caused by rejected answers.
+    pub requeued_bad_answer: u64,
+}
+
+/// Lifecycle ledger over a whole task catalog, indexed by task index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifecycleBook {
+    tasks: Vec<TaskLife>,
+    summary: LifeSummary,
+}
+
+impl LifecycleBook {
+    /// A book of `n` fresh `Pending` tasks, tiered by `mix`.
+    pub fn new(n: usize, mix: &PriorityMix, max_retries: u32) -> Self {
+        Self {
+            tasks: (0..n)
+                .map(|i| TaskLife::new(mix.pick(i), max_retries))
+                .collect(),
+            summary: LifeSummary::default(),
+        }
+    }
+
+    /// Rebuild from serialized parts (crate-internal: decode validation).
+    pub(crate) fn from_parts(tasks: Vec<TaskLife>, summary: LifeSummary) -> Self {
+        Self { tasks, summary }
+    }
+
+    /// Number of tracked tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// True when tracking no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The life of one task.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn get(&self, index: usize) -> &TaskLife {
+        &self.tasks[index]
+    }
+
+    /// All task lives, in index order.
+    pub fn tasks(&self) -> &[TaskLife] {
+        &self.tasks
+    }
+
+    /// The requeue/terminal totals so far.
+    pub fn summary(&self) -> LifeSummary {
+        self.summary
+    }
+
+    /// Assign task `index` at `now`, arming an optional deadline budget.
+    pub fn assign(
+        &mut self,
+        index: usize,
+        now_minute: f64,
+        budget: Option<f64>,
+    ) -> Result<(), LifecycleError> {
+        self.tasks[index].assign(now_minute, budget)
+    }
+
+    /// The worker started computing task `index`.
+    pub fn start(&mut self, index: usize) -> Result<(), LifecycleError> {
+        self.tasks[index].start()
+    }
+
+    /// An answer for task `index` was submitted.
+    pub fn submit(&mut self, index: usize) -> Result<(), LifecycleError> {
+        self.tasks[index].submit()
+    }
+
+    /// Task `index` went back to the pool without consuming a retry.
+    pub fn release(&mut self, index: usize) -> Result<(), LifecycleError> {
+        self.tasks[index].release()
+    }
+
+    /// Verification verdict for task `index`; updates the summary.
+    pub fn verify(&mut self, index: usize, pass: bool) -> Result<LifeOutcome, LifecycleError> {
+        let outcome = self.tasks[index].verify(pass)?;
+        match outcome {
+            LifeOutcome::Completed => self.summary.completed += 1,
+            LifeOutcome::Requeued => self.summary.requeued_bad_answer += 1,
+            LifeOutcome::Failed => self.summary.failed += 1,
+            LifeOutcome::Expired => {}
+        }
+        Ok(outcome)
+    }
+
+    /// Deadline passed for in-flight task `index`; updates the summary.
+    pub fn expire(&mut self, index: usize) -> Result<LifeOutcome, LifecycleError> {
+        let outcome = self.tasks[index].expire()?;
+        match outcome {
+            LifeOutcome::Requeued => self.summary.requeued_timeout += 1,
+            LifeOutcome::Expired => self.summary.expired += 1,
+            _ => {}
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh(max_retries: u32) -> TaskLife {
+        TaskLife::new(TaskPriority::Normal, max_retries)
+    }
+
+    #[test]
+    fn happy_path_reaches_completed() {
+        let mut t = fresh(2);
+        t.assign(0.0, Some(5.0)).unwrap();
+        assert_eq!(t.deadline_minute(), Some(5.0));
+        t.start().unwrap();
+        t.submit().unwrap();
+        assert_eq!(t.verify(true).unwrap(), LifeOutcome::Completed);
+        assert!(t.state().is_terminal());
+        // Terminal states absorb everything.
+        assert!(t.assign(1.0, None).is_err());
+        assert!(t.verify(true).is_err());
+        assert!(t.expire().is_err());
+    }
+
+    #[test]
+    fn bad_answers_requeue_until_the_budget_runs_out() {
+        let mut t = fresh(2);
+        for round in 0..2 {
+            t.assign(0.0, None).unwrap();
+            t.start().unwrap();
+            t.submit().unwrap();
+            assert_eq!(t.verify(false).unwrap(), LifeOutcome::Requeued);
+            assert_eq!(t.state(), TaskState::Pending);
+            assert_eq!(t.retries(), round + 1);
+        }
+        t.assign(0.0, None).unwrap();
+        t.start().unwrap();
+        t.submit().unwrap();
+        assert_eq!(t.verify(false).unwrap(), LifeOutcome::Failed);
+        assert_eq!(t.state(), TaskState::Failed);
+        assert_eq!(t.retries(), 2, "the failing attempt consumes no retry");
+    }
+
+    #[test]
+    fn timeouts_requeue_then_expire() {
+        let mut t = fresh(1);
+        t.assign(0.0, Some(3.0)).unwrap();
+        assert!(!t.overdue(3.0));
+        assert!(t.overdue(3.1));
+        assert_eq!(t.expire().unwrap(), LifeOutcome::Requeued);
+        assert_eq!(t.deadline_minute(), None, "requeue disarms the deadline");
+        t.assign(10.0, Some(3.0)).unwrap();
+        assert_eq!(t.deadline_minute(), Some(13.0));
+        t.start().unwrap();
+        assert_eq!(t.expire().unwrap(), LifeOutcome::Expired);
+        assert_eq!(t.state(), TaskState::Expired);
+    }
+
+    #[test]
+    fn release_returns_to_pending_without_a_retry() {
+        let mut t = fresh(0);
+        t.assign(0.0, Some(1.0)).unwrap();
+        t.release().unwrap();
+        assert_eq!(t.state(), TaskState::Pending);
+        assert_eq!(t.retries(), 0);
+        t.assign(0.0, None).unwrap();
+        t.start().unwrap();
+        t.release().unwrap();
+        assert_eq!(t.state(), TaskState::Pending);
+        // But a Verifying task cannot be released — it must be verified.
+        t.assign(0.0, None).unwrap();
+        t.start().unwrap();
+        t.submit().unwrap();
+        assert!(t.release().is_err());
+    }
+
+    #[test]
+    fn illegal_edges_are_rejected_and_leave_state_unchanged() {
+        let mut t = fresh(3);
+        assert!(t.start().is_err());
+        assert!(t.submit().is_err());
+        assert!(t.verify(true).is_err());
+        assert!(t.expire().is_err());
+        assert_eq!(t.state(), TaskState::Pending);
+        assert_eq!(t.retries(), 0);
+        let err = t.verify(false).unwrap_err();
+        assert!(err.to_string().contains("illegal lifecycle transition"));
+    }
+
+    #[test]
+    fn book_tracks_summary_counters() {
+        let mix = PriorityMix::default();
+        let mut book = LifecycleBook::new(3, &mix, 1);
+        // Task 0: pass.
+        book.assign(0, 0.0, None).unwrap();
+        book.start(0).unwrap();
+        book.submit(0).unwrap();
+        book.verify(0, true).unwrap();
+        // Task 1: fail, requeue, fail again -> Failed.
+        book.assign(1, 0.0, None).unwrap();
+        book.start(1).unwrap();
+        book.submit(1).unwrap();
+        assert_eq!(book.verify(1, false).unwrap(), LifeOutcome::Requeued);
+        book.assign(1, 1.0, None).unwrap();
+        book.start(1).unwrap();
+        book.submit(1).unwrap();
+        assert_eq!(book.verify(1, false).unwrap(), LifeOutcome::Failed);
+        // Task 2: timeout with no retries -> Expired.
+        let mut book2 = LifecycleBook::new(1, &mix, 0);
+        book2.assign(0, 0.0, Some(1.0)).unwrap();
+        assert_eq!(book2.expire(0).unwrap(), LifeOutcome::Expired);
+
+        let s = book.summary();
+        assert_eq!(
+            (s.completed, s.failed, s.requeued_bad_answer),
+            (1, 1, 1),
+            "{s:?}"
+        );
+        assert_eq!(book2.summary().expired, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the lifecycle state machine and reputation model:
+//! no operation sequence can produce an illegal transition (no
+//! `Completed → Assigned` and friends), requeues never exceed the retry
+//! budget, and every type round-trips bit-exactly through its
+//! `StateSerialize` encoding after arbitrary histories.
+
+use hta_core::state::{decode, encode};
+use hta_life::{LifecycleBook, PriorityMix, Reputation, TaskLife, TaskPriority, TaskState};
+use proptest::prelude::*;
+
+/// Apply one randomly chosen lifecycle operation. Returns whether the
+/// operation was accepted.
+fn apply_op(life: &mut TaskLife, op: usize, minute: f64) -> bool {
+    match op % 7 {
+        0 => life.assign(minute, Some(3.0)).is_ok(),
+        1 => life.assign(minute, None).is_ok(),
+        2 => life.start().is_ok(),
+        3 => life.submit().is_ok(),
+        4 => life.release().is_ok(),
+        5 => life.verify(op % 2 == 1).is_ok(),
+        _ => life.expire().is_ok(),
+    }
+}
+
+proptest! {
+    /// Every accepted operation follows an edge of the state machine;
+    /// every rejected operation leaves the task bit-identical.
+    #[test]
+    fn op_sequences_respect_the_state_machine(
+        max_retries in 0u32..4,
+        ops in proptest::collection::vec(0usize..7, 0..60),
+    ) {
+        let mut life = TaskLife::new(TaskPriority::Normal, max_retries);
+        for (i, &op) in ops.iter().enumerate() {
+            let before = life.clone();
+            let accepted = apply_op(&mut life, op, i as f64);
+            if accepted {
+                let legal = before.state().can_transition(life.state())
+                    || before.state() == life.state();
+                prop_assert!(
+                    legal,
+                    "op {op} moved {} -> {} illegally",
+                    before.state(),
+                    life.state()
+                );
+            } else {
+                prop_assert_eq!(&life, &before, "a rejected op mutated state");
+            }
+            // Terminal states absorb: nothing leaves them.
+            if before.state().is_terminal() {
+                prop_assert_eq!(life.state(), before.state());
+            }
+            // The retry budget is a hard bound, and a retry is only ever
+            // consumed by a requeue back to Pending.
+            prop_assert!(life.retries() <= life.max_retries());
+            prop_assert!(life.retries() >= before.retries());
+            if life.retries() > before.retries() {
+                prop_assert_eq!(life.state(), TaskState::Pending);
+            }
+        }
+    }
+
+    /// Driving a task with endless bad answers exhausts exactly the budget
+    /// and lands on Failed; endless timeouts land on Expired.
+    #[test]
+    fn requeues_stop_exactly_at_the_budget(max_retries in 0u32..6, timeout_pick in 0usize..2) {
+        let timeout = timeout_pick == 1;
+        let mut life = TaskLife::new(TaskPriority::Low, max_retries);
+        let mut requeues = 0u32;
+        loop {
+            life.assign(0.0, Some(1.0)).unwrap();
+            let outcome = if timeout {
+                life.expire().unwrap()
+            } else {
+                life.start().unwrap();
+                life.submit().unwrap();
+                life.verify(false).unwrap()
+            };
+            match outcome {
+                hta_life::LifeOutcome::Requeued => requeues += 1,
+                _ => break,
+            }
+            prop_assert!(requeues <= max_retries);
+        }
+        prop_assert_eq!(requeues, max_retries);
+        let expected = if timeout { TaskState::Expired } else { TaskState::Failed };
+        prop_assert_eq!(life.state(), expected);
+    }
+
+    /// A book driven by an arbitrary op soup round-trips bit-exactly and
+    /// keeps its counters consistent with its states.
+    #[test]
+    fn book_round_trips_after_arbitrary_history(
+        n_tasks in 1usize..12,
+        max_retries in 0u32..3,
+        ops in proptest::collection::vec((0usize..12, 0usize..7), 0..80),
+    ) {
+        let mix = PriorityMix::new([1.0, 2.0, 1.0, 0.5]).unwrap();
+        let mut book = LifecycleBook::new(n_tasks, &mix, max_retries);
+        for (i, &(task, op)) in ops.iter().enumerate() {
+            let task = task % n_tasks;
+            let minute = i as f64;
+            let _ = match op {
+                0 => book.assign(task, minute, Some(2.0)).map(|_| ()),
+                1 => book.assign(task, minute, None).map(|_| ()),
+                2 => book.start(task).map(|_| ()),
+                3 => book.submit(task).map(|_| ()),
+                4 => book.release(task).map(|_| ()),
+                5 => book.verify(task, i % 2 == 0).map(|_| ()),
+                _ => book.expire(task).map(|_| ()),
+            };
+        }
+        let bytes = encode(&book);
+        let back: LifecycleBook = decode(&bytes).expect("decode");
+        prop_assert_eq!(&back, &book);
+        prop_assert_eq!(encode(&back), bytes, "re-encoding must be byte-identical");
+    }
+
+    /// Reputation stays in bounds under arbitrary outcome streams and
+    /// round-trips bit-exactly.
+    #[test]
+    fn reputation_bounded_and_round_trips(
+        outcomes in proptest::collection::vec(0usize..2, 0..200),
+    ) {
+        let mut rep = Reputation::new();
+        for &o in &outcomes {
+            rep.observe(o == 1);
+            prop_assert!((0.0..=1.0).contains(&rep.score()));
+            prop_assert!((0.0..=1.0).contains(&rep.pool_score()));
+            prop_assert!((0.0..=2.0).contains(&rep.beta_scale()));
+        }
+        prop_assert_eq!(rep.observations() as usize, outcomes.len());
+        let bytes = encode(&rep);
+        let back: Reputation = decode(&bytes).expect("decode");
+        prop_assert_eq!(back.score().to_bits(), rep.score().to_bits());
+        prop_assert_eq!(encode(&back), bytes);
+    }
+}

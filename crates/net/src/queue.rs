@@ -1,25 +1,44 @@
-//! A bounded MPMC job queue with non-blocking producers.
+//! A bounded MPMC job queue with non-blocking producers and priority
+//! tiers.
 //!
 //! The reactor must never block, so the producing side is `try_push` only:
-//! when the queue is at capacity the caller gets the job back and answers
-//! with backpressure (`503 Retry-After`) instead of queueing unboundedly.
+//! when the queue refuses a job the caller gets it back and answers with
+//! backpressure (`503 Retry-After`) instead of queueing unboundedly.
 //! Consumers (the solver pool) block on a condvar and drain until the queue
 //! is closed.
+//!
+//! Jobs carry a priority tier (0 = low … 3 = critical). Two mechanisms
+//! favour urgent work under saturation:
+//!
+//! * **Tiered admission**: lower tiers are refused *before* the queue is
+//!   physically full, reserving headroom for higher tiers — low admits up
+//!   to `cap − cap/2`, normal to `cap − cap/4`, high to `cap − cap/8`, and
+//!   critical to `cap`. A saturated pool therefore sheds low-priority work
+//!   first, and only a backlog deep enough to exhaust the reserve touches
+//!   critical jobs. (Integer division makes every limit equal `cap` when
+//!   `cap` is small, so tiny queues behave exactly like the untiered one.)
+//! * **Priority dequeue**: consumers always pop the highest occupied tier,
+//!   FIFO within a tier.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+/// Number of priority tiers (`0..TIERS` are valid priorities).
+pub const TIERS: usize = 4;
+
 /// Why a `try_push` was refused.
 #[derive(Debug, PartialEq, Eq)]
 pub enum PushError<T> {
-    /// The queue is at capacity; the job is handed back.
+    /// The job's tier is over its admission limit; the job is handed back.
     Full(T),
     /// The queue was closed (shutdown); the job is handed back.
     Closed(T),
 }
 
 struct Inner<T> {
-    items: VecDeque<T>,
+    /// One FIFO per tier, index = priority.
+    tiers: [VecDeque<T>; TIERS],
+    len: usize,
     closed: bool,
 }
 
@@ -36,7 +55,8 @@ impl<T> BoundedQueue<T> {
     pub fn new(capacity: usize) -> Self {
         Self {
             inner: Mutex::new(Inner {
-                items: VecDeque::new(),
+                tiers: std::array::from_fn(|_| VecDeque::new()),
+                len: 0,
                 closed: false,
             }),
             not_empty: Condvar::new(),
@@ -49,9 +69,9 @@ impl<T> BoundedQueue<T> {
         self.capacity
     }
 
-    /// Current queue depth.
+    /// Current queue depth (all tiers).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue lock").items.len()
+        self.inner.lock().expect("queue lock").len
     }
 
     /// Whether the queue is currently empty.
@@ -59,28 +79,58 @@ impl<T> BoundedQueue<T> {
         self.len() == 0
     }
 
-    /// Enqueue without blocking; fails when full or closed.
+    /// The admission limit for `priority`: how deep the queue may already
+    /// be and still accept a job of that tier.
+    pub fn admission_limit(&self, priority: u8) -> usize {
+        let cap = self.capacity;
+        match priority {
+            0 => cap - cap / 2,
+            1 => cap - cap / 4,
+            2 => cap - cap / 8,
+            _ => cap,
+        }
+    }
+
+    /// Enqueue at normal priority without blocking; fails when over the
+    /// normal tier's admission limit or closed.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        self.try_push_pri(item, 1)
+    }
+
+    /// Enqueue at `priority` (0 = low … 3 = critical; higher values clamp
+    /// to critical) without blocking; fails when the tier is over its
+    /// admission limit or the queue is closed.
+    pub fn try_push_pri(&self, item: T, priority: u8) -> Result<(), PushError<T>> {
+        let tier = (priority as usize).min(TIERS - 1);
+        let limit = self.admission_limit(priority);
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.closed {
             return Err(PushError::Closed(item));
         }
-        if inner.items.len() >= self.capacity {
+        if inner.len >= limit {
             return Err(PushError::Full(item));
         }
-        inner.items.push_back(item);
+        inner.tiers[tier].push_back(item);
+        inner.len += 1;
         drop(inner);
         self.not_empty.notify_one();
         Ok(())
     }
 
-    /// Dequeue, blocking while the queue is empty and open. Returns `None`
-    /// once the queue is closed *and* drained — the consumer's exit signal.
+    /// Dequeue the highest-priority job, blocking while the queue is empty
+    /// and open. Returns `None` once the queue is closed *and* drained —
+    /// the consumer's exit signal.
     pub fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().expect("queue lock");
         loop {
-            if let Some(item) = inner.items.pop_front() {
-                return Some(item);
+            if inner.len > 0 {
+                for tier in (0..TIERS).rev() {
+                    if let Some(item) = inner.tiers[tier].pop_front() {
+                        inner.len -= 1;
+                        return Some(item);
+                    }
+                }
+                unreachable!("len > 0 but every tier is empty");
             }
             if inner.closed {
                 return None;
@@ -105,6 +155,7 @@ mod tests {
     #[test]
     fn backpressure_at_capacity() {
         let q = BoundedQueue::new(2);
+        // cap 2: normal admits at depth < 2 - 2/4 = 2, same as before tiers.
         q.try_push(1).unwrap();
         q.try_push(2).unwrap();
         assert_eq!(q.try_push(3), Err(PushError::Full(3)));
@@ -113,6 +164,67 @@ mod tests {
         q.try_push(3).unwrap();
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn tiny_queues_admit_all_tiers_equally() {
+        // cap 1: every limit is 1 - 1/k = 1; tiering changes nothing.
+        let q = BoundedQueue::new(1);
+        for pri in 0..TIERS as u8 {
+            assert_eq!(q.admission_limit(pri), 1);
+        }
+        q.try_push_pri("only", 0).unwrap();
+        assert_eq!(q.try_push_pri("more", 3), Err(PushError::Full("more")));
+    }
+
+    #[test]
+    fn lower_tiers_are_shed_first() {
+        let q = BoundedQueue::new(8);
+        // Limits: low 4, normal 6, high 7, critical 8.
+        assert_eq!(q.admission_limit(0), 4);
+        assert_eq!(q.admission_limit(1), 6);
+        assert_eq!(q.admission_limit(2), 7);
+        assert_eq!(q.admission_limit(3), 8);
+        for i in 0..4 {
+            q.try_push_pri(i, 0).unwrap();
+        }
+        // Depth 4: low refused, everything else still admitted.
+        assert_eq!(q.try_push_pri(99, 0), Err(PushError::Full(99)));
+        q.try_push_pri(4, 1).unwrap();
+        q.try_push_pri(5, 1).unwrap();
+        // Depth 6: normal refused, high + critical admitted.
+        assert_eq!(q.try_push_pri(99, 1), Err(PushError::Full(99)));
+        q.try_push_pri(6, 2).unwrap();
+        // Depth 7: only critical left.
+        assert_eq!(q.try_push_pri(99, 2), Err(PushError::Full(99)));
+        q.try_push_pri(7, 3).unwrap();
+        // Depth 8 = capacity: even critical refused now.
+        assert_eq!(q.try_push_pri(99, 3), Err(PushError::Full(99)));
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn pop_serves_highest_tier_first_fifo_within() {
+        let q = BoundedQueue::new(8);
+        q.try_push_pri("low-a", 0).unwrap();
+        q.try_push_pri("low-b", 0).unwrap();
+        q.try_push_pri("norm-a", 1).unwrap();
+        q.try_push_pri("crit-a", 3).unwrap();
+        q.try_push_pri("high-a", 2).unwrap();
+        q.try_push_pri("crit-b", 3).unwrap();
+        let order: Vec<_> = (0..6).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(
+            order,
+            ["crit-a", "crit-b", "high-a", "norm-a", "low-a", "low-b"]
+        );
+    }
+
+    #[test]
+    fn out_of_range_priorities_clamp_to_critical() {
+        let q = BoundedQueue::new(4);
+        q.try_push_pri(1, 200).unwrap();
+        assert_eq!(q.admission_limit(200), q.capacity());
+        assert_eq!(q.pop(), Some(1));
     }
 
     #[test]
@@ -156,9 +268,11 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..16 {
                         // Spin on Full: the consumers guarantee progress.
+                        // Vary the tier so every lane sees traffic.
                         let mut v = p * 100 + i;
+                        let pri = (i % TIERS as i32) as u8;
                         loop {
-                            match q.try_push(v) {
+                            match q.try_push_pri(v, pri) {
                                 Ok(()) => break,
                                 Err(PushError::Full(back)) => {
                                     v = back;

@@ -48,6 +48,15 @@ pub trait HttpHandler: Send + Sync + 'static {
         None
     }
 
+    /// Priority tier for a pooled request (0 = low … 3 = critical). Runs on
+    /// the reactor thread, so it must be cheap and non-blocking. Under
+    /// saturation the job queue sheds lower tiers first (see
+    /// [`BoundedQueue::try_push_pri`]).
+    fn priority(&self, req: &RawRequest) -> u8 {
+        let _ = req;
+        1
+    }
+
     /// The backpressure response sent when the job queue is full.
     fn overloaded(&self) -> HttpResponse {
         HttpResponse::overloaded(1)
@@ -226,11 +235,15 @@ fn pump(shared: &Shared, token: u64, reactor: usize, conn: &mut Conn) {
                     continue;
                 }
                 let keep_alive = req.keep_alive;
-                match shared.queue.try_push(Job {
-                    req,
-                    conn: token,
-                    reactor,
-                }) {
+                let priority = shared.handler.priority(&req);
+                match shared.queue.try_push_pri(
+                    Job {
+                        req,
+                        conn: token,
+                        reactor,
+                    },
+                    priority,
+                ) {
                     Ok(()) => {
                         shared
                             .metrics
@@ -753,6 +766,109 @@ mod tests {
         assert!(ok >= 1, "the blocked job must still complete");
         srv.shutdown();
         assert_eq!(metrics.rejected_busy.load(Ordering::Relaxed), busy as u64);
+    }
+
+    /// Gated handler whose priority comes from a `pri=` marker in the
+    /// target, mirroring how the HTA server maps `priority=` query params.
+    struct TieredGated(Arc<Gate>);
+
+    impl HttpHandler for TieredGated {
+        fn handle(&self, _req: &RawRequest) -> HttpResponse {
+            let mut open = self.0.open.lock().unwrap();
+            while !*open {
+                open = self.0.cv.wait(open).unwrap();
+            }
+            HttpResponse::json(200, "{\"slow\":true}".into())
+        }
+
+        fn priority(&self, req: &RawRequest) -> u8 {
+            req.target
+                .split("pri=")
+                .nth(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(1)
+        }
+    }
+
+    fn wait_for_depth(metrics: &NetMetrics, depth: u64) {
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.queue_depth.load(Ordering::Relaxed) != depth {
+            assert!(
+                Instant::now() < deadline,
+                "queue never reached depth {depth}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn saturated_pool_sheds_low_priority_first() {
+        let gate = Arc::new(Gate::default());
+        let config = ServerConfig {
+            pool_workers: 1,
+            queue_capacity: 4, // admission limits: low 2, normal 3, high/critical 4
+            ..ServerConfig::default()
+        };
+        let metrics = Arc::clone(&config.metrics);
+        let mut srv = NetServer::bind(
+            "127.0.0.1:0",
+            Arc::new(TieredGated(Arc::clone(&gate))),
+            config,
+        )
+        .unwrap();
+
+        let connect = || {
+            let s = TcpStream::connect(srv.addr()).unwrap();
+            let r = BufReader::new(s.try_clone().unwrap());
+            (s, r)
+        };
+        // Occupy the single worker so every later request queues.
+        let (mut blocker, mut blocker_r) = connect();
+        get(&mut blocker, "/work?pri=3");
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while metrics.requests_pooled.load(Ordering::Relaxed) == 0
+            || metrics.queue_depth.load(Ordering::Relaxed) != 0
+        {
+            assert!(Instant::now() < deadline, "blocker never reached the pool");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Two low jobs fill the low tier's share of the queue...
+        let mut admitted = Vec::new();
+        for (i, target) in ["/a?pri=0", "/b?pri=0"].iter().enumerate() {
+            let (mut s, r) = connect();
+            get(&mut s, target);
+            wait_for_depth(&metrics, i as u64 + 1);
+            admitted.push((s, r));
+        }
+        // ...so the next low job is shed while higher tiers still go through.
+        let (mut low3, mut low3_r) = connect();
+        get(&mut low3, "/c?pri=0");
+        let resp = client::read_response(&mut low3_r).unwrap();
+        assert_eq!(resp.status, 503, "low is shed first");
+        assert!(resp.header("retry-after").is_some());
+
+        for (i, target) in ["/d?pri=2", "/e?pri=3"].iter().enumerate() {
+            let (mut s, r) = connect();
+            get(&mut s, target);
+            wait_for_depth(&metrics, i as u64 + 3);
+            admitted.push((s, r));
+        }
+        // Physically full now: even critical is refused.
+        let (mut crit2, mut crit2_r) = connect();
+        get(&mut crit2, "/f?pri=3");
+        let resp = client::read_response(&mut crit2_r).unwrap();
+        assert_eq!(resp.status, 503);
+
+        gate.release();
+        let resp = client::read_response(&mut blocker_r).unwrap();
+        assert_eq!(resp.status, 200);
+        for (_, r) in admitted.iter_mut() {
+            let resp = client::read_response(r).unwrap();
+            assert_eq!(resp.status, 200, "admitted jobs all complete");
+        }
+        srv.shutdown();
+        assert_eq!(metrics.rejected_busy.load(Ordering::Relaxed), 2);
     }
 
     struct Slow;

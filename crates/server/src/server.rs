@@ -91,6 +91,25 @@ impl HttpHandler for PlatformHandler {
         }
         None
     }
+
+    fn priority(&self, raw: &RawRequest) -> u8 {
+        request_priority(raw)
+    }
+}
+
+/// Map a request's `priority=low|normal|high|critical` query parameter to
+/// its queue tier ([`hta_life::TaskPriority`]'s rank). Missing or
+/// unrecognised values fall back to normal, so the parameter is purely
+/// opt-in. Runs on the reactor thread: a saturated solver pool sheds
+/// low-priority requests with `503 Retry-After` before it touches high or
+/// critical ones.
+fn request_priority(raw: &RawRequest) -> u8 {
+    let query = raw.target.split_once('?').map_or("", |(_, q)| q);
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix("priority="))
+        .and_then(hta_life::TaskPriority::parse)
+        .map_or(1, hta_life::TaskPriority::rank)
 }
 
 impl Server {
@@ -258,6 +277,54 @@ mod tests {
         assert_eq!(status, 404);
         let (status, _) = roundtrip(&mut stream, &mut reader, "GET", "/assign_batch?workers=0");
         assert_eq!(status, 405);
+        server.shutdown();
+    }
+
+    #[test]
+    fn priority_param_maps_to_queue_tiers() {
+        let raw = |target: &str| RawRequest {
+            method: "POST".to_owned(),
+            target: target.to_owned(),
+            keep_alive: true,
+        };
+        assert_eq!(request_priority(&raw("/assign?worker=0")), 1);
+        assert_eq!(
+            request_priority(&raw("/assign?worker=0&priority=low")),
+            hta_life::TaskPriority::Low.rank()
+        );
+        assert_eq!(request_priority(&raw("/assign?priority=normal")), 1);
+        assert_eq!(
+            request_priority(&raw("/assign?priority=high&worker=0")),
+            hta_life::TaskPriority::High.rank()
+        );
+        assert_eq!(
+            request_priority(&raw("/assign?priority=critical")),
+            hta_life::TaskPriority::Critical.rank()
+        );
+        // Unknown values degrade to normal rather than erroring.
+        assert_eq!(request_priority(&raw("/assign?priority=bogus")), 1);
+    }
+
+    #[test]
+    fn prioritized_requests_round_trip() {
+        let (server, _state) = start();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let (status, _) = roundtrip(
+            &mut stream,
+            &mut reader,
+            "POST",
+            "/register?keywords=english;audio&priority=critical",
+        );
+        assert_eq!(status, 200);
+        let (status, body) = roundtrip(
+            &mut stream,
+            &mut reader,
+            "POST",
+            "/assign?worker=0&priority=low",
+        );
+        assert_eq!(status, 200);
+        assert!(body.contains("\"tasks\":["), "{body}");
         server.shutdown();
     }
 

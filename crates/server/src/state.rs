@@ -124,12 +124,13 @@ pub(crate) struct Inner {
     pub(crate) edge_cache: Option<DiversityEdgeCache>,
 }
 
-/// Above this catalog size the edge cache (O(n²) build time and memory) is
-/// not worth holding; solves fall back to per-instance enumeration.
-const MAX_EDGE_CACHE_TASKS: usize = 4096;
-
 impl Inner {
     /// Build the catalog-level diversity-edge cache on first use.
+    ///
+    /// Above the configured catalog-size cap
+    /// ([`hta_core::edges::edge_cache_cap`], overridable via
+    /// `HTA_EDGE_CACHE_CAP`) the cache's O(n²) build time and memory are
+    /// not worth holding; solves fall back to per-instance enumeration.
     ///
     /// Soundness: the task catalog never mutates after construction, and
     /// keyword-space widening only appends zero bits to task vectors —
@@ -140,7 +141,7 @@ impl Inner {
     /// sort their members), which [`solve_open_subset`] verifies before
     /// reusing the edges.
     fn ensure_edge_cache(&mut self) {
-        if self.edge_cache.is_none() && self.tasks.len() <= MAX_EDGE_CACHE_TASKS {
+        if self.edge_cache.is_none() && self.tasks.len() <= hta_core::edges::edge_cache_cap(0) {
             self.edge_cache = Some(DiversityEdgeCache::build(
                 self.tasks.tasks(),
                 &Jaccard,
