@@ -11,11 +11,12 @@ use std::hint::black_box;
 use std::time::Duration;
 
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use hta_bench::build_instance;
+use hta_bench::{build_instance, build_pools};
 use hta_core::prelude::*;
+use hta_core::solver::{solve_open_subset, solve_open_subset_warm, WarmState};
 use hta_core::DiversityEdgeCache;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngExt, SeedableRng};
 
 fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers/end-to-end");
@@ -115,12 +116,125 @@ fn bench_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+// ---- Warm-start churn sweep -----------------------------------------------
+
+/// Churn levels for the warm sweep: percent of the catalog toggled between
+/// consecutive solves.
+const WARM_CHURN_PCT: [usize; 3] = [1, 5, 25];
+
+/// Open subsets for one churn level: `a` is the full catalog, `b` removes
+/// `⌈n·pct/100⌉` distinct tasks. Alternating solves between the two
+/// exercises both repair directions (close on a→b, reopen on b→a) at a
+/// constant churn magnitude.
+fn churn_pair(n: usize, pct: usize) -> (Vec<usize>, Vec<usize>) {
+    let a: Vec<usize> = (0..n).collect();
+    let k = (n * pct).div_ceil(100);
+    let mut rng = StdRng::seed_from_u64(0xC0_0052 ^ n as u64);
+    let mut removed = std::collections::BTreeSet::new();
+    while removed.len() < k {
+        removed.insert(rng.random_range(0..n as u32) as usize);
+    }
+    let b: Vec<usize> = (0..n).filter(|v| !removed.contains(v)).collect();
+    (a, b)
+}
+
+/// The sub-instance a serving layer builds for an open subset: local task
+/// ids 0.. in open order over the shared worker pool.
+fn sub_instance(tasks: &[Task], workers: &[Worker], open: &[usize], xmax: usize) -> Instance {
+    let local: Vec<Task> = open
+        .iter()
+        .enumerate()
+        .map(|(li, &ci)| {
+            Task::new(
+                TaskId(li as u32),
+                tasks[ci].group,
+                tasks[ci].keywords.clone(),
+            )
+        })
+        .collect();
+    Instance::new(local, workers.to_vec(), xmax).expect("generated instances are well-formed")
+}
+
+/// Warm-start sweep: steady-state warm solves alternating between two open
+/// subsets that differ by the churn fraction, so every measured solve pays
+/// one local matching repair instead of a full rebuild. A cold comparator
+/// on the same churned subset (edge-cache filter + full matching rebuild)
+/// anchors the speedup; warm ≡ cold output is property-tested in
+/// `hta-core`'s `warm_identity` suite, so this group tracks wall-clock
+/// only.
+fn bench_warm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solvers/warm");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[1_000usize, 4_000] {
+        let (tasks, workers) = build_pools(n, n / 10, 20, 0x51);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let solver = HtaGre::structured().with_threads(1);
+        for &pct in &WARM_CHURN_PCT {
+            let (a, b) = churn_pair(n, pct);
+            let inst_a = sub_instance(&tasks, &workers, &a, 10);
+            let inst_b = sub_instance(&tasks, &workers, &b, 10);
+            let mut warm = WarmState::new(&cache);
+            // Prime: the first warm solve pays the full matching build.
+            let mut rng = StdRng::seed_from_u64(1);
+            solve_open_subset_warm(
+                &solver,
+                &inst_a,
+                &a,
+                Some(&cache),
+                Some(&mut warm),
+                &mut rng,
+            );
+            let mut flip = false;
+            group.bench_function(
+                BenchmarkId::new(format!("hta-gre-structured/warm/c{pct}"), n),
+                |bench| {
+                    bench.iter(|| {
+                        let (inst, open) = if flip { (&inst_a, &a) } else { (&inst_b, &b) };
+                        flip = !flip;
+                        let mut rng = StdRng::seed_from_u64(1);
+                        black_box(
+                            solve_open_subset_warm(
+                                &solver,
+                                inst,
+                                open,
+                                Some(&cache),
+                                Some(&mut warm),
+                                &mut rng,
+                            )
+                            .assignment
+                            .assigned_count(),
+                        )
+                    })
+                },
+            );
+        }
+        // Cold anchor: the same subset solved through the plain edge-cache
+        // path every time (its cost is churn-independent).
+        let (_, b) = churn_pair(n, WARM_CHURN_PCT[0]);
+        let inst_b = sub_instance(&tasks, &workers, &b, 10);
+        group.bench_function(BenchmarkId::new("hta-gre-structured/cold", n), |bench| {
+            bench.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(
+                    solve_open_subset(&solver, &inst_b, &b, Some(&cache), &mut rng)
+                        .assignment
+                        .assigned_count(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 // ---- BENCH_solvers.json: machine-readable per-phase timings ---------------
 
 struct PhaseSample {
     label: String,
     n_tasks: usize,
     threads: usize,
+    /// Churn percent for warm-sweep rows; `None` for the cold sweeps.
+    churn_pct: Option<usize>,
     edge_enum: Duration,
     matching: Duration,
     lsap: Duration,
@@ -158,6 +272,7 @@ fn emit_phase_json() {
                 label: "hta-gre-structured".into(),
                 n_tasks: n,
                 threads,
+                churn_pct: None,
                 edge_enum: out.timings.edge_enum,
                 matching: out.timings.matching,
                 lsap: out.timings.lsap,
@@ -176,6 +291,7 @@ fn emit_phase_json() {
             label: "hta-gre-structured/reuse".into(),
             n_tasks: n,
             threads: 1,
+            churn_pct: None,
             edge_enum: out.timings.edge_enum,
             matching: out.timings.matching,
             lsap: out.timings.lsap,
@@ -183,15 +299,78 @@ fn emit_phase_json() {
         });
     }
 
+    // Warm-start churn sweep: the steady-state repair cost at each churn
+    // level, one row per (|T|, churn%). `matching_s` here is the local
+    // repair + extraction, the phase the cold rows rebuild from scratch.
+    for &n in &[1_000usize, 4_000] {
+        let (tasks, workers) = build_pools(n, n / 10, 20, 0x51);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let solver = HtaGre::structured().with_threads(1);
+        for &pct in &WARM_CHURN_PCT {
+            let (a, b) = churn_pair(n, pct);
+            let inst_a = sub_instance(&tasks, &workers, &a, 10);
+            let inst_b = sub_instance(&tasks, &workers, &b, 10);
+            let mut warm = WarmState::new(&cache);
+            let mut rng = StdRng::seed_from_u64(1);
+            solve_open_subset_warm(
+                &solver,
+                &inst_a,
+                &a,
+                Some(&cache),
+                Some(&mut warm),
+                &mut rng,
+            );
+            let (out, wall) = best_of(runs, || {
+                // Measured: a → b (one churn delta repaired warm)…
+                let start = std::time::Instant::now();
+                let mut rng = StdRng::seed_from_u64(1);
+                let out = solve_open_subset_warm(
+                    &solver,
+                    &inst_b,
+                    &b,
+                    Some(&cache),
+                    Some(&mut warm),
+                    &mut rng,
+                );
+                let wall = start.elapsed();
+                // …then b → a unmeasured, restoring the state for the next run.
+                let mut rng = StdRng::seed_from_u64(1);
+                solve_open_subset_warm(
+                    &solver,
+                    &inst_a,
+                    &a,
+                    Some(&cache),
+                    Some(&mut warm),
+                    &mut rng,
+                );
+                (out, wall)
+            });
+            samples.push(PhaseSample {
+                label: "hta-gre-structured/warm".into(),
+                n_tasks: n,
+                threads: 1,
+                churn_pct: Some(pct),
+                edge_enum: out.timings.edge_enum,
+                matching: out.timings.matching,
+                lsap: out.timings.lsap,
+                total: wall,
+            });
+        }
+    }
+
     let mut json = String::from("{\n  \"group\": \"solvers/parallel\",\n  \"samples\": [\n");
     for (i, s) in samples.iter().enumerate() {
+        let churn = s
+            .churn_pct
+            .map_or(String::new(), |p| format!("\"churn_pct\": {p}, "));
         json.push_str(&format!(
-            "    {{\"label\": \"{}\", \"n_tasks\": {}, \"threads\": {}, \
+            "    {{\"label\": \"{}\", \"n_tasks\": {}, \"threads\": {}, {}\
              \"edge_enum_s\": {:.6}, \"matching_s\": {:.6}, \"lsap_s\": {:.6}, \
              \"total_s\": {:.6}}}{}\n",
             s.label,
             s.n_tasks,
             s.threads,
+            churn,
             s.edge_enum.as_secs_f64(),
             s.matching.as_secs_f64(),
             s.lsap.as_secs_f64(),
@@ -211,7 +390,7 @@ fn emit_phase_json() {
     }
 }
 
-criterion_group!(benches, bench_solvers, bench_parallel);
+criterion_group!(benches, bench_solvers, bench_parallel, bench_warm);
 
 fn main() {
     benches();

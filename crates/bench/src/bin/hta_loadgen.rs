@@ -143,8 +143,14 @@ fn drive_connection(addr: &str, cfg: &LoadConfig, stop: &AtomicBool) -> LoadRepo
             let (stream, reader) = conn.as_mut().expect("connection is live");
             // Fill the pipeline window (exactly 1 in closed-loop mode).
             while in_flight.len() < cfg.pipeline && !stop.load(Ordering::Relaxed) {
+                // Stamp at write start: per-request latency spans the
+                // request write through response completion, and never the
+                // TCP connect that preceded it — the legacy baseline
+                // reconnects per request, and its handshake cost is
+                // reported via `reconnects`, not smuggled into p99.
+                let sent = Instant::now();
                 match stream.write_all(&wire) {
-                    Ok(()) => in_flight.push_back(Instant::now()),
+                    Ok(()) => in_flight.push_back(sent),
                     Err(_) => {
                         report.io_errors += 1;
                         drop_conn = true;

@@ -18,6 +18,19 @@ pub fn build_instance(
     xmax: usize,
     seed: u64,
 ) -> Instance {
+    let (tasks, workers) = build_pools(n_tasks, n_groups, n_workers, seed);
+    Instance::new(tasks, workers, xmax).expect("generated instances are well-formed")
+}
+
+/// The catalog + worker pool behind [`build_instance`], un-frozen — for
+/// callers that repeatedly re-instance subsets of one fixed catalog (the
+/// warm-start churn sweep solves a fresh open subset each round).
+pub fn build_pools(
+    n_tasks: usize,
+    n_groups: usize,
+    n_workers: usize,
+    seed: u64,
+) -> (Vec<Task>, Vec<Worker>) {
     let amt = generate_exact(
         &AmtConfig {
             seed,
@@ -33,7 +46,20 @@ pub fn build_instance(
             ..Default::default()
         },
     );
-    instance_from_pools(&amt.tasks, &workers, xmax)
+    let ts: Vec<Task> = amt
+        .tasks
+        .tasks()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| Task::new(TaskId(i as u32), t.group, t.keywords.clone()))
+        .collect();
+    let ws: Vec<Worker> = workers
+        .workers()
+        .iter()
+        .enumerate()
+        .map(|(i, w)| Worker::new(WorkerId(i as u32), w.keywords.clone()).with_weights(w.weights))
+        .collect();
+    (ts, ws)
 }
 
 /// Freeze a [`TaskPool`] + [`WorkerPool`] into an [`Instance`].

@@ -18,5 +18,7 @@
 pub mod harness;
 pub mod scale;
 
-pub use harness::{build_instance, csv_path, instance_from_pools, time_it, write_csv, Row, Table};
+pub use harness::{
+    build_instance, build_pools, csv_path, instance_from_pools, time_it, write_csv, Row, Table,
+};
 pub use scale::{Scale, SweepSpec};

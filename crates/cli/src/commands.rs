@@ -330,7 +330,7 @@ fn print_repro_header(label: &str, cfg: &hta_crowd::OnlineConfig) {
         }
     };
     let mut line = format!(
-        "# {label}: seed={:#x} catalog={} sessions={} cohort={} index-shards={} solver-threads={} candidates={}",
+        "# {label}: seed={:#x} catalog={} sessions={} cohort={} index-shards={} solver-threads={} candidates={} warm-start={}",
         cfg.seed,
         cfg.catalog.n_tasks,
         cfg.sessions_per_strategy,
@@ -341,6 +341,7 @@ fn print_repro_header(label: &str, cfg: &hta_crowd::OnlineConfig) {
             hta_index::par::solver_threads(0)
         ),
         cfg.platform.candidates,
+        if cfg.platform.warm_start { "on" } else { "off" },
     );
     if cfg.platform.lifecycle {
         let m = cfg.platform.priority_mix.weights();
@@ -433,6 +434,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         "priority-mix",
         "reputation",
         "edge-cache-cap",
+        "warm-start",
     ])?;
     let sessions: usize = args.get_or("sessions", 8)?;
     let catalog: usize = args.get_or("catalog", 2000)?;
@@ -465,6 +467,12 @@ pub fn simulate(args: &Args) -> CmdResult {
         Some(other) => return Err(format!("--reputation must be on or off, got '{other}'").into()),
     };
     let edge_cache_cap: usize = args.get_or("edge-cache-cap", 0)?;
+    let warm_start = match args.get("warm-start") {
+        None => None,
+        Some("on") => Some(true),
+        Some("off") => Some(false),
+        Some(other) => return Err(format!("--warm-start must be on or off, got '{other}'").into()),
+    };
     let control = run_control(args)?;
 
     let mut cfg = hta_crowd::OnlineConfig {
@@ -492,6 +500,10 @@ pub fn simulate(args: &Args) -> CmdResult {
         cfg.platform.priority_mix = mix;
     }
     cfg.platform.reputation = reputation == Some(true);
+    // Purely a performance knob: warm solves repair the previous
+    // iteration's matching instead of rebuilding, with byte-identical
+    // metrics either way.
+    cfg.platform.warm_start = warm_start == Some(true);
     print_repro_header("simulate", &cfg);
     report_outcome(hta_crowd::run_with(&cfg, None, &control)?);
     Ok(())
@@ -777,6 +789,8 @@ mod tests {
         assert!(err.to_string().contains("on or off"), "{err}");
         assert!(simulate(&args(&["simulate", "--deadlines", "-1"])).is_err());
         assert!(simulate(&args(&["simulate", "--priority-mix", "1,2"])).is_err());
+        let err = simulate(&args(&["simulate", "--warm-start", "yes"])).unwrap_err();
+        assert!(err.to_string().contains("on or off"), "{err}");
     }
 
     #[test]

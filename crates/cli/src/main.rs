@@ -45,6 +45,9 @@ COMMANDS:
              --sessions N (8)  --catalog M (2000)  --seed S (0x5E59)
              --candidates full|topk:K (full)  --shards N (0 = auto)
              --solver-threads N (0 = auto)
+             --warm-start on|off (off)  — repair the previous cohort's
+               matching instead of rebuilding it; metrics are
+               byte-identical either way (it survives checkpoint/resume)
              --checkpoint-every N  --checkpoint-dir DIR  — write a
                versioned, checksummed snapshot every N cohorts
              --checkpoint-keep K (5)  — prune to the K newest snapshots

@@ -16,7 +16,7 @@ use crate::edges::DiversityEdgeCache;
 use crate::error::HtaError;
 use crate::instance::Instance;
 use crate::metric::{Distance, Jaccard};
-use crate::solver::Solver;
+use crate::solver::{Solver, WarmState};
 use crate::task::{Task, TaskId, TaskPool};
 use crate::worker::{Weights, Worker, WorkerId, WorkerPool};
 
@@ -70,6 +70,7 @@ pub struct IterationEngine {
     iteration: usize,
     candidates: Option<Box<dyn CandidateGenerator>>,
     edge_cache: Option<DiversityEdgeCache>,
+    warm: Option<WarmState>,
 }
 
 impl IterationEngine {
@@ -105,6 +106,7 @@ impl IterationEngine {
             iteration: 0,
             candidates: None,
             edge_cache: None,
+            warm: None,
         })
     }
 
@@ -117,21 +119,50 @@ impl IterationEngine {
     /// `threads` controls the one-off build (`0` = auto).
     pub fn enable_edge_reuse(&mut self, threads: usize) {
         let threads = hta_par::solver_threads(threads);
-        self.edge_cache = Some(DiversityEdgeCache::build(
-            self.tasks.tasks(),
-            self.distance.as_ref(),
-            threads,
-        ));
+        let cache = DiversityEdgeCache::build(self.tasks.tasks(), self.distance.as_ref(), threads);
+        // A warm state is bound to one edge cache; rebuilding the cache
+        // rebinds it (the next iteration reinstalls the open set).
+        if self.warm.is_some() {
+            self.warm = Some(WarmState::new(&cache));
+        }
+        self.edge_cache = Some(cache);
     }
 
     /// Drop the precomputed edge list (back to per-iteration enumeration).
+    /// Also drops any warm-start state, which cannot outlive its cache.
     pub fn disable_edge_reuse(&mut self) {
         self.edge_cache = None;
+        self.warm = None;
     }
 
     /// Whether the reusable edge list is active.
     pub fn edge_reuse_enabled(&self) -> bool {
         self.edge_cache.is_some()
+    }
+
+    /// Carry the matching forward between iterations: the open set is
+    /// diffed against the previous iteration's, only the touched pairs are
+    /// invalidated, and the matching is repaired locally — so steady-state
+    /// per-iteration matching cost is proportional to churn, not catalog
+    /// size. Implies [`enable_edge_reuse`](Self::enable_edge_reuse) (the
+    /// warm state lives on top of the cached edge list). Results remain
+    /// byte-identical to the cold path at every churn level.
+    pub fn enable_warm_start(&mut self, threads: usize) {
+        if self.edge_cache.is_none() {
+            self.enable_edge_reuse(threads);
+        }
+        let cache = self.edge_cache.as_ref().expect("edge cache just built");
+        self.warm = Some(WarmState::new(cache));
+    }
+
+    /// Drop the warm-start state (the edge cache stays).
+    pub fn disable_warm_start(&mut self) {
+        self.warm = None;
+    }
+
+    /// Whether warm-start matching is active.
+    pub fn warm_start_enabled(&self) -> bool {
+        self.warm.is_some()
     }
 
     /// Install a candidate-generation stage (sparse mode). Subsequent
@@ -274,18 +305,30 @@ impl IterationEngine {
         // and sorting this instance would produce. Fall back to a fresh
         // solve if a future code path ever breaks the ordering.
         // The cache is only trusted when its catalog fingerprint still
-        // matches the pool — a stale cache (catalog swapped or restored from
-        // elsewhere) silently degrades to fresh enumeration.
-        let cache = self
+        // matches the pool. On mismatch (catalog swapped or restored from
+        // elsewhere) the cache is *rebuilt in place*, not merely bypassed:
+        // bypassing would leave the stale fingerprint stored and silently
+        // re-enumerate edges on every subsequent iteration.
+        if self
             .edge_cache
             .as_ref()
-            .filter(|c| c.valid_for(self.tasks.tasks().iter().map(|t| &t.keywords)));
-        let out = match cache {
+            .is_some_and(|c| !c.valid_for(self.tasks.tasks().iter().map(|t| &t.keywords)))
+        {
+            self.enable_edge_reuse(0);
+        }
+        let out = match self.edge_cache.as_ref() {
             Some(cache) => {
                 let open: Vec<u32> = local_to_global.iter().map(|t| t.0).collect();
                 if open.windows(2).all(|w| w[0] < w[1]) {
-                    let edges = cache.filter_sorted(&open);
-                    solver.solve_with_diversity_edges(&inst, &edges, rng)
+                    match self.warm.as_mut() {
+                        Some(warm) if warm.matches_cache(cache) && open.len() == inst.n_tasks() => {
+                            solver.solve_warm(&inst, cache, warm, &open, rng)
+                        }
+                        _ => {
+                            let edges = cache.filter_sorted(&open);
+                            solver.solve_with_diversity_edges(&inst, &edges, rng)
+                        }
+                    }
                 } else {
                     solver.solve(&inst, rng)
                 }
@@ -374,7 +417,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_edge_cache_falls_back_to_fresh_enumeration() {
+    fn stale_edge_cache_is_refreshed_and_results_match_cacheless() {
         use crate::metric::Jaccard;
         use crate::task::Task;
 
@@ -384,8 +427,9 @@ mod tests {
         let expect = plain.run_iteration(&HtaGre::new(), &mut rng).unwrap();
 
         // Engine carrying a cache built from a *different* catalog: the
-        // fingerprint guard must reject it and solve from scratch, giving
-        // the same result as the cacheless engine.
+        // fingerprint guard must detect the mismatch, rebuild the cache for
+        // the current catalog, and produce the same result as the cacheless
+        // engine (a filtered cached list is byte-identical to enumerating).
         let mut stale = setup(24, 2, 3);
         let other: Vec<Task> = (0..24)
             .map(|i| {
@@ -401,6 +445,13 @@ mod tests {
         let got = stale.run_iteration(&HtaGre::new(), &mut rng).unwrap();
         assert_eq!(got.assignments, expect.assignments);
         assert_eq!(got.objective, expect.objective);
+        // The stored cache must now fingerprint-match the live catalog —
+        // the old behavior left the stale fingerprint in place forever.
+        assert!(stale
+            .edge_cache
+            .as_ref()
+            .unwrap()
+            .valid_for(stale.tasks.tasks().iter().map(|t| &t.keywords)));
 
         // Sanity: a cache the engine built itself is accepted and agrees too.
         let mut fresh = setup(24, 2, 3);
@@ -408,6 +459,84 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let cached = fresh.run_iteration(&HtaGre::new(), &mut rng).unwrap();
         assert_eq!(cached.assignments, expect.assignments);
+    }
+
+    #[test]
+    fn stale_cache_refresh_stops_per_iteration_re_enumeration() {
+        use crate::metric::Jaccard;
+        use crate::task::Task;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // A Jaccard that counts its invocations, so the test can see whether
+        // an iteration enumerated all-pairs diversity edges or reused the
+        // cached list.
+        struct CountingJaccard(Arc<AtomicUsize>);
+        impl Distance for CountingJaccard {
+            fn dist(&self, a: &KeywordVec, b: &KeywordVec) -> f64 {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Jaccard.dist(a, b)
+            }
+            fn name(&self) -> &'static str {
+                "jaccard" // impersonate: keep solver/metric gates identical
+            }
+            fn is_metric(&self) -> bool {
+                true
+            }
+        }
+
+        let n = 24; // below AUTO_CACHE_MIN_TASKS: instance build costs only
+                    // |T|·|W| relevance calls, never an all-pairs sweep
+        let calls = Arc::new(AtomicUsize::new(0));
+        let nbits = 32;
+        let mut tasks = TaskPool::new();
+        for i in 0..n {
+            let kw = KeywordVec::from_indices(nbits, &[i % nbits, (i * 7 + 3) % nbits]);
+            tasks.push(GroupId((i / 4) as u32), kw);
+        }
+        let mut workers = WorkerPool::new();
+        for i in 0..2 {
+            let kw = KeywordVec::from_indices(nbits, &[i % nbits, (i * 5 + 1) % nbits]);
+            workers.push(kw, Weights::balanced());
+        }
+        let mut engine = IterationEngine::with_distance(
+            tasks,
+            workers,
+            3,
+            Arc::new(CountingJaccard(Arc::clone(&calls))),
+        )
+        .unwrap();
+
+        // Plant a stale cache (wrong catalog, fingerprint mismatch).
+        let other: Vec<Task> = (0..n)
+            .map(|i| {
+                Task::new(
+                    TaskId(i as u32),
+                    GroupId(0),
+                    KeywordVec::from_indices(32, &[(i * 13 + 5) % 32]),
+                )
+            })
+            .collect();
+        engine.edge_cache = Some(DiversityEdgeCache::build(&other, &Jaccard, 1));
+
+        let mut rng = StdRng::seed_from_u64(11);
+        // First iteration pays one rebuild: ≥ n(n−1)/2 distance calls.
+        engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        let after_first = calls.load(Ordering::Relaxed);
+        assert!(after_first >= n * (n - 1) / 2, "rebuild did not happen");
+
+        // Second iteration must reuse the refreshed cache: its distance
+        // budget is only the |T^i|·|W| relevance precompute, strictly below
+        // an all-pairs enumeration over the remaining tasks. Before the fix
+        // the stale fingerprint stayed stored and every iteration paid the
+        // full enumeration again.
+        let remaining = engine.remaining_tasks();
+        engine.run_iteration(&HtaGre::new(), &mut rng).unwrap();
+        let delta = calls.load(Ordering::Relaxed) - after_first;
+        assert!(
+            delta < remaining * (remaining - 1) / 2,
+            "iteration after refresh re-enumerated ({delta} distance calls \
+             for {remaining} open tasks)"
+        );
     }
 
     #[test]
@@ -542,6 +671,67 @@ mod tests {
         let a = plain.run_iteration(&solver, &mut rng_a).unwrap();
         let b = reusing.run_iteration(&solver, &mut rng_b).unwrap();
         assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn warm_start_is_byte_identical_across_iterations() {
+        // The open set shrinks every iteration (assigned tasks drop out), so
+        // this drives the warm diff/repair path with real churn. Thread
+        // counts differ between the two engines on purpose: output must be
+        // invariant to both warm state and parallelism.
+        let solver = HtaGre::new().with_threads(2);
+        let mut plain = setup(30, 2, 3);
+        let mut warmed = setup(30, 2, 3);
+        warmed.enable_warm_start(1);
+        assert!(warmed.warm_start_enabled());
+        assert!(warmed.edge_reuse_enabled(), "warm start implies edge reuse");
+        let cold_solver = HtaGre::new().with_threads(1);
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let a = plain.run_iteration(&cold_solver, &mut rng_a).unwrap();
+            let b = warmed.run_iteration(&solver, &mut rng_b).unwrap();
+            assert_eq!(a.assignments, b.assignments);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+        // Disabling warm start keeps the edge cache and stays identical.
+        warmed.disable_warm_start();
+        assert!(!warmed.warm_start_enabled());
+        assert!(warmed.edge_reuse_enabled());
+        let a = plain.run_iteration(&cold_solver, &mut rng_a).unwrap();
+        let b = warmed.run_iteration(&solver, &mut rng_b).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn warm_start_composes_with_candidate_generation() {
+        // Candidate selection shrinks the open set below the full available
+        // pool; the warm path must still agree with the cold path (the open
+        // subset stays sorted, so it repairs rather than falling back).
+        let solver = HtaGre::new().with_threads(1);
+        let generator = || {
+            Box::new(|tasks: &[Task], workers: &[Worker], xmax: usize| {
+                Some(
+                    (0..tasks.len())
+                        .step_by(2)
+                        .take((workers.len() * xmax) * 2)
+                        .collect(),
+                )
+            })
+        };
+        let mut plain = setup(24, 2, 2);
+        plain.set_candidate_generator(generator());
+        let mut warmed = setup(24, 2, 2);
+        warmed.set_candidate_generator(generator());
+        warmed.enable_warm_start(0);
+        let mut rng_a = StdRng::seed_from_u64(29);
+        let mut rng_b = StdRng::seed_from_u64(29);
+        for _ in 0..3 {
+            let a = plain.run_iteration(&solver, &mut rng_a).unwrap();
+            let b = warmed.run_iteration(&solver, &mut rng_b).unwrap();
+            assert_eq!(a.assignments, b.assignments);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
     }
 
     #[test]

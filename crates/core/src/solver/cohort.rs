@@ -15,7 +15,7 @@ use rand::Rng;
 
 use crate::edges::DiversityEdgeCache;
 use crate::instance::Instance;
-use crate::solver::{SolveOutcome, Solver};
+use crate::solver::{SolveOutcome, Solver, WarmState};
 
 /// Solve `inst`, whose tasks are the catalog subset `open` (catalog
 /// indices, one per local task id, in local order), reusing `cache` when
@@ -49,6 +49,38 @@ pub fn solve_open_subset(
             solver.solve_with_diversity_edges(inst, &edges, rng)
         }
         _ => solver.solve(inst, rng),
+    }
+}
+
+/// [`solve_open_subset`] carrying warm-start state between solves.
+///
+/// The warm path is taken only when *all* of [`solve_open_subset`]'s
+/// conditions hold **and** the warm state is bound to the supplied cache
+/// ([`WarmState::matches_cache`]) **and** the instance's task count equals
+/// the open-subset length. Any violation degrades gracefully — first to the
+/// plain edge-cache path, then to a cold solve — leaving `warm` untouched,
+/// so a caller whose open set momentarily loses sortedness (e.g. a
+/// downsampled candidate pool) pays only the cold cost for that call and
+/// resumes warm solving on the next sorted one.
+pub fn solve_open_subset_warm(
+    solver: &dyn Solver,
+    inst: &Instance,
+    open: &[usize],
+    cache: Option<&DiversityEdgeCache>,
+    warm: Option<&mut WarmState>,
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
+    let usable = cache.is_some_and(|c| {
+        open.windows(2).all(|w| w[0] < w[1]) && open.last().is_none_or(|&g| g < c.n_tasks())
+    });
+    match (cache, warm) {
+        (Some(cache), Some(warm))
+            if usable && warm.matches_cache(cache) && inst.n_tasks() == open.len() =>
+        {
+            let open_u32: Vec<u32> = open.iter().map(|&i| i as u32).collect();
+            solver.solve_warm(inst, cache, warm, &open_u32, rng)
+        }
+        _ => solve_open_subset(solver, inst, open, cache, rng),
     }
 }
 

@@ -10,9 +10,12 @@ use rand::Rng;
 
 use hta_matching::WeightedEdge;
 
+use crate::edges::DiversityEdgeCache;
 use crate::instance::Instance;
-use crate::solver::qap_pipeline::{solve_via_qap, solve_via_qap_with_edges, PipelineOptions};
-use crate::solver::{CostRepresentation, LsapStrategy, SolveOutcome, Solver};
+use crate::solver::qap_pipeline::{
+    solve_via_qap, solve_via_qap_warm, solve_via_qap_with_edges, PipelineOptions,
+};
+use crate::solver::{CostRepresentation, LsapStrategy, SolveOutcome, Solver, WarmState};
 
 /// The HTA-GRE solver. See [module docs](self).
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +94,17 @@ impl Solver for HtaGre {
         rng: &mut dyn Rng,
     ) -> SolveOutcome {
         solve_via_qap_with_edges(inst, self.options(), sorted_edges, rng)
+    }
+
+    fn solve_warm(
+        &self,
+        inst: &Instance,
+        cache: &DiversityEdgeCache,
+        warm: &mut WarmState,
+        open: &[u32],
+        rng: &mut dyn Rng,
+    ) -> SolveOutcome {
+        solve_via_qap_warm(inst, self.options(), cache, warm, open, rng)
     }
 }
 

@@ -8,14 +8,16 @@ pub mod hta_app;
 pub mod hta_gre;
 pub mod local_search;
 mod qap_pipeline;
+pub mod warm;
 
 pub use baselines::{GreedyMotivation, GreedyRelevance, RandomAssign};
-pub use cohort::solve_open_subset;
+pub use cohort::{solve_open_subset, solve_open_subset_warm};
 pub use exact::ExactSolver;
 pub use hta_app::HtaApp;
 pub use hta_gre::HtaGre;
 pub use local_search::LocalSearch;
 pub use qap_pipeline::{CostRepresentation, LsapStrategy};
+pub use warm::WarmState;
 
 use std::time::Duration;
 
@@ -83,6 +85,30 @@ pub trait Solver {
     ) -> SolveOutcome {
         let _ = sorted_edges;
         self.solve(inst, rng)
+    }
+
+    /// Solve one instance whose tasks are the catalog subset `open`
+    /// (strictly increasing catalog indices, one per local task id),
+    /// carrying matching/LSAP state forward from the previous solve in
+    /// `warm`.
+    ///
+    /// The contract is identical to [`Self::solve`] — byte-identical output
+    /// at every churn level and thread count; `warm` only changes the cost.
+    /// Pipeline solvers override this with the incremental repair path and
+    /// fall back to the cold path on any invariant violation. The default
+    /// ignores `warm` and reuses the edge cache, which already carries the
+    /// same identity guarantee. Prefer calling through
+    /// [`cohort::solve_open_subset_warm`], which centralizes the guards.
+    fn solve_warm(
+        &self,
+        inst: &Instance,
+        cache: &crate::edges::DiversityEdgeCache,
+        warm: &mut WarmState,
+        open: &[u32],
+        rng: &mut dyn Rng,
+    ) -> SolveOutcome {
+        let _ = warm;
+        self.solve_with_diversity_edges(inst, &cache.filter_sorted(open), rng)
     }
 }
 

@@ -38,9 +38,10 @@ use hta_matching::{
     Matching, WeightedEdge,
 };
 
-use crate::edges::enumerate_positive_edges;
+use crate::edges::{enumerate_positive_edges, DiversityEdgeCache};
 use crate::instance::Instance;
 use crate::qap::{assignment_from_permutation, worker_of_vertex};
+use crate::solver::warm::WarmState;
 use crate::solver::{PhaseTimings, SolveOutcome};
 
 /// Which LSAP solver to run in step 4.
@@ -133,42 +134,10 @@ fn solve_via_qap_impl(
         }
     };
 
-    // b_M(t_k): weight of the matched edge incident to task k (0 otherwise,
-    // and 0 for virtual rows).
-    let mut bm = vec![0.0f64; n];
-    for e in mb.edges() {
-        bm[e.u as usize] = e.weight;
-        bm[e.v as usize] = e.weight;
-    }
-
-    // ---- Steps 3-4: auxiliary LSAP ---------------------------------------
-    // Column classes: class q < |W| is worker q's X_max-wide block; class
-    // |W| collects the isolated (zero-profit) columns.
-    // f(k, class q) = b_M(t_k)·(X_max−1)·α_q + β_q·rel(q, t_k)·(X_max−1).
-    let xm1 = xmax as f64 - 1.0;
-    let profit = |k: usize, class: usize| -> f64 {
-        if class >= nw || k >= n_real {
-            return 0.0;
-        }
-        bm[k] * xm1 * inst.alpha(class) + inst.beta(class) * inst.rel(class, k) * xm1
-    };
+    let bm = bm_vector(n, &mb);
 
     let t_lsap = Instant::now();
-    let lsap_solution = match opts.representation {
-        CostRepresentation::Dense => {
-            let dense = DenseMatrix::from_fn_parallel(n, threads, |k, l| {
-                profit(k, worker_of_vertex(l, xmax, nw).unwrap_or(nw))
-            });
-            run_lsap(&dense, opts.lsap, threads)
-        }
-        CostRepresentation::Classed => {
-            let classes: Vec<u32> = (0..n)
-                .map(|l| worker_of_vertex(l, xmax, nw).unwrap_or(nw) as u32)
-                .collect();
-            let classed = ClassedCosts::new_parallel(n, nw + 1, classes, threads, profit);
-            run_lsap(&classed, opts.lsap, threads)
-        }
-    };
+    let lsap_solution = compute_lsap(inst, opts, threads, &bm);
     let lsap_time = t_lsap.elapsed();
 
     finish(
@@ -185,6 +154,169 @@ fn solve_via_qap_impl(
         t_start,
         rng,
     )
+}
+
+/// [`solve_via_qap`] carrying the matching forward from the previous solve:
+/// the open set is diffed against `warm`'s cached one, only the touched
+/// pairs are invalidated, and the matching is repaired locally — `O(churn ×
+/// degree)` instead of the full `O(|E|)` scan. The auxiliary LSAP is served
+/// from `warm`'s input-keyed memo when the profit matrix is bit-identical
+/// to the previous solve.
+///
+/// Every invariant violation (unsorted or out-of-range open set, a warm
+/// state bound to a different catalog, an instance/open length mismatch)
+/// falls back to the cold path, mirroring the edge-cache fingerprint guard,
+/// so the output is byte-identical to [`solve_via_qap`] unconditionally.
+pub(crate) fn solve_via_qap_warm(
+    inst: &Instance,
+    opts: PipelineOptions,
+    cache: &DiversityEdgeCache,
+    warm: &mut WarmState,
+    open: &[u32],
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
+    let n_real = inst.n_tasks();
+    let sorted_in_range = open.windows(2).all(|w| w[0] < w[1])
+        && open.last().is_none_or(|&g| (g as usize) < cache.n_tasks());
+    if !sorted_in_range {
+        // The open list cannot even index the cache; nothing reusable.
+        return solve_via_qap(inst, opts, rng);
+    }
+    if !(warm.matches_cache(cache) && open.len() == n_real) {
+        // The edge cache is usable but the warm state is not (stale catalog
+        // binding); leave it untouched and take the filter path.
+        return solve_via_qap_with_edges(inst, opts, &cache.filter_sorted(open), rng);
+    }
+
+    let t_start = Instant::now();
+    let threads = hta_par::solver_threads(opts.threads);
+    let nw = inst.n_workers();
+    let xmax = inst.xmax();
+    let n = n_real.max(nw * xmax);
+
+    // ---- Step 2, incremental: diff + local repair + extraction -----------
+    let t_matching = Instant::now();
+    warm.update_open(cache, open);
+    let mb = warm.extract_matching(cache, n);
+    let matching_time = t_matching.elapsed();
+
+    let bm = bm_vector(n, &mb);
+
+    // ---- Steps 3-4 with the input-keyed memo ------------------------------
+    let t_lsap = Instant::now();
+    let key = lsap_memo_key(inst, opts, n, &bm);
+    let lsap_solution = match warm.memo_get(key) {
+        Some(sol) => sol,
+        None => {
+            let sol = compute_lsap(inst, opts, threads, &bm);
+            warm.memo_put(key, &sol);
+            sol
+        }
+    };
+    let lsap_time = t_lsap.elapsed();
+
+    finish(
+        inst,
+        opts,
+        mb,
+        lsap_solution,
+        PhaseTimings {
+            edge_enum: std::time::Duration::ZERO,
+            matching: matching_time,
+            lsap: lsap_time,
+            total: std::time::Duration::ZERO, // patched below
+        },
+        t_start,
+        rng,
+    )
+}
+
+/// `b_M(t_k)`: weight of the matched edge incident to task `k` (0
+/// otherwise, and 0 for virtual rows).
+fn bm_vector(n: usize, mb: &Matching) -> Vec<f64> {
+    let mut bm = vec![0.0f64; n];
+    for e in mb.edges() {
+        bm[e.u as usize] = e.weight;
+        bm[e.v as usize] = e.weight;
+    }
+    bm
+}
+
+/// Steps 3-4: build the profit matrix in the requested representation and
+/// run the configured LSAP strategy. A pure function of `(opts.lsap,
+/// opts.representation, bm, instance weights/relevances, shape)` — the
+/// thread count provably never changes the result — which is what makes the
+/// warm path's input-keyed memo sound.
+fn compute_lsap(
+    inst: &Instance,
+    opts: PipelineOptions,
+    threads: usize,
+    bm: &[f64],
+) -> hta_matching::LsapSolution {
+    let n = bm.len();
+    let n_real = inst.n_tasks();
+    let nw = inst.n_workers();
+    let xmax = inst.xmax();
+    // Column classes: class q < |W| is worker q's X_max-wide block; class
+    // |W| collects the isolated (zero-profit) columns.
+    // f(k, class q) = b_M(t_k)·(X_max−1)·α_q + β_q·rel(q, t_k)·(X_max−1).
+    let xm1 = xmax as f64 - 1.0;
+    let profit = |k: usize, class: usize| -> f64 {
+        if class >= nw || k >= n_real {
+            return 0.0;
+        }
+        bm[k] * xm1 * inst.alpha(class) + inst.beta(class) * inst.rel(class, k) * xm1
+    };
+    match opts.representation {
+        CostRepresentation::Dense => {
+            let dense = DenseMatrix::from_fn_parallel(n, threads, |k, l| {
+                profit(k, worker_of_vertex(l, xmax, nw).unwrap_or(nw))
+            });
+            run_lsap(&dense, opts.lsap, threads)
+        }
+        CostRepresentation::Classed => {
+            let classes: Vec<u32> = (0..n)
+                .map(|l| worker_of_vertex(l, xmax, nw).unwrap_or(nw) as u32)
+                .collect();
+            let classed = ClassedCosts::new_parallel(n, nw + 1, classes, threads, profit);
+            run_lsap(&classed, opts.lsap, threads)
+        }
+    }
+}
+
+/// Fingerprint of every input [`compute_lsap`] depends on: strategy and
+/// representation, shape, `b_M`, per-worker weights, and the relevance
+/// matrix. Two solves with equal keys have bit-identical profit matrices,
+/// so replaying a memoized solution is byte-identical to re-solving.
+/// Deliberately excludes the thread count (the result never depends on it).
+fn lsap_memo_key(inst: &Instance, opts: PipelineOptions, n: usize, bm: &[f64]) -> u64 {
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        let mut z = (h ^ v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let n_real = inst.n_tasks();
+    let nw = inst.n_workers();
+    let mut h = mix(0x5EED_0CAB_005E_ED00, opts.lsap as u64);
+    h = mix(h, opts.representation as u64);
+    h = mix(h, n as u64);
+    h = mix(h, nw as u64);
+    h = mix(h, inst.xmax() as u64);
+    h = mix(h, n_real as u64);
+    // bm is zero beyond n_real (cache edges connect real tasks only).
+    for &b in &bm[..n_real] {
+        h = mix(h, b.to_bits());
+    }
+    for q in 0..nw {
+        h = mix(h, inst.alpha(q).to_bits());
+        h = mix(h, inst.beta(q).to_bits());
+        for k in 0..n_real {
+            h = mix(h, inst.rel(q, k).to_bits());
+        }
+    }
+    h
 }
 
 #[allow(clippy::too_many_arguments)]

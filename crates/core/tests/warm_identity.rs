@@ -1,0 +1,267 @@
+//! Warm-start identity: `solve_warm` must be byte-identical to a cold solve
+//! at every churn level and thread count — same assigned sets, bit-equal
+//! LSAP value — including after the warm state is torn down to its
+//! serialized essence (fingerprint + open list) and rebuilt mid-sequence,
+//! which is exactly what `hta resume` does.
+
+use hta_core::bitvec::KeywordVec;
+use hta_core::edges::DiversityEdgeCache;
+use hta_core::instance::Instance;
+use hta_core::metric::Jaccard;
+use hta_core::solver::{
+    solve_open_subset, solve_open_subset_warm, HtaApp, HtaGre, Solver, WarmState,
+};
+use hta_core::task::{GroupId, Task, TaskId};
+use hta_core::worker::{Weights, Worker, WorkerId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const NBITS: usize = 24;
+
+fn catalog(n: usize) -> Vec<Task> {
+    (0..n)
+        .map(|i| {
+            Task::new(
+                TaskId(i as u32),
+                GroupId((i % 3) as u32),
+                KeywordVec::from_indices(
+                    NBITS,
+                    &[i % NBITS, (i * 5 + 3) % NBITS, (i * 11 + 7) % NBITS],
+                ),
+            )
+        })
+        .collect()
+}
+
+/// The sub-instance a cohort caller builds for an open subset: local task
+/// ids 0.. in open order, fixed worker pool.
+fn sub_instance(tasks: &[Task], open: &[u32], xmax: usize) -> Instance {
+    let local: Vec<Task> = open
+        .iter()
+        .enumerate()
+        .map(|(li, &ci)| {
+            let t = &tasks[ci as usize];
+            Task::new(TaskId(li as u32), t.group, t.keywords.clone())
+        })
+        .collect();
+    let workers = vec![
+        Worker::new(WorkerId(0), tasks[0].keywords.clone()).with_weights(Weights::balanced()),
+        Worker::new(WorkerId(1), tasks[1].keywords.clone()).with_weights(Weights::from_alpha(0.8)),
+        Worker::new(WorkerId(2), tasks[2].keywords.clone()).with_weights(Weights::from_alpha(0.2)),
+    ];
+    Instance::new(local, workers, xmax).unwrap()
+}
+
+/// Toggle `⌈n·num/den⌉` uniformly-drawn catalog ids in `open` (remove if
+/// present, add if absent) — `num/den` is the churn fraction.
+fn apply_churn(open: &mut Vec<u32>, n: usize, num: usize, den: usize, rng: &mut StdRng) {
+    let flips = if num == 0 { 0 } else { (n * num).div_ceil(den) };
+    for _ in 0..flips {
+        let v = rng.random_range(0..n as u32);
+        match open.binary_search(&v) {
+            Ok(i) => {
+                open.remove(i);
+            }
+            Err(i) => open.insert(i, v),
+        }
+    }
+}
+
+/// One churned sequence of solves for one solver at one thread count,
+/// asserting warm ≡ cold at every step. `restore_at` tears the warm state
+/// down to (fingerprint, open list) and rebuilds it before that step.
+fn assert_sequence_identical(
+    solver: &dyn Solver,
+    tasks: &[Task],
+    cache: &DiversityEdgeCache,
+    churn: (usize, usize),
+    seed: u64,
+    restore_at: Option<usize>,
+) -> Result<(), TestCaseError> {
+    let n = tasks.len();
+    let mut warm = WarmState::new(cache);
+    let mut open: Vec<u32> = (0..n as u32).collect();
+    let mut churn_rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    for step in 0..5 {
+        if restore_at == Some(step) {
+            let snapshot_open = warm.open_list().to_vec();
+            warm = WarmState::restore(cache, &snapshot_open);
+        }
+        if open.len() >= 2 {
+            let inst = sub_instance(tasks, &open, 3);
+            let open_usize: Vec<usize> = open.iter().map(|&g| g as usize).collect();
+            let solve_seed = seed.wrapping_add(step as u64);
+            let cold = solve_open_subset(
+                solver,
+                &inst,
+                &open_usize,
+                Some(cache),
+                &mut StdRng::seed_from_u64(solve_seed),
+            );
+            let hot = solve_open_subset_warm(
+                solver,
+                &inst,
+                &open_usize,
+                Some(cache),
+                Some(&mut warm),
+                &mut StdRng::seed_from_u64(solve_seed),
+            );
+            prop_assert_eq!(
+                hot.assignment.sets(),
+                cold.assignment.sets(),
+                "{} diverges at churn {}/{} step {}",
+                solver.name(),
+                churn.0,
+                churn.1,
+                step
+            );
+            prop_assert_eq!(hot.lsap_value.to_bits(), cold.lsap_value.to_bits());
+        }
+        apply_churn(&mut open, n, churn.0, churn.1, &mut churn_rng);
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn solve_warm_is_byte_identical_to_cold(
+        seed in 0u64..1 << 40,
+        n in 20usize..30,
+        churn_idx in 0usize..4,
+        threads_idx in 0usize..3,
+    ) {
+        // The issue's grid: churn {0, 1/64, 1/4, 1} × threads {1, 2, 7} ×
+        // greedy/auction LSAP; each sampled case exercises one grid cell so
+        // the 96-case run covers every cell several times. With n < 64 the
+        // 1/64 fraction rounds up to a single-task delta — the steady-state
+        // case the repair path exists for — while churn 1/1 swaps
+        // essentially the whole open set.
+        let churn = [(0usize, 1usize), (1, 64), (1, 4), (1, 1)][churn_idx];
+        let threads = [1usize, 2, 7][threads_idx];
+        let tasks = catalog(n);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let gre = HtaGre::structured().with_threads(threads);
+        assert_sequence_identical(&gre, &tasks, &cache, churn, seed, None)?;
+        let auction = HtaApp::new().with_auction_lsap().with_threads(threads);
+        assert_sequence_identical(&auction, &tasks, &cache, churn, seed, None)?;
+    }
+
+    #[test]
+    fn warm_state_survives_snapshot_restore_mid_sequence(
+        seed in 0u64..1 << 40,
+        churn_idx in 1usize..3,
+        threads_idx in 0usize..3,
+    ) {
+        // Rebuilding the warm state from its serialized essence between
+        // steps (what `hta resume` does) must not perturb any later solve.
+        let churn = [(0usize, 1usize), (1, 64), (1, 4)][churn_idx];
+        let threads = [1usize, 2, 7][threads_idx];
+        let tasks = catalog(26);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let gre = HtaGre::structured().with_threads(threads);
+        assert_sequence_identical(&gre, &tasks, &cache, churn, seed, Some(2))?;
+        let auction = HtaApp::new().with_auction_lsap().with_threads(threads);
+        assert_sequence_identical(&auction, &tasks, &cache, churn, seed, Some(3))?;
+    }
+}
+
+/// Non-property regressions for the warm path's guard rails.
+mod guards {
+    use super::*;
+
+    #[test]
+    fn mismatched_warm_state_falls_back_without_touching_it() {
+        let tasks = catalog(20);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let other = DiversityEdgeCache::build(&catalog(18), &Jaccard, 1);
+        let mut warm = WarmState::new(&other); // bound to the wrong catalog
+        let open: Vec<usize> = (0..20).collect();
+        let open_u32: Vec<u32> = (0..20).collect();
+        let inst = sub_instance(&tasks, &open_u32, 3);
+        let solver = HtaGre::structured();
+        let cold = solve_open_subset(
+            &solver,
+            &inst,
+            &open,
+            Some(&cache),
+            &mut StdRng::seed_from_u64(5),
+        );
+        let out = solve_open_subset_warm(
+            &solver,
+            &inst,
+            &open,
+            Some(&cache),
+            Some(&mut warm),
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(out.assignment.sets(), cold.assignment.sets());
+        assert_eq!(out.lsap_value.to_bits(), cold.lsap_value.to_bits());
+        // Fallback must not have installed an open set into the stale state.
+        assert!(warm.open_list().is_empty());
+        assert!(!warm.matches_cache(&cache));
+    }
+
+    #[test]
+    fn unsorted_open_set_falls_back_to_plain_solve() {
+        let tasks = catalog(16);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let mut warm = WarmState::new(&cache);
+        let open = vec![9usize, 2, 11, 5];
+        let open_u32: Vec<u32> = open.iter().map(|&g| g as u32).collect();
+        let inst = sub_instance(&tasks, &open_u32, 3);
+        let solver = HtaGre::structured();
+        let plain = solver.solve(&inst, &mut StdRng::seed_from_u64(3));
+        let out = solve_open_subset_warm(
+            &solver,
+            &inst,
+            &open,
+            Some(&cache),
+            Some(&mut warm),
+            &mut StdRng::seed_from_u64(3),
+        );
+        assert_eq!(out.assignment.sets(), plain.assignment.sets());
+        assert!(
+            warm.open_list().is_empty(),
+            "fallback must leave warm untouched"
+        );
+    }
+
+    #[test]
+    fn lsap_memo_fires_on_identical_reissue_and_stays_identical() {
+        // Two consecutive warm solves over the same open set (zero churn,
+        // same instance) hit the input-keyed memo; output must still match
+        // a cold solve bit-for-bit.
+        let tasks = catalog(22);
+        let cache = DiversityEdgeCache::build(&tasks, &Jaccard, 1);
+        let mut warm = WarmState::new(&cache);
+        let open: Vec<usize> = (0..22).collect();
+        let open_u32: Vec<u32> = (0..22).collect();
+        let inst = sub_instance(&tasks, &open_u32, 3);
+        let solver = HtaGre::structured();
+        for round in 0..3 {
+            let cold = solve_open_subset(
+                &solver,
+                &inst,
+                &open,
+                Some(&cache),
+                &mut StdRng::seed_from_u64(41),
+            );
+            let hot = solve_open_subset_warm(
+                &solver,
+                &inst,
+                &open,
+                Some(&cache),
+                Some(&mut warm),
+                &mut StdRng::seed_from_u64(41),
+            );
+            assert_eq!(
+                hot.assignment.sets(),
+                cold.assignment.sets(),
+                "round {round}"
+            );
+            assert_eq!(hot.lsap_value.to_bits(), cold.lsap_value.to_bits());
+            assert!(warm.has_memo());
+        }
+    }
+}

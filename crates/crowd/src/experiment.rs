@@ -14,7 +14,9 @@ use crate::metrics::{
 };
 use crate::platform::{Platform, PlatformConfig, SessionRecord};
 use crate::population::{generate, LiveWorker, PopulationConfig};
-use crate::snapshot::{save_run, CompletedArm, RunProgress, RunSnapshotError, SNAPSHOT_EXT};
+use crate::snapshot::{
+    save_run, CompletedArm, RunProgress, RunSnapshotError, WarmEssence, SNAPSHOT_EXT,
+};
 use crate::stats::{mann_whitney_u, two_proportion_z_test, TestResult};
 use crate::strategies::Strategy;
 
@@ -295,13 +297,24 @@ pub fn run_with(
         // unless this is the arm a resume landed in, whose platform state
         // is restored from the checkpoint.
         let (mut platform, mut rng, mut records, mut next_worker) = match pending.take() {
-            Some(p) => (
-                Platform::resume(&catalog, cfg.platform.clone(), p.available, p.index, p.life)
-                    .map_err(RunError::Resume)?,
-                StdRng::from_state(p.rng_state),
-                p.current_records,
-                p.next_worker,
-            ),
+            Some(p) => {
+                let mut platform =
+                    Platform::resume(&catalog, cfg.platform.clone(), p.available, p.index, p.life)
+                        .map_err(RunError::Resume)?;
+                // Reinstall the warm-start matching so the resumed run keeps
+                // the warm-repair property from its very first solve.
+                if let Some(w) = &p.warm {
+                    platform
+                        .restore_warm(w.fingerprint, &w.open)
+                        .map_err(RunError::Resume)?;
+                }
+                (
+                    platform,
+                    StdRng::from_state(p.rng_state),
+                    p.current_records,
+                    p.next_worker,
+                )
+            }
             None => (
                 Platform::new(&catalog, cfg.platform.clone()),
                 StdRng::seed_from_u64(cfg.seed ^ strategy_seed(strategy)),
@@ -354,6 +367,10 @@ pub fn run_with(
                     available: platform.availability().to_vec(),
                     index: platform.index().clone(),
                     life: platform.life().cloned(),
+                    warm: platform.warm().map(|w| WarmEssence {
+                        fingerprint: w.fingerprint(),
+                        open: w.open_list().to_vec(),
+                    }),
                     rng_state: rng.state(),
                 };
                 last_snapshot = Some(write_checkpoint(policy, cfg, &progress)?);

@@ -43,5 +43,7 @@ pub use platform::{
 };
 pub use population::{LiveWorker, PopulationConfig};
 pub use report::markdown as report_markdown;
-pub use snapshot::{load_run, save_run, CompletedArm, RunProgress, RunSnapshot, RunSnapshotError};
+pub use snapshot::{
+    load_run, save_run, CompletedArm, RunProgress, RunSnapshot, RunSnapshotError, WarmEssence,
+};
 pub use strategies::Strategy;

@@ -12,7 +12,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use hta_core::metric::Jaccard;
-use hta_core::solver::HtaGre;
+use hta_core::solver::{HtaGre, WarmState};
 use hta_core::{
     DiversityEdgeCache, Instance, KeywordVec, Solver, Task, TaskId, WeightEstimator, Weights,
     Worker, WorkerId,
@@ -100,6 +100,14 @@ pub struct PlatformConfig {
     /// Largest catalog for which the sorted diversity edge list is cached
     /// (`0` = auto: `HTA_EDGE_CACHE_CAP` or the built-in default).
     pub edge_cache_cap: usize,
+    /// Carry the diversity matching forward between assignment iterations:
+    /// the open set is diffed against the previous solve's, only the touched
+    /// pairs are invalidated, and the matching is repaired locally instead of
+    /// rebuilt from scratch. Requires [`reuse_edges`](Self::reuse_edges) (the
+    /// warm state lives on top of the cached edge list) and is skipped when
+    /// the catalog exceeds the edge-cache cap. Assignments are byte-identical
+    /// either way, at any churn level and thread count.
+    pub warm_start: bool,
 }
 
 impl Default for PlatformConfig {
@@ -125,6 +133,7 @@ impl Default for PlatformConfig {
             pass_threshold: 0.9,
             reputation: false,
             edge_cache_cap: 0,
+            warm_start: false,
         }
     }
 }
@@ -262,6 +271,9 @@ pub struct Platform<'c> {
     /// size cap is [`hta_core::edges::edge_cache_cap`] — a dense
     /// 4096-task catalog tops out around 8M edges ≈ 200 MB).
     edge_cache: Option<DiversityEdgeCache>,
+    /// Warm-start matching state carried between assignment iterations
+    /// (`Some` iff the config enables it and an edge cache exists).
+    warm: Option<WarmState>,
     /// Lifecycle + reputation layer (`Some` iff the config enables it).
     life: Option<LifeState>,
 }
@@ -299,6 +311,10 @@ impl<'c> Platform<'c> {
             book: LifecycleBook::new(catalog.tasks.len(), &cfg.priority_mix, cfg.max_retries),
             reputations: Vec::new(),
         });
+        let warm = match (&edge_cache, cfg.warm_start) {
+            (Some(cache), true) => Some(WarmState::new(cache)),
+            _ => None,
+        };
         Self {
             catalog,
             cfg,
@@ -306,6 +322,7 @@ impl<'c> Platform<'c> {
             index,
             solver: Box::new(solver),
             edge_cache,
+            warm,
             life,
         }
     }
@@ -395,6 +412,10 @@ impl<'c> Platform<'c> {
         let solver = HtaGre::structured()
             .without_flip()
             .with_threads(cfg.solver_threads);
+        let warm = match (&edge_cache, cfg.warm_start) {
+            (Some(cache), true) => Some(WarmState::new(cache)),
+            _ => None,
+        };
         Ok(Self {
             catalog,
             cfg,
@@ -402,8 +423,50 @@ impl<'c> Platform<'c> {
             index,
             solver: Box::new(solver),
             edge_cache,
+            warm,
             life,
         })
+    }
+
+    /// The warm-start matching state (`None` unless the config enables
+    /// [`PlatformConfig::warm_start`] and the catalog fits the edge cache).
+    /// Checkpoints capture its serialized essence — the cache fingerprint
+    /// plus the open list — and rebuild the matching deterministically on
+    /// restore through [`Platform::restore_warm`].
+    pub fn warm(&self) -> Option<&WarmState> {
+        self.warm.as_ref()
+    }
+
+    /// Reinstall checkpointed warm-start state: `fingerprint` must match the
+    /// live edge cache (same catalog, same keywords) and `open` must be the
+    /// strictly-increasing open list captured at the checkpoint. The
+    /// matching itself is *not* stored — it is a pure function of the open
+    /// set and is rebuilt here, which keeps snapshots small and cannot
+    /// diverge from what a continuous run would hold.
+    ///
+    /// Fails when warm start is disabled, no edge cache exists, or the
+    /// fingerprint does not match the live cache.
+    pub fn restore_warm(&mut self, fingerprint: u64, open: &[u32]) -> Result<(), String> {
+        if !self.cfg.warm_start {
+            return Err("checkpoint carries warm-start state but the config disables it".into());
+        }
+        let Some(cache) = self.edge_cache.as_ref() else {
+            return Err("warm-start state requires the diversity edge cache".into());
+        };
+        if cache.fingerprint() != fingerprint {
+            return Err(format!(
+                "warm-start fingerprint {fingerprint:#018x} does not match the catalog's edge \
+                 cache ({:#018x})",
+                cache.fingerprint()
+            ));
+        }
+        if !open.windows(2).all(|w| w[0] < w[1])
+            || open.last().is_some_and(|&g| g as usize >= cache.n_tasks())
+        {
+            return Err("warm-start open list is not a sorted in-range task set".into());
+        }
+        self.warm = Some(WarmState::restore(cache, open));
+        Ok(())
     }
 
     /// The task-availability vector (catalog order) — the platform's
@@ -1084,16 +1147,34 @@ impl<'c> Platform<'c> {
         // order (so the filtered sublist of the global sorted list equals a
         // fresh enumerate-and-sort). Full mode delivers that unless the
         // window was down-sampled (partial Fisher-Yates shuffles it); TopK
-        // pools are sorted by construction. `solve_open_subset` checks this
-        // and falls back to a plain solve otherwise. Trust the cached edge
-        // list only while its catalog fingerprint matches — a cache carried
-        // across a catalog swap (or paired with the wrong catalog on
-        // restore) falls back to fresh enumeration.
-        let cache = self
+        // pools are sorted by construction. `solve_open_subset_warm` checks
+        // this and falls back to a plain solve otherwise. The cached edge
+        // list is only trusted while its catalog fingerprint matches; on a
+        // mismatch (a cache paired with the wrong catalog on restore) it is
+        // rebuilt in place — merely bypassing it would leave the stale
+        // fingerprint stored and re-enumerate edges on every future solve.
+        if self
             .edge_cache
             .as_ref()
-            .filter(|c| c.valid_for(self.catalog.tasks.iter().map(|t| &t.task.keywords)));
-        let out = hta_core::solver::solve_open_subset(&*self.solver, &inst, &open, cache, rng);
+            .is_some_and(|c| !c.valid_for(self.catalog.tasks.iter().map(|t| &t.task.keywords)))
+        {
+            let threads = hta_par::solver_threads(self.cfg.solver_threads);
+            let tasks: Vec<Task> = self.catalog.tasks.iter().map(|t| t.task.clone()).collect();
+            let cache = DiversityEdgeCache::build(&tasks, &Jaccard, threads);
+            // Any warm state was bound to the stale cache; rebind it.
+            if self.warm.is_some() {
+                self.warm = Some(WarmState::new(&cache));
+            }
+            self.edge_cache = Some(cache);
+        }
+        let out = hta_core::solver::solve_open_subset_warm(
+            &*self.solver,
+            &inst,
+            &open,
+            self.edge_cache.as_ref(),
+            self.warm.as_mut(),
+            rng,
+        );
         debug_assert!(out.assignment.validate(&inst).is_ok());
 
         for (li, &slot) in slots.iter().enumerate() {
@@ -1208,6 +1289,93 @@ mod tests {
                 assert_eq!(ca.minute, cb.minute);
             }
         }
+    }
+
+    #[test]
+    fn warm_start_does_not_change_the_simulation() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 4,
+                ..Default::default()
+            },
+        );
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let run = |warm_start: bool, threads: usize| {
+            let cfg = PlatformConfig {
+                warm_start,
+                solver_threads: threads,
+                ..Default::default()
+            };
+            let mut platform = Platform::new(&catalog, cfg);
+            assert_eq!(platform.warm.is_some(), warm_start);
+            let mut rng = StdRng::seed_from_u64(37);
+            let records = platform.run_cohort(Strategy::HtaGre, &refs, &mut rng);
+            if warm_start {
+                // The refill solves actually drove the warm path: the state
+                // holds the last solve's open set.
+                assert!(!platform.warm().unwrap().open_list().is_empty());
+            }
+            records
+        };
+        let cold = run(false, 1);
+        // Warm runs at two thread counts: both must match the cold run
+        // exactly (same tasks, same times, same earnings).
+        for threads in [1usize, 4] {
+            let warm = run(true, threads);
+            assert_eq!(warm.len(), cold.len());
+            for (a, b) in warm.iter().zip(&cold) {
+                assert_eq!(a.duration_minutes, b.duration_minutes);
+                assert_eq!(a.earnings_cents, b.earnings_cents);
+                assert_eq!(a.completions, b.completions);
+            }
+        }
+    }
+
+    #[test]
+    fn restore_warm_round_trips_and_rejects_mismatches() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 3,
+                ..Default::default()
+            },
+        );
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        let cfg = PlatformConfig {
+            warm_start: true,
+            solver_threads: 1,
+            ..Default::default()
+        };
+        let mut platform = Platform::new(&catalog, cfg.clone());
+        let mut rng = StdRng::seed_from_u64(41);
+        let _ = platform.run_cohort(Strategy::HtaGre, &refs, &mut rng);
+        let warm = platform.warm().expect("warm start is on");
+        let (fp, open) = (warm.fingerprint(), warm.open_list().to_vec());
+        assert!(!open.is_empty());
+
+        let mut resumed = Platform::resume(
+            &catalog,
+            cfg.clone(),
+            platform.availability().to_vec(),
+            platform.index().clone(),
+            None,
+        )
+        .expect("boundary state resumes");
+        resumed
+            .restore_warm(fp, &open)
+            .expect("fingerprint matches");
+        let restored = resumed.warm().unwrap();
+        assert_eq!(restored.fingerprint(), fp);
+        assert_eq!(restored.open_list(), &open[..]);
+
+        // Wrong fingerprint, unsorted list, and warm-start-off are rejected.
+        assert!(resumed.restore_warm(fp ^ 1, &open).is_err());
+        assert!(resumed.restore_warm(fp, &[3, 1, 2]).is_err());
+        let mut off = Platform::new(&catalog, PlatformConfig::default());
+        assert!(off.restore_warm(fp, &open).is_err());
     }
 
     #[test]

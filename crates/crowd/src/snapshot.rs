@@ -52,7 +52,43 @@ const SECTION_PROGRESS: &str = "progress";
 const SECTION_PLATFORM: &str = "platform";
 const SECTION_INDEX: &str = "index";
 const SECTION_LIFE: &str = "life";
+const SECTION_WARM: &str = "warm";
 const SECTION_RNG: &str = "rng";
+
+/// Serialized essence of the platform's warm-start state: the edge-cache
+/// fingerprint it was bound to plus the open list of the last solve. The
+/// incremental matching itself is *not* stored — it is a pure function of
+/// the open set over the (deterministically rebuilt) edge cache, so
+/// [`crate::platform::Platform::restore_warm`] reconstructs it exactly and
+/// a resumed run keeps the warm-repair property without risking divergence
+/// from a continuous run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmEssence {
+    /// [`hta_core::DiversityEdgeCache::fingerprint`] of the bound cache.
+    pub fingerprint: u64,
+    /// The strictly-increasing open list installed by the last warm solve.
+    pub open: Vec<u32>,
+}
+
+impl StateSerialize for WarmEssence {
+    fn write_state(&self, out: &mut Vec<u8>) {
+        self.fingerprint.write_state(out);
+        self.open.write_state(out);
+    }
+
+    fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
+        let essence = Self {
+            fingerprint: u64::read_state(r)?,
+            open: Vec::read_state(r)?,
+        };
+        if !essence.open.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StateDecodeError::Invalid(
+                "warm-start open list is not strictly increasing".into(),
+            ));
+        }
+        Ok(essence)
+    }
+}
 
 /// One finished strategy arm as stored in a snapshot: its session records
 /// plus the arm RNG's final stream position (so resumed results report the
@@ -85,6 +121,10 @@ pub struct RunProgress {
     /// The platform's lifecycle + reputation state (`Some` iff the config
     /// enables [`PlatformConfig::lifecycle`]).
     pub life: Option<LifeState>,
+    /// The platform's warm-start essence (`Some` only when the config
+    /// enables [`PlatformConfig::warm_start`] and the platform held warm
+    /// state at the boundary).
+    pub warm: Option<WarmEssence>,
     /// The in-progress arm's RNG stream position.
     pub rng_state: [u64; 4],
 }
@@ -337,6 +377,7 @@ impl StateSerialize for PlatformConfig {
         self.pass_threshold.write_state(out);
         self.reputation.write_state(out);
         self.edge_cache_cap.write_state(out);
+        self.warm_start.write_state(out);
     }
 
     fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
@@ -361,6 +402,7 @@ impl StateSerialize for PlatformConfig {
             pass_threshold: f64::read_state(r)?,
             reputation: bool::read_state(r)?,
             edge_cache_cap: usize::read_state(r)?,
+            warm_start: bool::read_state(r)?,
         };
         if cfg.xmax == 0 {
             return Err(StateDecodeError::Invalid("xmax must be >= 1".into()));
@@ -556,6 +598,7 @@ pub fn run_snapshot_bytes(config: &OnlineConfig, progress: &RunProgress) -> Vec<
         .section(SECTION_PLATFORM, encode(&progress.available))
         .section(SECTION_INDEX, encode(&progress.index))
         .section(SECTION_LIFE, encode(&progress.life))
+        .section(SECTION_WARM, encode(&progress.warm))
         .section(SECTION_RNG, encode(&RngSection(progress.rng_state)))
         .to_bytes()
 }
@@ -579,6 +622,7 @@ pub fn save_run(
         .section(SECTION_PLATFORM, encode(&progress.available))
         .section(SECTION_INDEX, encode(&progress.index))
         .section(SECTION_LIFE, encode(&progress.life))
+        .section(SECTION_WARM, encode(&progress.warm))
         .section(SECTION_RNG, encode(&RngSection(progress.rng_state)))
         .write_atomic(path)?;
     Ok(())
@@ -615,6 +659,7 @@ fn run_snapshot_from_container(snap: &Snapshot) -> Result<RunSnapshot, RunSnapsh
     let available: Vec<bool> = decode_section(snap, SECTION_PLATFORM)?;
     let index: ShardedIndex = decode_section(snap, SECTION_INDEX)?;
     let life: Option<LifeState> = decode_section(snap, SECTION_LIFE)?;
+    let warm: Option<WarmEssence> = decode_section(snap, SECTION_WARM)?;
     let rng: RngSection = decode_section(snap, SECTION_RNG)?;
 
     // Cross-section invariants. Every failure leaves no partially-restored
@@ -669,6 +714,23 @@ fn run_snapshot_from_container(snap: &Snapshot) -> Result<RunSnapshot, RunSnapsh
             },
         )));
     }
+    if let Some(w) = &warm {
+        if !config.platform.warm_start {
+            return Err(RunSnapshotError::Invalid(
+                "snapshot carries warm-start state but the config disables it".into(),
+            ));
+        }
+        if w.open
+            .last()
+            .is_some_and(|&g| g as usize >= available.len())
+        {
+            return Err(RunSnapshotError::Invalid(format!(
+                "warm-start open list references task {} outside the {}-task catalog",
+                w.open.last().unwrap(),
+                available.len()
+            )));
+        }
+    }
     if let Some(l) = &life {
         if l.book.len() != available.len() {
             return Err(RunSnapshotError::Invalid(format!(
@@ -701,6 +763,7 @@ fn run_snapshot_from_container(snap: &Snapshot) -> Result<RunSnapshot, RunSnapsh
             available,
             index,
             life,
+            warm,
             rng_state: rng.0,
         },
     })
@@ -762,6 +825,7 @@ mod tests {
             available,
             index,
             life: None,
+            warm: None,
             rng_state: [1, 2, 3, 4],
         };
         (config, progress)
@@ -849,6 +913,36 @@ mod tests {
             .unwrap();
         let err = run_snapshot_from_bytes(&run_snapshot_bytes(&config, &progress)).unwrap_err();
         assert!(matches!(err, RunSnapshotError::Invalid(_)), "{err}");
+    }
+
+    #[test]
+    fn warm_state_round_trips_and_is_cross_checked() {
+        let (mut config, mut progress) = sample_progress();
+        config.platform.warm_start = true;
+        progress.warm = Some(WarmEssence {
+            fingerprint: 0xDEAD_BEEF_0123_4567,
+            open: vec![0, 2, 4, 6],
+        });
+        let bytes = run_snapshot_bytes(&config, &progress);
+        let back = run_snapshot_from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.progress.warm, progress.warm);
+        assert!(back.config.platform.warm_start);
+        // Re-encoding lands on the same bytes (resume identity).
+        assert_eq!(run_snapshot_bytes(&back.config, &back.progress), bytes);
+
+        // Warm state without the config flag is rejected…
+        config.platform.warm_start = false;
+        let err = run_snapshot_from_bytes(&run_snapshot_bytes(&config, &progress)).unwrap_err();
+        assert!(matches!(err, RunSnapshotError::Invalid(_)), "{err}");
+        config.platform.warm_start = true;
+
+        // …as are out-of-range and unsorted open lists.
+        progress.warm.as_mut().unwrap().open = vec![0, 2, 999];
+        let err = run_snapshot_from_bytes(&run_snapshot_bytes(&config, &progress)).unwrap_err();
+        assert!(matches!(err, RunSnapshotError::Invalid(_)), "{err}");
+        progress.warm.as_mut().unwrap().open = vec![4, 2, 0];
+        let err = run_snapshot_from_bytes(&run_snapshot_bytes(&config, &progress)).unwrap_err();
+        assert!(matches!(err, RunSnapshotError::Decode { .. }), "{err}");
     }
 
     #[test]

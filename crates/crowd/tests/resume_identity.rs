@@ -299,6 +299,28 @@ proptest! {
         assert_results_identical(&uninterrupted, &resumed, &ctx);
     }
 
+    /// With warm-start matching on, resume stays byte-identical too: the
+    /// snapshot carries the warm essence (fingerprint + open list), the
+    /// resumed platform rebuilds the matching from it, and every later
+    /// solve repairs from exactly the state a continuous run would hold.
+    #[test]
+    fn warm_start_runs_resume_byte_identical(
+        halt_after in 1usize..8,
+        threads_pick in 0usize..3,
+        seed in 0u64..512,
+    ) {
+        let mut cfg = config(2, [1usize, 2, 7][threads_pick], seed);
+        cfg.platform.warm_start = true;
+        let uninterrupted = run(&cfg);
+        let resumed = run_interrupted(&cfg, halt_after);
+        let ctx = format!("warm halt={halt_after} seed={seed}");
+        assert_results_identical(&uninterrupted, &resumed, &ctx);
+        // And warm-on ≡ warm-off: the feature never changes results.
+        cfg.platform.warm_start = false;
+        let cold = run(&cfg);
+        assert_results_identical(&uninterrupted, &cold, &format!("{ctx} vs cold"));
+    }
+
     /// Lifecycle snapshot sections round-trip to the same bytes mid-run.
     #[test]
     fn lifecycle_snapshot_bytes_round_trip(halt_after in 1usize..8, seed in 0u64..512) {

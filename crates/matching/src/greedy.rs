@@ -99,6 +99,34 @@ impl Matching {
         self.mate[e.v as usize] = e.u;
         self.edges.push(e);
     }
+
+    /// Build a matching over `0..n` directly from a vertex-disjoint edge list
+    /// that is already in [`edge_order`]. Used by the incremental warm-start
+    /// path, which maintains the greedy matching out-of-band and needs to
+    /// materialize it in the exact shape [`greedy_matching_presorted`] would
+    /// produce (the edge *order* matters downstream: the pipeline's random
+    /// ½-flip consumes RNG draws per edge in `edges()` order).
+    ///
+    /// Debug builds verify both preconditions (sortedness and disjointness);
+    /// release builds trust the caller.
+    pub fn from_sorted_edges(n: usize, edges: Vec<WeightedEdge>) -> Self {
+        debug_assert!(
+            edges
+                .windows(2)
+                .all(|w| edge_order(&w[0], &w[1]) == std::cmp::Ordering::Less),
+            "Matching::from_sorted_edges requires strictly edge_order-sorted input"
+        );
+        let mut mate = vec![Self::UNMATCHED; n];
+        for e in &edges {
+            debug_assert!(
+                mate[e.u as usize] == Self::UNMATCHED && mate[e.v as usize] == Self::UNMATCHED,
+                "Matching::from_sorted_edges requires vertex-disjoint edges"
+            );
+            mate[e.u as usize] = e.v;
+            mate[e.v as usize] = e.u;
+        }
+        Self { edges, mate }
+    }
 }
 
 /// The edge ordering every greedy-matching variant agrees on: decreasing

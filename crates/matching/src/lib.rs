@@ -47,6 +47,7 @@
 
 pub mod costs;
 pub mod greedy;
+pub mod incremental;
 pub mod lsap;
 
 pub use costs::{ClassedCosts, CostMatrix, DenseMatrix};
@@ -54,4 +55,5 @@ pub use greedy::{
     edge_order, greedy_matching, greedy_matching_presorted, greedy_matching_with_threads, Matching,
     WeightedEdge,
 };
+pub use incremental::{IncrementalMatching, UpdateStats};
 pub use lsap::LsapSolution;

@@ -19,6 +19,11 @@
 //!   `cap` is small, so tiny queues behave exactly like the untiered one.)
 //! * **Priority dequeue**: consumers always pop the highest occupied tier,
 //!   FIFO within a tier.
+//!
+//! Priorities outside `0..TIERS` are someone's bug or a forged request,
+//! not an emergency: they are treated as **normal** (tier 1) for both
+//! admission and dequeue, so an out-of-range value can never consume the
+//! headroom reserved for critical work or jump the service order.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -85,9 +90,11 @@ impl<T> BoundedQueue<T> {
         let cap = self.capacity;
         match priority {
             0 => cap - cap / 2,
-            1 => cap - cap / 4,
             2 => cap - cap / 8,
-            _ => cap,
+            3 => cap,
+            // Normal, and every out-of-range tier: an unknown priority
+            // must not inherit critical's reserved headroom.
+            _ => cap - cap / 4,
         }
     }
 
@@ -97,11 +104,15 @@ impl<T> BoundedQueue<T> {
         self.try_push_pri(item, 1)
     }
 
-    /// Enqueue at `priority` (0 = low … 3 = critical; higher values clamp
-    /// to critical) without blocking; fails when the tier is over its
-    /// admission limit or the queue is closed.
+    /// Enqueue at `priority` (0 = low … 3 = critical; out-of-range values
+    /// are demoted to normal) without blocking; fails when the tier is
+    /// over its admission limit or the queue is closed.
     pub fn try_push_pri(&self, item: T, priority: u8) -> Result<(), PushError<T>> {
-        let tier = (priority as usize).min(TIERS - 1);
+        let tier = if (priority as usize) < TIERS {
+            priority as usize
+        } else {
+            1
+        };
         let limit = self.admission_limit(priority);
         let mut inner = self.inner.lock().expect("queue lock");
         if inner.closed {
@@ -220,11 +231,28 @@ mod tests {
     }
 
     #[test]
-    fn out_of_range_priorities_clamp_to_critical() {
-        let q = BoundedQueue::new(4);
-        q.try_push_pri(1, 200).unwrap();
-        assert_eq!(q.admission_limit(200), q.capacity());
-        assert_eq!(q.pop(), Some(1));
+    fn out_of_range_priorities_are_demoted_to_normal() {
+        let q = BoundedQueue::new(8);
+        // Admission: an unknown tier gets normal's limit, never critical's
+        // reserved headroom.
+        assert_eq!(q.admission_limit(200), q.admission_limit(1));
+        assert_ne!(q.admission_limit(200), q.capacity());
+        // Dequeue: it lands in the normal lane — after critical and high,
+        // before low, FIFO with genuine normal jobs.
+        q.try_push_pri("low", 0).unwrap();
+        q.try_push_pri("norm", 1).unwrap();
+        q.try_push_pri("weird", 200).unwrap();
+        q.try_push_pri("crit", 3).unwrap();
+        let order: Vec<_> = (0..4).map(|_| q.pop().unwrap()).collect();
+        assert_eq!(order, ["crit", "norm", "weird", "low"]);
+        // Under saturation the unknown tier is refused exactly when normal
+        // is: fill to normal's limit, then both are shed together.
+        for _ in 0..q.admission_limit(1) {
+            q.try_push_pri("fill", 1).unwrap();
+        }
+        assert_eq!(q.try_push_pri("n", 1), Err(PushError::Full("n")));
+        assert_eq!(q.try_push_pri("w", 77), Err(PushError::Full("w")));
+        q.try_push_pri("c", 3).unwrap();
     }
 
     #[test]

@@ -236,6 +236,12 @@ fn pump(shared: &Shared, token: u64, reactor: usize, conn: &mut Conn) {
                 }
                 let keep_alive = req.keep_alive;
                 let priority = shared.handler.priority(&req);
+                // Count the job before publishing it: a worker can pop it
+                // (and decrement) the instant the push lands, so adding
+                // afterwards lets the gauge transiently underflow to
+                // u64::MAX in a concurrently-served `/stats` read. The
+                // queue's lock orders this add before the matching sub.
+                shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                 match shared.queue.try_push_pri(
                     Job {
                         req,
@@ -249,15 +255,16 @@ fn pump(shared: &Shared, token: u64, reactor: usize, conn: &mut Conn) {
                             .metrics
                             .requests_pooled
                             .fetch_add(1, Ordering::Relaxed);
-                        shared.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
                         conn.in_flight = true;
                         conn.keep_alive_current = keep_alive;
                     }
                     Err(PushError::Full(_)) => {
+                        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
                         queue_response(conn, &shared.handler.overloaded(), keep_alive);
                     }
                     Err(PushError::Closed(_)) => {
+                        shared.metrics.queue_depth.fetch_sub(1, Ordering::Relaxed);
                         shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
                         let mut resp = shared.handler.overloaded();
                         resp.close = true;

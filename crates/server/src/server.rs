@@ -89,27 +89,41 @@ impl HttpHandler for PlatformHandler {
             self.metrics.record("/health", Instant::now().elapsed());
             return Some(HttpResponse::json(200, "{\"status\":\"ok\"}".to_owned()));
         }
+        // A malformed `priority=` is a client error, not a scheduling
+        // hint: answer 400 from the reactor thread so the bogus request
+        // never occupies a queue slot at any tier.
+        if request_priority(raw).is_err() {
+            self.metrics.record(path, Instant::now().elapsed());
+            return Some(HttpResponse::error(
+                400,
+                "query parameter 'priority' must be low, normal, high, or critical",
+            ));
+        }
         None
     }
 
     fn priority(&self, raw: &RawRequest) -> u8 {
-        request_priority(raw)
+        // Malformed values were already rejected inline with 400; the
+        // fallback here is unreachable in practice and defaults to normal.
+        request_priority(raw).unwrap_or(1)
     }
 }
 
 /// Map a request's `priority=low|normal|high|critical` query parameter to
-/// its queue tier ([`hta_life::TaskPriority`]'s rank). Missing or
-/// unrecognised values fall back to normal, so the parameter is purely
-/// opt-in. Runs on the reactor thread: a saturated solver pool sheds
-/// low-priority requests with `503 Retry-After` before it touches high or
-/// critical ones.
-fn request_priority(raw: &RawRequest) -> u8 {
+/// its queue tier ([`hta_life::TaskPriority`]'s rank). A missing parameter
+/// falls back to normal, so it is purely opt-in; a present but
+/// unrecognised value is `Err` and the request is rejected with `400`
+/// before it is queued. Runs on the reactor thread: a saturated solver
+/// pool sheds low-priority requests with `503 Retry-After` before it
+/// touches high or critical ones.
+fn request_priority(raw: &RawRequest) -> Result<u8, ()> {
     let query = raw.target.split_once('?').map_or("", |(_, q)| q);
-    query
-        .split('&')
-        .find_map(|kv| kv.strip_prefix("priority="))
-        .and_then(hta_life::TaskPriority::parse)
-        .map_or(1, hta_life::TaskPriority::rank)
+    match query.split('&').find_map(|kv| kv.strip_prefix("priority=")) {
+        None => Ok(1),
+        Some(value) => hta_life::TaskPriority::parse(value)
+            .map(hta_life::TaskPriority::rank)
+            .ok_or(()),
+    }
 }
 
 impl Server {
@@ -287,22 +301,23 @@ mod tests {
             target: target.to_owned(),
             keep_alive: true,
         };
-        assert_eq!(request_priority(&raw("/assign?worker=0")), 1);
+        assert_eq!(request_priority(&raw("/assign?worker=0")), Ok(1));
         assert_eq!(
             request_priority(&raw("/assign?worker=0&priority=low")),
-            hta_life::TaskPriority::Low.rank()
+            Ok(hta_life::TaskPriority::Low.rank())
         );
-        assert_eq!(request_priority(&raw("/assign?priority=normal")), 1);
+        assert_eq!(request_priority(&raw("/assign?priority=normal")), Ok(1));
         assert_eq!(
             request_priority(&raw("/assign?priority=high&worker=0")),
-            hta_life::TaskPriority::High.rank()
+            Ok(hta_life::TaskPriority::High.rank())
         );
         assert_eq!(
             request_priority(&raw("/assign?priority=critical")),
-            hta_life::TaskPriority::Critical.rank()
+            Ok(hta_life::TaskPriority::Critical.rank())
         );
-        // Unknown values degrade to normal rather than erroring.
-        assert_eq!(request_priority(&raw("/assign?priority=bogus")), 1);
+        // Present-but-unknown values are a client error, not a tier.
+        assert_eq!(request_priority(&raw("/assign?priority=bogus")), Err(()));
+        assert_eq!(request_priority(&raw("/assign?priority=")), Err(()));
     }
 
     #[test]
@@ -325,6 +340,18 @@ mod tests {
         );
         assert_eq!(status, 200);
         assert!(body.contains("\"tasks\":["), "{body}");
+        // A malformed priority is rejected up front with 400 — it never
+        // reaches the queue, and the connection stays usable.
+        let (status, body) = roundtrip(
+            &mut stream,
+            &mut reader,
+            "POST",
+            "/assign?worker=0&priority=urgent!!",
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("priority"), "{body}");
+        let (status, _) = roundtrip(&mut stream, &mut reader, "POST", "/assign?worker=0");
+        assert_eq!(status, 200);
         server.shutdown();
     }
 

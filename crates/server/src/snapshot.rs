@@ -302,9 +302,12 @@ impl PlatformState {
             index,
             mode: platform.mode,
             solver_threads: platform.solver_threads,
-            // The edge cache is derived state over the immutable catalog;
-            // it is never serialized and rebuilds on the first solve.
+            // The edge cache and warm-start state are derived over the
+            // immutable catalog; neither is serialized and both rebuild
+            // on the first solve, with byte-identical output either way.
             edge_cache: None,
+            warm: None,
+            warm_start: true,
         }))
     }
 }

@@ -5,7 +5,7 @@
 use std::sync::Mutex;
 
 use hta_core::adaptive::WeightEstimator;
-use hta_core::solver::{solve_open_subset, HtaGre};
+use hta_core::solver::{solve_open_subset_warm, HtaGre, WarmState};
 use hta_core::{
     DiversityEdgeCache, Instance, Jaccard, KeywordSpace, KeywordVec, Task, TaskId, TaskPool,
     Weights, Worker, WorkerId,
@@ -122,6 +122,15 @@ pub(crate) struct Inner {
     /// to the pre-cache format and a restored server rebuilds on first
     /// use, with byte-identical solver output either way.
     pub(crate) edge_cache: Option<DiversityEdgeCache>,
+    /// Warm-start state carried between solves: the previous solve's
+    /// greedy matching over the cached catalog edges, repaired
+    /// incrementally as the open set churns. Like the edge cache it is
+    /// derived state — never serialized, rebuilt lazily after a restore —
+    /// and the solver output is byte-identical with or without it.
+    pub(crate) warm: Option<WarmState>,
+    /// Operator toggle for the warm path (default on; purely a
+    /// performance knob, output is unaffected).
+    pub(crate) warm_start: bool,
 }
 
 impl Inner {
@@ -138,8 +147,8 @@ impl Inner {
     /// stored vectors stays bit-exact for every later (possibly widened)
     /// sub-instance. Both candidate paths produce strictly ascending
     /// catalog indices (`Full` filters an ascending range, `TopK` pools
-    /// sort their members), which [`solve_open_subset`] verifies before
-    /// reusing the edges.
+    /// sort their members), which [`solve_open_subset_warm`] verifies
+    /// before reusing the edges or the warm matching.
     fn ensure_edge_cache(&mut self) {
         if self.edge_cache.is_none() && self.tasks.len() <= hta_core::edges::edge_cache_cap(0) {
             self.edge_cache = Some(DiversityEdgeCache::build(
@@ -147,6 +156,11 @@ impl Inner {
                 &Jaccard,
                 hta_par::solver_threads(self.solver_threads),
             ));
+        }
+        if self.warm_start && self.warm.is_none() {
+            if let Some(cache) = &self.edge_cache {
+                self.warm = Some(WarmState::new(cache));
+            }
         }
     }
 }
@@ -204,6 +218,8 @@ impl PlatformState {
                 mode,
                 solver_threads,
                 edge_cache: None,
+                warm: None,
+                warm_start: true,
             }),
         }
     }
@@ -229,6 +245,25 @@ impl PlatformState {
     /// The active candidate-generation mode.
     pub fn candidate_mode(&self) -> CandidateMode {
         self.inner.lock().expect("state lock").mode
+    }
+
+    /// Toggle warm-started solves at runtime (default on). Purely a
+    /// performance knob: the warm path repairs the previous solve's
+    /// greedy matching instead of rebuilding it, with byte-identical
+    /// assignments either way, so flipping mid-stream is always safe.
+    /// Disabling drops the carried state; re-enabling rebuilds it lazily
+    /// on the next solve.
+    pub fn set_warm_start(&self, enabled: bool) {
+        let mut inner = self.inner.lock().expect("state lock");
+        inner.warm_start = enabled;
+        if !enabled {
+            inner.warm = None;
+        }
+    }
+
+    /// Whether warm-started solves are enabled.
+    pub fn warm_start(&self) -> bool {
+        self.inner.lock().expect("state lock").warm_start
     }
 
     /// Register a worker by keyword names (unknown keywords are interned).
@@ -328,11 +363,12 @@ impl PlatformState {
             .without_flip()
             .with_threads(inner.solver_threads);
         inner.ensure_edge_cache();
-        let out = solve_open_subset(
+        let out = solve_open_subset_warm(
             &solver,
             &inst,
             &open,
             inner.edge_cache.as_ref(),
+            inner.warm.as_mut(),
             &mut inner.rng,
         );
 
@@ -434,11 +470,12 @@ impl PlatformState {
             .without_flip()
             .with_threads(inner.solver_threads);
         inner.ensure_edge_cache();
-        let out = solve_open_subset(
+        let out = solve_open_subset_warm(
             &solver,
             &inst,
             &open,
             inner.edge_cache.as_ref(),
+            inner.warm.as_mut(),
             &mut inner.rng,
         );
 
@@ -863,6 +900,52 @@ mod tests {
         assert_eq!(next_cached, next_fresh, "cache reuse is byte-identical");
         assert_ne!(first.tasks, next_cached.tasks);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn warm_start_does_not_change_assignments() {
+        let make = || {
+            let w = generate(&AmtConfig {
+                n_groups: 20,
+                tasks_per_group: 10,
+                vocab_size: 80,
+                ..Default::default()
+            });
+            let s = PlatformState::new(w.space, w.tasks, 5, 7);
+            let a = s.register_worker(&["english", "survey"]).unwrap();
+            let b = s.register_worker(&["english", "audio"]).unwrap();
+            (s, a, b)
+        };
+        let (warm, wa, wb) = make();
+        assert!(warm.warm_start(), "warm solving defaults to on");
+        let (cold, ca, cb) = make();
+        cold.set_warm_start(false);
+
+        // Singleton and batch solves, interleaved with completions so the
+        // open set churns between solves — the warm path must repair its
+        // carried matching to exactly the cold rebuild every round.
+        for round in 0..4 {
+            let w1 = warm.assign(wa).unwrap();
+            let c1 = cold.assign(ca).unwrap();
+            assert_eq!(w1, c1, "round {round}: singleton assign diverged");
+            let wbatch = warm.assign_batch(&[wb, wa]).unwrap();
+            let cbatch = cold.assign_batch(&[cb, ca]).unwrap();
+            assert_eq!(wbatch, cbatch, "round {round}: batch assign diverged");
+            if let Some(&t) = w1.tasks.first() {
+                warm.complete(wa, t).unwrap();
+                cold.complete(ca, t).unwrap();
+            }
+        }
+        assert_eq!(warm.stats(), cold.stats());
+
+        // Flipping the knob mid-stream stays byte-identical both ways.
+        warm.set_warm_start(false);
+        cold.set_warm_start(true);
+        assert_eq!(warm.assign(wa).unwrap(), cold.assign(ca).unwrap());
+        assert_eq!(
+            warm.assign_batch(&[wa, wb]).unwrap(),
+            cold.assign_batch(&[ca, cb]).unwrap()
+        );
     }
 
     #[test]
