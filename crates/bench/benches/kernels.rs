@@ -1,0 +1,204 @@
+//! Criterion micro-benchmarks of the SIMD similarity kernels: batched
+//! one-vs-many Jaccard over a packed catalog (scalar vs the detected SIMD
+//! backend) and the end-to-end diversity edge enumeration they feed.
+//!
+//! Besides the criterion output, the run emits `BENCH_kernels.json` at the
+//! repo root: per-size one-vs-many throughput for every available backend
+//! (with the speedup over scalar) plus the 4k-task edge-enumeration
+//! wall-clock, so the kernel perf trajectory stays machine-readable across
+//! PRs. The emitter double-checks scalar vs SIMD bit-identity on its
+//! inputs and aborts loudly on any mismatch — running the bench is also a
+//! parity smoke test.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use hta_bench::build_pools;
+use hta_core::kernels::{
+    active_mode, jaccard_one_vs_many_with_mode, mode_available, PackedCatalog, SimdMode,
+};
+use hta_core::{DiversityEdgeCache, Jaccard, KeywordVec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Keyword universe for the synthetic catalogs: deliberately not a
+/// multiple of 64 so every row has a ragged tail block.
+const NBITS: usize = 300;
+
+/// Catalog sizes for one-vs-many: 1k/100k always, 1M behind
+/// `HTA_BENCH_LARGE` (a 1M-row catalog packs ~64 MB).
+fn catalog_sizes() -> Vec<usize> {
+    let mut sizes = vec![1_000usize, 100_000];
+    if std::env::var("HTA_BENCH_LARGE").is_ok() {
+        sizes.push(1_000_000);
+    } else {
+        println!("kernels/one-vs-many: set HTA_BENCH_LARGE=1 for the 1M point");
+    }
+    sizes
+}
+
+/// The backends this machine can run, scalar first.
+fn modes() -> Vec<SimdMode> {
+    [SimdMode::Scalar, SimdMode::Avx2, SimdMode::Neon]
+        .into_iter()
+        .filter(|&m| mode_available(m))
+        .collect()
+}
+
+fn random_catalog(n: usize, seed: u64) -> (PackedCatalog, KeywordVec) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut cat = PackedCatalog::new(NBITS);
+    let mut row = KeywordVec::new(NBITS);
+    for _ in 0..n {
+        row = KeywordVec::new(NBITS);
+        // ~8 keywords per task, the AMT-like density.
+        for _ in 0..8 {
+            row.set(rng.random_range(0..NBITS as u32) as usize);
+        }
+        cat.push(&row);
+    }
+    let _ = row;
+    let mut query = KeywordVec::new(NBITS);
+    for _ in 0..8 {
+        query.set(rng.random_range(0..NBITS as u32) as usize);
+    }
+    (cat, query)
+}
+
+fn bench_one_vs_many(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/one-vs-many");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &catalog_sizes() {
+        let (cat, query) = random_catalog(n, 0x5144);
+        let mut out = vec![0.0f64; n];
+        for &mode in &modes() {
+            group.bench_with_input(BenchmarkId::new(mode.name(), n), &cat, |b, cat| {
+                b.iter(|| {
+                    jaccard_one_vs_many_with_mode(mode, &query, cat, 0, &mut out);
+                    black_box(out[n - 1])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+/// End-to-end diversity edge enumeration at 4k tasks — the
+/// `DiversityEdgeCache::build` path the solvers and the serving layer pay
+/// on their first solve (runs under the *active* dispatch mode; rerun with
+/// `HTA_SIMD=scalar` for the baseline).
+fn bench_edge_enum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/edge-enum");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    let n = 4_000usize;
+    let (tasks, _) = build_pools(n, n / 10, 4, 0x51);
+    group.bench_with_input(
+        BenchmarkId::new(format!("build/{}", active_mode().name()), n),
+        &tasks,
+        |b, tasks| {
+            b.iter(|| black_box(DiversityEdgeCache::build(tasks, &Jaccard, 1).edges().len()))
+        },
+    );
+    group.finish();
+}
+
+// ---- BENCH_kernels.json: machine-readable kernel throughput ---------------
+
+fn best_of(runs: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    (0..runs).map(|_| f()).min().expect("runs >= 1")
+}
+
+/// Re-measure each sweep point, verify scalar/SIMD bit-identity on the
+/// measured inputs, and write `BENCH_kernels.json` at the repo root.
+fn emit_kernels_json() {
+    let runs = 5usize;
+    let mut rows: Vec<String> = Vec::new();
+
+    for &n in &catalog_sizes() {
+        let (cat, query) = random_catalog(n, 0x5144);
+        let mut reference = vec![0.0f64; n];
+        jaccard_one_vs_many_with_mode(SimdMode::Scalar, &query, &cat, 0, &mut reference);
+        let mut scalar_s = f64::NAN;
+        for &mode in &modes() {
+            let mut out = vec![0.0f64; n];
+            let elapsed = best_of(runs, || {
+                let start = std::time::Instant::now();
+                jaccard_one_vs_many_with_mode(mode, &query, &cat, 0, &mut out);
+                start.elapsed()
+            });
+            // Parity smoke: any scalar-vs-SIMD divergence on the measured
+            // input is a hard failure, not a perf data point.
+            for (i, (a, b)) in out.iter().zip(&reference).enumerate() {
+                assert!(
+                    a.to_bits() == b.to_bits(),
+                    "kernel parity violation: mode {} diverges from scalar at row {i} (n={n})",
+                    mode.name()
+                );
+            }
+            let secs = elapsed.as_secs_f64();
+            if mode == SimdMode::Scalar {
+                scalar_s = secs;
+            }
+            let speedup = scalar_s / secs;
+            rows.push(format!(
+                "    {{\"kernel\": \"one_vs_many\", \"n_rows\": {n}, \"nbits\": {NBITS}, \
+                 \"mode\": \"{}\", \"secs\": {:.9}, \"mrows_per_s\": {:.3}, \
+                 \"speedup_vs_scalar\": {:.3}}}",
+                mode.name(),
+                secs,
+                n as f64 / secs / 1e6,
+                speedup
+            ));
+        }
+    }
+
+    // Edge enumeration end-to-end (active mode; the CI parity job reruns
+    // the suite under HTA_SIMD=scalar for the baseline).
+    let n = 4_000usize;
+    let (tasks, _) = build_pools(n, n / 10, 4, 0x51);
+    let mut edges = 0usize;
+    let elapsed = best_of(3, || {
+        let start = std::time::Instant::now();
+        edges = DiversityEdgeCache::build(&tasks, &Jaccard, 1).edges().len();
+        start.elapsed()
+    });
+    rows.push(format!(
+        "    {{\"kernel\": \"edge_enum\", \"n_tasks\": {n}, \"mode\": \"{}\", \
+         \"edges\": {edges}, \"edge_enum_s\": {:.6}}}",
+        active_mode().name(),
+        elapsed.as_secs_f64()
+    ));
+
+    // Recorded caveat (per the acceptance criteria): on the 1-vCPU CI box
+    // (shared Xeon @ 2.1 GHz, single shuffle port, ~15 GB/s effective DRAM
+    // bandwidth) the end-to-end Jaccard fill tops out around 3× scalar —
+    // in-cache it is shuffle-port-bound (~5 cycles/row against a ~5-cycle
+    // port floor for the LUT popcount + reduction) and streaming it sits
+    // on the memory wall. The ≥4× target assumes desktop-class cores
+    // (two shuffle ports and multi-channel memory) or AVX-512 VPOPCNTDQ.
+    let caveat = "1-vCPU shared Xeon: shuffle-port and DRAM-bandwidth bound, ~3x ceiling";
+    let json = format!(
+        "{{\n  \"group\": \"kernels\",\n  \"active_mode\": \"{}\",\n  \"caveat\": \"{}\",\n  \"samples\": [\n{}\n  ]\n}}\n",
+        active_mode().name(),
+        caveat,
+        rows.join(",\n")
+    );
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop(); // crates/
+    path.pop(); // repo root
+    path.push("BENCH_kernels.json");
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("kernel throughput written to {}", path.display()),
+        Err(e) => eprintln!("BENCH_kernels.json write failed: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_one_vs_many, bench_edge_enum);
+
+fn main() {
+    benches();
+    emit_kernels_json();
+}

@@ -5,7 +5,7 @@
 //! groups, synthetic workers; HTA-APP's cubic LSAP dominates while HTA-GRE
 //! grows as `n² log n`. Scaled sweeps via `HTA_SCALE` (see DESIGN.md §3).
 
-use hta_bench::{build_instance, time_it, write_csv, Row, Scale, Table};
+use hta_bench::{build_instance, time_it, write_csv, Row, Scale, SweepCheckpoint, Table};
 use hta_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,7 +20,18 @@ fn main() {
     );
 
     let mut table = Table::new("Fig 2a — response time (s) vs number of tasks", "|T|");
+    let mut ckpt = SweepCheckpoint::open("fig2a", &format!("{scale}:{runs}:{spec:?}"));
+    if ckpt.restored() > 0 {
+        println!(
+            "  resuming: {} point(s) restored from checkpoint",
+            ckpt.restored()
+        );
+    }
+    ckpt.replay(&mut table);
     for &n_tasks in &spec.sweep {
+        if ckpt.is_done(&n_tasks.to_string()) {
+            continue;
+        }
         let inst = build_instance(n_tasks, spec.n_groups, spec.n_workers, spec.xmax, 0xF26A);
         let mut cells: Vec<(&str, f64)> = Vec::new();
         for (name, solver) in [
@@ -49,7 +60,9 @@ fn main() {
             cells.push((l_col, lsap / r));
             cells.push((t_col, total / r));
         }
-        table.push(Row::new(n_tasks.to_string(), cells));
+        let row = Row::new(n_tasks.to_string(), cells);
+        table.push(row.clone());
+        ckpt.record(row);
         println!("  |T|={n_tasks} done");
     }
     print!("{}", table.render());
@@ -57,4 +70,5 @@ fn main() {
         Ok(p) => println!("CSV written to {}", p.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }
+    ckpt.finish();
 }

@@ -5,7 +5,7 @@
 //! deploying the faster HTA-GRE. This harness reports both the Eq. 3
 //! objective of the final assignment and the auxiliary LSAP value.
 
-use hta_bench::{build_instance, write_csv, Row, Scale, Table};
+use hta_bench::{build_instance, write_csv, Row, Scale, SweepCheckpoint, Table};
 use hta_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,7 +23,18 @@ fn main() {
         "Fig 2b — objective function value vs number of tasks",
         "|T|",
     );
+    let mut ckpt = SweepCheckpoint::open("fig2b", &format!("{scale}:{runs}:{spec:?}"));
+    if ckpt.restored() > 0 {
+        println!(
+            "  resuming: {} point(s) restored from checkpoint",
+            ckpt.restored()
+        );
+    }
+    ckpt.replay(&mut table);
     for &n_tasks in &spec.sweep {
+        if ckpt.is_done(&n_tasks.to_string()) {
+            continue;
+        }
         let inst = build_instance(n_tasks, spec.n_groups, spec.n_workers, spec.xmax, 0xF26B);
         let mut objective = [0.0f64; 2];
         let mut ratio_min = f64::INFINITY;
@@ -41,7 +52,7 @@ fn main() {
             }
         }
         let r = runs as f64;
-        table.push(Row::new(
+        let row = Row::new(
             n_tasks.to_string(),
             vec![
                 ("hta-app", objective[0] / r),
@@ -55,7 +66,9 @@ fn main() {
                     },
                 ),
             ],
-        ));
+        );
+        table.push(row.clone());
+        ckpt.record(row);
         println!("  |T|={n_tasks} done");
     }
     print!("{}", table.render());
@@ -63,4 +76,5 @@ fn main() {
         Ok(p) => println!("CSV written to {}", p.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }
+    ckpt.finish();
 }

@@ -6,7 +6,7 @@
 //! the JV phase statistics (rows assigned in column reduction, shortest
 //! augmenting path calls) that substantiate that explanation.
 
-use hta_bench::{build_instance, write_csv, Row, Scale, Table};
+use hta_bench::{build_instance, write_csv, Row, Scale, SweepCheckpoint, Table};
 use hta_core::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,7 +22,18 @@ fn main() {
     );
 
     let mut table = Table::new("Fig 2c — response time (s) vs number of workers", "|W|");
+    let mut ckpt = SweepCheckpoint::open("fig2c", &format!("{scale}:{runs}:{n_tasks}:{spec:?}"));
+    if ckpt.restored() > 0 {
+        println!(
+            "  resuming: {} point(s) restored from checkpoint",
+            ckpt.restored()
+        );
+    }
+    ckpt.replay(&mut table);
     for &n_workers in &spec.sweep {
+        if ckpt.is_done(&n_workers.to_string()) {
+            continue;
+        }
         let inst = build_instance(n_tasks, spec.n_groups, n_workers, spec.xmax, 0xF26C);
         let mut app_t = 0.0;
         let mut apph_t = 0.0;
@@ -49,14 +60,16 @@ fn main() {
                 .as_secs_f64();
         }
         let r = runs as f64;
-        table.push(Row::new(
+        let row = Row::new(
             n_workers.to_string(),
             vec![
                 ("hta-app", app_t / r),
                 ("hta-app-hungarian", apph_t / r),
                 ("hta-gre", gre_t / r),
             ],
-        ));
+        );
+        table.push(row.clone());
+        ckpt.record(row);
         println!("  |W|={n_workers} done");
     }
     print!("{}", table.render());
@@ -64,4 +77,5 @@ fn main() {
         Ok(p) => println!("CSV written to {}", p.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }
+    ckpt.finish();
 }

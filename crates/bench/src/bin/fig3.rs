@@ -9,7 +9,7 @@
 //! (DESIGN.md §3). Alongside timings we print the JV phase statistics that
 //! explain the effect.
 
-use hta_bench::{build_instance, write_csv, Row, Scale, Table};
+use hta_bench::{build_instance, write_csv, Row, Scale, SweepCheckpoint, Table};
 use hta_core::prelude::*;
 use hta_core::qap::{c_entry, deg_a, worker_of_vertex};
 use hta_matching::lsap::jv;
@@ -62,7 +62,24 @@ fn main() {
     );
 
     let mut table = Table::new("Fig 3 — effect of task diversity (s)", "#groups");
+    let mut ckpt = SweepCheckpoint::open(
+        "fig3",
+        &format!(
+            "{scale}:{runs}:{n_tasks}:{n_workers}:{xmax}:{:?}",
+            scale.fig3_groups()
+        ),
+    );
+    if ckpt.restored() > 0 {
+        println!(
+            "  resuming: {} point(s) restored from checkpoint",
+            ckpt.restored()
+        );
+    }
+    ckpt.replay(&mut table);
     for &groups in &scale.fig3_groups() {
+        if ckpt.is_done(&groups.to_string()) {
+            continue;
+        }
         let inst = build_instance(n_tasks, groups, n_workers, xmax, 0xF3);
         let mut app_t = 0.0;
         let mut gre_t = 0.0;
@@ -82,7 +99,7 @@ fn main() {
         }
         let (col_red, aug_calls) = jv_stats(&inst);
         let r = runs as f64;
-        table.push(Row::new(
+        let row = Row::new(
             groups.to_string(),
             vec![
                 ("hta-app", app_t / r),
@@ -90,7 +107,9 @@ fn main() {
                 ("jv-colred-rows", col_red as f64),
                 ("jv-aug-paths", aug_calls as f64),
             ],
-        ));
+        );
+        table.push(row.clone());
+        ckpt.record(row);
         println!("  #groups={groups} done");
     }
     print!("{}", table.render());
@@ -98,4 +117,5 @@ fn main() {
         Ok(p) => println!("CSV written to {}", p.display()),
         Err(e) => eprintln!("CSV write failed: {e}"),
     }
+    ckpt.finish();
 }

@@ -15,9 +15,11 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod harness;
 pub mod scale;
 
+pub use checkpoint::SweepCheckpoint;
 pub use harness::{
     build_instance, build_pools, csv_path, instance_from_pools, time_it, write_csv, Row, Table,
 };

@@ -343,6 +343,7 @@ fn print_repro_header(label: &str, cfg: &hta_crowd::OnlineConfig) {
         cfg.platform.candidates,
         if cfg.platform.warm_start { "on" } else { "off" },
     );
+    line.push_str(&format!(" simd={}", hta_core::kernels::mode_name()));
     if cfg.platform.lifecycle {
         let m = cfg.platform.priority_mix.weights();
         line.push_str(&format!(

@@ -20,6 +20,7 @@ use hta_matching::{edge_order, WeightedEdge};
 
 use crate::bitvec::KeywordVec;
 use crate::instance::Instance;
+use crate::kernels;
 use crate::metric::Distance;
 use crate::task::Task;
 
@@ -78,9 +79,13 @@ pub fn edge_cache_cap(requested: usize) -> usize {
 /// Cap on the up-front edge reservation. The old
 /// `Vec::with_capacity(n·(n−1)/2)` pre-allocation reserved ~800 MB for a
 /// 10k-task catalog before a single edge existed; reserving at most this
-/// many (1 MiB of edges) and growing organically costs a few reallocations
-/// on dense instances and nothing on sparse ones.
-const MAX_EDGE_RESERVE: usize = 65_536;
+/// many (2 MiB of edges) and growing organically costs a few reallocations
+/// on dense instances and nothing on sparse ones. Retuned 64k → 128k for
+/// the SIMD kernels: the batched popcount path emits edges fast enough
+/// that the doubling reallocations between 64k and the ~8M edges of a
+/// dense 4k catalog became a visible fraction of `edge_enum_s`
+/// (EXPERIMENTS.md, kernel-throughput table).
+const MAX_EDGE_RESERVE: usize = 131_072;
 
 /// Initial reservation for an edge list over `pairs` candidate pairs.
 #[inline]
@@ -146,6 +151,58 @@ pub(crate) fn enumerate_positive_edges(
     chunks.into_iter().flatten().collect()
 }
 
+/// [`enumerate_positive_edges`] over a [`PackedCatalog`]: the same
+/// row-major `u < v` order and the same balanced contiguous row ranges,
+/// but each row's distances come from one batched
+/// [`kernels::pairwise_distance_block`] call instead of per-pair
+/// `Distance::dist` invocations. Distances are bit-identical (exact
+/// integer popcounts before the shared f64 division), so the edge list is
+/// byte-identical to the closure-based enumeration under Jaccard.
+pub(crate) fn enumerate_positive_edges_packed(
+    cat: &kernels::PackedCatalog,
+    threads: usize,
+) -> Vec<WeightedEdge> {
+    let n = cat.len();
+    let total_pairs = n.saturating_sub(1) * n / 2;
+    let threads = threads.clamp(1, n.max(1));
+    let row_range = |lo: usize, hi: usize| {
+        let pairs: usize = (lo..hi).map(|u| n - 1 - u).sum();
+        let mut edges = Vec::with_capacity(initial_edge_reserve(pairs));
+        // One scratch row reused across the range (longest row first).
+        let mut row = vec![0.0f64; n.saturating_sub(lo + 1)];
+        for u in lo..hi {
+            let row = &mut row[..n - 1 - u];
+            kernels::pairwise_distance_block(cat, u, row);
+            for (off, &w) in row.iter().enumerate() {
+                if w > 0.0 {
+                    edges.push(WeightedEdge::new(u as u32, (u + 1 + off) as u32, w));
+                }
+            }
+        }
+        edges
+    };
+    if threads == 1 || n < 2 {
+        return row_range(0, n);
+    }
+    let target = total_pairs.div_ceil(threads);
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(threads);
+    let mut start = 0usize;
+    let mut acc = 0usize;
+    for u in 0..n {
+        acc += n - 1 - u;
+        if acc >= target {
+            ranges.push((start, u + 1));
+            start = u + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        ranges.push((start, n));
+    }
+    let chunks = hta_par::map_items(&ranges, ranges.len(), |_, &(lo, hi)| row_range(lo, hi));
+    chunks.into_iter().flatten().collect()
+}
+
 /// The sorted positive-weight diversity edge list of a fixed task catalog,
 /// reusable across iterations. See the [module docs](self).
 #[derive(Debug, Clone)]
@@ -162,9 +219,15 @@ impl DiversityEdgeCache {
     /// the enumeration and the sort.
     pub fn build(tasks: &[Task], distance: &(dyn Distance + Send + Sync), threads: usize) -> Self {
         let n = tasks.len();
-        let mut edges = enumerate_positive_edges(n, threads, |u, v| {
-            distance.dist(&tasks[u].keywords, &tasks[v].keywords)
-        });
+        let mut edges = if distance.supports_popcount_kernels() && n > 1 {
+            let width = tasks[0].keywords.nbits();
+            let cat = kernels::PackedCatalog::from_vecs(width, tasks.iter().map(|t| &t.keywords));
+            enumerate_positive_edges_packed(&cat, threads)
+        } else {
+            enumerate_positive_edges(n, threads, |u, v| {
+                distance.dist(&tasks[u].keywords, &tasks[v].keywords)
+            })
+        };
         hta_par::sort_unstable_by_parallel(&mut edges, threads, edge_order);
         let fingerprint = keywords_fingerprint(tasks.iter().map(|t| &t.keywords));
         Self {
@@ -279,6 +342,24 @@ mod tests {
             let par = enumerate_positive_edges(50, threads, weight);
             assert_eq!(par, seq, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn packed_enumeration_is_byte_identical_to_closure_enumeration() {
+        let tasks = catalog(60);
+        let weight = |u: usize, v: usize| Jaccard.dist(&tasks[u].keywords, &tasks[v].keywords);
+        let reference = enumerate_positive_edges(60, 1, weight);
+        let cat = kernels::PackedCatalog::from_vecs(24, tasks.iter().map(|t| &t.keywords));
+        for threads in [1usize, 2, 3, 7] {
+            let packed = enumerate_positive_edges_packed(&cat, threads);
+            assert_eq!(packed, reference, "threads={threads}");
+        }
+        // The cache builder takes the packed fast path for Jaccard; it must
+        // sort to the same list as a scalar-closure build.
+        let built = DiversityEdgeCache::build(&tasks, &Jaccard, 2);
+        let mut sorted = reference;
+        hta_par::sort_unstable_by_parallel(&mut sorted, 1, edge_order);
+        assert_eq!(built.edges(), sorted);
     }
 
     #[test]

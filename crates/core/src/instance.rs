@@ -97,11 +97,25 @@ impl Instance {
                 });
             }
         }
-        // Precompute relevance: rel(t, w) = 1 − d_rel(t, w).
+        // Precompute relevance: rel(t, w) = 1 − d_rel(t, w). This is the
+        // Θ(|T|·|W|) fill the QAP profit matrix reads, so it goes through
+        // the batched one-vs-many kernel when the distance is the packed
+        // Jaccard (the kernel returns the same exact distance, so the
+        // `1.0 − d` transform below is bit-identical to the per-pair loop).
         let mut rel = Vec::with_capacity(workers.len() * tasks.len());
-        for w in &workers {
-            for t in &tasks {
-                rel.push(1.0 - distance.dist(&t.keywords, &w.keywords));
+        if distance.supports_popcount_kernels() && !tasks.is_empty() {
+            let cat =
+                crate::kernels::PackedCatalog::from_vecs(width, tasks.iter().map(|t| &t.keywords));
+            let mut row = vec![0.0f64; tasks.len()];
+            for w in &workers {
+                crate::kernels::jaccard_one_vs_many(&w.keywords, &cat, 0, &mut row);
+                rel.extend(row.iter().map(|d| 1.0 - d));
+            }
+        } else {
+            for w in &workers {
+                for t in &tasks {
+                    rel.push(1.0 - distance.dist(&t.keywords, &w.keywords));
+                }
             }
         }
         let distance_name = distance.name();
@@ -202,14 +216,43 @@ impl Instance {
     pub fn build_diversity_cache(&mut self) {
         let n = self.tasks.len();
         let mut cache = vec![0.0f64; n * n];
-        for k in 0..n {
-            for l in (k + 1)..n {
-                let d = self.diversity_uncached(k, l);
-                cache[k * n + l] = d;
-                cache[l * n + k] = d;
+        if let Some(cat) = self.packed_catalog() {
+            // Batched upper-triangle fill: row k vs rows k+1..n in one
+            // kernel call (bit-identical to the per-pair distance).
+            for k in 0..n {
+                let (row_k, _) = cache[k * n..].split_at_mut(n);
+                crate::kernels::pairwise_distance_block(&cat, k, &mut row_k[k + 1..]);
+            }
+            for k in 0..n {
+                for l in (k + 1)..n {
+                    cache[l * n + k] = cache[k * n + l];
+                }
+            }
+        } else {
+            for k in 0..n {
+                for l in (k + 1)..n {
+                    let d = self.diversity_uncached(k, l);
+                    cache[k * n + l] = d;
+                    cache[l * n + k] = d;
+                }
             }
         }
         self.cache = Some(cache);
+    }
+
+    /// Pack the task keyword vectors for the batched kernels when the
+    /// configured diversity distance is the packed-popcount Jaccard.
+    fn packed_catalog(&self) -> Option<crate::kernels::PackedCatalog> {
+        match &self.diversity {
+            Diversity::Keywords { distance } if distance.supports_popcount_kernels() => {
+                let width = self.tasks.first().map_or(0, |t| t.keywords.nbits());
+                Some(crate::kernels::PackedCatalog::from_vecs(
+                    width,
+                    self.tasks.iter().map(|t| &t.keywords),
+                ))
+            }
+            _ => None,
+        }
     }
 
     /// [`Self::build_diversity_cache`] with the upper triangle computed by
@@ -227,6 +270,7 @@ impl Instance {
         }
         let mut cache = vec![0.0f64; n * n];
         {
+            let packed = self.packed_catalog();
             let rows: Vec<&mut [f64]> = cache.chunks_mut(n).collect();
             let this = &*self;
             // Hand each thread every `threads`-th row (with its slot in the
@@ -238,10 +282,15 @@ impl Instance {
             }
             std::thread::scope(|scope| {
                 for chunk in per_thread {
+                    let packed = &packed;
                     scope.spawn(move || {
                         for (k, row) in chunk {
-                            for (l, slot) in row.iter_mut().enumerate().skip(k + 1) {
-                                *slot = this.diversity_uncached(k, l);
+                            if let Some(cat) = packed {
+                                crate::kernels::pairwise_distance_block(cat, k, &mut row[k + 1..]);
+                            } else {
+                                for (l, slot) in row.iter_mut().enumerate().skip(k + 1) {
+                                    *slot = this.diversity_uncached(k, l);
+                                }
                             }
                         }
                     });

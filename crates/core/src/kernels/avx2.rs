@@ -1,0 +1,228 @@
+//! AVX2 backend: 256-bit popcount via the shuffle-LUT (Muła) nibble method.
+//!
+//! AVX2 has no vector popcount instruction, so each 256-bit lane group is
+//! popcounted by splitting every byte into nibbles, looking both up in a
+//! 16-entry bit-count table with `_mm256_shuffle_epi8`, and horizontally
+//! summing the byte counts into four u64 lanes with `_mm256_sad_epu8`
+//! against zero. All accumulation is integer, so the counts are exactly the
+//! scalar loop's — per-byte counts max out at 8 and a lane group adds at
+//! most 256 to a u64 accumulator, so nothing can wrap.
+//!
+//! Callers guarantee AVX2 is available (dispatch checks
+//! `is_x86_feature_detected!("avx2")` once at startup).
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::x86_64::*;
+
+use super::packed::LANE_BLOCKS;
+
+/// Per-byte popcount of `v` (each u8 lane holds the bit count of the
+/// corresponding input byte, 0–8) — the shuffle-LUT step without the
+/// horizontal `sad` reduction, so callers can accumulate byte counts
+/// across several lane groups and reduce once.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn popcount_bytes(v: __m256i) -> __m256i {
+    let lut = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, //
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_mask = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_mask);
+    let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi))
+}
+
+/// Per-64-bit-lane popcount of `v` (each u64 lane holds the bit count of
+/// the corresponding input lane).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn popcount_lanes(v: __m256i) -> __m256i {
+    _mm256_sad_epu8(popcount_bytes(v), _mm256_setzero_si256())
+}
+
+/// Horizontal sum of the four u64 lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi64(v: __m256i) -> u64 {
+    let lo = _mm256_castsi256_si128(v);
+    let hi = _mm256_extracti128_si256(v, 1);
+    let s = _mm_add_epi64(lo, hi);
+    (_mm_cvtsi128_si64(s) as u64).wrapping_add(_mm_extract_epi64(s, 1) as u64)
+}
+
+/// `(|a ∩ b|, |a ∪ b|)` over two equal-length block slices of arbitrary
+/// length (4-block main loop, scalar tail).
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn inter_union_pair(a: &[u64], b: &[u64]) -> (u64, u64) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let main = n - n % LANE_BLOCKS;
+    let mut inter_acc = _mm256_setzero_si256();
+    let mut union_acc = _mm256_setzero_si256();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut i = 0;
+    while i < main {
+        let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+        let vb = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+        inter_acc = _mm256_add_epi64(inter_acc, popcount_lanes(_mm256_and_si256(va, vb)));
+        union_acc = _mm256_add_epi64(union_acc, popcount_lanes(_mm256_or_si256(va, vb)));
+        i += LANE_BLOCKS;
+    }
+    let mut inter = hsum_epi64(inter_acc);
+    let mut union = hsum_epi64(union_acc);
+    while i < n {
+        let (x, y) = (*pa.add(i), *pb.add(i));
+        inter += (x & y).count_ones() as u64;
+        union += (x | y).count_ones() as u64;
+        i += 1;
+    }
+    (inter, union)
+}
+
+/// Widest catalog (in lane groups) served by the specialized row loops:
+/// byte accumulators hold at most `8 · MAX_HOISTED_GROUPS = 64 < 255` per
+/// byte, so `_mm256_add_epi8` across a row cannot wrap, and 8 × 256-bit
+/// query registers stay resident without spilling.
+const MAX_HOISTED_GROUPS: usize = 8;
+
+/// Specialized one-vs-many intersection loop for a row width of exactly
+/// `G` lane groups (monomorphized per width, so the group loop fully
+/// unrolls and the query registers hoist out of the row loop). Rows are
+/// processed four at a time: the shuffle-LUT chains of the quad are
+/// independent, which keeps the single shuffle port fed, and the four
+/// per-row totals are reduced **vertically** (unpack/permute adds) into
+/// one vector with a single 4×u32 store — per-row horizontal extracts are
+/// what made the two-at-a-time variant shuffle-port-bound.
+#[target_feature(enable = "avx2")]
+unsafe fn inter_many_hoisted<const G: usize>(pq: *const u64, pd: *const u64, out: &mut [u32]) {
+    debug_assert!(G >= 1 && G <= MAX_HOISTED_GROUPS);
+    let mut q = [_mm256_setzero_si256(); G];
+    for (g, slot) in q.iter_mut().enumerate() {
+        *slot = _mm256_loadu_si256(pq.add(g * LANE_BLOCKS) as *const __m256i);
+    }
+    let zero = _mm256_setzero_si256();
+    let stride = G * LANE_BLOCKS;
+    let n = out.len();
+    let mut r = 0;
+    while r + 4 <= n {
+        let mut bytes = [zero; 4];
+        for (k, acc) in bytes.iter_mut().enumerate() {
+            let row = pd.add((r + k) * stride);
+            for (g, &vq) in q.iter().enumerate() {
+                let v = _mm256_loadu_si256(row.add(g * LANE_BLOCKS) as *const __m256i);
+                *acc = _mm256_add_epi8(*acc, popcount_bytes(_mm256_and_si256(vq, v)));
+            }
+        }
+        // Per-row u64 lane sums, then a vertical 4-way reduction:
+        // rows (a, b, c, d) end as the four u64 lanes of one vector.
+        let s0 = _mm256_sad_epu8(bytes[0], zero);
+        let s1 = _mm256_sad_epu8(bytes[1], zero);
+        let s2 = _mm256_sad_epu8(bytes[2], zero);
+        let s3 = _mm256_sad_epu8(bytes[3], zero);
+        let p01 = _mm256_add_epi64(
+            _mm256_unpacklo_epi64(s0, s1), // [a0, b0, a2, b2]
+            _mm256_unpackhi_epi64(s0, s1), // [a1, b1, a3, b3]
+        );
+        let p23 = _mm256_add_epi64(_mm256_unpacklo_epi64(s2, s3), _mm256_unpackhi_epi64(s2, s3));
+        let sums = _mm256_add_epi64(
+            _mm256_permute2x128_si256(p01, p23, 0x20), // [a01, b01, c01, d01]
+            _mm256_permute2x128_si256(p01, p23, 0x31), // [a23, b23, c23, d23]
+        );
+        // Counts fit u32 (≤ nbits): compress the low half of each u64 lane.
+        let packed = _mm256_permutevar8x32_epi32(sums, _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0));
+        _mm_storeu_si128(
+            out.as_mut_ptr().add(r) as *mut __m128i,
+            _mm256_castsi256_si128(packed),
+        );
+        r += 4;
+    }
+    while r < n {
+        let row = pd.add(r * stride);
+        let mut bytes = zero;
+        for (g, &vq) in q.iter().enumerate() {
+            let v = _mm256_loadu_si256(row.add(g * LANE_BLOCKS) as *const __m256i);
+            bytes = _mm256_add_epi8(bytes, popcount_bytes(_mm256_and_si256(vq, v)));
+        }
+        *out.get_unchecked_mut(r) = hsum_epi64(_mm256_sad_epu8(bytes, zero)) as u32;
+        r += 1;
+    }
+}
+
+/// Vectorized count→distance finalize: `out[i] = 1 − inter[i] / union[i]`
+/// with `union[i] = qpop + pops[i] − inter[i]`, four rows per iteration.
+///
+/// Bit-identical to the scalar [`super::jaccard_from_counts`] loop: the
+/// u32→f64 conversions are exact (counts never exceed the universe size,
+/// far below 2⁵³), `_mm256_div_pd` and `_mm256_sub_pd` are IEEE
+/// correctly-rounded exactly like their scalar counterparts, and the
+/// `union == 0 → 0.0` convention is applied by masking the NaN lanes that
+/// 0/0 produces to +0.0 — the same +0.0 the scalar branch returns.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn jaccard_finalize(qpop: u32, pops: &[u32], inters: &[u32], out: &mut [f64]) {
+    let n = out.len();
+    debug_assert!(pops.len() == n && inters.len() == n);
+    let qv = _mm_set1_epi32(qpop as i32);
+    let ones = _mm256_set1_pd(1.0);
+    let zero = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 4 <= n {
+        let iv = _mm_loadu_si128(inters.as_ptr().add(i) as *const __m128i);
+        let pv = _mm_loadu_si128(pops.as_ptr().add(i) as *const __m128i);
+        let uv = _mm_sub_epi32(_mm_add_epi32(qv, pv), iv);
+        let inter_d = _mm256_cvtepi32_pd(iv);
+        let union_d = _mm256_cvtepi32_pd(uv);
+        let dist = _mm256_sub_pd(ones, _mm256_div_pd(inter_d, union_d));
+        let empty = _mm256_cmp_pd(union_d, zero, _CMP_EQ_OQ);
+        _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_andnot_pd(empty, dist));
+        i += 4;
+    }
+    while i < n {
+        let inter = *inters.get_unchecked(i) as u64;
+        let union = qpop as u64 + *pops.get_unchecked(i) as u64 - inter;
+        *out.get_unchecked_mut(i) = super::jaccard_from_counts(inter, union);
+        i += 1;
+    }
+}
+
+/// One-vs-many intersection counts over stride-padded rows (`stride` is a
+/// multiple of [`LANE_BLOCKS`], so there is no tail). Unions are derived by
+/// the caller from cached row popcounts. Strides up to
+/// [`MAX_HOISTED_GROUPS`] lane groups (2048 bits — every catalog in the
+/// pipeline) take a monomorphized loop with the query held in registers;
+/// wider catalogs fall back to the generic group loop.
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn inter_many(query: &[u64], data: &[u64], stride: usize, out: &mut [u32]) {
+    debug_assert_eq!(stride % LANE_BLOCKS, 0);
+    debug_assert_eq!(query.len(), stride);
+    debug_assert!(data.len() >= out.len() * stride);
+    let pq = query.as_ptr();
+    let pd = data.as_ptr();
+    match stride / LANE_BLOCKS {
+        0 => out.fill(0),
+        1 => inter_many_hoisted::<1>(pq, pd, out),
+        2 => inter_many_hoisted::<2>(pq, pd, out),
+        3 => inter_many_hoisted::<3>(pq, pd, out),
+        4 => inter_many_hoisted::<4>(pq, pd, out),
+        5 => inter_many_hoisted::<5>(pq, pd, out),
+        6 => inter_many_hoisted::<6>(pq, pd, out),
+        7 => inter_many_hoisted::<7>(pq, pd, out),
+        8 => inter_many_hoisted::<8>(pq, pd, out),
+        _ => {
+            for (r, slot) in out.iter_mut().enumerate() {
+                let row = pd.add(r * stride);
+                let mut acc = _mm256_setzero_si256();
+                let mut i = 0;
+                while i < stride {
+                    let vq = _mm256_loadu_si256(pq.add(i) as *const __m256i);
+                    let vr = _mm256_loadu_si256(row.add(i) as *const __m256i);
+                    acc = _mm256_add_epi64(acc, popcount_lanes(_mm256_and_si256(vq, vr)));
+                    i += LANE_BLOCKS;
+                }
+                *slot = hsum_epi64(acc) as u32;
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! NEON backend: 128-bit popcount via `vcntq_u8` byte counts.
+//!
+//! AArch64 NEON has a per-byte popcount instruction; byte counts are
+//! widened pairwise (`vpaddlq_u8` → u16 → u32 → u64) and accumulated in two
+//! u64 lanes per vector. A [`LANE_BLOCKS`]-block group is processed as two
+//! 128-bit halves so the stride convention matches the AVX2 backend. All
+//! accumulation is integer — counts are exactly the scalar loop's.
+//!
+//! NEON is part of the AArch64 base ISA, so dispatch needs no runtime
+//! check beyond the target architecture.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use core::arch::aarch64::*;
+
+use super::packed::LANE_BLOCKS;
+
+/// Popcount of a 128-bit vector as a u64 scalar.
+#[inline]
+unsafe fn popcount128(v: uint8x16_t) -> u64 {
+    vaddlvq_u8(vcntq_u8(v)) as u64
+}
+
+/// `(|a ∩ b|, |a ∪ b|)` over two equal-length block slices of arbitrary
+/// length (2-block main loop, scalar tail).
+pub(super) unsafe fn inter_union_pair(a: &[u64], b: &[u64]) -> (u64, u64) {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let main = n - n % 2;
+    let pa = a.as_ptr() as *const u8;
+    let pb = b.as_ptr() as *const u8;
+    let mut inter = 0u64;
+    let mut union = 0u64;
+    let mut i = 0;
+    while i < main {
+        let va = vld1q_u8(pa.add(i * 8));
+        let vb = vld1q_u8(pb.add(i * 8));
+        inter += popcount128(vandq_u8(va, vb));
+        union += popcount128(vorrq_u8(va, vb));
+        i += 2;
+    }
+    while i < n {
+        let (x, y) = (*a.get_unchecked(i), *b.get_unchecked(i));
+        inter += (x & y).count_ones() as u64;
+        union += (x | y).count_ones() as u64;
+        i += 1;
+    }
+    (inter, union)
+}
+
+/// One-vs-many intersection counts over stride-padded rows (`stride` is a
+/// multiple of [`LANE_BLOCKS`], so there is no tail). Unions are derived by
+/// the caller from cached row popcounts.
+pub(super) unsafe fn inter_many(query: &[u64], data: &[u64], stride: usize, out: &mut [u32]) {
+    debug_assert_eq!(stride % LANE_BLOCKS, 0);
+    debug_assert_eq!(query.len(), stride);
+    debug_assert!(data.len() >= out.len() * stride);
+    let pq = query.as_ptr() as *const u8;
+    let pd = data.as_ptr() as *const u8;
+    for (r, slot) in out.iter_mut().enumerate() {
+        let row = pd.add(r * stride * 8);
+        let mut inter = 0u64;
+        let mut i = 0;
+        while i < stride {
+            let vq = vld1q_u8(pq.add(i * 8));
+            let vr = vld1q_u8(row.add(i * 8));
+            inter += popcount128(vandq_u8(vq, vr));
+            i += 2;
+        }
+        *slot = inter as u32;
+    }
+}

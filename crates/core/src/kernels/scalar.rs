@@ -1,0 +1,30 @@
+//! Portable fallback backend: the original `u64::count_ones` loops.
+//!
+//! These are the reference semantics — the SIMD backends must return the
+//! same exact integer counts for every input.
+
+/// `(|a ∩ b|, |a ∪ b|)` over two equal-length block slices.
+#[inline]
+pub(super) fn inter_union_pair(a: &[u64], b: &[u64]) -> (u64, u64) {
+    let mut inter = 0u64;
+    let mut union = 0u64;
+    for (&x, &y) in a.iter().zip(b) {
+        inter += (x & y).count_ones() as u64;
+        union += (x | y).count_ones() as u64;
+    }
+    (inter, union)
+}
+
+/// One-vs-many intersection counts. `query` is stride-padded; `data` holds
+/// `out.len()` consecutive rows of `stride` blocks each. Unions are derived
+/// by the caller from cached row popcounts, so no union loop exists here.
+pub(super) fn inter_many(query: &[u64], data: &[u64], stride: usize, out: &mut [u32]) {
+    for (i, slot) in out.iter_mut().enumerate() {
+        let row = &data[i * stride..(i + 1) * stride];
+        let mut inter = 0u32;
+        for (&x, &y) in query.iter().zip(row) {
+            inter += (x & y).count_ones();
+        }
+        *slot = inter;
+    }
+}

@@ -69,6 +69,7 @@ pub mod edges;
 pub mod error;
 pub mod instance;
 pub mod iteration;
+pub mod kernels;
 pub mod keywords;
 pub mod metric;
 pub mod motivation;
@@ -87,6 +88,7 @@ pub use error::HtaError;
 pub use hta_matching::WeightedEdge;
 pub use instance::Instance;
 pub use iteration::{CandidateGenerator, IterationEngine, IterationResult};
+pub use kernels::{PackedCatalog, SimdMode};
 pub use keywords::{KeywordId, KeywordSpace};
 pub use metric::{Distance, Jaccard};
 pub use solver::{SolveOutcome, Solver};

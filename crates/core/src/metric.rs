@@ -21,6 +21,18 @@ pub trait Distance {
     /// solvers assert this; use [`check_triangle_inequality`] to validate a
     /// custom implementation empirically.
     fn is_metric(&self) -> bool;
+
+    /// Whether this distance is *exactly* the packed-popcount Jaccard the
+    /// batched kernels in [`crate::kernels`] compute, so catalog-level code
+    /// (edge enumeration, the dense diversity cache, relevance row fills)
+    /// may use the one-vs-many kernels in place of per-pair [`Self::dist`]
+    /// calls. The default is `false`; only the canonical [`Jaccard`] opts
+    /// in. This is a trait method rather than a [`Self::name`] comparison
+    /// on purpose: a custom distance may reuse the name "jaccard" (tests do,
+    /// to count invocations) without being eligible for the fast path.
+    fn supports_popcount_kernels(&self) -> bool {
+        false
+    }
 }
 
 /// Jaccard distance `1 − |a ∩ b| / |a ∪ b|`; two empty sets have distance 0.
@@ -32,12 +44,7 @@ pub struct Jaccard;
 impl Distance for Jaccard {
     #[inline]
     fn dist(&self, a: &KeywordVec, b: &KeywordVec) -> f64 {
-        let union = a.union_count(b);
-        if union == 0 {
-            return 0.0;
-        }
-        let inter = a.intersection_count(b);
-        1.0 - inter as f64 / union as f64
+        crate::kernels::jaccard_distance(a, b)
     }
 
     fn name(&self) -> &'static str {
@@ -45,6 +52,10 @@ impl Distance for Jaccard {
     }
 
     fn is_metric(&self) -> bool {
+        true
+    }
+
+    fn supports_popcount_kernels(&self) -> bool {
         true
     }
 }

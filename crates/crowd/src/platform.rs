@@ -598,11 +598,7 @@ impl<'c> Platform<'c> {
     }
 
     fn jaccard(a: &KeywordVec, b: &KeywordVec) -> f64 {
-        let union = a.union_count(b);
-        if union == 0 {
-            return 0.0;
-        }
-        1.0 - a.intersection_count(b) as f64 / union as f64
+        hta_core::kernels::jaccard_distance(a, b)
     }
 
     fn task_kw(&self, idx: usize) -> &KeywordVec {

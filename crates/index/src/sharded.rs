@@ -25,6 +25,7 @@
 
 use std::collections::HashMap;
 
+use hta_core::kernels::{intersection_counts_many, PackedCatalog};
 use hta_core::state::{StateDecodeError, StateReader, StateSerialize};
 use hta_core::KeywordVec;
 
@@ -35,6 +36,14 @@ use crate::par;
 /// scoped-thread spawns cost tens of microseconds, which dominates small
 /// result sets.
 const PARALLEL_QUERY_CUTOFF: usize = 1 << 13;
+
+/// At or above this many candidate postings — when they also exceed the
+/// task-id space — a query skips posting accumulation entirely and exact-
+/// rescores every row of the packed keyword mirror with the batched
+/// popcount kernels: streaming `rows · stride` SIMD blocks beats that many
+/// hash-map updates, and the scores come from the same exact integer
+/// counts, so the output is identical either way.
+const DENSE_RESCORE_CUTOFF: usize = 1 << 13;
 
 /// Below this many tasks a bulk build stays on the calling thread.
 const PARALLEL_BUILD_CUTOFF: usize = 1024;
@@ -161,6 +170,11 @@ pub struct ShardedIndex {
     docs: usize,
     /// Width of the keyword universe.
     nbits: usize,
+    /// Packed keyword mirror, rows addressed by task id (absent rows are
+    /// zero). Derivable from the postings — it is rebuilt on snapshot read
+    /// and never serialized — and serves the dense exact-rescore query
+    /// path ([`DENSE_RESCORE_CUTOFF`]).
+    packed: PackedCatalog,
 }
 
 impl ShardedIndex {
@@ -192,6 +206,7 @@ impl ShardedIndex {
             doc_len: Vec::new(),
             docs: 0,
             nbits,
+            packed: PackedCatalog::new(nbits),
         }
     }
 
@@ -245,13 +260,16 @@ impl ShardedIndex {
         } else {
             build_shard_group(&mut index.shards, tasks);
         }
-        // Global lengths: one popcount pass, no posting traffic.
+        // Global lengths: one popcount pass, no posting traffic. The packed
+        // mirror fills in the same pass.
         for &(id, kw) in tasks {
             debug_assert!(kw.nbits() <= nbits, "vector wider than the universe");
             index.reserve_task(id);
             index.doc_len[id as usize] = kw.count_ones() as u32;
+            index.packed.set_row(id as usize, kw);
             index.docs += 1;
         }
+        index.packed.ensure_rows(index.doc_len.len());
         (index, skipped)
     }
 
@@ -283,6 +301,7 @@ impl ShardedIndex {
             let last = self.shards.last_mut().expect("at least one shard");
             let lo = last.lo as usize;
             last.postings.resize(nbits - lo, Vec::new());
+            self.packed.widen(nbits);
             self.nbits = nbits;
         }
     }
@@ -377,6 +396,8 @@ impl ShardedIndex {
             shard.insert(task, keywords);
         }
         self.doc_len[task as usize] = keywords.count_ones() as u32;
+        self.packed.set_row(task as usize, keywords);
+        self.packed.ensure_rows(self.doc_len.len());
         self.docs += 1;
         true
     }
@@ -391,6 +412,7 @@ impl ShardedIndex {
             shard.remove(task);
         }
         self.doc_len[task as usize] = ABSENT;
+        self.packed.clear_row(task as usize);
         self.docs -= 1;
         true
     }
@@ -431,6 +453,13 @@ impl ShardedIndex {
             }
         }
 
+        // Dense queries (candidate postings outnumber the task-id space)
+        // rescore the packed mirror directly — same exact integer counts,
+        // identical output, no hash traffic.
+        if candidates >= DENSE_RESCORE_CUTOFF && candidates >= self.packed.len() {
+            return self.top_k_dense(worker, k, wlen);
+        }
+
         let mut acc: HashMap<u32, u32> = HashMap::new();
         if term_sets.len() > 1 && candidates >= PARALLEL_QUERY_CUTOFF {
             let partials: Vec<HashMap<u32, u32>> = std::thread::scope(|scope| {
@@ -467,6 +496,34 @@ impl ShardedIndex {
             .map(|(task, overlap)| {
                 let union = self.doc_len[task as usize] as f64 + wlen as f64 - overlap as f64;
                 (task, overlap as f64 / union)
+            })
+            .collect();
+        scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(k);
+        scored
+    }
+
+    /// The dense exact-rescore path: one batched [`intersection_counts_many`]
+    /// sweep over every packed row. Tasks with zero overlap (including
+    /// removed tasks, whose rows are zero) never score — exactly the tasks
+    /// the posting accumulation never touches — and scores come from the
+    /// same `overlap / (|t| + |w| − overlap)` on the same integers, so the
+    /// output is bit-identical to the accumulate path.
+    pub(crate) fn top_k_dense(
+        &self,
+        worker: &KeywordVec,
+        k: usize,
+        wlen: usize,
+    ) -> Vec<(u32, f64)> {
+        let mut overlaps = vec![0u32; self.packed.len()];
+        intersection_counts_many(worker, &self.packed, 0, &mut overlaps);
+        let mut scored: Vec<(u32, f64)> = overlaps
+            .iter()
+            .enumerate()
+            .filter(|&(_, &overlap)| overlap > 0)
+            .map(|(task, &overlap)| {
+                let union = self.doc_len[task] as f64 + wlen as f64 - overlap as f64;
+                (task as u32, overlap as f64 / union)
             })
             .collect();
         scored.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -560,7 +617,10 @@ impl StateSerialize for ShardedIndex {
         }
         // Cross-check every membership against the doc_len table, then
         // rebuild the back-references (ascending keyword order per shard —
-        // the live invariant).
+        // the live invariant) and the packed keyword mirror (derivable
+        // from the postings, so it is never serialized).
+        let mut packed = PackedCatalog::new(nbits);
+        packed.ensure_rows(doc_len.len());
         let mut counts = vec![0u32; doc_len.len()];
         for shard in &mut shards {
             if !doc_len.is_empty() {
@@ -576,6 +636,7 @@ impl StateSerialize for ShardedIndex {
                         return Err(invalid(format!("posting for absent task {task}")));
                     }
                     counts[task as usize] += 1;
+                    packed.set_bit(task as usize, keyword as usize);
                     shard.entries[task as usize].push(PostingRef {
                         keyword,
                         position: position as u32,
@@ -595,6 +656,7 @@ impl StateSerialize for ShardedIndex {
             doc_len,
             docs,
             nbits,
+            packed,
         })
     }
 }
@@ -786,6 +848,50 @@ mod tests {
         idx.insert(1, &kw(70, &[69]));
         assert_eq!(idx.postings(69), &[1]);
         assert_eq!(idx.keywords_of(1).collect::<Vec<_>>(), vec![69]);
+        // The packed mirror survives the stride-changing widen (4 bits →
+        // 70 bits crosses a 256-bit lane group boundary for row layout).
+        let dense = idx.top_k_dense(&kw(70, &[0, 69]), 4, 2);
+        assert_eq!(dense, idx.top_k(&kw(70, &[0, 69]), 4));
+    }
+
+    #[test]
+    fn dense_rescore_equals_posting_accumulation() {
+        let nbits = 48;
+        let mut idx = ShardedIndex::new(nbits, 3);
+        for i in 0..300u32 {
+            let i_us = i as usize;
+            idx.insert(
+                i,
+                &kw(
+                    nbits,
+                    &[
+                        i_us % nbits,
+                        (i_us * 7 + 1) % nbits,
+                        (i_us * 13 + 5) % nbits,
+                    ],
+                ),
+            );
+        }
+        // Punch holes so zeroed rows are exercised.
+        for i in (0..300u32).step_by(7) {
+            idx.remove(i);
+        }
+        for k in [1usize, 5, 40, 1000] {
+            for worker in [
+                kw(nbits, &[0, 1, 2, 3]),
+                kw(nbits, &(0..nbits).collect::<Vec<_>>()),
+                kw(nbits, &[47]),
+            ] {
+                let wlen = worker.count_ones();
+                let dense = idx.top_k_dense(&worker, k, wlen);
+                let sparse = idx.top_k(&worker, k);
+                assert_eq!(dense.len(), sparse.len(), "k={k}");
+                for (d, s) in dense.iter().zip(&sparse) {
+                    assert_eq!(d.0, s.0, "k={k}");
+                    assert_eq!(d.1.to_bits(), s.1.to_bits(), "k={k}");
+                }
+            }
+        }
     }
 
     #[test]

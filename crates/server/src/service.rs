@@ -6,9 +6,10 @@
 //! | `POST /register?keywords=a;b;c` | create a worker, returns its id |
 //! | `POST /assign?worker=N` | solve HTA for the worker, returns task ids |
 //! | `POST /assign_batch?workers=1,2,5` | one shared pool + one joint solve for the cohort |
-//! | `POST /complete?worker=N&task=M` | record a completion, returns updated (α, β) |
+//! | `POST /complete?worker=N&task=M[&ok=bool]` | record a completion (and its verification outcome), returns updated (α, β) |
 //! | `GET /tasks?id=M` | a task's keywords |
-//! | `GET /stats` | aggregate counters (+ serving metrics when reactor-hosted) |
+//! | `GET /reputation?worker=N` | the worker's verification track record |
+//! | `GET /stats` | aggregate counters incl. the active SIMD kernel mode (+ serving metrics when reactor-hosted) |
 //! | `POST /snapshot?path=FILE` | atomically save the full serving state |
 
 use std::fmt::Write as _;
@@ -38,12 +39,15 @@ pub fn handle_with_metrics(
         ("POST", "/assign_batch") => assign_batch(state, req),
         ("POST", "/complete") => complete(state, req),
         ("GET", "/tasks") => task_info(state, req),
+        ("GET", "/reputation") => reputation(state, req),
         ("GET", "/stats") => stats(state, serving),
         ("POST", "/snapshot") => snapshot(state, req),
         (_, "/register" | "/assign" | "/assign_batch" | "/complete" | "/snapshot") => {
             Response::error(405, "use POST for this endpoint")
         }
-        (_, "/health" | "/tasks" | "/stats") => Response::error(405, "use GET for this endpoint"),
+        (_, "/health" | "/tasks" | "/reputation" | "/stats") => {
+            Response::error(405, "use GET for this endpoint")
+        }
         _ => Response::error(404, "unknown endpoint"),
     }
 }
@@ -139,10 +143,38 @@ fn complete(state: &PlatformState, req: &Request) -> Response {
         Ok(t) => t,
         Err(e) => return Response::error(400, &e),
     };
-    match state.complete(worker, task) {
+    // `ok` is the verification outcome for the worker's reputation;
+    // omitted means the completion passed. Reputation is observational, so
+    // the rest of the response and the platform's future behavior are
+    // identical either way.
+    let pass = match req.param("ok") {
+        None | Some("true") | Some("1") => true,
+        Some("false") | Some("0") => false,
+        Some(_) => return Response::error(400, "query parameter 'ok' must be a boolean"),
+    };
+    match state.complete_with_outcome(worker, task, pass) {
         Ok(r) => Response::ok(format!(
             "{{\"alpha\":{:.6},\"beta\":{:.6},\"remaining\":{}}}",
             r.alpha, r.beta, r.remaining
+        )),
+        Err(e) => state_error(e),
+    }
+}
+
+fn reputation(state: &PlatformState, req: &Request) -> Response {
+    let worker = match req.require::<usize>("worker") {
+        Ok(w) => w,
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.reputation(worker) {
+        Ok(rep) => Response::ok(format!(
+            "{{\"worker\":{worker},\"score\":{:.6},\"pool_score\":{:.6},\"beta_scale\":{:.6},\"pass_rate\":{:.6},\"observations\":{},\"passes\":{}}}",
+            rep.score(),
+            rep.pool_score(),
+            rep.beta_scale(),
+            rep.pass_rate(),
+            rep.observations(),
+            rep.passes()
         )),
         Err(e) => state_error(e),
     }
@@ -194,8 +226,14 @@ fn stats(state: &PlatformState, serving: Option<&ServingMetrics>) -> Response {
     // snapshot tests compare these bodies across save/restore, and a
     // legacy-served `/stats` (no serving counters) must stay byte-stable.
     let mut body = format!(
-        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{},\"shards\":[{}]",
-        s.workers, s.open_tasks, s.assigned_tasks, s.completed_tasks, s.indexed_tasks, shards
+        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{},\"shards\":[{}],\"simd\":\"{}\"",
+        s.workers,
+        s.open_tasks,
+        s.assigned_tasks,
+        s.completed_tasks,
+        s.indexed_tasks,
+        shards,
+        hta_core::kernels::mode_name()
     );
     if let Some(m) = serving {
         let _ = write!(body, ",\"serving\":{}", m.to_json());
@@ -291,6 +329,51 @@ mod tests {
             handle(&s, &req("GET", "/assign_batch", "workers=0")).status,
             405
         );
+    }
+
+    #[test]
+    fn reputation_endpoint_tracks_outcomes() {
+        let s = state();
+        let _ = handle(&s, &req("POST", "/register", "keywords=english;survey"));
+        let r = handle(&s, &req("GET", "/reputation", "worker=0"));
+        assert_eq!(r.status, 200);
+        assert!(r.body.contains("\"observations\":0"), "{}", r.body);
+        assert!(r.body.contains("\"beta_scale\":1.000000"), "{}", r.body);
+
+        let a = handle(&s, &req("POST", "/assign", "worker=0"));
+        let ids = a.body.split('[').nth(1).unwrap().split(']').next().unwrap();
+        let mut ids = ids.split(',').map(|t| t.parse::<usize>().unwrap());
+        let t0 = ids.next().unwrap();
+        let t1 = ids.next().unwrap();
+        let fail = req("POST", "/complete", &format!("worker=0&task={t0}&ok=false"));
+        assert_eq!(handle(&s, &fail).status, 200);
+        let pass = req("POST", "/complete", &format!("worker=0&task={t1}"));
+        assert_eq!(handle(&s, &pass).status, 200);
+        let r = handle(&s, &req("GET", "/reputation", "worker=0"));
+        assert!(r.body.contains("\"observations\":2"), "{}", r.body);
+        assert!(r.body.contains("\"passes\":1"), "{}", r.body);
+
+        assert_eq!(
+            handle(&s, &req("GET", "/reputation", "worker=9")).status,
+            404
+        );
+        assert_eq!(handle(&s, &req("GET", "/reputation", "")).status, 400);
+        assert_eq!(
+            handle(&s, &req("POST", "/reputation", "worker=0")).status,
+            405
+        );
+        assert_eq!(
+            handle(&s, &req("POST", "/complete", "worker=0&task=1&ok=maybe")).status,
+            400
+        );
+    }
+
+    #[test]
+    fn stats_reports_the_active_simd_mode() {
+        let s = state();
+        let r = handle(&s, &req("GET", "/stats", ""));
+        let expected = format!("\"simd\":\"{}\"", hta_core::kernels::mode_name());
+        assert!(r.body.contains(&expected), "{}", r.body);
     }
 
     #[test]

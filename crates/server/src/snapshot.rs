@@ -97,6 +97,7 @@ impl StateSerialize for WorkerState {
         self.estimator.write_state(out);
         self.assigned.write_state(out);
         self.completed.write_state(out);
+        self.reputation.write_state(out);
     }
 
     fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
@@ -105,6 +106,7 @@ impl StateSerialize for WorkerState {
             estimator: StateSerialize::read_state(r)?,
             assigned: Vec::<usize>::read_state(r)?,
             completed: Vec::<usize>::read_state(r)?,
+            reputation: StateSerialize::read_state(r)?,
         })
     }
 }
@@ -332,7 +334,7 @@ mod tests {
         let a1 = s.assign(w1).unwrap();
         s.complete(w0, a0.tasks[0]).unwrap();
         s.complete(w0, a0.tasks[1]).unwrap();
-        s.complete(w1, a1.tasks[0]).unwrap();
+        s.complete_with_outcome(w1, a1.tasks[0], false).unwrap();
         s
     }
 
@@ -345,6 +347,13 @@ mod tests {
         assert_eq!(r.stats(), s.stats(), "stats survive, shard sizes included");
         assert_eq!(r.candidate_mode(), s.candidate_mode());
         assert_eq!(r.task_keywords(0), s.task_keywords(0));
+        for w in 0..2 {
+            assert_eq!(
+                r.reputation(w).unwrap(),
+                s.reputation(w).unwrap(),
+                "worker {w} reputation diverged across restore"
+            );
+        }
 
         // The next assignment draws on the restored index, estimators, and
         // RNG stream — it must match the original server exactly.

@@ -11,6 +11,7 @@ use hta_core::{
     Weights, Worker, WorkerId,
 };
 use hta_index::{CandidateMode, CandidatePool, PoolParams, ShardedIndex};
+use hta_life::Reputation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -22,6 +23,11 @@ pub(crate) struct WorkerState {
     pub(crate) assigned: Vec<usize>,
     /// Catalog indices completed, in order.
     pub(crate) completed: Vec<usize>,
+    /// Verification track record, folded in on `/complete`. Observational
+    /// only at the serving layer: it never feeds the estimator, the solver,
+    /// or the RNG stream, so enabling or ignoring outcomes cannot change
+    /// assignments.
+    pub(crate) reputation: Reputation,
 }
 
 /// Result of an assignment call.
@@ -289,6 +295,7 @@ impl PlatformState {
             estimator: WeightEstimator::new(Weights::balanced()),
             assigned: Vec::new(),
             completed: Vec::new(),
+            reputation: Reputation::new(),
         });
         Ok(id)
     }
@@ -521,8 +528,22 @@ impl PlatformState {
     }
 
     /// Record a completion (Figure 4's "Notify t completed by w"): updates
-    /// the adaptive estimator from the observed marginal gains.
+    /// the adaptive estimator from the observed marginal gains. The
+    /// completion counts as a passed verification for reputation purposes.
     pub fn complete(&self, worker: usize, task: usize) -> Result<CompleteResult, StateError> {
+        self.complete_with_outcome(worker, task, true)
+    }
+
+    /// [`Self::complete`] with an explicit verification outcome folded into
+    /// the worker's [`Reputation`]. The outcome is observational: estimator
+    /// updates, the assignment ledger, and the RNG stream are identical for
+    /// `pass = true` and `pass = false`.
+    pub fn complete_with_outcome(
+        &self,
+        worker: usize,
+        task: usize,
+        pass: bool,
+    ) -> Result<CompleteResult, StateError> {
         let mut inner = self.inner.lock().expect("state lock");
         if worker >= inner.workers.len() {
             return Err(StateError::UnknownWorker(worker));
@@ -545,14 +566,8 @@ impl PlatformState {
                 inner.space.widen(&t.keywords)
             }
         };
-        let jac = |a: &KeywordVec, b: &KeywordVec| -> f64 {
-            let union = a.union_count(b);
-            if union == 0 {
-                0.0
-            } else {
-                1.0 - a.intersection_count(b) as f64 / union as f64
-            }
-        };
+        let jac =
+            |a: &KeywordVec, b: &KeywordVec| -> f64 { hta_core::kernels::jaccard_distance(a, b) };
         let wkw = if inner.workers[worker].keywords.nbits() == width {
             inner.workers[worker].keywords.clone()
         } else {
@@ -587,12 +602,24 @@ impl PlatformState {
 
         inner.workers[worker].assigned.remove(pos);
         inner.workers[worker].completed.push(task);
+        inner.workers[worker].reputation.observe(pass);
         let est = inner.workers[worker].estimator.estimate();
         Ok(CompleteResult {
             alpha: est.alpha(),
             beta: est.beta(),
             remaining: inner.workers[worker].assigned.len(),
         })
+    }
+
+    /// A copy of `worker`'s verification track record (see
+    /// [`Reputation`] for the score semantics).
+    pub fn reputation(&self, worker: usize) -> Result<Reputation, StateError> {
+        let inner = self.inner.lock().expect("state lock");
+        inner
+            .workers
+            .get(worker)
+            .map(|w| w.reputation.clone())
+            .ok_or(StateError::UnknownWorker(worker))
     }
 
     /// Aggregate statistics.
