@@ -1,7 +1,7 @@
 //! `hta-loadgen` — HTTP load generator for the platform service.
 //!
 //! ```text
-//! hta-loadgen [--addr HOST:PORT | --spawn reactor|legacy|both]
+//! hta-loadgen [--addr HOST:PORT | --topology A:P,B:P,... | --spawn ...]
 //!             [--conns K] [--duration-secs S] [--mode closed|open]
 //!             [--pipeline D] [--endpoint PATH] [--method M]
 //!             [--listen-threads N] [--solver-pool N]
@@ -13,6 +13,12 @@
 //! **closed-loop** mode each connection keeps exactly one request in flight
 //! (latency includes queueing under load); **open** mode pipelines up to
 //! `--pipeline` requests per connection, decoupling arrival from completion.
+//!
+//! `--topology` fans the same load over several addresses — a replicated
+//! serving cluster's read path (`hta cluster`, DESIGN.md §14). Connections
+//! are pinned round-robin to the listed targets and the report carries a
+//! per-target breakdown (req/s, latency quantiles, status counts per
+//! address) alongside the combined totals.
 //!
 //! With `--spawn both` (the default when no `--addr` is given) it starts the
 //! epoll-reactor server and the legacy thread-per-connection server in turn
@@ -65,6 +71,17 @@ impl LoadReport {
         self.reconnects += other.reconnects;
         self.io_errors += other.io_errors;
         self.latencies_us.extend(other.latencies_us);
+    }
+
+    fn merge_from(&mut self, other: &LoadReport) {
+        self.requests += other.requests;
+        self.ok_2xx += other.ok_2xx;
+        self.client_4xx += other.client_4xx;
+        self.server_5xx += other.server_5xx;
+        self.server_503 += other.server_503;
+        self.reconnects += other.reconnects;
+        self.io_errors += other.io_errors;
+        self.latencies_us.extend_from_slice(&other.latencies_us);
     }
 
     fn rps(&self) -> f64 {
@@ -202,24 +219,43 @@ fn drive_connection(addr: &str, cfg: &LoadConfig, stop: &AtomicBool) -> LoadRepo
 }
 
 fn run_load(addr: &str, cfg: &LoadConfig) -> LoadReport {
+    run_load_targets(std::slice::from_ref(&addr.to_owned()), cfg).0
+}
+
+/// Drive the load over several targets at once: connection `i` is pinned
+/// to `addrs[i % addrs.len()]`, so the offered load splits evenly.
+/// Returns the combined report plus one report per target (same order as
+/// `addrs`), all sharing the same wall-clock window so their `rps()` add
+/// up to the combined figure.
+fn run_load_targets(addrs: &[String], cfg: &LoadConfig) -> (LoadReport, Vec<LoadReport>) {
     let stop = Arc::new(AtomicBool::new(false));
     let start = Instant::now();
-    let workers: Vec<_> = (0..cfg.conns)
-        .map(|_| {
-            let addr = addr.to_owned();
+    let workers: Vec<(usize, std::thread::JoinHandle<LoadReport>)> = (0..cfg.conns)
+        .map(|i| {
+            let target = i % addrs.len();
+            let addr = addrs[target].clone();
             let cfg = cfg.clone();
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || drive_connection(&addr, &cfg, &stop))
+            (
+                target,
+                std::thread::spawn(move || drive_connection(&addr, &cfg, &stop)),
+            )
         })
         .collect();
     std::thread::sleep(cfg.duration);
     stop.store(true, Ordering::Relaxed);
-    let mut report = LoadReport::default();
-    for w in workers {
-        report.merge(w.join().expect("load thread panicked"));
+    let mut per_target: Vec<LoadReport> = addrs.iter().map(|_| LoadReport::default()).collect();
+    for (target, w) in workers {
+        per_target[target].merge(w.join().expect("load thread panicked"));
     }
-    report.finalize(start.elapsed());
-    report
+    let elapsed = start.elapsed();
+    let mut combined = LoadReport::default();
+    for r in &mut per_target {
+        combined.merge_from(r);
+        r.finalize(elapsed);
+    }
+    combined.finalize(elapsed);
+    (combined, per_target)
 }
 
 fn corpus_state() -> PlatformState {
@@ -240,6 +276,7 @@ fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> 
 
 fn main() -> io::Result<()> {
     let mut addr: Option<String> = None;
+    let mut topology: Vec<String> = Vec::new();
     let mut spawn = "both".to_owned();
     let mut opts = ServeOptions::default();
     let mut json_path = "BENCH_server.json".to_owned();
@@ -257,6 +294,18 @@ fn main() -> io::Result<()> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = Some(parse_flag_value(&arg, args.next())),
+            "--topology" => {
+                let list: String = parse_flag_value(&arg, args.next());
+                topology = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+                if topology.is_empty() {
+                    eprintln!("error: --topology needs a comma-separated address list");
+                    std::process::exit(2);
+                }
+            }
             "--spawn" => spawn = parse_flag_value(&arg, args.next()),
             "--conns" => cfg.conns = parse_flag_value(&arg, args.next()),
             "--duration-secs" => {
@@ -289,8 +338,30 @@ fn main() -> io::Result<()> {
     }
     cfg.pipeline = cfg.pipeline.max(1);
 
+    if addr.is_some() && !topology.is_empty() {
+        eprintln!("error: --addr and --topology are mutually exclusive");
+        std::process::exit(2);
+    }
+
     let mut sections: Vec<(String, LoadReport)> = Vec::new();
+    // (address, report) per topology target, empty without `--topology`.
+    let mut targets: Vec<(String, LoadReport)> = Vec::new();
+    if !topology.is_empty() {
+        println!(
+            "load: {} conns over {} target(s), {:?}, pipeline {} -> {} {}",
+            cfg.conns,
+            topology.len(),
+            cfg.duration,
+            cfg.pipeline,
+            cfg.method,
+            cfg.endpoint
+        );
+        let (combined, per_target) = run_load_targets(&topology, &cfg);
+        sections.push(("combined".to_owned(), combined));
+        targets = topology.iter().cloned().zip(per_target).collect();
+    }
     match addr {
+        _ if !topology.is_empty() => {}
         Some(addr) => {
             println!(
                 "load: {} conns, {:?}, pipeline {} -> {addr} {} {}",
@@ -365,6 +436,24 @@ fn main() -> io::Result<()> {
             report.server_5xx
         };
         any_5xx |= hard_5xx > 0;
+    }
+    if !targets.is_empty() {
+        let mut obj = String::new();
+        for (address, report) in &targets {
+            println!(
+                "  {address}: {} requests, {:.1} req/s, p50 {}us p99 {}us, {} 5xx",
+                report.requests,
+                report.rps(),
+                report.quantile_us(0.50),
+                report.quantile_us(0.99),
+                report.server_5xx,
+            );
+            if !obj.is_empty() {
+                obj.push(',');
+            }
+            obj.push_str(&format!("\"{address}\":{}", report.to_json()));
+        }
+        json.push_str(&format!(",\"targets\":{{{obj}}}"));
     }
     if let (Some(r), Some(l)) = (
         sections.iter().find(|(n, _)| n == "reactor"),

@@ -356,6 +356,9 @@ fn print_repro_header(label: &str, cfg: &hta_crowd::OnlineConfig) {
             cfg.platform.max_retries,
             if cfg.platform.reputation { "on" } else { "off" },
         ));
+        if cfg.platform.price_weight != 0.0 {
+            line.push_str(&format!(" price-weight={}", cfg.platform.price_weight));
+        }
     }
     println!("{line}");
 }
@@ -434,6 +437,7 @@ pub fn simulate(args: &Args) -> CmdResult {
         "deadlines",
         "priority-mix",
         "reputation",
+        "price-weight",
         "edge-cache-cap",
         "warm-start",
     ])?;
@@ -467,6 +471,15 @@ pub fn simulate(args: &Args) -> CmdResult {
         Some("off") => Some(false),
         Some(other) => return Err(format!("--reputation must be on or off, got '{other}'").into()),
     };
+    let price_weight: f64 = args.get_or("price-weight", 0.0)?;
+    if !price_weight.is_finite() {
+        return Err(format!("--price-weight must be a finite number, got {price_weight}").into());
+    }
+    if price_weight != 0.0 && reputation == Some(false) {
+        return Err(
+            "--price-weight needs the reputation pool score (drop --reputation off)".into(),
+        );
+    }
     let edge_cache_cap: usize = args.get_or("edge-cache-cap", 0)?;
     let warm_start = match args.get("warm-start") {
         None => None,
@@ -491,7 +504,8 @@ pub fn simulate(args: &Args) -> CmdResult {
     cfg.platform.edge_cache_cap = edge_cache_cap;
     // Any lifecycle knob switches the marketplace layer on; `--reputation`
     // additionally needs the lifecycle ledger, which scores completions.
-    if deadlines > 0.0 || priority_mix.is_some() || reputation == Some(true) {
+    if deadlines > 0.0 || priority_mix.is_some() || reputation == Some(true) || price_weight != 0.0
+    {
         cfg.platform.lifecycle = true;
     }
     if deadlines > 0.0 {
@@ -500,7 +514,10 @@ pub fn simulate(args: &Args) -> CmdResult {
     if let Some(mix) = priority_mix {
         cfg.platform.priority_mix = mix;
     }
-    cfg.platform.reputation = reputation == Some(true);
+    // A nonzero price weight folds worker wages into the reputation pool
+    // score, so it needs the reputation scaling active.
+    cfg.platform.reputation = reputation == Some(true) || price_weight != 0.0;
+    cfg.platform.price_weight = price_weight;
     // Purely a performance knob: warm solves repair the previous
     // iteration's matching instead of rebuilding, with byte-identical
     // metrics either way.
@@ -552,6 +569,221 @@ pub fn resume(args: &Args) -> CmdResult {
         Some(loaded.progress),
         &control,
     )?);
+    Ok(())
+}
+
+/// One process of a planned local cluster: its role name and the argument
+/// vector (binary not included) it must be launched with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ClusterNode {
+    role: &'static str,
+    http: String,
+    argv: Vec<String>,
+}
+
+/// Plan the process topology of `hta cluster` as pure data, so the layout
+/// (ports, join/redirect wiring, shard indices) is testable without
+/// spawning anything. Port layout on `host`: the primary serves HTTP on
+/// `base_port` and replication on `repl_port`; replicas take the next
+/// `replicas` ports; shard workers follow after the replicas.
+fn plan_cluster(
+    host: &str,
+    base_port: u16,
+    repl_port: u16,
+    replicas: u16,
+    shard_workers: u16,
+    tasks: Option<&str>,
+    journal_dir: Option<&str>,
+) -> Vec<ClusterNode> {
+    let http = |offset: u16| format!("{host}:{}", base_port + offset);
+    let repl = format!("{host}:{repl_port}");
+    let shard_addrs: Vec<String> = (0..shard_workers).map(|j| http(1 + replicas + j)).collect();
+
+    let mut nodes = Vec::new();
+    let mut primary_argv = vec![http(0), "--role".into(), "primary".into()];
+    if let Some(t) = tasks {
+        primary_argv.insert(1, t.to_owned());
+    }
+    primary_argv.extend(["--repl-listen".into(), repl.clone()]);
+    if !shard_addrs.is_empty() {
+        primary_argv.extend(["--shard-workers".into(), shard_addrs.join(",")]);
+    }
+    nodes.push(ClusterNode {
+        role: "primary",
+        http: http(0),
+        argv: primary_argv,
+    });
+
+    let follower_tail = |journal_name: String| -> Vec<String> {
+        let mut tail = vec![
+            "--join".into(),
+            repl.clone(),
+            "--primary-http".into(),
+            http(0),
+        ];
+        if let Some(dir) = journal_dir {
+            tail.extend([
+                "--journal".into(),
+                format!("{}/{journal_name}.journal", dir.trim_end_matches('/')),
+            ]);
+        }
+        tail
+    };
+    for i in 0..replicas {
+        let mut argv = vec![http(1 + i), "--role".into(), "replica".into()];
+        argv.extend(follower_tail(format!("replica-{i}")));
+        nodes.push(ClusterNode {
+            role: "replica",
+            http: http(1 + i),
+            argv,
+        });
+    }
+    for j in 0..shard_workers {
+        let mut argv = vec![
+            shard_addrs[j as usize].clone(),
+            "--role".into(),
+            "shard-worker".into(),
+        ];
+        argv.extend(follower_tail(format!("shard-{j}")));
+        argv.extend([
+            "--shard-index".into(),
+            j.to_string(),
+            "--shard-count".into(),
+            shard_workers.to_string(),
+        ]);
+        nodes.push(ClusterNode {
+            role: "shard-worker",
+            http: shard_addrs[j as usize].clone(),
+            argv,
+        });
+    }
+    nodes
+}
+
+/// Locate the `hta-serve` binary: an explicit `--server-bin`, else next to
+/// the running `hta` executable (both are workspace bin targets, so cargo
+/// puts them in the same directory).
+fn server_binary(args: &Args) -> Result<std::path::PathBuf, Box<dyn Error>> {
+    if let Some(p) = args.get("server-bin") {
+        let p = std::path::PathBuf::from(p);
+        if !p.is_file() {
+            return Err(format!("--server-bin {}: not a file", p.display()).into());
+        }
+        return Ok(p);
+    }
+    let me = std::env::current_exe()?;
+    let dir = me.parent().ok_or("cannot locate executable directory")?;
+    let candidate = dir.join("hta-serve");
+    if candidate.is_file() {
+        Ok(candidate)
+    } else {
+        Err(format!(
+            "hta-serve not found at {} (build it with `cargo build -p hta-server` \
+             or point --server-bin at it)",
+            candidate.display()
+        )
+        .into())
+    }
+}
+
+/// `hta cluster` — launch a local primary/replica (and optionally
+/// shard-worker) cluster as child processes and supervise them.
+///
+/// The launcher spawns every node at once: followers retry their initial
+/// `--join` fetch until the primary's replication listener is up, so no
+/// start-up ordering is needed. It then waits; when any child exits the
+/// rest are terminated and the first failure's status is propagated.
+/// `SIGINT` reaches the whole foreground process group, so Ctrl-C shuts
+/// every node down gracefully (snapshot-on-exit semantics included).
+pub fn cluster(args: &Args) -> CmdResult {
+    args.no_positionals()?;
+    args.reject_unknown(&[
+        "replicas",
+        "shard-workers",
+        "host",
+        "base-port",
+        "repl-port",
+        "tasks",
+        "journal-dir",
+        "server-bin",
+    ])?;
+    let replicas: u16 = args.get_or("replicas", 2)?;
+    let shard_workers: u16 = args.get_or("shard-workers", 0)?;
+    let host: String = args.get_or("host", "127.0.0.1".to_owned())?;
+    let base_port: u16 = args.get_or("base-port", 8080)?;
+    let repl_port: u16 = args.get_or("repl-port", 7171)?;
+    if replicas == 0 && shard_workers == 0 {
+        return Err("nothing to launch besides the primary: \
+                    set --replicas and/or --shard-workers"
+            .into());
+    }
+    let tasks = args.get("tasks");
+    if let Some(t) = tasks {
+        if !std::path::Path::new(t).is_file() {
+            return Err(format!("--tasks {t}: not a file").into());
+        }
+    }
+    let journal_dir = args.get("journal-dir");
+    if let Some(dir) = journal_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let bin = server_binary(args)?;
+    let plan = plan_cluster(
+        &host,
+        base_port,
+        repl_port,
+        replicas,
+        shard_workers,
+        tasks,
+        journal_dir,
+    );
+
+    let mut children: Vec<(std::process::Child, &ClusterNode)> = Vec::new();
+    for node in &plan {
+        match std::process::Command::new(&bin).args(&node.argv).spawn() {
+            Ok(child) => {
+                println!(
+                    "cluster: {} http://{} (pid {})",
+                    node.role,
+                    node.http,
+                    child.id()
+                );
+                children.push((child, node));
+            }
+            Err(e) => {
+                for (mut c, _) in children {
+                    let _ = c.kill();
+                    let _ = c.wait();
+                }
+                return Err(format!("spawning {} on {}: {e}", node.role, node.http).into());
+            }
+        }
+    }
+    println!(
+        "cluster: {} node(s) up; reads fan out over every node, writes redirect to the primary",
+        children.len()
+    );
+
+    // Supervise: poll until any child exits, then wind the rest down.
+    let (failed, who) = 'outer: loop {
+        for (child, node) in &mut children {
+            if let Some(status) = child.try_wait()? {
+                break 'outer (!status.success(), (node.role, node.http.clone()));
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    };
+    eprintln!(
+        "cluster: {} on {} exited; stopping the remaining nodes",
+        who.0, who.1
+    );
+    for (mut child, _) in children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    if failed {
+        return Err(format!("cluster node {} on {} failed", who.0, who.1).into());
+    }
     Ok(())
 }
 
@@ -768,6 +1000,77 @@ mod tests {
     fn unknown_flags_rejected() {
         assert!(generate(&args(&["generate", "--nope", "1"])).is_err());
         assert!(simulate(&args(&["simulate", "--nope", "1"])).is_err());
+        assert!(cluster(&args(&["cluster", "--nope", "1"])).is_err());
+    }
+
+    #[test]
+    fn cluster_plan_wires_roles_ports_and_shards() {
+        let plan = plan_cluster("127.0.0.1", 9000, 9100, 2, 2, None, Some("/tmp/j/"));
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan[0].role, "primary");
+        assert_eq!(plan[0].argv[0], "127.0.0.1:9000");
+        // The primary knows every shard worker's HTTP address.
+        let sw = plan[0]
+            .argv
+            .windows(2)
+            .find(|w| w[0] == "--shard-workers")
+            .expect("primary lists shard workers");
+        assert_eq!(sw[1], "127.0.0.1:9003,127.0.0.1:9004");
+
+        for (i, node) in plan[1..3].iter().enumerate() {
+            assert_eq!(node.role, "replica");
+            assert_eq!(node.http, format!("127.0.0.1:{}", 9001 + i));
+            for pair in [
+                ["--join", "127.0.0.1:9100"],
+                ["--primary-http", "127.0.0.1:9000"],
+                ["--journal", &format!("/tmp/j/replica-{i}.journal")],
+            ] {
+                assert!(
+                    node.argv.windows(2).any(|w| w == pair),
+                    "replica {i} missing {pair:?}: {:?}",
+                    node.argv
+                );
+            }
+        }
+        for (j, node) in plan[3..].iter().enumerate() {
+            assert_eq!(node.role, "shard-worker");
+            for pair in [
+                ["--shard-index", &j.to_string()[..]],
+                ["--shard-count", "2"],
+                ["--join", "127.0.0.1:9100"],
+            ] {
+                assert!(
+                    node.argv.windows(2).any(|w| w == pair),
+                    "shard {j} missing {pair:?}: {:?}",
+                    node.argv
+                );
+            }
+        }
+
+        // No journal dir → no --journal flags; tasks ride as the primary's
+        // second positional only.
+        let plan = plan_cluster("h", 1, 2, 1, 0, Some("t.csv"), None);
+        assert!(plan
+            .iter()
+            .all(|n| !n.argv.iter().any(|a| a == "--journal")));
+        assert_eq!(plan[0].argv[1], "t.csv");
+        assert!(!plan[1].argv.contains(&"t.csv".to_owned()));
+    }
+
+    #[test]
+    fn cluster_validates_its_flags() {
+        let err = cluster(&args(&["cluster", "--replicas", "0"])).unwrap_err();
+        assert!(err.to_string().contains("nothing to launch"), "{err}");
+        let err =
+            cluster(&args(&["cluster", "--tasks", "/definitely/not/a/file.csv"])).unwrap_err();
+        assert!(err.to_string().contains("not a file"), "{err}");
+        let err = cluster(&args(&[
+            "cluster",
+            "--server-bin",
+            "/definitely/not/hta-serve",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("not a file"), "{err}");
     }
 
     #[test]

@@ -58,6 +58,18 @@ COMMANDS:
              byte-identical to the uninterrupted run
              hta resume <snapshot-or-dir> [--checkpoint-every N
                --checkpoint-dir DIR --checkpoint-keep K --halt-after N]
+  cluster    Launch a local replicated serving cluster (DESIGN.md §14):
+             one primary plus read replicas and optional shard workers,
+             spawned as hta-serve child processes and supervised until
+             any node exits (Ctrl-C stops them all gracefully)
+             --replicas N (2)   --shard-workers S (0)
+             --host H (127.0.0.1)  --base-port P (8080)  — primary on P,
+               replicas on P+1.., shard workers after the replicas
+             --repl-port R (7171)  — the primary's replication stream
+             --tasks FILE  — task CSV served by the primary (optional)
+             --journal-dir DIR  — per-follower delta journals, so a
+               relaunched follower catches up from disk
+             --server-bin PATH  — hta-serve binary (default: next to hta)
   example    Print the paper's worked example (Table I / Figure 1)
   help       Show this message
 ";
@@ -77,6 +89,7 @@ fn main() {
         Some("analyze") => commands::analyze(&args),
         Some("simulate") => commands::simulate(&args),
         Some("resume") => commands::resume(&args),
+        Some("cluster") => commands::cluster(&args),
         Some("example") => commands::example(&args),
         Some("help") | None => {
             println!("{USAGE}");

@@ -11,7 +11,7 @@ mod qap_pipeline;
 pub mod warm;
 
 pub use baselines::{GreedyMotivation, GreedyRelevance, RandomAssign};
-pub use cohort::{solve_open_subset, solve_open_subset_warm};
+pub use cohort::{merge_open_subsets, solve_open_subset, solve_open_subset_warm};
 pub use exact::ExactSolver;
 pub use hta_app::HtaApp;
 pub use hta_gre::HtaGre;

@@ -97,6 +97,14 @@ pub struct PlatformConfig {
     /// ([`Reputation::beta_scale`]) at assignment time. Only takes effect
     /// with [`lifecycle`](Self::lifecycle).
     pub reputation: bool,
+    /// Price sensitivity of the composite pool score
+    /// ([`Reputation::priced_beta_scale`]): each worker's wage — their
+    /// [`speed`](crate::population::LiveWorker::speed), faster workers
+    /// charge more — discounts or boosts the reputation factor applied to
+    /// `β`. `0.0` (the default) is exactly neutral: the unpriced scale is
+    /// used and every byte of a run, snapshots included, is unchanged.
+    /// Only takes effect with [`reputation`](Self::reputation).
+    pub price_weight: f64,
     /// Largest catalog for which the sorted diversity edge list is cached
     /// (`0` = auto: `HTA_EDGE_CACHE_CAP` or the built-in default).
     pub edge_cache_cap: usize,
@@ -132,6 +140,7 @@ impl Default for PlatformConfig {
             max_retries: 2,
             pass_threshold: 0.9,
             reputation: false,
+            price_weight: 0.0,
             edge_cache_cap: 0,
             warm_start: false,
         }
@@ -1085,11 +1094,21 @@ impl<'c> Platform<'c> {
                     // Reputation scales the relevance term of Eq. 3: a
                     // proven worker gets more relevance weight, an unproven
                     // one gets pulled toward the prior (scale 1 = neutral).
+                    // With a nonzero price weight the worker's wage (speed
+                    // stands in for it: fast workers charge more) is folded
+                    // into the composite pool score first.
+                    let price_weight = self.cfg.price_weight;
                     let scale = self
                         .life
                         .as_ref()
                         .and_then(|l| l.reputations.get(a.worker.index))
-                        .map(|r| r.beta_scale())
+                        .map(|r| {
+                            if price_weight != 0.0 {
+                                r.priced_beta_scale(a.worker.speed, price_weight)
+                            } else {
+                                r.beta_scale()
+                            }
+                        })
                         .unwrap_or(1.0);
                     weights = weights.scale_beta(scale);
                 }
@@ -1551,6 +1570,66 @@ mod tests {
             assert!((0.0..=1.0).contains(&r.score()));
             assert!((0.0..=2.0).contains(&r.beta_scale()));
         }
+    }
+
+    #[test]
+    fn price_weight_steers_assignments_only_when_armed() {
+        // Scaling β is ratio-invariant for the fixed-weight arms (α = 0
+        // makes any positive scale a per-worker no-op; β = 0 ignores it
+        // entirely), so the steering proof needs the adaptive strategy,
+        // whose α ∈ (0, 1) makes the relevance/diversity trade-off move
+        // with the scaled β. Reputations are pre-seeded so the composite
+        // scores are non-neutral from the very first solve: a large price
+        // weight then zeroes the relevance term for expensive (fast)
+        // workers while cheap ones keep theirs.
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 6,
+                ..Default::default()
+            },
+        );
+        let trace = |price_weight: f64| -> Vec<usize> {
+            let mut platform = Platform::new(
+                &catalog,
+                PlatformConfig {
+                    price_weight,
+                    // No contrast stretch: the adaptive α stays mid-range,
+                    // so the relevance term (the only thing the price knob
+                    // touches) keeps real weight in every solve.
+                    adaptive_sharpening: 1.0,
+                    // Mixed verification verdicts (the lifecycle_cfg bar of
+                    // 1.05 rejects everything, burying all reputations at
+                    // the same floor).
+                    pass_threshold: 0.9,
+                    ..lifecycle_cfg()
+                },
+            );
+            let life = platform.life.as_mut().expect("lifecycle is on");
+            for _ in 0..pop.len() {
+                let mut r = Reputation::new();
+                for _ in 0..10 {
+                    r.observe(true);
+                }
+                life.reputations.push(r);
+            }
+            let refs: Vec<&LiveWorker> = pop.iter().collect();
+            let mut rng = StdRng::seed_from_u64(99);
+            let records = platform.run_cohort(Strategy::HtaGre, &refs, &mut rng);
+            records
+                .iter()
+                .flat_map(|r| r.completions.iter().map(|c| c.task_index))
+                .collect()
+        };
+        let neutral = trace(0.0);
+        assert!(!neutral.is_empty());
+        assert_eq!(neutral, trace(0.0), "zero weight must stay deterministic");
+        assert_ne!(
+            neutral,
+            trace(12.0),
+            "a large price weight must steer the adaptive assignments"
+        );
     }
 
     #[test]

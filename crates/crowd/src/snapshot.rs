@@ -401,6 +401,11 @@ impl StateSerialize for PlatformConfig {
             max_retries: u32::read_state(r)?,
             pass_threshold: f64::read_state(r)?,
             reputation: bool::read_state(r)?,
+            // Not part of this struct's fixed layout: `price_weight` rides
+            // at the tail of the owning section (see `OnlineConfig`) so
+            // snapshots written before it existed — and runs with the knob
+            // at its neutral 0.0 — decode and byte-compare unchanged.
+            price_weight: 0.0,
             edge_cache_cap: usize::read_state(r)?,
             warm_start: bool::read_state(r)?,
         };
@@ -463,10 +468,16 @@ impl StateSerialize for OnlineConfig {
         self.retention_probe_minutes.write_state(out);
         self.arrival_spread_minutes.write_state(out);
         self.seed.write_state(out);
+        // Trailing optional field: written only when the price term is
+        // armed, so the section bytes with the knob off are exactly the
+        // pre-price format (and old snapshots decode as price_weight 0).
+        if self.platform.price_weight != 0.0 {
+            self.platform.price_weight.write_state(out);
+        }
     }
 
     fn read_state(r: &mut StateReader<'_>) -> Result<Self, StateDecodeError> {
-        let cfg = Self {
+        let mut cfg = Self {
             sessions_per_strategy: usize::read_state(r)?,
             cohort_size: usize::read_state(r)?,
             catalog: hta_datagen::crowdflower::CrowdflowerConfig::read_state(r)?,
@@ -480,6 +491,17 @@ impl StateSerialize for OnlineConfig {
             return Err(StateDecodeError::Invalid(
                 "sessions_per_strategy and cohort_size must be >= 1".into(),
             ));
+        }
+        // Optional trailing field (absent in pre-price snapshots and when
+        // the knob sits at its neutral 0.0).
+        if r.remaining() > 0 {
+            let price_weight = f64::read_state(r)?;
+            if !price_weight.is_finite() {
+                return Err(StateDecodeError::Invalid(format!(
+                    "price_weight {price_weight} is not finite"
+                )));
+            }
+            cfg.platform.price_weight = price_weight;
         }
         Ok(cfg)
     }
@@ -868,6 +890,28 @@ mod tests {
         let open: Vec<u32> = back.progress.index.open_tasks().collect();
         let expect: Vec<u32> = progress.index.open_tasks().collect();
         assert_eq!(open, expect);
+    }
+
+    #[test]
+    fn price_weight_rides_the_config_tail_only_when_armed() {
+        let (config, _) = sample_progress();
+        let neutral = encode(&config);
+        let mut priced_cfg = config.clone();
+        priced_cfg.platform.price_weight = 0.35;
+        let priced = encode(&priced_cfg);
+        assert_eq!(priced.len(), neutral.len() + 8, "one trailing f64");
+        assert!(priced.starts_with(&neutral), "shared prefix unchanged");
+        let back: OnlineConfig = decode(&priced).expect("decode priced");
+        assert_eq!(back.platform.price_weight.to_bits(), 0.35f64.to_bits());
+        // Neutral bytes are the pre-price format and decode with the knob
+        // off — and re-encode to the same bytes (resume identity).
+        let back: OnlineConfig = decode(&neutral).expect("decode neutral");
+        assert_eq!(back.platform.price_weight, 0.0);
+        assert_eq!(encode(&back), neutral);
+        // A non-finite tail is rejected, not smuggled into the config.
+        let mut bad = neutral.clone();
+        f64::NAN.write_state(&mut bad);
+        assert!(decode::<OnlineConfig>(&bad).is_err());
     }
 
     #[test]

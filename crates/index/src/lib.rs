@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod inverted;
+pub mod merge;
 pub mod par;
 pub mod pool;
 pub mod sharded;
@@ -41,6 +42,7 @@ mod engine;
 
 pub use engine::SparseCandidateGenerator;
 pub use inverted::InvertedIndex;
+pub use merge::merge_topk;
 pub use pool::{CandidateMode, CandidatePool, PoolParams};
 pub use sharded::{default_shards, ShardedIndex};
 pub use traits::TaskIndex;

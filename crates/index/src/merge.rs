@@ -1,0 +1,82 @@
+//! Exact merge of per-shard top-k results.
+//!
+//! When the task catalog is partitioned across shard workers (each holding
+//! an index over its own slice of the open set), a worker's *global* top-k
+//! is recovered exactly from the per-shard top-k lists: every global top-k
+//! member ranks at least as high within its own shard, so it appears in
+//! that shard's local list — concatenating the lists therefore contains
+//! the global answer, and re-applying the [`TaskIndex::top_k`] comparator
+//! (score descending by `total_cmp`, then ascending task id) and
+//! truncating to `k` reproduces the flat index's output element for
+//! element, scores bit-identical (per-task Jaccard scores do not depend on
+//! what else is in the index).
+//!
+//! [`TaskIndex::top_k`]: crate::traits::TaskIndex::top_k
+
+/// Merge per-shard top-k lists into the exact global top-k.
+///
+/// Inputs must come from indices over **disjoint** task sets (a partition
+/// of the open catalog); a task id appearing in several lists is admitted
+/// several times, exactly like a corrupted flat index would.
+pub fn merge_topk(shard_lists: &[Vec<(u32, f64)>], k: usize) -> Vec<(u32, f64)> {
+    let mut all: Vec<(u32, f64)> = shard_lists.iter().flatten().copied().collect();
+    all.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InvertedIndex;
+    use hta_core::KeywordVec;
+
+    #[test]
+    fn merged_shard_topk_equals_flat_topk() {
+        let nbits = 24;
+        let n_tasks = 60u32;
+        let shards = 3u32;
+        let mut flat = InvertedIndex::new(nbits);
+        let mut parts: Vec<InvertedIndex> =
+            (0..shards).map(|_| InvertedIndex::new(nbits)).collect();
+        for t in 0..n_tasks {
+            let kw = KeywordVec::from_indices(
+                nbits,
+                &[
+                    (t as usize) % nbits,
+                    (t as usize * 7 + 3) % nbits,
+                    (t as usize * 5 + 11) % nbits,
+                ],
+            );
+            flat.insert(t, &kw);
+            parts[(t % shards) as usize].insert(t, &kw);
+        }
+        for probe in 0..nbits {
+            let worker = KeywordVec::from_indices(nbits, &[probe, (probe + 2) % nbits]);
+            for k in [1usize, 4, 16, 100] {
+                let expect = flat.top_k(&worker, k);
+                let lists: Vec<Vec<(u32, f64)>> =
+                    parts.iter().map(|p| p.top_k(&worker, k)).collect();
+                let got = merge_topk(&lists, k);
+                assert_eq!(got.len(), expect.len());
+                for (g, e) in got.iter().zip(&expect) {
+                    assert_eq!(g.0, e.0, "task order diverged at k={k} probe={probe}");
+                    assert_eq!(
+                        g.1.to_bits(),
+                        e.1.to_bits(),
+                        "score bits diverged at k={k} probe={probe}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert!(merge_topk(&[], 5).is_empty());
+        assert!(merge_topk(&[vec![], vec![]], 5).is_empty());
+        let one = merge_topk(&[vec![(3, 0.5)], vec![]], 5);
+        assert_eq!(one, vec![(3, 0.5)]);
+        assert!(merge_topk(&[vec![(3, 0.5)]], 0).is_empty());
+    }
+}

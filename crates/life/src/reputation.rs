@@ -119,6 +119,26 @@ impl Reputation {
     pub fn beta_scale(&self) -> f64 {
         2.0 * self.pool_score()
     }
+
+    /// The composite pool score with a price term folded in:
+    /// `pool_score · (1 + weight·(1 − cost))`, clamped to `[0, 1]`.
+    ///
+    /// `cost` is the worker's wage relative to the market base rate
+    /// (`1.0` = base; above = expensive, below = cheap) and `weight` is the
+    /// platform's price sensitivity. Cheap workers gain score, expensive
+    /// workers lose it, and two exact neutralities hold: `weight == 0.0`
+    /// returns [`pool_score`](Self::pool_score) bit-for-bit (the multiplier
+    /// is exactly `1.0`), as does `cost == 1.0` at any weight.
+    pub fn priced_pool_score(&self, cost: f64, weight: f64) -> f64 {
+        (self.pool_score() * (1.0 + weight * (1.0 - cost))).clamp(0.0, 1.0)
+    }
+
+    /// [`beta_scale`](Self::beta_scale) with the price term:
+    /// `2 · priced_pool_score`, in `[0, 2]`, and bit-identical to the
+    /// unpriced scale when `weight` is `0.0`.
+    pub fn priced_beta_scale(&self, cost: f64, weight: f64) -> f64 {
+        2.0 * self.priced_pool_score(cost, weight)
+    }
 }
 
 #[cfg(test)]
@@ -172,5 +192,52 @@ mod tests {
     #[should_panic(expected = "lambda")]
     fn zero_lambda_is_rejected() {
         let _ = Reputation::with_lambda(0.0);
+    }
+
+    #[test]
+    fn price_term_is_bit_neutral_at_zero_weight_or_unit_cost() {
+        let mut r = Reputation::new();
+        for i in 0..13 {
+            r.observe(i % 3 != 0);
+            for cost in [0.25, 0.8, 1.0, 1.7, 4.0] {
+                assert_eq!(
+                    r.priced_pool_score(cost, 0.0).to_bits(),
+                    r.pool_score().to_bits(),
+                    "weight 0 must be exactly neutral at cost {cost}"
+                );
+                assert_eq!(
+                    r.priced_beta_scale(cost, 0.0).to_bits(),
+                    r.beta_scale().to_bits()
+                );
+            }
+            for weight in [0.1, 0.5, 1.0, 3.0] {
+                assert_eq!(
+                    r.priced_pool_score(1.0, weight).to_bits(),
+                    r.pool_score().to_bits(),
+                    "unit cost must be exactly neutral at weight {weight}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn price_term_rewards_cheap_and_punishes_expensive_workers() {
+        let mut r = Reputation::new();
+        for _ in 0..10 {
+            r.observe(true);
+        }
+        let base = r.pool_score();
+        assert!(r.priced_pool_score(0.5, 0.4) > base, "cheap gains");
+        assert!(r.priced_pool_score(2.0, 0.4) < base, "expensive loses");
+        // Monotone in cost at fixed weight, and always bounded.
+        let mut prev = f64::INFINITY;
+        for cost in [0.0, 0.5, 1.0, 2.0, 5.0, 100.0] {
+            let s = r.priced_pool_score(cost, 0.4);
+            assert!((0.0..=1.0).contains(&s), "score {s} out of range");
+            assert!(s <= prev, "not monotone at cost {cost}");
+            prev = s;
+        }
+        assert_eq!(r.priced_pool_score(100.0, 1.0), 0.0, "clamped at 0");
+        assert!((0.0..=2.0).contains(&r.priced_beta_scale(3.0, 0.7)));
     }
 }

@@ -44,8 +44,32 @@ pub fn request_bytes(method: &str, target: &str, keep_alive: bool) -> Vec<u8> {
     format!("{method} {target} HTTP/1.1\r\nHost: hta\r\n{connection}\r\n").into_bytes()
 }
 
+/// Serialize a request carrying a binary-safe body. A `Content-Length`
+/// header frames the body exactly; the bytes are appended untouched.
+pub fn request_bytes_with_body(
+    method: &str,
+    target: &str,
+    keep_alive: bool,
+    body: &[u8],
+) -> Vec<u8> {
+    let connection = if keep_alive {
+        ""
+    } else {
+        "Connection: close\r\n"
+    };
+    let mut out = format!(
+        "{method} {target} HTTP/1.1\r\nHost: hta\r\n{connection}Content-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
 /// Read one response off a buffered stream. Blocks until the status line,
-/// headers, and `Content-Length` body have arrived.
+/// headers, and body have arrived. The body is sized by `Content-Length`
+/// when present; a `Connection: close` response without one is read to EOF
+/// (the pre-1.1 framing some servers still use for unsized bodies).
 pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
     let mut line = String::new();
     if reader.read_line(&mut line)? == 0 {
@@ -83,13 +107,26 @@ pub fn read_response<R: BufRead>(reader: &mut R) -> io::Result<ClientResponse> {
         }
     }
 
-    let length: usize = headers
+    let length: Option<usize> = headers
         .iter()
         .find(|(n, _)| n.eq_ignore_ascii_case("content-length"))
-        .and_then(|(_, v)| v.parse().ok())
-        .unwrap_or(0);
-    let mut body = vec![0u8; length];
-    reader.read_exact(&mut body)?;
+        .and_then(|(_, v)| v.parse().ok());
+    let connection_close = headers
+        .iter()
+        .any(|(n, v)| n.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close"));
+    let body = match length {
+        Some(length) => {
+            let mut body = vec![0u8; length];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        None if connection_close => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+        None => Vec::new(),
+    };
     Ok(ClientResponse {
         status,
         headers,
@@ -121,6 +158,56 @@ mod tests {
         assert_eq!(resp.status, 503);
         assert_eq!(resp.header("retry-after"), Some("3"));
         assert!(!resp.keep_alive());
+    }
+
+    #[test]
+    fn location_header_round_trips() {
+        let mut resp = crate::http1::HttpResponse::json(307, "{}".into());
+        resp.location = Some("http://127.0.0.1:8080/assign?worker=0".into());
+        let wire = resp.serialize(true);
+        let mut reader = BufReader::new(&wire[..]);
+        let parsed = read_response(&mut reader).unwrap();
+        assert_eq!(parsed.status, 307);
+        assert_eq!(
+            parsed.header("location"),
+            Some("http://127.0.0.1:8080/assign?worker=0")
+        );
+    }
+
+    #[test]
+    fn close_without_content_length_reads_to_eof() {
+        let wire = b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\nraw bytes \x00\xff to eof";
+        let mut reader = BufReader::new(&wire[..]);
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"raw bytes \x00\xff to eof");
+        assert!(!resp.keep_alive());
+    }
+
+    #[test]
+    fn keep_alive_without_content_length_has_empty_body() {
+        let wire = b"HTTP/1.1 204 No Content\r\n\r\n";
+        let mut reader = BufReader::new(&wire[..]);
+        let resp = read_response(&mut reader).unwrap();
+        assert_eq!(resp.status, 204);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn body_request_is_binary_safe_and_length_framed() {
+        let body = [0u8, 1, 2, 255, 13, 10, 0];
+        let wire = request_bytes_with_body("POST", "/delta", true, &body);
+        let header_end = wire.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        let head = std::str::from_utf8(&wire[..header_end]).unwrap();
+        assert!(head.starts_with("POST /delta HTTP/1.1\r\n"));
+        assert!(head.contains(&format!("Content-Length: {}\r\n", body.len())));
+        assert!(!head.contains("Connection: close"));
+        assert_eq!(&wire[header_end..], &body);
+
+        let close = request_bytes_with_body("POST", "/y", false, b"x");
+        assert!(std::str::from_utf8(&close[..close.len() - 1])
+            .unwrap()
+            .contains("Connection: close\r\n"));
     }
 
     #[test]

@@ -48,6 +48,9 @@ pub struct HttpResponse {
     pub body: Vec<u8>,
     /// `Retry-After` seconds for backpressure responses.
     pub retry_after: Option<u32>,
+    /// `Location` target for redirect responses (e.g. a read replica
+    /// bouncing a write to the primary with `307`).
+    pub location: Option<String>,
     /// Force `Connection: close` regardless of the request's keep-alive.
     pub close: bool,
 }
@@ -59,6 +62,7 @@ impl HttpResponse {
             status,
             body: body.into_bytes(),
             retry_after: None,
+            location: None,
             close: false,
         }
     }
@@ -88,6 +92,7 @@ impl HttpResponse {
     pub fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            307 => "Temporary Redirect",
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
@@ -115,6 +120,9 @@ impl HttpResponse {
         );
         if let Some(secs) = self.retry_after {
             out.extend_from_slice(format!("Retry-After: {secs}\r\n").as_bytes());
+        }
+        if let Some(url) = &self.location {
+            out.extend_from_slice(format!("Location: {url}\r\n").as_bytes());
         }
         out.extend_from_slice(if alive {
             b"Connection: keep-alive\r\n\r\n"

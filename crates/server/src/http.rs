@@ -45,12 +45,18 @@ pub struct Response {
     pub status: u16,
     /// Body (the platform always returns JSON).
     pub body: String,
+    /// `Location` header target for redirect responses.
+    pub location: Option<String>,
 }
 
 impl Response {
     /// 200 with a JSON body.
     pub fn ok(body: String) -> Self {
-        Self { status: 200, body }
+        Self {
+            status: 200,
+            body,
+            location: None,
+        }
     }
 
     /// An error with a JSON `{"error": …}` body.
@@ -58,6 +64,18 @@ impl Response {
         Self {
             status,
             body: format!("{{\"error\":{}}}", json_string(message)),
+            location: None,
+        }
+    }
+
+    /// A `307 Temporary Redirect` to `url` — how read replicas bounce
+    /// write endpoints to the primary. `307` (not `301`/`302`) so clients
+    /// replay the `POST` verbatim against the redirect target.
+    pub fn redirect(url: String) -> Self {
+        Self {
+            status: 307,
+            body: format!("{{\"redirect\":{}}}", json_string(&url)),
+            location: Some(url),
         }
     }
 }
@@ -93,6 +111,20 @@ pub fn url_decode(s: &str) -> String {
         }
     }
     String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Percent-encode a query component (inverse of [`url_decode`]).
+pub fn url_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
 }
 
 /// Parse the query string `a=1&b=two` into a map (later keys win).
@@ -144,18 +176,24 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
 pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
     let reason = match response.status {
         200 => "OK",
+        307 => "Temporary Redirect",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
         _ => "Internal Server Error",
     };
+    let location = match &response.location {
+        Some(url) => format!("Location: {url}\r\n"),
+        None => String::new(),
+    };
     write!(
         stream,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{}Connection: close\r\n\r\n{}",
         response.status,
         reason,
         response.body.len(),
+        location,
         response.body
     )?;
     stream.flush()
@@ -195,6 +233,14 @@ mod tests {
     }
 
     #[test]
+    fn url_encode_round_trips_through_decode() {
+        for s in ["plain", "two words", "a;b/c", "kw=%&+", "naïve"] {
+            assert_eq!(url_decode(&url_encode(s)), s, "{s:?}");
+        }
+        assert_eq!(url_encode("a b"), "a%20b");
+    }
+
+    #[test]
     fn url_decode_edge_cases() {
         assert_eq!(url_decode("%41%42"), "AB");
         assert_eq!(url_decode("%4"), "%4"); // truncated escape preserved
@@ -231,5 +277,13 @@ mod tests {
         let err = Response::error(400, "bad \"thing\"");
         assert_eq!(err.status, 400);
         assert!(err.body.contains("\\\"thing\\\""));
+        assert_eq!(err.location, None);
+        let redir = Response::redirect("http://10.0.0.1:80/assign?worker=1".into());
+        assert_eq!(redir.status, 307);
+        assert_eq!(
+            redir.location.as_deref(),
+            Some("http://10.0.0.1:80/assign?worker=1")
+        );
+        assert!(redir.body.contains("\"redirect\""));
     }
 }

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod http;
 pub mod legacy;
 pub mod metrics;
@@ -37,6 +38,7 @@ pub mod service;
 pub mod snapshot;
 pub mod state;
 
+pub use cluster::{AppliedEpoch, ClusterCtx, Role};
 pub use legacy::LegacyServer;
 pub use metrics::ServingMetrics;
 pub use server::{ServeOptions, Server};

@@ -4,6 +4,10 @@
 //! hta-serve [addr] [tasks.csv] [--restore state.htasnap]
 //!           [--listen-threads N] [--solver-pool N] [--queue-capacity N]
 //!           [--snapshot-on-exit state.htasnap]
+//!           [--role primary|replica|shard-worker]
+//!           [--repl-listen addr] [--shard-workers a,b,c]        # primary
+//!           [--join addr] [--primary-http addr] [--journal F]   # followers
+//!           [--shard-index N] [--shard-count N]                 # shard worker
 //! ```
 //!
 //! With no task CSV, serves a generated AMT-like corpus (1000 tasks). With
@@ -16,14 +20,30 @@
 //! running solves (default 2), `--queue-capacity` the backpressure bound
 //! (default 64; a full queue answers `503` + `Retry-After`).
 //!
+//! Cluster roles (DESIGN.md §14): `--role primary` additionally serves a
+//! replication stream on `--repl-listen` (default `127.0.0.1:7171`) and,
+//! given `--shard-workers`, fans candidate retrieval out to those HTTP
+//! addresses. `--role replica` / `--role shard-worker` fetch their initial
+//! state from the primary's `--join` address (or the `--journal` file when
+//! it holds one), follow the delta stream, answer reads locally, and
+//! redirect writes to `--primary-http`. A shard worker also needs
+//! `--shard-index`/`--shard-count` and serves `GET /shard_topk`.
+//!
 //! `SIGINT`/`SIGTERM` shut down gracefully: stop accepting, drain in-flight
 //! requests, then (with `--snapshot-on-exit`) save a final snapshot that a
 //! later `--restore` resumes from. Endpoints: see `hta_server::service`.
 
+use std::net::TcpListener;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
+use hta_cluster::{ReplicaState, ReplicationHub, ShardSpec, DEFAULT_RETAIN};
 use hta_net::ShutdownSignals;
+use hta_server::cluster::{
+    acquire_initial_state, install_shard_coordinator, spawn_follower, AppliedEpoch, ClusterCtx,
+    Role,
+};
 use hta_server::{PlatformState, ServeOptions, Server};
 
 fn parse_flag_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
@@ -44,6 +64,14 @@ fn main() {
     let mut addr = "127.0.0.1:8080".to_owned();
     let mut restore: Option<String> = None;
     let mut snapshot_on_exit: Option<String> = None;
+    let mut role: Option<Role> = None;
+    let mut repl_listen = "127.0.0.1:7171".to_owned();
+    let mut join: Option<String> = None;
+    let mut primary_http: Option<String> = None;
+    let mut journal: Option<String> = None;
+    let mut shard_workers: Vec<String> = Vec::new();
+    let mut shard_index: Option<u32> = None;
+    let mut shard_count: Option<u32> = None;
     let mut opts = ServeOptions::default();
     if let Some(n) = std::env::var("HTA_SERVER_THREADS")
         .ok()
@@ -72,6 +100,21 @@ fn main() {
             "--listen-threads" => opts.listen_threads = parse_flag_value(&arg, args.next()),
             "--solver-pool" => opts.solver_pool = parse_flag_value(&arg, args.next()),
             "--queue-capacity" => opts.queue_capacity = parse_flag_value(&arg, args.next()),
+            "--role" => role = Some(parse_flag_value(&arg, args.next())),
+            "--repl-listen" => repl_listen = parse_flag_value(&arg, args.next()),
+            "--join" => join = Some(parse_flag_value(&arg, args.next())),
+            "--primary-http" => primary_http = Some(parse_flag_value(&arg, args.next())),
+            "--journal" => journal = Some(parse_flag_value(&arg, args.next())),
+            "--shard-workers" => {
+                let list: String = parse_flag_value(&arg, args.next());
+                shard_workers = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--shard-index" => shard_index = Some(parse_flag_value(&arg, args.next())),
+            "--shard-count" => shard_count = Some(parse_flag_value(&arg, args.next())),
             _ => positionals.push(arg),
         }
     }
@@ -84,48 +127,132 @@ fn main() {
         eprintln!("error: --restore and a task CSV are mutually exclusive");
         std::process::exit(2);
     }
+    let follower_role = matches!(role, Some(Role::Replica | Role::ShardWorker));
+    if follower_role && (restore.is_some() || csv_path.is_some()) {
+        eprintln!("error: a follower's state comes from the primary, not --restore or a CSV");
+        std::process::exit(2);
+    }
+    if follower_role && join.is_none() {
+        eprintln!(
+            "error: --role {} needs --join <primary repl addr>",
+            role.unwrap()
+        );
+        std::process::exit(2);
+    }
+    if role == Some(Role::ShardWorker) && (shard_index.is_none() || shard_count.is_none()) {
+        eprintln!("error: --role shard-worker needs --shard-index and --shard-count");
+        std::process::exit(2);
+    }
 
-    let state = match (restore, csv_path) {
-        (Some(snap_path), _) => {
-            let state = PlatformState::restore(Path::new(&snap_path)).unwrap_or_else(|e| {
-                eprintln!("error: cannot restore {snap_path}: {e}");
+    // Followers acquire their entire state over the wire; everyone else
+    // builds it locally.
+    let state = if follower_role {
+        let join = join.clone().unwrap();
+        let mut rstate = match &journal {
+            Some(path) => ReplicaState::with_journal(Path::new(path)),
+            None => ReplicaState::empty(),
+        };
+        let state = acquire_initial_state(&join, &mut rstate, Duration::from_secs(30))
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
                 std::process::exit(1);
             });
-            let st = state.stats();
+        println!("follower caught up to epoch {} from {join}", rstate.epoch);
+        let state = Arc::new(state);
+        let applied = Arc::new(AppliedEpoch::new());
+        applied.set(rstate.epoch);
+        spawn_follower(join, rstate, Arc::clone(&state), Arc::clone(&applied));
+        let primary = primary_http.clone().unwrap_or_else(|| {
+            eprintln!("error: --role {} needs --primary-http", role.unwrap());
+            std::process::exit(2);
+        });
+        let ctx = match role.unwrap() {
+            Role::Replica => ClusterCtx::replica(primary, applied),
+            Role::ShardWorker => ClusterCtx::shard_worker(
+                primary,
+                applied,
+                ShardSpec::new(shard_index.unwrap(), shard_count.unwrap()),
+            ),
+            Role::Primary => unreachable!(),
+        };
+        (state, Some(Arc::new(ctx)))
+    } else {
+        let state = match (restore, csv_path) {
+            (Some(snap_path), _) => {
+                let state = PlatformState::restore(Path::new(&snap_path)).unwrap_or_else(|e| {
+                    eprintln!("error: cannot restore {snap_path}: {e}");
+                    std::process::exit(1);
+                });
+                let st = state.stats();
+                println!(
+                    "restored {snap_path}: {} workers, {} open / {} assigned / {} completed tasks",
+                    st.workers, st.open_tasks, st.assigned_tasks, st.completed_tasks
+                );
+                state
+            }
+            (None, Some(csv_path)) => {
+                let csv = std::fs::read_to_string(&csv_path).unwrap_or_else(|e| {
+                    eprintln!("error: cannot read {csv_path}: {e}");
+                    std::process::exit(1);
+                });
+                let (space, tasks) =
+                    hta_datagen::export::tasks_from_csv(&csv).unwrap_or_else(|e| {
+                        eprintln!("error: cannot parse {csv_path}: {e}");
+                        std::process::exit(1);
+                    });
+                println!("loaded {} tasks from {csv_path}", tasks.len());
+                PlatformState::new(space, tasks, 15, 0x5E11)
+            }
+            (None, None) => {
+                let w = hta_datagen::amt::generate(&hta_datagen::amt::AmtConfig {
+                    n_groups: 100,
+                    tasks_per_group: 10,
+                    ..Default::default()
+                });
+                println!("serving a generated corpus of {} tasks", w.tasks.len());
+                PlatformState::new(w.space, w.tasks, 15, 0x5E11)
+            }
+        };
+        let state = Arc::new(state);
+        let ctx = if role == Some(Role::Primary) {
+            let hub = Arc::new(ReplicationHub::new(DEFAULT_RETAIN));
+            let listener = TcpListener::bind(&repl_listen).unwrap_or_else(|e| {
+                eprintln!("error: cannot bind replication listener {repl_listen}: {e}");
+                std::process::exit(1);
+            });
             println!(
-                "restored {snap_path}: {} workers, {} open / {} assigned / {} completed tasks",
-                st.workers, st.open_tasks, st.assigned_tasks, st.completed_tasks
+                "replication stream on {}",
+                listener
+                    .local_addr()
+                    .map_or(repl_listen.clone(), |a| a.to_string())
             );
-            state
-        }
-        (None, Some(csv_path)) => {
-            let csv = std::fs::read_to_string(&csv_path).unwrap_or_else(|e| {
-                eprintln!("error: cannot read {csv_path}: {e}");
-                std::process::exit(1);
-            });
-            let (space, tasks) = hta_datagen::export::tasks_from_csv(&csv).unwrap_or_else(|e| {
-                eprintln!("error: cannot parse {csv_path}: {e}");
-                std::process::exit(1);
-            });
-            println!("loaded {} tasks from {csv_path}", tasks.len());
-            PlatformState::new(space, tasks, 15, 0x5E11)
-        }
-        (None, None) => {
-            let w = hta_datagen::amt::generate(&hta_datagen::amt::AmtConfig {
-                n_groups: 100,
-                tasks_per_group: 10,
-                ..Default::default()
-            });
-            println!("serving a generated corpus of {} tasks", w.tasks.len());
-            PlatformState::new(w.space, w.tasks, 15, 0x5E11)
-        }
+            // Epoch 1 is the full starting state, so a replica attaching
+            // before the first mutation still gets something to serve.
+            hub.publish(state.snapshot_bytes());
+            {
+                let hub = Arc::clone(&hub);
+                std::thread::spawn(move || hub.serve(listener));
+            }
+            if !shard_workers.is_empty() {
+                println!("sharded retrieval across {} workers", shard_workers.len());
+                install_shard_coordinator(&state, Arc::clone(&hub), shard_workers);
+            }
+            Some(Arc::new(ClusterCtx::primary(hub)))
+        } else {
+            None
+        };
+        (state, ctx)
     };
+    let (state, cluster) = state;
 
-    let state = Arc::new(state);
-    let server = Server::spawn_with(&addr, Arc::clone(&state), opts.clone()).unwrap_or_else(|e| {
-        eprintln!("error: cannot bind {addr}: {e}");
-        std::process::exit(1);
-    });
+    let server = Server::spawn_with_cluster(&addr, Arc::clone(&state), opts.clone(), cluster)
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        });
+    if let Some(role) = role {
+        println!("cluster role: {role}");
+    }
     println!(
         "hta platform service listening on http://{} ({} reactor / {} solver threads, queue {})",
         server.addr(),

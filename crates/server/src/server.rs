@@ -16,6 +16,7 @@ use std::time::Instant;
 use hta_net::reactor::ServerConfig;
 use hta_net::{HttpHandler, HttpResponse, NetMetrics, NetServer, RawRequest};
 
+use crate::cluster::ClusterCtx;
 use crate::http::{parse_query, Request};
 use crate::metrics::ServingMetrics;
 use crate::service;
@@ -48,10 +49,12 @@ pub struct Server {
     metrics: Arc<ServingMetrics>,
 }
 
-/// Routes raw reactor requests into [`service::handle_with_metrics`].
+/// Routes raw reactor requests into [`service::handle_cluster`].
 struct PlatformHandler {
     state: Arc<PlatformState>,
     metrics: Arc<ServingMetrics>,
+    /// Cluster role configuration; `None` serves single-process.
+    cluster: Option<Arc<ClusterCtx>>,
 }
 
 impl PlatformHandler {
@@ -72,9 +75,15 @@ impl HttpHandler for PlatformHandler {
     fn handle(&self, raw: &RawRequest) -> HttpResponse {
         let started = Instant::now();
         let req = Self::to_request(raw);
-        let resp = service::handle_with_metrics(&self.state, &req, Some(&self.metrics));
+        let resp = service::handle_cluster(
+            &self.state,
+            &req,
+            Some(&self.metrics),
+            self.cluster.as_deref(),
+        );
         self.metrics.record(&req.path, started.elapsed());
         let mut out = HttpResponse::json(resp.status, resp.body);
+        out.location = resp.location;
         if resp.status == 503 {
             out.retry_after = Some(1);
         }
@@ -139,11 +148,25 @@ impl Server {
         state: Arc<PlatformState>,
         opts: ServeOptions,
     ) -> io::Result<Server> {
+        Self::spawn_with_cluster(addr, state, opts, None)
+    }
+
+    /// Bind and serve as a cluster node: the handler consults `cluster`
+    /// for role-aware routing (write redirects, `/cluster`, `/shard_topk`)
+    /// and, on a primary, publishes to the replication hub after every
+    /// successful mutation.
+    pub fn spawn_with_cluster(
+        addr: &str,
+        state: Arc<PlatformState>,
+        opts: ServeOptions,
+        cluster: Option<Arc<ClusterCtx>>,
+    ) -> io::Result<Server> {
         let net_metrics = Arc::new(NetMetrics::default());
         let metrics = Arc::new(ServingMetrics::new(Arc::clone(&net_metrics)));
         let handler = Arc::new(PlatformHandler {
             state,
             metrics: Arc::clone(&metrics),
+            cluster,
         });
         let net = NetServer::bind(
             addr,

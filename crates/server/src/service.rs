@@ -10,12 +10,24 @@
 //! | `GET /tasks?id=M` | a task's keywords |
 //! | `GET /reputation?worker=N` | the worker's verification track record |
 //! | `GET /stats` | aggregate counters incl. the active SIMD kernel mode (+ serving metrics when reactor-hosted) |
+//! | `GET /topk?worker=N[&k=K]` | the worker's exact top-k relevance-ranked open tasks |
+//! | `GET /candidates?worker=N` | the worker's candidate pool under the configured mode |
 //! | `POST /snapshot?path=FILE` | atomically save the full serving state |
+//! | `GET /cluster` | cluster-aware nodes only: role, epoch, peers/primary |
+//! | `GET /shard_topk?epoch=E&workers=CSV&k=K` | shard workers only: shard-local top-k at epoch `E` |
+//!
+//! On replicas and shard workers the four mutating endpoints (`/register`,
+//! `/assign`, `/assign_batch`, `/complete`) answer `307` + `Location`
+//! pointing at the primary; `/snapshot` stays local so operators can dump
+//! any node's serving state for byte-comparison.
 
 use std::fmt::Write as _;
 use std::path::Path;
 
-use crate::http::{json_string, Request, Response};
+use hta_index::CandidateMode;
+
+use crate::cluster::{encode_shard_lists, ClusterCtx, Role, SHARD_TIMEOUT};
+use crate::http::{json_string, url_encode, Request, Response};
 use crate::metrics::ServingMetrics;
 use crate::state::{PlatformState, StateError};
 
@@ -41,14 +53,149 @@ pub fn handle_with_metrics(
         ("GET", "/tasks") => task_info(state, req),
         ("GET", "/reputation") => reputation(state, req),
         ("GET", "/stats") => stats(state, serving),
+        ("GET", "/topk") => topk(state, req),
+        ("GET", "/candidates") => candidates(state, req),
         ("POST", "/snapshot") => snapshot(state, req),
         (_, "/register" | "/assign" | "/assign_batch" | "/complete" | "/snapshot") => {
             Response::error(405, "use POST for this endpoint")
         }
-        (_, "/health" | "/tasks" | "/reputation" | "/stats") => {
+        (_, "/health" | "/tasks" | "/reputation" | "/stats" | "/topk" | "/candidates") => {
             Response::error(405, "use GET for this endpoint")
         }
         _ => Response::error(404, "unknown endpoint"),
+    }
+}
+
+/// Dispatch one request on a cluster-aware node. `None` for `cluster`
+/// behaves exactly like [`handle_with_metrics`] — single-process serving is
+/// the zero-cluster special case. With a [`ClusterCtx`]:
+///
+/// * non-primary roles redirect mutating endpoints to the primary (`307`),
+/// * `GET /cluster` and `GET /shard_topk` come alive,
+/// * a primary publishes its state to the replication hub after every
+///   successful mutation, so replicas converge within one delta frame.
+pub fn handle_cluster(
+    state: &PlatformState,
+    req: &Request,
+    serving: Option<&ServingMetrics>,
+    cluster: Option<&ClusterCtx>,
+) -> Response {
+    if let Some(ctx) = cluster {
+        if let Some(resp) = cluster_route(state, req, ctx) {
+            return resp;
+        }
+    }
+    let resp = handle_with_metrics(state, req, serving);
+    if let Some(ctx) = cluster {
+        if ctx.role == Role::Primary
+            && resp.status == 200
+            && matches!(
+                (req.method.as_str(), req.path.as_str()),
+                (
+                    "POST",
+                    "/register" | "/assign" | "/assign_batch" | "/complete"
+                )
+            )
+        {
+            if let Some(hub) = &ctx.hub {
+                // Identical bytes are deduplicated inside the hub, so a
+                // mutation that ends up a no-op does not burn an epoch.
+                hub.publish(state.snapshot_bytes());
+            }
+        }
+    }
+    resp
+}
+
+/// The cluster-only routes; `None` falls through to the normal table.
+fn cluster_route(state: &PlatformState, req: &Request, ctx: &ClusterCtx) -> Option<Response> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/cluster") => Some(cluster_info(ctx)),
+        ("GET", "/shard_topk") => Some(shard_topk(state, req, ctx)),
+        ("POST", "/register" | "/assign" | "/assign_batch" | "/complete")
+            if ctx.role != Role::Primary =>
+        {
+            let Some(primary) = ctx.primary_http.as_deref() else {
+                return Some(Response::error(500, "replica has no primary address"));
+            };
+            Some(Response::redirect(redirect_url(primary, req)))
+        }
+        _ => None,
+    }
+}
+
+/// Rebuild the request target against the primary. Query keys are emitted
+/// in sorted order (the decoded map lost arrival order) and re-encoded, so
+/// the redirected request parses to the same parameter map.
+fn redirect_url(primary: &str, req: &Request) -> String {
+    let mut keys: Vec<&String> = req.query.keys().collect();
+    keys.sort();
+    let mut url = format!("http://{primary}{}", req.path);
+    for (i, key) in keys.iter().enumerate() {
+        url.push(if i == 0 { '?' } else { '&' });
+        url.push_str(&url_encode(key));
+        url.push('=');
+        url.push_str(&url_encode(&req.query[*key]));
+    }
+    url
+}
+
+fn cluster_info(ctx: &ClusterCtx) -> Response {
+    let mut body = format!("{{\"role\":\"{}\",\"epoch\":{}", ctx.role, ctx.epoch());
+    if let Some(hub) = &ctx.hub {
+        let _ = write!(body, ",\"peers\":{}", hub.peer_count());
+    }
+    if let Some(primary) = &ctx.primary_http {
+        let _ = write!(body, ",\"primary\":{}", json_string(primary));
+    }
+    if let Some(shard) = ctx.shard {
+        let _ = write!(
+            body,
+            ",\"shard\":{{\"index\":{},\"count\":{}}}",
+            shard.index, shard.count
+        );
+    }
+    body.push('}');
+    Response::ok(body)
+}
+
+/// Shard-local exact top-k for a cohort, answered only once this node has
+/// applied the epoch the primary pinned (bounded wait, then `409` — the
+/// coordinator falls back to local retrieval rather than serve stale
+/// candidates).
+fn shard_topk(state: &PlatformState, req: &Request, ctx: &ClusterCtx) -> Response {
+    let Some(shard) = ctx.shard else {
+        return Response::error(404, "this node serves no shard");
+    };
+    let epoch = match req.require::<u64>("epoch") {
+        Ok(e) => e,
+        Err(e) => return Response::error(400, &e),
+    };
+    let k = match req.require::<usize>("k") {
+        Ok(k) => k,
+        Err(e) => return Response::error(400, &e),
+    };
+    let Some(raw) = req.param("workers") else {
+        return Response::error(400, "missing query parameter 'workers'");
+    };
+    let cohort: Result<Vec<usize>, _> = raw
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(str::parse)
+        .collect();
+    let Ok(cohort) = cohort else {
+        return Response::error(400, "query parameter 'workers' is malformed");
+    };
+    let applied = ctx.applied.wait_for(epoch, SHARD_TIMEOUT);
+    if applied < epoch {
+        return Response::error(
+            409,
+            &format!("shard applied epoch {applied}, primary pinned {epoch}"),
+        );
+    }
+    match state.shard_topk(&cohort, k, shard.index, shard.count) {
+        Ok(lists) => Response::ok(encode_shard_lists(applied, &lists)),
+        Err(e) => state_error(e),
     }
 }
 
@@ -198,6 +345,55 @@ fn task_info(state: &PlatformState, req: &Request) -> Response {
             body.push_str("]}");
             Response::ok(body)
         }
+    }
+}
+
+/// The worker's exact top-k over open tasks. Scores travel as `f64` bit
+/// patterns so a replica-served list can be compared bit-for-bit against
+/// the primary's.
+fn topk(state: &PlatformState, req: &Request) -> Response {
+    let worker = match req.require::<usize>("worker") {
+        Ok(w) => w,
+        Err(e) => return Response::error(400, &e),
+    };
+    let k = match req.param("k") {
+        None => CandidateMode::DEFAULT_K,
+        Some(raw) => match raw.parse() {
+            Ok(k) => k,
+            Err(_) => return Response::error(400, "query parameter 'k' is malformed"),
+        },
+    };
+    match state.worker_topk(worker, k) {
+        Ok(list) => {
+            let mut body = format!("{{\"worker\":{worker},\"tasks\":[");
+            for (i, (task, score)) in list.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let _ = write!(body, "[{task},{}]", score.to_bits());
+            }
+            body.push_str("]}");
+            Response::ok(body)
+        }
+        Err(e) => state_error(e),
+    }
+}
+
+/// The worker's candidate pool under the state's configured mode.
+fn candidates(state: &PlatformState, req: &Request) -> Response {
+    let worker = match req.require::<usize>("worker") {
+        Ok(w) => w,
+        Err(e) => return Response::error(400, &e),
+    };
+    match state.candidate_pool(worker) {
+        Ok((pool, topk_hits)) => {
+            let ids: Vec<String> = pool.iter().map(u32::to_string).collect();
+            Response::ok(format!(
+                "{{\"worker\":{worker},\"pool\":[{}],\"topk_hits\":{topk_hits}}}",
+                ids.join(",")
+            ))
+        }
+        Err(e) => state_error(e),
     }
 }
 

@@ -150,29 +150,51 @@ impl StateSerialize for PlatformSection {
     }
 }
 
+/// Build the snapshot container for already-locked inner state. Split out
+/// of [`PlatformState::snapshot_bytes`] so the cluster coordinator can
+/// serialize the state it is *currently holding the lock on* (to publish a
+/// replication epoch mid-assign) without re-entering the mutex.
+pub(crate) fn builder_from_inner(inner: &Inner) -> SnapshotBuilder {
+    let platform = PlatformSection {
+        available: inner.available.clone(),
+        xmax: inner.xmax,
+        max_instance_tasks: inner.max_instance_tasks,
+        mode: inner.mode,
+        solver_threads: inner.solver_threads,
+    };
+    SnapshotBuilder::new(SNAPSHOT_KIND)
+        .section(SECTION_SPACE, encode(&inner.space))
+        .section(SECTION_TASKS, encode(&inner.tasks))
+        .section(SECTION_WORKERS, encode(&inner.workers))
+        .section(SECTION_PLATFORM, encode(&platform))
+        .section(SECTION_INDEX, encode(&inner.index))
+        .section(SECTION_RNG, encode(&inner.rng))
+}
+
+/// [`builder_from_inner`] straight to bytes.
+pub(crate) fn bytes_from_inner(inner: &Inner) -> Vec<u8> {
+    builder_from_inner(inner).to_bytes()
+}
+
 impl PlatformState {
     fn snapshot_builder(&self) -> SnapshotBuilder {
-        self.with_inner(|inner| {
-            let platform = PlatformSection {
-                available: inner.available.clone(),
-                xmax: inner.xmax,
-                max_instance_tasks: inner.max_instance_tasks,
-                mode: inner.mode,
-                solver_threads: inner.solver_threads,
-            };
-            SnapshotBuilder::new(SNAPSHOT_KIND)
-                .section(SECTION_SPACE, encode(&inner.space))
-                .section(SECTION_TASKS, encode(&inner.tasks))
-                .section(SECTION_WORKERS, encode(&inner.workers))
-                .section(SECTION_PLATFORM, encode(&platform))
-                .section(SECTION_INDEX, encode(&inner.index))
-                .section(SECTION_RNG, encode(&inner.rng))
-        })
+        self.with_inner(builder_from_inner)
     }
 
     /// The snapshot's on-disk byte representation.
     pub fn snapshot_bytes(&self) -> Vec<u8> {
         self.snapshot_builder().to_bytes()
+    }
+
+    /// Replace this server's entire state with the one encoded in `bytes`
+    /// — the replica apply path. The `Arc<PlatformState>` the HTTP layer
+    /// holds stays valid: requests racing the swap see either the old or
+    /// the new state in full, never a mix, and invalid bytes leave the
+    /// state untouched.
+    pub fn replace_from_snapshot_bytes(&self, bytes: &[u8]) -> Result<(), ServerSnapshotError> {
+        let fresh = Self::from_snapshot_bytes(bytes)?;
+        self.replace_with(fresh);
+        Ok(())
     }
 
     /// Atomically save a snapshot of the full serving state to `path`

@@ -2,7 +2,7 @@
 //! their adaptive weight estimators, the sharded keyword index over open
 //! tasks, and the assignment ledger — the data behind the Figure 4 workflow.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use hta_core::adaptive::WeightEstimator;
 use hta_core::solver::{solve_open_subset_warm, HtaGre, WarmState};
@@ -10,7 +10,7 @@ use hta_core::{
     DiversityEdgeCache, Instance, Jaccard, KeywordSpace, KeywordVec, Task, TaskId, TaskPool,
     Weights, Worker, WorkerId,
 };
-use hta_index::{CandidateMode, CandidatePool, PoolParams, ShardedIndex};
+use hta_index::{CandidateMode, CandidatePool, InvertedIndex, PoolParams, ShardedIndex};
 use hta_life::Reputation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -102,9 +102,34 @@ impl std::fmt::Display for StateError {
     }
 }
 
+/// The cluster seam for candidate retrieval: resolves a cohort's
+/// per-worker top-k lists through shard workers instead of the local
+/// index. Implemented by the coordinator in [`crate::cluster`]; installed
+/// only on a sharded primary. Returning `None` (any shard unreachable,
+/// stale, or malformed) falls back to the local index — which produces the
+/// *same* lists, so the fallback is identity-safe, not best-effort.
+///
+/// Called with the inner lock held: the implementation may serialize
+/// `inner` to publish a replication epoch, pinning the exact state shards
+/// must answer against.
+pub(crate) trait ShardTopk: Send + Sync {
+    /// Exact global top-k `(task, score)` per cohort member, or `None` to
+    /// fall back to local retrieval.
+    fn worker_topk(
+        &self,
+        inner: &Inner,
+        cohort: &[usize],
+        k: usize,
+    ) -> Option<Vec<Vec<(u32, f64)>>>;
+}
+
 /// The platform state; all methods are thread-safe.
 pub struct PlatformState {
     inner: Mutex<Inner>,
+    /// Optional shard coordinator (primary of a sharded cluster only).
+    /// Outside `inner` so installing it never contends with serving, and
+    /// the `Arc` is cloned out before `inner` is locked.
+    coord: Mutex<Option<Arc<dyn ShardTopk>>>,
 }
 
 pub(crate) struct Inner {
@@ -227,6 +252,7 @@ impl PlatformState {
                 warm: None,
                 warm_start: true,
             }),
+            coord: Mutex::new(None),
         }
     }
 
@@ -239,7 +265,29 @@ impl PlatformState {
     pub(crate) fn from_inner(inner: Inner) -> Self {
         Self {
             inner: Mutex::new(inner),
+            coord: Mutex::new(None),
         }
+    }
+
+    /// Swap the entire inner state for `fresh`'s (replica apply path). Any
+    /// installed shard coordinator is kept — it is node configuration, not
+    /// replicated state.
+    pub(crate) fn replace_with(&self, fresh: PlatformState) {
+        let inner = fresh.inner.into_inner().expect("fresh state lock");
+        *self.inner.lock().expect("state lock") = inner;
+    }
+
+    /// Install (or clear) the shard coordinator consulted by assignment
+    /// candidate retrieval.
+    pub(crate) fn set_shard_topk(&self, coord: Option<Arc<dyn ShardTopk>>) {
+        *self.coord.lock().expect("coordinator lock") = coord;
+    }
+
+    /// Clone out the installed coordinator, if any. Must be called
+    /// *before* locking `inner` (the coordinator is invoked under the
+    /// inner lock, and taking the locks in a fixed order avoids deadlock).
+    fn shard_topk_coord(&self) -> Option<Arc<dyn ShardTopk>> {
+        self.coord.lock().expect("coordinator lock").clone()
     }
 
     /// Switch the candidate-generation mode at runtime (the index is kept
@@ -304,14 +352,19 @@ impl PlatformState {
     /// worker's current weight estimate (Figure 4's "Solve HTA" box, for a
     /// singleton worker batch).
     pub fn assign(&self, worker: usize) -> Result<AssignResult, StateError> {
+        let coord = self.shard_topk_coord();
         let mut guard = self.inner.lock().expect("state lock");
-        Self::assign_locked(&mut guard, worker)
+        Self::assign_locked(&mut guard, worker, coord.as_deref())
     }
 
     /// One singleton assignment against already-locked state; the shared
     /// body of [`PlatformState::assign`] and
     /// [`PlatformState::assign_batch_sequential`].
-    fn assign_locked(inner: &mut Inner, worker: usize) -> Result<AssignResult, StateError> {
+    fn assign_locked(
+        inner: &mut Inner,
+        worker: usize,
+        coord: Option<&dyn ShardTopk>,
+    ) -> Result<AssignResult, StateError> {
         if worker >= inner.workers.len() {
             return Err(StateError::UnknownWorker(worker));
         }
@@ -332,13 +385,20 @@ impl PlatformState {
                 .take(inner.max_instance_tasks)
                 .collect(),
             CandidateMode::TopK(k) => {
-                let probe = Worker::new(WorkerId(0), wkw.clone()).with_weights(weights);
-                let pool = CandidatePool::generate(
-                    &inner.index,
-                    &[probe],
-                    inner.xmax,
-                    &PoolParams::with_k(k),
-                );
+                let pool = match coord.and_then(|c| c.worker_topk(inner, &[worker], k)) {
+                    Some(lists) => {
+                        CandidatePool::from_worker_topk(&inner.index, &lists, inner.xmax)
+                    }
+                    None => {
+                        let probe = Worker::new(WorkerId(0), wkw.clone()).with_weights(weights);
+                        CandidatePool::generate(
+                            &inner.index,
+                            &[probe],
+                            inner.xmax,
+                            &PoolParams::with_k(k),
+                        )
+                    }
+                };
                 pool.members().iter().map(|&t| t as usize).collect()
             }
         };
@@ -406,6 +466,7 @@ impl PlatformState {
     /// worker id anywhere in the cohort fails the whole call before any
     /// state changes.
     pub fn assign_batch(&self, cohort: &[usize]) -> Result<Vec<AssignResult>, StateError> {
+        let coord = self.shard_topk_coord();
         let mut guard = self.inner.lock().expect("state lock");
         let inner = &mut *guard;
         for &w in cohort {
@@ -438,12 +499,20 @@ impl PlatformState {
                 .take(inner.max_instance_tasks)
                 .collect(),
             CandidateMode::TopK(k) => {
-                let pool = CandidatePool::generate(
-                    &inner.index,
-                    &local_workers,
-                    inner.xmax,
-                    &PoolParams::with_k(k),
-                );
+                let pool = match coord
+                    .as_deref()
+                    .and_then(|c| c.worker_topk(inner, cohort, k))
+                {
+                    Some(lists) => {
+                        CandidatePool::from_worker_topk(&inner.index, &lists, inner.xmax)
+                    }
+                    None => CandidatePool::generate(
+                        &inner.index,
+                        &local_workers,
+                        inner.xmax,
+                        &PoolParams::with_k(k),
+                    ),
+                };
                 pool.members().iter().map(|&t| t as usize).collect()
             }
         };
@@ -519,11 +588,12 @@ impl PlatformState {
         &self,
         cohort: &[usize],
     ) -> Result<Vec<AssignResult>, StateError> {
+        let coord = self.shard_topk_coord();
         let mut guard = self.inner.lock().expect("state lock");
         let inner = &mut *guard;
         cohort
             .iter()
-            .map(|&w| Self::assign_locked(inner, w))
+            .map(|&w| Self::assign_locked(inner, w, coord.as_deref()))
             .collect()
     }
 
@@ -636,6 +706,102 @@ impl PlatformState {
             indexed_tasks: inner.index.len(),
             shard_sizes: inner.index.shard_sizes(),
         }
+    }
+
+    /// `worker`'s top-`k` open tasks by Jaccard relevance — the retrieval
+    /// read path replicas answer locally over their replicated index
+    /// (`GET /topk`). Scores are exact; callers that forward them between
+    /// nodes must carry the `f64` bit patterns, not decimal renderings.
+    pub fn worker_topk(&self, worker: usize, k: usize) -> Result<Vec<(u32, f64)>, StateError> {
+        let inner = self.inner.lock().expect("state lock");
+        let Some(w) = inner.workers.get(worker) else {
+            return Err(StateError::UnknownWorker(worker));
+        };
+        let wkw = if w.keywords.nbits() == inner.space.len() {
+            w.keywords.clone()
+        } else {
+            inner.space.widen(&w.keywords)
+        };
+        Ok(inner.index.top_k(&wkw, k))
+    }
+
+    /// Read-only preview of the candidate pool the current mode would hand
+    /// the solver for a singleton `worker` (`GET /candidates`). Returns
+    /// `(members, topk_hits)`; in dense mode every member is a "hit".
+    pub fn candidate_pool(&self, worker: usize) -> Result<(Vec<u32>, usize), StateError> {
+        let inner = self.inner.lock().expect("state lock");
+        let Some(w) = inner.workers.get(worker) else {
+            return Err(StateError::UnknownWorker(worker));
+        };
+        match inner.mode {
+            CandidateMode::Full => {
+                let members: Vec<u32> = (0..inner.available.len())
+                    .filter(|&i| inner.available[i])
+                    .take(inner.max_instance_tasks)
+                    .map(|i| i as u32)
+                    .collect();
+                let hits = members.len();
+                Ok((members, hits))
+            }
+            CandidateMode::TopK(k) => {
+                let wkw = if w.keywords.nbits() == inner.space.len() {
+                    w.keywords.clone()
+                } else {
+                    inner.space.widen(&w.keywords)
+                };
+                let probe = Worker::new(WorkerId(0), wkw).with_weights(w.estimator.estimate());
+                let pool = CandidatePool::generate(
+                    &inner.index,
+                    &[probe],
+                    inner.xmax,
+                    &PoolParams::with_k(k),
+                );
+                Ok((pool.members().to_vec(), pool.topk_hits()))
+            }
+        }
+    }
+
+    /// Shard-local per-worker top-k (`GET /shard_topk` on a shard worker):
+    /// exact top-`k` for each cohort member over the open tasks owned by
+    /// shard `shard_index` of `shard_count` (`task % count == index`).
+    ///
+    /// Built on a fresh [`InvertedIndex`] over the owned slice so ownership
+    /// filtering never disturbs the serving index. Per-task Jaccard scores
+    /// do not depend on what else is indexed, so these lists merge
+    /// ([`hta_index::merge_topk`]) to exactly the flat index's output.
+    pub fn shard_topk(
+        &self,
+        cohort: &[usize],
+        k: usize,
+        shard_index: u32,
+        shard_count: u32,
+    ) -> Result<Vec<Vec<(u32, f64)>>, StateError> {
+        assert!(shard_count > 0, "shard count must be positive");
+        let inner = self.inner.lock().expect("state lock");
+        for &w in cohort {
+            if w >= inner.workers.len() {
+                return Err(StateError::UnknownWorker(w));
+            }
+        }
+        let width = inner.space.len();
+        let widen = |kw: &KeywordVec| {
+            if kw.nbits() == width {
+                kw.clone()
+            } else {
+                inner.space.widen(kw)
+            }
+        };
+        let mut index = InvertedIndex::new(width);
+        for (t, &open) in inner.available.iter().enumerate() {
+            if open && (t as u32) % shard_count == shard_index {
+                let kw = widen(&inner.tasks.get(TaskId(t as u32)).keywords);
+                index.insert(t as u32, &kw);
+            }
+        }
+        Ok(cohort
+            .iter()
+            .map(|&w| index.top_k(&widen(&inner.workers[w].keywords), k))
+            .collect())
     }
 }
 
@@ -973,6 +1139,124 @@ mod tests {
             warm.assign_batch(&[wa, wb]).unwrap(),
             cold.assign_batch(&[ca, cb]).unwrap()
         );
+    }
+
+    /// An in-process stand-in for the cluster coordinator: partitions the
+    /// open set by `task % count`, retrieves per-shard top-k on fresh
+    /// indices, and merges — exactly what the networked shard workers do,
+    /// minus the wire.
+    struct LocalShards {
+        count: u32,
+    }
+
+    impl ShardTopk for LocalShards {
+        fn worker_topk(
+            &self,
+            inner: &Inner,
+            cohort: &[usize],
+            k: usize,
+        ) -> Option<Vec<Vec<(u32, f64)>>> {
+            let width = inner.space.len();
+            let widen = |kw: &KeywordVec| {
+                if kw.nbits() == width {
+                    kw.clone()
+                } else {
+                    inner.space.widen(kw)
+                }
+            };
+            let mut per_worker: Vec<Vec<Vec<(u32, f64)>>> = vec![Vec::new(); cohort.len()];
+            for s in 0..self.count {
+                let mut index = InvertedIndex::new(width);
+                for (t, &open) in inner.available.iter().enumerate() {
+                    if open && (t as u32) % self.count == s {
+                        index.insert(
+                            t as u32,
+                            &widen(&inner.tasks.get(TaskId(t as u32)).keywords),
+                        );
+                    }
+                }
+                for (wi, &w) in cohort.iter().enumerate() {
+                    per_worker[wi].push(index.top_k(&widen(&inner.workers[w].keywords), k));
+                }
+            }
+            Some(
+                per_worker
+                    .iter()
+                    .map(|lists| hta_index::merge_topk(lists, k))
+                    .collect(),
+            )
+        }
+    }
+
+    #[test]
+    fn sharded_retrieval_is_byte_identical_to_local() {
+        let make = || {
+            let w = generate(&AmtConfig {
+                n_groups: 20,
+                tasks_per_group: 10,
+                vocab_size: 80,
+                ..Default::default()
+            });
+            let s = PlatformState::new(w.space, w.tasks, 5, 0xC1);
+            let a = s.register_worker(&["english", "survey"]).unwrap();
+            let b = s.register_worker(&["english", "audio"]).unwrap();
+            (s, a, b)
+        };
+        let (sharded, sa, sb) = make();
+        sharded.set_shard_topk(Some(Arc::new(LocalShards { count: 3 })));
+        let (local, la, lb) = make();
+
+        for round in 0..4 {
+            let x = sharded.assign(sa).unwrap();
+            let y = local.assign(la).unwrap();
+            assert_eq!(x, y, "round {round}: singleton assign diverged");
+            assert_eq!(
+                sharded.assign_batch(&[sb, sa]).unwrap(),
+                local.assign_batch(&[lb, la]).unwrap(),
+                "round {round}: batch assign diverged"
+            );
+            if let Some(&t) = x.tasks.first() {
+                sharded.complete(sa, t).unwrap();
+                local.complete(la, t).unwrap();
+            }
+        }
+        assert_eq!(
+            sharded.snapshot_bytes(),
+            local.snapshot_bytes(),
+            "sharded and local retrieval left different serialized state"
+        );
+    }
+
+    #[test]
+    fn worker_topk_and_candidate_pool_read_paths() {
+        let s = state();
+        let w = s.register_worker(&["english", "survey"]).unwrap();
+        assert!(matches!(
+            s.worker_topk(99, 4),
+            Err(StateError::UnknownWorker(99))
+        ));
+        let topk = s.worker_topk(w, 4).unwrap();
+        assert!(topk.len() <= 4 && !topk.is_empty());
+        assert!(topk.windows(2).all(|p| p[0].1 >= p[1].1), "sorted by score");
+
+        let (pool, hits) = s.candidate_pool(w).unwrap();
+        assert!(pool.windows(2).all(|p| p[0] < p[1]), "ascending member ids");
+        assert!(hits <= pool.len());
+        // The preview is read-only: stats and a later assign are untouched.
+        assert_eq!(s.stats().assigned_tasks, 0);
+
+        // Shard lists merge back to the flat top-k, scores bit-identical.
+        let k = 7;
+        let flat = s.worker_topk(w, k).unwrap();
+        let per_shard: Vec<Vec<(u32, f64)>> = (0..3)
+            .map(|i| s.shard_topk(&[w], k, i, 3).unwrap().remove(0))
+            .collect();
+        let merged = hta_index::merge_topk(&per_shard, k);
+        assert_eq!(merged.len(), flat.len());
+        for (m, f) in merged.iter().zip(&flat) {
+            assert_eq!(m.0, f.0);
+            assert_eq!(m.1.to_bits(), f.1.to_bits());
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod crc32;
+pub mod delta;
 
 use std::fmt;
 use std::fs::{self, File};
@@ -43,6 +44,7 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 pub use crc32::crc32;
+pub use delta::{DeltaError, SnapshotDelta, DELTA_KIND};
 
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"HTASNAP\0";
