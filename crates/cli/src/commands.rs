@@ -343,6 +343,20 @@ fn print_repro_header(label: &str, cfg: &hta_crowd::OnlineConfig) {
         cfg.platform.candidates,
         if cfg.platform.warm_start { "on" } else { "off" },
     );
+    // The effective solver-thread count above is already clamped to
+    // `available_parallelism()` on the auto path (`hta_par::solver_threads`),
+    // so a log replayed on a differently-sized box shows its own clamp.
+    let cache_cap = hta_core::edges::edge_cache_cap(cfg.platform.edge_cache_cap);
+    let dense = cfg.platform.reuse_edges && cfg.catalog.n_tasks <= cache_cap;
+    let sparse = cfg.platform.warm_start
+        && cfg.platform.reuse_edges
+        && !dense
+        && matches!(cfg.platform.candidates, hta_index::CandidateMode::TopK(_));
+    line.push_str(&format!(
+        " edge-cache-cap={} sparse-warm={}",
+        fmt_auto(cfg.platform.edge_cache_cap, cache_cap),
+        if sparse { "on" } else { "off" },
+    ));
     line.push_str(&format!(" simd={}", hta_core::kernels::mode_name()));
     if cfg.platform.lifecycle {
         let m = cfg.platform.priority_mix.weights();

@@ -12,11 +12,12 @@ use std::sync::Arc;
 
 use rand::Rng;
 
-use crate::edges::DiversityEdgeCache;
+use crate::edges::{keywords_fingerprint, DiversityEdgeCache};
 use crate::error::HtaError;
 use crate::instance::Instance;
 use crate::metric::{Distance, Jaccard};
-use crate::solver::{Solver, WarmState};
+use crate::solver::{Solver, SparseWarmState, WarmState};
+use crate::sparse::SparseEdgeCache;
 use crate::task::{Task, TaskId, TaskPool};
 use crate::worker::{Weights, Worker, WorkerId, WorkerPool};
 
@@ -71,6 +72,14 @@ pub struct IterationEngine {
     candidates: Option<Box<dyn CandidateGenerator>>,
     edge_cache: Option<DiversityEdgeCache>,
     warm: Option<WarmState>,
+    /// Pool-scoped sparse edge cache: diversity edges over the open set
+    /// (or the candidate pool) only, refreshed in place per iteration.
+    /// Lifts the dense cache's catalog cap — edge work is `O(|pool|²)`,
+    /// never `O(|T|²)`. Ignored while the dense cache is active.
+    sparse_cache: Option<SparseEdgeCache>,
+    /// Warm matching state over the sparse edges (`Some` after the first
+    /// sparse iteration).
+    sparse_warm: Option<SparseWarmState>,
 }
 
 impl IterationEngine {
@@ -107,6 +116,8 @@ impl IterationEngine {
             candidates: None,
             edge_cache: None,
             warm: None,
+            sparse_cache: None,
+            sparse_warm: None,
         })
     }
 
@@ -163,6 +174,32 @@ impl IterationEngine {
     /// Whether warm-start matching is active.
     pub fn warm_start_enabled(&self) -> bool {
         self.warm.is_some()
+    }
+
+    /// Carry the matching forward over *pool-scoped* sparse edges instead
+    /// of the full-catalog dense list: each iteration the open set (or the
+    /// candidate pool) is diffed against the cache's members, only pairs
+    /// touching added members are re-weighed, and the matching is repaired
+    /// over the sparse list. Unlike [`enable_warm_start`]
+    /// (Self::enable_warm_start) this never materializes `O(|T|²)` edges, so
+    /// it works past the dense edge-cache catalog cap. Ignored while the
+    /// dense cache is active (the dense path already covers that regime).
+    /// Results are byte-identical to the cold path at every churn level.
+    pub fn enable_sparse_warm_start(&mut self) {
+        let fp = keywords_fingerprint(self.tasks.tasks().iter().map(|t| &t.keywords));
+        self.sparse_cache = Some(SparseEdgeCache::new(fp, self.tasks.len()));
+        self.sparse_warm = None;
+    }
+
+    /// Drop the sparse warm-start state.
+    pub fn disable_sparse_warm_start(&mut self) {
+        self.sparse_cache = None;
+        self.sparse_warm = None;
+    }
+
+    /// Whether sparse warm-start matching is active.
+    pub fn sparse_warm_start_enabled(&self) -> bool {
+        self.sparse_cache.is_some()
     }
 
     /// Install a candidate-generation stage (sparse mode). Subsequent
@@ -333,7 +370,47 @@ impl IterationEngine {
                     solver.solve(&inst, rng)
                 }
             }
-            None => solver.solve(&inst, rng),
+            None => match self.sparse_cache.as_mut() {
+                Some(cache) => {
+                    // Same staleness rule as the dense cache: a cache whose
+                    // fingerprint no longer matches the catalog is reset in
+                    // place (members re-enumerate on this refresh).
+                    let fp = keywords_fingerprint(self.tasks.tasks().iter().map(|t| &t.keywords));
+                    if cache.fingerprint() != fp {
+                        *cache = SparseEdgeCache::new(fp, self.tasks.len());
+                        self.sparse_warm = None;
+                    }
+                    let open: Vec<u32> = local_to_global.iter().map(|t| t.0).collect();
+                    if open.windows(2).all(|w| w[0] < w[1]) {
+                        let pool = &self.tasks;
+                        let dist = self.distance.as_ref();
+                        let weight = |u: u32, v: u32| {
+                            dist.dist(
+                                &pool.tasks()[u as usize].keywords,
+                                &pool.tasks()[v as usize].keywords,
+                            )
+                        };
+                        cache.refresh(&open, weight);
+                        if self.sparse_warm.is_none() {
+                            self.sparse_warm = Some(SparseWarmState::new(cache));
+                        }
+                        match self.sparse_warm.as_mut() {
+                            Some(warm)
+                                if warm.matches_cache(cache) && open.len() == inst.n_tasks() =>
+                            {
+                                solver.solve_warm_sparse(&inst, cache, warm, &open, rng)
+                            }
+                            _ => {
+                                let edges = cache.filter_sorted(&open);
+                                solver.solve_with_diversity_edges(&inst, &edges, rng)
+                            }
+                        }
+                    } else {
+                        solver.solve(&inst, rng)
+                    }
+                }
+                None => solver.solve(&inst, rng),
+            },
         };
         out.assignment.validate(&inst)?;
         let objective = out.assignment.objective(&inst);
@@ -701,6 +778,65 @@ mod tests {
         let a = plain.run_iteration(&cold_solver, &mut rng_a).unwrap();
         let b = warmed.run_iteration(&solver, &mut rng_b).unwrap();
         assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn sparse_warm_start_is_byte_identical_across_iterations() {
+        // Same churn regime as the dense warm test, but over the
+        // pool-scoped sparse cache — no dense `O(|T|²)` list ever exists.
+        // Thread counts differ between the engines on purpose.
+        let solver = HtaGre::new().with_threads(2);
+        let mut plain = setup(30, 2, 3);
+        let mut sparse = setup(30, 2, 3);
+        sparse.enable_sparse_warm_start();
+        assert!(sparse.sparse_warm_start_enabled());
+        assert!(!sparse.edge_reuse_enabled(), "no dense cache involved");
+        let cold_solver = HtaGre::new().with_threads(1);
+        let mut rng_a = StdRng::seed_from_u64(31);
+        let mut rng_b = StdRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let a = plain.run_iteration(&cold_solver, &mut rng_a).unwrap();
+            let b = sparse.run_iteration(&solver, &mut rng_b).unwrap();
+            assert_eq!(a.assignments, b.assignments);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
+        // Disabling drops back to the per-iteration enumeration, identical.
+        sparse.disable_sparse_warm_start();
+        assert!(!sparse.sparse_warm_start_enabled());
+        let a = plain.run_iteration(&cold_solver, &mut rng_a).unwrap();
+        let b = sparse.run_iteration(&solver, &mut rng_b).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn sparse_warm_start_composes_with_candidate_generation() {
+        // The generator's pool shifts between iterations (locals map to
+        // different globals as tasks drop out), driving real member churn
+        // through the sparse cache's delta-refresh path.
+        let solver = HtaGre::new().with_threads(1);
+        let generator = || {
+            Box::new(|tasks: &[Task], workers: &[Worker], xmax: usize| {
+                Some(
+                    (0..tasks.len())
+                        .step_by(2)
+                        .take((workers.len() * xmax) * 2)
+                        .collect(),
+                )
+            })
+        };
+        let mut plain = setup(24, 2, 2);
+        plain.set_candidate_generator(generator());
+        let mut sparse = setup(24, 2, 2);
+        sparse.set_candidate_generator(generator());
+        sparse.enable_sparse_warm_start();
+        let mut rng_a = StdRng::seed_from_u64(29);
+        let mut rng_b = StdRng::seed_from_u64(29);
+        for _ in 0..3 {
+            let a = plain.run_iteration(&solver, &mut rng_a).unwrap();
+            let b = sparse.run_iteration(&solver, &mut rng_b).unwrap();
+            assert_eq!(a.assignments, b.assignments);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+        }
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod metric;
 pub mod motivation;
 pub mod qap;
 pub mod solver;
+pub mod sparse;
 pub mod state;
 pub mod task;
 pub mod team;
@@ -92,6 +93,7 @@ pub use kernels::{PackedCatalog, SimdMode};
 pub use keywords::{KeywordId, KeywordSpace};
 pub use metric::{Distance, Jaccard};
 pub use solver::{SolveOutcome, Solver};
+pub use sparse::{SparseDelta, SparseEdgeCache, SparseRefreshStats};
 pub use state::{StateDecodeError, StateReader, StateSerialize};
 pub use task::{GroupId, Task, TaskId, TaskPool};
 pub use worker::{Weights, Worker, WorkerId, WorkerPool};

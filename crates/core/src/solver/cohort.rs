@@ -15,7 +15,8 @@ use rand::Rng;
 
 use crate::edges::DiversityEdgeCache;
 use crate::instance::Instance;
-use crate::solver::{SolveOutcome, Solver, WarmState};
+use crate::solver::{SolveOutcome, Solver, SparseWarmState, WarmState};
+use crate::sparse::SparseEdgeCache;
 
 /// Solve `inst`, whose tasks are the catalog subset `open` (catalog
 /// indices, one per local task id, in local order), reusing `cache` when
@@ -100,6 +101,42 @@ pub fn solve_open_subset_warm(
             solver.solve_warm(inst, cache, warm, &open_u32, rng)
         }
         _ => solve_open_subset(solver, inst, open, cache, rng),
+    }
+}
+
+/// [`solve_open_subset_warm`] for catalogs past the dense edge-cache cap:
+/// edges come from a pool-scoped [`SparseEdgeCache`] and the warm state is
+/// a [`SparseWarmState`] epoch-synced to it.
+///
+/// The warm path is taken only when a cache and warm state are supplied,
+/// `open` is strictly increasing and covered by the cache's pool members,
+/// the warm state is bound to the cache's catalog, and the instance's task
+/// count equals the open-subset length. Degradation mirrors the dense
+/// helper: a usable cache with an unusable warm state takes the filtered-
+/// edges path (leaving `warm` untouched); anything less solves cold. The
+/// outcome is byte-identical to [`Solver::solve`] in every case.
+pub fn solve_open_subset_sparse_warm(
+    solver: &dyn Solver,
+    inst: &Instance,
+    open: &[usize],
+    cache: Option<&SparseEdgeCache>,
+    warm: Option<&mut SparseWarmState>,
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
+    let open_u32: Vec<u32> = open.iter().map(|&i| i as u32).collect();
+    let covered = cache.is_some_and(|c| {
+        open.windows(2).all(|w| w[0] < w[1]) && c.member_positions(&open_u32).is_some()
+    });
+    match (cache, warm) {
+        (Some(cache), Some(warm))
+            if covered && warm.matches_cache(cache) && inst.n_tasks() == open.len() =>
+        {
+            solver.solve_warm_sparse(inst, cache, warm, &open_u32, rng)
+        }
+        (Some(cache), _) if covered => {
+            solver.solve_with_diversity_edges(inst, &cache.filter_sorted(&open_u32), rng)
+        }
+        _ => solver.solve(inst, rng),
     }
 }
 
@@ -201,5 +238,134 @@ mod tests {
         // Must not panic or read garbage; falls back to a fresh solve.
         let out = solve_open_subset(&solver, &inst, &open, Some(&cache), &mut rng);
         assert!(out.assignment.validate(&inst).is_ok());
+    }
+
+    fn pool_cache(tasks: &[Task], members: &[u32]) -> SparseEdgeCache {
+        use crate::edges::keywords_fingerprint;
+        use crate::metric::Distance;
+        let fp = keywords_fingerprint(tasks.iter().map(|t| &t.keywords));
+        let mut cache = SparseEdgeCache::new(fp, tasks.len());
+        cache.refresh(members, |u, v| {
+            Jaccard.dist(&tasks[u as usize].keywords, &tasks[v as usize].keywords)
+        });
+        cache
+    }
+
+    #[test]
+    fn sparse_warm_cold_and_filtered_solves_are_identical() {
+        let tasks = catalog(30);
+        let members: Vec<u32> = (0..30).filter(|m| m % 7 != 3).collect();
+        let cache = pool_cache(&tasks, &members);
+        let mut warm = crate::solver::SparseWarmState::new(&cache);
+        let solver = HtaGre::structured().without_flip();
+
+        // A churn sequence of open subsets of the pool members.
+        let opens: Vec<Vec<usize>> = vec![
+            members.iter().map(|&m| m as usize).collect(),
+            members
+                .iter()
+                .filter(|&&m| m != 4 && m != 19)
+                .map(|&m| m as usize)
+                .collect(),
+            members
+                .iter()
+                .filter(|&&m| m % 2 == 0)
+                .map(|&m| m as usize)
+                .collect(),
+        ];
+        for (step, open) in opens.iter().enumerate() {
+            let inst = sub_instance(&tasks, open);
+            let cold = solver.solve(&inst, &mut StdRng::seed_from_u64(31));
+            let filtered = solve_open_subset_sparse_warm(
+                &solver,
+                &inst,
+                open,
+                Some(&cache),
+                None,
+                &mut StdRng::seed_from_u64(31),
+            );
+            let warmed = solve_open_subset_sparse_warm(
+                &solver,
+                &inst,
+                open,
+                Some(&cache),
+                Some(&mut warm),
+                &mut StdRng::seed_from_u64(31),
+            );
+            assert_eq!(cold.assignment, filtered.assignment, "step {step}");
+            assert_eq!(cold.assignment, warmed.assignment, "step {step}");
+            assert_eq!(
+                cold.lsap_value.to_bits(),
+                warmed.lsap_value.to_bits(),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_warm_survives_pool_drift_via_delta_replay() {
+        use crate::metric::Distance;
+        let tasks = catalog(24);
+        let members: Vec<u32> = (0..16).collect();
+        let mut cache = pool_cache(&tasks, &members);
+        let mut warm = crate::solver::SparseWarmState::new(&cache);
+        let solver = HtaGre::structured().without_flip();
+
+        let open: Vec<usize> = (0..16usize).filter(|&m| m != 5).collect();
+        let inst = sub_instance(&tasks, &open);
+        solve_open_subset_sparse_warm(
+            &solver,
+            &inst,
+            &open,
+            Some(&cache),
+            Some(&mut warm),
+            &mut StdRng::seed_from_u64(8),
+        );
+
+        // Pool drifts; the cache refresh bumps the epoch and the next warm
+        // solve must absorb the member delta, matching the cold solve bit
+        // for bit.
+        let drifted: Vec<u32> = (2..20).collect();
+        cache.refresh(&drifted, |u, v| {
+            Jaccard.dist(&tasks[u as usize].keywords, &tasks[v as usize].keywords)
+        });
+        let open2: Vec<usize> = drifted.iter().map(|&m| m as usize).collect();
+        let inst2 = sub_instance(&tasks, &open2);
+        let cold = solver.solve(&inst2, &mut StdRng::seed_from_u64(9));
+        let warmed = solve_open_subset_sparse_warm(
+            &solver,
+            &inst2,
+            &open2,
+            Some(&cache),
+            Some(&mut warm),
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(cold.assignment, warmed.assignment);
+        assert_eq!(cold.lsap_value.to_bits(), warmed.lsap_value.to_bits());
+        assert!(
+            !warm.last_rebind(),
+            "an incremental refresh replays the cache delta, no rebind"
+        );
+    }
+
+    #[test]
+    fn sparse_open_set_outside_the_pool_falls_back_cold() {
+        let tasks = catalog(20);
+        let cache = pool_cache(&tasks, &(0..10).collect::<Vec<_>>());
+        let mut warm = crate::solver::SparseWarmState::new(&cache);
+        let solver = HtaGre::structured().without_flip();
+        // 15 is not a pool member: the helper must not touch the cache.
+        let open = vec![1usize, 3, 15];
+        let inst = sub_instance(&tasks, &open);
+        let cold = solver.solve(&inst, &mut StdRng::seed_from_u64(5));
+        let out = solve_open_subset_sparse_warm(
+            &solver,
+            &inst,
+            &open,
+            Some(&cache),
+            Some(&mut warm),
+            &mut StdRng::seed_from_u64(5),
+        );
+        assert_eq!(cold.assignment, out.assignment);
     }
 }

@@ -12,9 +12,13 @@ use hta_matching::WeightedEdge;
 use crate::edges::DiversityEdgeCache;
 use crate::instance::Instance;
 use crate::solver::qap_pipeline::{
-    solve_via_qap, solve_via_qap_warm, solve_via_qap_with_edges, PipelineOptions,
+    solve_via_qap, solve_via_qap_sparse_warm, solve_via_qap_warm, solve_via_qap_with_edges,
+    PipelineOptions,
 };
-use crate::solver::{CostRepresentation, LsapStrategy, SolveOutcome, Solver, WarmState};
+use crate::solver::{
+    CostRepresentation, LsapStrategy, SolveOutcome, Solver, SparseWarmState, WarmState,
+};
+use crate::sparse::SparseEdgeCache;
 
 /// The HTA-APP solver. See [module docs](self).
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +128,17 @@ impl Solver for HtaApp {
         rng: &mut dyn Rng,
     ) -> SolveOutcome {
         solve_via_qap_warm(inst, self.options(), cache, warm, open, rng)
+    }
+
+    fn solve_warm_sparse(
+        &self,
+        inst: &Instance,
+        cache: &SparseEdgeCache,
+        warm: &mut SparseWarmState,
+        open: &[u32],
+        rng: &mut dyn Rng,
+    ) -> SolveOutcome {
+        solve_via_qap_sparse_warm(inst, self.options(), cache, warm, open, rng)
     }
 }
 

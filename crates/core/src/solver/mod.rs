@@ -8,15 +8,19 @@ pub mod hta_app;
 pub mod hta_gre;
 pub mod local_search;
 mod qap_pipeline;
+pub mod sparse_warm;
 pub mod warm;
 
 pub use baselines::{GreedyMotivation, GreedyRelevance, RandomAssign};
-pub use cohort::{merge_open_subsets, solve_open_subset, solve_open_subset_warm};
+pub use cohort::{
+    merge_open_subsets, solve_open_subset, solve_open_subset_sparse_warm, solve_open_subset_warm,
+};
 pub use exact::ExactSolver;
 pub use hta_app::HtaApp;
 pub use hta_gre::HtaGre;
 pub use local_search::LocalSearch;
 pub use qap_pipeline::{CostRepresentation, LsapStrategy};
+pub use sparse_warm::SparseWarmState;
 pub use warm::WarmState;
 
 use std::time::Duration;
@@ -104,6 +108,29 @@ pub trait Solver {
         inst: &Instance,
         cache: &crate::edges::DiversityEdgeCache,
         warm: &mut WarmState,
+        open: &[u32],
+        rng: &mut dyn Rng,
+    ) -> SolveOutcome {
+        let _ = warm;
+        self.solve_with_diversity_edges(inst, &cache.filter_sorted(open), rng)
+    }
+
+    /// [`Self::solve_warm`] for catalogs past the dense edge-cache cap: the
+    /// edge list comes from a pool-scoped [`crate::sparse::SparseEdgeCache`]
+    /// and `open` must be a strictly increasing subset of its members.
+    ///
+    /// Same contract as every other entry point — byte-identical output to
+    /// [`Self::solve`] at every churn level, thread count, and pool drift;
+    /// the cache and warm state only change the cost. Pipeline solvers
+    /// override this with epoch-synced incremental repair and fall back to
+    /// the cold path on any invariant violation. Prefer calling through
+    /// [`cohort::solve_open_subset_sparse_warm`], which centralizes the
+    /// guards.
+    fn solve_warm_sparse(
+        &self,
+        inst: &Instance,
+        cache: &crate::sparse::SparseEdgeCache,
+        warm: &mut SparseWarmState,
         open: &[u32],
         rng: &mut dyn Rng,
     ) -> SolveOutcome {

@@ -41,8 +41,10 @@ use hta_matching::{
 use crate::edges::{enumerate_positive_edges, DiversityEdgeCache};
 use crate::instance::Instance;
 use crate::qap::{assignment_from_permutation, worker_of_vertex};
+use crate::solver::sparse_warm::SparseWarmState;
 use crate::solver::warm::WarmState;
 use crate::solver::{PhaseTimings, SolveOutcome};
+use crate::sparse::SparseEdgeCache;
 
 /// Which LSAP solver to run in step 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,6 +200,84 @@ pub(crate) fn solve_via_qap_warm(
     let t_matching = Instant::now();
     warm.update_open(cache, open);
     let mb = warm.extract_matching(cache, n);
+    let matching_time = t_matching.elapsed();
+
+    let bm = bm_vector(n, &mb);
+
+    // ---- Steps 3-4 with the input-keyed memo ------------------------------
+    let t_lsap = Instant::now();
+    let key = lsap_memo_key(inst, opts, n, &bm);
+    let lsap_solution = match warm.memo_get(key) {
+        Some(sol) => sol,
+        None => {
+            let sol = compute_lsap(inst, opts, threads, &bm);
+            warm.memo_put(key, &sol);
+            sol
+        }
+    };
+    let lsap_time = t_lsap.elapsed();
+
+    finish(
+        inst,
+        opts,
+        mb,
+        lsap_solution,
+        PhaseTimings {
+            edge_enum: std::time::Duration::ZERO,
+            matching: matching_time,
+            lsap: lsap_time,
+            total: std::time::Duration::ZERO, // patched below
+        },
+        t_start,
+        rng,
+    )
+}
+
+/// [`solve_via_qap_warm`] over a pool-scoped [`SparseEdgeCache`] — the
+/// large-catalog path where no dense catalog-global edge list exists. The
+/// open set must be a subset of the cache's pool members; the warm state is
+/// epoch-synced to the cache (rebinding after pool drift costs integer work
+/// only) and then the matching is diffed and repaired exactly like the
+/// dense warm path.
+///
+/// The fallback ladder mirrors [`solve_via_qap_warm`]: an unsorted open set
+/// or one not covered by the pool members solves cold; a warm state bound
+/// to a foreign catalog (or an instance/open length mismatch) takes the
+/// filtered-edges path and leaves `warm` untouched. Output is byte-
+/// identical to [`solve_via_qap`] unconditionally.
+pub(crate) fn solve_via_qap_sparse_warm(
+    inst: &Instance,
+    opts: PipelineOptions,
+    cache: &SparseEdgeCache,
+    warm: &mut SparseWarmState,
+    open: &[u32],
+    rng: &mut dyn Rng,
+) -> SolveOutcome {
+    let n_real = inst.n_tasks();
+    if !open.windows(2).all(|w| w[0] < w[1]) {
+        return solve_via_qap(inst, opts, rng);
+    }
+    if cache.member_positions(open).is_none() {
+        // The pool cache does not cover this open set; nothing reusable.
+        return solve_via_qap(inst, opts, rng);
+    }
+    if !(warm.matches_cache(cache) && open.len() == n_real) {
+        // The edge list is usable but the warm state is not (foreign
+        // catalog binding); leave it untouched and take the filter path.
+        return solve_via_qap_with_edges(inst, opts, &cache.filter_sorted(open), rng);
+    }
+
+    let t_start = Instant::now();
+    let threads = hta_par::solver_threads(opts.threads);
+    let nw = inst.n_workers();
+    let xmax = inst.xmax();
+    let n = n_real.max(nw * xmax);
+
+    // ---- Step 2, incremental: epoch sync + diff + local repair -----------
+    let t_matching = Instant::now();
+    warm.sync(cache);
+    warm.update_open(cache, open);
+    let mb = warm.extract_matching(n);
     let matching_time = t_matching.elapsed();
 
     let bm = bm_vector(n, &mb);

@@ -12,14 +12,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use hta_core::metric::Jaccard;
-use hta_core::solver::{HtaGre, WarmState};
+use hta_core::solver::{HtaGre, SparseWarmState, WarmState};
 use hta_core::{
-    DiversityEdgeCache, Instance, KeywordVec, Solver, Task, TaskId, WeightEstimator, Weights,
-    Worker, WorkerId,
+    keywords_fingerprint, DiversityEdgeCache, Instance, KeywordVec, Solver, SparseEdgeCache, Task,
+    TaskId, WeightEstimator, Weights, Worker, WorkerId,
 };
 use hta_datagen::crowdflower::{CrowdflowerCatalog, KINDS};
 use hta_datagen::quality::QualityModel;
-use hta_index::{CandidateMode, CandidatePool, PoolParams, ShardedIndex};
+use hta_index::{CandidateMode, CandidatePool, PoolMaintainer, PoolParams, ShardedIndex};
 use hta_life::{LifeOutcome, LifecycleBook, PriorityMix, Reputation};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -283,8 +283,44 @@ pub struct Platform<'c> {
     /// Warm-start matching state carried between assignment iterations
     /// (`Some` iff the config enables it and an edge cache exists).
     warm: Option<WarmState>,
+    /// Incremental candidate-pool maintainer (`Some` iff the sparse
+    /// warm-start pipeline is active: warm start + top-k candidates and no
+    /// dense edge cache — i.e. the catalog is past the dense cap). Kept in
+    /// sync by [`Platform::open_task`]/[`Platform::take_task`], so pools
+    /// cost churn, not catalog scans.
+    pool_maint: Option<PoolMaintainer>,
+    /// Pool-scoped sparse diversity edge cache, refreshed from the
+    /// maintainer's pool each assignment iteration (`Some` iff
+    /// `pool_maint` is). Never serialized — it is a pure function of the
+    /// pool membership and the catalog keywords.
+    sparse_cache: Option<SparseEdgeCache>,
+    /// Warm matching state over the sparse edges (`Some` after the first
+    /// sparse assignment iteration). Derived state like the cache: a
+    /// resumed run starts cold and pays one rebind, output unchanged.
+    sparse_warm: Option<SparseWarmState>,
     /// Lifecycle + reputation layer (`Some` iff the config enables it).
     life: Option<LifeState>,
+}
+
+/// The sparse warm-start components iff the config calls for them: top-k
+/// candidates, warm start on, edge reuse on, but no dense edge cache (the
+/// catalog is past the cap, so the dense `O(n²)` list is unavailable).
+fn sparse_components(
+    cfg: &PlatformConfig,
+    edge_cache: &Option<DiversityEdgeCache>,
+    catalog: &CrowdflowerCatalog,
+) -> (Option<PoolMaintainer>, Option<SparseEdgeCache>) {
+    let CandidateMode::TopK(k) = cfg.candidates else {
+        return (None, None);
+    };
+    if !cfg.warm_start || !cfg.reuse_edges || edge_cache.is_some() {
+        return (None, None);
+    }
+    let fp = keywords_fingerprint(catalog.tasks.iter().map(|t| &t.task.keywords));
+    (
+        Some(PoolMaintainer::new(k)),
+        Some(SparseEdgeCache::new(fp, catalog.tasks.len())),
+    )
 }
 
 impl<'c> Platform<'c> {
@@ -324,6 +360,7 @@ impl<'c> Platform<'c> {
             (Some(cache), true) => Some(WarmState::new(cache)),
             _ => None,
         };
+        let (pool_maint, sparse_cache) = sparse_components(&cfg, &edge_cache, catalog);
         Self {
             catalog,
             cfg,
@@ -332,6 +369,9 @@ impl<'c> Platform<'c> {
             solver: Box::new(solver),
             edge_cache,
             warm,
+            pool_maint,
+            sparse_cache,
+            sparse_warm: None,
             life,
         }
     }
@@ -425,6 +465,7 @@ impl<'c> Platform<'c> {
             (Some(cache), true) => Some(WarmState::new(cache)),
             _ => None,
         };
+        let (pool_maint, sparse_cache) = sparse_components(&cfg, &edge_cache, catalog);
         Ok(Self {
             catalog,
             cfg,
@@ -433,6 +474,9 @@ impl<'c> Platform<'c> {
             solver: Box::new(solver),
             edge_cache,
             warm,
+            pool_maint,
+            sparse_cache,
+            sparse_warm: None,
             life,
         })
     }
@@ -444,6 +488,21 @@ impl<'c> Platform<'c> {
     /// restore through [`Platform::restore_warm`].
     pub fn warm(&self) -> Option<&WarmState> {
         self.warm.as_ref()
+    }
+
+    /// The pool-scoped sparse edge cache (`None` unless the sparse
+    /// warm-start pipeline is active: [`PlatformConfig::warm_start`] +
+    /// [`CandidateMode::TopK`] with the catalog past the dense edge-cache
+    /// cap). Derived state — never checkpointed; a resumed run rebuilds it
+    /// from the first pool and produces byte-identical assignments.
+    pub fn sparse_cache(&self) -> Option<&SparseEdgeCache> {
+        self.sparse_cache.as_ref()
+    }
+
+    /// Whether the sparse warm-start pipeline has solved at least once
+    /// (i.e. warm matching state exists over the sparse edges).
+    pub fn sparse_warm_active(&self) -> bool {
+        self.sparse_warm.is_some()
     }
 
     /// Reinstall checkpointed warm-start state: `fingerprint` must match the
@@ -571,20 +630,28 @@ impl<'c> Platform<'c> {
         }
     }
 
-    /// Return a task to the open pool, keeping the index in sync.
+    /// Return a task to the open pool, keeping the index (and, in sparse
+    /// mode, the maintained per-worker top-k lists) in sync.
     fn open_task(&mut self, idx: usize) {
         if !self.available[idx] {
             self.available[idx] = true;
-            self.index
-                .insert(idx as u32, &self.catalog.tasks[idx].task.keywords);
+            let kw = &self.catalog.tasks[idx].task.keywords;
+            self.index.insert(idx as u32, kw);
+            if let Some(m) = self.pool_maint.as_mut() {
+                m.apply_insert(idx as u32, kw);
+            }
         }
     }
 
-    /// Take a task off the open pool, keeping the index in sync.
+    /// Take a task off the open pool, keeping the index (and, in sparse
+    /// mode, the maintained per-worker top-k lists) in sync.
     fn take_task(&mut self, idx: usize) {
         if self.available[idx] {
             self.available[idx] = false;
             self.index.remove(idx as u32);
+            if let Some(m) = self.pool_maint.as_mut() {
+                m.apply_remove(idx as u32);
+            }
         }
     }
 
@@ -1134,13 +1201,48 @@ impl<'c> Platform<'c> {
                 open
             }
             CandidateMode::TopK(k) => {
-                let pool = CandidatePool::generate(
-                    &self.index,
-                    &local_workers,
-                    self.cfg.xmax,
-                    &PoolParams::with_k(k),
-                );
-                pool.members().iter().map(|&t| t as usize).collect()
+                if let Some(maint) = self.pool_maint.as_mut() {
+                    // Sparse warm-start pipeline: the maintainer has
+                    // absorbed the churn since the last iteration, so the
+                    // pool costs the delta instead of a per-worker index
+                    // scan — and is byte-identical to `generate` (pinned by
+                    // the maintainer's tests).
+                    let cohort: Vec<(u64, &KeywordVec)> = slots
+                        .iter()
+                        .map(|&slot| {
+                            let w = active[slot].worker;
+                            (w.index as u64, &w.keywords)
+                        })
+                        .collect();
+                    let (pool, _delta) = maint.pool_for(&self.index, &cohort, self.cfg.xmax);
+                    // Refresh the sparse edge cache over the new pool:
+                    // weights are computed only for pairs touching added
+                    // members, everything else is retained.
+                    let catalog = self.catalog;
+                    let weight = |u: u32, v: u32| {
+                        hta_core::kernels::jaccard_distance(
+                            &catalog.tasks[u as usize].task.keywords,
+                            &catalog.tasks[v as usize].task.keywords,
+                        )
+                    };
+                    let cache = self
+                        .sparse_cache
+                        .as_mut()
+                        .expect("the maintainer and the sparse cache are paired");
+                    cache.refresh(pool.members(), weight);
+                    if self.sparse_warm.is_none() {
+                        self.sparse_warm = Some(SparseWarmState::new(cache));
+                    }
+                    pool.members().iter().map(|&t| t as usize).collect()
+                } else {
+                    let pool = CandidatePool::generate(
+                        &self.index,
+                        &local_workers,
+                        self.cfg.xmax,
+                        &PoolParams::with_k(k),
+                    );
+                    pool.members().iter().map(|&t| t as usize).collect()
+                }
             }
         };
         if open.is_empty() {
@@ -1182,14 +1284,28 @@ impl<'c> Platform<'c> {
             }
             self.edge_cache = Some(cache);
         }
-        let out = hta_core::solver::solve_open_subset_warm(
-            &*self.solver,
-            &inst,
-            &open,
-            self.edge_cache.as_ref(),
-            self.warm.as_mut(),
-            rng,
-        );
+        let out = if self.pool_maint.is_some() {
+            // Sparse pipeline: solve over the pool-scoped edge cache with
+            // warm matching repair. Falls back to a cold solve inside if
+            // any guard fails; byte-identical either way.
+            hta_core::solver::solve_open_subset_sparse_warm(
+                &*self.solver,
+                &inst,
+                &open,
+                self.sparse_cache.as_ref(),
+                self.sparse_warm.as_mut(),
+                rng,
+            )
+        } else {
+            hta_core::solver::solve_open_subset_warm(
+                &*self.solver,
+                &inst,
+                &open,
+                self.edge_cache.as_ref(),
+                self.warm.as_mut(),
+                rng,
+            )
+        };
         debug_assert!(out.assignment.validate(&inst).is_ok());
 
         for (li, &slot) in slots.iter().enumerate() {
@@ -1345,6 +1461,55 @@ mod tests {
                 assert_eq!(a.earnings_cents, b.earnings_cents);
                 assert_eq!(a.completions, b.completions);
             }
+        }
+    }
+
+    #[test]
+    fn sparse_warm_start_does_not_change_the_simulation() {
+        let catalog = small_catalog();
+        let pop = generate(
+            &catalog.space,
+            &PopulationConfig {
+                n_workers: 4,
+                ..Default::default()
+            },
+        );
+        let refs: Vec<&LiveWorker> = pop.iter().collect();
+        // `edge_cache_cap: 1` forces the dense cache off for this 600-task
+        // catalog, standing in for "catalog past the 4096 cap".
+        let run = |warm_start: bool, cap: usize, threads: usize| {
+            let cfg = PlatformConfig {
+                candidates: CandidateMode::TopK(16),
+                warm_start,
+                edge_cache_cap: cap,
+                solver_threads: threads,
+                ..Default::default()
+            };
+            let mut platform = Platform::new(&catalog, cfg);
+            let sparse = warm_start && cap == 1;
+            assert_eq!(platform.sparse_cache().is_some(), sparse);
+            let mut rng = StdRng::seed_from_u64(53);
+            let records = platform.run_cohort(Strategy::HtaGre, &refs, &mut rng);
+            if sparse {
+                assert!(platform.sparse_warm_active(), "the sparse path solved");
+                assert!(!platform.sparse_cache().unwrap().members().is_empty());
+            }
+            records
+        };
+        let cold_sparse = run(false, 1, 1);
+        let dense_warm = run(true, 0, 1);
+        for threads in [1usize, 4] {
+            let sparse_warm = run(true, 1, threads);
+            assert_eq!(sparse_warm.len(), cold_sparse.len());
+            for (a, b) in sparse_warm.iter().zip(&cold_sparse) {
+                assert_eq!(a.duration_minutes, b.duration_minutes);
+                assert_eq!(a.earnings_cents, b.earnings_cents);
+                assert_eq!(a.completions, b.completions);
+            }
+        }
+        // The dense warm path over the same top-k pools agrees too.
+        for (a, b) in dense_warm.iter().zip(&cold_sparse) {
+            assert_eq!(a.completions, b.completions);
         }
     }
 

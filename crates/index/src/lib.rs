@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod inverted;
+pub mod maintainer;
 pub mod merge;
 pub mod par;
 pub mod pool;
@@ -42,6 +43,7 @@ mod engine;
 
 pub use engine::SparseCandidateGenerator;
 pub use inverted::InvertedIndex;
+pub use maintainer::{PoolDelta, PoolMaintainer};
 pub use merge::merge_topk;
 pub use pool::{CandidateMode, CandidatePool, PoolParams};
 pub use sharded::{default_shards, ShardedIndex};

@@ -1,0 +1,795 @@
+//! Greedy-matching maintenance when the **edge list itself** churns.
+//!
+//! [`IncrementalMatching`](crate::IncrementalMatching) keys its certificates
+//! by edge-list *position*, which is the right currency when the edge list
+//! is immutable: positions are 4-byte, totally ordered, and free to compare. The
+//! sparse large-catalog pipeline breaks that premise — its edge list covers
+//! the current candidate-pool members and is edited in place as the pool
+//! drifts, so every pool refresh would invalidate all stored positions and
+//! force an `O(|E|)` rebind even for a one-member delta.
+//!
+//! [`DynamicMatching`] removes the position dependency: certificates are
+//! keyed by the **edge itself** (compared with [`edge_order`], a strict
+//! total order on distinct edges), and vertices are **global catalog ids**
+//! rather than member positions. Neither key changes meaning when edges are
+//! inserted or removed around them, so a member delta costs work
+//! proportional to the delta:
+//!
+//! - per-vertex incidence is a sorted `main` run plus an unsorted `tail`;
+//!   arrivals' freshly weighed edges append in one pass over the (globally
+//!   sorted) added-edge list — new members get sorted `main` runs, retained
+//!   members get `tail` appends;
+//! - departures drop their own list and leave **tombstones** in their
+//!   partners' lists: entries whose other endpoint is a non-member are
+//!   simply skipped at scan time, and an amortized [`compact`]
+//!   (DynamicMatching::compact) sweep reclaims them once dead entries
+//!   outnumber live ones;
+//! - matched pairs incident to a departure are unmatched and their freed
+//!   open partners re-settled through the same proposal heap the positional
+//!   structure uses — pops ordered by `edge_order` serialize commits
+//!   exactly like the serial greedy scan, so the fixpoint still equals
+//!   [`greedy_matching_presorted`] on the open subgraph, bit for bit.
+//!
+//! Identity argument: the greedy matching over an edge set `E` and open set
+//! `O` is the unique `M` where every `e ∈ E(O)` is in `M` or blocked by a
+//! matched edge strictly smaller under `edge_order`. The proof of repair
+//! correctness from the positional structure carries over verbatim with
+//! "position" replaced by "edge under `edge_order`" — edge identity is
+//! preserved across list edits, which is the whole point.
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::greedy::{edge_order, Matching, WeightedEdge};
+use crate::incremental::UpdateStats;
+
+const UNMATCHED: u32 = u32::MAX;
+
+/// A proposal heap entry: `vertex` proposes `edge`. Min-order is
+/// [`edge_order`] then vertex id, so pops serialize commits the way the
+/// serial greedy scan would reach them.
+#[derive(Debug, Clone, Copy)]
+struct Proposal {
+    edge: WeightedEdge,
+    vertex: u32,
+}
+
+impl PartialEq for Proposal {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Proposal {}
+impl PartialOrd for Proposal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Proposal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        edge_order(&self.edge, &other.edge).then_with(|| self.vertex.cmp(&other.vertex))
+    }
+}
+
+/// Per-vertex incidence: `(other_endpoint, weight)` entries. `main` is
+/// sorted by the [`edge_order`] of the implied edge; `tail` is append-order
+/// from later member deltas. Entries whose other endpoint is currently a
+/// non-member are tombstones, skipped at scan time.
+#[derive(Debug, Clone, Default)]
+struct IncList {
+    main: Vec<(u32, f64)>,
+    tail: Vec<(u32, f64)>,
+}
+
+impl IncList {
+    fn stored(&self) -> usize {
+        self.main.len() + self.tail.len()
+    }
+}
+
+/// Orient `(v, other)` into the canonical `u < v` edge.
+#[inline]
+fn implied_edge(v: u32, other: u32, weight: f64) -> WeightedEdge {
+    if v < other {
+        WeightedEdge::new(v, other, weight)
+    } else {
+        WeightedEdge::new(other, v, weight)
+    }
+}
+
+/// The greedy matching over `(member edge set, open subset)`, maintained
+/// across **both** member (edge-list) deltas and open-set deltas. Vertices
+/// are global catalog ids throughout. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct DynamicMatching {
+    /// Global vertex-id bound (catalog size).
+    n: usize,
+    /// Current members, strictly increasing global ids.
+    members: Vec<u32>,
+    member: Vec<bool>,
+    open: Vec<bool>,
+    /// The current open set, strictly increasing global ids.
+    open_list: Vec<u32>,
+    /// `mate[v]` = matched partner of `v`, or `UNMATCHED`.
+    mate: Vec<u32>,
+    /// The matched edge of `v`; valid iff `mate[v] != UNMATCHED`.
+    mkey: Vec<WeightedEdge>,
+    /// Incidence lists, keyed by member id (dropped on departure).
+    inc: HashMap<u32, IncList>,
+    /// Total stored incidence entries, tombstones included; a clean state
+    /// holds exactly `2 × |live edges|`.
+    stored: usize,
+}
+
+impl DynamicMatching {
+    /// Empty structure over global ids `0..n`: no members, no open
+    /// vertices. Install a pool with [`rebind`](Self::rebind).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n < UNMATCHED as usize,
+            "DynamicMatching: vertex count must fit in u32"
+        );
+        Self {
+            n,
+            members: Vec::new(),
+            member: vec![false; n],
+            open: vec![false; n],
+            open_list: Vec::new(),
+            mate: vec![UNMATCHED; n],
+            mkey: Vec::new(),
+            inc: HashMap::new(),
+            stored: 0,
+        }
+    }
+
+    /// Global vertex-id bound this structure was built for.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The current open set, strictly increasing global ids.
+    pub fn open_list(&self) -> &[u32] {
+        &self.open_list
+    }
+
+    /// Stored incidence entries, tombstones included (observability).
+    pub fn stored_entries(&self) -> usize {
+        self.stored
+    }
+
+    /// Full reset to `members` (strictly increasing global ids) and their
+    /// `edges` (global endpoints, strictly [`edge_order`]-sorted, as a
+    /// sparse edge cache stores them). The matching and open set come back
+    /// empty; the next [`update_open`](Self::update_open) installs the
+    /// matching with a linear rebuild. `O(|E|)` — the escape hatch when no
+    /// usable delta is available.
+    pub fn rebind(&mut self, members: &[u32], edges: &[WeightedEdge]) {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(members.last().is_none_or(|&m| (m as usize) < self.n));
+        debug_assert!(edges
+            .windows(2)
+            .all(|w| edge_order(&w[0], &w[1]) == Ordering::Less));
+        for &v in &self.open_list {
+            self.open[v as usize] = false;
+        }
+        for &v in &self.members {
+            self.member[v as usize] = false;
+            self.mate[v as usize] = UNMATCHED;
+        }
+        self.open_list.clear();
+        self.inc.clear();
+        if self.mkey.is_empty() {
+            self.mkey = vec![WeightedEdge::new(0, 0, 0.0); self.n];
+        }
+        self.members.clear();
+        self.members.extend_from_slice(members);
+        for &m in members {
+            self.member[m as usize] = true;
+        }
+        let mut stored = 0usize;
+        for e in edges {
+            if e.weight <= 0.0 {
+                // edge_order sorts by weight descending: non-positive tail.
+                break;
+            }
+            debug_assert!(self.member[e.u as usize] && self.member[e.v as usize]);
+            self.inc.entry(e.u).or_default().main.push((e.v, e.weight));
+            self.inc.entry(e.v).or_default().main.push((e.u, e.weight));
+            stored += 2;
+        }
+        self.stored = stored;
+    }
+
+    /// Apply a member delta: `removed` leave the pool, `added` join, and
+    /// `added_edges` are the freshly weighed positive edges incident to at
+    /// least one arrival (global endpoints, [`edge_order`]-sorted — exactly
+    /// what the sparse cache's incremental refresh produced and merged).
+    /// Arrivals enter **closed**; open them through the next
+    /// [`update_open`](Self::update_open). Matched pairs that lose an
+    /// endpoint are dissolved and their surviving open partners re-settled,
+    /// so cost tracks `|delta| × degree`, not `|E|`.
+    pub fn apply_member_delta(
+        &mut self,
+        removed: &[u32],
+        added: &[u32],
+        added_edges: &[WeightedEdge],
+    ) {
+        debug_assert!(removed.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(added.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(added_edges
+            .windows(2)
+            .all(|w| edge_order(&w[0], &w[1]) == Ordering::Less));
+        let mut seeds: Vec<u32> = Vec::new();
+        for &v in removed {
+            debug_assert!(self.member[v as usize], "removing a non-member");
+            self.member[v as usize] = false;
+            self.open[v as usize] = false;
+            if let Some(list) = self.inc.remove(&v) {
+                self.stored -= list.stored();
+            }
+        }
+        // Dissolve matches after *all* removals are flagged, so a partner
+        // that also departed is not seeded as if it were still alive.
+        for &v in removed {
+            self.unmatch(v, &mut seeds);
+        }
+        self.open_list.retain(|&v| self.open[v as usize]);
+        for &v in added {
+            debug_assert!(
+                !self.member[v as usize] && (v as usize) < self.n,
+                "adding an existing member or out-of-range id"
+            );
+            self.member[v as usize] = true;
+        }
+        // Rebuild the member list: retain survivors, merge arrivals.
+        self.members.retain(|&v| self.member[v as usize]);
+        self.members = merge_ids(&self.members, added);
+        // One pass over the sorted added edges: arrivals (whose lists are
+        // fresh) receive in-order `main` runs, retained endpoints receive
+        // `tail` appends.
+        for e in added_edges {
+            debug_assert!(e.weight > 0.0, "sparse caches store positive edges only");
+            debug_assert!(self.member[e.u as usize] && self.member[e.v as usize]);
+            debug_assert!(
+                added.binary_search(&e.u).is_ok() || added.binary_search(&e.v).is_ok(),
+                "added edge with no added endpoint"
+            );
+            for (at, other) in [(e.u, e.v), (e.v, e.u)] {
+                let list = self.inc.entry(at).or_default();
+                if added.binary_search(&at).is_ok() {
+                    list.main.push((other, e.weight));
+                } else {
+                    list.tail.push((other, e.weight));
+                }
+                self.stored += 1;
+            }
+        }
+        self.settle(seeds);
+    }
+
+    /// Whether tombstones and tails have grown past the amortization
+    /// threshold relative to `live_edges` (the caller's current positive
+    /// edge count): a clean state stores `2 × live`, so `> 3 × live` means
+    /// dead or unsorted entries outnumber half the live ones.
+    pub fn needs_compact(&self, live_edges: usize) -> bool {
+        self.stored > 3 * live_edges + 64
+    }
+
+    /// Reclaim tombstones and merge tails into the sorted runs, in place.
+    /// Matching and open set are untouched — this is pure incidence
+    /// hygiene, `O(entries + Σ |tail| log |tail|)`.
+    pub fn compact(&mut self) {
+        let member = &self.member;
+        self.inc.retain(|&v, _| member[v as usize]);
+        let mut stored = 0usize;
+        for (&v, list) in self.inc.iter_mut() {
+            list.tail.sort_unstable_by(|a, b| {
+                edge_order(&implied_edge(v, a.0, a.1), &implied_edge(v, b.0, b.1))
+            });
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(list.stored());
+            let (a, b) = (&list.main, &list.tail);
+            let (mut i, mut j) = (0usize, 0usize);
+            let push = |merged: &mut Vec<(u32, f64)>, e: (u32, f64)| {
+                if !self.member[e.0 as usize] {
+                    return; // tombstone
+                }
+                // A departed-and-returned partner leaves a duplicate entry
+                // (same endpoint, same pure weight); adjacent after the
+                // merge, dropped here.
+                if merged.last() == Some(&e) {
+                    return;
+                }
+                merged.push(e);
+            };
+            while i < a.len() && j < b.len() {
+                let ea = implied_edge(v, a[i].0, a[i].1);
+                let eb = implied_edge(v, b[j].0, b[j].1);
+                if edge_order(&ea, &eb) != Ordering::Greater {
+                    push(&mut merged, a[i]);
+                    i += 1;
+                } else {
+                    push(&mut merged, b[j]);
+                    j += 1;
+                }
+            }
+            for &e in &a[i..] {
+                push(&mut merged, e);
+            }
+            for &e in &b[j..] {
+                push(&mut merged, e);
+            }
+            stored += merged.len();
+            list.main = merged;
+            list.tail = Vec::new();
+        }
+        self.stored = stored;
+    }
+
+    /// Install a new open set (strictly increasing global ids, all current
+    /// members), repairing locally or rebuilding with a linear scan over
+    /// `full_edges` (the caller's full sorted member edge list) as the
+    /// delta size dictates.
+    pub fn update_open(&mut self, full_edges: &[WeightedEdge], new_open: &[u32]) -> UpdateStats {
+        debug_assert!(new_open.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(
+            new_open.iter().all(|&v| self.member[v as usize]),
+            "open set must be a member subset"
+        );
+        let (removed, added) = diff_open(&self.open_list, new_open);
+        let mut stats = UpdateStats {
+            removed: removed.len(),
+            added: added.len(),
+            repaired: false,
+        };
+        if removed.is_empty() && added.is_empty() {
+            stats.repaired = true;
+            return stats;
+        }
+        let repair_cost: usize = removed
+            .iter()
+            .chain(added.iter())
+            .map(|v| self.inc.get(v).map_or(0, IncList::stored))
+            .sum();
+        if self.open_list.is_empty() || repair_cost * 8 >= full_edges.len().max(1) {
+            self.rebuild_scan(full_edges, new_open);
+            return stats;
+        }
+        stats.repaired = true;
+        let mut seeds: Vec<u32> = Vec::with_capacity(removed.len() + added.len());
+        for &v in &removed {
+            self.open[v as usize] = false;
+        }
+        for &v in &removed {
+            self.unmatch(v, &mut seeds);
+        }
+        for &v in &added {
+            self.open[v as usize] = true;
+            seeds.push(v);
+        }
+        self.open_list.clear();
+        self.open_list.extend_from_slice(new_open);
+        self.settle(seeds);
+        stats
+    }
+
+    /// Materialize the matching in **open-subset-local** ids (rank within
+    /// the open list) over `n_out ≥ |open|` vertices — byte-identical to
+    /// [`greedy_matching_presorted`](crate::greedy_matching_presorted) on
+    /// the open-filtered, locally renumbered edge list.
+    pub fn extract(&self, n_out: usize) -> Matching {
+        debug_assert!(n_out >= self.open_list.len());
+        let mut picked: Vec<WeightedEdge> = Vec::with_capacity(self.open_list.len() / 2);
+        for &v in &self.open_list {
+            let m = self.mate[v as usize];
+            if m != UNMATCHED && v < m {
+                picked.push(self.mkey[v as usize]);
+            }
+        }
+        picked.sort_unstable_by(edge_order);
+        let local = |g: u32| self.open_list.partition_point(|&x| x < g) as u32;
+        let edges: Vec<WeightedEdge> = picked
+            .iter()
+            .map(|e| WeightedEdge::new(local(e.u), local(e.v), e.weight))
+            .collect();
+        // The global→rank remap is strictly increasing, so edge_order (and
+        // with it the sortedness Matching requires) is preserved.
+        Matching::from_sorted_edges(n_out, edges)
+    }
+
+    /// Dissolve `v`'s matched pair if any, seeding the freed partner when
+    /// it is still alive (member and open).
+    fn unmatch(&mut self, v: u32, seeds: &mut Vec<u32>) {
+        let w = self.mate[v as usize];
+        if w != UNMATCHED {
+            self.mate[v as usize] = UNMATCHED;
+            self.mate[w as usize] = UNMATCHED;
+            if self.alive(w) {
+                seeds.push(w);
+            }
+        }
+    }
+
+    #[inline]
+    fn alive(&self, v: u32) -> bool {
+        self.member[v as usize] && self.open[v as usize]
+    }
+
+    /// The smallest (under [`edge_order`]) incident edge of `v` violating
+    /// the greedy certificate: other endpoint alive and either free or
+    /// matched through a strictly larger edge. `main` is sorted, so its
+    /// first violation wins; `tail` is scanned exhaustively.
+    fn cand(&self, v: u32) -> Option<WeightedEdge> {
+        let list = self.inc.get(&v)?;
+        let mut best: Option<WeightedEdge> = None;
+        for &(other, w) in &list.main {
+            if !self.alive(other) {
+                continue;
+            }
+            let e = implied_edge(v, other, w);
+            if self.violates(&e, other) {
+                best = Some(e);
+                break;
+            }
+        }
+        for &(other, w) in &list.tail {
+            if !self.alive(other) {
+                continue;
+            }
+            let e = implied_edge(v, other, w);
+            if self.violates(&e, other) && best.is_none_or(|b| edge_order(&e, &b) == Ordering::Less)
+            {
+                best = Some(e);
+            }
+        }
+        best
+    }
+
+    #[inline]
+    fn violates(&self, e: &WeightedEdge, other: u32) -> bool {
+        let m = self.mate[other as usize];
+        m == UNMATCHED || edge_order(e, &self.mkey[other as usize]) == Ordering::Less
+    }
+
+    /// Drain a proposal heap seeded with `seeds` to the greedy fixpoint.
+    /// Candidates are recomputed at pop time and re-pushed when stale, so a
+    /// commit happens only when its edge is the global minimum outstanding
+    /// violation — the serial scan's commit order.
+    fn settle(&mut self, seeds: Vec<u32>) {
+        let mut heap: BinaryHeap<Reverse<Proposal>> = BinaryHeap::with_capacity(seeds.len());
+        for v in seeds {
+            if self.alive(v) && self.mate[v as usize] == UNMATCHED {
+                if let Some(edge) = self.cand(v) {
+                    heap.push(Reverse(Proposal { edge, vertex: v }));
+                }
+            }
+        }
+        while let Some(Reverse(Proposal { edge, vertex: u })) = heap.pop() {
+            if !self.alive(u) || self.mate[u as usize] != UNMATCHED {
+                continue;
+            }
+            let Some(q) = self.cand(u) else { continue };
+            if edge_order(&q, &edge) != Ordering::Equal {
+                heap.push(Reverse(Proposal { edge: q, vertex: u }));
+                continue;
+            }
+            let w = if q.u == u { q.v } else { q.u };
+            let old = self.mate[w as usize];
+            if old != UNMATCHED {
+                // Steal: the displaced partner re-proposes.
+                self.mate[old as usize] = UNMATCHED;
+                if let Some(r) = self.cand(old) {
+                    heap.push(Reverse(Proposal {
+                        edge: r,
+                        vertex: old,
+                    }));
+                }
+            }
+            self.mate[u as usize] = w;
+            self.mate[w as usize] = u;
+            self.mkey[u as usize] = q;
+            self.mkey[w as usize] = q;
+        }
+    }
+
+    /// Serial greedy scan over the full sorted edge list — the repair
+    /// fallback for first builds and large open deltas.
+    fn rebuild_scan(&mut self, edges: &[WeightedEdge], new_open: &[u32]) {
+        for &v in &self.open_list {
+            self.open[v as usize] = false;
+            self.mate[v as usize] = UNMATCHED;
+        }
+        for &v in new_open {
+            self.open[v as usize] = true;
+        }
+        self.open_list.clear();
+        self.open_list.extend_from_slice(new_open);
+        for e in edges {
+            if e.weight <= 0.0 {
+                break;
+            }
+            let (u, v) = (e.u as usize, e.v as usize);
+            if self.open[u]
+                && self.open[v]
+                && self.mate[u] == UNMATCHED
+                && self.mate[v] == UNMATCHED
+            {
+                self.mate[u] = e.v;
+                self.mate[v] = e.u;
+                self.mkey[u] = *e;
+                self.mkey[v] = *e;
+            }
+        }
+    }
+}
+
+/// Merge two strictly-increasing disjoint id lists.
+fn merge_ids(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] < b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Split two strictly-increasing lists into `(only_in_old, only_in_new)`.
+fn diff_open(old: &[u32], new: &[u32]) -> (Vec<u32>, Vec<u32>) {
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < new.len() {
+        match old[i].cmp(&new[j]) {
+            Ordering::Less => {
+                removed.push(old[i]);
+                i += 1;
+            }
+            Ordering::Greater => {
+                added.push(new[j]);
+                j += 1;
+            }
+            Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend_from_slice(&old[i..]);
+    added.extend_from_slice(&new[j..]);
+    (removed, added)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_matching_presorted;
+
+    /// Deterministic splitmix64.
+    struct Mix(u64);
+    impl Mix {
+        fn next(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Pure pseudo-distance on a global id pair: quantized to force weight
+    /// ties (exercising the (u, v) tie-break) and sometimes non-positive
+    /// (those pairs are simply absent from the sparse edge list).
+    fn pure_weight(u: u32, v: u32) -> f64 {
+        let mut h = Mix((u as u64) << 32 | v as u64);
+        let q = (h.next() % 23) as f64 / 16.0 - 0.25;
+        (q * 16.0).round() / 16.0
+    }
+
+    /// The sorted positive member edge list a sparse cache would hold.
+    fn member_edges(members: &[u32]) -> Vec<WeightedEdge> {
+        let mut edges = Vec::new();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let (u, v) = (members[i], members[j]);
+                let w = pure_weight(u, v);
+                if w > 0.0 {
+                    edges.push(WeightedEdge::new(u, v, w));
+                }
+            }
+        }
+        edges.sort_unstable_by(edge_order);
+        edges
+    }
+
+    /// The freshly weighed edges a delta refresh produces: every positive
+    /// pair with at least one added endpoint, sorted.
+    fn delta_edges(new_members: &[u32], added: &[u32]) -> Vec<WeightedEdge> {
+        let mut fresh = Vec::new();
+        for &a in added {
+            for &m in new_members {
+                if m == a || (added.binary_search(&m).is_ok() && m < a) {
+                    continue;
+                }
+                let (u, v) = if a < m { (a, m) } else { (m, a) };
+                let w = pure_weight(u, v);
+                if w > 0.0 {
+                    fresh.push(WeightedEdge::new(u, v, w));
+                }
+            }
+        }
+        fresh.sort_unstable_by(edge_order);
+        fresh
+    }
+
+    /// Reference: filter to open, renumber to open-local ids, run the
+    /// serial presorted greedy.
+    fn reference(edges: &[WeightedEdge], open: &[u32]) -> Matching {
+        let filtered: Vec<WeightedEdge> = edges
+            .iter()
+            .filter_map(|e| {
+                let (Ok(u), Ok(v)) = (open.binary_search(&e.u), open.binary_search(&e.v)) else {
+                    return None;
+                };
+                Some(WeightedEdge::new(u as u32, v as u32, e.weight))
+            })
+            .collect();
+        greedy_matching_presorted(open.len(), &filtered)
+    }
+
+    fn subset(ids: &[u32], rng: &mut Mix, keep_pct: u64) -> Vec<u32> {
+        ids.iter()
+            .copied()
+            .filter(|_| rng.next() % 100 < keep_pct)
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_across_member_and_open_churn() {
+        let n = 120u32;
+        let mut rng = Mix(0xD1);
+        let mut members: Vec<u32> = (0..n).filter(|&v| v % 3 != 1).collect();
+        let mut edges = member_edges(&members);
+        let mut dynm = DynamicMatching::new(n as usize);
+        dynm.rebind(&members, &edges);
+        for step in 0..60 {
+            // Open-set churn against the current member set.
+            let open = subset(&members, &mut rng, [95, 60, 30, 85][step % 4]);
+            dynm.update_open(&edges, &open);
+            let got = dynm.extract(open.len());
+            let want = reference(&edges, &open);
+            assert_eq!(got.edges(), want.edges(), "open churn step {step}");
+
+            // Member churn: a few leave, a few arrive.
+            let removed: Vec<u32> = members
+                .iter()
+                .copied()
+                .filter(|_| rng.next() % 100 < 6)
+                .collect();
+            let added: Vec<u32> = (0..n)
+                .filter(|v| !members.contains(v) && rng.next() % 100 < 6)
+                .collect();
+            let mut next: Vec<u32> = members
+                .iter()
+                .copied()
+                .filter(|v| removed.binary_search(v).is_err())
+                .collect();
+            next = merge_ids(&next, &added);
+            dynm.apply_member_delta(&removed, &added, &delta_edges(&next, &added));
+            members = next;
+            edges = member_edges(&members);
+
+            // The still-open survivors must already sit at the fixpoint for
+            // the shrunken open set (arrivals enter closed).
+            let open_now: Vec<u32> = open
+                .iter()
+                .copied()
+                .filter(|v| members.binary_search(v).is_ok())
+                .collect();
+            let got = dynm.extract(open_now.len());
+            let want = reference(&edges, &open_now);
+            assert_eq!(got.edges(), want.edges(), "member churn step {step}");
+        }
+    }
+
+    #[test]
+    fn removed_then_readded_member_stays_identical() {
+        let members: Vec<u32> = (0..40).collect();
+        let edges = member_edges(&members);
+        let mut dynm = DynamicMatching::new(64);
+        dynm.rebind(&members, &edges);
+        dynm.update_open(&edges, &members);
+
+        // 7 departs…
+        let without: Vec<u32> = members.iter().copied().filter(|&v| v != 7).collect();
+        let shrunk = member_edges(&without);
+        dynm.apply_member_delta(&[7], &[], &[]);
+        let open: Vec<u32> = without.clone();
+        dynm.update_open(&shrunk, &open);
+        assert_eq!(
+            dynm.extract(open.len()).edges(),
+            reference(&shrunk, &open).edges()
+        );
+
+        // …and returns: retained partners now hold duplicate entries for 7
+        // (revived tombstone + fresh tail append). The fixpoint must not
+        // care.
+        dynm.apply_member_delta(&[], &[7], &delta_edges(&members, &[7]));
+        dynm.update_open(&edges, &members);
+        assert_eq!(
+            dynm.extract(members.len()).edges(),
+            reference(&edges, &members).edges()
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_the_fixpoint_and_reclaims_entries() {
+        let n = 90u32;
+        let mut rng = Mix(0xC0);
+        let mut members: Vec<u32> = (0..n).collect();
+        let mut edges = member_edges(&members);
+        let mut dynm = DynamicMatching::new(n as usize);
+        dynm.rebind(&members, &edges);
+        // Heavy alternating churn to pile up tombstones and tails.
+        for step in 0..30 {
+            let removed = subset(&members, &mut rng, 25);
+            let mut next: Vec<u32> = members
+                .iter()
+                .copied()
+                .filter(|v| removed.binary_search(v).is_err())
+                .collect();
+            let added: Vec<u32> = (0..n)
+                .filter(|v| next.binary_search(v).is_err() && rng.next() % 100 < 30)
+                .collect();
+            next = merge_ids(&next, &added);
+            dynm.apply_member_delta(&removed, &added, &delta_edges(&next, &added));
+            members = next;
+            edges = member_edges(&members);
+            let open = subset(&members, &mut rng, 80);
+            dynm.update_open(&edges, &open);
+
+            if dynm.needs_compact(edges.len()) {
+                let before = dynm.extract(open.len());
+                dynm.compact();
+                assert_eq!(dynm.stored_entries(), 2 * edges.len(), "step {step}");
+                let after = dynm.extract(open.len());
+                assert_eq!(before.edges(), after.edges(), "step {step}");
+            }
+            // Compacted or not, the fixpoint must match the reference, and
+            // further repairs must keep matching it.
+            assert_eq!(
+                dynm.extract(open.len()).edges(),
+                reference(&edges, &open).edges(),
+                "step {step}"
+            );
+        }
+        assert!(
+            !dynm.needs_compact(usize::MAX / 4),
+            "sanity: threshold math does not overflow"
+        );
+    }
+
+    #[test]
+    fn update_open_reports_repair_vs_rebuild() {
+        let members: Vec<u32> = (0..60).collect();
+        let edges = member_edges(&members);
+        let mut dynm = DynamicMatching::new(60);
+        dynm.rebind(&members, &edges);
+        let stats = dynm.update_open(&edges, &members);
+        assert!(!stats.repaired, "first install is a linear rebuild");
+        let smaller: Vec<u32> = members.iter().copied().filter(|&v| v != 11).collect();
+        let stats = dynm.update_open(&edges, &smaller);
+        assert!(stats.repaired, "one-vertex delta repairs");
+        assert_eq!((stats.removed, stats.added), (1, 0));
+        assert_eq!(
+            dynm.extract(smaller.len()).edges(),
+            reference(&edges, &smaller).edges()
+        );
+    }
+}

@@ -46,11 +46,13 @@
 #![warn(missing_docs)]
 
 pub mod costs;
+pub mod dynamic;
 pub mod greedy;
 pub mod incremental;
 pub mod lsap;
 
 pub use costs::{ClassedCosts, CostMatrix, DenseMatrix};
+pub use dynamic::DynamicMatching;
 pub use greedy::{
     edge_order, greedy_matching, greedy_matching_presorted, greedy_matching_with_threads, Matching,
     WeightedEdge,

@@ -151,19 +151,30 @@ pub fn default_threads() -> usize {
         .min(8)
 }
 
-/// Resolve the solver-pipeline thread count: a positive `requested` wins,
-/// otherwise the `HTA_SOLVER_THREADS` environment variable (when set to a
-/// positive integer), otherwise [`default_threads`]. This is the single
-/// knob behind `--solver-threads` on the CLI and the platform/server
-/// configuration (`0` = auto everywhere).
+/// Resolve the solver-pipeline thread count: a positive `requested` wins
+/// unconditionally, otherwise the `HTA_SOLVER_THREADS` environment variable
+/// (when set to a positive integer), otherwise [`default_threads`]. This is
+/// the single knob behind `--solver-threads` on the CLI and the
+/// platform/server configuration (`0` = auto everywhere).
+///
+/// Both auto paths are clamped to `available_parallelism()`: an inherited
+/// `HTA_SOLVER_THREADS=16` on a 1-vCPU box would otherwise oversubscribe
+/// the solver pool sixteenfold for zero throughput. An explicit CLI/config
+/// request is taken at face value — oversubscription on purpose is a valid
+/// benchmark scenario, and solver output is byte-identical at any thread
+/// count anyway.
 pub fn solver_threads(requested: usize) -> usize {
     if requested > 0 {
         return requested;
     }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     std::env::var("HTA_SOLVER_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
         .filter(|&n| n >= 1)
+        .map(|n| n.min(hw))
         .unwrap_or_else(default_threads)
 }
 
@@ -267,9 +278,18 @@ mod tests {
 
     #[test]
     fn solver_threads_resolution_order() {
-        // Positive request wins unconditionally.
+        // Positive request wins unconditionally — even past the hardware
+        // parallelism (deliberate oversubscription stays possible).
         assert_eq!(solver_threads(3), 3);
-        // 0 = auto: env or the hardware default (either way >= 1).
-        assert!(solver_threads(0) >= 1);
+        assert_eq!(solver_threads(1024), 1024);
+        // 0 = auto: env or the hardware default, clamped to the machine.
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let auto = solver_threads(0);
+        assert!((1..=hw.max(8)).contains(&auto));
+        if std::env::var("HTA_SOLVER_THREADS").is_err() {
+            assert!(auto <= hw.min(8), "auto default exceeds the machine");
+        }
     }
 }

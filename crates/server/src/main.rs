@@ -3,7 +3,7 @@
 //! ```text
 //! hta-serve [addr] [tasks.csv] [--restore state.htasnap]
 //!           [--listen-threads N] [--solver-pool N] [--queue-capacity N]
-//!           [--snapshot-on-exit state.htasnap]
+//!           [--snapshot-on-exit state.htasnap] [--edge-cache-cap N]
 //!           [--role primary|replica|shard-worker]
 //!           [--repl-listen addr] [--shard-workers a,b,c]        # primary
 //!           [--join addr] [--primary-http addr] [--journal F]   # followers
@@ -19,6 +19,10 @@
 //! (default: `HTA_SERVER_THREADS` or 1), `--solver-pool` the worker threads
 //! running solves (default 2), `--queue-capacity` the backpressure bound
 //! (default 64; a full queue answers `503` + `Retry-After`).
+//! `--edge-cache-cap` overrides the dense edge-cache catalog cap
+//! (default: `HTA_EDGE_CACHE_CAP` or 4096); past the cap, top-k solves run
+//! on the sparse warm-start pipeline with byte-identical assignments. The
+//! resolved cap shows up in `GET /stats`.
 //!
 //! Cluster roles (DESIGN.md §14): `--role primary` additionally serves a
 //! replication stream on `--repl-listen` (default `127.0.0.1:7171`) and,
@@ -72,6 +76,7 @@ fn main() {
     let mut shard_workers: Vec<String> = Vec::new();
     let mut shard_index: Option<u32> = None;
     let mut shard_count: Option<u32> = None;
+    let mut edge_cache_cap: Option<usize> = None;
     let mut opts = ServeOptions::default();
     if let Some(n) = std::env::var("HTA_SERVER_THREADS")
         .ok()
@@ -115,6 +120,7 @@ fn main() {
             }
             "--shard-index" => shard_index = Some(parse_flag_value(&arg, args.next())),
             "--shard-count" => shard_count = Some(parse_flag_value(&arg, args.next())),
+            "--edge-cache-cap" => edge_cache_cap = Some(parse_flag_value(&arg, args.next())),
             _ => positionals.push(arg),
         }
     }
@@ -244,6 +250,14 @@ fn main() {
         (state, ctx)
     };
     let (state, cluster) = state;
+    if let Some(cap) = edge_cache_cap {
+        // Node configuration, applied after every construction path
+        // (restore, CSV, generated corpus, follower catch-up): the cap is
+        // derived state and never travels in snapshots or the replication
+        // stream.
+        state.set_edge_cache_cap(cap);
+        println!("edge-cache cap: {} tasks", state.edge_cache_cap());
+    }
 
     let server = Server::spawn_with_cluster(&addr, Arc::clone(&state), opts.clone(), cluster)
         .unwrap_or_else(|e| {

@@ -422,14 +422,15 @@ fn stats(state: &PlatformState, serving: Option<&ServingMetrics>) -> Response {
     // snapshot tests compare these bodies across save/restore, and a
     // legacy-served `/stats` (no serving counters) must stay byte-stable.
     let mut body = format!(
-        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{},\"shards\":[{}],\"simd\":\"{}\"",
+        "{{\"workers\":{},\"open_tasks\":{},\"assigned_tasks\":{},\"completed_tasks\":{},\"indexed_tasks\":{},\"shards\":[{}],\"simd\":\"{}\",\"edge_cache_cap\":{}",
         s.workers,
         s.open_tasks,
         s.assigned_tasks,
         s.completed_tasks,
         s.indexed_tasks,
         shards,
-        hta_core::kernels::mode_name()
+        hta_core::kernels::mode_name(),
+        s.edge_cache_cap
     );
     if let Some(m) = serving {
         let _ = write!(body, ",\"serving\":{}", m.to_json());
@@ -570,6 +571,17 @@ mod tests {
         let r = handle(&s, &req("GET", "/stats", ""));
         let expected = format!("\"simd\":\"{}\"", hta_core::kernels::mode_name());
         assert!(r.body.contains(&expected), "{}", r.body);
+    }
+
+    #[test]
+    fn stats_reports_the_resolved_edge_cache_cap() {
+        let s = state();
+        let r = handle(&s, &req("GET", "/stats", ""));
+        let expected = format!("\"edge_cache_cap\":{}", s.edge_cache_cap());
+        assert!(r.body.contains(&expected), "{}", r.body);
+        s.set_edge_cache_cap(123);
+        let r = handle(&s, &req("GET", "/stats", ""));
+        assert!(r.body.contains("\"edge_cache_cap\":123"), "{}", r.body);
     }
 
     #[test]

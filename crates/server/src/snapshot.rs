@@ -332,6 +332,10 @@ impl PlatformState {
             edge_cache: None,
             warm: None,
             warm_start: true,
+            edge_cache_cap: 0,
+            pool_maint: None,
+            sparse_cache: None,
+            sparse_warm: None,
         }))
     }
 }

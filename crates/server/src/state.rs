@@ -5,12 +5,16 @@
 use std::sync::{Arc, Mutex};
 
 use hta_core::adaptive::WeightEstimator;
-use hta_core::solver::{solve_open_subset_warm, HtaGre, WarmState};
-use hta_core::{
-    DiversityEdgeCache, Instance, Jaccard, KeywordSpace, KeywordVec, Task, TaskId, TaskPool,
-    Weights, Worker, WorkerId,
+use hta_core::solver::{
+    solve_open_subset_sparse_warm, solve_open_subset_warm, HtaGre, SparseWarmState, WarmState,
 };
-use hta_index::{CandidateMode, CandidatePool, InvertedIndex, PoolParams, ShardedIndex};
+use hta_core::{
+    keywords_fingerprint, DiversityEdgeCache, Instance, Jaccard, KeywordSpace, KeywordVec,
+    SparseEdgeCache, Task, TaskId, TaskPool, Weights, Worker, WorkerId,
+};
+use hta_index::{
+    CandidateMode, CandidatePool, InvertedIndex, PoolMaintainer, PoolParams, ShardedIndex,
+};
 use hta_life::Reputation;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -72,6 +76,10 @@ pub struct Stats {
     /// `indexed_tasks`); a persistently empty shard means the keyword
     /// universe is skewed away from its range.
     pub shard_sizes: Vec<usize>,
+    /// The dense edge-cache catalog cap in effect (flag override, else
+    /// `HTA_EDGE_CACHE_CAP`, else the built-in default). Catalogs past it
+    /// serve through the sparse pool-scoped pipeline instead.
+    pub edge_cache_cap: usize,
 }
 
 /// Errors surfaced to the HTTP layer.
@@ -162,6 +170,20 @@ pub(crate) struct Inner {
     /// Operator toggle for the warm path (default on; purely a
     /// performance knob, output is unaffected).
     pub(crate) warm_start: bool,
+    /// Requested dense edge-cache catalog cap (`0` = auto:
+    /// `HTA_EDGE_CACHE_CAP` or the built-in default). Set by the
+    /// `--edge-cache-cap` server flag; the resolved value is shown in
+    /// `/stats`.
+    pub(crate) edge_cache_cap: usize,
+    /// Incremental candidate-pool maintainer for the sparse warm-start
+    /// pipeline (top-k mode past the dense cap). Derived state — never
+    /// serialized; rebuilt lazily after a restore with byte-identical
+    /// assignments.
+    pub(crate) pool_maint: Option<PoolMaintainer>,
+    /// Pool-scoped sparse diversity edge cache (paired with `pool_maint`).
+    pub(crate) sparse_cache: Option<SparseEdgeCache>,
+    /// Warm matching state over the sparse edges.
+    pub(crate) sparse_warm: Option<SparseWarmState>,
 }
 
 impl Inner {
@@ -181,7 +203,7 @@ impl Inner {
     /// sort their members), which [`solve_open_subset_warm`] verifies
     /// before reusing the edges or the warm matching.
     fn ensure_edge_cache(&mut self) {
-        if self.edge_cache.is_none() && self.tasks.len() <= hta_core::edges::edge_cache_cap(0) {
+        if self.edge_cache.is_none() && self.tasks.len() <= self.resolved_edge_cache_cap() {
             self.edge_cache = Some(DiversityEdgeCache::build(
                 self.tasks.tasks(),
                 &Jaccard,
@@ -192,6 +214,68 @@ impl Inner {
             if let Some(cache) = &self.edge_cache {
                 self.warm = Some(WarmState::new(cache));
             }
+        }
+    }
+
+    /// The dense edge-cache catalog cap in effect: the configured override
+    /// when set, else `HTA_EDGE_CACHE_CAP`, else the built-in default.
+    pub(crate) fn resolved_edge_cache_cap(&self) -> usize {
+        hta_core::edges::edge_cache_cap(self.edge_cache_cap)
+    }
+
+    /// The sparse warm-start pipeline's retrieval depth, `Some(k)` iff the
+    /// pipeline applies: warm solves on, top-k candidates, and a catalog
+    /// past the dense edge-cache cap (where `ensure_edge_cache` would
+    /// decline to build).
+    fn sparse_mode_k(&self) -> Option<usize> {
+        match self.mode {
+            CandidateMode::TopK(k)
+                if self.warm_start && self.tasks.len() > self.resolved_edge_cache_cap() =>
+            {
+                Some(k)
+            }
+            _ => None,
+        }
+    }
+
+    /// Make the sparse components exist and match retrieval depth `k`.
+    fn ensure_sparse(&mut self, k: usize) {
+        if self.pool_maint.as_ref().is_some_and(|m| m.k() == k) && self.sparse_cache.is_some() {
+            return;
+        }
+        let fp = keywords_fingerprint(self.tasks.tasks().iter().map(|t| &t.keywords));
+        self.pool_maint = Some(PoolMaintainer::new(k));
+        self.sparse_cache = Some(SparseEdgeCache::new(fp, self.tasks.len()));
+        self.sparse_warm = None;
+    }
+
+    /// Refresh the sparse edge cache to exactly `members` (weights computed
+    /// only for pairs touching added members) and make warm matching state
+    /// exist. Weights run over the *stored* task vectors: widening appends
+    /// zero bits, which changes no popcount, so they are bit-equal to the
+    /// pool instance's diversity values.
+    fn refresh_sparse(&mut self, members: &[u32]) {
+        let tasks = &self.tasks;
+        let weight = |u: u32, v: u32| {
+            hta_core::kernels::jaccard_distance(
+                &tasks.get(TaskId(u)).keywords,
+                &tasks.get(TaskId(v)).keywords,
+            )
+        };
+        let cache = self.sparse_cache.as_mut().expect("ensured by the caller");
+        cache.refresh(members, weight);
+        if self.sparse_warm.is_none() {
+            self.sparse_warm = Some(SparseWarmState::new(cache));
+        }
+    }
+
+    /// Take a task off the open pool: availability, the keyword index, and
+    /// (when active) the maintained per-worker top-k lists stay in sync.
+    pub(crate) fn close_task(&mut self, ci: usize) {
+        self.available[ci] = false;
+        self.index.remove(ci as u32);
+        if let Some(m) = self.pool_maint.as_mut() {
+            m.apply_remove(ci as u32);
         }
     }
 }
@@ -251,6 +335,10 @@ impl PlatformState {
                 edge_cache: None,
                 warm: None,
                 warm_start: true,
+                edge_cache_cap: 0,
+                pool_maint: None,
+                sparse_cache: None,
+                sparse_warm: None,
             }),
             coord: Mutex::new(None),
         }
@@ -293,7 +381,14 @@ impl PlatformState {
     /// Switch the candidate-generation mode at runtime (the index is kept
     /// in sync regardless of mode, so switching is safe mid-stream).
     pub fn set_candidate_mode(&self, mode: CandidateMode) {
-        self.inner.lock().expect("state lock").mode = mode;
+        let mut inner = self.inner.lock().expect("state lock");
+        inner.mode = mode;
+        // The sparse pipeline is scoped to one retrieval depth; it
+        // re-materializes lazily under the new mode (derived state, so
+        // dropping it never changes assignments).
+        inner.pool_maint = None;
+        inner.sparse_cache = None;
+        inner.sparse_warm = None;
     }
 
     /// The active candidate-generation mode.
@@ -312,12 +407,39 @@ impl PlatformState {
         inner.warm_start = enabled;
         if !enabled {
             inner.warm = None;
+            inner.pool_maint = None;
+            inner.sparse_cache = None;
+            inner.sparse_warm = None;
         }
     }
 
     /// Whether warm-started solves are enabled.
     pub fn warm_start(&self) -> bool {
         self.inner.lock().expect("state lock").warm_start
+    }
+
+    /// Override the dense edge-cache catalog cap (`0` = auto:
+    /// `HTA_EDGE_CACHE_CAP`, then the built-in default). Node
+    /// configuration, like the shard coordinator: not replicated and not
+    /// serialized — the server re-applies its flag after a restore. When
+    /// the catalog no longer fits the new cap, the dense cache and its warm
+    /// state are dropped so the sparse pipeline can take over; assignments
+    /// are byte-identical either way.
+    pub fn set_edge_cache_cap(&self, cap: usize) {
+        let mut inner = self.inner.lock().expect("state lock");
+        inner.edge_cache_cap = cap;
+        if inner.tasks.len() > inner.resolved_edge_cache_cap() {
+            inner.edge_cache = None;
+            inner.warm = None;
+        }
+    }
+
+    /// The dense edge-cache catalog cap in effect (shown in `/stats`).
+    pub fn edge_cache_cap(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("state lock")
+            .resolved_edge_cache_cap()
     }
 
     /// Register a worker by keyword names (unknown keywords are interned).
@@ -385,9 +507,22 @@ impl PlatformState {
                 .take(inner.max_instance_tasks)
                 .collect(),
             CandidateMode::TopK(k) => {
+                let sparse = inner.sparse_mode_k() == Some(k);
+                if sparse {
+                    inner.ensure_sparse(k);
+                }
                 let pool = match coord.and_then(|c| c.worker_topk(inner, &[worker], k)) {
                     Some(lists) => {
                         CandidatePool::from_worker_topk(&inner.index, &lists, inner.xmax)
+                    }
+                    None if sparse => {
+                        // Incremental pool: the maintainer absorbed the
+                        // churn since the last solve, byte-identical to
+                        // `generate` over the live index.
+                        let cohort_kw = [(worker as u64, &wkw)];
+                        let maint = inner.pool_maint.as_mut().expect("ensured above");
+                        let (pool, _delta) = maint.pool_for(&inner.index, &cohort_kw, inner.xmax);
+                        pool
                     }
                     None => {
                         let probe = Worker::new(WorkerId(0), wkw.clone()).with_weights(weights);
@@ -399,6 +534,9 @@ impl PlatformState {
                         )
                     }
                 };
+                if sparse {
+                    inner.refresh_sparse(pool.members());
+                }
                 pool.members().iter().map(|&t| t as usize).collect()
             }
         };
@@ -429,21 +567,33 @@ impl PlatformState {
         let solver = HtaGre::structured()
             .without_flip()
             .with_threads(inner.solver_threads);
-        inner.ensure_edge_cache();
-        let out = solve_open_subset_warm(
-            &solver,
-            &inst,
-            &open,
-            inner.edge_cache.as_ref(),
-            inner.warm.as_mut(),
-            &mut inner.rng,
-        );
+        let out = if inner.sparse_mode_k().is_some() {
+            // Sparse warm pipeline: the cache was refreshed to exactly this
+            // pool above; repair the carried matching over its edges.
+            solve_open_subset_sparse_warm(
+                &solver,
+                &inst,
+                &open,
+                inner.sparse_cache.as_ref(),
+                inner.sparse_warm.as_mut(),
+                &mut inner.rng,
+            )
+        } else {
+            inner.ensure_edge_cache();
+            solve_open_subset_warm(
+                &solver,
+                &inst,
+                &open,
+                inner.edge_cache.as_ref(),
+                inner.warm.as_mut(),
+                &mut inner.rng,
+            )
+        };
 
         let mut assigned = Vec::new();
         for &local in out.assignment.tasks_of(0) {
             let ci = open[local];
-            inner.available[ci] = false;
-            inner.index.remove(ci as u32);
+            inner.close_task(ci);
             assigned.push(ci);
         }
         inner.workers[worker].assigned.extend(&assigned);
@@ -499,12 +649,28 @@ impl PlatformState {
                 .take(inner.max_instance_tasks)
                 .collect(),
             CandidateMode::TopK(k) => {
+                let sparse = inner.sparse_mode_k() == Some(k);
+                if sparse {
+                    inner.ensure_sparse(k);
+                }
                 let pool = match coord
                     .as_deref()
                     .and_then(|c| c.worker_topk(inner, cohort, k))
                 {
                     Some(lists) => {
                         CandidatePool::from_worker_topk(&inner.index, &lists, inner.xmax)
+                    }
+                    None if sparse => {
+                        // Incremental pool over the whole cohort, using the
+                        // same (widened) keyword vectors `generate` would.
+                        let cohort_kw: Vec<(u64, &KeywordVec)> = cohort
+                            .iter()
+                            .zip(&local_workers)
+                            .map(|(&w, lw)| (w as u64, &lw.keywords))
+                            .collect();
+                        let maint = inner.pool_maint.as_mut().expect("ensured above");
+                        let (pool, _delta) = maint.pool_for(&inner.index, &cohort_kw, inner.xmax);
+                        pool
                     }
                     None => CandidatePool::generate(
                         &inner.index,
@@ -513,6 +679,9 @@ impl PlatformState {
                         &PoolParams::with_k(k),
                     ),
                 };
+                if sparse {
+                    inner.refresh_sparse(pool.members());
+                }
                 pool.members().iter().map(|&t| t as usize).collect()
             }
         };
@@ -545,23 +714,33 @@ impl PlatformState {
         let solver = HtaGre::structured()
             .without_flip()
             .with_threads(inner.solver_threads);
-        inner.ensure_edge_cache();
-        let out = solve_open_subset_warm(
-            &solver,
-            &inst,
-            &open,
-            inner.edge_cache.as_ref(),
-            inner.warm.as_mut(),
-            &mut inner.rng,
-        );
+        let out = if inner.sparse_mode_k().is_some() {
+            solve_open_subset_sparse_warm(
+                &solver,
+                &inst,
+                &open,
+                inner.sparse_cache.as_ref(),
+                inner.sparse_warm.as_mut(),
+                &mut inner.rng,
+            )
+        } else {
+            inner.ensure_edge_cache();
+            solve_open_subset_warm(
+                &solver,
+                &inst,
+                &open,
+                inner.edge_cache.as_ref(),
+                inner.warm.as_mut(),
+                &mut inner.rng,
+            )
+        };
 
         let mut results = Vec::with_capacity(cohort.len());
         for (li, (&w, est)) in cohort.iter().zip(&weights).enumerate() {
             let mut assigned = Vec::new();
             for &local in out.assignment.tasks_of(li) {
                 let ci = open[local];
-                inner.available[ci] = false;
-                inner.index.remove(ci as u32);
+                inner.close_task(ci);
                 assigned.push(ci);
             }
             inner.workers[w].assigned.extend(&assigned);
@@ -705,6 +884,7 @@ impl PlatformState {
             completed_tasks: completed,
             indexed_tasks: inner.index.len(),
             shard_sizes: inner.index.shard_sizes(),
+            edge_cache_cap: inner.resolved_edge_cache_cap(),
         }
     }
 
@@ -1265,5 +1445,99 @@ mod tests {
         assert!(s.task_keywords(0).is_some());
         assert!(s.task_keywords(10_000).is_none());
         assert!(!s.task_keywords(0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn sparse_mode_matches_dense_past_the_cap() {
+        // Three twins in TopK mode, identical seeds: one with an edge-cache
+        // cap the catalog exceeds (→ sparse pipeline: pool maintainer +
+        // sparse edge cache + sparse warm repair), one with the default cap
+        // (→ dense cache + dense warm repair), and one past the cap with
+        // warm solving off (→ cold per-solve enumeration). All three must
+        // hand out byte-identical assignments through register / assign /
+        // assign_batch / complete churn.
+        let make = || {
+            let w = generate(&AmtConfig {
+                n_groups: 20,
+                tasks_per_group: 10,
+                vocab_size: 80,
+                ..Default::default()
+            });
+            let s = PlatformState::new(w.space, w.tasks, 5, 0x5AB5);
+            s.set_candidate_mode(CandidateMode::TopK(16));
+            let a = s.register_worker(&["english", "survey"]).unwrap();
+            let b = s.register_worker(&["english", "audio"]).unwrap();
+            (s, a, b)
+        };
+        let (sparse, sa, sb) = make();
+        sparse.set_edge_cache_cap(1); // catalog (200) > cap → sparse mode
+        let (dense, da, db) = make();
+        let (cold, ca, cb) = make();
+        cold.set_edge_cache_cap(1);
+        cold.set_warm_start(false);
+
+        for round in 0..4 {
+            let x = sparse.assign(sa).unwrap();
+            let y = dense.assign(da).unwrap();
+            let z = cold.assign(ca).unwrap();
+            assert_eq!(x, y, "round {round}: sparse vs dense diverged");
+            assert_eq!(x, z, "round {round}: sparse vs cold diverged");
+            let xb = sparse.assign_batch(&[sb, sa]).unwrap();
+            let yb = dense.assign_batch(&[db, da]).unwrap();
+            let zb = cold.assign_batch(&[cb, ca]).unwrap();
+            assert_eq!(xb, yb, "round {round}: batch sparse vs dense diverged");
+            assert_eq!(xb, zb, "round {round}: batch sparse vs cold diverged");
+            let xs = sparse.assign_batch_sequential(&[sb, sa]).unwrap();
+            let ys = dense.assign_batch_sequential(&[db, da]).unwrap();
+            let zs = cold.assign_batch_sequential(&[cb, ca]).unwrap();
+            assert_eq!(xs, ys, "round {round}: seq batch sparse vs dense diverged");
+            assert_eq!(xs, zs, "round {round}: seq batch sparse vs cold diverged");
+            if let Some(&t) = x.tasks.first() {
+                sparse.complete(sa, t).unwrap();
+                dense.complete(da, t).unwrap();
+                cold.complete(ca, t).unwrap();
+            }
+        }
+        // The sparse pipeline actually engaged (not a silent dense fallback).
+        sparse.with_inner(|i| {
+            assert!(i.pool_maint.is_some(), "pool maintainer never built");
+            let cache = i.sparse_cache.as_ref().expect("sparse cache never built");
+            assert!(!cache.members().is_empty(), "sparse cache has no members");
+            assert!(i.sparse_warm.is_some(), "sparse warm state never built");
+        });
+        dense.with_inner(|i| {
+            assert!(i.sparse_cache.is_none(), "dense twin built a sparse cache");
+            assert!(i.edge_cache.is_some(), "dense twin never built its cache");
+        });
+        // Serialized state is identical: the sparse pipeline is derived,
+        // never snapshotted.
+        assert_eq!(sparse.snapshot_bytes(), dense.snapshot_bytes());
+        assert_eq!(sparse.snapshot_bytes(), cold.snapshot_bytes());
+    }
+
+    #[test]
+    fn edge_cache_cap_override_resolves_into_stats() {
+        let s = state();
+        // No override and (in the test environment) no env var: the
+        // built-in default is what /stats reports.
+        if std::env::var("HTA_EDGE_CACHE_CAP").is_err() {
+            assert_eq!(
+                s.stats().edge_cache_cap,
+                hta_core::edges::DEFAULT_EDGE_CACHE_TASKS
+            );
+        }
+        s.set_edge_cache_cap(100);
+        assert_eq!(s.stats().edge_cache_cap, 100);
+        assert_eq!(s.edge_cache_cap(), 100);
+        // Shrinking the cap below the catalog drops the dense cache so the
+        // sparse pipeline can take over on the next TopK solve.
+        s.with_inner(|i| assert!(i.edge_cache.is_none()));
+        s.set_edge_cache_cap(0);
+        if std::env::var("HTA_EDGE_CACHE_CAP").is_err() {
+            assert_eq!(
+                s.stats().edge_cache_cap,
+                hta_core::edges::DEFAULT_EDGE_CACHE_TASKS
+            );
+        }
     }
 }
